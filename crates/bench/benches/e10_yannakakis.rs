@@ -1,0 +1,28 @@
+//! E10 (Section 6, acyclic joins): Yannakakis' semijoin algorithm vs the
+//! unrestricted natural join on acyclic chain instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cspdb_bench::e10_chain;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_yannakakis");
+    group.sample_size(10);
+    for m in [16usize, 64, 256] {
+        let p = e10_chain(m, 3);
+        group.bench_with_input(BenchmarkId::new("yannakakis", m), &p, |b, p| {
+            b.iter(|| cspdb_relalg::solve_acyclic(p).unwrap())
+        });
+        if m <= 16 {
+            group.bench_with_input(BenchmarkId::new("full_join", m), &p, |b, p| {
+                b.iter(|| cspdb_relalg::solve_by_join(p))
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("search", m), &p, |b, p| {
+            b.iter(|| cspdb_solver::solve_csp(p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

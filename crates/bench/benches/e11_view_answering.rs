@@ -1,0 +1,25 @@
+//! E11 (Theorem 7.5): view-based certain answers through the constraint
+//! template, as the extension size grows (data complexity).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cspdb_bench::e11_instance;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_view_answering");
+    group.sample_size(10);
+    for len in [4usize, 8, 16] {
+        let (q, views, alphabet, exts) = e11_instance(len);
+        group.bench_with_input(BenchmarkId::new("certain_csp_route", len), &(), |b, _| {
+            b.iter(|| cspdb_rpq::certain_answer(&q, &views, &alphabet, &exts, 0, len as u32))
+        });
+    }
+    // The small brute-force ground truth for comparison.
+    let (q, views, alphabet, exts) = e11_instance(3);
+    group.bench_with_input(BenchmarkId::new("certain_bruteforce", 3), &(), |b, _| {
+        b.iter(|| cspdb_rpq::certain_answer_bruteforce(&q, &views, &alphabet, &exts, 0, 3, 3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E12 (Theorem 7.3): deciding CSP(A, K2) by reducing to view-based
+//! answering and back through the Theorem 7.5 template.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cspdb_core::graphs::{clique, cycle};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_csp_to_views");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    let b = clique(2);
+    // C4 only: the C5 (unsatisfiable) case takes >1s per run — it is
+    // exercised by run_experiments instead.
+    {
+        let n = 4usize;
+        let a = cycle(n);
+        group.bench_with_input(BenchmarkId::new("via_views", n), &a, |bch, a| {
+            bch.iter(|| cspdb_rpq::csp_via_view_answering(a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("direct", n), &a, |bch, a| {
+            bch.iter(|| cspdb_solver::find_homomorphism(a, &b))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

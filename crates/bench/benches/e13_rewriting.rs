@@ -1,0 +1,49 @@
+//! E13 (Section 7, [8]): constructing the maximal RPQ rewriting and
+//! evaluating it over view extensions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cspdb_rpq::{maximal_rewriting, Extensions, Regex, View};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_rewriting");
+    group.sample_size(10);
+    let cases = [
+        ("(ab)*", vec![("Vab", "ab")]),
+        ("a(bb)*", vec![("Va", "a"), ("Vbb", "bb")]),
+        ("(ab|ba)*", vec![("Vab", "ab"), ("Vba", "ba")]),
+    ];
+    for (qsrc, defs) in &cases {
+        let q = Regex::parse(qsrc).unwrap();
+        let mut alphabet = q.alphabet();
+        let views: Vec<View> = defs
+            .iter()
+            .map(|(n, d)| {
+                let r = Regex::parse(d).unwrap();
+                alphabet.extend(r.alphabet());
+                View { name: n.to_string(), definition: r }
+            })
+            .collect();
+        alphabet.sort_unstable();
+        alphabet.dedup();
+        group.bench_with_input(BenchmarkId::new("construct", *qsrc), &(), |b, _| {
+            b.iter(|| maximal_rewriting(&q, &views, &alphabet))
+        });
+    }
+    // Evaluation over a growing extension.
+    let q = Regex::parse("(ab)*").unwrap();
+    let views = vec![View { name: "Vab".into(), definition: Regex::parse("ab").unwrap() }];
+    let rw = maximal_rewriting(&q, &views, &['a', 'b']);
+    for len in [16usize, 64] {
+        let exts = Extensions {
+            num_objects: len + 1,
+            pairs: vec![(0..len as u32).map(|i| (i, i + 1)).collect()],
+        };
+        group.bench_with_input(BenchmarkId::new("evaluate", len), &exts, |b, exts| {
+            b.iter(|| rw.answer(exts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E1 (Proposition 2.1): solving a CSP by backtracking search vs by
+//! evaluating the natural join of its constraint relations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cspdb_bench::e1_instance;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_join_vs_search");
+    group.sample_size(10);
+    for n in [8usize, 12, 16] {
+        let p = e1_instance(n, 1);
+        group.bench_with_input(BenchmarkId::new("search", n), &p, |b, p| {
+            b.iter(|| cspdb_solver::solve_csp(p))
+        });
+        group.bench_with_input(BenchmarkId::new("join", n), &p, |b, p| {
+            b.iter(|| cspdb_relalg::solve_by_join(p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

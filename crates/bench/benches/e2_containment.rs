@@ -1,0 +1,29 @@
+//! E2 (Propositions 2.2/2.3): conjunctive-query containment via the
+//! homomorphism route vs the canonical-database evaluation route.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cspdb_cq::ConjunctiveQuery;
+
+fn chain(len: usize) -> ConjunctiveQuery {
+    let body: Vec<String> = (0..len).map(|i| format!("E(X{i},X{})", i + 1)).collect();
+    ConjunctiveQuery::parse(&format!("Q(X0) :- {}", body.join(", "))).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_containment");
+    group.sample_size(10);
+    for m in [8usize, 16, 32] {
+        let q1 = chain(m);
+        let q2 = chain(m / 2);
+        group.bench_with_input(BenchmarkId::new("hom_route", m), &(), |b, _| {
+            b.iter(|| cspdb_cq::is_contained_in(&q1, &q2).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("eval_route", m), &(), |b, _| {
+            b.iter(|| cspdb_cq::is_contained_in_by_eval(&q1, &q2).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

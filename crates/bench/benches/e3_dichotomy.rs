@@ -1,0 +1,35 @@
+//! E3 (Schaefer's dichotomy): dedicated polynomial solvers on tractable
+//! families vs generic search on the NP side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_dichotomy");
+    group.sample_size(10);
+    for n in [128usize, 512] {
+        let m = 3 * n;
+        let two_sat = cspdb_gen::cnf_to_csp(&cspdb_gen::random_2sat(n, m, 7));
+        group.bench_with_input(BenchmarkId::new("2sat_dichotomy", n), &two_sat, |b, p| {
+            b.iter(|| cspdb_schaefer::solve_boolean(p))
+        });
+        let horn = cspdb_gen::cnf_to_csp(&cspdb_gen::random_horn(n, m, 7));
+        group.bench_with_input(BenchmarkId::new("horn_dichotomy", n), &horn, |b, p| {
+            b.iter(|| cspdb_schaefer::solve_boolean(p))
+        });
+        let xor = cspdb_gen::random_xor_system(n, m, 7);
+        group.bench_with_input(BenchmarkId::new("xor_gaussian", n), &xor, |b, s| {
+            b.iter(|| cspdb_schaefer::solve_affine(s))
+        });
+    }
+    for n in [14usize, 18] {
+        let m = (n as f64 * 4.26) as usize;
+        let hard = cspdb_gen::cnf_to_csp(&cspdb_gen::random_3sat(n, m, 11));
+        group.bench_with_input(BenchmarkId::new("3sat_search", n), &hard, |b, p| {
+            b.iter(|| cspdb_solver::solve_csp(p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E4 (Hell–Nešetřil): H-coloring random graphs for bipartite vs
+//! non-bipartite templates H.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cspdb_core::graphs::{clique, cycle};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_hcoloring");
+    group.sample_size(10);
+    let g = cspdb_gen::gnp(30, 0.1, 3);
+    for (name, h) in [
+        ("K2_poly", clique(2)),
+        ("C4_poly", cycle(4)),
+        ("K3_np", clique(3)),
+        ("C5_np", cycle(5)),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, 30), &h, |b, h| {
+            b.iter(|| cspdb::auto_solve(&g, h))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E5 (Theorem 4.5): computing the largest Duplicator winning strategy
+//! — polynomial for fixed k, with the O(n^{2k})-style growth visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cspdb_core::graphs::clique;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_pebble_game");
+    group.sample_size(10);
+    let b2 = clique(2);
+    for k in [2usize, 3] {
+        for n in [8usize, 16] {
+            let g = cspdb_gen::gnp(n, 2.0 / n as f64, 5);
+            group.bench_with_input(
+                BenchmarkId::new(format!("k{k}"), n),
+                &g,
+                |bch, g| bch.iter(|| cspdb_consistency::largest_winning_strategy(g, &b2, k)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E6 (Theorem 4.6): the Section 4 Datalog program vs the 3-pebble game
+//! deciding 2-colorability.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cspdb_core::graphs::{clique, cycle};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_datalog_game");
+    group.sample_size(10);
+    let program = cspdb_datalog::programs::non_2_colorability();
+    let k2 = clique(2);
+    for n in [11usize, 21, 41] {
+        let g = cycle(n);
+        group.bench_with_input(BenchmarkId::new("datalog", n), &g, |b, g| {
+            b.iter(|| cspdb_datalog::goal_holds(&program, g).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("pebble_game", n), &g, |b, g| {
+            b.iter(|| cspdb_consistency::spoiler_wins(g, &k2, 3))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! E7 (Theorem 5.6): establishing strong k-consistency by re-formatting
+//! the largest winning strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cspdb_core::graphs::{clique, cycle};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_establish");
+    group.sample_size(10);
+    let k3 = clique(3);
+    for n in [5usize, 9, 13] {
+        let a = cycle(n);
+        group.bench_with_input(BenchmarkId::new("establish_k2", n), &a, |b, a| {
+            b.iter(|| cspdb_consistency::establish_strong_k_consistency(a, &k3, 2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E8 (Theorem 5.7): k-consistency refutation — complete for 2-COL,
+//! incomplete for 3-COL — vs full search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cspdb_core::graphs::clique;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_consistency_decides");
+    group.sample_size(10);
+    let g = cspdb_gen::gnp(12, 0.3, 2);
+    for (name, b_struct, k) in [("K2_k3", clique(2), 3usize), ("K3_k3", clique(3), 3)] {
+        group.bench_with_input(BenchmarkId::new(name, 12), &g, |bch, g| {
+            bch.iter(|| cspdb_consistency::k_consistency_refutes(g, &b_struct, k))
+        });
+    }
+    group.bench_with_input(BenchmarkId::new("search_K3", 12), &g, |bch, g| {
+        bch.iter(|| cspdb_solver::find_homomorphism(g, &clique(3)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

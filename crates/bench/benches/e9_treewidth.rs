@@ -1,0 +1,29 @@
+//! E9 (Theorem 6.2): bounded-treewidth dynamic programming vs search vs
+//! the ∃FO^{k+1} formula route, on partial k-trees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cspdb_bench::e9_instance;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_treewidth");
+    group.sample_size(10);
+    for k in [1usize, 2] {
+        for n in [32usize, 128] {
+            let (a, b) = e9_instance(n, k, 9);
+            let id = format!("k{k}_n{n}");
+            group.bench_with_input(BenchmarkId::new("dp", &id), &(), |bch, _| {
+                bch.iter(|| cspdb_decomp::solve_by_treewidth(&a, &b))
+            });
+            group.bench_with_input(BenchmarkId::new("search", &id), &(), |bch, _| {
+                bch.iter(|| cspdb_solver::find_homomorphism(&a, &b))
+            });
+            group.bench_with_input(BenchmarkId::new("formula", &id), &(), |bch, _| {
+                bch.iter(|| cspdb_cq::theorem_6_2_decide(&a, &b))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,184 @@
+//! # cspdb-bench
+//!
+//! Shared workload builders and measurement helpers for the experiment
+//! suite (E1–E13 in DESIGN.md / EXPERIMENTS.md). The Criterion benches
+//! under `benches/` and the `run_experiments` binary both build their
+//! inputs here, so the recorded tables and the micro-benchmarks measure
+//! the same objects.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cspdb_core::{CspInstance, Relation, Structure};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Milliseconds (with fraction) of one run of `f`.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Median-of-`runs` milliseconds.
+pub fn time_median<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut times: Vec<f64> = (0..runs.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            let _ = f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Pretty milliseconds.
+pub fn fmt_ms(ms: f64) -> String {
+    if ms < 1.0 {
+        format!("{:.0}µs", ms * 1e3)
+    } else if ms < 1000.0 {
+        format!("{ms:.2}ms")
+    } else {
+        format!("{:.2}s", ms / 1e3)
+    }
+}
+
+/// The binary inequality relation on `d` values (graph-coloring style).
+pub fn neq_relation(d: usize) -> Arc<Relation> {
+    Arc::new(
+        Relation::from_tuples(
+            2,
+            (0..d as u32).flat_map(|i| {
+                (0..d as u32).filter_map(move |j| (i != j).then_some([i, j]))
+            }),
+        )
+        .unwrap(),
+    )
+}
+
+/// E1 workload: a satisfiable-leaning random binary CSP.
+pub fn e1_instance(n: usize, seed: u64) -> CspInstance {
+    cspdb_gen::random_binary_csp(n, 3, (n as f64 * 1.8) as usize, 0.33, seed)
+}
+
+/// E9 workload: a partial k-tree structure plus coloring target.
+pub fn e9_instance(n: usize, k: usize, seed: u64) -> (Structure, Structure) {
+    let a = cspdb_gen::partial_k_tree(n, k, 0.85, seed);
+    let b = cspdb_core::graphs::clique(k + 2); // enough colors to be satisfiable
+    (a, b)
+}
+
+/// E9 hard-mode workload: random tight binary relations on the edges of
+/// a partial k-tree — near the satisfiability threshold, chronological
+/// backtracking thrashes while the width-k dynamic program stays
+/// polynomial.
+pub fn e9_tight_instance(n: usize, k: usize, seed: u64) -> CspInstance {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let a = cspdb_gen::partial_k_tree(n, k, 1.0, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE);
+    let d = 3usize;
+    let mut p = CspInstance::new(n, d);
+    let e = a.relation_by_name("E").unwrap();
+    for t in e.iter() {
+        if t[0] < t[1] {
+            let tuples: Vec<[u32; 2]> = (0..d as u32)
+                .flat_map(|i| (0..d as u32).map(move |j| [i, j]))
+                .filter(|_| rng.gen_bool(0.45))
+                .collect();
+            let rel = Relation::from_tuples(2, tuples.iter()).unwrap();
+            p.add_constraint([t[0], t[1]], Arc::new(rel)).unwrap();
+        }
+    }
+    p
+}
+
+/// E10 workload: an acyclic chain instance with `m` binary constraints
+/// over `d` values.
+pub fn e10_chain(m: usize, d: usize) -> CspInstance {
+    let mut p = CspInstance::new(m + 1, d);
+    let r = neq_relation(d);
+    for i in 0..m as u32 {
+        p.add_constraint([i, i + 1], r.clone()).unwrap();
+    }
+    p
+}
+
+/// E11 workload: a chain of `Vab` view facts of the given length, with
+/// query `(ab)*` — every even-distance pair along the chain is certain.
+pub fn e11_instance(
+    len: usize,
+) -> (
+    cspdb_rpq::Regex,
+    Vec<cspdb_rpq::View>,
+    Vec<char>,
+    cspdb_rpq::Extensions,
+) {
+    let q = cspdb_rpq::Regex::parse("(ab)*").unwrap();
+    let views = vec![
+        cspdb_rpq::View {
+            name: "Vab".into(),
+            definition: cspdb_rpq::Regex::parse("ab").unwrap(),
+        },
+        cspdb_rpq::View {
+            name: "Va".into(),
+            definition: cspdb_rpq::Regex::parse("a").unwrap(),
+        },
+    ];
+    let pairs_ab: Vec<(u32, u32)> = (0..len as u32).map(|i| (i, i + 1)).collect();
+    let exts = cspdb_rpq::Extensions {
+        num_objects: len + 1,
+        pairs: vec![pairs_ab, vec![]],
+    };
+    (q, views, vec!['a', 'b'], exts)
+}
+
+/// A simple wall-clock budget guard for open-ended sweeps.
+pub struct Budget {
+    deadline: Instant,
+}
+
+impl Budget {
+    /// Creates a budget of the given seconds.
+    pub fn seconds(s: u64) -> Self {
+        Budget {
+            deadline: Instant::now() + Duration::from_secs(s),
+        }
+    }
+
+    /// True while the budget lasts.
+    pub fn ok(&self) -> bool {
+        Instant::now() < self.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_consistent_workloads() {
+        let p = e1_instance(8, 1);
+        assert_eq!(p.num_vars(), 8);
+        let (a, b) = e9_instance(10, 2, 1);
+        assert!(a.domain_size() == 10 && b.domain_size() == 4);
+        let chain = e10_chain(5, 3);
+        assert_eq!(chain.constraints().len(), 5);
+        let (_, views, alphabet, exts) = e11_instance(4);
+        assert_eq!(views.len(), 2);
+        assert_eq!(alphabet.len(), 2);
+        assert_eq!(exts.num_objects, 5);
+    }
+
+    #[test]
+    fn timing_helpers_work() {
+        let (v, ms) = time_once(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(ms >= 0.0);
+        assert!(time_median(3, || ()) >= 0.0);
+        assert!(!fmt_ms(0.5).is_empty());
+        assert!(!fmt_ms(15.0).is_empty());
+        assert!(!fmt_ms(1500.0).is_empty());
+    }
+}

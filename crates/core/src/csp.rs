@@ -1,0 +1,608 @@
+//! The classical AI formulation of constraint satisfaction and its
+//! translation to and from the homomorphism problem (Section 2 of the
+//! paper).
+//!
+//! An instance is a triple `(V, D, C)`: variables `0..num_vars`, values
+//! `0..num_values`, and constraints `(t, R)` pairing a scope `t` (a tuple
+//! of variables) with a relation `R` on the values of the same arity.
+//!
+//! The two directions of the Feder–Vardi observation are implemented by
+//! [`CspInstance::to_homomorphism`] (an instance becomes a pair of
+//! structures `(A_P, B_P)`) and [`CspInstance::from_homomorphism`] (a pair
+//! of structures is "broken up" into one constraint per fact of **A**).
+
+use crate::error::{CoreError, Result};
+use crate::homomorphism::PartialHom;
+use crate::relation::Relation;
+use crate::structure::Structure;
+use crate::vocabulary::VocabularyBuilder;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One constraint `(t, R)`: the scope `t` is a tuple of variables and `R`
+/// a relation on values with `R.arity() == t.len()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraint {
+    scope: Box<[u32]>,
+    relation: Arc<Relation>,
+}
+
+impl Constraint {
+    /// The scope (tuple of variables).
+    #[inline]
+    pub fn scope(&self) -> &[u32] {
+        &self.scope
+    }
+
+    /// The constraint relation on values.
+    #[inline]
+    pub fn relation(&self) -> &Arc<Relation> {
+        &self.relation
+    }
+
+    /// True if the assignment (total over variables) satisfies this
+    /// constraint.
+    pub fn is_satisfied_by(&self, assignment: &[u32]) -> bool {
+        let image: Vec<u32> = self.scope.iter().map(|&v| assignment[v as usize]).collect();
+        self.relation.contains(&image)
+    }
+}
+
+/// A CSP instance `(V, D, C)` in the traditional AI formulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CspInstance {
+    num_vars: usize,
+    num_values: usize,
+    constraints: Vec<Constraint>,
+}
+
+impl CspInstance {
+    /// Creates an instance with no constraints.
+    pub fn new(num_vars: usize, num_values: usize) -> Self {
+        CspInstance {
+            num_vars,
+            num_values,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of variables `|V|`.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of values `|D|`.
+    #[inline]
+    pub fn num_values(&self) -> usize {
+        self.num_values
+    }
+
+    /// The constraints.
+    #[inline]
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Adds a constraint `(scope, relation)`.
+    ///
+    /// # Errors
+    ///
+    /// Validates variable range, value range, and scope/arity agreement.
+    pub fn add_constraint(
+        &mut self,
+        scope: impl Into<Box<[u32]>>,
+        relation: impl Into<Arc<Relation>>,
+    ) -> Result<()> {
+        let scope = scope.into();
+        let relation = relation.into();
+        if scope.len() != relation.arity() {
+            return Err(CoreError::ScopeArityMismatch {
+                scope_len: scope.len(),
+                arity: relation.arity(),
+            });
+        }
+        for &v in scope.iter() {
+            if v as usize >= self.num_vars {
+                return Err(CoreError::VariableOutOfRange {
+                    variable: v,
+                    num_vars: self.num_vars,
+                });
+            }
+        }
+        if let Some(m) = relation.max_element() {
+            if m as usize >= self.num_values {
+                return Err(CoreError::ElementOutOfRange {
+                    element: m,
+                    domain_size: self.num_values,
+                });
+            }
+        }
+        self.constraints.push(Constraint { scope, relation });
+        Ok(())
+    }
+
+    /// True if `assignment` (length `num_vars`, values `< num_values`)
+    /// satisfies every constraint — i.e. is a *solution*.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed assignments (caller bug).
+    pub fn is_solution(&self, assignment: &[u32]) -> bool {
+        assert_eq!(assignment.len(), self.num_vars, "assignment must be total");
+        assert!(
+            assignment.iter().all(|&v| (v as usize) < self.num_values),
+            "assignment must use declared values"
+        );
+        self.constraints.iter().all(|c| c.is_satisfied_by(assignment))
+    }
+
+    /// Exhaustive solver for *tiny* instances; the test oracle used across
+    /// the workspace. Returns the first solution in lexicographic order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the search space `num_values^num_vars` exceeds `10^7`,
+    /// to protect tests from accidental blowups.
+    pub fn solve_brute_force(&self) -> Option<Vec<u32>> {
+        let space = (self.num_values as f64).powi(self.num_vars as i32);
+        assert!(space <= 1e7, "brute force space too large: {space}");
+        if self.num_vars == 0 {
+            return if self.constraints.iter().all(|c| c.is_satisfied_by(&[])) {
+                Some(Vec::new())
+            } else {
+                None
+            };
+        }
+        if self.num_values == 0 {
+            return None;
+        }
+        let mut assignment = vec![0u32; self.num_vars];
+        loop {
+            if self.is_solution(&assignment) {
+                return Some(assignment);
+            }
+            // Odometer increment.
+            let mut i = self.num_vars;
+            loop {
+                if i == 0 {
+                    return None;
+                }
+                i -= 1;
+                assignment[i] += 1;
+                if (assignment[i] as usize) < self.num_values {
+                    break;
+                }
+                assignment[i] = 0;
+            }
+        }
+    }
+
+    /// Counts all solutions by exhaustive enumeration (tiny instances
+    /// only; same guard as [`CspInstance::solve_brute_force`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the search space exceeds `10^7`.
+    pub fn count_solutions_brute_force(&self) -> u64 {
+        let space = (self.num_values as f64).powi(self.num_vars as i32);
+        assert!(space <= 1e7, "brute force space too large: {space}");
+        if self.num_vars == 0 {
+            return u64::from(self.constraints.iter().all(|c| c.is_satisfied_by(&[])));
+        }
+        if self.num_values == 0 {
+            return 0;
+        }
+        let mut count = 0;
+        let mut assignment = vec![0u32; self.num_vars];
+        loop {
+            if self.is_solution(&assignment) {
+                count += 1;
+            }
+            let mut i = self.num_vars;
+            loop {
+                if i == 0 {
+                    return count;
+                }
+                i -= 1;
+                assignment[i] += 1;
+                if (assignment[i] as usize) < self.num_values {
+                    break;
+                }
+                assignment[i] = 0;
+            }
+        }
+    }
+
+    /// Consolidates constraints sharing a scope by intersecting their
+    /// relations, so every scope occurs at most once (the normalization
+    /// noted at the start of Section 2).
+    pub fn consolidate(&self) -> CspInstance {
+        let mut by_scope: HashMap<Box<[u32]>, Arc<Relation>> = HashMap::new();
+        let mut order: Vec<Box<[u32]>> = Vec::new();
+        for c in &self.constraints {
+            match by_scope.get_mut(&c.scope) {
+                Some(existing) => {
+                    let merged = existing
+                        .intersect(&c.relation)
+                        .expect("same scope implies same arity");
+                    *existing = Arc::new(merged);
+                }
+                None => {
+                    order.push(c.scope.clone());
+                    by_scope.insert(c.scope.clone(), c.relation.clone());
+                }
+            }
+        }
+        CspInstance {
+            num_vars: self.num_vars,
+            num_values: self.num_values,
+            constraints: order
+                .into_iter()
+                .map(|scope| {
+                    let relation = by_scope[&scope].clone();
+                    Constraint { scope, relation }
+                })
+                .collect(),
+        }
+    }
+
+    /// Rewrites every constraint so its scope has pairwise-distinct
+    /// variables, using the select/project transformation described in
+    /// Section 2: if `t_i = t_j`, delete tuples whose `i`th and `j`th
+    /// entries disagree and project out column `j`.
+    pub fn normalize_distinct(&self) -> CspInstance {
+        let mut out = CspInstance::new(self.num_vars, self.num_values);
+        for c in &self.constraints {
+            let mut scope: Vec<u32> = c.scope.to_vec();
+            let mut rel: Relation = (*c.relation).clone();
+            loop {
+                // Find the first duplicated position pair.
+                let dup = (0..scope.len()).find_map(|i| {
+                    ((i + 1)..scope.len())
+                        .find(|&j| scope[j] == scope[i])
+                        .map(|j| (i, j))
+                });
+                match dup {
+                    Some((i, j)) => {
+                        rel = rel.select_eq(i, j);
+                        let keep: Vec<usize> =
+                            (0..scope.len()).filter(|&k| k != j).collect();
+                        rel = rel.project(&keep);
+                        scope.remove(j);
+                    }
+                    None => break,
+                }
+            }
+            out.add_constraint(scope, rel)
+                .expect("normalization preserves validity");
+        }
+        out
+    }
+
+    /// Converts the instance to its homomorphism formulation: a pair of
+    /// structures `(A_P, B_P)` such that the instance is solvable iff
+    /// there is a homomorphism `A_P -> B_P` (Section 2).
+    ///
+    /// Distinct constraint relations (by content) become distinct symbols
+    /// `R0, R1, ...`; `A_P` holds the scopes, `B_P` holds the relations.
+    pub fn to_homomorphism(&self) -> (Structure, Structure) {
+        // Dedup relations by content.
+        let mut rel_index: HashMap<&Relation, usize> = HashMap::new();
+        let mut distinct: Vec<Arc<Relation>> = Vec::new();
+        for c in &self.constraints {
+            rel_index.entry(&c.relation).or_insert_with(|| {
+                distinct.push(c.relation.clone());
+                distinct.len() - 1
+            });
+        }
+        let mut builder = VocabularyBuilder::new();
+        for (i, r) in distinct.iter().enumerate() {
+            builder
+                .add(format!("R{i}"), r.arity())
+                .expect("generated names are unique");
+        }
+        let voc = builder.finish();
+        let mut a = Structure::new(voc.clone(), self.num_vars);
+        let mut b = Structure::new(voc.clone(), self.num_values);
+        for c in &self.constraints {
+            let idx = rel_index[c.relation.as_ref()];
+            let id = voc.id(&format!("R{idx}")).expect("symbol exists");
+            a.insert(id, &c.scope).expect("validated at add_constraint");
+        }
+        for (i, r) in distinct.iter().enumerate() {
+            let id = voc.id(&format!("R{i}")).expect("symbol exists");
+            b.set_relation(id, (**r).clone())
+                .expect("validated at add_constraint");
+        }
+        (a, b)
+    }
+
+    /// Converts a homomorphism instance `(A, B)` to the CSP instance
+    /// `CSP(A, B)` by breaking up each relation of **A**: one constraint
+    /// `(t, R^B)` per fact `t ∈ R^A` (Section 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::VocabularyMismatch`] if vocabularies differ.
+    pub fn from_homomorphism(a: &Structure, b: &Structure) -> Result<CspInstance> {
+        if a.vocabulary() != b.vocabulary() {
+            return Err(CoreError::VocabularyMismatch);
+        }
+        let mut out = CspInstance::new(a.domain_size(), b.domain_size());
+        for (id, rel) in a.relations() {
+            let target = Arc::new(b.relation(id).clone());
+            for t in rel.iter() {
+                out.add_constraint(t, target.clone())?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Checks coherence of a homomorphism instance `(A, B)` (Definition 5.5):
+/// for every constraint `(ā, R)` of `CSP(A, B)` — i.e. every fact `ā` of
+/// **A** with its target relation `R = R^B` — and every tuple `b̄ ∈ R`,
+/// the correspondence `h_{ā,b̄}` is a well-defined partial function *and*
+/// a partial homomorphism from **A** to **B**.
+pub fn is_coherent(a: &Structure, b: &Structure) -> bool {
+    debug_assert_eq!(a.vocabulary(), b.vocabulary());
+    for (id, rel) in a.relations() {
+        let target = b.relation(id);
+        for t in rel.iter() {
+            for bt in target.iter() {
+                let pairs = t.iter().copied().zip(bt.iter().copied());
+                match PartialHom::from_pairs(pairs) {
+                    Some(h) => {
+                        if !h.is_partial_homomorphism(a, b) {
+                            return false;
+                        }
+                    }
+                    None => return false,
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Makes a homomorphism instance coherent by iterated constraint
+/// propagation: repeatedly delete from `R^B`-copies any tuple `b̄` whose
+/// correspondence `h_{ā,b̄}` is ill-defined or not a partial homomorphism,
+/// for some fact `ā`. Because different facts of the same relation may
+/// prune differently, the result splits each fact of **A** into its own
+/// symbol (the instance is semantically equivalent: same homomorphisms).
+///
+/// Returns the refined pair `(A', B')` with one symbol per fact of **A**.
+pub fn make_coherent(a: &Structure, b: &Structure) -> (Structure, Structure) {
+    debug_assert_eq!(a.vocabulary(), b.vocabulary());
+    // One symbol per fact of A.
+    let mut builder = VocabularyBuilder::new();
+    let mut facts: Vec<(Vec<u32>, Relation)> = Vec::new();
+    for (id, rel) in a.relations() {
+        for t in rel.iter() {
+            let name = format!("F{}", facts.len());
+            builder
+                .add(name, t.len())
+                .expect("generated names are unique");
+            facts.push((t.to_vec(), b.relation(id).clone()));
+        }
+    }
+    let voc = builder.finish();
+    let mut a2 = Structure::new(voc.clone(), a.domain_size());
+    let mut b2 = Structure::new(voc.clone(), b.domain_size());
+    for (i, (t, r)) in facts.iter().enumerate() {
+        let id = voc.id(&format!("F{i}")).expect("symbol exists");
+        a2.insert(id, t).expect("facts are valid");
+        b2.set_relation(id, r.clone()).expect("relations are valid");
+    }
+    // Propagate to a fixpoint.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (i, fact) in facts.iter().enumerate() {
+            let id = voc.id(&format!("F{i}")).expect("symbol exists");
+            let scope = fact.0.clone();
+            let current = b2.relation(id).clone();
+            let pruned = current.filter(|bt| {
+                PartialHom::from_pairs(scope.iter().copied().zip(bt.iter().copied()))
+                    .map(|h| h.is_partial_homomorphism(&a2, &b2))
+                    .unwrap_or(false)
+            });
+            if pruned.len() != current.len() {
+                changed = true;
+                b2.set_relation(id, pruned).expect("pruning preserves validity");
+            }
+        }
+    }
+    (a2, b2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::homomorphism::is_homomorphism;
+    use crate::vocabulary::Vocabulary;
+
+    fn neq_relation(d: usize) -> Relation {
+        Relation::from_tuples(
+            2,
+            (0..d as u32).flat_map(|i| {
+                (0..d as u32).filter_map(move |j| if i != j { Some([i, j]) } else { None })
+            }),
+        )
+        .unwrap()
+    }
+
+    /// 3-coloring of a triangle: classic satisfiable instance.
+    fn triangle_coloring(colors: usize) -> CspInstance {
+        let mut p = CspInstance::new(3, colors);
+        let neq = Arc::new(neq_relation(colors));
+        for (u, v) in [(0u32, 1u32), (1, 2), (0, 2)] {
+            p.add_constraint([u, v], neq.clone()).unwrap();
+        }
+        p
+    }
+
+    #[test]
+    fn brute_force_on_triangle() {
+        assert!(triangle_coloring(3).solve_brute_force().is_some());
+        assert!(triangle_coloring(2).solve_brute_force().is_none());
+        assert_eq!(triangle_coloring(3).count_solutions_brute_force(), 6);
+        assert_eq!(triangle_coloring(2).count_solutions_brute_force(), 0);
+    }
+
+    #[test]
+    fn is_solution_checks_all_constraints() {
+        let p = triangle_coloring(3);
+        assert!(p.is_solution(&[0, 1, 2]));
+        assert!(!p.is_solution(&[0, 0, 1]));
+    }
+
+    #[test]
+    fn add_constraint_validates() {
+        let mut p = CspInstance::new(2, 2);
+        let r = Relation::from_tuples(2, [[0u32, 1]]).unwrap();
+        assert!(matches!(
+            p.add_constraint([0, 5], Arc::new(r.clone())),
+            Err(CoreError::VariableOutOfRange { .. })
+        ));
+        assert!(matches!(
+            p.add_constraint([0], Arc::new(r.clone())),
+            Err(CoreError::ScopeArityMismatch { .. })
+        ));
+        let too_big = Relation::from_tuples(2, [[0u32, 7]]).unwrap();
+        assert!(matches!(
+            p.add_constraint([0, 1], Arc::new(too_big)),
+            Err(CoreError::ElementOutOfRange { .. })
+        ));
+        assert!(p.add_constraint([0, 1], Arc::new(r)).is_ok());
+    }
+
+    #[test]
+    fn consolidate_intersects_same_scope() {
+        let mut p = CspInstance::new(2, 3);
+        let r1 = Relation::from_tuples(2, [[0u32, 1], [1, 2], [2, 0]]).unwrap();
+        let r2 = Relation::from_tuples(2, [[0u32, 1], [2, 0], [2, 2]]).unwrap();
+        p.add_constraint([0, 1], Arc::new(r1)).unwrap();
+        p.add_constraint([0, 1], Arc::new(r2)).unwrap();
+        let c = p.consolidate();
+        assert_eq!(c.constraints().len(), 1);
+        let r = c.constraints()[0].relation();
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&[0, 1]) && r.contains(&[2, 0]));
+    }
+
+    #[test]
+    fn normalize_distinct_removes_repeats() {
+        // Constraint E(x, x) with relation {(0,1),(1,1)} forces x = 1.
+        let mut p = CspInstance::new(1, 2);
+        let r = Relation::from_tuples(2, [[0u32, 1], [1, 1]]).unwrap();
+        p.add_constraint([0, 0], Arc::new(r)).unwrap();
+        let q = p.normalize_distinct();
+        assert_eq!(q.constraints().len(), 1);
+        assert_eq!(q.constraints()[0].scope(), &[0]);
+        let rel = q.constraints()[0].relation();
+        assert_eq!(rel.len(), 1);
+        assert!(rel.contains(&[1]));
+        // Solvability is preserved.
+        assert_eq!(
+            p.solve_brute_force().is_some(),
+            q.solve_brute_force().is_some()
+        );
+        assert!(q.is_solution(&[1]));
+    }
+
+    #[test]
+    fn hom_roundtrip_preserves_solvability() {
+        let p = triangle_coloring(3).consolidate();
+        let (a, b) = p.to_homomorphism();
+        assert_eq!(a.domain_size(), 3);
+        assert_eq!(b.domain_size(), 3);
+        // h = identity coloring 0,1,2 is a homomorphism.
+        assert!(is_homomorphism(&[0, 1, 2], &a, &b));
+        assert!(!is_homomorphism(&[0, 0, 1], &a, &b));
+        // And back again.
+        let q = CspInstance::from_homomorphism(&a, &b).unwrap();
+        assert!(q.solve_brute_force().is_some());
+        assert_eq!(
+            q.count_solutions_brute_force(),
+            p.count_solutions_brute_force()
+        );
+    }
+
+    #[test]
+    fn to_homomorphism_dedups_relations() {
+        let p = triangle_coloring(3);
+        let (a, _b) = p.to_homomorphism();
+        // All three constraints share one relation -> one symbol.
+        assert_eq!(a.vocabulary().len(), 1);
+        assert_eq!(a.relation_by_name("R0").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn from_homomorphism_rejects_mismatched_vocabularies() {
+        let a = Structure::new(Vocabulary::new([("E", 2)]).unwrap(), 1);
+        let b = Structure::new(Vocabulary::new([("F", 2)]).unwrap(), 1);
+        assert!(CspInstance::from_homomorphism(&a, &b).is_err());
+    }
+
+    #[test]
+    fn coherence_detects_incoherent_instance() {
+        // A: fact E(0,1) and fact P(1).
+        let voc = Vocabulary::new([("E", 2), ("P", 1)]).unwrap();
+        let mut a = Structure::new(voc.clone(), 2);
+        a.insert_by_name("E", &[0, 1]).unwrap();
+        a.insert_by_name("P", &[1]).unwrap();
+        // Coherent B: E^B = {(0,0)}, P^B = {0}. The E-constraint's only
+        // tuple gives h = {0->0, 1->0}, which covers both facts of A and
+        // maps them to facts of B; the P-constraint's tuple gives {1->0}.
+        let mut b_ok = Structure::new(voc.clone(), 2);
+        b_ok.insert_by_name("E", &[0, 0]).unwrap();
+        b_ok.insert_by_name("P", &[0]).unwrap();
+        assert!(is_coherent(&a, &b_ok));
+        // Incoherent B: E^B = {(0,1)} but P^B = {0}. The E-tuple (0,1)
+        // gives h = {0->0, 1->1}, which covers P(1) yet P(1) ∉ P^B.
+        let mut b_bad = Structure::new(voc, 2);
+        b_bad.insert_by_name("E", &[0, 1]).unwrap();
+        b_bad.insert_by_name("P", &[0]).unwrap();
+        assert!(!is_coherent(&a, &b_bad));
+    }
+
+    #[test]
+    fn make_coherent_preserves_homomorphisms() {
+        let voc = Vocabulary::new([("E", 2), ("P", 1)]).unwrap();
+        let mut a = Structure::new(voc.clone(), 2);
+        a.insert_by_name("E", &[0, 1]).unwrap();
+        a.insert_by_name("P", &[0]).unwrap();
+        let mut b = Structure::new(voc, 3);
+        b.insert_by_name("E", &[0, 1]).unwrap();
+        b.insert_by_name("E", &[1, 2]).unwrap();
+        b.insert_by_name("P", &[0]).unwrap();
+        let (a2, b2) = make_coherent(&a, &b);
+        assert!(is_coherent(&a2, &b2));
+        // Homomorphisms are exactly preserved: h(0)=0, h(1)=1 works both
+        // before and after; h(0)=1 fails both (P(0) needs image in {0}).
+        assert!(is_homomorphism(&[0, 1], &a, &b));
+        assert!(is_homomorphism(&[0, 1], &a2, &b2));
+        assert!(!is_homomorphism(&[1, 2], &a, &b));
+        assert!(!is_homomorphism(&[1, 2], &a2, &b2));
+        let p1 = CspInstance::from_homomorphism(&a, &b).unwrap();
+        let p2 = CspInstance::from_homomorphism(&a2, &b2).unwrap();
+        assert_eq!(
+            p1.count_solutions_brute_force(),
+            p2.count_solutions_brute_force()
+        );
+    }
+
+    #[test]
+    fn empty_instances() {
+        let p = CspInstance::new(0, 3);
+        assert!(p.solve_brute_force().is_some());
+        let p = CspInstance::new(2, 0);
+        assert!(p.solve_brute_force().is_none());
+        let p = CspInstance::new(3, 2); // no constraints: first assignment wins
+        assert_eq!(p.solve_brute_force().unwrap(), vec![0, 0, 0]);
+        assert_eq!(p.count_solutions_brute_force(), 8);
+    }
+}

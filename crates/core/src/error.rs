@@ -1,0 +1,123 @@
+//! Error type shared by the core data model.
+
+use std::fmt;
+
+/// Errors raised while constructing or combining core objects.
+///
+/// Every constructor in this crate validates its inputs eagerly so that
+/// downstream algorithms can assume well-formedness (correct arities,
+/// in-range domain elements, matching vocabularies) without re-checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A tuple was inserted into a relation with the wrong number of fields.
+    ArityMismatch {
+        /// Relation symbol name involved.
+        symbol: String,
+        /// Arity declared in the vocabulary.
+        expected: usize,
+        /// Arity of the offending tuple.
+        got: usize,
+    },
+    /// A tuple referenced a domain element `>= domain_size`.
+    ElementOutOfRange {
+        /// Offending element.
+        element: u32,
+        /// Domain size of the structure.
+        domain_size: usize,
+    },
+    /// A relation symbol name was declared twice in one vocabulary.
+    DuplicateSymbol(String),
+    /// A symbol was looked up that the vocabulary does not contain.
+    UnknownSymbol(String),
+    /// Two objects over different vocabularies were combined.
+    VocabularyMismatch,
+    /// A constraint scope referenced a variable `>= num_vars`.
+    VariableOutOfRange {
+        /// Offending variable.
+        variable: u32,
+        /// Number of variables of the instance.
+        num_vars: usize,
+    },
+    /// A constraint's relation arity does not match its scope length.
+    ScopeArityMismatch {
+        /// Scope length.
+        scope_len: usize,
+        /// Relation arity.
+        arity: usize,
+    },
+    /// An operation required a non-empty domain.
+    EmptyDomain,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ArityMismatch {
+                symbol,
+                expected,
+                got,
+            } => write!(
+                f,
+                "arity mismatch for symbol `{symbol}`: expected {expected}, got {got}"
+            ),
+            CoreError::ElementOutOfRange {
+                element,
+                domain_size,
+            } => write!(
+                f,
+                "domain element {element} out of range for domain of size {domain_size}"
+            ),
+            CoreError::DuplicateSymbol(name) => {
+                write!(f, "relation symbol `{name}` declared twice")
+            }
+            CoreError::UnknownSymbol(name) => write!(f, "unknown relation symbol `{name}`"),
+            CoreError::VocabularyMismatch => write!(f, "objects use different vocabularies"),
+            CoreError::VariableOutOfRange { variable, num_vars } => write!(
+                f,
+                "variable {variable} out of range for instance with {num_vars} variables"
+            ),
+            CoreError::ScopeArityMismatch { scope_len, arity } => write!(
+                f,
+                "constraint scope of length {scope_len} paired with relation of arity {arity}"
+            ),
+            CoreError::EmptyDomain => write!(f, "operation requires a non-empty domain"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenient result alias for core operations.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CoreError::ArityMismatch {
+            symbol: "E".into(),
+            expected: 2,
+            got: 3,
+        };
+        assert!(e.to_string().contains("E"));
+        assert!(e.to_string().contains('2'));
+        assert!(e.to_string().contains('3'));
+
+        let e = CoreError::ElementOutOfRange {
+            element: 7,
+            domain_size: 3,
+        };
+        assert!(e.to_string().contains('7'));
+
+        let e = CoreError::UnknownSymbol("R".into());
+        assert!(e.to_string().contains('R'));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&CoreError::VocabularyMismatch);
+    }
+}

@@ -1,0 +1,189 @@
+//! Standard graph-shaped structures used throughout the paper's examples:
+//! cliques `K_k` (whose CSP is k-colorability), cycles, paths, and helpers
+//! for encoding undirected graphs as symmetric directed-edge structures.
+
+use crate::structure::Structure;
+use crate::vocabulary::Vocabulary;
+use std::sync::Arc;
+
+/// The single-binary-relation vocabulary `{E/2}` used for (di)graphs.
+pub fn graph_vocabulary() -> Arc<Vocabulary> {
+    Vocabulary::new([("E", 2)]).expect("static vocabulary is valid")
+}
+
+/// Builds a directed graph structure from an edge list.
+///
+/// # Panics
+///
+/// Panics if an endpoint is `>= n` (caller bug in tests/examples).
+pub fn digraph(n: usize, edges: &[(u32, u32)]) -> Structure {
+    let mut s = Structure::new(graph_vocabulary(), n);
+    for &(u, v) in edges {
+        s.insert_by_name("E", &[u, v]).expect("endpoints in range");
+    }
+    s
+}
+
+/// Builds an undirected graph: every edge is inserted in both directions.
+///
+/// # Panics
+///
+/// Panics if an endpoint is `>= n`.
+pub fn undirected(n: usize, edges: &[(u32, u32)]) -> Structure {
+    let mut s = Structure::new(graph_vocabulary(), n);
+    for &(u, v) in edges {
+        s.insert_by_name("E", &[u, v]).expect("endpoints in range");
+        s.insert_by_name("E", &[v, u]).expect("endpoints in range");
+    }
+    s
+}
+
+/// The clique `K_k` with all loops omitted, as an undirected structure.
+/// `CSP(K_k)` is the k-colorability problem (Section 3).
+pub fn clique(k: usize) -> Structure {
+    let mut s = Structure::new(graph_vocabulary(), k);
+    for u in 0..k as u32 {
+        for v in 0..k as u32 {
+            if u != v {
+                s.insert_by_name("E", &[u, v]).expect("in range");
+            }
+        }
+    }
+    s
+}
+
+/// The undirected cycle `C_n` (`n >= 3`); odd cycles are the canonical
+/// non-2-colorable inputs of the Section 4 Datalog example.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Structure {
+    assert!(n >= 3, "cycles need at least 3 vertices");
+    let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+    undirected(n, &edges)
+}
+
+/// The undirected path with `n` vertices (`n - 1` edges).
+pub fn path(n: usize) -> Structure {
+    let edges: Vec<(u32, u32)> = (1..n as u32).map(|i| (i - 1, i)).collect();
+    undirected(n, &edges)
+}
+
+/// The directed path with `n` vertices: edges `i -> i+1` only.
+pub fn directed_path(n: usize) -> Structure {
+    let edges: Vec<(u32, u32)> = (1..n as u32).map(|i| (i - 1, i)).collect();
+    digraph(n, &edges)
+}
+
+/// A complete bipartite graph `K_{m,n}` as an undirected structure.
+pub fn complete_bipartite(m: usize, n: usize) -> Structure {
+    let edges: Vec<(u32, u32)> = (0..m as u32)
+        .flat_map(|u| (0..n as u32).map(move |v| (u, m as u32 + v)))
+        .collect();
+    undirected(m + n, &edges)
+}
+
+/// Tests whether an `{E/2}`-structure is symmetric and loop-free, i.e.
+/// encodes a simple undirected graph.
+pub fn is_undirected_simple(s: &Structure) -> bool {
+    let e = match s.relation_by_name("E") {
+        Ok(r) => r,
+        Err(_) => return false,
+    };
+    e.iter().all(|t| t[0] != t[1] && e.contains(&[t[1], t[0]]))
+}
+
+/// 2-colorability (bipartiteness) check by BFS; `None` if not bipartite,
+/// otherwise a witness 2-coloring. Works on any `{E/2}`-structure, treating
+/// edges as undirected; loops make the graph non-bipartite.
+pub fn two_coloring(s: &Structure) -> Option<Vec<u32>> {
+    let n = s.domain_size();
+    let e = s.relation_by_name("E").ok()?;
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for t in e.iter() {
+        if t[0] == t[1] {
+            return None; // a loop admits no proper coloring
+        }
+        adj[t[0] as usize].push(t[1]);
+        adj[t[1] as usize].push(t[0]);
+    }
+    let mut color = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n {
+        if color[start] != u32::MAX {
+            continue;
+        }
+        color[start] = 0;
+        queue.push_back(start as u32);
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u as usize] {
+                if color[v as usize] == u32::MAX {
+                    color[v as usize] = 1 - color[u as usize];
+                    queue.push_back(v);
+                } else if color[v as usize] == color[u as usize] {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(color)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::homomorphism::is_homomorphism;
+
+    #[test]
+    fn clique_edge_count() {
+        assert_eq!(clique(3).fact_count(), 6);
+        assert_eq!(clique(4).fact_count(), 12);
+        assert!(is_undirected_simple(&clique(5)));
+    }
+
+    #[test]
+    fn cycles_and_colorings() {
+        assert!(two_coloring(&cycle(4)).is_some());
+        assert!(two_coloring(&cycle(5)).is_none());
+        assert!(two_coloring(&cycle(6)).is_some());
+        assert!(two_coloring(&path(7)).is_some());
+        assert!(two_coloring(&clique(3)).is_none());
+        assert!(two_coloring(&complete_bipartite(3, 4)).is_some());
+    }
+
+    #[test]
+    fn two_coloring_is_a_homomorphism_to_k2() {
+        let g = cycle(6);
+        let coloring = two_coloring(&g).unwrap();
+        assert!(is_homomorphism(&coloring, &g, &clique(2)));
+    }
+
+    #[test]
+    fn loops_break_bipartiteness() {
+        let g = digraph(2, &[(0, 0)]);
+        assert!(two_coloring(&g).is_none());
+        assert!(!is_undirected_simple(&g));
+    }
+
+    #[test]
+    fn empty_graph_is_bipartite() {
+        let g = digraph(4, &[]);
+        assert_eq!(two_coloring(&g).unwrap(), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn odd_cycle_maps_to_k3_not_k2() {
+        let c5 = cycle(5);
+        // 5-cycle 3-colorable: 0,1,0,1,2.
+        assert!(is_homomorphism(&[0, 1, 0, 1, 2], &c5, &clique(3)));
+    }
+
+    #[test]
+    fn directed_path_shape() {
+        let p = directed_path(3);
+        let e = p.relation_by_name("E").unwrap();
+        assert_eq!(e.len(), 2);
+        assert!(e.contains(&[0, 1]) && e.contains(&[1, 2]));
+    }
+}

@@ -1,0 +1,302 @@
+//! Homomorphisms and partial homomorphisms between structures.
+//!
+//! A homomorphism `h : A -> B` maps the domain of **A** to the domain of
+//! **B** so that every fact of **A** is mapped to a fact of **B**
+//! (footnote 1 of the paper). Partial homomorphisms — the configurations
+//! of the existential k-pebble game of Section 4 — are finite partial
+//! functions whose graph respects all facts of **A** that lie entirely
+//! inside their domain.
+
+use crate::structure::Structure;
+
+/// Checks that `h` (given as `h[a] = b` for every element `a` of `A`) is a
+/// homomorphism from `a` to `b`.
+///
+/// # Panics
+///
+/// Panics if `h.len() != a.domain_size()` or if `h` maps outside the
+/// domain of `b` (caller bugs, not data errors).
+pub fn is_homomorphism(h: &[u32], a: &Structure, b: &Structure) -> bool {
+    assert_eq!(h.len(), a.domain_size(), "mapping must be total on A");
+    assert!(
+        h.iter().all(|&x| (x as usize) < b.domain_size()),
+        "mapping must land inside B"
+    );
+    assert_eq!(a.vocabulary(), b.vocabulary(), "vocabularies must match");
+    let mut image = Vec::new();
+    for (id, rel) in a.relations() {
+        let target = b.relation(id);
+        for t in rel.iter() {
+            image.clear();
+            image.extend(t.iter().map(|&x| h[x as usize]));
+            if !target.contains(&image) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// A partial homomorphism, stored as a sorted association list
+/// `(element of A, element of B)` keyed by the first component.
+///
+/// The sorted representation makes equality, hashing, and subset tests
+/// canonical, which the pebble-game fixpoint computation relies on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct PartialHom {
+    pairs: Vec<(u32, u32)>,
+}
+
+impl PartialHom {
+    /// The empty partial map.
+    pub fn empty() -> Self {
+        PartialHom { pairs: Vec::new() }
+    }
+
+    /// Builds a partial map from pairs.
+    ///
+    /// Returns `None` if the pairs are not functional (same source mapped
+    /// to two targets) — this is exactly losing condition 1 of the
+    /// existential pebble game.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (u32, u32)>) -> Option<Self> {
+        let mut v: Vec<(u32, u32)> = pairs.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        for w in v.windows(2) {
+            if w[0].0 == w[1].0 {
+                return None; // same source, different targets
+            }
+        }
+        Some(PartialHom { pairs: v })
+    }
+
+    /// Number of elements in the domain of the map.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if the map is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Looks up the image of `a`.
+    pub fn get(&self, a: u32) -> Option<u32> {
+        self.pairs
+            .binary_search_by_key(&a, |&(x, _)| x)
+            .ok()
+            .map(|i| self.pairs[i].1)
+    }
+
+    /// True if `a` is in the domain.
+    pub fn is_defined_on(&self, a: u32) -> bool {
+        self.get(a).is_some()
+    }
+
+    /// Iterates over `(source, target)` pairs in source order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.pairs.iter().copied()
+    }
+
+    /// The domain of the map, in increasing order.
+    pub fn sources(&self) -> impl Iterator<Item = u32> + '_ {
+        self.pairs.iter().map(|&(a, _)| a)
+    }
+
+    /// Extends the map with `a -> b`.
+    ///
+    /// Returns `None` if `a` is already mapped to a different element.
+    /// Extending with an existing pair returns a clone.
+    pub fn extended(&self, a: u32, b: u32) -> Option<PartialHom> {
+        match self.get(a) {
+            Some(existing) if existing == b => Some(self.clone()),
+            Some(_) => None,
+            None => {
+                let mut pairs = self.pairs.clone();
+                let pos = pairs.partition_point(|&(x, _)| x < a);
+                pairs.insert(pos, (a, b));
+                Some(PartialHom { pairs })
+            }
+        }
+    }
+
+    /// Restriction of the map to sources in `keep`.
+    pub fn restricted(&self, keep: impl Fn(u32) -> bool) -> PartialHom {
+        PartialHom {
+            pairs: self.pairs.iter().copied().filter(|&(a, _)| keep(a)).collect(),
+        }
+    }
+
+    /// All restrictions obtained by dropping exactly one pair.
+    pub fn drop_each(&self) -> impl Iterator<Item = PartialHom> + '_ {
+        (0..self.pairs.len()).map(move |i| {
+            let mut pairs = self.pairs.clone();
+            pairs.remove(i);
+            PartialHom { pairs }
+        })
+    }
+
+    /// True if `self`'s graph is a subset of `other`'s graph.
+    pub fn is_subfunction_of(&self, other: &PartialHom) -> bool {
+        self.pairs.iter().all(|&(a, b)| other.get(a) == Some(b))
+    }
+
+    /// Checks the partial-homomorphism condition: every fact of `a` whose
+    /// entries all lie in the domain of the map has its image as a fact of
+    /// `b` (losing condition 2 of the pebble game, negated).
+    pub fn is_partial_homomorphism(&self, a: &Structure, b: &Structure) -> bool {
+        debug_assert_eq!(a.vocabulary(), b.vocabulary());
+        let mut image = Vec::new();
+        for (id, rel) in a.relations() {
+            let target = b.relation(id);
+            'tuples: for t in rel.iter() {
+                image.clear();
+                for &x in t {
+                    match self.get(x) {
+                        Some(y) => image.push(y),
+                        None => continue 'tuples, // fact not inside the domain
+                    }
+                }
+                if !target.contains(&image) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Converts a total mapping into a `PartialHom` on the whole domain.
+    pub fn from_total(h: &[u32]) -> PartialHom {
+        PartialHom {
+            pairs: h.iter().enumerate().map(|(a, &b)| (a as u32, b)).collect(),
+        }
+    }
+
+    /// If the map is total on `0..n`, returns the dense vector form.
+    pub fn to_total(&self, n: usize) -> Option<Vec<u32>> {
+        if self.pairs.len() != n {
+            return None;
+        }
+        let mut out = vec![0u32; n];
+        for (i, &(a, b)) in self.pairs.iter().enumerate() {
+            if a as usize != i {
+                return None;
+            }
+            out[i] = b;
+        }
+        Some(out)
+    }
+}
+
+/// Composes two total homomorphisms: `(g ∘ h)[x] = g[h[x]]`.
+///
+/// # Panics
+///
+/// Panics if an image of `h` is out of range for `g`.
+pub fn compose(h: &[u32], g: &[u32]) -> Vec<u32> {
+    h.iter().map(|&x| g[x as usize]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocabulary::Vocabulary;
+
+    fn graph(n: usize, edges: &[(u32, u32)]) -> Structure {
+        let voc = Vocabulary::new([("E", 2)]).unwrap();
+        let mut s = Structure::new(voc, n);
+        for &(u, v) in edges {
+            s.insert_by_name("E", &[u, v]).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn total_homomorphism_check() {
+        // Path 0->1->2 maps into edge 0->1 with h = [0,1,0]? 1->2 maps to 1->0: no.
+        let a = graph(3, &[(0, 1), (1, 2)]);
+        let b = graph(2, &[(0, 1), (1, 0)]);
+        assert!(is_homomorphism(&[0, 1, 0], &a, &b));
+        let b2 = graph(2, &[(0, 1)]);
+        assert!(!is_homomorphism(&[0, 1, 0], &a, &b2));
+    }
+
+    #[test]
+    fn from_pairs_rejects_non_functions() {
+        assert!(PartialHom::from_pairs([(0, 1), (0, 2)]).is_none());
+        assert!(PartialHom::from_pairs([(0, 1), (0, 1)]).is_some());
+        // Non-injective maps are fine (homomorphisms need not be injective).
+        assert!(PartialHom::from_pairs([(0, 1), (2, 1)]).is_some());
+    }
+
+    #[test]
+    fn extend_and_restrict() {
+        let f = PartialHom::from_pairs([(1, 0), (3, 2)]).unwrap();
+        let g = f.extended(2, 5).unwrap();
+        assert_eq!(g.get(2), Some(5));
+        assert_eq!(g.len(), 3);
+        assert!(f.extended(1, 9).is_none());
+        assert_eq!(f.extended(1, 0).unwrap(), f);
+        let r = g.restricted(|a| a != 3);
+        assert_eq!(r.len(), 2);
+        assert!(r.is_defined_on(1) && r.is_defined_on(2));
+        assert!(r.is_subfunction_of(&g));
+        assert!(!g.is_subfunction_of(&r));
+    }
+
+    #[test]
+    fn drop_each_yields_all_subfunctions_of_size_minus_one() {
+        let f = PartialHom::from_pairs([(0, 0), (1, 1), (2, 0)]).unwrap();
+        let drops: Vec<_> = f.drop_each().collect();
+        assert_eq!(drops.len(), 3);
+        for d in &drops {
+            assert_eq!(d.len(), 2);
+            assert!(d.is_subfunction_of(&f));
+        }
+    }
+
+    #[test]
+    fn partial_homomorphism_condition() {
+        let a = graph(3, &[(0, 1), (1, 2)]);
+        let b = graph(2, &[(0, 1)]);
+        // {0->0, 1->1} respects the only covered fact 0->1.
+        let f = PartialHom::from_pairs([(0, 0), (1, 1)]).unwrap();
+        assert!(f.is_partial_homomorphism(&a, &b));
+        // {1->1, 2->0} must map edge (1,2) to (1,0), absent from b.
+        let g = PartialHom::from_pairs([(1, 1), (2, 0)]).unwrap();
+        assert!(!g.is_partial_homomorphism(&a, &b));
+        // The empty map vacuously is one.
+        assert!(PartialHom::empty().is_partial_homomorphism(&a, &b));
+    }
+
+    #[test]
+    fn total_roundtrip() {
+        let h = vec![2u32, 0, 1];
+        let f = PartialHom::from_total(&h);
+        assert_eq!(f.to_total(3).unwrap(), h);
+        assert_eq!(f.to_total(2), None);
+        let partial = PartialHom::from_pairs([(0, 1), (2, 2)]).unwrap();
+        assert_eq!(partial.to_total(2), None);
+    }
+
+    #[test]
+    fn composition() {
+        let h = vec![1u32, 0];
+        let g = vec![5u32, 7];
+        assert_eq!(compose(&h, &g), vec![7, 5]);
+    }
+
+    #[test]
+    fn composition_preserves_homomorphism() {
+        let a = graph(3, &[(0, 1), (1, 2)]);
+        let b = graph(2, &[(0, 1), (1, 0)]);
+        let c = graph(2, &[(0, 1), (1, 0)]);
+        let h = [0u32, 1, 0]; // a -> b
+        let g = [1u32, 0]; // b -> c
+        assert!(is_homomorphism(&h, &a, &b));
+        assert!(is_homomorphism(&g, &b, &c));
+        assert!(is_homomorphism(&compose(&h, &g), &a, &c));
+    }
+}

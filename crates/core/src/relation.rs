@@ -1,0 +1,389 @@
+//! Finite relations: sorted, deduplicated tuple stores.
+//!
+//! A [`Relation`] is a set of tuples of fixed arity over domain elements
+//! encoded as `u32`. Tuples are kept sorted lexicographically and
+//! deduplicated, so membership is a binary search and set equality is a
+//! slice comparison. This representation is shared by relational
+//! structures ([`crate::Structure`]) and by CSP constraint relations.
+
+use crate::error::{CoreError, Result};
+use std::fmt;
+
+/// A finite relation of fixed arity over `u32`-encoded domain elements.
+///
+/// Invariants: every tuple has length `arity`, tuples are sorted
+/// lexicographically, and there are no duplicates.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Relation {
+    arity: usize,
+    tuples: Vec<Box<[u32]>>,
+}
+
+impl Relation {
+    /// Creates an empty relation of the given arity.
+    pub fn empty(arity: usize) -> Self {
+        Relation {
+            arity,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Builds a relation from an iterator of tuples, sorting and
+    /// deduplicating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ArityMismatch`] if any tuple has the wrong
+    /// length (the symbol name in the error is a placeholder `_`).
+    pub fn from_tuples<I, T>(arity: usize, tuples: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = T>,
+        T: AsRef<[u32]>,
+    {
+        let mut out: Vec<Box<[u32]>> = Vec::new();
+        for t in tuples {
+            let t = t.as_ref();
+            if t.len() != arity {
+                return Err(CoreError::ArityMismatch {
+                    symbol: "_".into(),
+                    expected: arity,
+                    got: t.len(),
+                });
+            }
+            out.push(t.into());
+        }
+        out.sort_unstable();
+        out.dedup();
+        Ok(Relation { arity, tuples: out })
+    }
+
+    /// The full relation `D^arity` over a domain of the given size.
+    ///
+    /// Used for "no constraint" relations and for test oracles; beware the
+    /// size is `domain_size^arity`.
+    pub fn full(arity: usize, domain_size: usize) -> Self {
+        let mut tuples = Vec::with_capacity(domain_size.pow(arity as u32));
+        let mut current = vec![0u32; arity];
+        if arity == 0 {
+            // A single empty tuple: the nullary "true" relation.
+            return Relation {
+                arity,
+                tuples: vec![Box::from([])],
+            };
+        }
+        if domain_size == 0 {
+            return Relation::empty(arity);
+        }
+        loop {
+            tuples.push(current.clone().into_boxed_slice());
+            // Odometer increment.
+            let mut i = arity;
+            loop {
+                if i == 0 {
+                    return Relation { arity, tuples };
+                }
+                i -= 1;
+                current[i] += 1;
+                if (current[i] as usize) < domain_size {
+                    break;
+                }
+                current[i] = 0;
+            }
+        }
+    }
+
+    /// Arity of the relation.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if the relation has no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Membership test (binary search).
+    #[inline]
+    pub fn contains(&self, tuple: &[u32]) -> bool {
+        debug_assert_eq!(tuple.len(), self.arity);
+        self.tuples
+            .binary_search_by(|probe| probe.as_ref().cmp(tuple))
+            .is_ok()
+    }
+
+    /// Inserts a tuple, keeping the sorted/dedup invariant.
+    ///
+    /// Returns `true` if the tuple was new.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ArityMismatch`] on wrong tuple length.
+    pub fn insert(&mut self, tuple: &[u32]) -> Result<bool> {
+        if tuple.len() != self.arity {
+            return Err(CoreError::ArityMismatch {
+                symbol: "_".into(),
+                expected: self.arity,
+                got: tuple.len(),
+            });
+        }
+        match self
+            .tuples
+            .binary_search_by(|probe| probe.as_ref().cmp(tuple))
+        {
+            Ok(_) => Ok(false),
+            Err(pos) => {
+                self.tuples.insert(pos, tuple.into());
+                Ok(true)
+            }
+        }
+    }
+
+    /// Iterates over tuples in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        self.tuples.iter().map(|t| t.as_ref())
+    }
+
+    /// Maximum element mentioned in any tuple, or `None` if empty/nullary.
+    pub fn max_element(&self) -> Option<u32> {
+        self.tuples
+            .iter()
+            .filter_map(|t| t.iter().copied().max())
+            .max()
+    }
+
+    /// Set intersection with another relation of the same arity.
+    ///
+    /// This implements the constraint-consolidation step of Section 2 of
+    /// the paper: multiple constraints on the same scope intersect.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ScopeArityMismatch`] if arities differ.
+    pub fn intersect(&self, other: &Relation) -> Result<Relation> {
+        if self.arity != other.arity {
+            return Err(CoreError::ScopeArityMismatch {
+                scope_len: self.arity,
+                arity: other.arity,
+            });
+        }
+        // Merge walk over two sorted tuple lists.
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.tuples.len() && j < other.tuples.len() {
+            match self.tuples[i].cmp(&other.tuples[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.tuples[i].clone());
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        Ok(Relation {
+            arity: self.arity,
+            tuples: out,
+        })
+    }
+
+    /// Set union with another relation of the same arity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ScopeArityMismatch`] if arities differ.
+    pub fn union(&self, other: &Relation) -> Result<Relation> {
+        if self.arity != other.arity {
+            return Err(CoreError::ScopeArityMismatch {
+                scope_len: self.arity,
+                arity: other.arity,
+            });
+        }
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        out.extend(self.tuples.iter().cloned());
+        out.extend(other.tuples.iter().cloned());
+        out.sort_unstable();
+        out.dedup();
+        Ok(Relation {
+            arity: self.arity,
+            tuples: out,
+        })
+    }
+
+    /// Projects the relation onto the given column indices (in the given
+    /// order, duplicates allowed), deduplicating the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a column index is out of range.
+    pub fn project(&self, columns: &[usize]) -> Relation {
+        let mut out: Vec<Box<[u32]>> = self
+            .tuples
+            .iter()
+            .map(|t| columns.iter().map(|&c| t[c]).collect())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        Relation {
+            arity: columns.len(),
+            tuples: out,
+        }
+    }
+
+    /// Keeps only tuples where columns `i` and `j` agree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn select_eq(&self, i: usize, j: usize) -> Relation {
+        assert!(i < self.arity && j < self.arity, "column out of range");
+        Relation {
+            arity: self.arity,
+            tuples: self
+                .tuples
+                .iter()
+                .filter(|t| t[i] == t[j])
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Keeps only tuples satisfying the predicate.
+    pub fn filter(&self, mut keep: impl FnMut(&[u32]) -> bool) -> Relation {
+        Relation {
+            arity: self.arity,
+            tuples: self.tuples.iter().filter(|t| keep(t)).cloned().collect(),
+        }
+    }
+
+    /// True if `self ⊆ other` (same arity assumed).
+    pub fn is_subset_of(&self, other: &Relation) -> bool {
+        self.iter().all(|t| other.contains(t))
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.tuples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "(")?;
+            for (j, x) in t.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{x}")?;
+            }
+            write!(f, ")")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(arity: usize, ts: &[&[u32]]) -> Relation {
+        Relation::from_tuples(arity, ts.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn from_tuples_sorts_and_dedups() {
+        let r = rel(2, &[&[1, 0], &[0, 1], &[1, 0]]);
+        assert_eq!(r.len(), 2);
+        let ts: Vec<_> = r.iter().collect();
+        assert_eq!(ts, vec![&[0u32, 1][..], &[1, 0]]);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        assert!(Relation::from_tuples(2, [&[1u32, 2, 3][..]]).is_err());
+        let mut r = Relation::empty(2);
+        assert!(r.insert(&[1]).is_err());
+    }
+
+    #[test]
+    fn contains_and_insert() {
+        let mut r = Relation::empty(2);
+        assert!(!r.contains(&[0, 1]));
+        assert!(r.insert(&[0, 1]).unwrap());
+        assert!(!r.insert(&[0, 1]).unwrap());
+        assert!(r.contains(&[0, 1]));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn full_relation_has_expected_size() {
+        let r = Relation::full(2, 3);
+        assert_eq!(r.len(), 9);
+        assert!(r.contains(&[2, 2]));
+        assert!(r.contains(&[0, 0]));
+        let r = Relation::full(3, 2);
+        assert_eq!(r.len(), 8);
+        // degenerate cases
+        assert_eq!(Relation::full(0, 5).len(), 1);
+        assert_eq!(Relation::full(2, 0).len(), 0);
+    }
+
+    #[test]
+    fn intersect_is_set_intersection() {
+        let a = rel(2, &[&[0, 0], &[0, 1], &[1, 1]]);
+        let b = rel(2, &[&[0, 1], &[1, 0], &[1, 1]]);
+        let c = a.intersect(&b).unwrap();
+        assert_eq!(c, rel(2, &[&[0, 1], &[1, 1]]));
+        assert!(a.intersect(&Relation::empty(3)).is_err());
+    }
+
+    #[test]
+    fn union_is_set_union() {
+        let a = rel(1, &[&[0], &[2]]);
+        let b = rel(1, &[&[1], &[2]]);
+        assert_eq!(a.union(&b).unwrap(), rel(1, &[&[0], &[1], &[2]]));
+    }
+
+    #[test]
+    fn project_reorders_and_dedups() {
+        let r = rel(3, &[&[0, 1, 2], &[0, 1, 3], &[4, 5, 6]]);
+        let p = r.project(&[1, 0]);
+        assert_eq!(p, rel(2, &[&[1, 0], &[5, 4]]));
+        let dup = r.project(&[0, 0]);
+        assert_eq!(dup, rel(2, &[&[0, 0], &[4, 4]]));
+    }
+
+    #[test]
+    fn select_eq_keeps_diagonal() {
+        let r = rel(2, &[&[0, 0], &[0, 1], &[1, 1]]);
+        assert_eq!(r.select_eq(0, 1), rel(2, &[&[0, 0], &[1, 1]]));
+    }
+
+    #[test]
+    fn subset_check() {
+        let a = rel(1, &[&[0]]);
+        let b = rel(1, &[&[0], &[1]]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(Relation::empty(1).is_subset_of(&a));
+    }
+
+    #[test]
+    fn max_element() {
+        assert_eq!(rel(2, &[&[0, 7], &[3, 1]]).max_element(), Some(7));
+        assert_eq!(Relation::empty(2).max_element(), None);
+    }
+
+    #[test]
+    fn display_format() {
+        let r = rel(2, &[&[0, 1], &[1, 0]]);
+        assert_eq!(r.to_string(), "{(0,1), (1,0)}");
+    }
+}

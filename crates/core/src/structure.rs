@@ -1,0 +1,362 @@
+//! Finite relational structures.
+//!
+//! A [`Structure`] interprets every symbol of a shared [`Vocabulary`] by a
+//! [`Relation`] over a finite domain `{0, 1, ..., domain_size - 1}`. Both
+//! sides of the homomorphism problem — the "variable" structure **A** and
+//! the "value" structure **B** of the paper — are `Structure`s.
+
+use crate::error::{CoreError, Result};
+use crate::relation::Relation;
+use crate::vocabulary::{RelId, Vocabulary};
+use std::fmt;
+use std::sync::Arc;
+
+/// A finite relational structure over a fixed vocabulary.
+///
+/// Invariants: `relations.len() == voc.len()`, relation `i` has the arity
+/// declared for symbol `i`, and every tuple element is `< domain_size`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Structure {
+    voc: Arc<Vocabulary>,
+    domain_size: usize,
+    relations: Vec<Relation>,
+}
+
+impl Structure {
+    /// Creates a structure with all relations empty.
+    pub fn new(voc: Arc<Vocabulary>, domain_size: usize) -> Self {
+        let relations = voc.ids().map(|id| Relation::empty(voc.arity(id))).collect();
+        Structure {
+            voc,
+            domain_size,
+            relations,
+        }
+    }
+
+    /// The vocabulary of the structure.
+    #[inline]
+    pub fn vocabulary(&self) -> &Arc<Vocabulary> {
+        &self.voc
+    }
+
+    /// Size of the domain `{0, ..., n-1}`.
+    #[inline]
+    pub fn domain_size(&self) -> usize {
+        self.domain_size
+    }
+
+    /// Iterator over all domain elements.
+    pub fn domain(&self) -> impl Iterator<Item = u32> {
+        0..self.domain_size as u32
+    }
+
+    /// Inserts a fact `R(t)`.
+    ///
+    /// # Errors
+    ///
+    /// Arity and range are validated.
+    pub fn insert(&mut self, rel: RelId, tuple: &[u32]) -> Result<bool> {
+        let arity = self.voc.arity(rel);
+        if tuple.len() != arity {
+            return Err(CoreError::ArityMismatch {
+                symbol: self.voc.name(rel).to_owned(),
+                expected: arity,
+                got: tuple.len(),
+            });
+        }
+        for &x in tuple {
+            if x as usize >= self.domain_size {
+                return Err(CoreError::ElementOutOfRange {
+                    element: x,
+                    domain_size: self.domain_size,
+                });
+            }
+        }
+        self.relations[rel.index()].insert(tuple)
+    }
+
+    /// Inserts a fact by symbol name.
+    ///
+    /// # Errors
+    ///
+    /// Unknown names, arity, and range are validated.
+    pub fn insert_by_name(&mut self, name: &str, tuple: &[u32]) -> Result<bool> {
+        let id = self.voc.id(name)?;
+        self.insert(id, tuple)
+    }
+
+    /// Replaces the whole interpretation of a symbol.
+    ///
+    /// # Errors
+    ///
+    /// Validates arity and element range.
+    pub fn set_relation(&mut self, rel: RelId, relation: Relation) -> Result<()> {
+        let arity = self.voc.arity(rel);
+        if relation.arity() != arity {
+            return Err(CoreError::ArityMismatch {
+                symbol: self.voc.name(rel).to_owned(),
+                expected: arity,
+                got: relation.arity(),
+            });
+        }
+        if let Some(m) = relation.max_element() {
+            if m as usize >= self.domain_size {
+                return Err(CoreError::ElementOutOfRange {
+                    element: m,
+                    domain_size: self.domain_size,
+                });
+            }
+        }
+        self.relations[rel.index()] = relation;
+        Ok(())
+    }
+
+    /// The interpretation of a symbol.
+    #[inline]
+    pub fn relation(&self, rel: RelId) -> &Relation {
+        &self.relations[rel.index()]
+    }
+
+    /// The interpretation of a symbol looked up by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownSymbol`] for unknown names.
+    pub fn relation_by_name(&self, name: &str) -> Result<&Relation> {
+        Ok(self.relation(self.voc.id(name)?))
+    }
+
+    /// Iterates over `(RelId, &Relation)` pairs.
+    pub fn relations(&self) -> impl Iterator<Item = (RelId, &Relation)> + '_ {
+        self.voc.ids().map(move |id| (id, self.relation(id)))
+    }
+
+    /// Total number of facts (tuples across all relations).
+    pub fn fact_count(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+
+    /// Size measure `|domain| + #facts` used for complexity accounting.
+    pub fn size(&self) -> usize {
+        self.domain_size + self.fact_count()
+    }
+
+    /// True if all relations are empty.
+    pub fn has_no_facts(&self) -> bool {
+        self.relations.iter().all(Relation::is_empty)
+    }
+
+    /// The substructure induced by a set of elements: keeps only tuples all
+    /// of whose entries are in `elements`, *without renaming* (domain size
+    /// is unchanged). Used by pebble-game semantics where configurations
+    /// refer to original element ids.
+    pub fn induced_facts(&self, elements: &[u32]) -> Structure {
+        let mut member = vec![false; self.domain_size];
+        for &e in elements {
+            member[e as usize] = true;
+        }
+        let mut out = Structure::new(self.voc.clone(), self.domain_size);
+        for (id, rel) in self.relations() {
+            let filtered = rel.filter(|t| t.iter().all(|&x| member[x as usize]));
+            out.relations[id.index()] = filtered;
+        }
+        out
+    }
+
+    /// Disjoint union of two structures over the same vocabulary; the
+    /// second structure's elements are shifted by `self.domain_size()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::VocabularyMismatch`] if vocabularies differ.
+    pub fn disjoint_union(&self, other: &Structure) -> Result<Structure> {
+        if self.voc != other.voc {
+            return Err(CoreError::VocabularyMismatch);
+        }
+        let shift = self.domain_size as u32;
+        let mut out = Structure::new(self.voc.clone(), self.domain_size + other.domain_size);
+        for (id, rel) in self.relations() {
+            for t in rel.iter() {
+                out.insert(id, t)?;
+            }
+        }
+        let mut shifted = Vec::new();
+        for (id, rel) in other.relations() {
+            for t in rel.iter() {
+                shifted.clear();
+                shifted.extend(t.iter().map(|&x| x + shift));
+                out.insert(id, &shifted)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Direct product of two structures over the same vocabulary: domain is
+    /// the cartesian product (encoded as `a * other.domain_size + b`) and a
+    /// tuple is in a product relation iff both projections are facts.
+    ///
+    /// Products are the canonical "and" construction for homomorphisms:
+    /// `hom(X, A×B)` iff `hom(X, A)` and `hom(X, B)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::VocabularyMismatch`] if vocabularies differ.
+    pub fn product(&self, other: &Structure) -> Result<Structure> {
+        if self.voc != other.voc {
+            return Err(CoreError::VocabularyMismatch);
+        }
+        let n2 = other.domain_size as u32;
+        let mut out = Structure::new(self.voc.clone(), self.domain_size * other.domain_size);
+        let mut tuple = Vec::new();
+        for (id, rel) in self.relations() {
+            let rel2 = other.relation(id);
+            for t1 in rel.iter() {
+                for t2 in rel2.iter() {
+                    tuple.clear();
+                    tuple.extend(t1.iter().zip(t2.iter()).map(|(&a, &b)| a * n2 + b));
+                    out.insert(id, &tuple)?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Renames the domain through `map` (not necessarily injective),
+    /// producing a structure with domain size `new_size`. The image of
+    /// every fact becomes a fact — i.e. this is the homomorphic image.
+    ///
+    /// # Errors
+    ///
+    /// Validates that mapped elements are `< new_size`.
+    pub fn map_domain(&self, map: &[u32], new_size: usize) -> Result<Structure> {
+        assert_eq!(map.len(), self.domain_size, "map must cover the domain");
+        let mut out = Structure::new(self.voc.clone(), new_size);
+        let mut tuple = Vec::new();
+        for (id, rel) in self.relations() {
+            for t in rel.iter() {
+                tuple.clear();
+                tuple.extend(t.iter().map(|&x| map[x as usize]));
+                out.insert(id, &tuple)?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "structure over {} with |domain| = {}", self.voc, self.domain_size)?;
+        for (id, rel) in self.relations() {
+            writeln!(f, "  {} = {}", self.voc.name(id), rel)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocabulary::Vocabulary;
+
+    fn graph_voc() -> Arc<Vocabulary> {
+        Vocabulary::new([("E", 2)]).unwrap()
+    }
+
+    #[test]
+    fn insert_and_query_facts() {
+        let mut s = Structure::new(graph_voc(), 3);
+        assert!(s.insert_by_name("E", &[0, 1]).unwrap());
+        assert!(!s.insert_by_name("E", &[0, 1]).unwrap());
+        assert!(s.relation_by_name("E").unwrap().contains(&[0, 1]));
+        assert_eq!(s.fact_count(), 1);
+        assert_eq!(s.size(), 4);
+    }
+
+    #[test]
+    fn out_of_range_and_arity_rejected() {
+        let mut s = Structure::new(graph_voc(), 2);
+        assert!(matches!(
+            s.insert_by_name("E", &[0, 5]),
+            Err(CoreError::ElementOutOfRange { .. })
+        ));
+        assert!(matches!(
+            s.insert_by_name("E", &[0]),
+            Err(CoreError::ArityMismatch { .. })
+        ));
+        assert!(s.insert_by_name("X", &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn set_relation_validates() {
+        let mut s = Structure::new(graph_voc(), 2);
+        let ok = Relation::from_tuples(2, [[0u32, 1]]).unwrap();
+        s.set_relation(s.voc.id("E").unwrap(), ok).unwrap();
+        let bad_arity = Relation::from_tuples(3, [[0u32, 1, 1]]).unwrap();
+        assert!(s.set_relation(s.voc.id("E").unwrap(), bad_arity).is_err());
+        let bad_range = Relation::from_tuples(2, [[0u32, 9]]).unwrap();
+        assert!(s.set_relation(s.voc.id("E").unwrap(), bad_range).is_err());
+    }
+
+    #[test]
+    fn induced_facts_filters() {
+        let mut s = Structure::new(graph_voc(), 4);
+        s.insert_by_name("E", &[0, 1]).unwrap();
+        s.insert_by_name("E", &[1, 2]).unwrap();
+        s.insert_by_name("E", &[2, 3]).unwrap();
+        let sub = s.induced_facts(&[0, 1, 2]);
+        let e = sub.relation_by_name("E").unwrap();
+        assert!(e.contains(&[0, 1]));
+        assert!(e.contains(&[1, 2]));
+        assert!(!e.contains(&[2, 3]));
+        assert_eq!(sub.domain_size(), 4); // no renaming
+    }
+
+    #[test]
+    fn disjoint_union_shifts_second() {
+        let mut a = Structure::new(graph_voc(), 2);
+        a.insert_by_name("E", &[0, 1]).unwrap();
+        let mut b = Structure::new(graph_voc(), 2);
+        b.insert_by_name("E", &[1, 0]).unwrap();
+        let u = a.disjoint_union(&b).unwrap();
+        assert_eq!(u.domain_size(), 4);
+        let e = u.relation_by_name("E").unwrap();
+        assert!(e.contains(&[0, 1]));
+        assert!(e.contains(&[3, 2]));
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn product_counts_edges() {
+        // K2 x K2 (directed both ways) has 2*... each edge pair combines.
+        let mut k2 = Structure::new(graph_voc(), 2);
+        k2.insert_by_name("E", &[0, 1]).unwrap();
+        k2.insert_by_name("E", &[1, 0]).unwrap();
+        let p = k2.product(&k2).unwrap();
+        assert_eq!(p.domain_size(), 4);
+        assert_eq!(p.relation_by_name("E").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn map_domain_takes_homomorphic_image() {
+        let mut path = Structure::new(graph_voc(), 3);
+        path.insert_by_name("E", &[0, 1]).unwrap();
+        path.insert_by_name("E", &[1, 2]).unwrap();
+        // Fold endpoints together: 0,2 -> 0; 1 -> 1.
+        let img = path.map_domain(&[0, 1, 0], 2).unwrap();
+        let e = img.relation_by_name("E").unwrap();
+        assert!(e.contains(&[0, 1]));
+        assert!(e.contains(&[1, 0]));
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn vocabulary_mismatch_detected() {
+        let a = Structure::new(graph_voc(), 1);
+        let other = Structure::new(Vocabulary::new([("F", 2)]).unwrap(), 1);
+        assert_eq!(
+            a.disjoint_union(&other).unwrap_err(),
+            CoreError::VocabularyMismatch
+        );
+        assert_eq!(a.product(&other).unwrap_err(), CoreError::VocabularyMismatch);
+    }
+}

@@ -1,0 +1,196 @@
+//! The `A + B` encoding of a pair of σ-structures as a single structure
+//! over the vocabulary `σ1 + σ2` (Section 4 of the paper).
+//!
+//! For each symbol `R` of σ, the combined vocabulary has `R_1` and `R_2`
+//! of the same arity, plus two new unary symbols `D1` and `D2` marking the
+//! two halves of the domain. Queries on pairs of σ-structures — such as
+//! "does the Spoiler win the existential k-pebble game on **A** and
+//! **B**?" — become ordinary queries on single `σ1 + σ2`-structures, which
+//! is how Theorem 4.5 phrases definability in least fixed-point logic.
+
+use crate::error::{CoreError, Result};
+use crate::structure::Structure;
+use crate::vocabulary::{Vocabulary, VocabularyBuilder};
+use std::sync::Arc;
+
+/// Name of the unary marker for the first half of the domain.
+pub const D1: &str = "D1";
+/// Name of the unary marker for the second half of the domain.
+pub const D2: &str = "D2";
+
+/// Builds the vocabulary `σ1 + σ2` from σ: symbols `R@1` and `R@2` for
+/// each `R` in σ, plus unary `D1` and `D2`.
+///
+/// The `@` separator cannot occur in user-facing symbol names constructed
+/// through [`Vocabulary::new`], so decoding is unambiguous.
+pub fn sum_vocabulary(sigma: &Vocabulary) -> Arc<Vocabulary> {
+    let mut b = VocabularyBuilder::new();
+    for (_, name, arity) in sigma.iter() {
+        b.add(format!("{name}@1"), arity)
+            .expect("suffixed names are unique");
+    }
+    for (_, name, arity) in sigma.iter() {
+        b.add(format!("{name}@2"), arity)
+            .expect("suffixed names are unique");
+    }
+    b.add(D1, 1).expect("D1 is fresh");
+    b.add(D2, 1).expect("D2 is fresh");
+    b.finish()
+}
+
+/// Encodes the pair `(A, B)` as the single structure `A + B` over
+/// `σ1 + σ2` (domain = disjoint union, `B`'s elements shifted by
+/// `A.domain_size()`).
+///
+/// # Errors
+///
+/// Returns [`CoreError::VocabularyMismatch`] if the two structures do not
+/// share a vocabulary.
+pub fn encode_pair(a: &Structure, b: &Structure) -> Result<Structure> {
+    if a.vocabulary() != b.vocabulary() {
+        return Err(CoreError::VocabularyMismatch);
+    }
+    let sigma = a.vocabulary();
+    let voc = sum_vocabulary(sigma);
+    let shift = a.domain_size() as u32;
+    let mut out = Structure::new(voc.clone(), a.domain_size() + b.domain_size());
+    let mut shifted = Vec::new();
+    for (id, rel) in a.relations() {
+        let out_id = voc.id(&format!("{}@1", sigma.name(id)))?;
+        for t in rel.iter() {
+            out.insert(out_id, t)?;
+        }
+    }
+    for (id, rel) in b.relations() {
+        let out_id = voc.id(&format!("{}@2", sigma.name(id)))?;
+        for t in rel.iter() {
+            shifted.clear();
+            shifted.extend(t.iter().map(|&x| x + shift));
+            out.insert(out_id, &shifted)?;
+        }
+    }
+    let d1 = voc.id(D1)?;
+    for x in 0..shift {
+        out.insert(d1, &[x])?;
+    }
+    let d2 = voc.id(D2)?;
+    for x in 0..b.domain_size() as u32 {
+        out.insert(d2, &[x + shift])?;
+    }
+    Ok(out)
+}
+
+/// Decodes `A + B` back into the pair `(A, B)` over the original σ.
+///
+/// # Errors
+///
+/// Returns [`CoreError::UnknownSymbol`] if `encoded`'s vocabulary is not a
+/// sum vocabulary of `sigma`, or element-range errors if the `D1`/`D2`
+/// markers do not split the domain into a prefix and a suffix.
+pub fn decode_pair(encoded: &Structure, sigma: &Arc<Vocabulary>) -> Result<(Structure, Structure)> {
+    let voc = encoded.vocabulary();
+    let d1 = encoded.relation(voc.id(D1)?);
+    let d2 = encoded.relation(voc.id(D2)?);
+    let a_size = d1.len();
+    let b_size = d2.len();
+    // Validate the split: D1 must be exactly {0..a_size}.
+    for (i, t) in d1.iter().enumerate() {
+        if t[0] as usize != i {
+            return Err(CoreError::ElementOutOfRange {
+                element: t[0],
+                domain_size: a_size,
+            });
+        }
+    }
+    for (i, t) in d2.iter().enumerate() {
+        if t[0] as usize != a_size + i {
+            return Err(CoreError::ElementOutOfRange {
+                element: t[0],
+                domain_size: a_size + b_size,
+            });
+        }
+    }
+    let shift = a_size as u32;
+    let mut a = Structure::new(sigma.clone(), a_size);
+    let mut b = Structure::new(sigma.clone(), b_size);
+    let mut unshifted = Vec::new();
+    for (id, name, _) in sigma.iter() {
+        let r1 = encoded.relation(voc.id(&format!("{name}@1"))?);
+        for t in r1.iter() {
+            a.insert(id, t)?;
+        }
+        let r2 = encoded.relation(voc.id(&format!("{name}@2"))?);
+        for t in r2.iter() {
+            unshifted.clear();
+            for &x in t {
+                if x < shift {
+                    return Err(CoreError::ElementOutOfRange {
+                        element: x,
+                        domain_size: b_size,
+                    });
+                }
+                unshifted.push(x - shift);
+            }
+            b.insert(id, &unshifted)?;
+        }
+    }
+    Ok((a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, edges: &[(u32, u32)]) -> Structure {
+        let voc = Vocabulary::new([("E", 2)]).unwrap();
+        let mut s = Structure::new(voc, n);
+        for &(u, v) in edges {
+            s.insert_by_name("E", &[u, v]).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn sum_vocabulary_shape() {
+        let sigma = Vocabulary::new([("E", 2), ("P", 1)]).unwrap();
+        let voc = sum_vocabulary(&sigma);
+        assert_eq!(voc.len(), 2 * 2 + 2);
+        assert_eq!(voc.arity(voc.id("E@1").unwrap()), 2);
+        assert_eq!(voc.arity(voc.id("E@2").unwrap()), 2);
+        assert_eq!(voc.arity(voc.id("D1").unwrap()), 1);
+        assert_eq!(voc.arity(voc.id("D2").unwrap()), 1);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let a = graph(2, &[(0, 1)]);
+        let b = graph(3, &[(0, 1), (1, 2), (2, 0)]);
+        let enc = encode_pair(&a, &b).unwrap();
+        assert_eq!(enc.domain_size(), 5);
+        assert!(enc.relation_by_name("E@1").unwrap().contains(&[0, 1]));
+        assert!(enc.relation_by_name("E@2").unwrap().contains(&[2, 3]));
+        assert_eq!(enc.relation_by_name("D1").unwrap().len(), 2);
+        assert_eq!(enc.relation_by_name("D2").unwrap().len(), 3);
+        let (a2, b2) = decode_pair(&enc, a.vocabulary()).unwrap();
+        assert_eq!(a, a2);
+        assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn encode_rejects_mismatched_vocabularies() {
+        let a = graph(1, &[]);
+        let voc = Vocabulary::new([("F", 2)]).unwrap();
+        let b = Structure::new(voc, 1);
+        assert_eq!(encode_pair(&a, &b).unwrap_err(), CoreError::VocabularyMismatch);
+    }
+
+    #[test]
+    fn empty_sides_roundtrip() {
+        let a = graph(0, &[]);
+        let b = graph(2, &[(0, 1)]);
+        let enc = encode_pair(&a, &b).unwrap();
+        let (a2, b2) = decode_pair(&enc, a.vocabulary()).unwrap();
+        assert_eq!(a2.domain_size(), 0);
+        assert_eq!(b2, b);
+    }
+}

@@ -1,0 +1,265 @@
+//! Relational vocabularies (signatures).
+//!
+//! A vocabulary is a finite list of relation symbols, each with a fixed
+//! arity. Structures, conjunctive queries, and Datalog EDBs are all typed
+//! by a vocabulary. Vocabularies are immutable once built and shared via
+//! [`std::sync::Arc`] so that structures over the same signature can be
+//! compared cheaply by pointer or by content.
+
+use crate::error::{CoreError, Result};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a relation symbol within one [`Vocabulary`].
+///
+/// Indices are dense (`0..voc.len()`), so they can be used to index
+/// per-symbol side tables directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// The dense index of this symbol.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SymbolInfo {
+    name: String,
+    arity: usize,
+}
+
+/// An immutable relational signature: named relation symbols with arities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vocabulary {
+    symbols: Vec<SymbolInfo>,
+    by_name: HashMap<String, RelId>,
+}
+
+impl Vocabulary {
+    /// Builds a vocabulary from `(name, arity)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DuplicateSymbol`] if a name repeats.
+    pub fn new<I, S>(symbols: I) -> Result<Arc<Self>>
+    where
+        I: IntoIterator<Item = (S, usize)>,
+        S: Into<String>,
+    {
+        let mut builder = VocabularyBuilder::new();
+        for (name, arity) in symbols {
+            builder.add(name, arity)?;
+        }
+        Ok(builder.finish())
+    }
+
+    /// Number of relation symbols.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// True if the vocabulary declares no symbols.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Looks up a symbol by name.
+    pub fn id(&self, name: &str) -> Result<RelId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| CoreError::UnknownSymbol(name.to_owned()))
+    }
+
+    /// True if the vocabulary declares `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.by_name.contains_key(name)
+    }
+
+    /// The name of a symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this vocabulary.
+    #[inline]
+    pub fn name(&self, id: RelId) -> &str {
+        &self.symbols[id.index()].name
+    }
+
+    /// The arity of a symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this vocabulary.
+    #[inline]
+    pub fn arity(&self, id: RelId) -> usize {
+        self.symbols[id.index()].arity
+    }
+
+    /// Iterates over `(id, name, arity)` triples in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &str, usize)> + '_ {
+        self.symbols
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (RelId(i as u32), s.name.as_str(), s.arity))
+    }
+
+    /// All symbol ids in declaration order.
+    pub fn ids(&self) -> impl Iterator<Item = RelId> {
+        (0..self.symbols.len() as u32).map(RelId)
+    }
+
+    /// Maximum arity over all symbols (0 for the empty vocabulary).
+    pub fn max_arity(&self) -> usize {
+        self.symbols.iter().map(|s| s.arity).max().unwrap_or(0)
+    }
+
+    /// True if every symbol has arity at most `k` ("k-ary vocabulary" in
+    /// the sense of Definition 5.4 of the paper).
+    pub fn is_k_ary(&self, k: usize) -> bool {
+        self.symbols.iter().all(|s| s.arity <= k)
+    }
+}
+
+impl fmt::Display for Vocabulary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, s) in self.symbols.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}/{}", s.name, s.arity)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Incremental builder for [`Vocabulary`].
+#[derive(Debug, Default)]
+pub struct VocabularyBuilder {
+    symbols: Vec<SymbolInfo>,
+    by_name: HashMap<String, RelId>,
+}
+
+impl VocabularyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a symbol, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DuplicateSymbol`] if the name is taken.
+    pub fn add(&mut self, name: impl Into<String>, arity: usize) -> Result<RelId> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(CoreError::DuplicateSymbol(name));
+        }
+        let id = RelId(self.symbols.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.symbols.push(SymbolInfo { name, arity });
+        Ok(id)
+    }
+
+    /// Adds a symbol if absent; returns the existing id when present with
+    /// the same arity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ArityMismatch`] if the name exists with a
+    /// different arity.
+    pub fn add_or_get(&mut self, name: &str, arity: usize) -> Result<RelId> {
+        if let Some(&id) = self.by_name.get(name) {
+            let declared = self.symbols[id.index()].arity;
+            if declared != arity {
+                return Err(CoreError::ArityMismatch {
+                    symbol: name.to_owned(),
+                    expected: declared,
+                    got: arity,
+                });
+            }
+            return Ok(id);
+        }
+        self.add(name.to_owned(), arity)
+    }
+
+    /// Finalizes the vocabulary.
+    pub fn finish(self) -> Arc<Vocabulary> {
+        Arc::new(Vocabulary {
+            symbols: self.symbols,
+            by_name: self.by_name,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_lookup_roundtrip() {
+        let voc = Vocabulary::new([("E", 2), ("P", 1), ("T", 3)]).unwrap();
+        assert_eq!(voc.len(), 3);
+        let e = voc.id("E").unwrap();
+        assert_eq!(voc.name(e), "E");
+        assert_eq!(voc.arity(e), 2);
+        assert_eq!(voc.arity(voc.id("T").unwrap()), 3);
+        assert!(voc.contains("P"));
+        assert!(!voc.contains("Q"));
+        assert_eq!(voc.max_arity(), 3);
+        assert!(voc.is_k_ary(3));
+        assert!(!voc.is_k_ary(2));
+    }
+
+    #[test]
+    fn duplicate_symbol_rejected() {
+        let err = Vocabulary::new([("E", 2), ("E", 2)]).unwrap_err();
+        assert_eq!(err, CoreError::DuplicateSymbol("E".into()));
+    }
+
+    #[test]
+    fn unknown_symbol_lookup_fails() {
+        let voc = Vocabulary::new([("E", 2)]).unwrap();
+        assert_eq!(voc.id("X").unwrap_err(), CoreError::UnknownSymbol("X".into()));
+    }
+
+    #[test]
+    fn empty_vocabulary() {
+        let voc = Vocabulary::new(std::iter::empty::<(&str, usize)>()).unwrap();
+        assert!(voc.is_empty());
+        assert_eq!(voc.max_arity(), 0);
+        assert!(voc.is_k_ary(0));
+    }
+
+    #[test]
+    fn add_or_get_same_arity_is_idempotent() {
+        let mut b = VocabularyBuilder::new();
+        let a = b.add_or_get("E", 2).unwrap();
+        let c = b.add_or_get("E", 2).unwrap();
+        assert_eq!(a, c);
+        assert!(b.add_or_get("E", 3).is_err());
+    }
+
+    #[test]
+    fn display_lists_symbols() {
+        let voc = Vocabulary::new([("E", 2), ("P", 1)]).unwrap();
+        assert_eq!(voc.to_string(), "{E/2, P/1}");
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let voc = Vocabulary::new([("A", 1), ("B", 2), ("C", 3)]).unwrap();
+        let ids: Vec<_> = voc.ids().collect();
+        assert_eq!(ids, vec![RelId(0), RelId(1), RelId(2)]);
+        let names: Vec<_> = voc.iter().map(|(_, n, _)| n.to_owned()).collect();
+        assert_eq!(names, vec!["A", "B", "C"]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Canonical databases and canonical queries — the two directions of the
+//! Chandra–Merlin correspondence (Propositions 2.2 and 2.3).
+//!
+//! * [`canonical_database`] turns a query `Q` into the structure `D^Q`:
+//!   variables become domain elements, body atoms become facts, and each
+//!   distinguished variable `X_i` gets a fresh unary marker `P_i`.
+//! * [`canonical_query`] turns a structure **A** into the Boolean query
+//!   `φ_A` whose body conjoins all facts of **A** — the bridge used by
+//!   Proposition 2.3 (`hom(A,B)` iff `φ_A` true in **B** iff
+//!   `φ_B ⊆ φ_A`).
+
+use crate::query::{ConjunctiveQuery, QueryAtom};
+use cspdb_core::{Structure, VocabularyBuilder};
+use std::collections::HashMap;
+
+/// The canonical database of a query: the structure `D^Q` plus the
+/// element index of each variable.
+#[derive(Debug, Clone)]
+pub struct CanonicalDatabase {
+    /// The structure `D^Q`. Its vocabulary is the query's predicates
+    /// plus one unary marker `@dist{i}` per distinguished variable.
+    pub structure: Structure,
+    /// Maps variable names to domain elements.
+    pub element_of_var: HashMap<String, u32>,
+}
+
+/// Builds `D^Q` (Proposition 2.2's construction). When
+/// `with_markers` is set, distinguished variables receive their unary
+/// marker predicates `@dist0, @dist1, ...`; without markers you get the
+/// plain body structure (useful for evaluation, where distinguished
+/// variables are handled by fixing them instead).
+pub fn canonical_database(q: &ConjunctiveQuery, with_markers: bool) -> CanonicalDatabase {
+    let vars = q.variables();
+    let element_of_var: HashMap<String, u32> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v.to_string(), i as u32))
+        .collect();
+    let mut builder = VocabularyBuilder::new();
+    // Predicates in first-use order.
+    for a in &q.atoms {
+        builder
+            .add_or_get(&a.predicate, a.args.len())
+            .expect("arity validated by ConjunctiveQuery::new");
+    }
+    if with_markers {
+        for i in 0..q.distinguished.len() {
+            builder.add(format!("@dist{i}"), 1).expect("fresh name");
+        }
+    }
+    let voc = builder.finish();
+    let mut s = Structure::new(voc.clone(), vars.len());
+    let mut tuple = Vec::new();
+    for a in &q.atoms {
+        let id = voc.id(&a.predicate).expect("declared above");
+        tuple.clear();
+        tuple.extend(a.args.iter().map(|v| element_of_var[v]));
+        s.insert(id, &tuple).expect("in range");
+    }
+    if with_markers {
+        for (i, v) in q.distinguished.iter().enumerate() {
+            let id = voc.id(&format!("@dist{i}")).expect("declared above");
+            s.insert(id, &[element_of_var[v]]).expect("in range");
+        }
+    }
+    CanonicalDatabase {
+        structure: s,
+        element_of_var,
+    }
+}
+
+/// Builds the canonical Boolean query `φ_A` of a structure: one variable
+/// `x{e}` per domain element, one atom per fact (Proposition 2.3).
+pub fn canonical_query(a: &Structure) -> ConjunctiveQuery {
+    let mut atoms = Vec::new();
+    for (id, rel) in a.relations() {
+        let pred = a.vocabulary().name(id).to_owned();
+        for t in rel.iter() {
+            atoms.push(QueryAtom {
+                predicate: pred.clone(),
+                args: t.iter().map(|e| format!("x{e}")).collect(),
+            });
+        }
+    }
+    // Elements that appear in no fact still exist; they translate to
+    // variables constrained by nothing, which conjunctive queries cannot
+    // mention without an atom — and semantically they do not affect
+    // homomorphism existence into nonempty structures, matching the
+    // paper's φ_A over the *facts* of A.
+    ConjunctiveQuery::new("PhiA", vec![], atoms).expect("facts are well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn papers_canonical_database_example() {
+        // D^Q for Q(X1,X2) :- P(X1,Z1,Z2), R(Z2,Z3), R(Z3,X2) has facts
+        // P(X1,Z1,Z2), R(Z2,Z3), R(Z3,X2), P1(X1), P2(X2).
+        let q = ConjunctiveQuery::parse("Q(X1,X2) :- P(X1,Z1,Z2), R(Z2,Z3), R(Z3,X2)")
+            .unwrap();
+        let db = canonical_database(&q, true);
+        let s = &db.structure;
+        assert_eq!(s.domain_size(), 5);
+        assert_eq!(s.relation_by_name("P").unwrap().len(), 1);
+        assert_eq!(s.relation_by_name("R").unwrap().len(), 2);
+        assert_eq!(s.relation_by_name("@dist0").unwrap().len(), 1);
+        assert_eq!(s.relation_by_name("@dist1").unwrap().len(), 1);
+        let x1 = db.element_of_var["X1"];
+        assert!(s.relation_by_name("@dist0").unwrap().contains(&[x1]));
+    }
+
+    #[test]
+    fn without_markers_no_dist_predicates() {
+        let q = ConjunctiveQuery::parse("Q(X) :- E(X,Y)").unwrap();
+        let db = canonical_database(&q, false);
+        assert!(db.structure.relation_by_name("@dist0").is_err());
+        assert_eq!(db.structure.vocabulary().len(), 1);
+    }
+
+    #[test]
+    fn canonical_query_of_structure_roundtrips() {
+        let a = cspdb_core::graphs::cycle(3);
+        let q = canonical_query(&a);
+        assert!(q.is_boolean());
+        assert_eq!(q.atoms.len(), 6);
+        // Its canonical database is isomorphic to A (same facts).
+        let db = canonical_database(&q, false);
+        assert_eq!(db.structure.domain_size(), 3);
+        assert_eq!(db.structure.fact_count(), 6);
+    }
+
+    #[test]
+    fn repeated_variables_in_atoms() {
+        let q = ConjunctiveQuery::parse("Q :- E(X,X)").unwrap();
+        let db = canonical_database(&q, false);
+        assert_eq!(db.structure.domain_size(), 1);
+        assert!(db.structure.relation_by_name("E").unwrap().contains(&[0, 0]));
+    }
+}

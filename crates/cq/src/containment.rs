@@ -1,0 +1,219 @@
+//! Conjunctive-query containment via homomorphisms — Proposition 2.2
+//! (Chandra–Merlin).
+//!
+//! `Q1 ⊆ Q2` iff there is a homomorphism `D^{Q2} → D^{Q1}` mapping
+//! distinguished variables to the corresponding distinguished variables —
+//! equivalently, iff the head tuple of `Q1` is in `Q2(D^{Q1})`. Both
+//! formulations are implemented; tests confirm they coincide and agree
+//! with a semantic oracle on small databases.
+
+use crate::canonical::canonical_database;
+use crate::eval::evaluate_by_search;
+use crate::query::ConjunctiveQuery;
+use cspdb_core::{PartialHom, Structure, VocabularyBuilder};
+
+/// Checks `Q1 ⊆ Q2` by searching for a homomorphism
+/// `D^{Q2} → D^{Q1}` that fixes the distinguished tuple.
+///
+/// # Errors
+///
+/// Returns a message if the queries have different numbers of
+/// distinguished variables or incompatible predicate arities.
+pub fn is_contained_in(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> Result<bool, String> {
+    if q1.distinguished.len() != q2.distinguished.len() {
+        return Err("queries have different head arities".into());
+    }
+    let c1 = canonical_database(q1, false);
+    let c2 = canonical_database(q2, false);
+    // Shared vocabulary: union of both queries' predicates.
+    let mut builder = VocabularyBuilder::new();
+    for a in q1.atoms.iter().chain(q2.atoms.iter()) {
+        builder
+            .add_or_get(&a.predicate, a.args.len())
+            .map_err(|e| e.to_string())?;
+    }
+    let voc = builder.finish();
+    let from = retype_onto(&c2.structure, &voc)?;
+    let to = retype_onto(&c1.structure, &voc)?;
+    // Fix distinguished: element of X_i in D^{Q2} -> element in D^{Q1}.
+    let fixed = PartialHom::from_pairs(
+        q2.distinguished
+            .iter()
+            .zip(q1.distinguished.iter())
+            .map(|(v2, v1)| (c2.element_of_var[v2], c1.element_of_var[v1])),
+    )
+    .ok_or("inconsistent distinguished variable mapping")?;
+    Ok(cspdb_solver::find_extension(&from, &to, &fixed).is_some())
+}
+
+/// Checks `Q1 ⊆ Q2` by the evaluation formulation: the head tuple of
+/// `Q1` must appear in `Q2(D^{Q1})`.
+///
+/// # Errors
+///
+/// As for [`is_contained_in`].
+pub fn is_contained_in_by_eval(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+) -> Result<bool, String> {
+    if q1.distinguished.len() != q2.distinguished.len() {
+        return Err("queries have different head arities".into());
+    }
+    let c1 = canonical_database(q1, false);
+    // Evaluate Q2 on D^{Q1}: Q2's predicates must exist there; absent
+    // predicates mean empty relations, hence non-containment (unless Q2
+    // never fires... which is the same thing).
+    let mut builder = VocabularyBuilder::new();
+    for a in q1.atoms.iter().chain(q2.atoms.iter()) {
+        builder
+            .add_or_get(&a.predicate, a.args.len())
+            .map_err(|e| e.to_string())?;
+    }
+    let voc = builder.finish();
+    let db = retype_onto(&c1.structure, &voc)?;
+    let answers = evaluate_by_search(q2, &db)?;
+    let head: Vec<u32> = q1
+        .distinguished
+        .iter()
+        .map(|v| c1.element_of_var[v])
+        .collect();
+    Ok(answers.contains(&head))
+}
+
+/// Checks query equivalence (`⊆` both ways).
+///
+/// # Errors
+///
+/// As for [`is_contained_in`].
+pub fn are_equivalent(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> Result<bool, String> {
+    Ok(is_contained_in(q1, q2)? && is_contained_in(q2, q1)?)
+}
+
+fn retype_onto(
+    a: &Structure,
+    voc: &std::sync::Arc<cspdb_core::Vocabulary>,
+) -> Result<Structure, String> {
+    let mut out = Structure::new(voc.clone(), a.domain_size());
+    for (id, rel) in a.relations() {
+        let name = a.vocabulary().name(id);
+        let new_id = voc.id(name).map_err(|e| e.to_string())?;
+        for t in rel.iter() {
+            out.insert(new_id, t).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate_by_join;
+    use cspdb_core::graphs::digraph;
+
+    fn q(src: &str) -> ConjunctiveQuery {
+        ConjunctiveQuery::parse(src).unwrap()
+    }
+
+    #[test]
+    fn longer_paths_are_contained_in_shorter() {
+        // "There is a path of length 3 from X to nothing-in-particular"
+        // is contained in "there is an edge from X": NO — containment is
+        // about implication of answers. Q1(X) := path3 from X implies
+        // Q2(X) := edge from X. Every db where X starts a 3-path also
+        // has X starting an edge: yes, contained.
+        let q1 = q("Q(X) :- E(X,Y), E(Y,Z), E(Z,W)");
+        let q2 = q("Q(X) :- E(X,Y)");
+        assert!(is_contained_in(&q1, &q2).unwrap());
+        assert!(!is_contained_in(&q2, &q1).unwrap());
+    }
+
+    #[test]
+    fn cycle_queries() {
+        // Having a triangle implies having a (homomorphic) 6-cycle
+        // pattern; the 6-cycle query contains... careful: Boolean Q1 ⊆
+        // Q2 iff hom D^{Q2} -> D^{Q1}. C6 maps onto C3 (wrap twice):
+        // so triangle-query ⊆ hexagon-query.
+        let tri = q("Q :- E(X,Y), E(Y,Z), E(Z,X)");
+        let hex = q("Q :- E(A,B), E(B,C), E(C,D), E(D,F), E(F,G), E(G,A)");
+        assert!(is_contained_in(&tri, &hex).unwrap());
+        assert!(!is_contained_in(&hex, &tri).unwrap());
+    }
+
+    #[test]
+    fn both_formulations_agree() {
+        let pairs = [
+            ("Q(X) :- E(X,Y), E(Y,Z)", "Q(X) :- E(X,Y)"),
+            ("Q(X) :- E(X,Y)", "Q(X) :- E(X,Y), E(Y,Z)"),
+            ("Q :- E(X,Y), E(Y,X)", "Q :- E(X,X)"),
+            ("Q :- E(X,X)", "Q :- E(X,Y), E(Y,X)"),
+            ("Q(X,Y) :- E(X,Y)", "Q(X,Y) :- E(X,Z), E(Z,Y)"),
+        ];
+        for (s1, s2) in pairs {
+            let (q1, q2) = (q(s1), q(s2));
+            assert_eq!(
+                is_contained_in(&q1, &q2).unwrap(),
+                is_contained_in_by_eval(&q1, &q2).unwrap(),
+                "{s1} vs {s2}"
+            );
+        }
+    }
+
+    #[test]
+    fn containment_is_sound_semantically() {
+        // If Q1 ⊆ Q2 according to the hom test, then on every sample
+        // database Q1's answers are a subset of Q2's.
+        let q1 = q("Q(X) :- E(X,Y), E(Y,Z)");
+        let q2 = q("Q(X) :- E(X,Y)");
+        assert!(is_contained_in(&q1, &q2).unwrap());
+        let mut state = 0x0123456789ABCDEFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..10 {
+            let n = 3 + (next() % 4) as usize;
+            let mut edges = Vec::new();
+            for u in 0..n as u32 {
+                for v in 0..n as u32 {
+                    if next() % 3 == 0 {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let db = digraph(n, &edges);
+            let a1 = evaluate_by_join(&q1, &db).unwrap();
+            let a2 = evaluate_by_join(&q2, &db).unwrap();
+            assert!(a1.is_subset_of(&a2));
+        }
+    }
+
+    #[test]
+    fn equivalence_of_renamed_queries() {
+        let q1 = q("Q(X) :- E(X,Y), E(Y,X)");
+        let q2 = q("Q(A) :- E(A,B), E(B,A)");
+        assert!(are_equivalent(&q1, &q2).unwrap());
+    }
+
+    #[test]
+    fn equivalence_with_redundant_atoms() {
+        // Redundant atom folds away: equivalent.
+        let q1 = q("Q(X) :- E(X,Y)");
+        let q2 = q("Q(X) :- E(X,Y), E(X,Z)");
+        assert!(are_equivalent(&q1, &q2).unwrap());
+    }
+
+    #[test]
+    fn head_arity_mismatch_is_error() {
+        assert!(is_contained_in(&q("Q(X) :- E(X,Y)"), &q("Q :- E(X,Y)")).is_err());
+    }
+
+    #[test]
+    fn different_vocabularies() {
+        let q1 = q("Q :- R(X,Y)");
+        let q2 = q("Q :- S(X,Y)");
+        assert!(!is_contained_in(&q1, &q2).unwrap());
+        assert!(!is_contained_in(&q2, &q1).unwrap());
+    }
+}

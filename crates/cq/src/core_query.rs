@@ -1,0 +1,296 @@
+//! Query minimization: cores of conjunctive queries (Chandra–Merlin).
+//!
+//! Every conjunctive query has a unique (up to isomorphism) minimal
+//! equivalent query — its *core* — obtained by folding the canonical
+//! database onto itself while fixing the distinguished variables. This is
+//! the classical optimization behind Proposition 2.2: redundant atoms are
+//! exactly those removed by a retraction.
+
+use crate::canonical::canonical_database;
+use crate::query::{ConjunctiveQuery, QueryAtom};
+use cspdb_core::Structure;
+
+/// Computes the core of a structure relative to a set of fixed elements:
+/// repeatedly fold (retract) the structure onto a proper substructure
+/// until no fold exists. Returns the retained elements (sorted) and the
+/// final folding map from original elements to retained elements.
+pub fn core_retract(a: &Structure, fixed: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    let n = a.domain_size();
+    let mut fold: Vec<u32> = (0..n as u32).collect();
+    let mut alive: Vec<bool> = vec![true; n];
+    'outer: loop {
+        let alive_elems: Vec<u32> = (0..n as u32).filter(|&e| alive[e as usize]).collect();
+        for &victim in &alive_elems {
+            if fixed.contains(&victim) {
+                continue;
+            }
+            // Try hom from the current retract to itself avoiding
+            // `victim`, fixing the fixed elements and keeping all other
+            // alive elements within the alive set.
+            let current = a.induced_facts(&alive_elems);
+            let allowed: Vec<u32> = alive_elems
+                .iter()
+                .copied()
+                .filter(|&e| e != victim)
+                .collect();
+            if allowed.is_empty() {
+                // A single remaining element cannot fold away (an empty
+                // list would read as "unrestricted" downstream).
+                continue;
+            }
+            let mut restrictions: Vec<Vec<u32>> = vec![vec![]; n];
+            for &e in &alive_elems {
+                restrictions[e as usize] = if fixed.contains(&e) {
+                    vec![e]
+                } else {
+                    allowed.clone()
+                };
+            }
+            // Dead elements are unconstrained (their facts are gone);
+            // pin them anywhere valid, e.g. to themselves.
+            for e in 0..n as u32 {
+                if !alive[e as usize] {
+                    restrictions[e as usize] = vec![fold[e as usize]];
+                }
+            }
+            if let Some(h) = cspdb_solver::find_restricted(&current, &current, &restrictions)
+            {
+                // Fold through h: victim (and possibly others) retract.
+                for e in 0..n {
+                    fold[e] = h[fold[e] as usize];
+                }
+                // Elements mapped away die; the new alive set is the
+                // image of the old one under h.
+                let mut in_image = vec![false; n];
+                for &e in &alive_elems {
+                    in_image[h[e as usize] as usize] = true;
+                }
+                alive.copy_from_slice(&in_image);
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    let retained: Vec<u32> = (0..n as u32).filter(|&e| alive[e as usize]).collect();
+    (retained, fold)
+}
+
+/// Minimizes a conjunctive query to its core: the returned query is
+/// equivalent to the input and has no redundant atoms.
+pub fn minimize(q: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let canon = canonical_database(q, false);
+    let fixed: Vec<u32> = q
+        .distinguished
+        .iter()
+        .map(|v| canon.element_of_var[v])
+        .collect();
+    let (retained, fold) = core_retract(&canon.structure, &fixed);
+    // Names for retained elements: reuse original variable names.
+    let vars = q.variables();
+    let name_of = |e: u32| -> String { vars[e as usize].to_owned() };
+    let _ = &retained;
+    // Rebuild atoms from the folded structure: fold each original atom
+    // and deduplicate.
+    let mut atoms: Vec<QueryAtom> = Vec::new();
+    for a in &q.atoms {
+        let folded = QueryAtom {
+            predicate: a.predicate.clone(),
+            args: a
+                .args
+                .iter()
+                .map(|v| name_of(fold[canon.element_of_var[v] as usize]))
+                .collect(),
+        };
+        if !atoms.contains(&folded) {
+            atoms.push(folded);
+        }
+    }
+    ConjunctiveQuery::new(q.name.clone(), q.distinguished.clone(), atoms)
+        .expect("folding fixes distinguished variables")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containment::are_equivalent;
+
+    fn q(src: &str) -> ConjunctiveQuery {
+        ConjunctiveQuery::parse(src).unwrap()
+    }
+
+    #[test]
+    fn redundant_atom_removed() {
+        let original = q("Q(X) :- E(X,Y), E(X,Z)");
+        let m = minimize(&original);
+        assert_eq!(m.atoms.len(), 1);
+        assert!(are_equivalent(&original, &m).unwrap());
+    }
+
+    #[test]
+    fn non_redundant_query_unchanged() {
+        let original = q("Q(X,Y) :- E(X,Y)");
+        let m = minimize(&original);
+        assert_eq!(m.atoms.len(), 1);
+        let tri = q("Q :- E(X,Y), E(Y,Z), E(Z,X)");
+        let m = minimize(&tri);
+        assert_eq!(m.atoms.len(), 3, "a triangle is a core");
+    }
+
+    #[test]
+    fn directed_even_cycle_is_a_core() {
+        // The *directed* 4-cycle has no 2-cycle to fold onto: its only
+        // endomorphisms are rotations, so it is a core.
+        let c4 = q("Q :- E(A,B), E(B,C), E(C,D), E(D,A)");
+        let m = minimize(&c4);
+        assert_eq!(m.atoms.len(), 4);
+    }
+
+    #[test]
+    fn undirected_even_cycle_folds_to_an_edge() {
+        // The *undirected* 4-cycle (both directions per edge) is
+        // homomorphically equivalent to a single undirected edge (K2).
+        let c4 = q(
+            "Q :- E(A,B), E(B,A), E(B,C), E(C,B), E(C,D), E(D,C), E(D,A), E(A,D)",
+        );
+        let m = minimize(&c4);
+        assert_eq!(m.atoms.len(), 2, "undirected C4 folds to K2: {m}");
+        assert!(are_equivalent(&c4, &m).unwrap());
+    }
+
+    #[test]
+    fn odd_cycle_query_is_core() {
+        let c5 = q("Q :- E(A,B), E(B,C), E(C,D), E(D,F), E(F,A)");
+        let m = minimize(&c5);
+        assert_eq!(m.atoms.len(), 5, "odd cycles are cores");
+    }
+
+    #[test]
+    fn distinguished_variables_are_never_folded() {
+        // X and Y both start edges into Z-chains; without distinguished
+        // status they would fold; with it they must both stay.
+        let original = q("Q(X,Y) :- E(X,Z), E(Y,Z)");
+        let m = minimize(&original);
+        assert!(are_equivalent(&original, &m).unwrap());
+        assert!(m.distinguished == vec!["X", "Y"]);
+        // Both distinguished variables still appear.
+        let vars: std::collections::BTreeSet<&str> = m
+            .atoms
+            .iter()
+            .flat_map(|a| a.args.iter().map(String::as_str))
+            .collect();
+        assert!(vars.contains("X") && vars.contains("Y"));
+    }
+
+    #[test]
+    fn minimization_is_idempotent() {
+        for src in [
+            "Q(X) :- E(X,Y), E(X,Z), E(Z,W)",
+            "Q :- E(A,B), E(B,C), E(C,D), E(D,A)",
+            "Q(X) :- E(X,X)",
+        ] {
+            let once = minimize(&q(src));
+            let twice = minimize(&once);
+            assert_eq!(once.atoms.len(), twice.atoms.len(), "{src}");
+            assert!(are_equivalent(&once, &twice).unwrap());
+        }
+    }
+
+    #[test]
+    fn path_with_pendant_folds() {
+        // Q(X) :- E(X,Y), E(Y,Z), E(Y,W): W and Z fold together.
+        let original = q("Q(X) :- E(X,Y), E(Y,Z), E(Y,W)");
+        let m = minimize(&original);
+        assert_eq!(m.atoms.len(), 2);
+        assert!(are_equivalent(&original, &m).unwrap());
+    }
+}
+
+/// True if two structures are homomorphically equivalent (homomorphisms
+/// both ways) — e.g. every bipartite graph with an edge is equivalent to
+/// K2. Homomorphic equivalence is the right notion of "same template"
+/// for non-uniform CSP: `CSP(B)` and `CSP(B')` coincide iff `B ~ B'`.
+pub fn are_hom_equivalent(a: &Structure, b: &Structure) -> bool {
+    cspdb_solver::homomorphism_exists(a, b) && cspdb_solver::homomorphism_exists(b, a)
+}
+
+/// Computes the core of a structure (no distinguished elements): the
+/// unique (up to isomorphism) minimal induced substructure that the
+/// structure retracts onto. Returns the core as a standalone structure
+/// with a dense domain.
+pub fn structure_core(a: &Structure) -> Structure {
+    let (retained, fold) = core_retract(a, &[]);
+    // Rename retained elements densely.
+    let mut rename = vec![0u32; a.domain_size()];
+    for (new, &old) in retained.iter().enumerate() {
+        rename[old as usize] = new as u32;
+    }
+    let full_map: Vec<u32> = (0..a.domain_size())
+        .map(|e| rename[fold[e] as usize])
+        .collect();
+    a.map_domain(&full_map, retained.len())
+        .expect("fold image is in range")
+}
+
+#[cfg(test)]
+mod structure_core_tests {
+    use super::*;
+    use cspdb_core::graphs::{clique, complete_bipartite, cycle, path};
+
+    #[test]
+    fn bipartite_graphs_core_to_k2() {
+        for g in [cycle(4), cycle(6), complete_bipartite(2, 3), path(4)] {
+            let core = structure_core(&g);
+            assert_eq!(core.domain_size(), 2, "core of bipartite-with-edge is K2");
+            assert!(are_hom_equivalent(&g, &core));
+            assert!(are_hom_equivalent(&core, &clique(2)));
+        }
+    }
+
+    #[test]
+    fn odd_cycles_are_their_own_cores() {
+        for n in [3usize, 5, 7] {
+            let g = cycle(n);
+            let core = structure_core(&g);
+            assert_eq!(core.domain_size(), n);
+        }
+    }
+
+    #[test]
+    fn cliques_are_cores() {
+        for k in 2..=4usize {
+            assert_eq!(structure_core(&clique(k)).domain_size(), k);
+        }
+    }
+
+    #[test]
+    fn hom_equivalence_examples() {
+        assert!(are_hom_equivalent(&cycle(4), &clique(2)));
+        assert!(!are_hom_equivalent(&cycle(5), &clique(2)));
+        assert!(!are_hom_equivalent(&clique(3), &clique(2)));
+        // C5 and C7 are NOT hom-equivalent: C7 -> C5 exists? Odd girth:
+        // hom(C_m, C_n) for odd cycles exists iff n <= m. So C7 -> C5
+        // yes, C5 -> C7 no.
+        assert!(cspdb_solver::homomorphism_exists(&cycle(7), &cycle(5)));
+        assert!(!cspdb_solver::homomorphism_exists(&cycle(5), &cycle(7)));
+        assert!(!are_hom_equivalent(&cycle(5), &cycle(7)));
+    }
+
+    #[test]
+    fn core_is_idempotent() {
+        for g in [cycle(6), complete_bipartite(3, 3), clique(3)] {
+            let once = structure_core(&g);
+            let twice = structure_core(&once);
+            assert_eq!(once.domain_size(), twice.domain_size());
+        }
+    }
+
+    #[test]
+    fn empty_and_edgeless_structures() {
+        let voc = cspdb_core::graphs::graph_vocabulary();
+        let empty = Structure::new(voc.clone(), 0);
+        assert_eq!(structure_core(&empty).domain_size(), 0);
+        // Edgeless nonempty graph cores to a single vertex.
+        let edgeless = Structure::new(voc, 3);
+        assert_eq!(structure_core(&edgeless).domain_size(), 1);
+    }
+}

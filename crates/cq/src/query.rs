@@ -1,0 +1,240 @@
+//! Conjunctive queries in rule form.
+//!
+//! A conjunctive query (Section 2 of the paper) is a positive existential
+//! conjunctive formula, written as a rule: the head lists the
+//! distinguished (free) variables, the body is a conjunction of atoms.
+//!
+//! ```text
+//! Q(X1,X2) :- P(X1,Z1,Z2), R(Z2,Z3), R(Z3,X2)
+//! ```
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An atom `P(v1, ..., vn)` over variable names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryAtom {
+    /// Predicate name.
+    pub predicate: String,
+    /// Argument variables.
+    pub args: Vec<String>,
+}
+
+/// A conjunctive query in rule form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConjunctiveQuery {
+    /// Head name (cosmetic).
+    pub name: String,
+    /// Distinguished variables, in head order.
+    pub distinguished: Vec<String>,
+    /// Body atoms.
+    pub atoms: Vec<QueryAtom>,
+}
+
+impl ConjunctiveQuery {
+    /// Builds a query, validating that distinguished variables occur in
+    /// the body and that predicates are used with consistent arities.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message otherwise.
+    pub fn new(
+        name: impl Into<String>,
+        distinguished: Vec<String>,
+        atoms: Vec<QueryAtom>,
+    ) -> Result<Self, String> {
+        let body_vars: BTreeSet<&str> = atoms
+            .iter()
+            .flat_map(|a| a.args.iter().map(String::as_str))
+            .collect();
+        for v in &distinguished {
+            if !body_vars.contains(v.as_str()) {
+                return Err(format!("distinguished variable {v} not in body"));
+            }
+        }
+        let mut arity: std::collections::HashMap<&str, usize> = Default::default();
+        for a in &atoms {
+            match arity.entry(a.predicate.as_str()) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if *e.get() != a.args.len() {
+                        return Err(format!(
+                            "predicate {} used with arities {} and {}",
+                            a.predicate,
+                            e.get(),
+                            a.args.len()
+                        ));
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(a.args.len());
+                }
+            }
+        }
+        Ok(ConjunctiveQuery {
+            name: name.into(),
+            distinguished,
+            atoms,
+        })
+    }
+
+    /// Parses `Head(X, Y) :- P(X,Z), R(Z,Y)` (Boolean queries: `Head :-
+    /// ...`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed syntax.
+    pub fn parse(src: &str) -> Result<Self, String> {
+        let (head, body) = src
+            .trim()
+            .trim_end_matches('.')
+            .split_once(":-")
+            .ok_or_else(|| "expected `head :- body`".to_owned())?;
+        let (name, distinguished) = parse_atom_syntax(head.trim())?;
+        let mut atoms = Vec::new();
+        // Split body on commas at paren depth 0.
+        let body = body.trim();
+        let mut depth = 0usize;
+        let mut start = 0usize;
+        let mut parts = Vec::new();
+        for (i, c) in body.char_indices() {
+            match c {
+                '(' => depth += 1,
+                ')' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    parts.push(&body[start..i]);
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        parts.push(&body[start..]);
+        for part in parts {
+            let (pred, args) = parse_atom_syntax(part.trim())?;
+            if args.is_empty() {
+                return Err(format!("body atom {pred} has no arguments"));
+            }
+            atoms.push(QueryAtom {
+                predicate: pred,
+                args,
+            });
+        }
+        ConjunctiveQuery::new(name, distinguished, atoms)
+    }
+
+    /// All variables, distinguished first (in head order), then the rest
+    /// in order of first occurrence.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut out: Vec<&str> = Vec::new();
+        for v in &self.distinguished {
+            if seen.insert(v) {
+                out.push(v);
+            }
+        }
+        for a in &self.atoms {
+            for v in &a.args {
+                if seen.insert(v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// True if the query is Boolean (no distinguished variables).
+    pub fn is_boolean(&self) -> bool {
+        self.distinguished.is_empty()
+    }
+}
+
+fn parse_atom_syntax(src: &str) -> Result<(String, Vec<String>), String> {
+    match src.find('(') {
+        None => {
+            let name = src.trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return Err(format!("bad atom `{src}`"));
+            }
+            Ok((name.to_owned(), vec![]))
+        }
+        Some(i) => {
+            let name = src[..i].trim();
+            let rest = src[i + 1..]
+                .trim()
+                .strip_suffix(')')
+                .ok_or_else(|| format!("missing `)` in `{src}`"))?;
+            let args: Vec<String> = rest
+                .split(',')
+                .map(|a| a.trim().to_owned())
+                .collect();
+            if name.is_empty() || args.iter().any(String::is_empty) {
+                return Err(format!("bad atom `{src}`"));
+            }
+            Ok((name.to_owned(), args))
+        }
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if !self.distinguished.is_empty() {
+            write!(f, "({})", self.distinguished.join(","))?;
+        }
+        write!(f, " :- ")?;
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}({})", a.predicate, a.args.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_example() {
+        let q = ConjunctiveQuery::parse(
+            "Q(X1,X2) :- P(X1,Z1,Z2), R(Z2,Z3), R(Z3,X2)",
+        )
+        .unwrap();
+        assert_eq!(q.distinguished, vec!["X1", "X2"]);
+        assert_eq!(q.atoms.len(), 3);
+        assert_eq!(q.atoms[0].args, vec!["X1", "Z1", "Z2"]);
+        assert_eq!(
+            q.variables(),
+            vec!["X1", "X2", "Z1", "Z2", "Z3"]
+        );
+        assert_eq!(
+            q.to_string(),
+            "Q(X1,X2) :- P(X1,Z1,Z2), R(Z2,Z3), R(Z3,X2)"
+        );
+    }
+
+    #[test]
+    fn boolean_queries() {
+        let q = ConjunctiveQuery::parse("Q :- E(X,Y), E(Y,X)").unwrap();
+        assert!(q.is_boolean());
+        assert_eq!(q.variables(), vec!["X", "Y"]);
+    }
+
+    #[test]
+    fn rejects_head_variable_not_in_body() {
+        assert!(ConjunctiveQuery::parse("Q(W) :- E(X,Y)").is_err());
+    }
+
+    #[test]
+    fn rejects_inconsistent_arity() {
+        assert!(ConjunctiveQuery::parse("Q :- E(X,Y), E(X)").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(ConjunctiveQuery::parse("Q(X)").is_err());
+        assert!(ConjunctiveQuery::parse("Q :- E(X").is_err());
+        assert!(ConjunctiveQuery::parse("Q :- ()").is_err());
+    }
+}

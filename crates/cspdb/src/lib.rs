@@ -1,0 +1,232 @@
+//! # cspdb
+//!
+//! The facade crate of *constraint-db* — a Rust reproduction of
+//! Moshe Y. Vardi, *"Constraint Satisfaction and Database Theory: a
+//! Tutorial"* (PODS 2000).
+//!
+//! The tutorial's thesis is that constraint satisfaction and database
+//! theory are two views of the homomorphism problem. This crate
+//! re-exports every subsystem and adds [`auto_solve`]: a dispatcher that
+//! inspects an instance and picks the best algorithm the paper's theory
+//! licenses —
+//!
+//! 1. Boolean template in a Schaefer class → the dedicated polynomial
+//!    solver (Section 3);
+//! 2. α-acyclic constraint hypergraph → Yannakakis (Section 6's acyclic
+//!    join lineage);
+//! 3. small Gaifman treewidth → dynamic programming over a tree
+//!    decomposition (Theorem 6.2);
+//! 4. otherwise → MAC backtracking (the honest NP baseline), with
+//!    k-consistency refutation (Sections 4–5) as a cheap pre-check.
+//!
+//! ```
+//! use cspdb::auto_solve;
+//! use cspdb::core::graphs::{clique, cycle};
+//!
+//! let report = auto_solve(&cycle(6), &clique(2));
+//! assert!(report.witness.is_some()); // even cycles are 2-colorable
+//! let report = auto_solve(&cycle(7), &clique(2));
+//! assert!(report.witness.is_none());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Core data model (Section 2).
+pub use cspdb_core as core;
+/// Relational algebra and join-based solving (Prop 2.1, Yannakakis).
+pub use cspdb_relalg as relalg;
+/// Conjunctive queries, containment, cores (Props 2.2/2.3, 6.1).
+pub use cspdb_cq as cq;
+/// Backtracking search.
+pub use cspdb_solver as solver;
+/// Pebble games and consistency (Sections 4–5).
+pub use cspdb_consistency as consistency;
+/// Datalog engine and canonical programs (Section 4).
+pub use cspdb_datalog as datalog;
+/// Schaefer's dichotomy (Section 3).
+pub use cspdb_schaefer as schaefer;
+/// Treewidth and hypertree decompositions (Section 6).
+pub use cspdb_decomp as decomp;
+/// Regular path queries and view-based answering (Section 7).
+pub use cspdb_rpq as rpq;
+
+use cspdb_core::{CspInstance, Structure};
+
+/// Which strategy [`auto_solve`] ended up using.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Schaefer-class polynomial solver (which one is in the payload).
+    Schaefer(cspdb_schaefer::SolverUsed),
+    /// Yannakakis on an acyclic instance.
+    Yannakakis,
+    /// Dynamic programming over a tree decomposition of the given width.
+    Treewidth(usize),
+    /// Generic MAC backtracking.
+    Backtracking,
+}
+
+/// The result of [`auto_solve`].
+#[derive(Debug, Clone)]
+pub struct SolveReport {
+    /// The strategy that produced the answer.
+    pub strategy: Strategy,
+    /// A homomorphism `A -> B`, if one exists.
+    pub witness: Option<Vec<u32>>,
+}
+
+/// Maximum heuristic treewidth for which the DP route is attempted.
+const TREEWIDTH_CUTOFF: usize = 4;
+
+/// Solves the homomorphism problem `A -> B`, dispatching on instance
+/// structure per the paper's tractability map (see crate docs).
+///
+/// # Panics
+///
+/// Panics if the structures have different vocabularies.
+pub fn auto_solve(a: &Structure, b: &Structure) -> SolveReport {
+    assert_eq!(a.vocabulary(), b.vocabulary(), "vocabulary mismatch");
+    let instance = CspInstance::from_homomorphism(a, b).expect("same vocabulary");
+    auto_solve_csp(&instance)
+}
+
+/// [`auto_solve`] for classical CSP instances.
+pub fn auto_solve_csp(instance: &CspInstance) -> SolveReport {
+    // 1. Boolean templates: Schaefer's dichotomy.
+    if instance.num_values() == 2 {
+        let (used, witness) = cspdb_schaefer::solve_boolean(instance);
+        if used != cspdb_schaefer::SolverUsed::GenericSearch {
+            return SolveReport {
+                strategy: Strategy::Schaefer(used),
+                witness,
+            };
+        }
+        // NP-side Boolean templates fall through to the structural
+        // strategies, which may still apply.
+    }
+    // 2. Acyclic hypergraph: Yannakakis.
+    if cspdb_relalg::is_acyclic_instance(instance) {
+        let witness = cspdb_relalg::solve_acyclic(instance)
+            .expect("checked acyclic");
+        return SolveReport {
+            strategy: Strategy::Yannakakis,
+            witness,
+        };
+    }
+    // 3. Bounded treewidth: DP.
+    let (a, b) = instance.to_homomorphism();
+    let g = cspdb_decomp::Graph::gaifman(&a);
+    let order = cspdb_decomp::min_fill_order(&g);
+    let width = cspdb_decomp::order_width(&g, &order);
+    if width <= TREEWIDTH_CUTOFF {
+        let td = cspdb_decomp::from_elimination_order(&g, &order);
+        let witness = cspdb_decomp::solve_with_decomposition(&a, &b, &td)
+            .expect("constructed decomposition is valid");
+        return SolveReport {
+            strategy: Strategy::Treewidth(width),
+            witness,
+        };
+    }
+    // 4. Generic search.
+    SolveReport {
+        strategy: Strategy::Backtracking,
+        witness: cspdb_solver::solve_csp(instance),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cspdb_core::graphs::{clique, cycle, path};
+    use cspdb_core::Relation;
+    use std::sync::Arc;
+
+    #[test]
+    fn dispatches_to_schaefer_for_boolean_templates() {
+        // 2-coloring = CSP(K2): Boolean, xor-like template.
+        let report = auto_solve(&cycle(6), &clique(2));
+        assert!(matches!(report.strategy, Strategy::Schaefer(_)));
+        assert!(report.witness.is_some());
+        let report = auto_solve(&cycle(7), &clique(2));
+        assert!(matches!(report.strategy, Strategy::Schaefer(_)));
+        assert!(report.witness.is_none());
+    }
+
+    #[test]
+    fn dispatches_to_yannakakis_for_acyclic() {
+        // Star coloring with 3 colors: acyclic instance, non-Boolean.
+        let mut p = CspInstance::new(4, 3);
+        let neq = Arc::new(
+            Relation::from_tuples(
+                2,
+                (0..3u32).flat_map(|i| (0..3u32).filter_map(move |j| (i != j).then_some([i, j]))),
+            )
+            .unwrap(),
+        );
+        for leaf in 1..4u32 {
+            p.add_constraint([0, leaf], neq.clone()).unwrap();
+        }
+        let report = auto_solve_csp(&p);
+        assert_eq!(report.strategy, Strategy::Yannakakis);
+        assert!(report.witness.is_some());
+        assert!(p.is_solution(report.witness.as_ref().unwrap()));
+    }
+
+    #[test]
+    fn dispatches_to_treewidth_for_cyclic_sparse() {
+        // Odd cycle into K3: cyclic, treewidth 2, 3 values.
+        let report = auto_solve(&cycle(5), &clique(3));
+        assert!(matches!(report.strategy, Strategy::Treewidth(w) if w <= 2));
+        let h = report.witness.expect("3-colorable");
+        assert!(cspdb_core::is_homomorphism(&h, &cycle(5), &clique(3)));
+    }
+
+    #[test]
+    fn dispatches_to_backtracking_for_dense() {
+        // K7 into K6: treewidth 6 > cutoff, not Boolean, cyclic.
+        let report = auto_solve(&clique(7), &clique(6));
+        assert_eq!(report.strategy, Strategy::Backtracking);
+        assert!(report.witness.is_none());
+        let report = auto_solve(&clique(7), &clique(7));
+        assert_eq!(report.strategy, Strategy::Backtracking);
+        assert!(report.witness.is_some());
+    }
+
+    #[test]
+    fn all_strategies_agree_with_each_other() {
+        let mut state = 0x1357924680ACE135u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..10 {
+            let n = 4 + (next() % 3) as usize;
+            let mut edges = Vec::new();
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if next() % 2 == 0 {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let a = cspdb_core::graphs::undirected(n, &edges);
+            for b in [clique(2), clique(3)] {
+                let report = auto_solve(&a, &b);
+                let direct = cspdb_solver::find_homomorphism(&a, &b);
+                assert_eq!(report.witness.is_some(), direct.is_some());
+                if let Some(h) = report.witness {
+                    assert!(cspdb_core::is_homomorphism(&h, &a, &b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn witnesses_verify_for_path_instances() {
+        let report = auto_solve(&path(6), &clique(2));
+        let h = report.witness.unwrap();
+        assert!(cspdb_core::is_homomorphism(&h, &path(6), &clique(2)));
+    }
+}

@@ -1,0 +1,271 @@
+//! Datalog abstract syntax: terms, atoms, rules, programs.
+//!
+//! A Datalog program (Section 4 of the paper) is a finite set of rules
+//! `t0 :- t1, ..., tm` over atomic formulas. Predicates occurring in rule
+//! heads are the *intensional* (IDB) predicates; all others are
+//! *extensional* (EDB) and are supplied by a [`cspdb_core::Structure`]
+//! at evaluation time. One IDB is designated the *goal*.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A term: a variable (named) or a constant (domain element).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A Datalog variable.
+    Var(String),
+    /// A constant domain element.
+    Const(u32),
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// An atom `P(t1, ..., tn)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// Predicate name.
+    pub predicate: String,
+    /// Argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new(predicate: impl Into<String>, terms: Vec<Term>) -> Self {
+        Atom {
+            predicate: predicate.into(),
+            terms,
+        }
+    }
+
+    /// The set of variable names occurring in the atom.
+    pub fn variables(&self) -> BTreeSet<&str> {
+        self.terms
+            .iter()
+            .filter_map(|t| match t {
+                Term::Var(v) => Some(v.as_str()),
+                Term::Const(_) => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.predicate)?;
+        if !self.terms.is_empty() {
+            write!(f, "(")?;
+            for (i, t) in self.terms.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{t}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// A rule `head :- body`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// The head atom (an IDB predicate).
+    pub head: Atom,
+    /// The body atoms (EDB or IDB predicates). Empty bodies make facts.
+    pub body: Vec<Atom>,
+}
+
+impl Rule {
+    /// Safety: every head variable occurs in the body.
+    pub fn is_safe(&self) -> bool {
+        let body_vars: BTreeSet<&str> =
+            self.body.iter().flat_map(|a| a.variables()).collect();
+        self.head.variables().is_subset(&body_vars)
+    }
+
+    /// Number of distinct variables in the body.
+    pub fn body_variable_count(&self) -> usize {
+        self.body
+            .iter()
+            .flat_map(|a| a.variables())
+            .collect::<BTreeSet<_>>()
+            .len()
+    }
+
+    /// Number of distinct variables in the head.
+    pub fn head_variable_count(&self) -> usize {
+        self.head.variables().len()
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, a) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+/// A Datalog program: rules plus a designated goal predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// The rules.
+    pub rules: Vec<Rule>,
+    /// The goal IDB predicate.
+    pub goal: String,
+}
+
+impl Program {
+    /// Creates a program, checking rule safety.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first unsafe rule.
+    pub fn new(rules: Vec<Rule>, goal: impl Into<String>) -> Result<Self, String> {
+        for r in &rules {
+            if !r.is_safe() {
+                return Err(format!("unsafe rule (head variable not in body): {r}"));
+            }
+        }
+        Ok(Program {
+            rules,
+            goal: goal.into(),
+        })
+    }
+
+    /// The IDB predicate names (those occurring in heads).
+    pub fn idb_predicates(&self) -> BTreeSet<&str> {
+        self.rules
+            .iter()
+            .map(|r| r.head.predicate.as_str())
+            .collect()
+    }
+
+    /// The EDB predicate names (body predicates that are not IDBs).
+    pub fn edb_predicates(&self) -> BTreeSet<&str> {
+        let idb = self.idb_predicates();
+        self.rules
+            .iter()
+            .flat_map(|r| r.body.iter())
+            .map(|a| a.predicate.as_str())
+            .filter(|p| !idb.contains(p))
+            .collect()
+    }
+
+    /// True if this is a k-Datalog program: every rule body has at most
+    /// `k` distinct variables and every head at most `k` (Section 4).
+    pub fn is_k_datalog(&self, k: usize) -> bool {
+        self.rules
+            .iter()
+            .all(|r| r.body_variable_count() <= k && r.head_variable_count() <= k)
+    }
+
+    /// The least `k` such that the program is k-Datalog.
+    pub fn datalog_width(&self) -> usize {
+        self.rules
+            .iter()
+            .map(|r| r.body_variable_count().max(r.head_variable_count()))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        write!(f, "% goal: {}", self.goal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: &str) -> Term {
+        Term::Var(name.into())
+    }
+
+    #[test]
+    fn safety_check() {
+        let safe = Rule {
+            head: Atom::new("P", vec![v("X")]),
+            body: vec![Atom::new("E", vec![v("X"), v("Y")])],
+        };
+        assert!(safe.is_safe());
+        let unsafe_rule = Rule {
+            head: Atom::new("P", vec![v("Z")]),
+            body: vec![Atom::new("E", vec![v("X"), v("Y")])],
+        };
+        assert!(!unsafe_rule.is_safe());
+        assert!(Program::new(vec![unsafe_rule], "P").is_err());
+    }
+
+    #[test]
+    fn edb_idb_split_and_width() {
+        let p = Program::new(
+            vec![
+                Rule {
+                    head: Atom::new("P", vec![v("X"), v("Y")]),
+                    body: vec![Atom::new("E", vec![v("X"), v("Y")])],
+                },
+                Rule {
+                    head: Atom::new("P", vec![v("X"), v("Y")]),
+                    body: vec![
+                        Atom::new("P", vec![v("X"), v("Z")]),
+                        Atom::new("E", vec![v("Z"), v("W")]),
+                        Atom::new("E", vec![v("W"), v("Y")]),
+                    ],
+                },
+                Rule {
+                    head: Atom::new("Q", vec![]),
+                    body: vec![Atom::new("P", vec![v("X"), v("X")])],
+                },
+            ],
+            "Q",
+        )
+        .unwrap();
+        assert_eq!(p.idb_predicates().into_iter().collect::<Vec<_>>(), ["P", "Q"]);
+        assert_eq!(p.edb_predicates().into_iter().collect::<Vec<_>>(), ["E"]);
+        // The paper's example program: 4 distinct body variables.
+        assert_eq!(p.datalog_width(), 4);
+        assert!(p.is_k_datalog(4));
+        assert!(!p.is_k_datalog(3));
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let r = Rule {
+            head: Atom::new("Q", vec![]),
+            body: vec![Atom::new("P", vec![v("X"), Term::Const(3)])],
+        };
+        assert_eq!(r.to_string(), "Q :- P(X,3).");
+    }
+
+    #[test]
+    fn constants_do_not_count_as_variables() {
+        let r = Rule {
+            head: Atom::new("P", vec![v("X")]),
+            body: vec![Atom::new("E", vec![v("X"), Term::Const(0)])],
+        };
+        assert_eq!(r.body_variable_count(), 1);
+        assert!(r.is_safe());
+    }
+}

@@ -1,0 +1,247 @@
+//! A small text parser for Datalog programs.
+//!
+//! Grammar (whitespace-insensitive, `%` line comments):
+//!
+//! ```text
+//! program := rule* goal?
+//! rule    := atom ( ":-" atom ("," atom)* )? "."
+//! atom    := IDENT ( "(" term ("," term)* ")" )?
+//! term    := IDENT | NUMBER          % identifiers are variables
+//! goal    := "% goal:" IDENT         % otherwise: first rule's head
+//! ```
+//!
+//! Identifiers in argument position are variables; numbers are constants;
+//! identifiers in predicate position are predicate names. The paper's
+//! Non-2-Colorability program parses verbatim:
+//!
+//! ```text
+//! P(X,Y) :- E(X,Y).
+//! P(X,Y) :- P(X,Z), E(Z,W), E(W,Y).
+//! Q :- P(X,X).
+//! ```
+
+use crate::ast::{Atom, Program, Rule, Term};
+
+/// Parses a Datalog program. The goal defaults to the head predicate of
+/// the *last* rule unless a `% goal: Name` comment appears.
+///
+/// # Errors
+///
+/// Returns a descriptive message on syntax errors or unsafe rules.
+pub fn parse_program(input: &str) -> Result<Program, String> {
+    let mut goal: Option<String> = None;
+    let mut cleaned = String::with_capacity(input.len());
+    for line in input.lines() {
+        if let Some(rest) = line.trim_start().strip_prefix("% goal:") {
+            goal = Some(rest.trim().to_owned());
+        }
+        let without_comment = match line.find('%') {
+            Some(i) => &line[..i],
+            None => line,
+        };
+        cleaned.push_str(without_comment);
+        cleaned.push('\n');
+    }
+    let mut rules = Vec::new();
+    for (i, rule_src) in cleaned.split('.').enumerate() {
+        let rule_src = rule_src.trim();
+        if rule_src.is_empty() {
+            continue;
+        }
+        rules.push(parse_rule(rule_src).map_err(|e| format!("rule {}: {e}", i + 1))?);
+    }
+    if rules.is_empty() {
+        return Err("program has no rules".into());
+    }
+    let goal = goal.unwrap_or_else(|| rules.last().unwrap().head.predicate.clone());
+    Program::new(rules, goal)
+}
+
+fn parse_rule(src: &str) -> Result<Rule, String> {
+    let (head_src, body_src) = match src.split_once(":-") {
+        Some((h, b)) => (h.trim(), Some(b.trim())),
+        None => (src.trim(), None),
+    };
+    let head = parse_atom(&mut Tokenizer::new(head_src))?;
+    let mut body = Vec::new();
+    if let Some(bs) = body_src {
+        let mut tz = Tokenizer::new(bs);
+        loop {
+            body.push(parse_atom(&mut tz)?);
+            match tz.peek() {
+                Some(Token::Comma) => {
+                    tz.next_token();
+                }
+                None => break,
+                Some(t) => return Err(format!("expected ',' between atoms, found {t:?}")),
+            }
+        }
+    }
+    Ok(Rule { head, body })
+}
+
+fn parse_atom(tz: &mut Tokenizer) -> Result<Atom, String> {
+    let name = match tz.next_token() {
+        Some(Token::Ident(s)) => s,
+        other => return Err(format!("expected predicate name, found {other:?}")),
+    };
+    let mut terms = Vec::new();
+    if matches!(tz.peek(), Some(Token::LParen)) {
+        tz.next_token();
+        loop {
+            match tz.next_token() {
+                Some(Token::Ident(s)) => terms.push(Term::Var(s)),
+                Some(Token::Number(n)) => terms.push(Term::Const(n)),
+                other => return Err(format!("expected term, found {other:?}")),
+            }
+            match tz.next_token() {
+                Some(Token::Comma) => continue,
+                Some(Token::RParen) => break,
+                other => return Err(format!("expected ',' or ')', found {other:?}")),
+            }
+        }
+    }
+    Ok(Atom::new(name, terms))
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Number(u32),
+    LParen,
+    RParen,
+    Comma,
+}
+
+struct Tokenizer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    lookahead: Option<Token>,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn new(src: &'a str) -> Self {
+        Tokenizer {
+            chars: src.chars().peekable(),
+            lookahead: None,
+        }
+    }
+
+    fn peek(&mut self) -> Option<&Token> {
+        if self.lookahead.is_none() {
+            self.lookahead = self.lex();
+        }
+        self.lookahead.as_ref()
+    }
+
+    fn next_token(&mut self) -> Option<Token> {
+        if let Some(t) = self.lookahead.take() {
+            return Some(t);
+        }
+        self.lex()
+    }
+
+    fn lex(&mut self) -> Option<Token> {
+        while matches!(self.chars.peek(), Some(c) if c.is_whitespace()) {
+            self.chars.next();
+        }
+        let c = *self.chars.peek()?;
+        match c {
+            '(' => {
+                self.chars.next();
+                Some(Token::LParen)
+            }
+            ')' => {
+                self.chars.next();
+                Some(Token::RParen)
+            }
+            ',' => {
+                self.chars.next();
+                Some(Token::Comma)
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: u32 = 0;
+                while matches!(self.chars.peek(), Some(d) if d.is_ascii_digit()) {
+                    n = n * 10 + self.chars.next().unwrap().to_digit(10).unwrap();
+                }
+                Some(Token::Number(n))
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut s = String::new();
+                while matches!(self.chars.peek(), Some(d) if d.is_alphanumeric() || *d == '_')
+                {
+                    s.push(self.chars.next().unwrap());
+                }
+                Some(Token::Ident(s))
+            }
+            other => {
+                // Unknown character: consume to avoid an infinite loop and
+                // surface it as an identifier-looking token downstream.
+                self.chars.next();
+                Some(Token::Ident(other.to_string()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_program() {
+        let p = parse_program(
+            "P(X,Y) :- E(X,Y).\n\
+             P(X,Y) :- P(X,Z), E(Z,W), E(W,Y).\n\
+             Q :- P(X,X).",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 3);
+        assert_eq!(p.goal, "Q");
+        assert_eq!(p.datalog_width(), 4);
+        assert_eq!(
+            p.rules[1].to_string(),
+            "P(X,Y) :- P(X,Z), E(Z,W), E(W,Y)."
+        );
+    }
+
+    #[test]
+    fn goal_comment_overrides_default() {
+        let p = parse_program(
+            "% goal: P\n\
+             P(X) :- E(X,Y).\n\
+             Q :- P(X).",
+        )
+        .unwrap();
+        assert_eq!(p.goal, "P");
+    }
+
+    #[test]
+    fn constants_parse() {
+        let p = parse_program("Q(X) :- E(X, 3).").unwrap();
+        assert_eq!(
+            p.rules[0].body[0].terms[1],
+            Term::Const(3)
+        );
+    }
+
+    #[test]
+    fn comments_are_stripped(){
+        let p = parse_program("P(X) :- E(X,Y). % transitive base\nQ :- P(X).").unwrap();
+        assert_eq!(p.rules.len(), 2);
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        assert!(parse_program("").is_err());
+        assert!(parse_program("P(X :- E(X).").is_err());
+        assert!(parse_program("P(X) :- E(X,Y),.").is_err());
+        // Unsafe rule rejected at Program construction.
+        assert!(parse_program("P(X) :- E(Y,Y).").is_err());
+    }
+
+    #[test]
+    fn nullary_atoms() {
+        let p = parse_program("Q :- E(X,X).").unwrap();
+        assert!(p.rules[0].head.terms.is_empty());
+    }
+}

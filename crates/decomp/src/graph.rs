@@ -1,0 +1,231 @@
+//! Simple undirected graphs and the Gaifman / incidence graphs of
+//! relational structures.
+//!
+//! Treewidth is a property of graphs; the paper lifts it to relational
+//! structures (Section 6) through the *Gaifman graph* (also "primal
+//! graph"): vertices are the domain elements, with an edge between two
+//! elements whenever they co-occur in some fact. The *incidence graph* is
+//! the bipartite graph between facts and the elements they mention, used
+//! by Chekuri–Rajaraman's querywidth bound discussed in Section 6.
+
+use cspdb_core::Structure;
+use std::collections::BTreeSet;
+
+/// A simple undirected graph on vertices `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    adj: Vec<BTreeSet<u32>>,
+}
+
+impl Graph {
+    /// Creates an edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// Builds a graph from an edge list (loops ignored, duplicates ok).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let mut g = Graph::new(n);
+        for (u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(BTreeSet::len).sum::<usize>() / 2
+    }
+
+    /// Adds an undirected edge; loops are silently ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        assert!(
+            (u as usize) < self.adj.len() && (v as usize) < self.adj.len(),
+            "endpoint out of range"
+        );
+        if u == v {
+            return;
+        }
+        self.adj[u as usize].insert(v);
+        self.adj[v as usize].insert(u);
+    }
+
+    /// True if `{u, v}` is an edge.
+    #[inline]
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.adj[u as usize].contains(&v)
+    }
+
+    /// Neighbors of `v` in increasing order.
+    pub fn neighbors(&self, v: u32) -> impl Iterator<Item = u32> + '_ {
+        self.adj[v as usize].iter().copied()
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// All edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, ns)| {
+            ns.iter()
+                .copied()
+                .filter(move |&v| (u as u32) < v)
+                .map(move |v| (u as u32, v))
+        })
+    }
+
+    /// True if `vertices` induces a clique.
+    pub fn is_clique(&self, vertices: &[u32]) -> bool {
+        vertices.iter().enumerate().all(|(i, &u)| {
+            vertices[i + 1..]
+                .iter()
+                .all(|&v| u == v || self.has_edge(u, v))
+        })
+    }
+
+    /// The Gaifman (primal) graph of a structure: elements are adjacent
+    /// iff they co-occur in a fact.
+    pub fn gaifman(s: &Structure) -> Graph {
+        let mut g = Graph::new(s.domain_size());
+        for (_, rel) in s.relations() {
+            for t in rel.iter() {
+                for i in 0..t.len() {
+                    for j in (i + 1)..t.len() {
+                        g.add_edge(t[i], t[j]);
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    /// The incidence graph of a structure: vertices `0..n` are the domain
+    /// elements and vertices `n..n+m` are the facts; a fact is adjacent to
+    /// every element it mentions. Returns the graph and the number of
+    /// element vertices `n`.
+    pub fn incidence(s: &Structure) -> (Graph, usize) {
+        let n = s.domain_size();
+        let m: usize = s.fact_count();
+        let mut g = Graph::new(n + m);
+        let mut fact_idx = n as u32;
+        for (_, rel) in s.relations() {
+            for t in rel.iter() {
+                for &x in t {
+                    g.add_edge(x, fact_idx);
+                }
+                fact_idx += 1;
+            }
+        }
+        (g, n)
+    }
+
+    /// Connected components as vertex lists.
+    pub fn components(&self) -> Vec<Vec<u32>> {
+        let n = self.num_vertices();
+        let mut seen = vec![false; n];
+        let mut out = Vec::new();
+        for start in 0..n as u32 {
+            if seen[start as usize] {
+                continue;
+            }
+            let mut comp = vec![start];
+            seen[start as usize] = true;
+            let mut stack = vec![start];
+            while let Some(u) = stack.pop() {
+                for v in self.neighbors(u) {
+                    if !seen[v as usize] {
+                        seen[v as usize] = true;
+                        comp.push(v);
+                        stack.push(v);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            out.push(comp);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cspdb_core::graphs::{cycle, digraph};
+    use cspdb_core::{Structure, Vocabulary};
+
+    #[test]
+    fn basic_edges() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (1, 2), (3, 3)]);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.edges().collect::<Vec<_>>(), vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn gaifman_of_ternary_fact_is_triangle() {
+        let voc = Vocabulary::new([("T", 3)]).unwrap();
+        let mut s = Structure::new(voc, 4);
+        s.insert_by_name("T", &[0, 1, 2]).unwrap();
+        let g = Graph::gaifman(&s);
+        assert!(g.is_clique(&[0, 1, 2]));
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn gaifman_of_cycle_is_cycle() {
+        let g = Graph::gaifman(&cycle(5));
+        assert_eq!(g.num_edges(), 5);
+        for v in 0..5 {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn incidence_graph_shape() {
+        let s = digraph(3, &[(0, 1), (1, 2)]);
+        let (g, n) = Graph::incidence(&s);
+        assert_eq!(n, 3);
+        assert_eq!(g.num_vertices(), 5);
+        // Each fact vertex has degree 2 (its two endpoints).
+        assert_eq!(g.degree(3), 2);
+        assert_eq!(g.degree(4), 2);
+    }
+
+    #[test]
+    fn components_found() {
+        let g = Graph::from_edges(5, [(0, 1), (2, 3)]);
+        let comps = g.components();
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn clique_check() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (0, 2)]);
+        assert!(g.is_clique(&[0, 1, 2]));
+        assert!(!g.is_clique(&[0, 1, 3]));
+        assert!(g.is_clique(&[2]));
+        assert!(g.is_clique(&[]));
+    }
+}

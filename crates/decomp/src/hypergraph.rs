@@ -1,0 +1,363 @@
+//! Hypergraphs, the GYO reduction, acyclicity, and join trees.
+//!
+//! Section 6 of the paper traces the "topology of queries" line of work
+//! back to acyclic joins. The hypergraph of a structure (or of a
+//! conjunctive query) has one hyperedge per fact/atom — the set of
+//! elements/variables it mentions. α-acyclicity is recognized by the
+//! Graham/Yu–Özsoyoğlu (GYO) ear-removal procedure, which also produces a
+//! *join tree*: a tree over the hyperedges such that for every vertex the
+//! hyperedges containing it form a subtree. Yannakakis' algorithm
+//! (`cspdb-relalg`) evaluates acyclic joins along a join tree in
+//! polynomial time.
+
+use cspdb_core::Structure;
+use std::collections::BTreeSet;
+
+/// A hypergraph on vertices `0..n` with a list of hyperedges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hypergraph {
+    num_vertices: usize,
+    edges: Vec<BTreeSet<u32>>,
+}
+
+/// A join tree over the hyperedges of a [`Hypergraph`]: `parent[i]` is
+/// the parent of hyperedge `i`, or `None` for the root. The defining
+/// property ("connectedness"): for every vertex, the set of hyperedges
+/// containing it induces a connected subtree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinTree {
+    /// Parent index per hyperedge (`None` for roots; a forest when the
+    /// hypergraph is disconnected).
+    pub parent: Vec<Option<usize>>,
+}
+
+impl Hypergraph {
+    /// Creates a hypergraph with no hyperedges.
+    pub fn new(num_vertices: usize) -> Self {
+        Hypergraph {
+            num_vertices,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Builds a hypergraph from explicit edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a vertex is `>= num_vertices`.
+    pub fn from_edges(
+        num_vertices: usize,
+        edges: impl IntoIterator<Item = Vec<u32>>,
+    ) -> Self {
+        let mut h = Hypergraph::new(num_vertices);
+        for e in edges {
+            h.add_edge(e);
+        }
+        h
+    }
+
+    /// The hypergraph of a structure: one hyperedge per fact (the set of
+    /// elements the fact mentions).
+    pub fn of_structure(s: &Structure) -> Self {
+        let mut h = Hypergraph::new(s.domain_size());
+        for (_, rel) in s.relations() {
+            for t in rel.iter() {
+                h.add_edge(t.to_vec());
+            }
+        }
+        h
+    }
+
+    /// Adds a hyperedge (vertex multiset collapses to a set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a vertex is out of range.
+    pub fn add_edge(&mut self, vertices: impl IntoIterator<Item = u32>) {
+        let set: BTreeSet<u32> = vertices.into_iter().collect();
+        assert!(
+            set.iter().all(|&v| (v as usize) < self.num_vertices),
+            "vertex out of range"
+        );
+        self.edges.push(set);
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of hyperedges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The hyperedges.
+    pub fn edges(&self) -> &[BTreeSet<u32>] {
+        &self.edges
+    }
+
+    /// Runs the GYO ear-removal reduction. Returns a [`JoinTree`] if the
+    /// hypergraph is α-acyclic, `None` otherwise.
+    ///
+    /// An *ear* is a hyperedge `e` such that some other hyperedge `f`
+    /// contains every vertex of `e` that is shared with any other edge
+    /// (`f` is the *witness*, and becomes `e`'s parent). Empty hyperedges
+    /// and duplicate hyperedges are ears with any witness.
+    pub fn gyo(&self) -> Option<JoinTree> {
+        let m = self.edges.len();
+        if m == 0 {
+            return Some(JoinTree { parent: vec![] });
+        }
+        let mut alive: Vec<bool> = vec![true; m];
+        let mut parent: Vec<Option<usize>> = vec![None; m];
+        let mut remaining = m;
+        loop {
+            let mut removed_any = false;
+            for e in 0..m {
+                if !alive[e] || remaining == 1 {
+                    continue;
+                }
+                // Vertices of e shared with some other live edge.
+                let shared: BTreeSet<u32> = self.edges[e]
+                    .iter()
+                    .copied()
+                    .filter(|v| {
+                        (0..m).any(|f| f != e && alive[f] && self.edges[f].contains(v))
+                    })
+                    .collect();
+                // Find a witness f covering all shared vertices.
+                let witness = (0..m)
+                    .find(|&f| f != e && alive[f] && shared.is_subset(&self.edges[f]));
+                if let Some(f) = witness {
+                    alive[e] = false;
+                    parent[e] = Some(f);
+                    remaining -= 1;
+                    removed_any = true;
+                }
+            }
+            if remaining == 1 {
+                return Some(JoinTree { parent });
+            }
+            if !removed_any {
+                // Disconnected acyclic hypergraphs stall with several
+                // independent live edges: check that live edges are
+                // pairwise disjoint; if so they are forest roots.
+                let live: Vec<usize> = (0..m).filter(|&e| alive[e]).collect();
+                let disjoint = live.iter().enumerate().all(|(i, &e)| {
+                    live[i + 1..]
+                        .iter()
+                        .all(|&f| self.edges[e].is_disjoint(&self.edges[f]))
+                });
+                return if disjoint {
+                    Some(JoinTree { parent })
+                } else {
+                    None
+                };
+            }
+        }
+    }
+
+    /// True if the hypergraph is α-acyclic (GYO succeeds).
+    pub fn is_acyclic(&self) -> bool {
+        self.gyo().is_some()
+    }
+}
+
+impl JoinTree {
+    /// Checks the join-tree property against a hypergraph: for every
+    /// vertex, the hyperedges containing it form a connected subtree.
+    pub fn is_valid_for(&self, h: &Hypergraph) -> bool {
+        let m = h.num_edges();
+        if self.parent.len() != m {
+            return false;
+        }
+        // No cycles in parent pointers, and parents in range.
+        for start in 0..m {
+            let mut seen = vec![false; m];
+            let mut cur = start;
+            loop {
+                if seen[cur] {
+                    return false; // cycle
+                }
+                seen[cur] = true;
+                match self.parent[cur] {
+                    Some(p) if p < m => cur = p,
+                    Some(_) => return false,
+                    None => break,
+                }
+            }
+        }
+        // Connectedness per vertex: among the edges containing v, each
+        // one's parent-path must reach another such edge without leaving
+        // the set... equivalently: the edges containing v, viewed in the
+        // forest, must induce a connected subtree. We check: for every
+        // vertex v, at most one edge containing v has a parent that does
+        // NOT contain v (the "top" of the subtree) — and if an edge's
+        // parent does not contain v, no ancestor may contain v again.
+        for v in 0..h.num_vertices() as u32 {
+            let holders: Vec<usize> = (0..m)
+                .filter(|&e| h.edges()[e].contains(&v))
+                .collect();
+            for &e in &holders {
+                // Walk up from e; once we leave the holder set we must
+                // never re-enter it.
+                let mut cur = e;
+                let mut left = false;
+                while let Some(p) = self.parent[cur] {
+                    let inside = h.edges()[p].contains(&v);
+                    if left && inside {
+                        return false;
+                    }
+                    if !inside {
+                        left = true;
+                    }
+                    cur = p;
+                }
+            }
+            // All holders must share a single "top" (connectivity across
+            // components): find each holder's highest ancestor within the
+            // holder set; they must coincide.
+            let mut top: Option<usize> = None;
+            for &e in &holders {
+                let mut cur = e;
+                let mut highest = e;
+                while let Some(p) = self.parent[cur] {
+                    if h.edges()[p].contains(&v) {
+                        highest = p;
+                    }
+                    cur = p;
+                }
+                match top {
+                    None => top = Some(highest),
+                    Some(t) if t == highest => {}
+                    Some(_) => return false,
+                }
+            }
+        }
+        true
+    }
+
+    /// Children lists derived from the parent array.
+    pub fn children(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.parent.len()];
+        for (e, p) in self.parent.iter().enumerate() {
+            if let Some(p) = p {
+                out[*p].push(e);
+            }
+        }
+        out
+    }
+
+    /// Root indices (edges with no parent).
+    pub fn roots(&self) -> Vec<usize> {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter_map(|(e, p)| p.is_none().then_some(e))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_is_acyclic_with_valid_join_tree() {
+        // R(a,b), S(b,c), T(c,d): a chain, classically acyclic.
+        let h = Hypergraph::from_edges(4, [vec![0, 1], vec![1, 2], vec![2, 3]]);
+        let jt = h.gyo().expect("chain is acyclic");
+        assert!(jt.is_valid_for(&h));
+    }
+
+    #[test]
+    fn triangle_hypergraph_is_cyclic() {
+        // R(a,b), S(b,c), T(a,c): the classic cyclic join.
+        let h = Hypergraph::from_edges(3, [vec![0, 1], vec![1, 2], vec![0, 2]]);
+        assert!(!h.is_acyclic());
+    }
+
+    #[test]
+    fn triangle_plus_covering_edge_is_acyclic() {
+        // Adding the full edge {a,b,c} makes it acyclic (α-acyclicity is
+        // not monotone!).
+        let h = Hypergraph::from_edges(
+            3,
+            [vec![0, 1], vec![1, 2], vec![0, 2], vec![0, 1, 2]],
+        );
+        let jt = h.gyo().expect("covered triangle is acyclic");
+        assert!(jt.is_valid_for(&h));
+    }
+
+    #[test]
+    fn star_is_acyclic() {
+        let h = Hypergraph::from_edges(5, [vec![0, 1], vec![0, 2], vec![0, 3], vec![0, 4]]);
+        let jt = h.gyo().expect("star is acyclic");
+        assert!(jt.is_valid_for(&h));
+    }
+
+    #[test]
+    fn disconnected_acyclic_forest() {
+        let h = Hypergraph::from_edges(4, [vec![0, 1], vec![2, 3]]);
+        let jt = h.gyo().expect("two disjoint edges are acyclic");
+        // Disjoint edges share no vertices, so GYO may attach one to the
+        // other (the shared set is empty); either a forest or a single
+        // tree is a valid join tree here.
+        assert!(jt.is_valid_for(&h));
+        assert!(!jt.roots().is_empty());
+    }
+
+    #[test]
+    fn empty_and_single_edge() {
+        assert!(Hypergraph::new(0).is_acyclic());
+        let h = Hypergraph::from_edges(3, [vec![0, 1, 2]]);
+        let jt = h.gyo().unwrap();
+        assert_eq!(jt.parent, vec![None]);
+        assert!(jt.is_valid_for(&h));
+    }
+
+    #[test]
+    fn duplicate_edges_are_ears() {
+        let h = Hypergraph::from_edges(2, [vec![0, 1], vec![0, 1]]);
+        let jt = h.gyo().expect("duplicates reduce");
+        assert!(jt.is_valid_for(&h));
+    }
+
+    #[test]
+    fn cycle_of_length_four_is_cyclic() {
+        let h = Hypergraph::from_edges(4, [vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 0]]);
+        assert!(!h.is_acyclic());
+    }
+
+    #[test]
+    fn structure_hypergraph() {
+        let s = cspdb_core::graphs::cycle(3);
+        let h = Hypergraph::of_structure(&s);
+        // 6 directed facts -> 6 hyperedges (3 distinct vertex sets, with
+        // duplicates).
+        assert_eq!(h.num_edges(), 6);
+        assert!(!h.is_acyclic()); // triangle
+    }
+
+    #[test]
+    fn invalid_join_tree_rejected() {
+        let h = Hypergraph::from_edges(3, [vec![0, 1], vec![1, 2], vec![0, 2]]);
+        // Any parent array over a cyclic hypergraph must fail validation.
+        let jt = JoinTree {
+            parent: vec![Some(1), Some(2), None],
+        };
+        assert!(!jt.is_valid_for(&h));
+        // Wrong length fails too.
+        let jt = JoinTree { parent: vec![None] };
+        assert!(!jt.is_valid_for(&h));
+        // Parent cycle fails.
+        let h2 = Hypergraph::from_edges(2, [vec![0], vec![1]]);
+        let jt = JoinTree {
+            parent: vec![Some(1), Some(0)],
+        };
+        assert!(!jt.is_valid_for(&h2));
+    }
+}

@@ -1,0 +1,326 @@
+//! Generalized hypertree decompositions (Gottlob–Leone–Scarcello, cited
+//! in Section 6 of the paper).
+//!
+//! A (generalized) hypertree decomposition of a hypergraph pairs every
+//! node of a tree with a *bag* `χ` of vertices and a *guard* `λ` — a set
+//! of hyperedges whose union covers the bag. Its width is the maximum
+//! guard size; acyclic hypergraphs are exactly those of hypertree width 1
+//! (the join tree is the decomposition). The paper notes hypertree width
+//! is bounded by querywidth and that `CSP(H(k), F)` is tractable; the
+//! solving route (join the guard relations per node, then run Yannakakis
+//! on the resulting acyclic instance) lives in `cspdb-relalg`.
+
+use crate::hypergraph::{Hypergraph, JoinTree};
+use crate::treewidth::TreeDecomposition;
+use std::collections::BTreeSet;
+
+/// A generalized hypertree decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HypertreeDecomposition {
+    /// `χ`: vertex bag per node, sorted.
+    pub bags: Vec<Vec<u32>>,
+    /// `λ`: guard per node — indices of hyperedges whose union covers
+    /// the bag.
+    pub guards: Vec<Vec<usize>>,
+    /// Undirected tree edges between node indices.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl HypertreeDecomposition {
+    /// Width: maximum guard size (0 for the empty decomposition).
+    pub fn width(&self) -> usize {
+        self.guards.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Neighbor lists of the decomposition tree.
+    fn adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.bags.len()];
+        for &(a, b) in &self.edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        adj
+    }
+
+    /// Validates the generalized-hypertree conditions against `h`:
+    ///
+    /// 1. every hyperedge is contained in some bag;
+    /// 2. for every vertex, the nodes whose bag contains it form a
+    ///    connected subtree;
+    /// 3. every bag is covered by the union of its guard's hyperedges;
+    /// 4. the tree is a tree.
+    pub fn validate(&self, h: &Hypergraph) -> Result<(), String> {
+        let nb = self.bags.len();
+        if self.guards.len() != nb {
+            return Err("one guard per bag required".into());
+        }
+        if nb > 0 && self.edges.len() != nb - 1 {
+            return Err("decomposition tree must have n-1 edges".into());
+        }
+        // Tree connectivity.
+        if nb > 0 {
+            let adj = self.adjacency();
+            let mut seen = vec![false; nb];
+            seen[0] = true;
+            let mut stack = vec![0usize];
+            let mut count = 1;
+            while let Some(u) = stack.pop() {
+                for &v in &adj[u] {
+                    if !seen[v] {
+                        seen[v] = true;
+                        count += 1;
+                        stack.push(v);
+                    }
+                }
+            }
+            if count != nb {
+                return Err("decomposition tree is disconnected".into());
+            }
+        }
+        // 1. Edge coverage.
+        for (ei, e) in h.edges().iter().enumerate() {
+            let covered = self
+                .bags
+                .iter()
+                .any(|bag| e.iter().all(|v| bag.binary_search(v).is_ok()));
+            if !covered {
+                return Err(format!("hyperedge {ei} covered by no bag"));
+            }
+        }
+        // 2. Connected subtrees per vertex.
+        let adj = self.adjacency();
+        for v in 0..h.num_vertices() as u32 {
+            let holders: Vec<usize> = (0..nb)
+                .filter(|&i| self.bags[i].binary_search(&v).is_ok())
+                .collect();
+            if holders.len() <= 1 {
+                continue;
+            }
+            let set: BTreeSet<usize> = holders.iter().copied().collect();
+            let mut seen = BTreeSet::new();
+            seen.insert(holders[0]);
+            let mut stack = vec![holders[0]];
+            while let Some(u) = stack.pop() {
+                for &w in &adj[u] {
+                    if set.contains(&w) && seen.insert(w) {
+                        stack.push(w);
+                    }
+                }
+            }
+            if seen.len() != set.len() {
+                return Err(format!("bags of vertex {v} are not connected"));
+            }
+        }
+        // 3. Guard coverage.
+        for (i, bag) in self.bags.iter().enumerate() {
+            let mut covered: BTreeSet<u32> = BTreeSet::new();
+            for &g in &self.guards[i] {
+                if g >= h.num_edges() {
+                    return Err(format!("guard of node {i} references edge {g}"));
+                }
+                covered.extend(h.edges()[g].iter().copied());
+            }
+            for &v in bag {
+                if !covered.contains(&v) {
+                    return Err(format!("bag vertex {v} of node {i} not guarded"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the width-1 decomposition of an acyclic hypergraph from its
+    /// join tree: one node per hyperedge, bag = the hyperedge, guard =
+    /// itself.
+    pub fn from_join_tree(h: &Hypergraph, jt: &JoinTree) -> Self {
+        let m = h.num_edges();
+        let bags: Vec<Vec<u32>> = h
+            .edges()
+            .iter()
+            .map(|e| e.iter().copied().collect())
+            .collect();
+        let guards: Vec<Vec<usize>> = (0..m).map(|i| vec![i]).collect();
+        let mut edges: Vec<(usize, usize)> = jt
+            .parent
+            .iter()
+            .enumerate()
+            .filter_map(|(e, p)| p.map(|p| (e, p)))
+            .collect();
+        // Join several roots (disconnected hypergraph) into one tree.
+        let roots = jt.roots();
+        for w in roots.windows(2) {
+            edges.push((w[0], w[1]));
+        }
+        HypertreeDecomposition {
+            bags,
+            guards,
+            edges,
+        }
+    }
+
+    /// Derives a generalized hypertree decomposition from a tree
+    /// decomposition of the hypergraph's primal graph, covering every
+    /// bag greedily with hyperedges (classic `set-cover` heuristic).
+    /// Vertices that occur in no hyperedge are dropped from bags (they
+    /// are unconstrained).
+    pub fn from_tree_decomposition(h: &Hypergraph, td: &TreeDecomposition) -> Self {
+        let mut bags = Vec::with_capacity(td.bags.len());
+        let mut guards = Vec::with_capacity(td.bags.len());
+        // Which vertices occur in some hyperedge?
+        let mut occurs = vec![false; h.num_vertices()];
+        for e in h.edges() {
+            for &v in e {
+                occurs[v as usize] = true;
+            }
+        }
+        for bag in &td.bags {
+            let mut need: BTreeSet<u32> = bag
+                .iter()
+                .copied()
+                .filter(|&v| occurs[v as usize])
+                .collect();
+            let kept: Vec<u32> = need.iter().copied().collect();
+            let mut guard = Vec::new();
+            while !need.is_empty() {
+                // Greedy: hyperedge covering the most remaining vertices.
+                let (best, gain) = (0..h.num_edges())
+                    .map(|ei| {
+                        (
+                            ei,
+                            h.edges()[ei].iter().filter(|v| need.contains(v)).count(),
+                        )
+                    })
+                    .max_by_key(|&(ei, gain)| (gain, usize::MAX - ei))
+                    .expect("hypergraph has edges if need is nonempty");
+                debug_assert!(gain > 0, "every occurring vertex is in some edge");
+                guard.push(best);
+                for v in h.edges()[best].iter() {
+                    need.remove(v);
+                }
+            }
+            bags.push(kept);
+            guards.push(guard);
+        }
+        HypertreeDecomposition {
+            bags,
+            guards,
+            edges: td.edges.clone(),
+        }
+    }
+}
+
+/// Heuristic generalized hypertree width: via the primal graph's min-fill
+/// tree decomposition plus greedy bag covers. Returns the decomposition;
+/// its [`HypertreeDecomposition::width`] upper-bounds the true
+/// (generalized) hypertree width.
+pub fn hypertree_heuristic(h: &Hypergraph) -> HypertreeDecomposition {
+    // Acyclic hypergraphs get the exact width-1 decomposition.
+    if let Some(jt) = h.gyo() {
+        return HypertreeDecomposition::from_join_tree(h, &jt);
+    }
+    let mut primal = crate::graph::Graph::new(h.num_vertices());
+    for e in h.edges() {
+        let vs: Vec<u32> = e.iter().copied().collect();
+        for (i, &a) in vs.iter().enumerate() {
+            for &b in &vs[i + 1..] {
+                primal.add_edge(a, b);
+            }
+        }
+    }
+    let order = crate::treewidth::min_fill_order(&primal);
+    let td = from_order_for_hypergraph(&primal, &order);
+    HypertreeDecomposition::from_tree_decomposition(h, &td)
+}
+
+fn from_order_for_hypergraph(
+    g: &crate::graph::Graph,
+    order: &[u32],
+) -> TreeDecomposition {
+    crate::treewidth::from_elimination_order(g, order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acyclic_hypergraph_has_width_one() {
+        let h = Hypergraph::from_edges(4, [vec![0, 1], vec![1, 2], vec![2, 3]]);
+        let hd = hypertree_heuristic(&h);
+        hd.validate(&h).expect("valid decomposition");
+        assert_eq!(hd.width(), 1);
+    }
+
+    #[test]
+    fn triangle_hypergraph_width_two_or_less_heuristic() {
+        let h = Hypergraph::from_edges(3, [vec![0, 1], vec![1, 2], vec![0, 2]]);
+        let hd = hypertree_heuristic(&h);
+        hd.validate(&h).expect("valid decomposition");
+        assert!(hd.width() >= 2, "cyclic needs width >= 2");
+        assert!(hd.width() <= 2, "greedy should cover a triangle bag with 2 edges");
+    }
+
+    #[test]
+    fn big_covering_edge_gives_width_one() {
+        // Cyclic triangle + covering edge is α-acyclic: width 1.
+        let h = Hypergraph::from_edges(
+            3,
+            [vec![0, 1], vec![1, 2], vec![0, 2], vec![0, 1, 2]],
+        );
+        let hd = hypertree_heuristic(&h);
+        hd.validate(&h).expect("valid");
+        assert_eq!(hd.width(), 1);
+    }
+
+    #[test]
+    fn validation_catches_missing_guard() {
+        let h = Hypergraph::from_edges(2, [vec![0, 1]]);
+        let hd = HypertreeDecomposition {
+            bags: vec![vec![0, 1]],
+            guards: vec![vec![]],
+            edges: vec![],
+        };
+        assert!(hd.validate(&h).is_err());
+    }
+
+    #[test]
+    fn validation_catches_uncovered_hyperedge() {
+        let h = Hypergraph::from_edges(3, [vec![0, 1], vec![1, 2]]);
+        let hd = HypertreeDecomposition {
+            bags: vec![vec![0, 1]],
+            guards: vec![vec![0]],
+            edges: vec![],
+        };
+        assert!(hd.validate(&h).is_err());
+    }
+
+    #[test]
+    fn grid_like_hypergraph_small_width() {
+        // 2x3 grid as binary edges: treewidth 2, so heuristic hypertree
+        // width <= 3 (each bag of <=3 vertices covered by <=3 edges);
+        // cyclic, so width >= 2.
+        let h = Hypergraph::from_edges(
+            6,
+            [
+                vec![0, 1],
+                vec![1, 2],
+                vec![3, 4],
+                vec![4, 5],
+                vec![0, 3],
+                vec![1, 4],
+                vec![2, 5],
+            ],
+        );
+        let hd = hypertree_heuristic(&h);
+        hd.validate(&h).expect("valid");
+        assert!((2..=3).contains(&hd.width()), "width = {}", hd.width());
+    }
+
+    #[test]
+    fn empty_hypergraph() {
+        let h = Hypergraph::new(0);
+        let hd = hypertree_heuristic(&h);
+        hd.validate(&h).expect("empty valid");
+        assert_eq!(hd.width(), 0);
+    }
+}

@@ -1,0 +1,384 @@
+//! Nice tree decompositions.
+//!
+//! A *nice* tree decomposition normalizes an arbitrary rooted tree
+//! decomposition into nodes of four shapes — Leaf (empty bag), Introduce
+//! (adds one vertex), Forget (removes one vertex), Join (two children
+//! with identical bags) — the form in which dynamic programs over
+//! decompositions (Theorem 6.2) are usually stated and proved. The
+//! transformation preserves width.
+
+use crate::treewidth::TreeDecomposition;
+use cspdb_core::Structure;
+
+/// The shape of a nice-decomposition node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NiceNode {
+    /// A leaf with an empty bag.
+    Leaf,
+    /// Introduces `vertex` over the single child.
+    Introduce {
+        /// The added vertex.
+        vertex: u32,
+        /// Child node index.
+        child: usize,
+    },
+    /// Forgets `vertex` from the single child.
+    Forget {
+        /// The removed vertex.
+        vertex: u32,
+        /// Child node index.
+        child: usize,
+    },
+    /// Joins two children with identical bags.
+    Join {
+        /// Left child index.
+        left: usize,
+        /// Right child index.
+        right: usize,
+    },
+}
+
+/// A nice tree decomposition: nodes in post-order-compatible indexing
+/// (children have smaller indices than parents), with the root last.
+#[derive(Debug, Clone)]
+pub struct NiceDecomposition {
+    /// The node shapes.
+    pub nodes: Vec<NiceNode>,
+    /// The bag of each node (sorted).
+    pub bags: Vec<Vec<u32>>,
+}
+
+impl NiceDecomposition {
+    /// The root node index (always the last node).
+    pub fn root(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Width (max bag size − 1).
+    pub fn width(&self) -> usize {
+        self.bags.iter().map(Vec::len).max().unwrap_or(0).saturating_sub(1)
+    }
+
+    /// Structural validation: shapes consistent with bags, children
+    /// precede parents, root bag empty (fully forgotten), and every
+    /// vertex of `0..n` introduced somewhere iff it appears.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes.len() != self.bags.len() {
+            return Err("node/bag count mismatch".into());
+        }
+        if self.nodes.is_empty() {
+            return Err("empty nice decomposition".into());
+        }
+        let mut used_as_child = vec![false; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            match node {
+                NiceNode::Leaf => {
+                    if !self.bags[i].is_empty() {
+                        return Err(format!("leaf {i} has a nonempty bag"));
+                    }
+                }
+                NiceNode::Introduce { vertex, child } => {
+                    if *child >= i {
+                        return Err(format!("node {i}: child {child} not before parent"));
+                    }
+                    let mut expect = self.bags[*child].clone();
+                    expect.push(*vertex);
+                    expect.sort_unstable();
+                    if expect != self.bags[i] || self.bags[*child].binary_search(vertex).is_ok()
+                    {
+                        return Err(format!("node {i}: bad introduce of {vertex}"));
+                    }
+                    used_as_child[*child] = true;
+                }
+                NiceNode::Forget { vertex, child } => {
+                    if *child >= i {
+                        return Err(format!("node {i}: child {child} not before parent"));
+                    }
+                    let mut expect = self.bags[i].clone();
+                    expect.push(*vertex);
+                    expect.sort_unstable();
+                    if expect != self.bags[*child]
+                        || self.bags[i].binary_search(vertex).is_ok()
+                    {
+                        return Err(format!("node {i}: bad forget of {vertex}"));
+                    }
+                    used_as_child[*child] = true;
+                }
+                NiceNode::Join { left, right } => {
+                    if *left >= i || *right >= i || left == right {
+                        return Err(format!("node {i}: bad join children"));
+                    }
+                    if self.bags[*left] != self.bags[i] || self.bags[*right] != self.bags[i]
+                    {
+                        return Err(format!("node {i}: join bags differ"));
+                    }
+                    used_as_child[*left] = true;
+                    used_as_child[*right] = true;
+                }
+            }
+        }
+        // Exactly one root (the last node), everything else consumed.
+        for (i, used) in used_as_child.iter().enumerate() {
+            if i != self.nodes.len() - 1 && !used {
+                return Err(format!("node {i} is not reachable from the root"));
+            }
+        }
+        if used_as_child[self.nodes.len() - 1] {
+            return Err("root used as a child".into());
+        }
+        if !self.bags[self.root()].is_empty() {
+            return Err("root bag must be empty".into());
+        }
+        Ok(())
+    }
+}
+
+/// Converts a tree decomposition into a nice one of the same width.
+///
+/// The construction roots the tree at bag 0, joins multi-child nodes
+/// pairwise, and interpolates Introduce/Forget chains between adjacent
+/// bags; a final Forget chain empties the root.
+///
+/// # Panics
+///
+/// Panics if `td` has no bags (use a single empty leaf for empty
+/// graphs: `TreeDecomposition { bags: vec![vec![]], edges: vec![] }`).
+pub fn make_nice(td: &TreeDecomposition) -> NiceDecomposition {
+    assert!(!td.bags.is_empty(), "need at least one bag");
+    let adj = td.adjacency();
+    let mut out = NiceDecomposition {
+        nodes: Vec::new(),
+        bags: Vec::new(),
+    };
+    let top = build_nice(td, &adj, 0, usize::MAX, &mut out);
+    // Forget everything remaining in bag 0 to reach an empty root.
+    let mut current = top;
+    let mut bag = out.bags[current].clone();
+    while let Some(&v) = bag.last() {
+        bag.pop();
+        out.nodes.push(NiceNode::Forget {
+            vertex: v,
+            child: current,
+        });
+        out.bags.push(bag.clone());
+        current = out.nodes.len() - 1;
+    }
+    debug_assert!(out.validate().is_ok(), "{:?}", out.validate());
+    out
+}
+
+/// Recursively emits a nice subtree for `node` and returns the index of
+/// the emitted node whose bag equals `td.bags[node]`.
+fn build_nice(
+    td: &TreeDecomposition,
+    adj: &[Vec<usize>],
+    node: usize,
+    parent: usize,
+    out: &mut NiceDecomposition,
+) -> usize {
+    let my_bag = &td.bags[node];
+    let children: Vec<usize> = adj[node]
+        .iter()
+        .copied()
+        .filter(|&c| c != parent)
+        .collect();
+    // Each child subtree is morphed to have bag = my_bag via a
+    // Forget/Introduce chain; then children are joined pairwise.
+    let mut arms: Vec<usize> = Vec::new();
+    for c in children {
+        let c_top = build_nice(td, adj, c, node, out);
+        let morphed = morph(out, c_top, my_bag);
+        arms.push(morphed);
+    }
+    match arms.len() {
+        0 => {
+            // Build my bag from a fresh leaf by introduces.
+            out.nodes.push(NiceNode::Leaf);
+            out.bags.push(vec![]);
+            let mut current = out.nodes.len() - 1;
+            let mut bag: Vec<u32> = Vec::new();
+            for &v in my_bag {
+                bag.push(v);
+                bag.sort_unstable();
+                out.nodes.push(NiceNode::Introduce { vertex: v, child: current });
+                out.bags.push(bag.clone());
+                current = out.nodes.len() - 1;
+            }
+            current
+        }
+        1 => arms[0],
+        _ => {
+            let mut current = arms[0];
+            for &arm in &arms[1..] {
+                out.nodes.push(NiceNode::Join {
+                    left: current,
+                    right: arm,
+                });
+                out.bags.push(my_bag.clone());
+                current = out.nodes.len() - 1;
+            }
+            current
+        }
+    }
+}
+
+/// Emits a Forget/Introduce chain from the node `from` (with its bag)
+/// to a node whose bag is exactly `target`; returns its index.
+fn morph(out: &mut NiceDecomposition, from: usize, target: &[u32]) -> usize {
+    let mut current = from;
+    let mut bag = out.bags[from].clone();
+    // Forget extras first (keeps bags small: width never exceeded).
+    let extras: Vec<u32> = bag
+        .iter()
+        .copied()
+        .filter(|v| target.binary_search(v).is_err())
+        .collect();
+    for v in extras {
+        bag.retain(|&x| x != v);
+        out.nodes.push(NiceNode::Forget {
+            vertex: v,
+            child: current,
+        });
+        out.bags.push(bag.clone());
+        current = out.nodes.len() - 1;
+    }
+    // Introduce what is missing.
+    let missing: Vec<u32> = target
+        .iter()
+        .copied()
+        .filter(|v| bag.binary_search(v).is_err())
+        .collect();
+    for v in missing {
+        bag.push(v);
+        bag.sort_unstable();
+        out.nodes.push(NiceNode::Introduce {
+            vertex: v,
+            child: current,
+        });
+        out.bags.push(bag.clone());
+        current = out.nodes.len() - 1;
+    }
+    current
+}
+
+/// Checks the three tree-decomposition conditions of the paper against a
+/// structure, for a nice decomposition (delegates through the flat
+/// form).
+pub fn nice_validate_structure(
+    nice: &NiceDecomposition,
+    s: &Structure,
+) -> Result<(), String> {
+    nice.validate()?;
+    // Convert to a flat TreeDecomposition and reuse its validator.
+    let mut edges = Vec::new();
+    for (i, node) in nice.nodes.iter().enumerate() {
+        match node {
+            NiceNode::Leaf => {}
+            NiceNode::Introduce { child, .. } | NiceNode::Forget { child, .. } => {
+                edges.push((i, *child));
+            }
+            NiceNode::Join { left, right } => {
+                edges.push((i, *left));
+                edges.push((i, *right));
+            }
+        }
+    }
+    let flat = TreeDecomposition {
+        bags: nice.bags.clone(),
+        edges,
+    };
+    flat.validate_structure(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::treewidth::{from_elimination_order, min_fill_order};
+    use cspdb_core::graphs::{cycle, path};
+
+    fn nice_of(s: &cspdb_core::Structure) -> NiceDecomposition {
+        let g = Graph::gaifman(s);
+        let order = min_fill_order(&g);
+        let td = from_elimination_order(&g, &order);
+        make_nice(&td)
+    }
+
+    #[test]
+    fn nice_decomposition_validates_and_keeps_width() {
+        for s in [cycle(5), cycle(8), path(6)] {
+            let g = Graph::gaifman(&s);
+            let order = min_fill_order(&g);
+            let td = from_elimination_order(&g, &order);
+            let nice = make_nice(&td);
+            nice.validate().expect("structurally valid");
+            assert_eq!(nice.width(), td.width(), "width preserved");
+            nice_validate_structure(&nice, &s).expect("covers the structure");
+        }
+    }
+
+    #[test]
+    fn shapes_are_exhaustive_and_root_empty() {
+        let nice = nice_of(&cycle(6));
+        assert!(nice.bags[nice.root()].is_empty());
+        let mut joins = 0;
+        let mut leaves = 0;
+        for n in &nice.nodes {
+            match n {
+                NiceNode::Join { .. } => joins += 1,
+                NiceNode::Leaf => leaves += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(leaves, joins + 1, "binary-tree leaf/join balance");
+    }
+
+    #[test]
+    fn single_bag_decomposition() {
+        let td = TreeDecomposition {
+            bags: vec![vec![0, 1, 2]],
+            edges: vec![],
+        };
+        let nice = make_nice(&td);
+        nice.validate().expect("valid");
+        assert_eq!(nice.width(), 2);
+        // Leaf + 3 introduces + 3 forgets = 7 nodes.
+        assert_eq!(nice.nodes.len(), 7);
+    }
+
+    #[test]
+    fn empty_bag_decomposition() {
+        let td = TreeDecomposition {
+            bags: vec![vec![]],
+            edges: vec![],
+        };
+        let nice = make_nice(&td);
+        nice.validate().expect("valid");
+        assert_eq!(nice.nodes.len(), 1);
+        assert!(matches!(nice.nodes[0], NiceNode::Leaf));
+    }
+
+    #[test]
+    fn validation_rejects_malformed() {
+        // Introduce of an already-present vertex.
+        let bad = NiceDecomposition {
+            nodes: vec![
+                NiceNode::Leaf,
+                NiceNode::Introduce { vertex: 0, child: 0 },
+                NiceNode::Introduce { vertex: 0, child: 1 },
+            ],
+            bags: vec![vec![], vec![0], vec![0]],
+        };
+        assert!(bad.validate().is_err());
+        // Join with mismatched bags.
+        let bad = NiceDecomposition {
+            nodes: vec![
+                NiceNode::Leaf,
+                NiceNode::Leaf,
+                NiceNode::Join { left: 0, right: 1 },
+            ],
+            bags: vec![vec![], vec![], vec![0]],
+        };
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! Random CNF / XOR formula generators and the CNF → Boolean-CSP bridge
+//! used by the dichotomy experiments (E3).
+
+use cspdb_core::{CspInstance, Relation};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use cspdb_schaefer::{Cnf, XorSystem};
+use std::sync::Arc;
+
+fn random_clause(rng: &mut StdRng, n: usize, width: usize) -> Vec<i32> {
+    let mut vars: Vec<u32> = (0..n as u32).collect();
+    vars.shuffle(rng);
+    vars[..width]
+        .iter()
+        .map(|&v| {
+            let lit = v as i32 + 1;
+            if rng.gen_bool(0.5) {
+                lit
+            } else {
+                -lit
+            }
+        })
+        .collect()
+}
+
+/// Uniform random 3-SAT with `m` clauses over `n ≥ 3` variables. The
+/// satisfiability phase transition sits near `m/n ≈ 4.26`.
+pub fn random_3sat(n: usize, m: usize, seed: u64) -> Cnf {
+    assert!(n >= 3, "3-SAT needs at least 3 variables");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut f = Cnf::new(n);
+    for _ in 0..m {
+        f.add_clause(random_clause(&mut rng, n, 3));
+    }
+    f
+}
+
+/// Uniform random 2-SAT with `m` clauses over `n ≥ 2` variables.
+pub fn random_2sat(n: usize, m: usize, seed: u64) -> Cnf {
+    assert!(n >= 2, "2-SAT needs at least 2 variables");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut f = Cnf::new(n);
+    for _ in 0..m {
+        f.add_clause(random_clause(&mut rng, n, 2));
+    }
+    f
+}
+
+/// Random Horn formula: `m` clauses of width ≤ 3 with at most one
+/// positive literal, plus a few positive unit clauses to make
+/// propagation non-trivial.
+pub fn random_horn(n: usize, m: usize, seed: u64) -> Cnf {
+    assert!(n >= 3, "need at least 3 variables");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut f = Cnf::new(n);
+    for _ in 0..m {
+        match rng.gen_range(0..4u32) {
+            0 => {
+                // Positive unit clause.
+                f.add_clause([rng.gen_range(0..n as u32) as i32 + 1]);
+            }
+            1 => {
+                // Fully negative clause.
+                let c: Vec<i32> = random_clause(&mut rng, n, 2)
+                    .into_iter()
+                    .map(|l| -l.abs())
+                    .collect();
+                f.add_clause(c);
+            }
+            _ => {
+                // body -> head.
+                let mut vars: Vec<u32> = (0..n as u32).collect();
+                vars.shuffle(&mut rng);
+                f.add_clause([
+                    -(vars[0] as i32 + 1),
+                    -(vars[1] as i32 + 1),
+                    vars[2] as i32 + 1,
+                ]);
+            }
+        }
+    }
+    debug_assert!(f.is_horn());
+    f
+}
+
+/// Random XOR system: `m` equations of width 2–3 over `n ≥ 3` variables.
+pub fn random_xor_system(n: usize, m: usize, seed: u64) -> XorSystem {
+    assert!(n >= 3, "need at least 3 variables");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = XorSystem::new(n);
+    for _ in 0..m {
+        let width = rng.gen_range(2..=3usize);
+        let mut vars: Vec<u32> = (0..n as u32).collect();
+        vars.shuffle(&mut rng);
+        s.add_equation(vars[..width].iter().copied(), rng.gen_bool(0.5));
+    }
+    s
+}
+
+/// Converts a CNF formula to a Boolean CSP instance: one constraint per
+/// clause, whose relation lists the satisfying Boolean tuples over the
+/// clause's variables.
+///
+/// Clauses with repeated variables are supported (the scope keeps
+/// distinct variables; the relation is computed accordingly).
+pub fn cnf_to_csp(f: &Cnf) -> CspInstance {
+    let mut instance = CspInstance::new(f.num_vars, 2);
+    for clause in &f.clauses {
+        let mut vars: Vec<u32> = clause.iter().map(|l| l.unsigned_abs() - 1).collect();
+        vars.sort_unstable();
+        vars.dedup();
+        let arity = vars.len();
+        let mut tuples = Vec::new();
+        for bits in 0u32..(1 << arity) {
+            let tuple: Vec<u32> = (0..arity).map(|i| (bits >> i) & 1).collect();
+            let satisfied = clause.iter().any(|&lit| {
+                let v = lit.unsigned_abs() - 1;
+                let idx = vars.binary_search(&v).expect("var present");
+                (lit > 0) == (tuple[idx] == 1)
+            });
+            if satisfied {
+                tuples.push(tuple);
+            }
+        }
+        let rel = Relation::from_tuples(arity, tuples.iter()).expect("consistent arity");
+        instance
+            .add_constraint(vars.into_boxed_slice(), Arc::new(rel))
+            .expect("in range");
+    }
+    instance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cspdb_schaefer::{solve_2sat, solve_horn};
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(random_3sat(10, 30, 7).clauses, random_3sat(10, 30, 7).clauses);
+        assert_eq!(random_2sat(10, 20, 7).clauses, random_2sat(10, 20, 7).clauses);
+        assert_eq!(random_horn(10, 20, 7).clauses, random_horn(10, 20, 7).clauses);
+    }
+
+    #[test]
+    fn horn_generator_makes_horn() {
+        for seed in 0..10 {
+            assert!(random_horn(8, 25, seed).is_horn());
+        }
+    }
+
+    #[test]
+    fn csp_bridge_preserves_satisfiability() {
+        for seed in 0..10u64 {
+            let f = random_3sat(6, 20, seed);
+            let csp = cnf_to_csp(&f);
+            assert_eq!(
+                csp.solve_brute_force().is_some(),
+                f.solve_brute_force().is_some(),
+                "seed {seed}"
+            );
+        }
+        for seed in 0..10u64 {
+            let f = random_2sat(6, 14, seed);
+            let csp = cnf_to_csp(&f);
+            assert_eq!(
+                csp.solve_brute_force().is_some(),
+                solve_2sat(&f).is_some(),
+                "seed {seed}"
+            );
+        }
+        for seed in 0..10u64 {
+            let f = random_horn(6, 14, seed);
+            let csp = cnf_to_csp(&f);
+            assert_eq!(
+                csp.solve_brute_force().is_some(),
+                solve_horn(&f).is_some(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn bridge_handles_repeated_variables() {
+        let mut f = Cnf::new(2);
+        f.add_clause([1, 1]); // (x0 ∨ x0)
+        f.add_clause([1, -1]); // tautology
+        let csp = cnf_to_csp(&f);
+        assert_eq!(csp.constraints()[0].scope(), &[0]);
+        assert!(csp.is_solution(&[1, 0]));
+        assert!(!csp.is_solution(&[0, 0]));
+    }
+
+    #[test]
+    fn xor_generator_in_range() {
+        let s = random_xor_system(5, 12, 3);
+        assert_eq!(s.equations.len(), 12);
+        for (vars, _) in &s.equations {
+            assert!(vars.iter().all(|&v| v < 5));
+        }
+    }
+}

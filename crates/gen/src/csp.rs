@@ -1,0 +1,84 @@
+//! Random binary CSP instances (model-RB-style).
+
+use cspdb_core::{CspInstance, Relation};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Generates a random binary CSP: `n` variables, `d` values,
+/// `num_constraints` constraints on distinct random variable pairs, each
+/// forbidding a fraction `tightness` of the `d²` value pairs.
+///
+/// Near the classic phase transition (moderate density/tightness) these
+/// instances are hard for search; loose instances are almost surely
+/// satisfiable. Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`, `d == 0`, or `tightness ∉ [0, 1]`.
+pub fn random_binary_csp(
+    n: usize,
+    d: usize,
+    num_constraints: usize,
+    tightness: f64,
+    seed: u64,
+) -> CspInstance {
+    assert!(n >= 2, "need at least two variables");
+    assert!(d >= 1, "need at least one value");
+    assert!((0.0..=1.0).contains(&tightness), "tightness in [0,1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut instance = CspInstance::new(n, d);
+    let forbidden = ((d * d) as f64 * tightness).round() as usize;
+    let mut all_pairs: Vec<[u32; 2]> = (0..d as u32)
+        .flat_map(|i| (0..d as u32).map(move |j| [i, j]))
+        .collect();
+    for _ in 0..num_constraints {
+        let x = rng.gen_range(0..n as u32);
+        let mut y = rng.gen_range(0..n as u32);
+        while y == x {
+            y = rng.gen_range(0..n as u32);
+        }
+        all_pairs.shuffle(&mut rng);
+        let allowed = &all_pairs[..(d * d - forbidden.min(d * d))];
+        let rel = Relation::from_tuples(2, allowed.iter()).expect("arity 2");
+        instance
+            .add_constraint([x, y], Arc::new(rel))
+            .expect("in range");
+    }
+    instance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let a = random_binary_csp(8, 4, 10, 0.3, 99);
+        let b = random_binary_csp(8, 4, 10, 0.3, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tightness_extremes() {
+        // tightness 0: all pairs allowed -> trivially satisfiable.
+        let p = random_binary_csp(5, 3, 8, 0.0, 1);
+        assert!(p.solve_brute_force().is_some());
+        // tightness 1: nothing allowed -> unsatisfiable (if a constraint
+        // exists).
+        let p = random_binary_csp(5, 3, 8, 1.0, 1);
+        assert!(p.solve_brute_force().is_none());
+    }
+
+    #[test]
+    fn constraint_count_and_scopes() {
+        let p = random_binary_csp(6, 2, 12, 0.25, 5);
+        assert_eq!(p.constraints().len(), 12);
+        for c in p.constraints() {
+            assert_eq!(c.scope().len(), 2);
+            assert_ne!(c.scope()[0], c.scope()[1]);
+            assert_eq!(c.relation().len(), 3); // 4 - 1 forbidden
+        }
+    }
+}

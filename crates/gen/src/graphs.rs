@@ -1,0 +1,122 @@
+//! Random and structured graph generators (as `{E/2}` structures).
+
+use cspdb_core::graphs::undirected;
+use cspdb_core::Structure;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Erdős–Rényi `G(n, p)` as an undirected structure.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Structure {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                edges.push((u, v));
+            }
+        }
+    }
+    undirected(n, &edges)
+}
+
+/// A random bipartite graph: parts of size `m` and `n`, each cross edge
+/// kept with probability `p`. Always 2-colorable.
+pub fn random_bipartite(m: usize, n: usize, p: f64, seed: u64) -> Structure {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for u in 0..m as u32 {
+        for v in 0..n as u32 {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                edges.push((u, m as u32 + v));
+            }
+        }
+    }
+    undirected(m + n, &edges)
+}
+
+/// An `rows × cols` grid graph (treewidth `min(rows, cols)`).
+pub fn grid(rows: usize, cols: usize) -> Structure {
+    let at = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((at(r, c), at(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((at(r, c), at(r + 1, c)));
+            }
+        }
+    }
+    undirected(rows * cols, &edges)
+}
+
+/// Random edge-labeled graph edges `(source, label, target)` over
+/// `alphabet_size` labels: each ordered pair gets an edge with
+/// probability `p`, with a uniformly random label. Used by the Section 7
+/// (RPQ / view-based answering) experiments.
+pub fn random_labeled_edges(
+    n: usize,
+    alphabet_size: usize,
+    p: f64,
+    seed: u64,
+) -> Vec<(u32, usize, u32)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for u in 0..n as u32 {
+        for v in 0..n as u32 {
+            if u != v && rng.gen_bool(p.clamp(0.0, 1.0)) {
+                out.push((u, rng.gen_range(0..alphabet_size), v));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cspdb_core::graphs::{is_undirected_simple, two_coloring};
+
+    #[test]
+    fn gnp_determinism_and_shape() {
+        let a = gnp(20, 0.3, 42);
+        let b = gnp(20, 0.3, 42);
+        assert_eq!(a, b);
+        let c = gnp(20, 0.3, 43);
+        assert_ne!(a, c);
+        assert!(is_undirected_simple(&a) || a.fact_count() == 0);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, 1).fact_count(), 0);
+        assert_eq!(gnp(5, 1.0, 1).fact_count(), 20); // K5 both directions
+    }
+
+    #[test]
+    fn bipartite_is_2_colorable() {
+        for seed in 0..5 {
+            let g = random_bipartite(6, 7, 0.5, seed);
+            assert!(two_coloring(&g).is_some());
+        }
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.domain_size(), 12);
+        // 3*3 + 2*4 = 17 undirected edges = 34 facts.
+        assert_eq!(g.fact_count(), 34);
+        assert!(two_coloring(&g).is_some());
+    }
+
+    #[test]
+    fn labeled_edges_in_range() {
+        let es = random_labeled_edges(10, 3, 0.4, 7);
+        assert!(!es.is_empty());
+        for (u, l, v) in es {
+            assert!(u < 10 && v < 10 && u != v && l < 3);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Partial k-tree generator: graphs of guaranteed treewidth ≤ k, the
+//! workload for the bounded-treewidth experiments (Theorem 6.2 / E9).
+
+use cspdb_core::graphs::undirected;
+use cspdb_core::Structure;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random partial k-tree on `n ≥ k + 1` vertices: grow a k-tree
+/// (every new vertex attached to a random existing k-clique), then keep
+/// each edge with probability `keep`. The result has treewidth ≤ k by
+/// construction (subgraphs of k-trees are partial k-trees).
+///
+/// Returns the undirected structure.
+///
+/// # Panics
+///
+/// Panics if `n < k + 1` or `k == 0`.
+pub fn partial_k_tree(n: usize, k: usize, keep: f64, seed: u64) -> Structure {
+    assert!(k >= 1, "k must be positive");
+    assert!(n > k, "need at least k+1 vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // cliques: list of k-cliques available for attachment.
+    let mut cliques: Vec<Vec<u32>> = Vec::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    // Base clique on 0..k+1.
+    let base: Vec<u32> = (0..=k as u32).collect();
+    for (i, &u) in base.iter().enumerate() {
+        for &v in &base[i + 1..] {
+            edges.push((u, v));
+        }
+    }
+    for skip in 0..=k {
+        let mut c = base.clone();
+        c.remove(skip);
+        cliques.push(c);
+    }
+    for v in (k + 1) as u32..n as u32 {
+        let attach = cliques.choose(&mut rng).expect("nonempty").clone();
+        for &u in &attach {
+            edges.push((u, v));
+        }
+        // New k-cliques: attach with one vertex swapped for v.
+        for skip in 0..k {
+            let mut c = attach.clone();
+            c[skip] = v;
+            c.sort_unstable();
+            cliques.push(c);
+        }
+    }
+    let kept: Vec<(u32, u32)> = edges
+        .into_iter()
+        .filter(|_| rng.gen_bool(keep.clamp(0.0, 1.0)))
+        .collect();
+    undirected(n, &kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cspdb_decomp::{exact_treewidth, Graph};
+
+    #[test]
+    fn width_is_bounded_by_k() {
+        for seed in 0..5u64 {
+            for k in 1..=3usize {
+                let s = partial_k_tree(12, k, 1.0, seed);
+                let g = Graph::gaifman(&s);
+                let (w, _) = exact_treewidth(&g);
+                assert!(w <= k, "k = {k}, got width {w}");
+                // A full k-tree on >= k+1 vertices has width exactly k.
+                assert_eq!(w, k);
+            }
+        }
+    }
+
+    #[test]
+    fn sparsified_width_still_bounded() {
+        for seed in 0..5u64 {
+            let s = partial_k_tree(14, 2, 0.6, seed);
+            let g = Graph::gaifman(&s);
+            let (w, _) = exact_treewidth(&g);
+            assert!(w <= 2);
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        assert_eq!(partial_k_tree(10, 2, 0.7, 3), partial_k_tree(10, 2, 0.7, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "k+1")]
+    fn too_small_n_rejected() {
+        partial_k_tree(2, 2, 1.0, 0);
+    }
+}

@@ -1,0 +1,18 @@
+//! # cspdb-gen
+//!
+//! Seeded workload generators for every experiment in EXPERIMENTS.md.
+//! All generators take an explicit `seed` and are deterministic across
+//! runs, so benches and paper-vs-measured tables are reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cnf;
+mod csp;
+mod graphs;
+mod ktree;
+
+pub use cnf::{cnf_to_csp, random_2sat, random_3sat, random_horn, random_xor_system};
+pub use csp::random_binary_csp;
+pub use graphs::{gnp, grid, random_bipartite, random_labeled_edges};
+pub use ktree::partial_k_tree;

@@ -1,0 +1,32 @@
+//! # cspdb-relalg
+//!
+//! In-memory relational algebra for *constraint-db*.
+//!
+//! Section 2 of the paper recasts constraint satisfaction as a
+//! *join-evaluation problem* (Proposition 2.1): viewing each CSP variable
+//! as an attribute and each constraint `(t, R)` as a relation `R` over
+//! scheme `t`, the instance is solvable iff the natural join of all
+//! constraint relations is nonempty. This crate implements that view:
+//!
+//! * [`NamedRelation`] — attribute-labeled relations with natural join,
+//!   semijoin, projection, selection, and renaming;
+//! * [`solve_by_join`] / [`count_by_join`] — Proposition 2.1 as code;
+//! * [`solve_acyclic`] / [`solve_acyclic_hom`] — Yannakakis' polynomial
+//!   algorithm for α-acyclic instances via GYO join trees and a full
+//!   semijoin reducer (Section 6's "acyclic joins" lineage);
+//! * [`solve_with_hypertree`] — solving through a generalized hypertree
+//!   decomposition: guard joins turn a width-`k` instance into an
+//!   equivalent acyclic one (Gottlob–Leone–Scarcello, end of Section 6).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod join_eval;
+mod named;
+mod yannakakis;
+
+pub use join_eval::{constraint_relations, count_by_join, join_all, solve_by_join};
+pub use named::NamedRelation;
+pub use yannakakis::{
+    is_acyclic_instance, solve_acyclic, solve_acyclic_hom, solve_with_hypertree, NotAcyclic,
+};

@@ -1,0 +1,330 @@
+//! Named relations: relations whose columns are labeled by attributes.
+//!
+//! Section 2 of the paper views every CSP variable as a relational
+//! *attribute*, every constraint scope as a *scheme*, and every
+//! constraint as a relation over that scheme — so that solvability
+//! becomes non-emptiness of the natural join (Proposition 2.1).
+//! [`NamedRelation`] is that view: rows keyed by a schema of distinct
+//! attribute ids.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A relation with named (attribute-labeled) columns. Rows are
+/// deduplicated and kept sorted for canonical equality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamedRelation {
+    schema: Vec<u32>,
+    rows: Vec<Vec<u32>>,
+}
+
+impl NamedRelation {
+    /// Creates an empty relation over the given schema.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schema repeats an attribute.
+    pub fn empty(schema: Vec<u32>) -> Self {
+        let mut sorted = schema.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), schema.len(), "schema attributes must be distinct");
+        NamedRelation {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Creates a relation from rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schema repeats an attribute or a row has the wrong
+    /// width.
+    pub fn new(schema: Vec<u32>, rows: impl IntoIterator<Item = Vec<u32>>) -> Self {
+        let mut r = NamedRelation::empty(schema);
+        let width = r.schema.len();
+        let mut collected: Vec<Vec<u32>> = rows.into_iter().collect();
+        for row in &collected {
+            assert_eq!(row.len(), width, "row width must match schema");
+        }
+        collected.sort_unstable();
+        collected.dedup();
+        r.rows = collected;
+        r
+    }
+
+    /// The relation with one empty row over the empty schema — the unit
+    /// of natural join.
+    pub fn unit() -> Self {
+        NamedRelation {
+            schema: vec![],
+            rows: vec![vec![]],
+        }
+    }
+
+    /// The schema (attribute ids in column order).
+    #[inline]
+    pub fn schema(&self) -> &[u32] {
+        &self.schema
+    }
+
+    /// The rows.
+    #[inline]
+    pub fn rows(&self) -> &[Vec<u32>] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if there are no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column position of attribute `attr`, if present.
+    pub fn position(&self, attr: u32) -> Option<usize> {
+        self.schema.iter().position(|&a| a == attr)
+    }
+
+    /// Natural join: rows that agree on all common attributes are glued;
+    /// with disjoint schemas this is the cartesian product; with equal
+    /// schemas it is intersection.
+    pub fn natural_join(&self, other: &NamedRelation) -> NamedRelation {
+        // Positions of common attributes in both relations.
+        let common: Vec<(usize, usize)> = self
+            .schema
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| other.position(a).map(|j| (i, j)))
+            .collect();
+        let extra: Vec<usize> = (0..other.schema.len())
+            .filter(|&j| !common.iter().any(|&(_, cj)| cj == j))
+            .collect();
+        let mut schema = self.schema.clone();
+        schema.extend(extra.iter().map(|&j| other.schema[j]));
+        // Hash other's rows by the common key.
+        let mut index: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+        for (ri, row) in other.rows.iter().enumerate() {
+            let key: Vec<u32> = common.iter().map(|&(_, j)| row[j]).collect();
+            index.entry(key).or_default().push(ri);
+        }
+        let mut rows = Vec::new();
+        for row in &self.rows {
+            let key: Vec<u32> = common.iter().map(|&(i, _)| row[i]).collect();
+            if let Some(matches) = index.get(&key) {
+                for &ri in matches {
+                    let mut out = row.clone();
+                    out.extend(extra.iter().map(|&j| other.rows[ri][j]));
+                    rows.push(out);
+                }
+            }
+        }
+        NamedRelation::new(schema, rows)
+    }
+
+    /// Semijoin `self ⋉ other`: rows of `self` that join with at least
+    /// one row of `other`.
+    pub fn semijoin(&self, other: &NamedRelation) -> NamedRelation {
+        let common: Vec<(usize, usize)> = self
+            .schema
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| other.position(a).map(|j| (i, j)))
+            .collect();
+        if common.is_empty() {
+            return if other.is_empty() {
+                NamedRelation::empty(self.schema.clone())
+            } else {
+                self.clone()
+            };
+        }
+        let mut keys: HashMap<Vec<u32>, ()> = HashMap::new();
+        for row in &other.rows {
+            keys.insert(common.iter().map(|&(_, j)| row[j]).collect(), ());
+        }
+        let rows = self
+            .rows
+            .iter()
+            .filter(|row| {
+                let key: Vec<u32> = common.iter().map(|&(i, _)| row[i]).collect();
+                keys.contains_key(&key)
+            })
+            .cloned()
+            .collect::<Vec<_>>();
+        NamedRelation {
+            schema: self.schema.clone(),
+            rows,
+        }
+    }
+
+    /// Projection onto the listed attributes (must exist; order given).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an attribute is missing from the schema.
+    pub fn project(&self, attrs: &[u32]) -> NamedRelation {
+        let positions: Vec<usize> = attrs
+            .iter()
+            .map(|&a| self.position(a).expect("attribute in schema"))
+            .collect();
+        NamedRelation::new(
+            attrs.to_vec(),
+            self.rows
+                .iter()
+                .map(|row| positions.iter().map(|&p| row[p]).collect()),
+        )
+    }
+
+    /// Selection: keeps rows where attribute `attr` equals `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attribute is missing.
+    pub fn select_eq(&self, attr: u32, value: u32) -> NamedRelation {
+        let p = self.position(attr).expect("attribute in schema");
+        NamedRelation {
+            schema: self.schema.clone(),
+            rows: self
+                .rows
+                .iter()
+                .filter(|row| row[p] == value)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Renames attribute `from` to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is missing or `to` already exists.
+    pub fn rename(&self, from: u32, to: u32) -> NamedRelation {
+        assert!(self.position(to).is_none(), "target attribute exists");
+        let p = self.position(from).expect("attribute in schema");
+        let mut schema = self.schema.clone();
+        schema[p] = to;
+        NamedRelation {
+            schema,
+            rows: self.rows.clone(),
+        }
+    }
+
+    /// Reads the value of `attr` in `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attribute is missing.
+    pub fn value(&self, row: &[u32], attr: u32) -> u32 {
+        row[self.position(attr).expect("attribute in schema")]
+    }
+}
+
+impl fmt::Display for NamedRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.schema.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "x{a}")?;
+        }
+        write!(f, "): {} rows", self.rows.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(schema: &[u32], rows: &[&[u32]]) -> NamedRelation {
+        NamedRelation::new(schema.to_vec(), rows.iter().map(|r| r.to_vec()))
+    }
+
+    #[test]
+    fn join_on_shared_attribute() {
+        let r = rel(&[0, 1], &[&[1, 2], &[3, 4]]);
+        let s = rel(&[1, 2], &[&[2, 5], &[2, 6], &[9, 9]]);
+        let j = r.natural_join(&s);
+        assert_eq!(j.schema(), &[0, 1, 2]);
+        assert_eq!(
+            j.rows(),
+            &[vec![1, 2, 5], vec![1, 2, 6]]
+        );
+    }
+
+    #[test]
+    fn join_disjoint_is_product() {
+        let r = rel(&[0], &[&[1], &[2]]);
+        let s = rel(&[1], &[&[7]]);
+        let j = r.natural_join(&s);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.schema(), &[0, 1]);
+    }
+
+    #[test]
+    fn join_same_schema_is_intersection() {
+        let r = rel(&[0, 1], &[&[1, 2], &[3, 4]]);
+        let s = rel(&[0, 1], &[&[3, 4], &[5, 6]]);
+        let j = r.natural_join(&s);
+        assert_eq!(j.rows(), &[vec![3, 4]]);
+    }
+
+    #[test]
+    fn join_is_commutative_up_to_columns() {
+        let r = rel(&[0, 1], &[&[1, 2], &[3, 4]]);
+        let s = rel(&[1, 2], &[&[2, 5], &[4, 6]]);
+        let a = r.natural_join(&s);
+        let b = s.natural_join(&r).project(&[0, 1, 2]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unit_is_join_identity() {
+        let r = rel(&[0, 1], &[&[1, 2]]);
+        assert_eq!(r.natural_join(&NamedRelation::unit()), r);
+        assert_eq!(
+            NamedRelation::unit().natural_join(&r).project(&[0, 1]),
+            r
+        );
+    }
+
+    #[test]
+    fn semijoin_filters() {
+        let r = rel(&[0, 1], &[&[1, 2], &[3, 4]]);
+        let s = rel(&[1], &[&[2]]);
+        assert_eq!(r.semijoin(&s).rows(), &[vec![1, 2]]);
+        // No common attributes: keep all iff other nonempty.
+        let t = rel(&[5], &[&[0]]);
+        assert_eq!(r.semijoin(&t), r);
+        let empty = NamedRelation::empty(vec![5]);
+        assert!(r.semijoin(&empty).is_empty());
+    }
+
+    #[test]
+    fn project_select_rename() {
+        let r = rel(&[0, 1], &[&[1, 2], &[1, 3], &[4, 2]]);
+        assert_eq!(r.project(&[0]).rows(), &[vec![1], vec![4]]);
+        assert_eq!(r.select_eq(1, 2).len(), 2);
+        let rn = r.rename(1, 9);
+        assert_eq!(rn.schema(), &[0, 9]);
+        assert_eq!(rn.project(&[9]).rows(), &[vec![2], vec![3]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_schema_rejected() {
+        NamedRelation::empty(vec![1, 1]);
+    }
+
+    #[test]
+    fn rows_dedup() {
+        let r = rel(&[0], &[&[1], &[1], &[0]]);
+        assert_eq!(r.rows(), &[vec![0], vec![1]]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Non-perfect Datalog-style rewritings of view-based query answering —
+//! the closing remark of Section 7: "it is shown in [10] how the
+//! connection between CSP and Datalog described in Section 4 can be used
+//! to derive (non-perfect) Datalog rewritings for RPQs with respect to
+//! RPQ views."
+//!
+//! The connection: `(c,d) ∈ cert(Q,V)` iff `CSP(A_ext, B)` is
+//! unsolvable, where **B** is the constraint template (Theorem 7.5).
+//! Whenever `¬CSP(B)` is expressible in k-Datalog, the Datalog program
+//! evaluated over the view extensions is a *perfect* PTIME rewriting;
+//! in general it is a sound under-approximation (Theorem 4.6 / 5.7).
+//!
+//! We realize the k = 2 instance of this scheme — arc consistency, i.e.
+//! the canonical 2-pebble Datalog program — by evaluating its fixpoint
+//! semantics directly: [`ArcConsistencyRewriting::certainly`] returns
+//! `true` only if AC wipes out `CSP(A_ext, B)`, which soundly implies
+//! certainty. Materializing the program text itself would require one
+//! IDB per subset of the template domain (see DESIGN.md §6); evaluating
+//! the fixpoint is the same algorithm without the exponential syntax.
+
+use crate::regex::Regex;
+use crate::views::{extension_structure, CertainAnswering, Extensions, View};
+
+/// The arc-consistency (2-pebble Datalog) rewriting of a view-based
+/// query: a sound, polynomial-time under-approximation of the certain
+/// answers.
+#[derive(Debug, Clone)]
+pub struct ArcConsistencyRewriting {
+    oracle: CertainAnswering,
+}
+
+impl ArcConsistencyRewriting {
+    /// Builds the rewriting for `Q` w.r.t. the views over Σ.
+    pub fn new(q: &Regex, views: &[View], alphabet: &[char]) -> Self {
+        ArcConsistencyRewriting {
+            oracle: CertainAnswering::new(q, views, alphabet),
+        }
+    }
+
+    /// Sound certainty test: `true` means `(c, d) ∈ cert(Q, V)` for
+    /// sure; `false` means "not derivable by arc consistency" (the pair
+    /// may still be certain — this rewriting is not perfect, cf.
+    /// Theorem 7.2).
+    pub fn certainly(&self, exts: &Extensions, c: u32, d: u32) -> bool {
+        let a = extension_structure(self.oracle.template(), exts, c, d);
+        let problem = cspdb_solver::Problem::from_structures(
+            &a,
+            &self.oracle.template().template,
+        );
+        cspdb_solver::gac_fixpoint(&problem).is_none()
+    }
+
+    /// All pairs the rewriting derives (quadratic sweep over objects).
+    pub fn answer(&self, exts: &Extensions) -> Vec<(u32, u32)> {
+        let n = exts.num_objects as u32;
+        let mut out = Vec::new();
+        for c in 0..n {
+            for d in 0..n {
+                if self.certainly(exts, c, d) {
+                    out.push((c, d));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::views::{csp_to_views, extensions_for_digraph};
+    use cspdb_core::graphs::{cycle, digraph};
+
+    fn chain_setup() -> (Regex, Vec<View>, Vec<char>) {
+        let q = Regex::parse("ab").unwrap();
+        let views = vec![
+            View {
+                name: "Va".into(),
+                definition: Regex::parse("a").unwrap(),
+            },
+            View {
+                name: "Vb".into(),
+                definition: Regex::parse("b").unwrap(),
+            },
+        ];
+        (q, views, vec!['a', 'b'])
+    }
+
+    #[test]
+    fn sound_on_forced_chains() {
+        let (q, views, alphabet) = chain_setup();
+        let rw = ArcConsistencyRewriting::new(&q, &views, &alphabet);
+        let oracle = CertainAnswering::new(&q, &views, &alphabet);
+        let exts = Extensions {
+            num_objects: 3,
+            pairs: vec![vec![(0, 1)], vec![(1, 2)]],
+        };
+        // Every AC-derived pair is certain (soundness).
+        for (c, d) in rw.answer(&exts) {
+            assert!(oracle.is_certain(&exts, c, d));
+        }
+        // And on this easy instance AC is also complete.
+        assert!(rw.certainly(&exts, 0, 2));
+        assert!(!rw.certainly(&exts, 0, 1));
+    }
+
+    #[test]
+    fn soundness_on_random_extensions() {
+        let (q, views, alphabet) = chain_setup();
+        let rw = ArcConsistencyRewriting::new(&q, &views, &alphabet);
+        let oracle = CertainAnswering::new(&q, &views, &alphabet);
+        let mut state = 0x7777AAAA5555CCCCu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..6 {
+            let n = 4usize;
+            let mut pa = Vec::new();
+            let mut pb = Vec::new();
+            for x in 0..n as u32 {
+                for y in 0..n as u32 {
+                    match next() % 5 {
+                        0 => pa.push((x, y)),
+                        1 => pb.push((x, y)),
+                        _ => {}
+                    }
+                }
+            }
+            let exts = Extensions {
+                num_objects: n,
+                pairs: vec![pa, pb],
+            };
+            for (c, d) in rw.answer(&exts) {
+                assert!(oracle.is_certain(&exts, c, d), "unsound at ({c},{d})");
+            }
+        }
+    }
+
+    #[test]
+    fn incomplete_where_certainty_needs_more_than_ac() {
+        // Theorem 7.3 setup with an odd cycle: (c,d) IS certain (C5 is
+        // not 2-colorable), but refuting CSP(C5-ext, B) needs more than
+        // arc consistency — the same parity argument as 3 pebbles vs 2
+        // for odd cycles. The AC rewriting must stay silent; the exact
+        // oracle must answer.
+        let k2 = digraph(2, &[(0, 1), (1, 0)]);
+        let reduction = csp_to_views(&k2);
+        let (exts, c, d) = extensions_for_digraph(&cycle(5));
+        let rw = ArcConsistencyRewriting::new(
+            &reduction.query,
+            &reduction.views,
+            &reduction.alphabet,
+        );
+        let oracle = CertainAnswering::new(
+            &reduction.query,
+            &reduction.views,
+            &reduction.alphabet,
+        );
+        assert!(oracle.is_certain(&exts, c, d), "C5 is not 2-colorable");
+        assert!(
+            !rw.certainly(&exts, c, d),
+            "arc consistency alone should not refute the odd cycle"
+        );
+        // On an even cycle neither fires — and indeed nothing is certain.
+        let (exts, c, d) = extensions_for_digraph(&cycle(4));
+        assert!(!oracle.is_certain(&exts, c, d));
+        assert!(!rw.certainly(&exts, c, d));
+    }
+}

@@ -1,0 +1,193 @@
+//! Edge-labeled graph databases and RPQ evaluation (Section 7).
+//!
+//! "We consider a database as an edge-labeled graph `DB = (D, E)`": nodes
+//! are objects, binary relations `r_e` are the labeled edges. An RPQ `Q`
+//! returns all pairs `(x, y)` connected by a path whose label word lies
+//! in `L(Q)`; evaluation is reachability in the product of the database
+//! with an automaton for `Q`.
+
+use crate::automata::Nfa;
+use crate::regex::Regex;
+use std::collections::VecDeque;
+
+/// An edge-labeled graph database over a `char` alphabet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphDb {
+    /// Number of nodes (objects are `0..num_nodes`).
+    pub num_nodes: usize,
+    /// The alphabet, sorted.
+    pub alphabet: Vec<char>,
+    /// Edges `(source, symbol index, target)`.
+    edges: Vec<(u32, usize, u32)>,
+    /// Adjacency: per node, outgoing `(symbol, target)`.
+    adjacency: Vec<Vec<(usize, u32)>>,
+}
+
+impl GraphDb {
+    /// Creates an empty database.
+    pub fn new(num_nodes: usize, alphabet: &[char]) -> Self {
+        let mut alphabet = alphabet.to_vec();
+        alphabet.sort_unstable();
+        alphabet.dedup();
+        GraphDb {
+            num_nodes,
+            alphabet,
+            edges: Vec::new(),
+            adjacency: vec![Vec::new(); num_nodes],
+        }
+    }
+
+    /// Adds a labeled edge `x --c--> y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown symbols or out-of-range nodes.
+    pub fn add_edge(&mut self, x: u32, symbol: char, y: u32) {
+        assert!((x as usize) < self.num_nodes && (y as usize) < self.num_nodes);
+        let s = self
+            .alphabet
+            .binary_search(&symbol)
+            .expect("symbol in alphabet");
+        self.edges.push((x, s, y));
+        self.adjacency[x as usize].push((s, y));
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[(u32, usize, u32)] {
+        &self.edges
+    }
+
+    /// Outgoing `(symbol, target)` pairs of a node.
+    pub fn adjacency_of(&self, node: u32) -> &[(usize, u32)] {
+        &self.adjacency[node as usize]
+    }
+
+    /// The symbol character for a symbol index.
+    pub fn symbol(&self, index: usize) -> char {
+        self.alphabet[index]
+    }
+
+    /// Evaluates an RPQ: all pairs `(x, y)` connected by a path spelling
+    /// a word of `L(q)`, via product-automaton BFS from each source.
+    pub fn answer(&self, q: &Regex) -> Vec<(u32, u32)> {
+        let nfa = Nfa::from_regex(q, &self.alphabet);
+        let dfa = nfa.determinize();
+        let mut out = Vec::new();
+        for x in 0..self.num_nodes as u32 {
+            // BFS over (node, dfa state).
+            let mut seen = vec![false; self.num_nodes * dfa.num_states()];
+            let start = (x, dfa.start);
+            seen[x as usize * dfa.num_states() + dfa.start] = true;
+            let mut queue = VecDeque::from([start]);
+            while let Some((node, state)) = queue.pop_front() {
+                if dfa.accepting[state] {
+                    out.push((x, node));
+                }
+                for &(sym, target) in &self.adjacency[node as usize] {
+                    let next_state = dfa.transitions[state][sym];
+                    let key = target as usize * dfa.num_states() + next_state;
+                    if !seen[key] {
+                        seen[key] = true;
+                        queue.push_back((target, next_state));
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// True if `(x, y)` is in the answer set of the RPQ.
+    pub fn answers_pair(&self, q: &Regex, x: u32, y: u32) -> bool {
+        // Targeted BFS from x only.
+        let nfa = Nfa::from_regex(q, &self.alphabet);
+        let dfa = nfa.determinize();
+        let mut seen = vec![false; self.num_nodes * dfa.num_states()];
+        seen[x as usize * dfa.num_states() + dfa.start] = true;
+        let mut queue = VecDeque::from([(x, dfa.start)]);
+        while let Some((node, state)) = queue.pop_front() {
+            if node == y && dfa.accepting[state] {
+                return true;
+            }
+            for &(sym, target) in &self.adjacency[node as usize] {
+                let next_state = dfa.transitions[state][sym];
+                let key = target as usize * dfa.num_states() + next_state;
+                if !seen[key] {
+                    seen[key] = true;
+                    queue.push_back((target, next_state));
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(word: &str) -> GraphDb {
+        let alphabet: Vec<char> = {
+            let mut a: Vec<char> = word.chars().collect();
+            a.sort_unstable();
+            a.dedup();
+            a
+        };
+        let mut db = GraphDb::new(word.len() + 1, &alphabet);
+        for (i, c) in word.chars().enumerate() {
+            db.add_edge(i as u32, c, i as u32 + 1);
+        }
+        db
+    }
+
+    #[test]
+    fn path_queries_on_a_chain() {
+        let db = chain("abab");
+        let q = Regex::parse("(ab)*").unwrap();
+        let ans = db.answer(&q);
+        // ε matches every (x,x); ab matches (0,2),(2,4); abab (0,4).
+        assert!(ans.contains(&(0, 0)));
+        assert!(ans.contains(&(0, 2)));
+        assert!(ans.contains(&(2, 4)));
+        assert!(ans.contains(&(0, 4)));
+        assert!(!ans.contains(&(0, 1)));
+        assert!(!ans.contains(&(1, 2)));
+    }
+
+    #[test]
+    fn answers_pair_matches_answer() {
+        let db = chain("abcab");
+        for q in ["a(b|c)*", "ab", "(ab|c)*", "a*"] {
+            let q = Regex::parse(q).unwrap();
+            let ans = db.answer(&q);
+            for x in 0..db.num_nodes as u32 {
+                for y in 0..db.num_nodes as u32 {
+                    assert_eq!(ans.contains(&(x, y)), db.answers_pair(&q, x, y));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_database() {
+        let mut db = GraphDb::new(2, &['a']);
+        db.add_edge(0, 'a', 1);
+        db.add_edge(1, 'a', 0);
+        let q = Regex::parse("aa").unwrap();
+        let ans = db.answer(&q);
+        assert!(ans.contains(&(0, 0)));
+        assert!(ans.contains(&(1, 1)));
+        let q = Regex::parse("a(aa)*").unwrap();
+        assert!(db.answer(&q).contains(&(0, 1)));
+        assert!(!db.answer(&q).contains(&(0, 0)));
+    }
+
+    #[test]
+    fn empty_query_and_epsilon() {
+        let db = chain("ab");
+        assert!(db.answer(&Regex::Empty).is_empty());
+        let eps = db.answer(&Regex::Epsilon);
+        assert_eq!(eps, vec![(0, 0), (1, 1), (2, 2)]);
+    }
+}

@@ -1,0 +1,243 @@
+//! Regular expressions over small alphabets — the query language of
+//! Section 7 (regular-path queries are "expressed by means of regular
+//! expressions or finite automata").
+//!
+//! Syntax: lowercase letters are symbols; `|` alternation, juxtaposition
+//! concatenation, postfix `*`, `+`, `?`; parentheses group; `()` denotes
+//! ε. Example: `a(b|c)*d`.
+
+use std::fmt;
+
+/// A regular expression AST over `char` symbols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Regex {
+    /// The empty language.
+    Empty,
+    /// The empty word.
+    Epsilon,
+    /// A single symbol.
+    Literal(char),
+    /// Concatenation.
+    Concat(Box<Regex>, Box<Regex>),
+    /// Alternation.
+    Alt(Box<Regex>, Box<Regex>),
+    /// Kleene star.
+    Star(Box<Regex>),
+}
+
+impl Regex {
+    /// Parses a regular expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first syntax error.
+    pub fn parse(src: &str) -> Result<Regex, String> {
+        let chars: Vec<char> = src.chars().filter(|c| !c.is_whitespace()).collect();
+        let mut pos = 0usize;
+        let r = parse_alt(&chars, &mut pos)?;
+        if pos != chars.len() {
+            return Err(format!("unexpected `{}` at position {pos}", chars[pos]));
+        }
+        Ok(r)
+    }
+
+    /// Concatenation helper.
+    pub fn concat(self, other: Regex) -> Regex {
+        Regex::Concat(Box::new(self), Box::new(other))
+    }
+
+    /// Alternation helper.
+    pub fn alt(self, other: Regex) -> Regex {
+        Regex::Alt(Box::new(self), Box::new(other))
+    }
+
+    /// Kleene star helper.
+    pub fn star(self) -> Regex {
+        Regex::Star(Box::new(self))
+    }
+
+    /// Alternation of many expressions ([`Regex::Empty`] if none).
+    pub fn any_of(mut rs: Vec<Regex>) -> Regex {
+        match rs.len() {
+            0 => Regex::Empty,
+            1 => rs.pop().expect("len 1"),
+            _ => {
+                let first = rs.remove(0);
+                rs.into_iter().fold(first, Regex::alt)
+            }
+        }
+    }
+
+    /// Concatenation of many expressions ([`Regex::Epsilon`] if none).
+    pub fn sequence(mut rs: Vec<Regex>) -> Regex {
+        match rs.len() {
+            0 => Regex::Epsilon,
+            1 => rs.pop().expect("len 1"),
+            _ => {
+                let first = rs.remove(0);
+                rs.into_iter().fold(first, Regex::concat)
+            }
+        }
+    }
+
+    /// The set of symbols mentioned.
+    pub fn alphabet(&self) -> Vec<char> {
+        let mut set = std::collections::BTreeSet::new();
+        self.collect_alphabet(&mut set);
+        set.into_iter().collect()
+    }
+
+    fn collect_alphabet(&self, set: &mut std::collections::BTreeSet<char>) {
+        match self {
+            Regex::Empty | Regex::Epsilon => {}
+            Regex::Literal(c) => {
+                set.insert(*c);
+            }
+            Regex::Concat(a, b) | Regex::Alt(a, b) => {
+                a.collect_alphabet(set);
+                b.collect_alphabet(set);
+            }
+            Regex::Star(a) => a.collect_alphabet(set),
+        }
+    }
+}
+
+fn parse_alt(chars: &[char], pos: &mut usize) -> Result<Regex, String> {
+    let mut r = parse_concat(chars, pos)?;
+    while *pos < chars.len() && chars[*pos] == '|' {
+        *pos += 1;
+        let rhs = parse_concat(chars, pos)?;
+        r = r.alt(rhs);
+    }
+    Ok(r)
+}
+
+fn parse_concat(chars: &[char], pos: &mut usize) -> Result<Regex, String> {
+    let mut parts: Vec<Regex> = Vec::new();
+    while *pos < chars.len() && chars[*pos] != '|' && chars[*pos] != ')' {
+        parts.push(parse_postfix(chars, pos)?);
+    }
+    Ok(Regex::sequence(parts))
+}
+
+fn parse_postfix(chars: &[char], pos: &mut usize) -> Result<Regex, String> {
+    let mut r = parse_atom(chars, pos)?;
+    while *pos < chars.len() {
+        match chars[*pos] {
+            '*' => {
+                r = r.star();
+                *pos += 1;
+            }
+            '+' => {
+                r = r.clone().concat(r.star());
+                *pos += 1;
+            }
+            '?' => {
+                r = r.alt(Regex::Epsilon);
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    Ok(r)
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize) -> Result<Regex, String> {
+    if *pos >= chars.len() {
+        return Err("unexpected end of pattern".into());
+    }
+    match chars[*pos] {
+        '(' => {
+            *pos += 1;
+            if *pos < chars.len() && chars[*pos] == ')' {
+                *pos += 1;
+                return Ok(Regex::Epsilon);
+            }
+            let r = parse_alt(chars, pos)?;
+            if *pos >= chars.len() || chars[*pos] != ')' {
+                return Err("missing `)`".into());
+            }
+            *pos += 1;
+            Ok(r)
+        }
+        c if c.is_alphanumeric() => {
+            *pos += 1;
+            Ok(Regex::Literal(c))
+        }
+        c => Err(format!("unexpected `{c}`")),
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Regex::Empty => write!(f, "∅"),
+            Regex::Epsilon => write!(f, "()"),
+            Regex::Literal(c) => write!(f, "{c}"),
+            Regex::Concat(a, b) => {
+                maybe_paren(f, a, matches!(**a, Regex::Alt(..)))?;
+                maybe_paren(f, b, matches!(**b, Regex::Alt(..)))
+            }
+            Regex::Alt(a, b) => write!(f, "{a}|{b}"),
+            Regex::Star(a) => {
+                maybe_paren(
+                    f,
+                    a,
+                    !matches!(**a, Regex::Literal(_) | Regex::Epsilon | Regex::Empty),
+                )?;
+                write!(f, "*")
+            }
+        }
+    }
+}
+
+fn maybe_paren(f: &mut fmt::Formatter<'_>, r: &Regex, paren: bool) -> fmt::Result {
+    if paren {
+        write!(f, "({r})")
+    } else {
+        write!(f, "{r}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_standard_patterns() {
+        let r = Regex::parse("a(b|c)*d").unwrap();
+        assert_eq!(r.alphabet(), vec!['a', 'b', 'c', 'd']);
+        assert!(Regex::parse("a+").is_ok());
+        assert!(Regex::parse("ab?").is_ok());
+        assert!(Regex::parse("()").unwrap() == Regex::Epsilon);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Regex::parse("(a").is_err());
+        assert!(Regex::parse("a)").is_err());
+        assert!(Regex::parse("*").is_err());
+        assert!(Regex::parse("a|*").is_err());
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for src in ["a(b|c)*d", "ab|cd", "a*b*", "(ab)*"] {
+            let r = Regex::parse(src).unwrap();
+            let r2 = Regex::parse(&r.to_string()).unwrap();
+            assert_eq!(r.alphabet(), r2.alphabet());
+        }
+    }
+
+    #[test]
+    fn combinators() {
+        let r = Regex::any_of(vec![
+            Regex::Literal('a'),
+            Regex::Literal('b'),
+            Regex::Literal('c'),
+        ]);
+        assert_eq!(r.alphabet(), vec!['a', 'b', 'c']);
+        assert_eq!(Regex::any_of(vec![]), Regex::Empty);
+        assert_eq!(Regex::sequence(vec![]), Regex::Epsilon);
+    }
+}

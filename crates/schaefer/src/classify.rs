@@ -1,0 +1,264 @@
+//! Semantic classification of Boolean constraint templates into
+//! Schaefer's six tractable classes (Section 3 of the paper).
+//!
+//! Schaefer's Dichotomy Theorem: `CSP(B)` for a Boolean structure **B**
+//! is polynomial-time solvable if every relation of **B** is
+//!
+//! 1. **0-valid** (contains the all-zero tuple),
+//! 2. **1-valid** (contains the all-one tuple),
+//! 3. **Horn** (closed under componentwise AND),
+//! 4. **dual-Horn** (closed under componentwise OR),
+//! 5. **bijunctive** (closed under componentwise majority), or
+//! 6. **affine** (closed under componentwise XOR of three tuples),
+//!
+//! and NP-complete otherwise. The closure tests below are *semantic*:
+//! any Boolean relation is classified, not just CNF-shaped ones. The
+//! closure properties are exactly the polymorphisms later generalized by
+//! Jeavons–Cohen–Gyssens (cited as the "other line of attack" in
+//! Section 3).
+
+use cspdb_core::Relation;
+
+/// One of Schaefer's tractable classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SchaeferClass {
+    /// All relations contain the all-zero tuple.
+    ZeroValid,
+    /// All relations contain the all-one tuple.
+    OneValid,
+    /// All relations closed under ∧ (expressible in Horn CNF).
+    Horn,
+    /// All relations closed under ∨ (expressible in dual-Horn CNF).
+    DualHorn,
+    /// All relations closed under majority (expressible in 2-CNF).
+    Bijunctive,
+    /// All relations closed under x⊕y⊕z (expressible as XOR systems).
+    Affine,
+}
+
+/// All six classes, in a fixed order.
+pub const ALL_CLASSES: [SchaeferClass; 6] = [
+    SchaeferClass::ZeroValid,
+    SchaeferClass::OneValid,
+    SchaeferClass::Horn,
+    SchaeferClass::DualHorn,
+    SchaeferClass::Bijunctive,
+    SchaeferClass::Affine,
+];
+
+fn is_boolean(r: &Relation) -> bool {
+    r.max_element().map(|m| m <= 1).unwrap_or(true)
+}
+
+/// True if the relation contains the all-zero tuple.
+pub fn is_zero_valid(r: &Relation) -> bool {
+    r.contains(&vec![0u32; r.arity()])
+}
+
+/// True if the relation contains the all-one tuple.
+pub fn is_one_valid(r: &Relation) -> bool {
+    r.contains(&vec![1u32; r.arity()])
+}
+
+/// True if the relation is closed under componentwise AND.
+pub fn is_horn_relation(r: &Relation) -> bool {
+    debug_assert!(is_boolean(r));
+    r.iter().all(|a| {
+        r.iter().all(|b| {
+            let and: Vec<u32> = a.iter().zip(b.iter()).map(|(&x, &y)| x & y).collect();
+            r.contains(&and)
+        })
+    })
+}
+
+/// True if the relation is closed under componentwise OR.
+pub fn is_dual_horn_relation(r: &Relation) -> bool {
+    debug_assert!(is_boolean(r));
+    r.iter().all(|a| {
+        r.iter().all(|b| {
+            let or: Vec<u32> = a.iter().zip(b.iter()).map(|(&x, &y)| x | y).collect();
+            r.contains(&or)
+        })
+    })
+}
+
+/// True if the relation is closed under componentwise majority.
+pub fn is_bijunctive_relation(r: &Relation) -> bool {
+    debug_assert!(is_boolean(r));
+    let tuples: Vec<&[u32]> = r.iter().collect();
+    tuples.iter().all(|a| {
+        tuples.iter().all(|b| {
+            tuples.iter().all(|c| {
+                let maj: Vec<u32> = (0..r.arity())
+                    .map(|i| {
+                        let s = a[i] + b[i] + c[i];
+                        u32::from(s >= 2)
+                    })
+                    .collect();
+                r.contains(&maj)
+            })
+        })
+    })
+}
+
+/// True if the relation is closed under componentwise XOR of three
+/// tuples (`x ⊕ y ⊕ z`, the Mal'tsev operation of the two-element group).
+pub fn is_affine_relation(r: &Relation) -> bool {
+    debug_assert!(is_boolean(r));
+    let tuples: Vec<&[u32]> = r.iter().collect();
+    tuples.iter().all(|a| {
+        tuples.iter().all(|b| {
+            tuples.iter().all(|c| {
+                let x: Vec<u32> = (0..r.arity()).map(|i| a[i] ^ b[i] ^ c[i]).collect();
+                r.contains(&x)
+            })
+        })
+    })
+}
+
+/// Tests membership of a single relation in a class.
+pub fn relation_in_class(r: &Relation, class: SchaeferClass) -> bool {
+    match class {
+        SchaeferClass::ZeroValid => is_zero_valid(r),
+        SchaeferClass::OneValid => is_one_valid(r),
+        SchaeferClass::Horn => is_horn_relation(r),
+        SchaeferClass::DualHorn => is_dual_horn_relation(r),
+        SchaeferClass::Bijunctive => is_bijunctive_relation(r),
+        SchaeferClass::Affine => is_affine_relation(r),
+    }
+}
+
+/// Classifies a template (a set of Boolean relations): the classes that
+/// *every* relation belongs to. Empty result ⇒ `CSP(B)` is NP-complete
+/// by Schaefer's theorem.
+///
+/// # Panics
+///
+/// Panics if some relation mentions a non-Boolean element.
+pub fn classify<'a>(relations: impl IntoIterator<Item = &'a Relation>) -> Vec<SchaeferClass> {
+    let rels: Vec<&Relation> = relations.into_iter().collect();
+    assert!(
+        rels.iter().all(|r| is_boolean(r)),
+        "Schaefer classification requires Boolean relations"
+    );
+    ALL_CLASSES
+        .into_iter()
+        .filter(|&c| rels.iter().all(|r| relation_in_class(r, c)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(arity: usize, tuples: &[&[u32]]) -> Relation {
+        Relation::from_tuples(arity, tuples.iter().copied()).unwrap()
+    }
+
+    /// The canonical template relations.
+    fn implication() -> Relation {
+        // x -> y : {00, 01, 11}
+        rel(2, &[&[0, 0], &[0, 1], &[1, 1]])
+    }
+
+    fn or2() -> Relation {
+        rel(2, &[&[0, 1], &[1, 0], &[1, 1]])
+    }
+
+    fn xor2() -> Relation {
+        rel(2, &[&[0, 1], &[1, 0]])
+    }
+
+    fn one_in_three() -> Relation {
+        rel(3, &[&[1, 0, 0], &[0, 1, 0], &[0, 0, 1]])
+    }
+
+    fn nae3() -> Relation {
+        // Not-all-equal: everything except 000 and 111.
+        rel(
+            3,
+            &[
+                &[0, 0, 1],
+                &[0, 1, 0],
+                &[0, 1, 1],
+                &[1, 0, 0],
+                &[1, 0, 1],
+                &[1, 1, 0],
+            ],
+        )
+    }
+
+    #[test]
+    fn implication_is_in_many_classes() {
+        let classes = classify([&implication()]);
+        assert!(classes.contains(&SchaeferClass::ZeroValid));
+        assert!(classes.contains(&SchaeferClass::OneValid));
+        assert!(classes.contains(&SchaeferClass::Horn));
+        assert!(classes.contains(&SchaeferClass::DualHorn));
+        assert!(classes.contains(&SchaeferClass::Bijunctive));
+        // NOT affine: 01 ⊕ 11 ⊕ 00 = 10 ∉ R.
+        assert!(!classes.contains(&SchaeferClass::Affine));
+    }
+
+    #[test]
+    fn or_is_dual_horn_not_horn() {
+        assert!(!is_horn_relation(&or2())); // 01 ∧ 10 = 00 ∉ R
+        assert!(is_dual_horn_relation(&or2()));
+        assert!(is_bijunctive_relation(&or2()));
+        assert!(!is_affine_relation(&or2())); // 01⊕10⊕11 = 00 ∉ R
+        assert!(!is_zero_valid(&or2()));
+        assert!(is_one_valid(&or2()));
+    }
+
+    #[test]
+    fn xor_is_affine_and_bijunctive_only_ish() {
+        assert!(is_affine_relation(&xor2()));
+        assert!(is_bijunctive_relation(&xor2()));
+        assert!(!is_horn_relation(&xor2()));
+        assert!(!is_dual_horn_relation(&xor2()));
+        assert!(!is_zero_valid(&xor2()));
+        assert!(!is_one_valid(&xor2()));
+    }
+
+    #[test]
+    fn one_in_three_is_np_side() {
+        // The classic NP-complete Schaefer template: in no class.
+        assert!(classify([&one_in_three()]).is_empty());
+    }
+
+    #[test]
+    fn nae_is_np_side() {
+        assert!(classify([&nae3()]).is_empty());
+    }
+
+    #[test]
+    fn mixed_templates_intersect_classes() {
+        // {implication, xor}: both bijunctive; implication is not
+        // affine, xor is not Horn/dual-Horn/0-valid/1-valid.
+        let classes = classify([&implication(), &xor2()]);
+        assert_eq!(classes, vec![SchaeferClass::Bijunctive]);
+        // {or, one-in-three}: nothing.
+        assert!(classify([&or2(), &one_in_three()]).is_empty());
+    }
+
+    #[test]
+    fn degenerate_relations() {
+        // The empty relation is Horn/dual-Horn/bijunctive/affine
+        // (closures vacuous) but neither 0- nor 1-valid.
+        let empty = Relation::empty(2);
+        let classes = classify([&empty]);
+        assert!(!classes.contains(&SchaeferClass::ZeroValid));
+        assert!(classes.contains(&SchaeferClass::Horn));
+        assert!(classes.contains(&SchaeferClass::Affine));
+        // The full Boolean relation is in every class.
+        let full = Relation::full(2, 2);
+        assert_eq!(classify([&full]).len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "Boolean")]
+    fn non_boolean_rejected() {
+        let r = rel(1, &[&[2]]);
+        classify([&r]);
+    }
+}

@@ -1,0 +1,159 @@
+//! CNF formulas with DIMACS-style signed literals.
+//!
+//! Boolean constraint satisfaction (`CSP(B)` for Boolean structures
+//! **B**, Section 3 of the paper) is Schaefer's *generalized
+//! satisfiability*. This module provides the clause representation shared
+//! by the dedicated polynomial solvers: literal `+(v+1)` is variable `v`
+//! positive, `-(v+1)` negative.
+
+/// A clause: a disjunction of nonzero literals.
+pub type Clause = Vec<i32>;
+
+/// A CNF formula.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cnf {
+    /// Number of variables (variables are `0..num_vars`).
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// Creates a formula with no clauses.
+    pub fn new(num_vars: usize) -> Self {
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Adds a clause.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero literals or out-of-range variables.
+    pub fn add_clause(&mut self, clause: impl Into<Clause>) {
+        let clause = clause.into();
+        for &lit in &clause {
+            assert!(lit != 0, "literal 0 is invalid");
+            assert!(
+                (lit.unsigned_abs() as usize) <= self.num_vars,
+                "literal {lit} out of range"
+            );
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Evaluates the formula under a total assignment
+    /// (`assignment[v] == true` means variable `v` is true).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is not total.
+    pub fn is_satisfied_by(&self, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.num_vars, "assignment must be total");
+        self.clauses.iter().all(|c| {
+            c.iter().any(|&lit| {
+                let v = (lit.unsigned_abs() - 1) as usize;
+                if lit > 0 {
+                    assignment[v]
+                } else {
+                    !assignment[v]
+                }
+            })
+        })
+    }
+
+    /// Exhaustive satisfiability oracle for tiny formulas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `2^num_vars > 2^22`.
+    pub fn solve_brute_force(&self) -> Option<Vec<bool>> {
+        assert!(self.num_vars <= 22, "brute force limited to 22 variables");
+        for bits in 0u64..(1u64 << self.num_vars) {
+            let assignment: Vec<bool> =
+                (0..self.num_vars).map(|v| bits & (1 << v) != 0).collect();
+            if self.is_satisfied_by(&assignment) {
+                return Some(assignment);
+            }
+        }
+        None
+    }
+
+    /// True if every clause is Horn (at most one positive literal).
+    pub fn is_horn(&self) -> bool {
+        self.clauses
+            .iter()
+            .all(|c| c.iter().filter(|&&l| l > 0).count() <= 1)
+    }
+
+    /// True if every clause is dual-Horn (at most one negative literal).
+    pub fn is_dual_horn(&self) -> bool {
+        self.clauses
+            .iter()
+            .all(|c| c.iter().filter(|&&l| l < 0).count() <= 1)
+    }
+
+    /// True if every clause has at most two literals (2-CNF).
+    pub fn is_bijunctive(&self) -> bool {
+        self.clauses.iter().all(|c| c.len() <= 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluation() {
+        let mut f = Cnf::new(2);
+        f.add_clause([1, -2]);
+        assert!(f.is_satisfied_by(&[true, true]));
+        assert!(f.is_satisfied_by(&[false, false]));
+        assert!(!f.is_satisfied_by(&[false, true]));
+    }
+
+    #[test]
+    fn brute_force_finds_solutions() {
+        let mut f = Cnf::new(3);
+        f.add_clause([1]);
+        f.add_clause([-1, 2]);
+        f.add_clause([-2, 3]);
+        let a = f.solve_brute_force().unwrap();
+        assert_eq!(a, vec![true, true, true]);
+        f.add_clause([-3]);
+        assert!(f.solve_brute_force().is_none());
+    }
+
+    #[test]
+    fn class_shape_checks() {
+        let mut horn = Cnf::new(3);
+        horn.add_clause([-1, -2, 3]);
+        horn.add_clause([-1]);
+        assert!(horn.is_horn());
+        assert!(!horn.is_dual_horn());
+        let mut dual = Cnf::new(2);
+        dual.add_clause([1, 2]);
+        assert!(dual.is_dual_horn());
+        let mut two = Cnf::new(3);
+        two.add_clause([1, -2]);
+        two.add_clause([2, 3]);
+        assert!(two.is_bijunctive());
+        two.add_clause([1, 2, 3]);
+        assert!(!two.is_bijunctive());
+    }
+
+    #[test]
+    #[should_panic(expected = "literal 0")]
+    fn zero_literal_rejected() {
+        Cnf::new(1).add_clause([0]);
+    }
+
+    #[test]
+    fn empty_clause_is_unsatisfiable() {
+        let mut f = Cnf::new(1);
+        f.add_clause(Vec::<i32>::new());
+        assert!(f.solve_brute_force().is_none());
+    }
+}

@@ -1,0 +1,363 @@
+//! The dichotomy driver: classify a Boolean CSP instance's template and
+//! dispatch to the matching polynomial solver, falling back to generic
+//! search on the NP side (Section 3 of the paper).
+//!
+//! For a template inside a tractable class, each constraint relation is
+//! *compiled to clauses of the class's shape* — Horn clauses, dual-Horn
+//! clauses, 2-clauses, or XOR equations. Schaefer's analysis guarantees
+//! that the implied clauses of the right shape define each closed
+//! relation exactly, so the compilation is equivalence-preserving; the
+//! property tests cross-check against brute force.
+
+use crate::classify::{classify, SchaeferClass};
+use crate::cnf::Cnf;
+use crate::solvers::{solve_2sat, solve_affine, solve_dual_horn, solve_horn, XorSystem};
+use cspdb_core::{CspInstance, Relation};
+
+/// Which algorithm the dichotomy driver used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverUsed {
+    /// All relations 0-valid: the all-zero assignment.
+    ZeroValid,
+    /// All relations 1-valid: the all-one assignment.
+    OneValid,
+    /// Horn compilation + unit propagation.
+    Horn,
+    /// Dual-Horn compilation + unit propagation on the flip.
+    DualHorn,
+    /// 2-CNF compilation + implication-graph SCC.
+    TwoSat,
+    /// XOR compilation + Gaussian elimination.
+    Affine,
+    /// NP side: generic backtracking search.
+    GenericSearch,
+}
+
+/// Clause shapes the compiler can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    Horn,
+    DualHorn,
+    TwoCnf,
+}
+
+/// Enumerates the clauses of `shape` over `scope` implied by `relation`
+/// and adds them to `cnf`.
+fn compile_clauses(cnf: &mut Cnf, scope: &[u32], relation: &Relation, shape: Shape) {
+    let arity = scope.len();
+    // Sign pattern per position: 0 = absent, 1 = positive, 2 = negative.
+    let mut pattern = vec![0u8; arity];
+    loop {
+        // Advance odometer at the end; process current pattern first.
+        let width = pattern.iter().filter(|&&s| s != 0).count();
+        let positives = pattern.iter().filter(|&&s| s == 1).count();
+        let negatives = width - positives;
+        let admissible = width > 0
+            && match shape {
+                Shape::Horn => positives <= 1,
+                Shape::DualHorn => negatives <= 1,
+                Shape::TwoCnf => width <= 2,
+            };
+        if admissible {
+            let implied = relation.iter().all(|t| {
+                (0..arity).any(|i| match pattern[i] {
+                    1 => t[i] == 1,
+                    2 => t[i] == 0,
+                    _ => false,
+                })
+            });
+            if implied {
+                let clause: Vec<i32> = (0..arity)
+                    .filter_map(|i| match pattern[i] {
+                        1 => Some(scope[i] as i32 + 1),
+                        2 => Some(-(scope[i] as i32 + 1)),
+                        _ => None,
+                    })
+                    .collect();
+                cnf.add_clause(clause);
+            }
+        }
+        // Odometer over {0,1,2}^arity.
+        let mut i = arity;
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            pattern[i] += 1;
+            if pattern[i] < 3 {
+                break;
+            }
+            pattern[i] = 0;
+        }
+    }
+}
+
+/// Enumerates the XOR equations over `scope` implied by `relation` and
+/// adds them to the system.
+fn compile_xor(system: &mut XorSystem, scope: &[u32], relation: &Relation) {
+    let arity = scope.len();
+    for subset in 1u32..(1 << arity) {
+        for parity in [false, true] {
+            let implied = relation.iter().all(|t| {
+                let mut acc = false;
+                for (i, &x) in t.iter().enumerate() {
+                    if subset & (1 << i) != 0 {
+                        acc ^= x == 1;
+                    }
+                }
+                acc == parity
+            });
+            if implied {
+                let vars = (0..arity).filter(|&i| subset & (1 << i) != 0).map(|i| scope[i]);
+                system.add_equation(vars, parity);
+            }
+        }
+    }
+    // An empty relation implies contradictory unit equations, which the
+    // loop above already emitted (both parities pass vacuously).
+}
+
+/// Solves a Boolean CSP instance via Schaefer's dichotomy: classify the
+/// template, use the matching polynomial algorithm, or fall back to
+/// generic search.
+///
+/// # Panics
+///
+/// Panics if the instance is not Boolean (`num_values != 2`).
+pub fn solve_boolean(instance: &CspInstance) -> (SolverUsed, Option<Vec<u32>>) {
+    assert_eq!(instance.num_values(), 2, "Schaefer requires Boolean values");
+    let relations: Vec<&Relation> = instance
+        .constraints()
+        .iter()
+        .map(|c| c.relation().as_ref())
+        .collect();
+    let classes = classify(relations.iter().copied());
+    let n = instance.num_vars();
+
+    // Nullary degenerate constraints.
+    if instance
+        .constraints()
+        .iter()
+        .any(|c| c.scope().is_empty() && c.relation().is_empty())
+    {
+        return (SolverUsed::GenericSearch, None);
+    }
+
+    // Classes are ordered cheapest-first; the first match decides.
+    if let Some(&class) = classes.first() {
+        match class {
+            SchaeferClass::ZeroValid => {
+                let sol = vec![0u32; n];
+                debug_assert!(instance.is_solution(&sol));
+                return (SolverUsed::ZeroValid, Some(sol));
+            }
+            SchaeferClass::OneValid => {
+                let sol = vec![1u32; n];
+                debug_assert!(instance.is_solution(&sol));
+                return (SolverUsed::OneValid, Some(sol));
+            }
+            SchaeferClass::Horn => {
+                let mut cnf = Cnf::new(n);
+                for c in instance.constraints() {
+                    compile_clauses(&mut cnf, c.scope(), c.relation(), Shape::Horn);
+                }
+                let sol = solve_horn(&cnf).map(bools_to_u32);
+                debug_assert!(sol.as_ref().is_none_or(|s| instance.is_solution(s)));
+                return (SolverUsed::Horn, sol);
+            }
+            SchaeferClass::DualHorn => {
+                let mut cnf = Cnf::new(n);
+                for c in instance.constraints() {
+                    compile_clauses(&mut cnf, c.scope(), c.relation(), Shape::DualHorn);
+                }
+                let sol = solve_dual_horn(&cnf).map(bools_to_u32);
+                return (SolverUsed::DualHorn, sol);
+            }
+            SchaeferClass::Bijunctive => {
+                let mut cnf = Cnf::new(n);
+                for c in instance.constraints() {
+                    compile_clauses(&mut cnf, c.scope(), c.relation(), Shape::TwoCnf);
+                }
+                let sol = solve_2sat(&cnf).map(bools_to_u32);
+                return (SolverUsed::TwoSat, sol);
+            }
+            SchaeferClass::Affine => {
+                let mut system = XorSystem::new(n);
+                for c in instance.constraints() {
+                    compile_xor(&mut system, c.scope(), c.relation());
+                }
+                let sol = solve_affine(&system).map(bools_to_u32);
+                return (SolverUsed::Affine, sol);
+            }
+        }
+    }
+    (
+        SolverUsed::GenericSearch,
+        cspdb_solver::solve_csp(instance),
+    )
+}
+
+fn bools_to_u32(bs: Vec<bool>) -> Vec<u32> {
+    bs.into_iter().map(u32::from).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn rel(arity: usize, tuples: &[&[u32]]) -> Arc<Relation> {
+        Arc::new(Relation::from_tuples(arity, tuples.iter().copied()).unwrap())
+    }
+
+    fn implication() -> Arc<Relation> {
+        rel(2, &[&[0, 0], &[0, 1], &[1, 1]])
+    }
+
+    fn xor2() -> Arc<Relation> {
+        rel(2, &[&[0, 1], &[1, 0]])
+    }
+
+    fn or2() -> Arc<Relation> {
+        rel(2, &[&[0, 1], &[1, 0], &[1, 1]])
+    }
+
+    fn one_in_three() -> Arc<Relation> {
+        rel(3, &[&[1, 0, 0], &[0, 1, 0], &[0, 0, 1]])
+    }
+
+    #[test]
+    fn implication_chain_uses_zero_valid_shortcut() {
+        let mut p = CspInstance::new(4, 2);
+        let imp = implication();
+        for i in 0..3u32 {
+            p.add_constraint([i, i + 1], imp.clone()).unwrap();
+        }
+        let (used, sol) = solve_boolean(&p);
+        assert_eq!(used, SolverUsed::ZeroValid);
+        assert_eq!(sol, Some(vec![0, 0, 0, 0]));
+    }
+
+    #[test]
+    fn xor_instances_use_affine_solver() {
+        let mut p = CspInstance::new(3, 2);
+        let x = xor2();
+        p.add_constraint([0, 1], x.clone()).unwrap();
+        p.add_constraint([1, 2], x.clone()).unwrap();
+        let (used, sol) = solve_boolean(&p);
+        // xor2 is bijunctive AND affine; driver prefers bijunctive by
+        // class order.
+        assert!(matches!(used, SolverUsed::TwoSat | SolverUsed::Affine));
+        let s = sol.expect("satisfiable");
+        assert!(p.is_solution(&s));
+        // Odd xor cycle: unsat.
+        let mut q = CspInstance::new(3, 2);
+        q.add_constraint([0, 1], x.clone()).unwrap();
+        q.add_constraint([1, 2], x.clone()).unwrap();
+        q.add_constraint([0, 2], x.clone()).unwrap();
+        let (_, sol) = solve_boolean(&q);
+        assert!(sol.is_none());
+    }
+
+    #[test]
+    fn one_in_three_falls_back_to_search() {
+        let mut p = CspInstance::new(3, 2);
+        p.add_constraint([0, 1, 2], one_in_three()).unwrap();
+        let (used, sol) = solve_boolean(&p);
+        assert_eq!(used, SolverUsed::GenericSearch);
+        assert!(sol.is_some());
+    }
+
+    #[test]
+    fn or_template_uses_dual_horn_or_one_valid() {
+        let mut p = CspInstance::new(3, 2);
+        let r = or2();
+        p.add_constraint([0, 1], r.clone()).unwrap();
+        p.add_constraint([1, 2], r.clone()).unwrap();
+        let (used, sol) = solve_boolean(&p);
+        // or2 is 1-valid: the shortcut fires first.
+        assert_eq!(used, SolverUsed::OneValid);
+        assert!(p.is_solution(&sol.unwrap()));
+    }
+
+    #[test]
+    fn driver_agrees_with_brute_force_per_class() {
+        // For each canonical template, random instances agree with the
+        // oracle.
+        let templates: Vec<(&str, Arc<Relation>)> = vec![
+            ("implication", implication()),
+            ("xor", xor2()),
+            ("or", or2()),
+            ("one-in-three", one_in_three()),
+            // Horn-ish ternary: x ∧ y -> z as a relation.
+            (
+                "horn3",
+                rel(
+                    3,
+                    &[
+                        &[0, 0, 0],
+                        &[0, 0, 1],
+                        &[0, 1, 0],
+                        &[0, 1, 1],
+                        &[1, 0, 0],
+                        &[1, 0, 1],
+                        &[1, 1, 1],
+                    ],
+                ),
+            ),
+        ];
+        let mut state = 0xFEEDFACE12345678u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for (name, template) in templates {
+            for _ in 0..15 {
+                let n = 3 + (next() % 4) as usize;
+                let mut p = CspInstance::new(n, 2);
+                for _ in 0..(2 + next() % 5) {
+                    let arity = template.arity();
+                    let scope: Vec<u32> =
+                        (0..arity).map(|_| (next() % n as u64) as u32).collect();
+                    // Repeated variables are legal; normalize is internal.
+                    p.add_constraint(scope.into_boxed_slice(), template.clone())
+                        .unwrap();
+                }
+                let (_, fast) = solve_boolean(&p);
+                let slow = p.solve_brute_force();
+                assert_eq!(
+                    fast.is_some(),
+                    slow.is_some(),
+                    "template {name}, instance {p:?}"
+                );
+                if let Some(s) = fast {
+                    assert!(p.is_solution(&s), "template {name}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_tractable_templates() {
+        // implication + xor: intersection = {bijunctive, affine}; both
+        // polynomial. Build a forcing chain: x0 -> x1, x1 ⊕ x2.
+        let mut p = CspInstance::new(3, 2);
+        p.add_constraint([0, 1], implication()).unwrap();
+        p.add_constraint([1, 2], xor2()).unwrap();
+        let (used, sol) = solve_boolean(&p);
+        assert!(matches!(used, SolverUsed::TwoSat | SolverUsed::Affine));
+        assert!(p.is_solution(&sol.unwrap()));
+    }
+
+    #[test]
+    fn empty_relation_makes_unsat_via_any_solver() {
+        let mut p = CspInstance::new(2, 2);
+        p.add_constraint([0, 1], Arc::new(Relation::empty(2)))
+            .unwrap();
+        let (_, sol) = solve_boolean(&p);
+        assert!(sol.is_none());
+    }
+}

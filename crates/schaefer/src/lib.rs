@@ -1,0 +1,38 @@
+//! # cspdb-schaefer
+//!
+//! Schaefer's Dichotomy Theorem as running code (Section 3 of the paper).
+//!
+//! Schaefer pinpointed the complexity of Boolean `CSP(B)`: six classes of
+//! templates are polynomial-time solvable — 0-valid, 1-valid, Horn,
+//! dual-Horn, bijunctive, affine — and everything else is NP-complete.
+//! This crate provides:
+//!
+//! * [`Cnf`] — clause representation with a brute-force oracle;
+//! * [`classify`] / [`SchaeferClass`] — *semantic* template
+//!   classification by closure (polymorphism) tests: componentwise ∧, ∨,
+//!   majority, and x⊕y⊕z;
+//! * dedicated solvers: [`solve_horn`] (unit propagation — note this is
+//!   Datalog evaluation in disguise, Section 4), [`solve_dual_horn`],
+//!   [`solve_2sat`] (implication-graph SCC), [`solve_affine`] (GF(2)
+//!   Gaussian elimination on [`XorSystem`]s);
+//! * [`solve_boolean`] — the dichotomy driver: compile each constraint
+//!   relation to clauses of the detected class's shape and run the
+//!   matching polynomial algorithm, or fall back to generic backtracking
+//!   on the NP side. Experiment E3 races these two regimes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classify;
+mod cnf;
+mod dichotomy;
+mod solvers;
+
+pub use classify::{
+    classify, is_affine_relation, is_bijunctive_relation, is_dual_horn_relation,
+    is_horn_relation, is_one_valid, is_zero_valid, relation_in_class, SchaeferClass,
+    ALL_CLASSES,
+};
+pub use cnf::{Clause, Cnf};
+pub use dichotomy::{solve_boolean, SolverUsed};
+pub use solvers::{solve_2sat, solve_affine, solve_dual_horn, solve_horn, XorSystem};

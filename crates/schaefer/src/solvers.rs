@@ -1,0 +1,445 @@
+//! Dedicated polynomial-time solvers for Schaefer's tractable classes
+//! (Section 3 of the paper):
+//!
+//! * [`solve_horn`] — unit propagation, computing the minimal model of a
+//!   Horn formula (this is also Datalog evaluation, cf. Section 4);
+//! * [`solve_dual_horn`] — by literal-flip symmetry with Horn;
+//! * [`solve_2sat`] — implication graph + Tarjan SCC, linear time;
+//! * [`solve_affine`] — Gaussian elimination over GF(2) for XOR systems.
+
+use crate::cnf::Cnf;
+
+/// Solves a Horn formula (every clause has ≤ 1 positive literal) by unit
+/// propagation: start all-false, propagate forced positives, check the
+/// fully negative clauses. Returns the *minimal* model or `None`.
+///
+/// # Panics
+///
+/// Panics if the formula is not Horn.
+pub fn solve_horn(f: &Cnf) -> Option<Vec<bool>> {
+    assert!(f.is_horn(), "solve_horn requires a Horn formula");
+    let mut value = vec![false; f.num_vars];
+    loop {
+        let mut changed = false;
+        for c in &f.clauses {
+            // Clause satisfied?
+            let satisfied = c.iter().any(|&l| {
+                let v = (l.unsigned_abs() - 1) as usize;
+                (l > 0) == value[v]
+            });
+            if satisfied {
+                continue;
+            }
+            // All negative literals are currently... a clause is
+            // falsified-so-far; the only way to fix it is a positive
+            // literal. Horn: at most one.
+            match c.iter().find(|&&l| l > 0) {
+                Some(&head) => {
+                    let v = (head.unsigned_abs() - 1) as usize;
+                    // head must currently be false (else satisfied).
+                    value[v] = true;
+                    changed = true;
+                }
+                None => return None, // fully negative clause violated
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    debug_assert!(f.is_satisfied_by(&value));
+    Some(value)
+}
+
+/// Solves a dual-Horn formula by flipping every literal's sign and every
+/// assignment bit around [`solve_horn`]. Returns the *maximal* model.
+///
+/// # Panics
+///
+/// Panics if the formula is not dual-Horn.
+pub fn solve_dual_horn(f: &Cnf) -> Option<Vec<bool>> {
+    assert!(f.is_dual_horn(), "solve_dual_horn requires dual-Horn");
+    let mut flipped = Cnf::new(f.num_vars);
+    for c in &f.clauses {
+        flipped.add_clause(c.iter().map(|&l| -l).collect::<Vec<_>>());
+    }
+    solve_horn(&flipped).map(|m| m.into_iter().map(|b| !b).collect())
+}
+
+/// Solves a 2-CNF formula via the implication graph: satisfiable iff no
+/// variable is in the same strongly connected component as its negation;
+/// a model reads off the reverse topological order of SCCs.
+///
+/// # Panics
+///
+/// Panics if some clause has more than 2 literals.
+pub fn solve_2sat(f: &Cnf) -> Option<Vec<bool>> {
+    assert!(f.is_bijunctive(), "solve_2sat requires 2-CNF");
+    let n = f.num_vars;
+    // Vertices: 2v = x_v, 2v+1 = ¬x_v.
+    let node = |l: i32| -> usize {
+        let v = (l.unsigned_abs() - 1) as usize;
+        if l > 0 {
+            2 * v
+        } else {
+            2 * v + 1
+        }
+    };
+    let neg = |u: usize| -> usize { u ^ 1 };
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); 2 * n];
+    for c in &f.clauses {
+        match c.as_slice() {
+            [] => return None,
+            [a] => adj[neg(node(*a))].push(node(*a)),
+            [a, b] => {
+                adj[neg(node(*a))].push(node(*b));
+                adj[neg(node(*b))].push(node(*a));
+            }
+            _ => unreachable!("checked bijunctive"),
+        }
+    }
+    // Iterative Tarjan SCC.
+    let m = 2 * n;
+    let mut index = vec![usize::MAX; m];
+    let mut low = vec![0usize; m];
+    let mut on_stack = vec![false; m];
+    let mut comp = vec![usize::MAX; m];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut next_comp = 0usize;
+    // Explicit DFS stack of (node, child-iterator position).
+    for start in 0..m {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (u, ref mut ci)) = call.last_mut() {
+            if *ci == 0 {
+                index[u] = next_index;
+                low[u] = next_index;
+                next_index += 1;
+                stack.push(u);
+                on_stack[u] = true;
+            }
+            if *ci < adj[u].len() {
+                let w = adj[u][*ci];
+                *ci += 1;
+                if index[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[u] = low[u].min(index[w]);
+                }
+            } else {
+                if low[u] == index[u] {
+                    loop {
+                        let w = stack.pop().expect("scc stack nonempty");
+                        on_stack[w] = false;
+                        comp[w] = next_comp;
+                        if w == u {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+                let lu = low[u];
+                call.pop();
+                if let Some(&mut (p, _)) = call.last_mut() {
+                    low[p] = low[p].min(lu);
+                }
+            }
+        }
+    }
+    // Unsatisfiable iff x and ¬x share a component. Tarjan numbers
+    // components in reverse topological order, so x is true iff
+    // comp[x] < comp[¬x].
+    let mut model = vec![false; n];
+    for v in 0..n {
+        if comp[2 * v] == comp[2 * v + 1] {
+            return None;
+        }
+        model[v] = comp[2 * v] < comp[2 * v + 1];
+    }
+    debug_assert!(f.is_satisfied_by(&model));
+    Some(model)
+}
+
+/// An affine (XOR) system over GF(2): each equation is
+/// `x_{v_1} ⊕ ... ⊕ x_{v_m} = rhs`.
+#[derive(Debug, Clone, Default)]
+pub struct XorSystem {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// Equations: sorted variable lists plus right-hand sides.
+    pub equations: Vec<(Vec<u32>, bool)>,
+}
+
+impl XorSystem {
+    /// Creates an empty system.
+    pub fn new(num_vars: usize) -> Self {
+        XorSystem {
+            num_vars,
+            equations: Vec::new(),
+        }
+    }
+
+    /// Adds an equation `⊕ vars = rhs`. Repeated variables cancel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range variables.
+    pub fn add_equation(&mut self, vars: impl IntoIterator<Item = u32>, rhs: bool) {
+        let mut vs: Vec<u32> = vars.into_iter().collect();
+        assert!(
+            vs.iter().all(|&v| (v as usize) < self.num_vars),
+            "variable out of range"
+        );
+        vs.sort_unstable();
+        // x ⊕ x = 0.
+        let mut cancelled = Vec::with_capacity(vs.len());
+        let mut i = 0;
+        while i < vs.len() {
+            if i + 1 < vs.len() && vs[i] == vs[i + 1] {
+                i += 2;
+            } else {
+                cancelled.push(vs[i]);
+                i += 1;
+            }
+        }
+        self.equations.push((cancelled, rhs));
+    }
+
+    /// True if the assignment satisfies every equation.
+    pub fn is_satisfied_by(&self, assignment: &[bool]) -> bool {
+        self.equations.iter().all(|(vars, rhs)| {
+            vars.iter().fold(false, |acc, &v| acc ^ assignment[v as usize]) == *rhs
+        })
+    }
+}
+
+/// Solves an affine system by Gaussian elimination over GF(2); free
+/// variables are set to false. Returns a model or `None`.
+#[allow(clippy::needless_range_loop)] // columns drive several parallel tables
+pub fn solve_affine(system: &XorSystem) -> Option<Vec<bool>> {
+    let n = system.num_vars;
+    let words = n.div_ceil(64) + 1; // last word holds the RHS bit
+    let rhs_word = n / 64;
+    let rhs_bit = n % 64;
+    let mut rows: Vec<Vec<u64>> = Vec::new();
+    for (vars, rhs) in &system.equations {
+        let mut row = vec![0u64; words.max(rhs_word + 1)];
+        for &v in vars {
+            row[v as usize / 64] ^= 1 << (v % 64);
+        }
+        if *rhs {
+            row[rhs_word] ^= 1 << rhs_bit;
+        }
+        rows.push(row);
+    }
+    let mut pivot_of_col: Vec<Option<usize>> = vec![None; n];
+    let mut used = vec![false; rows.len()];
+    for col in 0..n {
+        let word = col / 64;
+        let bit = 1u64 << (col % 64);
+        let pivot = (0..rows.len()).find(|&r| !used[r] && rows[r][word] & bit != 0);
+        let Some(p) = pivot else { continue };
+        used[p] = true;
+        pivot_of_col[col] = Some(p);
+        for r in 0..rows.len() {
+            if r != p && rows[r][word] & bit != 0 {
+                let (a, b) = if r < p {
+                    let (lo, hi) = rows.split_at_mut(p);
+                    (&mut lo[r], &hi[0])
+                } else {
+                    let (lo, hi) = rows.split_at_mut(r);
+                    (&mut hi[0], &lo[p])
+                };
+                for (x, y) in a.iter_mut().zip(b.iter()) {
+                    *x ^= *y;
+                }
+            }
+        }
+    }
+    // Inconsistent: an unused row that is all-zero except RHS.
+    for (r, row) in rows.iter().enumerate() {
+        let zero_lhs = (0..n).all(|c| row[c / 64] & (1 << (c % 64)) == 0);
+        if zero_lhs && row[rhs_word] & (1 << rhs_bit) != 0 {
+            let _ = r;
+            return None;
+        }
+    }
+    // Back-substitute: after full elimination each pivot row determines
+    // its variable directly (free vars = false).
+    let mut model = vec![false; n];
+    for (col, pivot) in pivot_of_col.iter().enumerate() {
+        if let Some(p) = *pivot {
+            // Row p: pivot col plus possibly free columns; with free
+            // vars false, value = RHS xor (sum over other set pivot
+            // columns — none, eliminated) xor free columns (false).
+            let mut value = rows[p][rhs_word] & (1 << rhs_bit) != 0;
+            for c in 0..n {
+                if c != col && rows[p][c / 64] & (1 << (c % 64)) != 0 {
+                    // c must be a free column (pivots eliminated).
+                    debug_assert!(pivot_of_col[c].is_none());
+                    value ^= model[c]; // false at this point
+                }
+            }
+            model[col] = value;
+        }
+    }
+    debug_assert!(system.is_satisfied_by(&model));
+    Some(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horn_minimal_model() {
+        let mut f = Cnf::new(3);
+        f.add_clause([1]); // x0
+        f.add_clause([-1, 2]); // x0 -> x1
+        let m = solve_horn(&f).unwrap();
+        assert_eq!(m, vec![true, true, false]); // minimal: x2 stays false
+        f.add_clause([-2]);
+        assert!(solve_horn(&f).is_none());
+    }
+
+    #[test]
+    fn dual_horn_maximal_model() {
+        let mut f = Cnf::new(2);
+        f.add_clause([-1]); // ¬x0
+        f.add_clause([1, 2]); // x0 ∨ x1
+        let m = solve_dual_horn(&f).unwrap();
+        assert_eq!(m, vec![false, true]);
+    }
+
+    #[test]
+    fn two_sat_classic_cases() {
+        // (x0 ∨ x1)(¬x0 ∨ x1)(¬x1 ∨ x0): forces x0 = x1 = 1... check:
+        let mut f = Cnf::new(2);
+        f.add_clause([1, 2]);
+        f.add_clause([-1, 2]);
+        f.add_clause([-2, 1]);
+        let m = solve_2sat(&f).unwrap();
+        assert!(f.is_satisfied_by(&m));
+        // Add (¬x0 ∨ ¬x1): now x0 != x1 and x0 = x1 - contradiction.
+        f.add_clause([-1, -2]);
+        assert!(solve_2sat(&f).is_none());
+    }
+
+    #[test]
+    fn two_sat_agrees_with_brute_force_on_random() {
+        let mut state = 0x5DEECE66Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..50 {
+            let n = 3 + (next() % 5) as usize;
+            let mut f = Cnf::new(n);
+            for _ in 0..(2 + next() % 8) {
+                let a = (1 + (next() % n as u64) as i32) * if next() % 2 == 0 { 1 } else { -1 };
+                let b = (1 + (next() % n as u64) as i32) * if next() % 2 == 0 { 1 } else { -1 };
+                f.add_clause([a, b]);
+            }
+            let fast = solve_2sat(&f);
+            let slow = f.solve_brute_force();
+            assert_eq!(fast.is_some(), slow.is_some(), "on {f:?}");
+            if let Some(m) = fast {
+                assert!(f.is_satisfied_by(&m));
+            }
+        }
+    }
+
+    #[test]
+    fn horn_agrees_with_brute_force_on_random() {
+        let mut state = 0xB5026F5AA96619E9u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..50 {
+            let n = 3 + (next() % 5) as usize;
+            let mut f = Cnf::new(n);
+            for _ in 0..(2 + next() % 8) {
+                let width = 1 + (next() % 3) as usize;
+                let mut clause: Vec<i32> = (0..width)
+                    .map(|_| -(1 + (next() % n as u64) as i32))
+                    .collect();
+                if next() % 2 == 0 {
+                    clause[0] = -clause[0];
+                }
+                f.add_clause(clause);
+            }
+            assert!(f.is_horn());
+            let fast = solve_horn(&f);
+            let slow = f.solve_brute_force();
+            assert_eq!(fast.is_some(), slow.is_some(), "on {f:?}");
+        }
+    }
+
+    #[test]
+    fn affine_systems() {
+        // x0 ⊕ x1 = 1, x1 ⊕ x2 = 1, x0 ⊕ x2 = 0: consistent.
+        let mut s = XorSystem::new(3);
+        s.add_equation([0, 1], true);
+        s.add_equation([1, 2], true);
+        s.add_equation([0, 2], false);
+        let m = solve_affine(&s).unwrap();
+        assert!(s.is_satisfied_by(&m));
+        // Flip the last RHS: inconsistent.
+        let mut s2 = XorSystem::new(3);
+        s2.add_equation([0, 1], true);
+        s2.add_equation([1, 2], true);
+        s2.add_equation([0, 2], true);
+        assert!(solve_affine(&s2).is_none());
+    }
+
+    #[test]
+    fn affine_cancellation_and_degenerate() {
+        let mut s = XorSystem::new(2);
+        s.add_equation([0, 0], true); // cancels to 0 = 1
+        assert!(solve_affine(&s).is_none());
+        let mut s = XorSystem::new(2);
+        s.add_equation([1, 1], false); // 0 = 0
+        assert!(solve_affine(&s).is_some());
+        let s = XorSystem::new(0);
+        assert_eq!(solve_affine(&s), Some(vec![]));
+    }
+
+    #[test]
+    fn affine_agrees_with_enumeration_on_random() {
+        let mut state = 0x853C49E6748FEA9Bu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..40 {
+            let n = 2 + (next() % 5) as usize;
+            let mut s = XorSystem::new(n);
+            for _ in 0..(1 + next() % 6) {
+                let width = 1 + (next() % 3) as usize;
+                let vars: Vec<u32> = (0..width).map(|_| (next() % n as u64) as u32).collect();
+                s.add_equation(vars, next() % 2 == 0);
+            }
+            let fast = solve_affine(&s);
+            // Enumerate.
+            let mut any = false;
+            for bits in 0u64..(1 << n) {
+                let a: Vec<bool> = (0..n).map(|v| bits & (1 << v) != 0).collect();
+                if s.is_satisfied_by(&a) {
+                    any = true;
+                    break;
+                }
+            }
+            assert_eq!(fast.is_some(), any, "on {s:?}");
+        }
+    }
+}

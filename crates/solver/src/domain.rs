@@ -1,0 +1,246 @@
+//! Fixed-capacity bitset domains for search.
+//!
+//! Each CSP variable carries a [`DomainSet`] of candidate values. The
+//! solver clones the whole domain vector at every branching point, so the
+//! representation is a flat `Vec<u64>` (cheap to clone, cache-friendly to
+//! scan).
+
+/// A set of values `0..capacity` stored as a bitmask.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainSet {
+    bits: Vec<u64>,
+    capacity: usize,
+    len: usize,
+}
+
+impl DomainSet {
+    /// The full domain `{0, ..., capacity-1}`.
+    pub fn full(capacity: usize) -> Self {
+        let words = capacity.div_ceil(64);
+        let mut bits = vec![u64::MAX; words];
+        if !capacity.is_multiple_of(64) && words > 0 {
+            bits[words - 1] = (1u64 << (capacity % 64)) - 1;
+        }
+        DomainSet {
+            bits,
+            capacity,
+            len: capacity,
+        }
+    }
+
+    /// The empty domain with the given capacity.
+    pub fn empty(capacity: usize) -> Self {
+        DomainSet {
+            bits: vec![0; capacity.div_ceil(64)],
+            capacity,
+            len: 0,
+        }
+    }
+
+    /// Builds a domain from an iterator of values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a value is `>= capacity`.
+    pub fn from_values(capacity: usize, values: impl IntoIterator<Item = u32>) -> Self {
+        let mut d = DomainSet::empty(capacity);
+        for v in values {
+            d.insert(v);
+        }
+        d
+    }
+
+    /// Declared capacity (values range over `0..capacity`).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of values present.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no value is present (a dead end in search).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `v >= capacity`.
+    #[inline]
+    pub fn contains(&self, v: u32) -> bool {
+        debug_assert!((v as usize) < self.capacity);
+        self.bits[v as usize / 64] & (1u64 << (v % 64)) != 0
+    }
+
+    /// Inserts a value; returns true if newly added.
+    #[inline]
+    pub fn insert(&mut self, v: u32) -> bool {
+        assert!((v as usize) < self.capacity, "value out of capacity");
+        let word = &mut self.bits[v as usize / 64];
+        let mask = 1u64 << (v % 64);
+        if *word & mask == 0 {
+            *word |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes a value; returns true if it was present.
+    #[inline]
+    pub fn remove(&mut self, v: u32) -> bool {
+        debug_assert!((v as usize) < self.capacity);
+        let word = &mut self.bits[v as usize / 64];
+        let mask = 1u64 << (v % 64);
+        if *word & mask != 0 {
+            *word &= !mask;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Shrinks the set to the single value `v`.
+    pub fn assign(&mut self, v: u32) {
+        assert!((v as usize) < self.capacity, "value out of capacity");
+        for w in &mut self.bits {
+            *w = 0;
+        }
+        self.bits[v as usize / 64] = 1u64 << (v % 64);
+        self.len = 1;
+    }
+
+    /// Intersects with `other` in place; returns true if anything was
+    /// removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn intersect_with(&mut self, other: &DomainSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        let mut new_len = 0usize;
+        let mut changed = false;
+        for (w, &o) in self.bits.iter_mut().zip(other.bits.iter()) {
+            let before = *w;
+            *w &= o;
+            if *w != before {
+                changed = true;
+            }
+            new_len += w.count_ones() as usize;
+        }
+        self.len = new_len;
+        changed
+    }
+
+    /// The single value, if the domain is a singleton.
+    pub fn singleton(&self) -> Option<u32> {
+        if self.len == 1 {
+            self.iter().next()
+        } else {
+            None
+        }
+    }
+
+    /// The minimum value present, if any.
+    pub fn min(&self) -> Option<u32> {
+        self.iter().next()
+    }
+
+    /// Iterates over present values in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.bits.iter().enumerate().flat_map(|(wi, &w)| {
+            let base = (wi * 64) as u32;
+            BitIter { word: w }.map(move |b| base + b)
+        })
+    }
+}
+
+struct BitIter {
+    word: u64,
+}
+
+impl Iterator for BitIter {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.word == 0 {
+            return None;
+        }
+        let b = self.word.trailing_zeros();
+        self.word &= self.word - 1;
+        Some(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_and_empty() {
+        let d = DomainSet::full(70);
+        assert_eq!(d.len(), 70);
+        assert!(d.contains(0) && d.contains(69));
+        assert_eq!(d.iter().count(), 70);
+        let e = DomainSet::empty(70);
+        assert!(e.is_empty());
+        assert_eq!(e.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut d = DomainSet::empty(10);
+        assert!(d.insert(3));
+        assert!(!d.insert(3));
+        assert!(d.contains(3));
+        assert_eq!(d.len(), 1);
+        assert!(d.remove(3));
+        assert!(!d.remove(3));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn assign_makes_singleton() {
+        let mut d = DomainSet::full(100);
+        d.assign(64);
+        assert_eq!(d.singleton(), Some(64));
+        assert_eq!(d.len(), 1);
+        assert!(d.contains(64));
+        assert!(!d.contains(0));
+    }
+
+    #[test]
+    fn intersect_tracks_len_and_change() {
+        let mut a = DomainSet::from_values(10, [1, 3, 5, 7]);
+        let b = DomainSet::from_values(10, [3, 4, 5]);
+        assert!(a.intersect_with(&b));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![3, 5]);
+        assert_eq!(a.len(), 2);
+        let c = DomainSet::full(10);
+        assert!(!a.intersect_with(&c));
+    }
+
+    #[test]
+    fn min_and_iteration_order() {
+        let d = DomainSet::from_values(130, [128, 2, 64]);
+        assert_eq!(d.min(), Some(2));
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![2, 64, 128]);
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let d = DomainSet::full(0);
+        assert!(d.is_empty());
+        assert_eq!(d.iter().count(), 0);
+    }
+}

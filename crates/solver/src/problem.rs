@@ -1,0 +1,175 @@
+//! Internal normalized representation of a homomorphism/CSP problem.
+//!
+//! Both front ends — a pair of structures `(A, B)` and a classical
+//! [`CspInstance`] — lower to the same [`Problem`]: one search variable
+//! per element of **A** (resp. per CSP variable), one table constraint per
+//! fact of **A** (resp. per CSP constraint). Unary constraints are folded
+//! into the initial domains.
+
+use cspdb_core::{CspInstance, Relation, Structure};
+use std::sync::Arc;
+
+use crate::domain::DomainSet;
+
+/// A positive table constraint: the scope must take one of the listed
+/// tuples.
+#[derive(Debug, Clone)]
+pub struct TableConstraint {
+    /// Variables constrained, in relation-column order. May repeat.
+    pub scope: Vec<u32>,
+    /// Allowed tuples.
+    pub table: Arc<Relation>,
+}
+
+/// The normalized problem the search engine runs on.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    /// Number of search variables.
+    pub num_vars: usize,
+    /// Number of candidate values.
+    pub num_values: usize,
+    /// All (non-unary-folded) constraints.
+    pub constraints: Vec<TableConstraint>,
+    /// For each variable, indices into `constraints` that mention it.
+    pub var_constraints: Vec<Vec<u32>>,
+    /// Initial domains (unary constraints already applied).
+    pub initial_domains: Vec<DomainSet>,
+    /// Set when a nullary constraint with an empty table makes the whole
+    /// problem unsatisfiable regardless of assignments.
+    pub trivially_false: bool,
+}
+
+impl Problem {
+    fn build(
+        num_vars: usize,
+        num_values: usize,
+        raw: impl IntoIterator<Item = (Vec<u32>, Arc<Relation>)>,
+    ) -> Problem {
+        let mut initial_domains = vec![DomainSet::full(num_values); num_vars];
+        let mut constraints: Vec<TableConstraint> = Vec::new();
+        let mut trivially_false = false;
+        for (scope, table) in raw {
+            if scope.is_empty() {
+                // Nullary constraint: an empty table is "false".
+                if table.is_empty() {
+                    trivially_false = true;
+                }
+            } else if scope.len() == 1 {
+                // Fold unary constraints into the domain.
+                let keep = DomainSet::from_values(num_values, table.iter().map(|t| t[0]));
+                initial_domains[scope[0] as usize].intersect_with(&keep);
+            } else {
+                constraints.push(TableConstraint { scope, table });
+            }
+        }
+        let mut var_constraints = vec![Vec::new(); num_vars];
+        for (ci, c) in constraints.iter().enumerate() {
+            for &v in &c.scope {
+                let list = &mut var_constraints[v as usize];
+                if list.last() != Some(&(ci as u32)) {
+                    list.push(ci as u32);
+                }
+            }
+        }
+        Problem {
+            num_vars,
+            num_values,
+            constraints,
+            var_constraints,
+            initial_domains,
+            trivially_false,
+        }
+    }
+
+    /// Lowers a homomorphism instance: does `A` map into `B`?
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vocabularies differ (caller bug; use
+    /// [`cspdb_core::CspInstance::from_homomorphism`] for a checked path).
+    pub fn from_structures(a: &Structure, b: &Structure) -> Problem {
+        assert_eq!(a.vocabulary(), b.vocabulary(), "vocabulary mismatch");
+        let raw = a.relations().flat_map(|(id, rel)| {
+            let table = Arc::new(b.relation(id).clone());
+            rel.iter()
+                .map(move |t| (t.to_vec(), table.clone()))
+                .collect::<Vec<_>>()
+        });
+        Problem::build(a.domain_size(), b.domain_size(), raw)
+    }
+
+    /// Lowers a classical CSP instance.
+    pub fn from_csp(p: &CspInstance) -> Problem {
+        let raw = p
+            .constraints()
+            .iter()
+            .map(|c| (c.scope().to_vec(), c.relation().clone()));
+        Problem::build(p.num_vars(), p.num_values(), raw)
+    }
+
+    /// True if the assignment satisfies every constraint (unary
+    /// constraints are checked against the initial domains).
+    pub fn is_solution(&self, assignment: &[u32]) -> bool {
+        !self.trivially_false
+            && assignment.len() == self.num_vars
+            && assignment
+                .iter()
+                .enumerate()
+                .all(|(v, &x)| self.initial_domains[v].contains(x))
+            && self.constraints.iter().all(|c| {
+                let image: Vec<u32> = c.scope.iter().map(|&v| assignment[v as usize]).collect();
+                c.table.contains(&image)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cspdb_core::graphs::{clique, cycle};
+
+    #[test]
+    fn structures_lower_to_constraints_per_fact() {
+        let a = cycle(3); // 6 directed edge facts
+        let b = clique(3);
+        let p = Problem::from_structures(&a, &b);
+        assert_eq!(p.num_vars, 3);
+        assert_eq!(p.num_values, 3);
+        assert_eq!(p.constraints.len(), 6);
+        assert!(p.is_solution(&[0, 1, 2]));
+        assert!(!p.is_solution(&[0, 0, 1]));
+    }
+
+    #[test]
+    fn unary_constraints_fold_into_domains() {
+        let mut csp = CspInstance::new(2, 3);
+        let unary = Relation::from_tuples(1, [[1u32], [2]]).unwrap();
+        csp.add_constraint([0], Arc::new(unary)).unwrap();
+        let p = Problem::from_csp(&csp);
+        assert!(p.constraints.is_empty());
+        assert_eq!(p.initial_domains[0].iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(p.initial_domains[1].len(), 3);
+        assert!(!p.is_solution(&[0, 0]));
+        assert!(p.is_solution(&[1, 0]));
+    }
+
+    #[test]
+    fn var_constraints_index_is_consistent() {
+        let a = cycle(4);
+        let b = clique(2);
+        let p = Problem::from_structures(&a, &b);
+        for (v, list) in p.var_constraints.iter().enumerate() {
+            for &ci in list {
+                assert!(p.constraints[ci as usize]
+                    .scope
+                    .contains(&(v as u32)));
+            }
+        }
+        // Every constraint is registered with each scope variable.
+        for (ci, c) in p.constraints.iter().enumerate() {
+            for &v in &c.scope {
+                assert!(p.var_constraints[v as usize].contains(&(ci as u32)));
+            }
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! `cspdb` — a command-line front end to the constraint-db workspace.
+//!
+//! ```text
+//! cspdb color <k> <edges-file>        k-color a graph (edge list: "0 1" per line)
+//! cspdb sat <dimacs-file>             solve CNF via Schaefer's dichotomy
+//! cspdb datalog <program> <facts>     run a Datalog program on EDB facts
+//! cspdb cq "<query>" <facts>          evaluate a conjunctive query
+//! cspdb contain "<q1>" "<q2>"         conjunctive-query containment
+//! cspdb minimize "<query>"            minimize a query to its core
+//! cspdb rpq "<regex>" <ledges-file>   RPQ over a labeled graph ("0 a 1")
+//! cspdb treewidth <edges-file>        exact treewidth (n ≤ 64) + decomposition
+//! ```
+//!
+//! Facts files: one fact per line, `Pred arg1 arg2 ...`; `#` comments.
+//! All vertex/argument ids are nonnegative integers.
+
+use constraint_db::core::{Structure, VocabularyBuilder};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("color") => cmd_color(&args[1..]),
+        Some("sat") => cmd_sat(&args[1..]),
+        Some("datalog") => cmd_datalog(&args[1..]),
+        Some("cq") => cmd_cq(&args[1..]),
+        Some("contain") => cmd_contain(&args[1..]),
+        Some("minimize") => cmd_minimize(&args[1..]),
+        Some("rpq") => cmd_rpq(&args[1..]),
+        Some("treewidth") => cmd_treewidth(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            eprintln!("{}", USAGE);
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  cspdb color <k> <edges-file>
+  cspdb sat <dimacs-file>
+  cspdb datalog <program-file> <facts-file>
+  cspdb cq \"<query>\" <facts-file>
+  cspdb contain \"<q1>\" \"<q2>\"
+  cspdb minimize \"<query>\"
+  cspdb rpq \"<regex>\" <labeled-edges-file>
+  cspdb treewidth <edges-file>";
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+/// Parses "u v" edge lines; returns (max_vertex + 1, edges).
+fn parse_edges(src: &str) -> Result<(usize, Vec<(u32, u32)>), String> {
+    let mut edges = Vec::new();
+    let mut max = 0u32;
+    for (ln, line) in src.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let u: u32 = it
+            .next()
+            .ok_or(format!("line {}: missing source", ln + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: {e}", ln + 1))?;
+        let v: u32 = it
+            .next()
+            .ok_or(format!("line {}: missing target", ln + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: {e}", ln + 1))?;
+        max = max.max(u).max(v);
+        edges.push((u, v));
+    }
+    Ok((if edges.is_empty() { 0 } else { max as usize + 1 }, edges))
+}
+
+/// Parses a facts file "Pred a1 a2 ..." into a structure.
+fn parse_facts(src: &str) -> Result<Structure, String> {
+    let mut rows: Vec<(String, Vec<u32>)> = Vec::new();
+    let mut max = 0u32;
+    for (ln, line) in src.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let pred = it.next().expect("nonempty line").to_owned();
+        let args: Vec<u32> = it
+            .map(|a| a.parse::<u32>().map_err(|e| format!("line {}: {e}", ln + 1)))
+            .collect::<Result<_, _>>()?;
+        for &a in &args {
+            max = max.max(a);
+        }
+        rows.push((pred, args));
+    }
+    let mut builder = VocabularyBuilder::new();
+    for (pred, args) in &rows {
+        builder
+            .add_or_get(pred, args.len())
+            .map_err(|e| e.to_string())?;
+    }
+    let voc = builder.finish();
+    let n = if rows.is_empty() { 0 } else { max as usize + 1 };
+    let mut s = Structure::new(voc, n);
+    for (pred, args) in &rows {
+        s.insert_by_name(pred, args).map_err(|e| e.to_string())?;
+    }
+    Ok(s)
+}
+
+fn cmd_color(args: &[String]) -> Result<(), String> {
+    let [k, path] = args else {
+        return Err("usage: cspdb color <k> <edges-file>".into());
+    };
+    let k: usize = k.parse().map_err(|e| format!("bad k: {e}"))?;
+    let (n, edges) = parse_edges(&read(path)?)?;
+    let g = constraint_db::core::graphs::undirected(n, &edges);
+    let h = constraint_db::core::graphs::clique(k);
+    let report = constraint_db::auto_solve(&g, &h);
+    match report.witness {
+        Some(coloring) => {
+            println!("{k}-colorable (via {:?})", report.strategy);
+            for (v, c) in coloring.iter().enumerate() {
+                println!("{v} {c}");
+            }
+            Ok(())
+        }
+        None => {
+            println!("not {k}-colorable (via {:?})", report.strategy);
+            Ok(())
+        }
+    }
+}
+
+fn cmd_sat(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("usage: cspdb sat <dimacs-file>".into());
+    };
+    let src = read(path)?;
+    let mut num_vars = 0usize;
+    let mut clauses: Vec<Vec<i32>> = Vec::new();
+    for line in src.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("p cnf") {
+            let mut it = rest.split_whitespace();
+            num_vars = it
+                .next()
+                .ok_or("p-line missing variable count")?
+                .parse()
+                .map_err(|e| format!("p-line: {e}"))?;
+            continue;
+        }
+        let mut clause: Vec<i32> = Vec::new();
+        for tok in line.split_whitespace() {
+            let lit: i32 = tok.parse().map_err(|e| format!("literal {tok}: {e}"))?;
+            if lit == 0 {
+                break;
+            }
+            clause.push(lit);
+        }
+        if !clause.is_empty() {
+            clauses.push(clause);
+        }
+    }
+    let mut cnf = cspdb_schaefer::Cnf::new(num_vars);
+    for c in clauses {
+        cnf.add_clause(c);
+    }
+    let csp = cspdb_gen::cnf_to_csp(&cnf);
+    let (used, sol) = cspdb_schaefer::solve_boolean(&csp);
+    match sol {
+        Some(model) => {
+            println!("SATISFIABLE (via {used:?})");
+            let lits: Vec<String> = model
+                .iter()
+                .enumerate()
+                .map(|(v, &b)| {
+                    if b == 1 {
+                        format!("{}", v + 1)
+                    } else {
+                        format!("-{}", v + 1)
+                    }
+                })
+                .collect();
+            println!("v {} 0", lits.join(" "));
+        }
+        None => println!("UNSATISFIABLE (via {used:?})"),
+    }
+    Ok(())
+}
+
+fn cmd_datalog(args: &[String]) -> Result<(), String> {
+    let [program_path, facts_path] = args else {
+        return Err("usage: cspdb datalog <program-file> <facts-file>".into());
+    };
+    let program = cspdb_datalog::parse_program(&read(program_path)?)?;
+    let edb = parse_facts(&read(facts_path)?)?;
+    let eval = cspdb_datalog::evaluate(&program, &edb)?;
+    println!(
+        "fixpoint after {} iterations, {} facts derived",
+        eval.iterations, eval.derived_facts
+    );
+    let goal = eval
+        .relations
+        .get(&program.goal)
+        .ok_or_else(|| format!("goal {} is not an IDB", program.goal))?;
+    println!("goal {}: {} tuples", program.goal, goal.len());
+    for t in goal.iter().take(50) {
+        println!(
+            "{}({})",
+            program.goal,
+            t.iter().map(u32::to_string).collect::<Vec<_>>().join(",")
+        );
+    }
+    if goal.len() > 50 {
+        println!("... ({} more)", goal.len() - 50);
+    }
+    Ok(())
+}
+
+fn cmd_cq(args: &[String]) -> Result<(), String> {
+    let [query, facts_path] = args else {
+        return Err("usage: cspdb cq \"<query>\" <facts-file>".into());
+    };
+    let q = cspdb_cq::ConjunctiveQuery::parse(query)?;
+    let db = parse_facts(&read(facts_path)?)?;
+    let answers = cspdb_cq::evaluate_by_join(&q, &db)?;
+    if q.is_boolean() {
+        println!("{}", if answers.is_empty() { "false" } else { "true" });
+    } else {
+        println!("{} answers", answers.len());
+        for t in answers.iter().take(50) {
+            println!(
+                "({})",
+                t.iter().map(u32::to_string).collect::<Vec<_>>().join(",")
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_contain(args: &[String]) -> Result<(), String> {
+    let [q1, q2] = args else {
+        return Err("usage: cspdb contain \"<q1>\" \"<q2>\"".into());
+    };
+    let q1 = cspdb_cq::ConjunctiveQuery::parse(q1)?;
+    let q2 = cspdb_cq::ConjunctiveQuery::parse(q2)?;
+    let fwd = cspdb_cq::is_contained_in(&q1, &q2)?;
+    let bwd = cspdb_cq::is_contained_in(&q2, &q1)?;
+    println!("Q1 ⊆ Q2: {fwd}");
+    println!("Q2 ⊆ Q1: {bwd}");
+    println!("equivalent: {}", fwd && bwd);
+    Ok(())
+}
+
+fn cmd_minimize(args: &[String]) -> Result<(), String> {
+    let [query] = args else {
+        return Err("usage: cspdb minimize \"<query>\"".into());
+    };
+    let q = cspdb_cq::ConjunctiveQuery::parse(query)?;
+    let m = cspdb_cq::minimize(&q);
+    println!("{m}");
+    println!("({} atoms -> {})", q.atoms.len(), m.atoms.len());
+    Ok(())
+}
+
+fn cmd_rpq(args: &[String]) -> Result<(), String> {
+    let [pattern, path] = args else {
+        return Err("usage: cspdb rpq \"<regex>\" <labeled-edges-file>".into());
+    };
+    let q = cspdb_rpq::Regex::parse(pattern)?;
+    // Parse "u label v" lines, label a single alphanumeric char.
+    let src = read(path)?;
+    let mut edges: Vec<(u32, char, u32)> = Vec::new();
+    let mut alphabet: Vec<char> = q.alphabet();
+    let mut max = 0u32;
+    for (ln, line) in src.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let u: u32 = it
+            .next()
+            .ok_or(format!("line {}: missing source", ln + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: {e}", ln + 1))?;
+        let label = it
+            .next()
+            .ok_or(format!("line {}: missing label", ln + 1))?;
+        if label.chars().count() != 1 {
+            return Err(format!("line {}: label must be one character", ln + 1));
+        }
+        let label = label.chars().next().expect("checked");
+        let v: u32 = it
+            .next()
+            .ok_or(format!("line {}: missing target", ln + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: {e}", ln + 1))?;
+        max = max.max(u).max(v);
+        alphabet.push(label);
+        edges.push((u, label, v));
+    }
+    alphabet.sort_unstable();
+    alphabet.dedup();
+    let n = if edges.is_empty() { 0 } else { max as usize + 1 };
+    let mut db = cspdb_rpq::GraphDb::new(n, &alphabet);
+    for (u, l, v) in edges {
+        db.add_edge(u, l, v);
+    }
+    let answers = db.answer(&q);
+    println!("{} pairs", answers.len());
+    for (x, y) in answers.iter().take(100) {
+        println!("{x} {y}");
+    }
+    Ok(())
+}
+
+fn cmd_treewidth(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("usage: cspdb treewidth <edges-file>".into());
+    };
+    let (n, edges) = parse_edges(&read(path)?)?;
+    if n > 64 {
+        return Err("exact treewidth supports at most 64 vertices".into());
+    }
+    let g = cspdb_decomp::Graph::from_edges(n, edges);
+    let (w, order) = cspdb_decomp::exact_treewidth(&g);
+    let td = cspdb_decomp::from_elimination_order(&g, &order);
+    td.validate(&g).map_err(|e| format!("internal: {e}"))?;
+    println!("treewidth {w}");
+    for (i, bag) in td.bags.iter().enumerate() {
+        println!(
+            "bag {i}: {{{}}}",
+            bag.iter().map(u32::to_string).collect::<Vec<_>>().join(",")
+        );
+    }
+    for (a, b) in &td.edges {
+        println!("edge {a} {b}");
+    }
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! # constraint-db
+//!
+//! A comprehensive Rust reproduction of Moshe Y. Vardi,
+//! *"Constraint Satisfaction and Database Theory: a Tutorial"*,
+//! PODS 2000.
+//!
+//! This root crate re-exports the [`cspdb`] facade (which in turn exposes
+//! every subsystem crate) and hosts the workspace-wide integration tests
+//! (`tests/`) and runnable examples (`examples/`). See `README.md` for a
+//! tour, `DESIGN.md` for the system inventory, and `EXPERIMENTS.md` for
+//! the paper-vs-measured record of every experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cspdb::*;
+
+/// The paper this workspace reproduces.
+pub const PAPER: &str =
+    "Moshe Y. Vardi. Constraint Satisfaction and Database Theory: a Tutorial. PODS 2000.";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_is_reachable() {
+        use cspdb::core::graphs::{clique, cycle};
+        assert!(cspdb::auto_solve(&cycle(4), &clique(2)).witness.is_some());
+    }
+}

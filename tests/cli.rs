@@ -1,0 +1,119 @@
+//! End-to-end tests of the `cspdb` command-line binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn cspdb(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_cspdb"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn temp_file(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("cspdb-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, _out, err) = cspdb(&["help"]);
+    assert!(ok);
+    assert!(err.contains("usage"));
+}
+
+#[test]
+fn unknown_subcommand_fails() {
+    let (ok, _, err) = cspdb(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown subcommand"));
+}
+
+#[test]
+fn color_pentagon() {
+    let edges = temp_file("pentagon.txt", "0 1\n1 2\n2 3\n3 4\n4 0\n");
+    let (ok, out, _) = cspdb(&["color", "3", edges.to_str().unwrap()]);
+    assert!(ok);
+    assert!(out.contains("3-colorable"), "{out}");
+    let (ok, out, _) = cspdb(&["color", "2", edges.to_str().unwrap()]);
+    assert!(ok);
+    assert!(out.contains("not 2-colorable"), "{out}");
+}
+
+#[test]
+fn sat_dimacs() {
+    let sat = temp_file("sat.cnf", "c comment\np cnf 2 2\n1 2 0\n-1 2 0\n");
+    let (ok, out, _) = cspdb(&["sat", sat.to_str().unwrap()]);
+    assert!(ok);
+    assert!(out.contains("SATISFIABLE"), "{out}");
+    let unsat = temp_file("unsat.cnf", "p cnf 1 2\n1 0\n-1 0\n");
+    let (ok, out, _) = cspdb(&["sat", unsat.to_str().unwrap()]);
+    assert!(ok);
+    assert!(out.contains("UNSATISFIABLE"), "{out}");
+}
+
+#[test]
+fn datalog_transitive_closure() {
+    let program = temp_file(
+        "tc.dl",
+        "T(X,Y) :- E(X,Y).\nT(X,Y) :- T(X,Z), E(Z,Y).\n% goal: T\n",
+    );
+    let facts = temp_file("tc.facts", "E 0 1\nE 1 2\nE 2 3\n");
+    let (ok, out, _) = cspdb(&[
+        "datalog",
+        program.to_str().unwrap(),
+        facts.to_str().unwrap(),
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("goal T: 6 tuples"), "{out}");
+    assert!(out.contains("T(0,3)"), "{out}");
+}
+
+#[test]
+fn cq_and_containment_and_minimize() {
+    let facts = temp_file("cq.facts", "E 0 1\nE 1 2\n");
+    let (ok, out, _) = cspdb(&["cq", "Q(X,Y) :- E(X,Z), E(Z,Y)", facts.to_str().unwrap()]);
+    assert!(ok);
+    assert!(out.contains("1 answers"), "{out}");
+    assert!(out.contains("(0,2)"), "{out}");
+
+    let (ok, out, _) = cspdb(&[
+        "contain",
+        "Q(X) :- E(X,Y), E(Y,Z)",
+        "Q(X) :- E(X,Y)",
+    ]);
+    assert!(ok);
+    assert!(out.contains("Q1 ⊆ Q2: true"), "{out}");
+    assert!(out.contains("Q2 ⊆ Q1: false"), "{out}");
+
+    let (ok, out, _) = cspdb(&["minimize", "Q(X) :- E(X,Y), E(X,Z)"]);
+    assert!(ok);
+    assert!(out.contains("2 atoms -> 1"), "{out}");
+}
+
+#[test]
+fn rpq_on_labeled_graph() {
+    let edges = temp_file("rpq.txt", "0 a 1\n1 b 2\n2 a 3\n");
+    let (ok, out, _) = cspdb(&["rpq", "ab", edges.to_str().unwrap()]);
+    assert!(ok);
+    assert!(out.contains("1 pairs"), "{out}");
+    assert!(out.contains("0 2"), "{out}");
+}
+
+#[test]
+fn treewidth_of_cycle() {
+    let edges = temp_file("tw.txt", "0 1\n1 2\n2 3\n3 4\n4 0\n");
+    let (ok, out, _) = cspdb(&["treewidth", edges.to_str().unwrap()]);
+    assert!(ok);
+    assert!(out.contains("treewidth 2"), "{out}");
+    assert!(out.contains("bag 0"), "{out}");
+}

@@ -1,0 +1,106 @@
+//! Integration tests for the Section 2 equivalences, exercised across
+//! crate boundaries: the AI view (`CspInstance` + search), the database
+//! views (joins, conjunctive queries), and the homomorphism view must
+//! all coincide on the same inputs.
+
+use constraint_db::core::graphs::{clique, cycle};
+use constraint_db::core::CspInstance;
+use constraint_db::{cq, relalg, solver};
+
+/// Proposition 2.1: solvable ⇔ join nonempty, on random instances.
+#[test]
+fn proposition_2_1_on_random_instances() {
+    for seed in 0..15u64 {
+        let p = cspdb_gen::random_binary_csp(7, 3, 10, 0.4, seed);
+        let by_search = solver::solve_csp(&p);
+        let by_join = relalg::solve_by_join(&p);
+        let by_brute = p.solve_brute_force();
+        assert_eq!(by_search.is_some(), by_join.is_some(), "seed {seed}");
+        assert_eq!(by_search.is_some(), by_brute.is_some(), "seed {seed}");
+        for w in [by_search, by_join].into_iter().flatten() {
+            assert!(p.is_solution(&w), "seed {seed}");
+        }
+    }
+}
+
+/// Proposition 2.3: hom(A, B) ⇔ φ_A true in B ⇔ φ_B ⊆ φ_A.
+#[test]
+fn proposition_2_3_three_ways() {
+    let cases = [
+        (cycle(4), clique(2)),
+        (cycle(5), clique(2)),
+        (cycle(5), clique(3)),
+        (clique(3), clique(3)),
+        (clique(4), clique(3)),
+    ];
+    for (a, b) in cases {
+        let hom = solver::find_homomorphism(&a, &b).is_some();
+        let phi_a = cq::canonical_query(&a);
+        let phi_b = cq::canonical_query(&b);
+        let eval = cq::boolean_holds(&phi_a, &b).unwrap();
+        let containment = cq::is_contained_in(&phi_b, &phi_a).unwrap();
+        assert_eq!(hom, eval, "hom vs eval on {a} -> {b}");
+        assert_eq!(hom, containment, "hom vs containment on {a} -> {b}");
+    }
+}
+
+/// The CSP ↔ homomorphism conversions preserve solution counts exactly.
+#[test]
+fn conversions_preserve_solution_counts() {
+    for seed in 0..10u64 {
+        let p = cspdb_gen::random_binary_csp(5, 3, 6, 0.35, seed).consolidate();
+        let (a, b) = p.to_homomorphism();
+        let back = CspInstance::from_homomorphism(&a, &b).unwrap();
+        assert_eq!(
+            p.count_solutions_brute_force(),
+            back.count_solutions_brute_force(),
+            "seed {seed}"
+        );
+        assert_eq!(
+            solver::count_homomorphisms(&a, &b),
+            p.count_solutions_brute_force(),
+            "seed {seed}"
+        );
+    }
+}
+
+/// Normalization (Section 2): repeated-variable scopes and duplicate
+/// scopes do not change the solution space.
+#[test]
+fn normalization_preserves_semantics() {
+    use constraint_db::core::Relation;
+    use std::sync::Arc;
+    let mut p = CspInstance::new(3, 2);
+    let r = Arc::new(Relation::from_tuples(2, [[0u32, 1], [1, 0], [1, 1]]).unwrap());
+    p.add_constraint([0, 1], r.clone()).unwrap();
+    p.add_constraint([0, 1], Arc::new(Relation::from_tuples(2, [[0u32, 1], [1, 0]]).unwrap()))
+        .unwrap();
+    p.add_constraint([2, 2], r).unwrap(); // repeated variable
+    let q = p.normalize_distinct().consolidate();
+    assert_eq!(
+        p.count_solutions_brute_force(),
+        q.count_solutions_brute_force()
+    );
+    // Every scope now has distinct variables and occurs once.
+    let mut seen = std::collections::HashSet::new();
+    for c in q.constraints() {
+        let mut s = c.scope().to_vec();
+        let len_before = s.len();
+        s.dedup();
+        assert_eq!(s.len(), len_before, "scope has repeats");
+        assert!(seen.insert(c.scope().to_vec()), "scope occurs twice");
+    }
+}
+
+/// Query evaluation: both engines equal the definition (all
+/// homomorphism images of distinguished variables) on sample data.
+#[test]
+fn query_evaluation_cross_engine() {
+    let q = cq::ConjunctiveQuery::parse("Q(X,Y) :- E(X,Z), E(Z,Y)").unwrap();
+    for seed in 0..8u64 {
+        let g = cspdb_gen::gnp(6, 0.4, seed);
+        let a = cq::evaluate_by_search(&q, &g).unwrap();
+        let b = cq::evaluate_by_join(&q, &g).unwrap();
+        assert_eq!(a, b, "seed {seed}");
+    }
+}

@@ -1,0 +1,98 @@
+//! Proposition 4.3 / Corollary 4.4: queries expressible in the
+//! existential-positive k-variable infinitary logic are *preserved*
+//! along Duplicator wins of the existential k-pebble game.
+//!
+//! Concretely for the Boolean query Q = "not 2-colorable" (expressible
+//! in 4-Datalog ⊆ ∃L⁴∞ω, Section 4): whenever A ⊨ Q and the Duplicator
+//! wins the existential 4-pebble game on (A, B), then B ⊨ Q. A
+//! homomorphism A → B is the simplest witness of a Duplicator win, so
+//! homomorphic images of non-2-colorable graphs must be
+//! non-2-colorable — which we verify on many sampled pairs, alongside
+//! the game-level statement itself.
+
+use constraint_db::consistency::duplicator_wins;
+use constraint_db::core::graphs::{clique, cycle, two_coloring};
+use constraint_db::datalog::{goal_holds, programs::non_2_colorability};
+use constraint_db::solver::homomorphism_exists;
+
+#[test]
+fn homomorphisms_witness_duplicator_wins() {
+    // hom(A, B) exists ⇒ the Duplicator wins every k-pebble game.
+    let pairs = [
+        (cycle(5), clique(3)),
+        (cycle(6), clique(2)),
+        (cycle(9), cycle(3)),
+        (clique(3), clique(4)),
+    ];
+    for (a, b) in pairs {
+        assert!(homomorphism_exists(&a, &b), "precondition: hom exists");
+        for k in 1..=3usize {
+            assert!(duplicator_wins(&a, &b, k), "hom implies Duplicator win (k={k})");
+        }
+    }
+}
+
+#[test]
+fn non_2_colorability_is_preserved_along_game_wins() {
+    let program = non_2_colorability();
+    // Pairs (A, B) where the Duplicator wins the 4-pebble game (via an
+    // explicit homomorphism) and A is not 2-colorable.
+    let pairs = [
+        (cycle(5), clique(3)),   // C5 -> K3
+        (cycle(9), cycle(3)),    // C9 -> C3 (odd wrap)
+        (cycle(7), cycle(7)),    // identity
+        (clique(3), clique(5)),  // K3 -> K5
+    ];
+    for (a, b) in pairs {
+        assert!(homomorphism_exists(&a, &b));
+        let a_models_q = goal_holds(&program, &a).unwrap();
+        assert!(a_models_q, "A must be non-2-colorable: {a}");
+        let b_models_q = goal_holds(&program, &b).unwrap();
+        assert!(
+            b_models_q,
+            "preservation (Cor 4.4): B must also be non-2-colorable: {b}"
+        );
+        assert!(two_coloring(&b).is_none());
+    }
+}
+
+#[test]
+fn preservation_on_random_homomorphic_images() {
+    // Random non-bipartite graphs, folded through random maps: the
+    // image (a homomorphic image!) must stay non-2-colorable.
+    let program = non_2_colorability();
+    let mut state = 0x600DF00D600DF00Du64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut tested = 0;
+    for seed in 0..30u64 {
+        let g = cspdb_gen::gnp(7, 0.45, seed);
+        if two_coloring(&g).is_some() {
+            continue; // want A ⊨ Q
+        }
+        let target = 3 + (next() % 3) as usize;
+        let map: Vec<u32> = (0..7).map(|_| (next() % target as u64) as u32).collect();
+        let image = g.map_domain(&map, target).unwrap();
+        // Duplicator wins (A, image) via the map; Q must be preserved.
+        assert!(
+            goal_holds(&program, &image).unwrap(),
+            "seed {seed}: homomorphic image of a non-bipartite graph became bipartite"
+        );
+        tested += 1;
+    }
+    assert!(tested >= 5, "enough non-bipartite samples");
+}
+
+#[test]
+fn no_preservation_without_a_win() {
+    // The converse guard: when the SPOILER wins, nothing is implied —
+    // C5 ⊨ Q but K2 ⊭ Q, and indeed the Spoiler wins on (C5, K2).
+    let program = non_2_colorability();
+    assert!(goal_holds(&program, &cycle(5)).unwrap());
+    assert!(!goal_holds(&program, &clique(2)).unwrap());
+    assert!(!duplicator_wins(&cycle(5), &clique(2), 3));
+}

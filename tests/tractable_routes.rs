@@ -1,0 +1,133 @@
+//! Integration tests: every tractable algorithm in the workspace must
+//! agree with the generic solver (and with each other) on workloads in
+//! its domain of applicability — the computational content of the
+//! paper's Sections 3–6.
+
+use constraint_db::core::graphs::clique;
+use constraint_db::{consistency, cq, decomp, relalg, schaefer, solver};
+
+/// Theorem 6.2: DP over tree decompositions ≡ search ≡ ∃FO^{k+1}
+/// evaluation on partial k-trees.
+#[test]
+fn treewidth_routes_agree() {
+    for seed in 0..6u64 {
+        for k in 1..=2usize {
+            let a = cspdb_gen::partial_k_tree(14, k, 0.8, seed);
+            for colors in [2usize, 3] {
+                let b = clique(colors);
+                let by_search = solver::find_homomorphism(&a, &b).is_some();
+                let (width, by_dp) = decomp::solve_by_treewidth(&a, &b);
+                let (regs, by_formula) = cq::theorem_6_2_decide(&a, &b);
+                assert!(width <= k, "decomposition wider than the promise");
+                assert!(regs <= k + 1, "more registers than Prop 6.1 allows");
+                assert_eq!(by_search, by_dp.is_some(), "seed {seed} k {k} c {colors}");
+                assert_eq!(by_search, by_formula, "seed {seed} k {k} c {colors}");
+            }
+        }
+    }
+}
+
+/// Yannakakis ≡ join ≡ search on acyclic instances.
+#[test]
+fn acyclic_routes_agree() {
+    for seed in 0..8u64 {
+        // Random star instances are acyclic by construction.
+        let p = {
+            use constraint_db::core::{CspInstance, Relation};
+            use std::sync::Arc;
+            let mut q = CspInstance::new(6, 3);
+            let mut rng = seed;
+            let mut next = move || {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                rng
+            };
+            for leaf in 1..6u32 {
+                let tuples: Vec<[u32; 2]> = (0..3u32)
+                    .flat_map(|i| (0..3u32).map(move |j| [i, j]))
+                    .filter(|_| next() % 3 != 0)
+                    .collect();
+                q.add_constraint([0, leaf], Arc::new(Relation::from_tuples(2, tuples).unwrap()))
+                    .unwrap();
+            }
+            q
+        };
+        assert!(relalg::is_acyclic_instance(&p));
+        let yann = relalg::solve_acyclic(&p).unwrap();
+        let join = relalg::solve_by_join(&p);
+        let search = solver::solve_csp(&p);
+        assert_eq!(yann.is_some(), join.is_some(), "seed {seed}");
+        assert_eq!(yann.is_some(), search.is_some(), "seed {seed}");
+    }
+}
+
+/// Schaefer driver ≡ brute force on every canonical template family.
+#[test]
+fn schaefer_driver_agrees_with_search() {
+    for seed in 0..6u64 {
+        for (family, f) in [
+            ("2sat", cspdb_gen::random_2sat(7, 12, seed)),
+            ("horn", cspdb_gen::random_horn(7, 12, seed)),
+            ("3sat", cspdb_gen::random_3sat(7, 20, seed)),
+        ] {
+            let csp = cspdb_gen::cnf_to_csp(&f);
+            let (_, fast) = schaefer::solve_boolean(&csp);
+            let slow = solver::solve_csp(&csp);
+            assert_eq!(fast.is_some(), slow.is_some(), "{family} seed {seed}");
+            if let Some(w) = fast {
+                assert!(csp.is_solution(&w), "{family} seed {seed}");
+            }
+        }
+    }
+}
+
+/// Consistency refutation is sound everywhere and complete for 2-COL.
+#[test]
+fn consistency_soundness_and_2col_completeness() {
+    for seed in 0..10u64 {
+        let g = cspdb_gen::gnp(8, 0.3, seed);
+        // Soundness for K3.
+        if consistency::k_consistency_refutes(&g, &clique(3), 3) == Some(false) {
+            assert!(solver::find_homomorphism(&g, &clique(3)).is_none());
+        }
+        // Completeness for K2 at k = 3.
+        let truth = solver::find_homomorphism(&g, &clique(2)).is_some();
+        let refuted = consistency::k_consistency_refutes(&g, &clique(2), 3) == Some(false);
+        assert_eq!(refuted, !truth, "seed {seed}");
+    }
+}
+
+/// Hypertree-guided solving agrees with search on cyclic structures.
+#[test]
+fn hypertree_route_agrees() {
+    for seed in 0..5u64 {
+        let a = cspdb_gen::gnp(7, 0.35, seed);
+        let hg = decomp::Hypergraph::of_structure(&a);
+        let hd = decomp::hypertree_heuristic(&hg);
+        hd.validate(&hg).unwrap();
+        for colors in [2usize, 3] {
+            let b = clique(colors);
+            let via_hd = relalg::solve_with_hypertree(&a, &b, &hd).unwrap();
+            let direct = solver::find_homomorphism(&a, &b);
+            assert_eq!(via_hd.is_some(), direct.is_some(), "seed {seed} c {colors}");
+        }
+    }
+}
+
+/// The auto dispatcher always verifies its witnesses and matches search.
+#[test]
+fn auto_solve_is_correct_everywhere() {
+    for seed in 0..8u64 {
+        let a = cspdb_gen::gnp(8, 0.3, seed);
+        for colors in 2..=4usize {
+            let b = clique(colors);
+            let report = constraint_db::auto_solve(&a, &b);
+            let direct = solver::find_homomorphism(&a, &b);
+            assert_eq!(report.witness.is_some(), direct.is_some());
+            if let Some(w) = report.witness {
+                assert!(constraint_db::core::is_homomorphism(&w, &a, &b));
+            }
+        }
+    }
+}
