@@ -20,7 +20,10 @@ fn bench(c: &mut Criterion) {
             .map(|(n, d)| {
                 let r = Regex::parse(d).unwrap();
                 alphabet.extend(r.alphabet());
-                View { name: n.to_string(), definition: r }
+                View {
+                    name: n.to_string(),
+                    definition: r,
+                }
             })
             .collect();
         alphabet.sort_unstable();
@@ -31,7 +34,10 @@ fn bench(c: &mut Criterion) {
     }
     // Evaluation over a growing extension.
     let q = Regex::parse("(ab)*").unwrap();
-    let views = vec![View { name: "Vab".into(), definition: Regex::parse("ab").unwrap() }];
+    let views = vec![View {
+        name: "Vab".into(),
+        definition: Regex::parse("ab").unwrap(),
+    }];
     let rw = maximal_rewriting(&q, &views, &['a', 'b']);
     for len in [16usize, 64] {
         let exts = Extensions {

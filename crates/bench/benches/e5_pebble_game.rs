@@ -11,11 +11,9 @@ fn bench(c: &mut Criterion) {
     for k in [2usize, 3] {
         for n in [8usize, 16] {
             let g = cspdb_gen::gnp(n, 2.0 / n as f64, 5);
-            group.bench_with_input(
-                BenchmarkId::new(format!("k{k}"), n),
-                &g,
-                |bch, g| bch.iter(|| cspdb_consistency::largest_winning_strategy(g, &b2, k)),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("k{k}"), n), &g, |bch, g| {
+                bch.iter(|| cspdb_consistency::largest_winning_strategy(g, &b2, k))
+            });
         }
     }
     group.finish();

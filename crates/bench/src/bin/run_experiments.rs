@@ -9,8 +9,8 @@
 //! Run with: `cargo run --release -p cspdb-bench --bin run_experiments`
 
 use cspdb_bench::{
-    e10_chain, e11_instance, e1_instance, e9_instance, e9_tight_instance, fmt_ms,
-    neq_relation, time_median, time_once,
+    e10_chain, e11_instance, e1_instance, e9_instance, e9_tight_instance, fmt_ms, neq_relation,
+    time_median, time_once,
 };
 use cspdb_core::graphs::{clique, cycle, two_coloring};
 use cspdb_core::CspInstance;
@@ -87,18 +87,13 @@ fn e2() {
     for m in [4usize, 8, 16, 32] {
         // Chain query of m atoms is contained in chain of m/2 atoms.
         let chain = |len: usize| {
-            let body: Vec<String> = (0..len)
-                .map(|i| format!("E(X{i},X{})", i + 1))
-                .collect();
-            cspdb_cq::ConjunctiveQuery::parse(&format!("Q(X0) :- {}", body.join(", ")))
-                .unwrap()
+            let body: Vec<String> = (0..len).map(|i| format!("E(X{i},X{})", i + 1)).collect();
+            cspdb_cq::ConjunctiveQuery::parse(&format!("Q(X0) :- {}", body.join(", "))).unwrap()
         };
         let q1 = chain(m);
         let q2 = chain(m / 2);
-        let (via_hom, t_hom) =
-            time_once(|| cspdb_cq::is_contained_in(&q1, &q2).unwrap());
-        let (via_eval, t_eval) =
-            time_once(|| cspdb_cq::is_contained_in_by_eval(&q1, &q2).unwrap());
+        let (via_hom, t_hom) = time_once(|| cspdb_cq::is_contained_in(&q1, &q2).unwrap());
+        let (via_eval, t_eval) = time_once(|| cspdb_cq::is_contained_in_by_eval(&q1, &q2).unwrap());
         assert_eq!(via_hom, via_eval);
         assert!(via_hom, "longer chains are contained in shorter");
         println!(
@@ -118,8 +113,14 @@ fn e3() {
     for n in [64usize, 256, 1024] {
         let m = 3 * n;
         for (family, csp) in [
-            ("2-SAT", cspdb_gen::cnf_to_csp(&cspdb_gen::random_2sat(n, m, 7))),
-            ("Horn", cspdb_gen::cnf_to_csp(&cspdb_gen::random_horn(n, m, 7))),
+            (
+                "2-SAT",
+                cspdb_gen::cnf_to_csp(&cspdb_gen::random_2sat(n, m, 7)),
+            ),
+            (
+                "Horn",
+                cspdb_gen::cnf_to_csp(&cspdb_gen::random_horn(n, m, 7)),
+            ),
         ] {
             let ((used, sol), t) = time_once(|| cspdb_schaefer::solve_boolean(&csp));
             println!(
@@ -153,7 +154,10 @@ fn e3() {
 
 /// E4: Hell–Nešetřil — CSP(H) polynomial iff H bipartite.
 fn e4() {
-    header("E4", "§3 Hell–Nešetřil: H-coloring polynomial iff H bipartite");
+    header(
+        "E4",
+        "§3 Hell–Nešetřil: H-coloring polynomial iff H bipartite",
+    );
     println!("| H | bipartite | input | result | time |");
     println!("|---|---|---|---|---|");
     let templates: Vec<(&str, cspdb_core::Structure)> = vec![
@@ -168,7 +172,11 @@ fn e4() {
         let (report, t) = time_once(|| cspdb::auto_solve(&g, &h));
         println!(
             "| {name} | {bipartite} | G(40,0.08) | {} via {:?} | {} |",
-            if report.witness.is_some() { "hom" } else { "no hom" },
+            if report.witness.is_some() {
+                "hom"
+            } else {
+                "no hom"
+            },
             report.strategy,
             fmt_ms(t)
         );
@@ -190,10 +198,10 @@ fn e5() {
         for n in [6usize, 12, 24] {
             let g = cspdb_gen::gnp(n, 2.0 / n as f64, 5);
             let b = clique(2);
-            let (w, t) = time_once(|| {
-                cspdb_consistency::largest_winning_strategy(&g, &b, k)
-            });
-            let ratio = prev.map(|p| format!("{:.1}x", t / p)).unwrap_or_else(|| "-".into());
+            let (w, t) = time_once(|| cspdb_consistency::largest_winning_strategy(&g, &b, k));
+            let ratio = prev
+                .map(|p| format!("{:.1}x", t / p))
+                .unwrap_or_else(|| "-".into());
             println!("| {n} | {k} | {} | {} | {ratio} |", w.len(), fmt_ms(t));
             prev = Some(t.max(1e-6));
         }
@@ -202,7 +210,10 @@ fn e5() {
 
 /// E6: Theorem 4.6 — k-Datalog ≡ pebble game ≡ semantics for 2-COL.
 fn e6() {
-    header("E6", "Thm 4.6: Datalog program ≡ pebble game ≡ semantics (2-COL)");
+    header(
+        "E6",
+        "Thm 4.6: Datalog program ≡ pebble game ≡ semantics (2-COL)",
+    );
     println!("| input | datalog | game(k=3) | truth | t_datalog | t_game |");
     println!("|---|---|---|---|---|---|");
     let program = cspdb_datalog::programs::non_2_colorability();
@@ -224,7 +235,10 @@ fn e6() {
 
 /// E7: Theorem 5.6 — establishing strong k-consistency.
 fn e7() {
-    header("E7", "Thm 5.6: establishing strong k-consistency = largest strategy");
+    header(
+        "E7",
+        "Thm 5.6: establishing strong k-consistency = largest strategy",
+    );
     println!("| instance | k | possible | |W^k| | constraints | time |");
     println!("|---|---|---|---|---|---|");
     for (name, a, b, k) in [
@@ -244,7 +258,10 @@ fn e7() {
                 );
             }
             None => {
-                println!("| {name} | {k} | NO (Spoiler wins) | 0 | - | {} |", fmt_ms(t));
+                println!(
+                    "| {name} | {k} | NO (Spoiler wins) | 0 | - | {} |",
+                    fmt_ms(t)
+                );
             }
         }
     }
@@ -337,7 +354,10 @@ fn e9() {
 
 /// E10: acyclic joins — Yannakakis vs the unrestricted join.
 fn e10() {
-    header("E10", "§6: Yannakakis (semijoins) vs full join on acyclic chains");
+    header(
+        "E10",
+        "§6: Yannakakis (semijoins) vs full join on acyclic chains",
+    );
     println!("| m constraints | d | Yannakakis | full join | search |");
     println!("|---|---|---|---|---|");
     for m in [8usize, 16, 64, 256] {
@@ -358,7 +378,10 @@ fn e10() {
 
 /// E11: Theorem 7.5 — view-based answering via the constraint template.
 fn e11() {
-    header("E11", "Thm 7.5: certain answers via CSP; vs canonical ground truth");
+    header(
+        "E11",
+        "Thm 7.5: certain answers via CSP; vs canonical ground truth",
+    );
     println!("| chain len | pair | certain (CSP route) | brute force | t_csp | t_bf |");
     println!("|---|---|---|---|---|---|");
     for len in [2usize, 3, 4] {
@@ -395,7 +418,10 @@ fn e11() {
 
 /// E12: Theorem 7.3 — CSP reduces to view-based answering (round trip).
 fn e12() {
-    header("E12", "Thm 7.3: CSP ≤p view-based answering (round trip through 7.5)");
+    header(
+        "E12",
+        "Thm 7.3: CSP ≤p view-based answering (round trip through 7.5)",
+    );
     println!("| template B | input | direct hom | via views | time (views) |");
     println!("|---|---|---|---|---|");
     let b = clique(2);
@@ -414,7 +440,10 @@ fn e12() {
 
 /// E13: maximal RPQ rewritings.
 fn e13() {
-    header("E13", "§7 [8]: maximal RPQ rewriting; soundness vs certain answers");
+    header(
+        "E13",
+        "§7 [8]: maximal RPQ rewriting; soundness vs certain answers",
+    );
     let cases: Vec<(&str, Vec<(&str, &str)>)> = vec![
         ("(ab)*", vec![("Vab", "ab")]),
         ("a(bb)*", vec![("Va", "a"), ("Vbb", "bb")]),
@@ -474,7 +503,9 @@ fn e13() {
     let answers = rw.answer(&exts);
     let mut checked = 0;
     for &(x, y) in &answers {
-        assert!(cspdb_rpq::certain_answer(&q, &views, &alphabet, &exts, x, y));
+        assert!(cspdb_rpq::certain_answer(
+            &q, &views, &alphabet, &exts, x, y
+        ));
         checked += 1;
     }
     println!("\nsoundness: {checked} rewriting answers all verified certain.");
@@ -489,21 +520,24 @@ fn e14_counting() {
     );
     println!("| A | B | count (DP) | count (enumeration) | t_dp | t_enum |");
     println!("|---|---|---|---|---|---|");
-    for (name, a) in [
-        ("C10", cycle(10)),
-        ("C15", cycle(15)),
-        ("C20", cycle(20)),
-    ] {
+    for (name, a) in [("C10", cycle(10)), ("C15", cycle(15)), ("C20", cycle(20))] {
         let b = clique(3);
         let (dp, t_dp) = time_once(|| cspdb_decomp::count_by_treewidth(&a, &b));
         let (enumed, t_e) = time_once(|| cspdb_solver::count_homomorphisms(&a, &b));
         assert_eq!(dp, enumed);
-        println!("| {name} | K3 | {dp} | {enumed} | {} | {} |", fmt_ms(t_dp), fmt_ms(t_e));
+        println!(
+            "| {name} | K3 | {dp} | {enumed} | {} | {} |",
+            fmt_ms(t_dp),
+            fmt_ms(t_e)
+        );
     }
     // Where enumeration is infeasible, the DP still answers instantly:
     let a = cycle(60);
     let (dp, t_dp) = time_once(|| cspdb_decomp::count_by_treewidth(&a, &clique(3)));
-    println!("| C60 | K3 | {dp} | — (2^60-scale enumeration) | {} | — |", fmt_ms(t_dp));
+    println!(
+        "| C60 | K3 | {dp} | — (2^60-scale enumeration) | {} | — |",
+        fmt_ms(t_dp)
+    );
     // Closed form: hom(C_n, K_q) = (q-1)^n + (q-1)(-1)^n.
     assert_eq!(dp, 2u64.pow(60) + 2);
 }
@@ -520,11 +554,8 @@ fn e15_ac_rewriting() {
     println!("|---|---|---|---|");
     let k2 = cspdb_core::graphs::digraph(2, &[(0, 1), (1, 0)]);
     let reduction = cspdb_rpq::csp_to_views(&k2);
-    let oracle = cspdb_rpq::CertainAnswering::new(
-        &reduction.query,
-        &reduction.views,
-        &reduction.alphabet,
-    );
+    let oracle =
+        cspdb_rpq::CertainAnswering::new(&reduction.query, &reduction.views, &reduction.alphabet);
     let rw = cspdb_rpq::ArcConsistencyRewriting::new(
         &reduction.query,
         &reduction.views,

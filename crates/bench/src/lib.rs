@@ -49,9 +49,8 @@ pub fn neq_relation(d: usize) -> Arc<Relation> {
     Arc::new(
         Relation::from_tuples(
             2,
-            (0..d as u32).flat_map(|i| {
-                (0..d as u32).filter_map(move |j| (i != j).then_some([i, j]))
-            }),
+            (0..d as u32)
+                .flat_map(|i| (0..d as u32).filter_map(move |j| (i != j).then_some([i, j]))),
         )
         .unwrap(),
     )
@@ -134,22 +133,26 @@ pub fn e11_instance(
     (q, views, vec!['a', 'b'], exts)
 }
 
-/// A simple wall-clock budget guard for open-ended sweeps.
+/// A simple wall-clock budget guard for open-ended sweeps, backed by a
+/// [`cspdb_core::Meter`] so sweeps and solver calls share one notion of
+/// "out of time".
 pub struct Budget {
-    deadline: Instant,
+    meter: cspdb_core::Meter,
 }
 
 impl Budget {
     /// Creates a budget of the given seconds.
     pub fn seconds(s: u64) -> Self {
         Budget {
-            deadline: Instant::now() + Duration::from_secs(s),
+            meter: cspdb_core::Budget::new()
+                .with_deadline(Duration::from_secs(s))
+                .meter(),
         }
     }
 
     /// True while the budget lasts.
-    pub fn ok(&self) -> bool {
-        Instant::now() < self.deadline
+    pub fn ok(&mut self) -> bool {
+        self.meter.checkpoint().is_ok()
     }
 }
 

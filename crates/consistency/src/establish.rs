@@ -77,8 +77,8 @@ pub fn establish_from_strategy(
     scopes.sort();
     for scope in scopes {
         let images = &by_scope[&scope];
-        let rel = Relation::from_tuples(scope.len(), images.iter())
-            .expect("images have scope arity");
+        let rel =
+            Relation::from_tuples(scope.len(), images.iter()).expect("images have scope arity");
         csp.add_constraint(scope.into_boxed_slice(), rel)
             .expect("strategy members are in range");
     }
@@ -87,10 +87,7 @@ pub fn establish_from_strategy(
     // element has a surviving singleton (extend the empty map) whenever
     // k >= 1 — asserted here.
     debug_assert!(
-        (0..n as u32).all(|x| w
-            .iter()
-            .any(|f| f.len() == 1 && f.is_defined_on(x))
-            || n == 0),
+        (0..n as u32).all(|x| w.iter().any(|f| f.len() == 1 && f.is_defined_on(x)) || n == 0),
         "forth property guarantees singletons"
     );
     let _ = k;
@@ -181,6 +178,23 @@ pub fn k_consistency_refutes(a: &Structure, b: &Structure, k: usize) -> Option<b
     }
 }
 
+/// [`k_consistency_refutes`] under a [`Budget`]
+/// (`cspdb_core::budget::Budget`): the outer `Err` means the game
+/// computation itself ran out of resources, so not even the sound
+/// refutation check completed.
+pub fn k_consistency_refutes_budgeted(
+    a: &Structure,
+    b: &Structure,
+    k: usize,
+    budget: &cspdb_core::budget::Budget,
+) -> Result<Option<bool>, cspdb_core::budget::ExhaustionReason> {
+    if crate::game::spoiler_wins_budgeted(a, b, k, budget)? {
+        Ok(Some(false))
+    } else {
+        Ok(None)
+    }
+}
+
 /// A coherence check for the established instance: every constraint
 /// tuple's correspondence is a partial homomorphism of `(A', B')` — the
 /// property Theorem 5.6 guarantees ("largest coherent instance").
@@ -249,8 +263,7 @@ mod tests {
             (cycle(3), clique(3), 3),
         ];
         for (a, b, k) in cases {
-            let est = establish_strong_k_consistency(&a, &b, k)
-                .expect("duplicator wins these");
+            let est = establish_strong_k_consistency(&a, &b, k).expect("duplicator wins these");
             verify_definition_5_4(&a, &b, &est, k).expect("definition 5.4 holds");
         }
     }
@@ -271,8 +284,7 @@ mod tests {
         let a = cycle(5);
         let b = clique(3);
         let est = establish_strong_k_consistency(&a, &b, 2).unwrap();
-        let est2 =
-            establish_strong_k_consistency(&est.a_prime, &est.b_prime, 2).unwrap();
+        let est2 = establish_strong_k_consistency(&est.a_prime, &est.b_prime, 2).unwrap();
         assert!(dominates(&est, &est2.csp));
         assert!(dominates(&est2, &est.csp));
     }
@@ -302,7 +314,10 @@ mod tests {
         // survives: 3 pebbles do NOT refute K4 -> K3.
         assert_eq!(k_consistency_refutes(&clique(4), &clique(3), 3), None);
         // While 4 pebbles do.
-        assert_eq!(k_consistency_refutes(&clique(4), &clique(3), 4), Some(false));
+        assert_eq!(
+            k_consistency_refutes(&clique(4), &clique(3), 4),
+            Some(false)
+        );
     }
 
     #[test]
@@ -312,7 +327,15 @@ mod tests {
         let est = establish_strong_k_consistency(&a, &b, 2).unwrap();
         // Def 5.4 condition 4 checked in detail elsewhere; spot-check a
         // known solution survives.
-        assert!(cspdb_core::is_homomorphism(&[0, 1, 0], &est.a_prime, &est.b_prime));
-        assert!(!cspdb_core::is_homomorphism(&[0, 0, 0], &est.a_prime, &est.b_prime));
+        assert!(cspdb_core::is_homomorphism(
+            &[0, 1, 0],
+            &est.a_prime,
+            &est.b_prime
+        ));
+        assert!(!cspdb_core::is_homomorphism(
+            &[0, 0, 0],
+            &est.a_prime,
+            &est.b_prime
+        ));
     }
 }

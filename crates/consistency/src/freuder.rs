@@ -120,7 +120,10 @@ pub fn greedy_extend(
             }
         }
     }
-    let solution: Vec<u32> = assignment.into_iter().map(|x| x.expect("all set")).collect();
+    let solution: Vec<u32> = assignment
+        .into_iter()
+        .map(|x| x.expect("all set"))
+        .collect();
     debug_assert!(instance.is_solution(&solution));
     (Some(solution), dead_ends)
 }
@@ -135,7 +138,10 @@ pub fn greedy_extend(
 /// Panics if the instance is not tree-structured (use
 /// [`is_tree_instance`] first).
 pub fn solve_tree_csp(instance: &CspInstance) -> Option<Vec<u32>> {
-    assert!(is_tree_instance(instance), "constraint graph must be a forest");
+    assert!(
+        is_tree_instance(instance),
+        "constraint graph must be a forest"
+    );
     let domains = crate::local::ac3(instance)?;
     if domains.iter().any(Vec::is_empty) {
         return None;
@@ -157,9 +163,8 @@ mod tests {
         Arc::new(
             Relation::from_tuples(
                 2,
-                (0..d as u32).flat_map(|i| {
-                    (0..d as u32).filter_map(move |j| (i != j).then_some([i, j]))
-                }),
+                (0..d as u32)
+                    .flat_map(|i| (0..d as u32).filter_map(move |j| (i != j).then_some([i, j]))),
             )
             .unwrap(),
         )

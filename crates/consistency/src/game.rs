@@ -15,6 +15,7 @@
 //! `O(n^{2k})` bound shows up as the size of the candidate set — this is
 //! what Experiment E5 measures.
 
+use cspdb_core::budget::{Budget, ExhaustionReason};
 use cspdb_core::{PartialHom, Structure};
 use std::collections::HashMap;
 
@@ -77,11 +78,8 @@ impl WinningStrategy {
                     if f.is_defined_on(x) {
                         continue;
                     }
-                    let extended = (0..d).any(|y| {
-                        f.extended(x, y)
-                            .map(|g| self.contains(&g))
-                            .unwrap_or(false)
-                    });
+                    let extended = (0..d)
+                        .any(|y| f.extended(x, y).map(|g| self.contains(&g)).unwrap_or(false));
                     if !extended {
                         return false;
                     }
@@ -99,10 +97,46 @@ impl WinningStrategy {
 ///
 /// Panics if `k == 0` or the vocabularies differ.
 pub fn largest_winning_strategy(a: &Structure, b: &Structure, k: usize) -> WinningStrategy {
+    largest_winning_strategy_budgeted(a, b, k, &Budget::unlimited())
+        .expect("unlimited budget cannot exhaust")
+}
+
+/// Checked upper bound on the candidate table of the k-pebble game
+/// computation: `Σ_{i ≤ k} n^i · d^i` partial maps. Returns `None` on
+/// `u64` overflow — in which case the table certainly does not fit in
+/// memory and a caller planning a budgeted run should skip this
+/// algorithm entirely.
+pub fn wk_table_bound(n: usize, d: usize, k: usize) -> Option<u64> {
+    let n = n as u64;
+    let d = d as u64;
+    let mut total: u64 = 0;
+    let mut layer: u64 = 1; // n^i * d^i
+    for _ in 0..=k {
+        total = total.checked_add(layer)?;
+        layer = layer.checked_mul(n)?.checked_mul(d)?;
+        if layer == 0 {
+            break;
+        }
+    }
+    Some(total)
+}
+
+/// [`largest_winning_strategy`] under a [`Budget`]: `Err` when the
+/// budget ran out mid-computation. Steps are ticked per candidate
+/// extension and per fixpoint re-check; each stored candidate is charged
+/// against the tuple cap (the `O(n^k d^k)` table is this algorithm's
+/// memory hazard).
+pub fn largest_winning_strategy_budgeted(
+    a: &Structure,
+    b: &Structure,
+    k: usize,
+    budget: &Budget,
+) -> Result<WinningStrategy, ExhaustionReason> {
     assert!(k >= 1, "the game needs at least one pebble");
     assert_eq!(a.vocabulary(), b.vocabulary(), "vocabulary mismatch");
     let n = a.domain_size() as u32;
     let d = b.domain_size() as u32;
+    let mut meter = budget.meter();
 
     // Candidate generation: all partial homomorphisms of size <= k.
     let mut maps: Vec<PartialHom> = Vec::new();
@@ -113,14 +147,17 @@ pub fn largest_winning_strategy(a: &Structure, b: &Structure, k: usize) -> Winni
         let mut frontier = vec![PartialHom::empty()];
         index.insert(PartialHom::empty(), 0);
         maps.push(PartialHom::empty());
+        meter.charge_tuples(1)?;
         for _size in 0..k {
             let mut next_frontier = Vec::new();
             for f in &frontier {
                 let min_x = f.sources().max().map(|m| m + 1).unwrap_or(0);
                 for x in min_x..n {
                     for y in 0..d {
+                        meter.tick()?;
                         let g = f.extended(x, y).expect("x fresh");
                         if g.is_partial_homomorphism(a, b) {
+                            meter.charge_tuples(1)?;
                             index.insert(g.clone(), maps.len());
                             maps.push(g.clone());
                             next_frontier.push(g);
@@ -141,14 +178,12 @@ pub fn largest_winning_strategy(a: &Structure, b: &Structure, k: usize) -> Winni
             if !alive[i] {
                 continue;
             }
+            meter.tick()?;
             let f = &maps[i];
             // Downward closure: every 1-smaller restriction alive.
-            let closure_ok = f.drop_each().all(|r| {
-                index
-                    .get(&r)
-                    .map(|&j| alive[j])
-                    .unwrap_or(false)
-            });
+            let closure_ok = f
+                .drop_each()
+                .all(|r| index.get(&r).map(|&j| alive[j]).unwrap_or(false));
             let forth_ok = closure_ok
                 && (f.len() == k
                     || (0..n).all(|x| {
@@ -179,11 +214,11 @@ pub fn largest_winning_strategy(a: &Structure, b: &Structure, k: usize) -> Winni
         .enumerate()
         .map(|(i, f)| (f.clone(), i))
         .collect();
-    WinningStrategy {
+    Ok(WinningStrategy {
         k,
         maps: surviving,
         index,
-    }
+    })
 }
 
 /// True iff the Duplicator wins the existential k-pebble game on
@@ -195,6 +230,17 @@ pub fn duplicator_wins(a: &Structure, b: &Structure, k: usize) -> bool {
 /// True iff the Spoiler wins the existential k-pebble game on `(A, B)`.
 pub fn spoiler_wins(a: &Structure, b: &Structure, k: usize) -> bool {
     !duplicator_wins(a, b, k)
+}
+
+/// [`spoiler_wins`] under a [`Budget`]; `Err` means the game computation
+/// ran out of resources (inconclusive either way).
+pub fn spoiler_wins_budgeted(
+    a: &Structure,
+    b: &Structure,
+    k: usize,
+    budget: &Budget,
+) -> Result<bool, ExhaustionReason> {
+    Ok(largest_winning_strategy_budgeted(a, b, k, budget)?.is_empty())
 }
 
 #[cfg(test)]
@@ -259,11 +305,8 @@ mod tests {
                 if i == j {
                     continue;
                 }
-                let f = PartialHom::from_pairs([
-                    (i, hom[i as usize]),
-                    (j, hom[j as usize]),
-                ])
-                .unwrap();
+                let f =
+                    PartialHom::from_pairs([(i, hom[i as usize]), (j, hom[j as usize])]).unwrap();
                 assert!(w.contains(&f), "missing restriction {f:?}");
             }
         }

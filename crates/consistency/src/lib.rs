@@ -33,12 +33,15 @@ mod game;
 mod local;
 
 pub use establish::{
-    dominates, establish_from_strategy, establish_strong_k_consistency,
-    established_is_coherent, k_consistency_refutes, verify_definition_5_4, Established,
+    dominates, establish_from_strategy, establish_strong_k_consistency, established_is_coherent,
+    k_consistency_refutes, k_consistency_refutes_budgeted, verify_definition_5_4, Established,
 };
-pub use game::{duplicator_wins, largest_winning_strategy, spoiler_wins, WinningStrategy};
 pub use freuder::{greedy_extend, is_tree_instance, solve_tree_csp, tree_order};
+pub use game::{
+    duplicator_wins, largest_winning_strategy, largest_winning_strategy_budgeted, spoiler_wins,
+    spoiler_wins_budgeted, wk_table_bound, WinningStrategy,
+};
 pub use local::{
-    ac3, csp_is_strongly_k_consistent, is_i_consistent, is_strongly_k_consistent,
+    ac3, ac3_budgeted, csp_is_strongly_k_consistent, is_i_consistent, is_strongly_k_consistent,
     partial_homomorphisms,
 };

@@ -7,6 +7,7 @@
 //! instance is strongly k-consistent iff the family of **all** ≤k partial
 //! homomorphisms is a winning strategy for the Duplicator.
 
+use cspdb_core::budget::{Budget, ExhaustionReason};
 use cspdb_core::{CspInstance, PartialHom, Structure};
 
 /// Enumerates all partial homomorphisms `A -> B` with exactly `size`
@@ -84,6 +85,18 @@ pub fn csp_is_strongly_k_consistent(instance: &CspInstance, k: usize) -> bool {
 /// wipeout (which proves unsatisfiability). Non-binary constraints are
 /// ignored by this classic algorithm — use the solver's GAC for those.
 pub fn ac3(instance: &CspInstance) -> Option<Vec<Vec<u32>>> {
+    ac3_budgeted(instance, &Budget::unlimited()).expect("unlimited budget cannot exhaust")
+}
+
+/// [`ac3`] under a [`Budget`], ticking one step per arc revision:
+/// `Err` when the budget ran out mid-propagation (inconclusive),
+/// `Ok(None)` a *sound* wipeout refutation, `Ok(Some(domains))` the
+/// arc-consistent domains.
+pub fn ac3_budgeted(
+    instance: &CspInstance,
+    budget: &Budget,
+) -> Result<Option<Vec<Vec<u32>>>, ExhaustionReason> {
+    let mut meter = budget.meter();
     let n = instance.num_vars();
     let d = instance.num_values();
     let mut domains: Vec<Vec<bool>> = vec![vec![true; d]; n];
@@ -110,6 +123,7 @@ pub fn ac3(instance: &CspInstance) -> Option<Vec<Vec<u32>>> {
     let mut queue: Vec<usize> = (0..arcs.len()).collect();
     let mut queued = vec![true; arcs.len()];
     while let Some(ai) = queue.pop() {
+        meter.tick()?;
         queued[ai] = false;
         let (ci, x, y, flipped) = arcs[ai];
         let rel = instance.constraints()[ci].relation();
@@ -133,7 +147,7 @@ pub fn ac3(instance: &CspInstance) -> Option<Vec<Vec<u32>>> {
         }
         if revised {
             if domains[x].iter().all(|&s| !s) {
-                return None;
+                return Ok(None);
             }
             for (aj, &(_, _, ty, _)) in arcs.iter().enumerate() {
                 if ty == x && !queued[aj] && aj != ai {
@@ -143,7 +157,7 @@ pub fn ac3(instance: &CspInstance) -> Option<Vec<Vec<u32>>> {
             }
         }
     }
-    Some(
+    Ok(Some(
         domains
             .into_iter()
             .map(|row| {
@@ -153,7 +167,7 @@ pub fn ac3(instance: &CspInstance) -> Option<Vec<Vec<u32>>> {
                     .collect()
             })
             .collect(),
-    )
+    ))
 }
 
 #[cfg(test)]

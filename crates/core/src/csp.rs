@@ -134,7 +134,9 @@ impl CspInstance {
             assignment.iter().all(|&v| (v as usize) < self.num_values),
             "assignment must use declared values"
         );
-        self.constraints.iter().all(|c| c.is_satisfied_by(assignment))
+        self.constraints
+            .iter()
+            .all(|c| c.is_satisfied_by(assignment))
     }
 
     /// Exhaustive solver for *tiny* instances; the test oracle used across
@@ -266,8 +268,7 @@ impl CspInstance {
                 match dup {
                     Some((i, j)) => {
                         rel = rel.select_eq(i, j);
-                        let keep: Vec<usize> =
-                            (0..scope.len()).filter(|&k| k != j).collect();
+                        let keep: Vec<usize> = (0..scope.len()).filter(|&k| k != j).collect();
                         rel = rel.project(&keep);
                         scope.remove(j);
                     }
@@ -411,7 +412,8 @@ pub fn make_coherent(a: &Structure, b: &Structure) -> (Structure, Structure) {
             });
             if pruned.len() != current.len() {
                 changed = true;
-                b2.set_relation(id, pruned).expect("pruning preserves validity");
+                b2.set_relation(id, pruned)
+                    .expect("pruning preserves validity");
             }
         }
     }

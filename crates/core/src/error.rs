@@ -47,6 +47,20 @@ pub enum CoreError {
     },
     /// An operation required a non-empty domain.
     EmptyDomain,
+    /// A budgeted run exhausted a resource limit before completing.
+    ///
+    /// `spent` and `limit` are in the resource's natural unit (steps,
+    /// tuples, or milliseconds for `wall-clock`); both are 0 for
+    /// cooperative cancellation, which has no numeric limit.
+    ResourceExhausted {
+        /// Which resource ran out (`"steps"`, `"tuples"`,
+        /// `"wall-clock"`, or `"cancellation"`).
+        resource: &'static str,
+        /// Amount consumed when the limit tripped.
+        spent: u64,
+        /// The configured limit.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -81,6 +95,14 @@ impl fmt::Display for CoreError {
                 "constraint scope of length {scope_len} paired with relation of arity {arity}"
             ),
             CoreError::EmptyDomain => write!(f, "operation requires a non-empty domain"),
+            CoreError::ResourceExhausted {
+                resource,
+                spent,
+                limit,
+            } => write!(
+                f,
+                "resource `{resource}` exhausted: spent {spent} of limit {limit}"
+            ),
         }
     }
 }

@@ -125,7 +125,12 @@ impl PartialHom {
     /// Restriction of the map to sources in `keep`.
     pub fn restricted(&self, keep: impl Fn(u32) -> bool) -> PartialHom {
         PartialHom {
-            pairs: self.pairs.iter().copied().filter(|&(a, _)| keep(a)).collect(),
+            pairs: self
+                .pairs
+                .iter()
+                .copied()
+                .filter(|&(a, _)| keep(a))
+                .collect(),
         }
     }
 

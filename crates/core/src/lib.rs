@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 mod csp;
 mod error;
 pub mod graphs;
@@ -37,6 +38,7 @@ mod structure;
 pub mod sum;
 mod vocabulary;
 
+pub use budget::{Answer, Budget, CancelToken, ExhaustionReason, Meter, ResourceUsage};
 pub use csp::{is_coherent, make_coherent, Constraint, CspInstance};
 pub use error::{CoreError, Result};
 pub use homomorphism::{compose, is_homomorphism, PartialHom};

@@ -245,7 +245,11 @@ impl Structure {
 
 impl fmt::Display for Structure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "structure over {} with |domain| = {}", self.voc, self.domain_size)?;
+        writeln!(
+            f,
+            "structure over {} with |domain| = {}",
+            self.voc, self.domain_size
+        )?;
         for (id, rel) in self.relations() {
             writeln!(f, "  {} = {}", self.voc.name(id), rel)?;
         }
@@ -357,6 +361,9 @@ mod tests {
             a.disjoint_union(&other).unwrap_err(),
             CoreError::VocabularyMismatch
         );
-        assert_eq!(a.product(&other).unwrap_err(), CoreError::VocabularyMismatch);
+        assert_eq!(
+            a.product(&other).unwrap_err(),
+            CoreError::VocabularyMismatch
+        );
     }
 }

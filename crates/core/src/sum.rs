@@ -181,7 +181,10 @@ mod tests {
         let a = graph(1, &[]);
         let voc = Vocabulary::new([("F", 2)]).unwrap();
         let b = Structure::new(voc, 1);
-        assert_eq!(encode_pair(&a, &b).unwrap_err(), CoreError::VocabularyMismatch);
+        assert_eq!(
+            encode_pair(&a, &b).unwrap_err(),
+            CoreError::VocabularyMismatch
+        );
     }
 
     #[test]

@@ -228,7 +228,10 @@ mod tests {
     #[test]
     fn unknown_symbol_lookup_fails() {
         let voc = Vocabulary::new([("E", 2)]).unwrap();
-        assert_eq!(voc.id("X").unwrap_err(), CoreError::UnknownSymbol("X".into()));
+        assert_eq!(
+            voc.id("X").unwrap_err(),
+            CoreError::UnknownSymbol("X".into())
+        );
     }
 
     #[test]

@@ -70,11 +70,7 @@ impl BoundedFormula {
         free.into_iter().collect()
     }
 
-    fn collect_free(
-        &self,
-        free: &mut std::collections::BTreeSet<u8>,
-        bound: &mut Vec<u8>,
-    ) {
+    fn collect_free(&self, free: &mut std::collections::BTreeSet<u8>, bound: &mut Vec<u8>) {
         match self {
             BoundedFormula::Atom { regs, .. } => {
                 for r in regs {
@@ -181,11 +177,7 @@ fn build_node(
             regs: t.iter().map(|e| regs[e]).collect(),
         });
     }
-    let children: Vec<usize> = adj[node]
-        .iter()
-        .copied()
-        .filter(|&c| !visited[c])
-        .collect();
+    let children: Vec<usize> = adj[node].iter().copied().filter(|&c| !visited[c]).collect();
     for c in children {
         visited[c] = true;
         // Shared elements keep their registers; fresh elements get
@@ -195,12 +187,8 @@ fn build_node(
             .copied()
             .filter(|e| regs.contains_key(e) && td.bags[node].binary_search(e).is_ok())
             .collect();
-        let mut child_regs: HashMap<u32, u8> = shared
-            .iter()
-            .map(|e| (*e, regs[e]))
-            .collect();
-        let taken: std::collections::BTreeSet<u8> =
-            child_regs.values().copied().collect();
+        let mut child_regs: HashMap<u32, u8> = shared.iter().map(|e| (*e, regs[e])).collect();
+        let taken: std::collections::BTreeSet<u8> = child_regs.values().copied().collect();
         let mut free_regs = (0..num_regs).filter(|r| !taken.contains(r));
         let mut fresh: Vec<u8> = Vec::new();
         for &e in &td.bags[c] {

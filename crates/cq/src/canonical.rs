@@ -98,8 +98,7 @@ mod tests {
     fn papers_canonical_database_example() {
         // D^Q for Q(X1,X2) :- P(X1,Z1,Z2), R(Z2,Z3), R(Z3,X2) has facts
         // P(X1,Z1,Z2), R(Z2,Z3), R(Z3,X2), P1(X1), P2(X2).
-        let q = ConjunctiveQuery::parse("Q(X1,X2) :- P(X1,Z1,Z2), R(Z2,Z3), R(Z3,X2)")
-            .unwrap();
+        let q = ConjunctiveQuery::parse("Q(X1,X2) :- P(X1,Z1,Z2), R(Z2,Z3), R(Z3,X2)").unwrap();
         let db = canonical_database(&q, true);
         let s = &db.structure;
         assert_eq!(s.domain_size(), 5);
@@ -136,6 +135,10 @@ mod tests {
         let q = ConjunctiveQuery::parse("Q :- E(X,X)").unwrap();
         let db = canonical_database(&q, false);
         assert_eq!(db.structure.domain_size(), 1);
-        assert!(db.structure.relation_by_name("E").unwrap().contains(&[0, 0]));
+        assert!(db
+            .structure
+            .relation_by_name("E")
+            .unwrap()
+            .contains(&[0, 0]));
     }
 }

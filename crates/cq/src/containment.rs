@@ -43,7 +43,9 @@ pub fn is_contained_in(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> Result<b
             .map(|(v2, v1)| (c2.element_of_var[v2], c1.element_of_var[v1])),
     )
     .ok_or("inconsistent distinguished variable mapping")?;
-    Ok(cspdb_solver::find_extension(&from, &to, &fixed).is_some())
+    Ok(cspdb_solver::find_extension(&from, &to, &fixed)
+        .map_err(|e| e.to_string())?
+        .is_some())
 }
 
 /// Checks `Q1 ⊆ Q2` by the evaluation formulation: the head tuple of

@@ -53,7 +53,10 @@ pub fn core_retract(a: &Structure, fixed: &[u32]) -> (Vec<u32>, Vec<u32>) {
                     restrictions[e as usize] = vec![fold[e as usize]];
                 }
             }
+            // Invariant: `restrictions` was built with one entry per
+            // element of `current`, so the arity check cannot fail.
             if let Some(h) = cspdb_solver::find_restricted(&current, &current, &restrictions)
+                .expect("one restriction list per element")
             {
                 // Fold through h: victim (and possibly others) retract.
                 for e in 0..n {
@@ -149,9 +152,7 @@ mod tests {
     fn undirected_even_cycle_folds_to_an_edge() {
         // The *undirected* 4-cycle (both directions per edge) is
         // homomorphically equivalent to a single undirected edge (K2).
-        let c4 = q(
-            "Q :- E(A,B), E(B,A), E(B,C), E(C,B), E(C,D), E(D,C), E(D,A), E(A,D)",
-        );
+        let c4 = q("Q :- E(A,B), E(B,A), E(B,C), E(C,B), E(C,D), E(D,C), E(D,A), E(A,D)");
         let m = minimize(&c4);
         assert_eq!(m.atoms.len(), 2, "undirected C4 folds to K2: {m}");
         assert!(are_equivalent(&c4, &m).unwrap());

@@ -63,7 +63,9 @@ pub fn evaluate_by_join(q: &ConjunctiveQuery, db: &Structure) -> Result<Relation
         .collect();
     let mut relations = Vec::new();
     for atom in &q.atoms {
-        let rel = db.relation_by_name(&atom.predicate).map_err(|e| e.to_string())?;
+        let rel = db
+            .relation_by_name(&atom.predicate)
+            .map_err(|e| e.to_string())?;
         // Distinct attributes: positions of the first occurrence of each
         // variable; rows must agree on repeated positions.
         let mut schema: Vec<u32> = Vec::new();
@@ -81,8 +83,7 @@ pub fn evaluate_by_join(q: &ConjunctiveQuery, db: &Structure) -> Result<Relation
                 // Check repeated-variable agreement.
                 for (i, v) in atom.args.iter().enumerate() {
                     let attr = var_index[v.as_str()];
-                    let fp =
-                        first_position[schema.iter().position(|&a| a == attr).unwrap()];
+                    let fp = first_position[schema.iter().position(|&a| a == attr).unwrap()];
                     if t[fp] != t[i] {
                         return None;
                     }
@@ -102,8 +103,7 @@ pub fn evaluate_by_join(q: &ConjunctiveQuery, db: &Structure) -> Result<Relation
         return Ok(Relation::empty(dist_attrs.len()));
     }
     let projected = joined.project(&dist_attrs);
-    Relation::from_tuples(dist_attrs.len(), projected.rows().iter())
-        .map_err(|e| e.to_string())
+    Relation::from_tuples(dist_attrs.len(), projected.rows().iter()).map_err(|e| e.to_string())
 }
 
 /// True if the Boolean query holds on `db` (via the join engine).

@@ -162,10 +162,7 @@ fn parse_atom_syntax(src: &str) -> Result<(String, Vec<String>), String> {
                 .trim()
                 .strip_suffix(')')
                 .ok_or_else(|| format!("missing `)` in `{src}`"))?;
-            let args: Vec<String> = rest
-                .split(',')
-                .map(|a| a.trim().to_owned())
-                .collect();
+            let args: Vec<String> = rest.split(',').map(|a| a.trim().to_owned()).collect();
             if name.is_empty() || args.iter().any(String::is_empty) {
                 return Err(format!("bad atom `{src}`"));
             }
@@ -197,21 +194,12 @@ mod tests {
 
     #[test]
     fn parses_the_papers_example() {
-        let q = ConjunctiveQuery::parse(
-            "Q(X1,X2) :- P(X1,Z1,Z2), R(Z2,Z3), R(Z3,X2)",
-        )
-        .unwrap();
+        let q = ConjunctiveQuery::parse("Q(X1,X2) :- P(X1,Z1,Z2), R(Z2,Z3), R(Z3,X2)").unwrap();
         assert_eq!(q.distinguished, vec!["X1", "X2"]);
         assert_eq!(q.atoms.len(), 3);
         assert_eq!(q.atoms[0].args, vec!["X1", "Z1", "Z2"]);
-        assert_eq!(
-            q.variables(),
-            vec!["X1", "X2", "Z1", "Z2", "Z3"]
-        );
-        assert_eq!(
-            q.to_string(),
-            "Q(X1,X2) :- P(X1,Z1,Z2), R(Z2,Z3), R(Z3,X2)"
-        );
+        assert_eq!(q.variables(), vec!["X1", "X2", "Z1", "Z2", "Z3"]);
+        assert_eq!(q.to_string(), "Q(X1,X2) :- P(X1,Z1,Z2), R(Z2,Z3), R(Z3,X2)");
     }
 
     #[test]

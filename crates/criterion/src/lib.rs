@@ -1,0 +1,243 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! a minimal benchmarking harness with the API subset the workspace's
+//! benches use: `Criterion::benchmark_group`, `sample_size`,
+//! `measurement_time`, `bench_with_input`, `BenchmarkId::new`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Timing model: each benchmark runs `sample_size` samples (after one
+//! warm-up) and reports min/median/mean wall-clock time per iteration.
+//! Passing `--test` (as `cargo test --benches` does) runs every closure
+//! exactly once for a smoke check without timing loops.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Builds a parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Drives the measured closure.
+pub struct Bencher {
+    samples: usize,
+    smoke_only: bool,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, collecting one duration per sample.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        if self.smoke_only {
+            black_box(f());
+            return;
+        }
+        black_box(f()); // warm-up
+        self.results.reserve(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.results.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; sampling here is count-based.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            smoke_only: self.criterion.smoke_only,
+            results: Vec::new(),
+        };
+        f(&mut b, input);
+        self.report(&id.id, &mut b.results);
+        self
+    }
+
+    /// Runs one benchmark with no input.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            smoke_only: self.criterion.smoke_only,
+            results: Vec::new(),
+        };
+        f(&mut b);
+        self.report(&id.to_string(), &mut b.results);
+        self
+    }
+
+    fn report(&self, id: &str, results: &mut [Duration]) {
+        if self.criterion.smoke_only {
+            println!("{}/{}: ok (smoke)", self.name, id);
+            return;
+        }
+        if results.is_empty() {
+            println!("{}/{}: no samples", self.name, id);
+            return;
+        }
+        results.sort_unstable();
+        let median = results[results.len() / 2];
+        let min = results[0];
+        let total: Duration = results.iter().sum();
+        let mean = total / results.len() as u32;
+        println!(
+            "{}/{}: median {:?}  mean {:?}  min {:?}  ({} samples)",
+            self.name,
+            id,
+            median,
+            mean,
+            min,
+            results.len()
+        );
+    }
+
+    /// Ends the group (printing already happened per bench).
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    smoke_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` (and `cargo bench -- --test`) pass
+        // `--test`: run closures once, skip timing loops.
+        let smoke_only = std::env::args().any(|a| a == "--test");
+        Criterion { smoke_only }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) {
+        let name = id.to_string();
+        self.benchmark_group(name.clone()).bench_function("", f);
+    }
+}
+
+/// Collects benchmark functions into a single runner, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion { smoke_only: false };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_with_input(BenchmarkId::new("f", 1), &7u32, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 4, "warm-up + 3 samples");
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion { smoke_only: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(50);
+        let mut runs = 0usize;
+        group.bench_with_input(BenchmarkId::new("f", 1), &(), |b, ()| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn ids_format_as_name_slash_param() {
+        assert_eq!(BenchmarkId::new("join", 16).to_string(), "join/16");
+        assert_eq!(BenchmarkId::from_parameter(3).to_string(), "3");
+    }
+}

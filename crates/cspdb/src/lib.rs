@@ -32,25 +32,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-/// Core data model (Section 2).
-pub use cspdb_core as core;
-/// Relational algebra and join-based solving (Prop 2.1, Yannakakis).
-pub use cspdb_relalg as relalg;
-/// Conjunctive queries, containment, cores (Props 2.2/2.3, 6.1).
-pub use cspdb_cq as cq;
-/// Backtracking search.
-pub use cspdb_solver as solver;
 /// Pebble games and consistency (Sections 4–5).
 pub use cspdb_consistency as consistency;
+/// Core data model (Section 2).
+pub use cspdb_core as core;
+/// Conjunctive queries, containment, cores (Props 2.2/2.3, 6.1).
+pub use cspdb_cq as cq;
 /// Datalog engine and canonical programs (Section 4).
 pub use cspdb_datalog as datalog;
-/// Schaefer's dichotomy (Section 3).
-pub use cspdb_schaefer as schaefer;
 /// Treewidth and hypertree decompositions (Section 6).
 pub use cspdb_decomp as decomp;
+/// Relational algebra and join-based solving (Prop 2.1, Yannakakis).
+pub use cspdb_relalg as relalg;
 /// Regular path queries and view-based answering (Section 7).
 pub use cspdb_rpq as rpq;
+/// Schaefer's dichotomy (Section 3).
+pub use cspdb_schaefer as schaefer;
+/// Backtracking search.
+pub use cspdb_solver as solver;
 
+use cspdb_core::budget::{Answer, Budget, ExhaustionReason};
 use cspdb_core::{CspInstance, Structure};
 
 /// Which strategy [`auto_solve`] ended up using.
@@ -64,6 +65,23 @@ pub enum Strategy {
     Treewidth(usize),
     /// Generic MAC backtracking.
     Backtracking,
+    /// Arc-consistency fallback (sound refutations only).
+    ArcConsistency,
+    /// Strong k-consistency fallback (sound refutations only).
+    KConsistency(usize),
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Strategy::Schaefer(used) => write!(f, "schaefer({used:?})"),
+            Strategy::Yannakakis => write!(f, "yannakakis"),
+            Strategy::Treewidth(w) => write!(f, "treewidth({w})"),
+            Strategy::Backtracking => write!(f, "backtracking"),
+            Strategy::ArcConsistency => write!(f, "arc-consistency"),
+            Strategy::KConsistency(k) => write!(f, "{k}-consistency"),
+        }
+    }
 }
 
 /// The result of [`auto_solve`].
@@ -75,8 +93,53 @@ pub struct SolveReport {
     pub witness: Option<Vec<u32>>,
 }
 
+/// How one tier of the [`auto_solve_governed`] ladder ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TierOutcome {
+    /// The tier produced the final answer.
+    Decided,
+    /// The tier was skipped, with the reason (inapplicable / too big).
+    Skipped(&'static str),
+    /// The tier's budget slice ran out before it could decide.
+    Exhausted(ExhaustionReason),
+    /// The tier completed but could not decide (e.g. consistency held).
+    Inconclusive,
+}
+
+/// One rung of the degradation ladder: which strategy was tried and how
+/// it ended. The full trace explains an `Unknown` answer.
+#[derive(Debug, Clone)]
+pub struct TierAttempt {
+    /// The strategy attempted.
+    pub strategy: Strategy,
+    /// How the attempt ended.
+    pub outcome: TierOutcome,
+}
+
+/// The result of [`auto_solve_governed`]: a three-valued answer plus the
+/// ladder trace that produced it.
+///
+/// Soundness contract: `Sat`/`Unsat` always agree with the unbudgeted
+/// ground truth; exhaustion only ever widens the answer to `Unknown`.
+#[derive(Debug, Clone)]
+pub struct GovernedReport {
+    /// `Sat` with witness, `Unsat`, or `Unknown(reason)`.
+    pub answer: Answer,
+    /// The strategy that decided, `None` when the answer is `Unknown`.
+    pub strategy: Option<Strategy>,
+    /// Every tier attempted, in ladder order.
+    pub attempts: Vec<TierAttempt>,
+}
+
 /// Maximum heuristic treewidth for which the DP route is attempted.
 const TREEWIDTH_CUTOFF: usize = 4;
+
+/// Pebble count for the k-consistency fallback tier.
+const FALLBACK_K: usize = 3;
+
+/// Largest `W^k` table the k-consistency fallback will build when the
+/// budget carries no tuple cap of its own.
+const FALLBACK_WK_CAP: u64 = 1_000_000;
 
 /// Solves the homomorphism problem `A -> B`, dispatching on instance
 /// structure per the paper's tractability map (see crate docs).
@@ -92,45 +155,235 @@ pub fn auto_solve(a: &Structure, b: &Structure) -> SolveReport {
 
 /// [`auto_solve`] for classical CSP instances.
 pub fn auto_solve_csp(instance: &CspInstance) -> SolveReport {
-    // 1. Boolean templates: Schaefer's dichotomy.
-    if instance.num_values() == 2 {
-        let (used, witness) = cspdb_schaefer::solve_boolean(instance);
-        if used != cspdb_schaefer::SolverUsed::GenericSearch {
-            return SolveReport {
-                strategy: Strategy::Schaefer(used),
-                witness,
-            };
+    let report = auto_solve_governed_csp(instance, &Budget::unlimited());
+    let strategy = report.strategy.expect("unlimited budget always decides");
+    SolveReport {
+        strategy,
+        witness: report.answer.witness().map(<[u32]>::to_vec),
+    }
+}
+
+/// [`auto_solve`] under a [`Budget`]: the homomorphism-problem entry
+/// point of the governed ladder. See [`auto_solve_governed_csp`].
+///
+/// # Panics
+///
+/// Panics if the structures have different vocabularies.
+pub fn auto_solve_governed(a: &Structure, b: &Structure, budget: &Budget) -> GovernedReport {
+    assert_eq!(a.vocabulary(), b.vocabulary(), "vocabulary mismatch");
+    let instance = CspInstance::from_homomorphism(a, b).expect("same vocabulary");
+    auto_solve_governed_csp(&instance, budget)
+}
+
+/// Resource-governed dispatch: walks the paper's tractability ladder
+/// under a [`Budget`], degrading gracefully instead of hanging.
+///
+/// 1. Boolean template in a Schaefer class → the dedicated polynomial
+///    solver (Section 3);
+/// 2. α-acyclic constraint hypergraph → Yannakakis under a budget slice;
+/// 3. small heuristic Gaifman treewidth → decomposition DP under a
+///    budget slice (the planning pass is budgeted too — min-fill alone
+///    can dwarf a millisecond deadline on large instances);
+/// 4. MAC backtracking under a budget slice;
+/// 5. approximation fallback: budgeted arc-consistency, then strong
+///    k-consistency, which can soundly answer `Unsat` (a wipeout /
+///    Spoiler win refutes, Sections 4–5) but never `Sat`.
+///
+/// Every decided answer agrees with the unbudgeted ground truth; if all
+/// tiers exhaust, the answer is `Unknown` carrying the last tier's
+/// exhaustion reason and the trace of every attempt.
+pub fn auto_solve_governed_csp(instance: &CspInstance, budget: &Budget) -> GovernedReport {
+    let mut attempts: Vec<TierAttempt> = Vec::new();
+    let mut last_exhaustion: Option<ExhaustionReason> = None;
+    let exhaust = |attempts: &mut Vec<TierAttempt>,
+                   last: &mut Option<ExhaustionReason>,
+                   strategy: Strategy,
+                   reason: ExhaustionReason| {
+        attempts.push(TierAttempt {
+            strategy,
+            outcome: TierOutcome::Exhausted(reason),
+        });
+        *last = Some(reason);
+    };
+    let decided = |answer: Answer, strategy: Strategy, mut attempts: Vec<TierAttempt>| {
+        attempts.push(TierAttempt {
+            strategy,
+            outcome: TierOutcome::Decided,
+        });
+        GovernedReport {
+            answer,
+            strategy: Some(strategy),
+            attempts,
         }
-        // NP-side Boolean templates fall through to the structural
-        // strategies, which may still apply.
+    };
+
+    // 1. Boolean templates: Schaefer's dichotomy. The class test and the
+    // dedicated solvers are low-order polynomial, so they run without a
+    // slice of their own; a cancellation check guards re-entry. The
+    // polynomial-only entry point never falls back to generic search —
+    // NP-side templates return `None` and fall through to the
+    // structural strategies, which run under budget slices.
+    if instance.num_values() == 2 && budget.meter().checkpoint().is_ok() {
+        if let Some((used, witness)) = cspdb_schaefer::solve_boolean_polynomial(instance) {
+            let strategy = Strategy::Schaefer(used);
+            let answer = match witness {
+                Some(w) => Answer::Sat(w),
+                None => Answer::Unsat,
+            };
+            return decided(answer, strategy, attempts);
+        }
     }
-    // 2. Acyclic hypergraph: Yannakakis.
+
+    // 2. Acyclic hypergraph: Yannakakis under a quarter slice.
     if cspdb_relalg::is_acyclic_instance(instance) {
-        let witness = cspdb_relalg::solve_acyclic(instance)
-            .expect("checked acyclic");
-        return SolveReport {
+        match cspdb_relalg::solve_acyclic_budgeted(instance, &budget.slice(1, 4)) {
+            Ok(witness) => {
+                let answer = match witness {
+                    Some(w) => Answer::Sat(w),
+                    None => Answer::Unsat,
+                };
+                return decided(answer, Strategy::Yannakakis, attempts);
+            }
+            Err(cspdb_relalg::AcyclicSolveError::Exhausted(r)) => {
+                exhaust(&mut attempts, &mut last_exhaustion, Strategy::Yannakakis, r);
+            }
+            Err(cspdb_relalg::AcyclicSolveError::NotAcyclic) => {
+                unreachable!("checked acyclic")
+            }
+        }
+    } else {
+        attempts.push(TierAttempt {
             strategy: Strategy::Yannakakis,
-            witness,
-        };
+            outcome: TierOutcome::Skipped("hypergraph is not α-acyclic"),
+        });
     }
-    // 3. Bounded treewidth: DP.
+
+    // 3. Bounded treewidth: budgeted planning, then budgeted DP, under a
+    // quarter slice together.
+    let tw_slice = budget.slice(1, 4);
     let (a, b) = instance.to_homomorphism();
     let g = cspdb_decomp::Graph::gaifman(&a);
-    let order = cspdb_decomp::min_fill_order(&g);
-    let width = cspdb_decomp::order_width(&g, &order);
-    if width <= TREEWIDTH_CUTOFF {
-        let td = cspdb_decomp::from_elimination_order(&g, &order);
-        let witness = cspdb_decomp::solve_with_decomposition(&a, &b, &td)
-            .expect("constructed decomposition is valid");
-        return SolveReport {
-            strategy: Strategy::Treewidth(width),
-            witness,
-        };
+    match cspdb_decomp::min_fill_order_budgeted(&g, &tw_slice) {
+        Err(r) => {
+            // Planning alone blew the slice: record under the treewidth
+            // strategy with the width unknown (0 placeholder avoided by
+            // using the cutoff).
+            exhaust(
+                &mut attempts,
+                &mut last_exhaustion,
+                Strategy::Treewidth(TREEWIDTH_CUTOFF),
+                r,
+            );
+        }
+        Ok(order) => {
+            let width = cspdb_decomp::order_width(&g, &order);
+            if width <= TREEWIDTH_CUTOFF {
+                let td = cspdb_decomp::from_elimination_order(&g, &order);
+                match cspdb_decomp::solve_with_decomposition_budgeted(&a, &b, &td, &tw_slice) {
+                    Ok(witness) => {
+                        let answer = match witness {
+                            Some(w) => Answer::Sat(w),
+                            None => Answer::Unsat,
+                        };
+                        return decided(answer, Strategy::Treewidth(width), attempts);
+                    }
+                    Err(cspdb_decomp::DecompSolveError::Exhausted(r)) => {
+                        exhaust(
+                            &mut attempts,
+                            &mut last_exhaustion,
+                            Strategy::Treewidth(width),
+                            r,
+                        );
+                    }
+                    Err(cspdb_decomp::DecompSolveError::Invalid(msg)) => {
+                        unreachable!("constructed decomposition is valid: {msg}")
+                    }
+                }
+            } else {
+                attempts.push(TierAttempt {
+                    strategy: Strategy::Treewidth(width),
+                    outcome: TierOutcome::Skipped("heuristic treewidth above cutoff"),
+                });
+            }
+        }
     }
-    // 4. Generic search.
-    SolveReport {
-        strategy: Strategy::Backtracking,
-        witness: cspdb_solver::solve_csp(instance),
+
+    // 4. Generic MAC backtracking under a quarter slice (complete given
+    // enough budget: with no limits this tier always decides).
+    let run = cspdb_solver::solve_csp_budgeted(instance, &budget.slice(1, 4));
+    match run.answer {
+        Answer::Sat(w) => return decided(Answer::Sat(w), Strategy::Backtracking, attempts),
+        Answer::Unsat => return decided(Answer::Unsat, Strategy::Backtracking, attempts),
+        Answer::Unknown(r) => {
+            exhaust(
+                &mut attempts,
+                &mut last_exhaustion,
+                Strategy::Backtracking,
+                r,
+            );
+        }
+    }
+
+    // 5a. Arc-consistency approximation: a wipeout soundly refutes.
+    match cspdb_consistency::ac3_budgeted(instance, &budget.slice(1, 8)) {
+        Ok(None) => return decided(Answer::Unsat, Strategy::ArcConsistency, attempts),
+        Ok(Some(_)) => attempts.push(TierAttempt {
+            strategy: Strategy::ArcConsistency,
+            outcome: TierOutcome::Inconclusive,
+        }),
+        Err(r) => {
+            exhaust(
+                &mut attempts,
+                &mut last_exhaustion,
+                Strategy::ArcConsistency,
+                r,
+            );
+        }
+    }
+
+    // 5b. Strong k-consistency approximation: a Spoiler win in the
+    // existential k-pebble game soundly refutes. Gated by an
+    // overflow-safe table estimate so an uncapped budget cannot be
+    // tricked into building a gigantic W^k table.
+    let wk_ok = cspdb_consistency::wk_table_bound(a.domain_size(), b.domain_size(), FALLBACK_K)
+        .map(|bound| bound <= FALLBACK_WK_CAP)
+        .unwrap_or(false);
+    if wk_ok {
+        match cspdb_consistency::k_consistency_refutes_budgeted(
+            &a,
+            &b,
+            FALLBACK_K,
+            &budget.slice(1, 8),
+        ) {
+            Ok(Some(false)) => {
+                return decided(Answer::Unsat, Strategy::KConsistency(FALLBACK_K), attempts)
+            }
+            Ok(_) => attempts.push(TierAttempt {
+                strategy: Strategy::KConsistency(FALLBACK_K),
+                outcome: TierOutcome::Inconclusive,
+            }),
+            Err(r) => {
+                exhaust(
+                    &mut attempts,
+                    &mut last_exhaustion,
+                    Strategy::KConsistency(FALLBACK_K),
+                    r,
+                );
+            }
+        }
+    } else {
+        attempts.push(TierAttempt {
+            strategy: Strategy::KConsistency(FALLBACK_K),
+            outcome: TierOutcome::Skipped("W^k table estimate above cap"),
+        });
+    }
+
+    GovernedReport {
+        answer: Answer::Unknown(
+            last_exhaustion.expect("some tier exhausted, else a complete tier decided"),
+        ),
+        strategy: None,
+        attempts,
     }
 }
 

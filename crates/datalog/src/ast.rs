@@ -86,8 +86,7 @@ pub struct Rule {
 impl Rule {
     /// Safety: every head variable occurs in the body.
     pub fn is_safe(&self) -> bool {
-        let body_vars: BTreeSet<&str> =
-            self.body.iter().flat_map(|a| a.variables()).collect();
+        let body_vars: BTreeSet<&str> = self.body.iter().flat_map(|a| a.variables()).collect();
         self.head.variables().is_subset(&body_vars)
     }
 
@@ -242,7 +241,10 @@ mod tests {
             "Q",
         )
         .unwrap();
-        assert_eq!(p.idb_predicates().into_iter().collect::<Vec<_>>(), ["P", "Q"]);
+        assert_eq!(
+            p.idb_predicates().into_iter().collect::<Vec<_>>(),
+            ["P", "Q"]
+        );
         assert_eq!(p.edb_predicates().into_iter().collect::<Vec<_>>(), ["E"]);
         // The paper's example program: 4 distinct body variables.
         assert_eq!(p.datalog_width(), 4);

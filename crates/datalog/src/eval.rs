@@ -10,8 +10,37 @@
 //! recomputed.
 
 use crate::ast::{Program, Rule, Term};
+use cspdb_core::budget::{Budget, ExhaustionReason, Meter};
 use cspdb_core::{Relation, Structure};
 use std::collections::HashMap;
+
+/// Error from budgeted evaluation: either the program/EDB pair is
+/// malformed, or the budget ran out before the fixpoint (inconclusive —
+/// the partial IDBs are sound but possibly incomplete).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The program is inconsistent with the EDB structure.
+    Invalid(String),
+    /// The budget was exhausted before reaching the least fixpoint.
+    Exhausted(ExhaustionReason),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Invalid(msg) => write!(f, "{msg}"),
+            EvalError::Exhausted(r) => write!(f, "budget exhausted: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<ExhaustionReason> for EvalError {
+    fn from(r: ExhaustionReason) -> Self {
+        EvalError::Exhausted(r)
+    }
+}
 
 /// The result of evaluating a program on an EDB structure.
 #[derive(Debug, Clone)]
@@ -41,6 +70,27 @@ impl Evaluation {
 /// Returns a message when an EDB predicate is missing from the structure,
 /// arities are inconsistent, or a constant exceeds the domain.
 pub fn evaluate(program: &Program, edb: &Structure) -> Result<Evaluation, String> {
+    evaluate_budgeted(program, edb, &Budget::unlimited()).map_err(|e| match e {
+        EvalError::Invalid(msg) => msg,
+        EvalError::Exhausted(_) => unreachable!("unlimited budget cannot exhaust"),
+    })
+}
+
+/// [`evaluate`] under a [`Budget`]: one step is ticked per EDB/IDB tuple
+/// scanned while matching rule bodies, and every newly derived fact is
+/// charged against the tuple cap, so both runaway recursion and runaway
+/// materialization abort instead of hanging.
+///
+/// # Errors
+///
+/// [`EvalError::Invalid`] mirrors [`evaluate`]'s error cases;
+/// [`EvalError::Exhausted`] means the fixpoint was not reached.
+pub fn evaluate_budgeted(
+    program: &Program,
+    edb: &Structure,
+    budget: &Budget,
+) -> Result<Evaluation, EvalError> {
+    let mut meter = budget.meter();
     let domain = edb.domain_size() as u32;
     // Infer predicate arities.
     let mut arity: HashMap<&str, usize> = HashMap::new();
@@ -50,12 +100,12 @@ pub fn evaluate(program: &Program, edb: &Structure) -> Result<Evaluation, String
             match arity.entry(atom.predicate.as_str()) {
                 std::collections::hash_map::Entry::Occupied(e) => {
                     if *e.get() != atom.terms.len() {
-                        return Err(format!(
+                        return Err(EvalError::Invalid(format!(
                             "predicate {} used with arities {} and {}",
                             atom.predicate,
                             e.get(),
                             atom.terms.len()
-                        ));
+                        )));
                     }
                 }
                 std::collections::hash_map::Entry::Vacant(e) => {
@@ -65,9 +115,9 @@ pub fn evaluate(program: &Program, edb: &Structure) -> Result<Evaluation, String
             for t in &atom.terms {
                 if let Term::Const(c) = t {
                     if *c >= domain {
-                        return Err(format!(
+                        return Err(EvalError::Invalid(format!(
                             "constant {c} exceeds EDB domain of size {domain}"
-                        ));
+                        )));
                     }
                 }
             }
@@ -76,15 +126,15 @@ pub fn evaluate(program: &Program, edb: &Structure) -> Result<Evaluation, String
     // Resolve EDB relations.
     let mut edb_rels: HashMap<&str, &Relation> = HashMap::new();
     for pred in program.edb_predicates() {
-        let rel = edb
-            .relation_by_name(pred)
-            .map_err(|_| format!("EDB predicate {pred} missing from structure"))?;
+        let rel = edb.relation_by_name(pred).map_err(|_| {
+            EvalError::Invalid(format!("EDB predicate {pred} missing from structure"))
+        })?;
         if rel.arity() != arity[pred] {
-            return Err(format!(
+            return Err(EvalError::Invalid(format!(
                 "EDB predicate {pred}: structure arity {} vs program arity {}",
                 rel.arity(),
                 arity[pred]
-            ));
+            )));
         }
         edb_rels.insert(pred, rel);
     }
@@ -98,12 +148,21 @@ pub fn evaluate(program: &Program, edb: &Structure) -> Result<Evaluation, String
     // Iteration 0: all rules against (empty) IDBs — fires EDB-only rules.
     let mut derived_facts = 0usize;
     for rule in &program.rules {
-        fire_rule(rule, &edb_rels, &full, None, &mut |pred, tuple| {
-            let rel = delta.get_mut(pred).expect("head is IDB");
-            if rel.insert(tuple).expect("arity checked") {
-                derived_facts += 1;
-            }
-        });
+        let before = derived_facts;
+        fire_rule(
+            rule,
+            &edb_rels,
+            &full,
+            None,
+            &mut meter,
+            &mut |pred, tuple| {
+                let rel = delta.get_mut(pred).expect("head is IDB");
+                if rel.insert(tuple).expect("arity checked") {
+                    derived_facts += 1;
+                }
+            },
+        )?;
+        meter.charge_tuples((derived_facts - before) as u64)?;
     }
     for (p, d) in &delta {
         let merged = full[p].union(d).expect("same arity");
@@ -131,11 +190,13 @@ pub fn evaluate(program: &Program, edb: &Structure) -> Result<Evaluation, String
                 if delta_rel.is_empty() {
                     continue;
                 }
+                let before = derived_facts;
                 fire_rule(
                     rule,
                     &edb_rels,
                     &full,
                     Some((pos, delta_rel)),
+                    &mut meter,
                     &mut |pred, tuple| {
                         if !full[pred].contains(tuple) {
                             let rel = new_delta.get_mut(pred).expect("head is IDB");
@@ -145,7 +206,8 @@ pub fn evaluate(program: &Program, edb: &Structure) -> Result<Evaluation, String
                             }
                         }
                     },
-                );
+                )?;
+                meter.charge_tuples((derived_facts - before) as u64)?;
             }
         }
         if !any {
@@ -179,6 +241,23 @@ pub fn goal_holds(program: &Program, edb: &Structure) -> Result<bool, String> {
         .ok_or_else(|| format!("goal predicate {} is not an IDB", program.goal))
 }
 
+/// [`goal_holds`] under a [`Budget`]. Note the one-sidedness: because
+/// bottom-up evaluation only ever derives facts that *do* hold, a `true`
+/// answer needs no completed fixpoint, but `false` does — so exhaustion
+/// is reported as [`EvalError::Exhausted`] rather than a (possibly
+/// unsound) `false`.
+pub fn goal_holds_budgeted(
+    program: &Program,
+    edb: &Structure,
+    budget: &Budget,
+) -> Result<bool, EvalError> {
+    let eval = evaluate_budgeted(program, edb, budget)?;
+    eval.relations
+        .get(&program.goal)
+        .map(|r| !r.is_empty())
+        .ok_or_else(|| EvalError::Invalid(format!("goal predicate {} is not an IDB", program.goal)))
+}
+
 /// Enumerates all satisfying bindings of a single rule, invoking `emit`
 /// with the head predicate and the instantiated head tuple.
 fn fire_rule(
@@ -186,21 +265,32 @@ fn fire_rule(
     edb: &HashMap<&str, &Relation>,
     full: &HashMap<String, Relation>,
     delta_at: Option<(usize, &Relation)>,
+    meter: &mut Meter,
     emit: &mut impl FnMut(&str, &[u32]),
-) {
+) -> Result<(), ExhaustionReason> {
     let mut bindings: HashMap<&str, u32> = HashMap::new();
     let mut head_tuple = vec![0u32; rule.head.terms.len()];
-    search(rule, 0, edb, full, delta_at, &mut bindings, &mut |b| {
-        for (i, t) in rule.head.terms.iter().enumerate() {
-            head_tuple[i] = match t {
-                Term::Var(v) => b[v.as_str()],
-                Term::Const(c) => *c,
-            };
-        }
-        emit(&rule.head.predicate, &head_tuple);
-    });
+    search(
+        rule,
+        0,
+        edb,
+        full,
+        delta_at,
+        &mut bindings,
+        meter,
+        &mut |b| {
+            for (i, t) in rule.head.terms.iter().enumerate() {
+                head_tuple[i] = match t {
+                    Term::Var(v) => b[v.as_str()],
+                    Term::Const(c) => *c,
+                };
+            }
+            emit(&rule.head.predicate, &head_tuple);
+        },
+    )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn search<'r>(
     rule: &'r Rule,
     idx: usize,
@@ -208,11 +298,12 @@ fn search<'r>(
     full: &HashMap<String, Relation>,
     delta_at: Option<(usize, &Relation)>,
     bindings: &mut HashMap<&'r str, u32>,
+    meter: &mut Meter,
     found: &mut impl FnMut(&HashMap<&'r str, u32>),
-) {
+) -> Result<(), ExhaustionReason> {
     if idx == rule.body.len() {
         found(bindings);
-        return;
+        return Ok(());
     }
     let atom = &rule.body[idx];
     let relation: &Relation = match delta_at {
@@ -223,6 +314,7 @@ fn search<'r>(
         },
     };
     'tuples: for tuple in relation.iter() {
+        meter.tick()?;
         let mut newly_bound: Vec<&str> = Vec::new();
         for (t, &value) in atom.terms.iter().zip(tuple.iter()) {
             match t {
@@ -250,11 +342,13 @@ fn search<'r>(
                 },
             }
         }
-        search(rule, idx + 1, edb, full, delta_at, bindings, found);
+        let deep = search(rule, idx + 1, edb, full, delta_at, bindings, meter, found);
         for v in newly_bound {
             bindings.remove(v);
         }
+        deep?;
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -294,7 +388,9 @@ mod tests {
 
     #[test]
     fn goal_with_constants() {
-        let p = parse_program("Q :- T(0, 3).\nT(X,Y) :- E(X,Y).\nT(X,Y) :- T(X,Z), E(Z,Y).\n% goal: Q").unwrap();
+        let p =
+            parse_program("Q :- T(0, 3).\nT(X,Y) :- E(X,Y).\nT(X,Y) :- T(X,Z), E(Z,Y).\n% goal: Q")
+                .unwrap();
         assert!(goal_holds(&p, &directed_path(4)).unwrap());
         // Same domain size, but no path from 0 to 3.
         assert!(!goal_holds(&p, &digraph(4, &[(0, 1), (2, 3)])).unwrap());

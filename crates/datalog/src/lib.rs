@@ -26,7 +26,9 @@ mod parser;
 pub mod programs;
 
 pub use ast::{Atom, Program, Rule, Term};
-pub use eval::{evaluate, goal_holds, Evaluation};
+pub use eval::{
+    evaluate, evaluate_budgeted, goal_holds, goal_holds_budgeted, EvalError, Evaluation,
+};
 pub use parser::parse_program;
 
 #[cfg(test)]

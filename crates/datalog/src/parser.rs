@@ -167,8 +167,7 @@ impl<'a> Tokenizer<'a> {
             }
             c if c.is_alphanumeric() || c == '_' => {
                 let mut s = String::new();
-                while matches!(self.chars.peek(), Some(d) if d.is_alphanumeric() || *d == '_')
-                {
+                while matches!(self.chars.peek(), Some(d) if d.is_alphanumeric() || *d == '_') {
                     s.push(self.chars.next().unwrap());
                 }
                 Some(Token::Ident(s))
@@ -198,10 +197,7 @@ mod tests {
         assert_eq!(p.rules.len(), 3);
         assert_eq!(p.goal, "Q");
         assert_eq!(p.datalog_width(), 4);
-        assert_eq!(
-            p.rules[1].to_string(),
-            "P(X,Y) :- P(X,Z), E(Z,W), E(W,Y)."
-        );
+        assert_eq!(p.rules[1].to_string(), "P(X,Y) :- P(X,Z), E(Z,W), E(W,Y).");
     }
 
     #[test]
@@ -218,14 +214,11 @@ mod tests {
     #[test]
     fn constants_parse() {
         let p = parse_program("Q(X) :- E(X, 3).").unwrap();
-        assert_eq!(
-            p.rules[0].body[0].terms[1],
-            Term::Const(3)
-        );
+        assert_eq!(p.rules[0].body[0].terms[1], Term::Const(3));
     }
 
     #[test]
-    fn comments_are_stripped(){
+    fn comments_are_stripped() {
         let p = parse_program("P(X) :- E(X,Y). % transitive base\nQ :- P(X).").unwrap();
         assert_eq!(p.rules.len(), 2);
     }

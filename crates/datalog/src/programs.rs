@@ -93,12 +93,16 @@ pub fn two_sat_edb(num_vars: usize, clauses: &[(i32, i32)]) -> Structure {
     for &(a, b) in clauses {
         let (va, vb) = (vertex(a), vertex(b));
         // (a ∨ b) ≡ (¬a → b) ∧ (¬b → a).
-        s.insert_by_name("Imp", &[negate(va), vb]).expect("in range");
-        s.insert_by_name("Imp", &[negate(vb), va]).expect("in range");
+        s.insert_by_name("Imp", &[negate(va), vb])
+            .expect("in range");
+        s.insert_by_name("Imp", &[negate(vb), va])
+            .expect("in range");
     }
     for v in 0..num_vars as u32 {
-        s.insert_by_name("Comp", &[2 * v, 2 * v + 1]).expect("in range");
-        s.insert_by_name("Comp", &[2 * v + 1, 2 * v]).expect("in range");
+        s.insert_by_name("Comp", &[2 * v, 2 * v + 1])
+            .expect("in range");
+        s.insert_by_name("Comp", &[2 * v + 1, 2 * v])
+            .expect("in range");
     }
     s
 }

@@ -71,9 +71,8 @@ fn count_with_nice(a: &Structure, b: &Structure, nice: &NiceDecomposition) -> u6
             }
         }
     }
-    let contains = |i: usize, t: &[u32]| -> bool {
-        t.iter().all(|x| nice.bags[i].binary_search(x).is_ok())
-    };
+    let contains =
+        |i: usize, t: &[u32]| -> bool { t.iter().all(|x| nice.bags[i].binary_search(x).is_ok()) };
     for (id, rel) in a.relations() {
         for t in rel.iter() {
             // Find any node containing the fact, then climb to the top
@@ -109,7 +108,9 @@ fn count_with_nice(a: &Structure, b: &Structure, nice: &NiceDecomposition) -> u6
             }
             NiceNode::Forget { vertex, child } => {
                 let child_bag = &nice.bags[*child];
-                let pos = child_bag.binary_search(vertex).expect("forgotten from child");
+                let pos = child_bag
+                    .binary_search(vertex)
+                    .expect("forgotten from child");
                 let mut out = HashMap::new();
                 for (row, &count) in &tables[*child] {
                     let mut new_row = row.clone();

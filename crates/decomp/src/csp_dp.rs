@@ -12,9 +12,46 @@
 //! fixed `k` — this is the claim Experiment E9 measures.
 
 use crate::graph::Graph;
-use crate::treewidth::{from_elimination_order, min_fill_order, TreeDecomposition};
+use crate::treewidth::{from_elimination_order, min_fill_order_metered, TreeDecomposition};
+use cspdb_core::budget::{Budget, ExhaustionReason, Meter};
 use cspdb_core::{RelId, Structure};
 use std::collections::HashMap;
+
+/// Error from the budgeted decomposition DP: either the decomposition
+/// does not cover **A**, or the budget ran out (inconclusive).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecompSolveError {
+    /// The supplied decomposition is invalid for the structure.
+    Invalid(String),
+    /// The budget was exhausted before the DP finished.
+    Exhausted(ExhaustionReason),
+}
+
+impl std::fmt::Display for DecompSolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecompSolveError::Invalid(msg) => write!(f, "invalid decomposition: {msg}"),
+            DecompSolveError::Exhausted(r) => write!(f, "budget exhausted: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for DecompSolveError {}
+
+impl From<ExhaustionReason> for DecompSolveError {
+    fn from(r: ExhaustionReason) -> Self {
+        DecompSolveError::Exhausted(r)
+    }
+}
+
+/// Overflow-safe bound on the DP table of one bag: `d^|bag|`, or `None`
+/// if the bound itself overflows `u64` (which any realistic tuple cap
+/// should treat as "too big").
+pub fn bag_table_bound(domain_size: u64, bag_size: usize) -> Option<u64> {
+    u32::try_from(bag_size)
+        .ok()
+        .and_then(|e| domain_size.checked_pow(e))
+}
 
 /// Solves the homomorphism problem `A -> B` using a tree decomposition of
 /// **A**. Returns a homomorphism or `None`.
@@ -27,10 +64,37 @@ pub fn solve_with_decomposition(
     b: &Structure,
     td: &TreeDecomposition,
 ) -> Result<Option<Vec<u32>>, String> {
+    let mut meter = Budget::unlimited().meter();
+    solve_with_decomposition_metered(a, b, td, &mut meter).map_err(|e| match e {
+        DecompSolveError::Invalid(msg) => msg,
+        DecompSolveError::Exhausted(_) => unreachable!("unlimited budget cannot exhaust"),
+    })
+}
+
+/// [`solve_with_decomposition`] under a [`Budget`]: one step per bag
+/// assignment enumerated, one tuple charged per surviving table row, so
+/// both time and memory are governed.
+pub fn solve_with_decomposition_budgeted(
+    a: &Structure,
+    b: &Structure,
+    td: &TreeDecomposition,
+    budget: &Budget,
+) -> Result<Option<Vec<u32>>, DecompSolveError> {
+    let mut meter = budget.meter();
+    solve_with_decomposition_metered(a, b, td, &mut meter)
+}
+
+fn solve_with_decomposition_metered(
+    a: &Structure,
+    b: &Structure,
+    td: &TreeDecomposition,
+    meter: &mut Meter,
+) -> Result<Option<Vec<u32>>, DecompSolveError> {
     if a.vocabulary() != b.vocabulary() {
-        return Err("vocabulary mismatch".into());
+        return Err(DecompSolveError::Invalid("vocabulary mismatch".into()));
     }
-    td.validate_structure(a)?;
+    td.validate_structure(a)
+        .map_err(DecompSolveError::Invalid)?;
     if a.domain_size() == 0 {
         return Ok(Some(vec![]));
     }
@@ -111,6 +175,7 @@ pub fn solve_with_decomposition(
         let mut assignment = vec![0u32; k];
         let mut image = Vec::new();
         'assignments: loop {
+            meter.tick()?;
             // Check facts assigned to this bag.
             let ok_facts = bag_facts[node].iter().all(|(id, t)| {
                 image.clear();
@@ -127,6 +192,7 @@ pub fn solve_with_decomposition(
                     index.contains_key(&key)
                 });
                 if ok_children {
+                    meter.charge_tuples(1)?;
                     tables[node].push(assignment.clone());
                 }
             }
@@ -154,6 +220,7 @@ pub fn solve_with_decomposition(
     let mut h: Vec<Option<u32>> = vec![None; n];
     let mut chosen: Vec<Option<Vec<u32>>> = vec![None; nb];
     for &node in &order {
+        meter.tick()?;
         let bag = &td.bags[node];
         let row = match parent[node] {
             None => tables[node][0].clone(),
@@ -163,12 +230,12 @@ pub fn solve_with_decomposition(
                 tables[node]
                     .iter()
                     .find(|row| {
-                        bag.iter().enumerate().all(|(i, v)| {
-                            match pbag.binary_search(v) {
+                        bag.iter()
+                            .enumerate()
+                            .all(|(i, v)| match pbag.binary_search(v) {
                                 Ok(j) => row[i] == prow[j],
                                 Err(_) => true,
-                            }
-                        })
+                            })
                     })
                     .expect("survival implies a compatible row")
                     .clone()
@@ -192,11 +259,31 @@ pub fn solve_with_decomposition(
 /// pick a min-fill elimination order, and run the DP. Returns the
 /// decomposition width used and the result.
 pub fn solve_by_treewidth(a: &Structure, b: &Structure) -> (usize, Option<Vec<u32>>) {
+    solve_by_treewidth_budgeted(a, b, &Budget::unlimited())
+        .expect("unlimited budget cannot exhaust")
+}
+
+/// [`solve_by_treewidth`] under a [`Budget`]. Planning (min-fill order)
+/// and the DP itself draw from one meter, so the budget governs the
+/// whole pipeline — important because on large instances the quadratic
+/// min-fill pass alone can dwarf a small deadline.
+pub fn solve_by_treewidth_budgeted(
+    a: &Structure,
+    b: &Structure,
+    budget: &Budget,
+) -> Result<(usize, Option<Vec<u32>>), ExhaustionReason> {
     let g = Graph::gaifman(a);
-    let order = min_fill_order(&g);
+    let mut meter = budget.meter();
+    let order = min_fill_order_metered(&g, &mut meter)?;
     let td = from_elimination_order(&g, &order);
-    let res = solve_with_decomposition(a, b, &td).expect("constructed decomposition is valid");
-    (td.width(), res)
+    let res = match solve_with_decomposition_metered(a, b, &td, &mut meter) {
+        Ok(res) => res,
+        Err(DecompSolveError::Exhausted(r)) => return Err(r),
+        Err(DecompSolveError::Invalid(msg)) => {
+            unreachable!("constructed decomposition is valid: {msg}")
+        }
+    };
+    Ok((td.width(), res))
 }
 
 #[cfg(test)]

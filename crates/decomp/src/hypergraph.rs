@@ -45,10 +45,7 @@ impl Hypergraph {
     /// # Panics
     ///
     /// Panics if a vertex is `>= num_vertices`.
-    pub fn from_edges(
-        num_vertices: usize,
-        edges: impl IntoIterator<Item = Vec<u32>>,
-    ) -> Self {
+    pub fn from_edges(num_vertices: usize, edges: impl IntoIterator<Item = Vec<u32>>) -> Self {
         let mut h = Hypergraph::new(num_vertices);
         for e in edges {
             h.add_edge(e);
@@ -124,13 +121,11 @@ impl Hypergraph {
                 let shared: BTreeSet<u32> = self.edges[e]
                     .iter()
                     .copied()
-                    .filter(|v| {
-                        (0..m).any(|f| f != e && alive[f] && self.edges[f].contains(v))
-                    })
+                    .filter(|v| (0..m).any(|f| f != e && alive[f] && self.edges[f].contains(v)))
                     .collect();
                 // Find a witness f covering all shared vertices.
-                let witness = (0..m)
-                    .find(|&f| f != e && alive[f] && shared.is_subset(&self.edges[f]));
+                let witness =
+                    (0..m).find(|&f| f != e && alive[f] && shared.is_subset(&self.edges[f]));
                 if let Some(f) = witness {
                     alive[e] = false;
                     parent[e] = Some(f);
@@ -198,9 +193,7 @@ impl JoinTree {
         // NOT contain v (the "top" of the subtree) — and if an edge's
         // parent does not contain v, no ancestor may contain v again.
         for v in 0..h.num_vertices() as u32 {
-            let holders: Vec<usize> = (0..m)
-                .filter(|&e| h.edges()[e].contains(&v))
-                .collect();
+            let holders: Vec<usize> = (0..m).filter(|&e| h.edges()[e].contains(&v)).collect();
             for &e in &holders {
                 // Walk up from e; once we leave the holder set we must
                 // never re-enter it.
@@ -284,10 +277,7 @@ mod tests {
     fn triangle_plus_covering_edge_is_acyclic() {
         // Adding the full edge {a,b,c} makes it acyclic (α-acyclicity is
         // not monotone!).
-        let h = Hypergraph::from_edges(
-            3,
-            [vec![0, 1], vec![1, 2], vec![0, 2], vec![0, 1, 2]],
-        );
+        let h = Hypergraph::from_edges(3, [vec![0, 1], vec![1, 2], vec![0, 2], vec![0, 1, 2]]);
         let jt = h.gyo().expect("covered triangle is acyclic");
         assert!(jt.is_valid_for(&h));
     }

@@ -232,10 +232,7 @@ pub fn hypertree_heuristic(h: &Hypergraph) -> HypertreeDecomposition {
     HypertreeDecomposition::from_tree_decomposition(h, &td)
 }
 
-fn from_order_for_hypergraph(
-    g: &crate::graph::Graph,
-    order: &[u32],
-) -> TreeDecomposition {
+fn from_order_for_hypergraph(g: &crate::graph::Graph, order: &[u32]) -> TreeDecomposition {
     crate::treewidth::from_elimination_order(g, order)
 }
 
@@ -257,16 +254,16 @@ mod tests {
         let hd = hypertree_heuristic(&h);
         hd.validate(&h).expect("valid decomposition");
         assert!(hd.width() >= 2, "cyclic needs width >= 2");
-        assert!(hd.width() <= 2, "greedy should cover a triangle bag with 2 edges");
+        assert!(
+            hd.width() <= 2,
+            "greedy should cover a triangle bag with 2 edges"
+        );
     }
 
     #[test]
     fn big_covering_edge_gives_width_one() {
         // Cyclic triangle + covering edge is α-acyclic: width 1.
-        let h = Hypergraph::from_edges(
-            3,
-            [vec![0, 1], vec![1, 2], vec![0, 2], vec![0, 1, 2]],
-        );
+        let h = Hypergraph::from_edges(3, [vec![0, 1], vec![1, 2], vec![0, 2], vec![0, 1, 2]]);
         let hd = hypertree_heuristic(&h);
         hd.validate(&h).expect("valid");
         assert_eq!(hd.width(), 1);

@@ -38,15 +38,17 @@ mod querydecomp;
 mod treewidth;
 
 pub use counting::{count_by_treewidth, count_with_decomposition};
-pub use csp_dp::{solve_by_treewidth, solve_with_decomposition};
+pub use csp_dp::{
+    bag_table_bound, solve_by_treewidth, solve_by_treewidth_budgeted, solve_with_decomposition,
+    solve_with_decomposition_budgeted, DecompSolveError,
+};
 pub use graph::Graph;
 pub use hypergraph::{Hypergraph, JoinTree};
 pub use hypertree::{hypertree_heuristic, HypertreeDecomposition};
 pub use nice::{make_nice, nice_validate_structure, NiceDecomposition, NiceNode};
-pub use querydecomp::{
-    atoms_of, query_decomposition_from_incidence, QueryDecomposition,
-};
+pub use querydecomp::{atoms_of, query_decomposition_from_incidence, QueryDecomposition};
 pub use treewidth::{
-    exact_treewidth, from_elimination_order, heuristic_decomposition, min_degree_order,
-    min_fill_order, order_width, TreeDecomposition,
+    exact_treewidth, exact_treewidth_budgeted, from_elimination_order, heuristic_decomposition,
+    heuristic_decomposition_budgeted, min_degree_order, min_fill_order, min_fill_order_budgeted,
+    order_width, TreeDecomposition,
 };

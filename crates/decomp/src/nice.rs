@@ -56,7 +56,12 @@ impl NiceDecomposition {
 
     /// Width (max bag size − 1).
     pub fn width(&self) -> usize {
-        self.bags.iter().map(Vec::len).max().unwrap_or(0).saturating_sub(1)
+        self.bags
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0)
+            .saturating_sub(1)
     }
 
     /// Structural validation: shapes consistent with bags, children
@@ -84,8 +89,7 @@ impl NiceDecomposition {
                     let mut expect = self.bags[*child].clone();
                     expect.push(*vertex);
                     expect.sort_unstable();
-                    if expect != self.bags[i] || self.bags[*child].binary_search(vertex).is_ok()
-                    {
+                    if expect != self.bags[i] || self.bags[*child].binary_search(vertex).is_ok() {
                         return Err(format!("node {i}: bad introduce of {vertex}"));
                     }
                     used_as_child[*child] = true;
@@ -97,9 +101,7 @@ impl NiceDecomposition {
                     let mut expect = self.bags[i].clone();
                     expect.push(*vertex);
                     expect.sort_unstable();
-                    if expect != self.bags[*child]
-                        || self.bags[i].binary_search(vertex).is_ok()
-                    {
+                    if expect != self.bags[*child] || self.bags[i].binary_search(vertex).is_ok() {
                         return Err(format!("node {i}: bad forget of {vertex}"));
                     }
                     used_as_child[*child] = true;
@@ -108,8 +110,7 @@ impl NiceDecomposition {
                     if *left >= i || *right >= i || left == right {
                         return Err(format!("node {i}: bad join children"));
                     }
-                    if self.bags[*left] != self.bags[i] || self.bags[*right] != self.bags[i]
-                    {
+                    if self.bags[*left] != self.bags[i] || self.bags[*right] != self.bags[i] {
                         return Err(format!("node {i}: join bags differ"));
                     }
                     used_as_child[*left] = true;
@@ -177,11 +178,7 @@ fn build_nice(
     out: &mut NiceDecomposition,
 ) -> usize {
     let my_bag = &td.bags[node];
-    let children: Vec<usize> = adj[node]
-        .iter()
-        .copied()
-        .filter(|&c| c != parent)
-        .collect();
+    let children: Vec<usize> = adj[node].iter().copied().filter(|&c| c != parent).collect();
     // Each child subtree is morphed to have bag = my_bag via a
     // Forget/Introduce chain; then children are joined pairwise.
     let mut arms: Vec<usize> = Vec::new();
@@ -200,7 +197,10 @@ fn build_nice(
             for &v in my_bag {
                 bag.push(v);
                 bag.sort_unstable();
-                out.nodes.push(NiceNode::Introduce { vertex: v, child: current });
+                out.nodes.push(NiceNode::Introduce {
+                    vertex: v,
+                    child: current,
+                });
                 out.bags.push(bag.clone());
                 current = out.nodes.len() - 1;
             }
@@ -264,10 +264,7 @@ fn morph(out: &mut NiceDecomposition, from: usize, target: &[u32]) -> usize {
 /// Checks the three tree-decomposition conditions of the paper against a
 /// structure, for a nice decomposition (delegates through the flat
 /// form).
-pub fn nice_validate_structure(
-    nice: &NiceDecomposition,
-    s: &Structure,
-) -> Result<(), String> {
+pub fn nice_validate_structure(nice: &NiceDecomposition, s: &Structure) -> Result<(), String> {
     nice.validate()?;
     // Convert to a flat TreeDecomposition and reuse its validator.
     let mut edges = Vec::new();
@@ -364,8 +361,14 @@ mod tests {
         let bad = NiceDecomposition {
             nodes: vec![
                 NiceNode::Leaf,
-                NiceNode::Introduce { vertex: 0, child: 0 },
-                NiceNode::Introduce { vertex: 0, child: 1 },
+                NiceNode::Introduce {
+                    vertex: 0,
+                    child: 0,
+                },
+                NiceNode::Introduce {
+                    vertex: 0,
+                    child: 1,
+                },
             ],
             bags: vec![vec![], vec![0], vec![0]],
         };

@@ -112,8 +112,7 @@ impl QueryDecomposition {
         }
         // Condition 2a: per atom, connected.
         for ai in 0..atoms.len() {
-            let holders: Vec<usize> =
-                (0..n).filter(|&t| self.atoms[t].contains(&ai)).collect();
+            let holders: Vec<usize> = (0..n).filter(|&t| self.atoms[t].contains(&ai)).collect();
             if !connected_in(&adj, &holders) {
                 return Err(format!("nodes of atom {ai} are not connected"));
             }
@@ -200,7 +199,11 @@ mod tests {
 
     #[test]
     fn incidence_construction_is_valid() {
-        for s in [cycle(5), path(6), digraph(4, &[(0, 1), (1, 2), (2, 3), (3, 0)])] {
+        for s in [
+            cycle(5),
+            path(6),
+            digraph(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]),
+        ] {
             let (qd, _) = query_decomposition_from_incidence(&s);
             qd.validate(&s).expect("CR conditions hold");
         }
@@ -243,7 +246,7 @@ mod tests {
         let s = path(3);
         let atoms = atoms_of(&s);
         assert_eq!(atoms.len(), 4); // 2 undirected edges = 4 facts
-        // Missing an atom.
+                                    // Missing an atom.
         let qd = QueryDecomposition {
             atoms: vec![[0usize].into_iter().collect()],
             vars: vec![BTreeSet::new()],

@@ -15,6 +15,7 @@
 //! checks independently.
 
 use crate::graph::Graph;
+use cspdb_core::budget::{Budget, ExhaustionReason, Meter};
 use cspdb_core::Structure;
 use std::collections::{BTreeSet, HashSet};
 
@@ -169,7 +170,10 @@ pub fn from_elimination_order(g: &Graph, order: &[u32]) -> TreeDecomposition {
     assert_eq!(order.len(), n, "order must cover all vertices");
     let mut position = vec![usize::MAX; n];
     for (i, &v) in order.iter().enumerate() {
-        assert!(position[v as usize] == usize::MAX, "repeated vertex in order");
+        assert!(
+            position[v as usize] == usize::MAX,
+            "repeated vertex in order"
+        );
         position[v as usize] = i;
     }
     if n == 0 {
@@ -178,9 +182,7 @@ pub fn from_elimination_order(g: &Graph, order: &[u32]) -> TreeDecomposition {
             edges: vec![],
         };
     }
-    let mut adj: Vec<BTreeSet<u32>> = (0..n as u32)
-        .map(|v| g.neighbors(v).collect())
-        .collect();
+    let mut adj: Vec<BTreeSet<u32>> = (0..n as u32).map(|v| g.neighbors(v).collect()).collect();
     let mut bags: Vec<Vec<u32>> = Vec::with_capacity(n);
     let mut bag_of_vertex = vec![usize::MAX; n]; // bag created when vertex eliminated
     for (step, &v) in order.iter().enumerate() {
@@ -229,35 +231,63 @@ pub fn min_degree_order(g: &Graph) -> Vec<u32> {
 /// Min-fill elimination order heuristic (number of missing edges among
 /// current neighbors).
 pub fn min_fill_order(g: &Graph) -> Vec<u32> {
-    elimination_heuristic(g, |adj, v| {
-        let ns: Vec<u32> = adj[v as usize].iter().copied().collect();
-        let mut fill = 0usize;
-        for (i, &a) in ns.iter().enumerate() {
-            for &b in &ns[i + 1..] {
-                if !adj[a as usize].contains(&b) {
-                    fill += 1;
-                }
-            }
-        }
-        fill
-    })
+    min_fill_order_budgeted(g, &Budget::unlimited()).expect("unlimited budget cannot exhaust")
 }
 
-fn elimination_heuristic(
+/// [`min_fill_order`] under a [`Budget`]: even *planning* a
+/// decomposition is quadratic-plus in the vertex count, so tiered
+/// strategies budget it like any other phase. One step is ticked per
+/// candidate score evaluation.
+pub fn min_fill_order_budgeted(g: &Graph, budget: &Budget) -> Result<Vec<u32>, ExhaustionReason> {
+    let mut meter = budget.meter();
+    min_fill_order_metered(g, &mut meter)
+}
+
+pub(crate) fn min_fill_order_metered(
     g: &Graph,
+    meter: &mut Meter,
+) -> Result<Vec<u32>, ExhaustionReason> {
+    elimination_heuristic_budgeted(g, meter, fill_score)
+}
+
+/// Min-fill score: missing edges among the current neighbors of `v`.
+fn fill_score(adj: &[BTreeSet<u32>], v: u32) -> usize {
+    let ns: Vec<u32> = adj[v as usize].iter().copied().collect();
+    let mut fill = 0usize;
+    for (i, &a) in ns.iter().enumerate() {
+        for &b in &ns[i + 1..] {
+            if !adj[a as usize].contains(&b) {
+                fill += 1;
+            }
+        }
+    }
+    fill
+}
+
+fn elimination_heuristic(g: &Graph, score: impl Fn(&[BTreeSet<u32>], u32) -> usize) -> Vec<u32> {
+    elimination_heuristic_budgeted(g, &mut Budget::unlimited().meter(), score)
+        .expect("unlimited budget cannot exhaust")
+}
+
+fn elimination_heuristic_budgeted(
+    g: &Graph,
+    meter: &mut Meter,
     score: impl Fn(&[BTreeSet<u32>], u32) -> usize,
-) -> Vec<u32> {
+) -> Result<Vec<u32>, ExhaustionReason> {
     let n = g.num_vertices();
-    let mut adj: Vec<BTreeSet<u32>> = (0..n as u32)
-        .map(|v| g.neighbors(v).collect())
-        .collect();
+    let mut adj: Vec<BTreeSet<u32>> = (0..n as u32).map(|v| g.neighbors(v).collect()).collect();
     let mut alive: Vec<bool> = vec![true; n];
     let mut order = Vec::with_capacity(n);
     for _ in 0..n {
-        let v = (0..n as u32)
-            .filter(|&v| alive[v as usize])
-            .min_by_key(|&v| (score(&adj, v), v))
-            .expect("some vertex alive");
+        let mut best: Option<(usize, u32)> = None;
+        for v in (0..n as u32).filter(|&v| alive[v as usize]) {
+            meter.tick()?;
+            let key = (score(&adj, v), v);
+            if best.map(|b| key < b).unwrap_or(true) {
+                best = Some(key);
+            }
+        }
+        let (_, v) = best.expect("some vertex alive");
         order.push(v);
         alive[v as usize] = false;
         let ns: Vec<u32> = adj[v as usize].iter().copied().collect();
@@ -270,16 +300,14 @@ fn elimination_heuristic(
         }
         adj[v as usize].clear();
     }
-    order
+    Ok(order)
 }
 
 /// Width of the decomposition induced by an elimination order, without
 /// materializing the decomposition.
 pub fn order_width(g: &Graph, order: &[u32]) -> usize {
     let n = g.num_vertices();
-    let mut adj: Vec<BTreeSet<u32>> = (0..n as u32)
-        .map(|v| g.neighbors(v).collect())
-        .collect();
+    let mut adj: Vec<BTreeSet<u32>> = (0..n as u32).map(|v| g.neighbors(v).collect()).collect();
     let mut width = 0usize;
     for &v in order {
         let ns: Vec<u32> = adj[v as usize].iter().copied().collect();
@@ -299,14 +327,26 @@ pub fn order_width(g: &Graph, order: &[u32]) -> usize {
 /// Heuristic treewidth upper bound: the better of min-degree and
 /// min-fill, returned with its decomposition.
 pub fn heuristic_decomposition(g: &Graph) -> TreeDecomposition {
-    let o1 = min_degree_order(g);
-    let o2 = min_fill_order(g);
+    heuristic_decomposition_budgeted(g, &Budget::unlimited())
+        .expect("unlimited budget cannot exhaust")
+}
+
+/// [`heuristic_decomposition`] under a [`Budget`]. Both elimination
+/// heuristics draw from the same meter, so the budget bounds the whole
+/// planning phase rather than each heuristic separately.
+pub fn heuristic_decomposition_budgeted(
+    g: &Graph,
+    budget: &Budget,
+) -> Result<TreeDecomposition, ExhaustionReason> {
+    let mut meter = budget.meter();
+    let o1 = elimination_heuristic_budgeted(g, &mut meter, |adj, v| adj[v as usize].len())?;
+    let o2 = elimination_heuristic_budgeted(g, &mut meter, fill_score)?;
     let order = if order_width(g, &o1) <= order_width(g, &o2) {
         o1
     } else {
         o2
     };
-    from_elimination_order(g, &order)
+    Ok(from_elimination_order(g, &order))
 }
 
 /// Exact treewidth by iterative deepening over elimination orders with
@@ -319,23 +359,40 @@ pub fn heuristic_decomposition(g: &Graph) -> TreeDecomposition {
 ///
 /// Panics if the graph has more than 64 vertices.
 pub fn exact_treewidth(g: &Graph) -> (usize, Vec<u32>) {
+    exact_treewidth_budgeted(g, &Budget::unlimited()).expect("unlimited budget cannot exhaust")
+}
+
+/// [`exact_treewidth`] under a [`Budget`]: the branch-and-bound over
+/// elimination orders is worst-case exponential, so one step is ticked
+/// per candidate elimination attempt and the deadline is honored at
+/// amortized checkpoints. `Err` means inconclusive — no bound on the
+/// treewidth was established before the budget ran out.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 64 vertices.
+pub fn exact_treewidth_budgeted(
+    g: &Graph,
+    budget: &Budget,
+) -> Result<(usize, Vec<u32>), ExhaustionReason> {
     let n = g.num_vertices();
     assert!(n <= 64, "exact treewidth limited to 64 vertices");
     if n == 0 {
-        return (0, vec![]);
+        return Ok((0, vec![]));
     }
-    let ub_order = min_fill_order(g);
+    let mut meter = budget.meter();
+    let ub_order = elimination_heuristic_budgeted(g, &mut meter, fill_score)?;
     let ub = order_width(g, &ub_order);
     // Lower bound: maximum over subgraph minimum degrees (degeneracy).
     let lb = degeneracy(g);
     for k in lb..=ub {
         let mut failed: HashSet<u64> = HashSet::new();
         let mut order = Vec::with_capacity(n);
-        if feasible(g, k, 0u64, &mut order, &mut failed) {
-            return (k, order);
+        if feasible(g, k, 0u64, &mut order, &mut failed, &mut meter)? {
+            return Ok((k, order));
         }
     }
-    (ub, ub_order)
+    Ok((ub, ub_order))
 }
 
 /// Degeneracy: a classical treewidth lower bound.
@@ -388,7 +445,8 @@ fn feasible(
     eliminated: u64,
     order: &mut Vec<u32>,
     failed: &mut HashSet<u64>,
-) -> bool {
+    meter: &mut Meter,
+) -> Result<bool, ExhaustionReason> {
     let n = g.num_vertices();
     let remaining = n - eliminated.count_ones() as usize;
     if remaining <= k + 1 {
@@ -398,26 +456,27 @@ fn feasible(
                 order.push(v);
             }
         }
-        return true;
+        return Ok(true);
     }
     if failed.contains(&eliminated) {
-        return false;
+        return Ok(false);
     }
     for v in 0..n as u32 {
         if eliminated & (1 << v) != 0 {
             continue;
         }
+        meter.tick()?;
         let ns = current_neighbors(g, v, eliminated);
         if ns.len() <= k {
             order.push(v);
-            if feasible(g, k, eliminated | (1 << v), order, failed) {
-                return true;
+            if feasible(g, k, eliminated | (1 << v), order, failed, meter)? {
+                return Ok(true);
             }
             order.pop();
         }
     }
     failed.insert(eliminated);
-    false
+    Ok(false)
 }
 
 #[cfg(test)]
@@ -425,10 +484,7 @@ mod tests {
     use super::*;
 
     fn cycle_graph(n: usize) -> Graph {
-        Graph::from_edges(
-            n,
-            (0..n as u32).map(|i| (i, (i + 1) % n as u32)),
-        )
+        Graph::from_edges(n, (0..n as u32).map(|i| (i, (i + 1) % n as u32)))
     }
 
     fn complete_graph(n: usize) -> Graph {
@@ -534,7 +590,7 @@ mod tests {
             edges: vec![(0, 1), (1, 2)],
         };
         assert!(td.validate(&g).is_err()); // edge (3,0) uncovered
-        // Disconnected vertex subtree.
+                                           // Disconnected vertex subtree.
         let g2 = Graph::from_edges(3, [(0, 1), (1, 2)]);
         let td = TreeDecomposition {
             bags: vec![vec![0, 1], vec![1, 2], vec![0]],
@@ -556,6 +612,7 @@ mod tests {
         let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
         let order = min_degree_order(&g);
         let td = from_elimination_order(&g, &order);
-        td.validate(&g).expect("decomposition tree must be connected");
+        td.validate(&g)
+            .expect("decomposition tree must be connected");
     }
 }

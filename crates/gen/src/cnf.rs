@@ -2,10 +2,10 @@
 //! used by the dichotomy experiments (E3).
 
 use cspdb_core::{CspInstance, Relation};
+use cspdb_schaefer::{Cnf, XorSystem};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use cspdb_schaefer::{Cnf, XorSystem};
 use std::sync::Arc;
 
 fn random_clause(rng: &mut StdRng, n: usize, width: usize) -> Vec<i32> {
@@ -138,9 +138,18 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        assert_eq!(random_3sat(10, 30, 7).clauses, random_3sat(10, 30, 7).clauses);
-        assert_eq!(random_2sat(10, 20, 7).clauses, random_2sat(10, 20, 7).clauses);
-        assert_eq!(random_horn(10, 20, 7).clauses, random_horn(10, 20, 7).clauses);
+        assert_eq!(
+            random_3sat(10, 30, 7).clauses,
+            random_3sat(10, 30, 7).clauses
+        );
+        assert_eq!(
+            random_2sat(10, 20, 7).clauses,
+            random_2sat(10, 20, 7).clauses
+        );
+        assert_eq!(
+            random_horn(10, 20, 7).clauses,
+            random_horn(10, 20, 7).clauses
+        );
     }
 
     #[test]

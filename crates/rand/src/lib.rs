@@ -1,0 +1,247 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this workspace has no access to crates.io,
+//! so this crate provides the *exact* API subset the workspace consumes
+//! (`StdRng::seed_from_u64`, `Rng::gen_range` / `gen_bool`, and
+//! `SliceRandom::shuffle` / `choose`) behind the same paths, backed by a
+//! deterministic xoshiro256** generator seeded through SplitMix64.
+//!
+//! Streams are deterministic per seed but are **not** bit-compatible
+//! with the real `rand` crate's `StdRng` (ChaCha12); all workspace tests
+//! are oracle-based (they compare algorithms against each other on
+//! whatever instance a seed produces), so only determinism matters.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core generator trait: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Next uniform 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next uniform 32-bit value.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators (subset: `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                // Multiply-shift bounded sampling (Lemire); a tiny modulo
+                // bias is irrelevant for test workloads.
+                let x = rng.next_u64();
+                self.start + (((x as u128 * span as u128) >> 64) as u64) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = (hi - lo) as u64 + 1;
+                let x = rng.next_u64();
+                lo + (((x as u128 * span as u128) >> 64) as u64) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let x = rng.next_u64();
+                let off = ((x as u128 * span as u128) >> 64) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(i32 => u32, i64 => u64, isize => usize);
+
+/// Convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        // 53 uniform mantissa bits.
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256**
+    /// seeded via SplitMix64. Not the real `rand` `StdRng` stream.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, per Vigna's reference initialization.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256** step.
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice shuffling and random choice.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000u32), b.gen_range(0..1000u32));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same: usize = (0..64)
+            .filter(|_| StdRng::seed_from_u64(7).gen_range(0..u32::MAX) == c.gen_range(0..u32::MAX))
+            .count();
+        assert!(same < 8, "different seeds should diverge");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3..17u32);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(2..=3usize);
+            assert!((2..=3).contains(&y));
+            let z = rng.gen_range(-5..5i32);
+            assert!((-5..5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "~25% expected, got {hits}");
+    }
+
+    #[test]
+    fn shuffle_permutes_and_choose_hits_all() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        let opts = [1u32, 2, 3];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(*opts.choose(&mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -11,6 +11,7 @@
 //! baseline that Yannakakis beats on acyclic instances (Experiment E10).
 
 use crate::named::NamedRelation;
+use cspdb_core::budget::{Budget, ExhaustionReason, Meter};
 use cspdb_core::CspInstance;
 
 /// Lowers each constraint to a named relation over its scope.
@@ -23,12 +24,7 @@ pub fn constraint_relations(instance: &CspInstance) -> Vec<NamedRelation> {
     normalized
         .constraints()
         .iter()
-        .map(|c| {
-            NamedRelation::new(
-                c.scope().to_vec(),
-                c.relation().iter().map(|t| t.to_vec()),
-            )
-        })
+        .map(|c| NamedRelation::new(c.scope().to_vec(), c.relation().iter().map(|t| t.to_vec())))
         .collect()
 }
 
@@ -44,6 +40,48 @@ pub fn join_all(mut relations: Vec<NamedRelation>) -> NamedRelation {
         }
     }
     acc
+}
+
+/// [`join_all`] under a [`Meter`]: every intermediate row is charged
+/// against the tuple cap, so runaway intermediate results abort instead
+/// of exhausting memory.
+pub fn join_all_budgeted(
+    mut relations: Vec<NamedRelation>,
+    meter: &mut Meter,
+) -> Result<NamedRelation, ExhaustionReason> {
+    relations.sort_by_key(NamedRelation::len);
+    let mut acc = NamedRelation::unit();
+    for r in relations {
+        acc = acc.natural_join_budgeted(&r, meter)?;
+        if acc.is_empty() {
+            return Ok(acc);
+        }
+    }
+    Ok(acc)
+}
+
+/// [`solve_by_join`] under a [`Budget`]: `Err` when the budget ran out
+/// mid-join (inconclusive), otherwise the unbudgeted contract.
+pub fn solve_by_join_budgeted(
+    instance: &CspInstance,
+    budget: &Budget,
+) -> Result<Option<Vec<u32>>, ExhaustionReason> {
+    if instance.num_vars() > 0 && instance.num_values() == 0 {
+        return Ok(None);
+    }
+    let mut meter = budget.meter();
+    let relations = constraint_relations(instance);
+    let joined = join_all_budgeted(relations, &mut meter)?;
+    if joined.is_empty() {
+        return Ok(None);
+    }
+    let row = &joined.rows()[0];
+    let mut solution = vec![0u32; instance.num_vars()];
+    for (i, &attr) in joined.schema().iter().enumerate() {
+        solution[attr as usize] = row[i];
+    }
+    debug_assert!(instance.is_solution(&solution));
+    Ok(Some(solution))
 }
 
 /// Proposition 2.1, decision + witness: returns a solution of the CSP
@@ -70,17 +108,20 @@ pub fn solve_by_join(instance: &CspInstance) -> Option<Vec<u32>> {
 }
 
 /// Counts solutions of the instance via the join (unconstrained
-/// variables multiply the count by `num_values`).
+/// variables multiply the count by `num_values`). Saturates at
+/// `u64::MAX` instead of overflowing on huge free-variable blocks.
 pub fn count_by_join(instance: &CspInstance) -> u64 {
     if instance.num_vars() > 0 && instance.num_values() == 0 {
         return 0;
     }
     let relations = constraint_relations(instance);
     let joined = join_all(relations);
-    let constrained: std::collections::HashSet<u32> =
-        joined.schema().iter().copied().collect();
+    let constrained: std::collections::HashSet<u32> = joined.schema().iter().copied().collect();
     let free = instance.num_vars() - constrained.len();
-    joined.len() as u64 * (instance.num_values() as u64).pow(free as u32)
+    let free_combinations = (instance.num_values() as u64)
+        .checked_pow(free as u32)
+        .unwrap_or(u64::MAX);
+    (joined.len() as u64).saturating_mul(free_combinations)
 }
 
 #[cfg(test)]
@@ -93,9 +134,8 @@ mod tests {
         Arc::new(
             Relation::from_tuples(
                 2,
-                (0..d as u32).flat_map(|i| {
-                    (0..d as u32).filter_map(move |j| (i != j).then_some([i, j]))
-                }),
+                (0..d as u32)
+                    .flat_map(|i| (0..d as u32).filter_map(move |j| (i != j).then_some([i, j]))),
             )
             .unwrap(),
         )
@@ -183,10 +223,7 @@ mod tests {
                     .unwrap();
             }
             assert_eq!(count_by_join(&p), p.count_solutions_brute_force());
-            assert_eq!(
-                solve_by_join(&p).is_some(),
-                p.solve_brute_force().is_some()
-            );
+            assert_eq!(solve_by_join(&p).is_some(), p.solve_brute_force().is_some());
         }
     }
 }

@@ -25,8 +25,12 @@ mod join_eval;
 mod named;
 mod yannakakis;
 
-pub use join_eval::{constraint_relations, count_by_join, join_all, solve_by_join};
+pub use join_eval::{
+    constraint_relations, count_by_join, join_all, join_all_budgeted, solve_by_join,
+    solve_by_join_budgeted,
+};
 pub use named::NamedRelation;
 pub use yannakakis::{
-    is_acyclic_instance, solve_acyclic, solve_acyclic_hom, solve_with_hypertree, NotAcyclic,
+    is_acyclic_instance, solve_acyclic, solve_acyclic_budgeted, solve_acyclic_hom,
+    solve_with_hypertree, AcyclicSolveError, NotAcyclic,
 };

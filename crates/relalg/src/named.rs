@@ -7,6 +7,7 @@
 //! [`NamedRelation`] is that view: rows keyed by a schema of distinct
 //! attribute ids.
 
+use cspdb_core::budget::{ExhaustionReason, Meter};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -28,7 +29,11 @@ impl NamedRelation {
         let mut sorted = schema.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), schema.len(), "schema attributes must be distinct");
+        assert_eq!(
+            sorted.len(),
+            schema.len(),
+            "schema attributes must be distinct"
+        );
         NamedRelation {
             schema,
             rows: Vec::new(),
@@ -90,6 +95,55 @@ impl NamedRelation {
     /// Column position of attribute `attr`, if present.
     pub fn position(&self, attr: u32) -> Option<usize> {
         self.schema.iter().position(|&a| a == attr)
+    }
+
+    /// Checked worst-case output cardinality of `self ⋈ other`
+    /// (`|self| · |other|`); `None` on `u64` overflow. Planners use this
+    /// to refuse joins that cannot fit any tuple budget.
+    pub fn join_size_bound(&self, other: &NamedRelation) -> Option<u64> {
+        (self.rows.len() as u64).checked_mul(other.rows.len() as u64)
+    }
+
+    /// [`natural_join`](Self::natural_join) under a [`Meter`]: every
+    /// output row is charged against the tuple cap *as it is produced*,
+    /// so a join whose intermediate result would blow the cap aborts
+    /// mid-materialisation instead of exhausting memory first.
+    pub fn natural_join_budgeted(
+        &self,
+        other: &NamedRelation,
+        meter: &mut Meter,
+    ) -> Result<NamedRelation, ExhaustionReason> {
+        let common: Vec<(usize, usize)> = self
+            .schema
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| other.position(a).map(|j| (i, j)))
+            .collect();
+        let extra: Vec<usize> = (0..other.schema.len())
+            .filter(|&j| !common.iter().any(|&(_, cj)| cj == j))
+            .collect();
+        let mut schema = self.schema.clone();
+        schema.extend(extra.iter().map(|&j| other.schema[j]));
+        let mut index: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+        for (ri, row) in other.rows.iter().enumerate() {
+            meter.tick()?;
+            let key: Vec<u32> = common.iter().map(|&(_, j)| row[j]).collect();
+            index.entry(key).or_default().push(ri);
+        }
+        let mut rows = Vec::new();
+        for row in &self.rows {
+            meter.tick()?;
+            let key: Vec<u32> = common.iter().map(|&(i, _)| row[i]).collect();
+            if let Some(matches) = index.get(&key) {
+                for &ri in matches {
+                    meter.charge_tuples(1)?;
+                    let mut out = row.clone();
+                    out.extend(extra.iter().map(|&j| other.rows[ri][j]));
+                    rows.push(out);
+                }
+            }
+        }
+        Ok(NamedRelation::new(schema, rows))
     }
 
     /// Natural join: rows that agree on all common attributes are glued;
@@ -252,10 +306,7 @@ mod tests {
         let s = rel(&[1, 2], &[&[2, 5], &[2, 6], &[9, 9]]);
         let j = r.natural_join(&s);
         assert_eq!(j.schema(), &[0, 1, 2]);
-        assert_eq!(
-            j.rows(),
-            &[vec![1, 2, 5], vec![1, 2, 6]]
-        );
+        assert_eq!(j.rows(), &[vec![1, 2, 5], vec![1, 2, 6]]);
     }
 
     #[test]
@@ -288,10 +339,7 @@ mod tests {
     fn unit_is_join_identity() {
         let r = rel(&[0, 1], &[&[1, 2]]);
         assert_eq!(r.natural_join(&NamedRelation::unit()), r);
-        assert_eq!(
-            NamedRelation::unit().natural_join(&r).project(&[0, 1]),
-            r
-        );
+        assert_eq!(NamedRelation::unit().natural_join(&r).project(&[0, 1]), r);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! route to tractability cited at the end of Section 6.
 
 use crate::named::NamedRelation;
+use cspdb_core::budget::{Budget, ExhaustionReason, Meter};
 use cspdb_core::{CspInstance, Structure};
 use cspdb_decomp::{Hypergraph, HypertreeDecomposition};
 
@@ -30,16 +31,50 @@ impl std::fmt::Display for NotAcyclic {
 
 impl std::error::Error for NotAcyclic {}
 
+/// Why [`solve_acyclic_budgeted`] produced no verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcyclicSolveError {
+    /// The constraint hypergraph failed GYO — the algorithm does not
+    /// apply.
+    NotAcyclic,
+    /// The budget ran out mid-reduction — inconclusive.
+    Exhausted(ExhaustionReason),
+}
+
+impl std::fmt::Display for AcyclicSolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AcyclicSolveError::NotAcyclic => NotAcyclic.fmt(f),
+            AcyclicSolveError::Exhausted(r) => write!(f, "budget exhausted: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for AcyclicSolveError {}
+
 /// Runs the full reducer over a forest of relations and, if no relation
 /// empties, assembles one solution greedily top-down.
 ///
 /// `parent[i]` is the join-tree parent of relation `i` (`None` = root).
 /// Variables not covered by any schema receive value 0 in the witness.
 fn solve_along_forest(
-    mut rels: Vec<NamedRelation>,
+    rels: Vec<NamedRelation>,
     parent: &[Option<usize>],
     num_vars: usize,
 ) -> Option<Vec<u32>> {
+    solve_along_forest_budgeted(rels, parent, num_vars, &mut Budget::unlimited().meter())
+        .expect("unlimited budget cannot exhaust")
+}
+
+/// Budgeted full reducer: ticks one step per semijoin and per witness
+/// row scan, and charges surviving rows after each reduction sweep so a
+/// tuple cap bounds peak relation sizes.
+fn solve_along_forest_budgeted(
+    mut rels: Vec<NamedRelation>,
+    parent: &[Option<usize>],
+    num_vars: usize,
+    meter: &mut Meter,
+) -> Result<Option<Vec<u32>>, ExhaustionReason> {
     let m = rels.len();
     debug_assert_eq!(parent.len(), m);
     // Topological order: parents after children (roots last).
@@ -61,7 +96,9 @@ fn solve_along_forest(
     // Bottom-up: parent ⋉ child.
     for &node in order.iter().rev() {
         if let Some(p) = parent[node] {
+            meter.tick()?;
             let reduced = rels[p].semijoin(&rels[node]);
+            meter.charge_tuples(reduced.len() as u64)?;
             rels[p] = reduced;
         }
     }
@@ -69,26 +106,29 @@ fn solve_along_forest(
         // An empty relation anywhere means no solution (roots are checked
         // below; interior empties propagate up, but check all for safety).
         if roots.iter().any(|&r| rels[r].is_empty()) {
-            return None;
+            return Ok(None);
         }
     }
     // Top-down: child ⋉ parent.
     for &node in &order {
         if let Some(p) = parent[node] {
+            meter.tick()?;
             let reduced = rels[node].semijoin(&rels[p]);
+            meter.charge_tuples(reduced.len() as u64)?;
             rels[node] = reduced;
             if rels[node].is_empty() {
-                return None;
+                return Ok(None);
             }
         }
     }
     if rels.iter().any(NamedRelation::is_empty) {
-        return None;
+        return Ok(None);
     }
     // Greedy witness, top-down: after full reduction every tuple extends
     // to a solution, so picking any row consistent with the parent works.
     let mut assignment: Vec<Option<u32>> = vec![None; num_vars];
     for &node in &order {
+        meter.tick()?;
         let rel = &rels[node];
         let row = rel
             .rows()
@@ -107,7 +147,9 @@ fn solve_along_forest(
             assignment[a as usize] = Some(row[i]);
         }
     }
-    Some(assignment.into_iter().map(|v| v.unwrap_or(0)).collect())
+    Ok(Some(
+        assignment.into_iter().map(|v| v.unwrap_or(0)).collect(),
+    ))
 }
 
 /// Yannakakis' algorithm: solves an α-acyclic CSP instance in polynomial
@@ -124,12 +166,7 @@ pub fn solve_acyclic(instance: &CspInstance) -> Result<Option<Vec<u32>>, NotAcyc
     let rels: Vec<NamedRelation> = normalized
         .constraints()
         .iter()
-        .map(|c| {
-            NamedRelation::new(
-                c.scope().to_vec(),
-                c.relation().iter().map(|t| t.to_vec()),
-            )
-        })
+        .map(|c| NamedRelation::new(c.scope().to_vec(), c.relation().iter().map(|t| t.to_vec())))
         .collect();
     let mut hg = Hypergraph::new(normalized.num_vars());
     for r in &rels {
@@ -137,6 +174,40 @@ pub fn solve_acyclic(instance: &CspInstance) -> Result<Option<Vec<u32>>, NotAcyc
     }
     let jt = hg.gyo().ok_or(NotAcyclic)?;
     let sol = solve_along_forest(rels, &jt.parent, normalized.num_vars());
+    if let Some(ref s) = sol {
+        debug_assert!(instance.is_solution(s));
+    }
+    Ok(sol)
+}
+
+/// [`solve_acyclic`] under a [`Budget`]: semijoin sweeps tick the meter
+/// and surviving rows are charged against the tuple cap.
+///
+/// # Errors
+///
+/// [`AcyclicSolveError::NotAcyclic`] if GYO fails,
+/// [`AcyclicSolveError::Exhausted`] if the budget ran out (inconclusive).
+pub fn solve_acyclic_budgeted(
+    instance: &CspInstance,
+    budget: &Budget,
+) -> Result<Option<Vec<u32>>, AcyclicSolveError> {
+    if instance.num_vars() > 0 && instance.num_values() == 0 {
+        return Ok(None);
+    }
+    let mut meter = budget.meter();
+    let normalized = instance.normalize_distinct().consolidate();
+    let rels: Vec<NamedRelation> = normalized
+        .constraints()
+        .iter()
+        .map(|c| NamedRelation::new(c.scope().to_vec(), c.relation().iter().map(|t| t.to_vec())))
+        .collect();
+    let mut hg = Hypergraph::new(normalized.num_vars());
+    for r in &rels {
+        hg.add_edge(r.schema().iter().copied());
+    }
+    let jt = hg.gyo().ok_or(AcyclicSolveError::NotAcyclic)?;
+    let sol = solve_along_forest_budgeted(rels, &jt.parent, normalized.num_vars(), &mut meter)
+        .map_err(AcyclicSolveError::Exhausted)?;
     if let Some(ref s) = sol {
         debug_assert!(instance.is_solution(s));
     }
@@ -192,12 +263,7 @@ pub fn solve_with_hypertree(
     let fact_rels: Vec<NamedRelation> = instance
         .constraints()
         .iter()
-        .map(|c| {
-            NamedRelation::new(
-                c.scope().to_vec(),
-                c.relation().iter().map(|t| t.to_vec()),
-            )
-        })
+        .map(|c| NamedRelation::new(c.scope().to_vec(), c.relation().iter().map(|t| t.to_vec())))
         .collect();
     if fact_rels.len() != hg.num_edges() {
         return Err("internal: fact/edge count mismatch".into());
@@ -268,9 +334,8 @@ mod tests {
         Arc::new(
             Relation::from_tuples(
                 2,
-                (0..d as u32).flat_map(|i| {
-                    (0..d as u32).filter_map(move |j| (i != j).then_some([i, j]))
-                }),
+                (0..d as u32)
+                    .flat_map(|i| (0..d as u32).filter_map(move |j| (i != j).then_some([i, j]))),
             )
             .unwrap(),
         )

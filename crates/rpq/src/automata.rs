@@ -52,9 +52,7 @@ impl Nfa {
     }
 
     fn symbol_index(&self, c: char) -> usize {
-        self.alphabet
-            .binary_search(&c)
-            .expect("symbol in alphabet")
+        self.alphabet.binary_search(&c).expect("symbol in alphabet")
     }
 
     /// ε-closure of a set of states.
@@ -240,11 +238,7 @@ impl EpsilonFreeNfa {
         // Initial partition by acceptance; refinement only ever splits
         // blocks (signatures include the old block id), so the loop
         // terminates when the block count stops growing.
-        let mut block: Vec<usize> = self
-            .accepting
-            .iter()
-            .map(|&a| usize::from(a))
-            .collect();
+        let mut block: Vec<usize> = self.accepting.iter().map(|&a| usize::from(a)).collect();
         let mut count = block.iter().copied().max().unwrap_or(0) + 1;
         loop {
             let mut sig_index: HashMap<(usize, Vec<Vec<usize>>), usize> = HashMap::new();
@@ -385,10 +379,7 @@ impl Nfa {
         let mut out = EpsilonFreeNfa {
             alphabet: self.alphabet.clone(),
             num_states: m,
-            start: start
-                .iter()
-                .filter_map(|q| remap.get(q).copied())
-                .collect(),
+            start: start.iter().filter_map(|q| remap.get(q).copied()).collect(),
             accepting: useful.iter().map(|&q| accepting[q]).collect(),
             step: vec![vec![BTreeSet::new(); k]; m],
         };
@@ -498,10 +489,12 @@ impl Dfa {
                 Regex::Empty => Regex::Epsilon,
                 r => r.clone().star(),
             };
-            let sources: Vec<usize> =
-                (0..n + 2).filter(|&i| i != k && m[i][k] != Regex::Empty).collect();
-            let targets: Vec<usize> =
-                (0..n + 2).filter(|&j| j != k && m[k][j] != Regex::Empty).collect();
+            let sources: Vec<usize> = (0..n + 2)
+                .filter(|&i| i != k && m[i][k] != Regex::Empty)
+                .collect();
+            let targets: Vec<usize> = (0..n + 2)
+                .filter(|&j| j != k && m[k][j] != Regex::Empty)
+                .collect();
             for &i in &sources {
                 for &j in &targets {
                     let through = simplify_concat(
@@ -567,11 +560,7 @@ mod tests {
             for len in 0..=5usize {
                 let mut word = vec![0usize; len];
                 loop {
-                    assert_eq!(
-                        n.accepts(&word),
-                        d.accepts(&word),
-                        "{pattern} on {word:?}"
-                    );
+                    assert_eq!(n.accepts(&word), d.accepts(&word), "{pattern} on {word:?}");
                     let mut i = len;
                     let done = loop {
                         if i == 0 {
@@ -758,6 +747,11 @@ mod reduce_tests {
         let alphabet = r.alphabet();
         let ef = Nfa::from_regex(&r, &alphabet).epsilon_free_trimmed();
         let red = ef.reduce();
-        assert!(red.num_states < ef.num_states, "{} vs {}", red.num_states, ef.num_states);
+        assert!(
+            red.num_states < ef.num_states,
+            "{} vs {}",
+            red.num_states,
+            ef.num_states
+        );
     }
 }

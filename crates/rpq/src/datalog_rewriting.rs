@@ -43,10 +43,7 @@ impl ArcConsistencyRewriting {
     /// Theorem 7.2).
     pub fn certainly(&self, exts: &Extensions, c: u32, d: u32) -> bool {
         let a = extension_structure(self.oracle.template(), exts, c, d);
-        let problem = cspdb_solver::Problem::from_structures(
-            &a,
-            &self.oracle.template().template,
-        );
+        let problem = cspdb_solver::Problem::from_structures(&a, &self.oracle.template().template);
         cspdb_solver::gac_fixpoint(&problem).is_none()
     }
 
@@ -149,16 +146,9 @@ mod tests {
         let k2 = digraph(2, &[(0, 1), (1, 0)]);
         let reduction = csp_to_views(&k2);
         let (exts, c, d) = extensions_for_digraph(&cycle(5));
-        let rw = ArcConsistencyRewriting::new(
-            &reduction.query,
-            &reduction.views,
-            &reduction.alphabet,
-        );
-        let oracle = CertainAnswering::new(
-            &reduction.query,
-            &reduction.views,
-            &reduction.alphabet,
-        );
+        let rw =
+            ArcConsistencyRewriting::new(&reduction.query, &reduction.views, &reduction.alphabet);
+        let oracle = CertainAnswering::new(&reduction.query, &reduction.views, &reduction.alphabet);
         assert!(oracle.is_certain(&exts, c, d), "C5 is not 2-colorable");
         assert!(
             !rw.certainly(&exts, c, d),

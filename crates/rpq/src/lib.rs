@@ -36,13 +36,12 @@ mod rewriting;
 mod views;
 
 pub use automata::{Dfa, EpsilonFreeNfa, Nfa};
+pub use datalog_rewriting::ArcConsistencyRewriting;
 pub use graphdb::GraphDb;
 pub use regex::Regex;
-pub use datalog_rewriting::ArcConsistencyRewriting;
 pub use rewriting::{maximal_rewriting, Rewriting};
 pub use views::{
     certain_answer, certain_answer_bruteforce, constraint_template, csp_to_views,
-    CertainAnswering,
     csp_via_view_answering, extension_size, extension_structure, extensions_for_digraph,
-    ConstraintTemplate, CspAsViews, Extensions, View,
+    CertainAnswering, ConstraintTemplate, CspAsViews, Extensions, View,
 };

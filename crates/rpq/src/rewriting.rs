@@ -136,12 +136,7 @@ impl Rewriting {
         let dfa_symbol_for_db_symbol: Vec<usize> = db
             .alphabet
             .iter()
-            .map(|c| {
-                self.dfa
-                    .alphabet
-                    .binary_search(c)
-                    .expect("same symbol set")
-            })
+            .map(|c| self.dfa.alphabet.binary_search(c).expect("same symbol set"))
             .collect();
         let _ = symbol_index;
         for x in 0..exts.num_objects as u32 {

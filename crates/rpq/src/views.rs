@@ -20,6 +20,7 @@
 use crate::automata::Nfa;
 use crate::graphdb::GraphDb;
 use crate::regex::Regex;
+use cspdb_core::budget::{Answer, Budget, ExhaustionReason};
 use cspdb_core::{Structure, Vocabulary};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -70,7 +71,10 @@ pub struct ConstraintTemplate {
 pub fn constraint_template(q: &Regex, views: &[View], alphabet: &[char]) -> ConstraintTemplate {
     let aq = Nfa::from_regex(q, alphabet).epsilon_free_trimmed().reduce();
     let s = aq.num_states;
-    assert!(s <= 12, "query automaton too large for the 2^S template ({s} states)");
+    assert!(
+        s <= 12,
+        "query automaton too large for the 2^S template ({s} states)"
+    );
     let domain = 1usize << s;
     let mut builder = cspdb_core::VocabularyBuilder::new();
     for (i, _) in views.iter().enumerate() {
@@ -144,7 +148,9 @@ pub fn constraint_template(q: &Regex, views: &[View], alphabet: &[char]) -> Cons
         }
     }
     let s0_mask: usize = aq.start.iter().fold(0, |m, &q| m | (1 << q));
-    let f_mask: usize = (0..s).filter(|&q| aq.accepting[q]).fold(0, |m, q| m | (1 << q));
+    let f_mask: usize = (0..s)
+        .filter(|&q| aq.accepting[q])
+        .fold(0, |m, q| m | (1 << q));
     let uc = voc.id("Uc").expect("declared");
     let ud = voc.id("Ud").expect("declared");
     for sigma in 0..domain {
@@ -182,8 +188,10 @@ pub fn extension_structure(
             a.insert(vid, &[x, y]).expect("in range");
         }
     }
-    a.insert(voc.id("Uc").expect("declared"), &[c]).expect("in range");
-    a.insert(voc.id("Ud").expect("declared"), &[d]).expect("in range");
+    a.insert(voc.id("Uc").expect("declared"), &[c])
+        .expect("in range");
+    a.insert(voc.id("Ud").expect("declared"), &[d])
+        .expect("in range");
     a
 }
 
@@ -215,6 +223,27 @@ impl CertainAnswering {
         cspdb_solver::find_homomorphism(&a, &self.template.template).is_none()
     }
 
+    /// [`Self::is_certain`] under a [`Budget`] on the underlying CSP
+    /// solve. The polarity flips through the reduction: the CSP is
+    /// satisfiable iff the pair is **not** certain, so `Sat` maps to
+    /// `Ok(false)`, `Unsat` to `Ok(true)`, and exhaustion stays
+    /// inconclusive (`Err`).
+    pub fn is_certain_budgeted(
+        &self,
+        exts: &Extensions,
+        c: u32,
+        d: u32,
+        budget: &Budget,
+    ) -> Result<bool, ExhaustionReason> {
+        let a = extension_structure(&self.template, exts, c, d);
+        let run = cspdb_solver::find_homomorphism_budgeted(&a, &self.template.template, budget);
+        match run.answer {
+            Answer::Sat(_) => Ok(false),
+            Answer::Unsat => Ok(true),
+            Answer::Unknown(reason) => Err(reason),
+        }
+    }
+
     /// The full certain-answer set `cert(Q, V) ⊆ D_V × D_V`.
     pub fn certain_answers(&self, exts: &Extensions) -> Vec<(u32, u32)> {
         let n = exts.num_objects as u32;
@@ -227,6 +256,29 @@ impl CertainAnswering {
             }
         }
         out
+    }
+
+    /// [`Self::certain_answers`] under a [`Budget`]: the budget is
+    /// sliced evenly across the `n²` candidate pairs, so one adversarial
+    /// pair cannot starve the rest. The first slice that exhausts aborts
+    /// the sweep (inconclusive).
+    pub fn certain_answers_budgeted(
+        &self,
+        exts: &Extensions,
+        budget: &Budget,
+    ) -> Result<Vec<(u32, u32)>, ExhaustionReason> {
+        let n = exts.num_objects as u32;
+        let pairs = (n as u64) * (n as u64);
+        let per_pair = budget.slice(1, pairs.max(1));
+        let mut out = Vec::new();
+        for c in 0..n {
+            for d in 0..n {
+                if self.is_certain_budgeted(exts, c, d, &per_pair)? {
+                    out.push((c, d));
+                }
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -316,7 +368,11 @@ pub fn certain_answer_bruteforce(
         let extra: usize = facts
             .iter()
             .enumerate()
-            .map(|(fi, _)| words_per_view[facts[fi].0][choice[fi]].len().saturating_sub(1))
+            .map(|(fi, _)| {
+                words_per_view[facts[fi].0][choice[fi]]
+                    .len()
+                    .saturating_sub(1)
+            })
             .sum();
         let mut db = GraphDb::new(exts.num_objects + extra, alphabet);
         let mut fresh = exts.num_objects as u32;
@@ -436,7 +492,9 @@ pub fn csp_to_views(b: &Structure) -> CspAsViews {
         View {
             name: "Vcolor".into(),
             definition: Regex::any_of(
-                (0..m as u32).map(|i| Regex::Literal(node_char(i))).collect(),
+                (0..m as u32)
+                    .map(|i| Regex::Literal(node_char(i)))
+                    .collect(),
             ),
         },
         View {
@@ -572,11 +630,27 @@ mod tests {
             pairs: vec![vec![(0, 1)]],
         };
         assert!(!certain_answer(&q, &views, &['a', 'b'], &exts, 0, 1));
-        assert!(!certain_answer_bruteforce(&q, &views, &['a', 'b'], &exts, 0, 1, 2));
+        assert!(!certain_answer_bruteforce(
+            &q,
+            &views,
+            &['a', 'b'],
+            &exts,
+            0,
+            1,
+            2
+        ));
         // But with Q = a|b it IS certain.
         let q2 = Regex::parse("a|b").unwrap();
         assert!(certain_answer(&q2, &views, &['a', 'b'], &exts, 0, 1));
-        assert!(certain_answer_bruteforce(&q2, &views, &['a', 'b'], &exts, 0, 1, 2));
+        assert!(certain_answer_bruteforce(
+            &q2,
+            &views,
+            &['a', 'b'],
+            &exts,
+            0,
+            1,
+            2
+        ));
     }
 
     #[test]
@@ -593,11 +667,27 @@ mod tests {
             pairs: vec![vec![(0, 1)]],
         };
         assert!(certain_answer(&q, &views, &['a'], &exts, 0, 1));
-        assert!(certain_answer_bruteforce(&q, &views, &['a'], &exts, 0, 1, 3));
+        assert!(certain_answer_bruteforce(
+            &q,
+            &views,
+            &['a'],
+            &exts,
+            0,
+            1,
+            3
+        ));
         // Q = aa is not certain (witness could be a single a).
         let q2 = Regex::parse("aa").unwrap();
         assert!(!certain_answer(&q2, &views, &['a'], &exts, 0, 1));
-        assert!(!certain_answer_bruteforce(&q2, &views, &['a'], &exts, 0, 1, 3));
+        assert!(!certain_answer_bruteforce(
+            &q2,
+            &views,
+            &['a'],
+            &exts,
+            0,
+            1,
+            3
+        ));
     }
 
     #[test]

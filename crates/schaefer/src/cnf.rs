@@ -72,8 +72,7 @@ impl Cnf {
     pub fn solve_brute_force(&self) -> Option<Vec<bool>> {
         assert!(self.num_vars <= 22, "brute force limited to 22 variables");
         for bits in 0u64..(1u64 << self.num_vars) {
-            let assignment: Vec<bool> =
-                (0..self.num_vars).map(|v| bits & (1 << v) != 0).collect();
+            let assignment: Vec<bool> = (0..self.num_vars).map(|v| bits & (1 << v) != 0).collect();
             if self.is_satisfied_by(&assignment) {
                 return Some(assignment);
             }

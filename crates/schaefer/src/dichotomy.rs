@@ -109,7 +109,9 @@ fn compile_xor(system: &mut XorSystem, scope: &[u32], relation: &Relation) {
                 acc == parity
             });
             if implied {
-                let vars = (0..arity).filter(|&i| subset & (1 << i) != 0).map(|i| scope[i]);
+                let vars = (0..arity)
+                    .filter(|&i| subset & (1 << i) != 0)
+                    .map(|i| scope[i]);
                 system.add_equation(vars, parity);
             }
         }
@@ -127,13 +129,6 @@ fn compile_xor(system: &mut XorSystem, scope: &[u32], relation: &Relation) {
 /// Panics if the instance is not Boolean (`num_values != 2`).
 pub fn solve_boolean(instance: &CspInstance) -> (SolverUsed, Option<Vec<u32>>) {
     assert_eq!(instance.num_values(), 2, "Schaefer requires Boolean values");
-    let relations: Vec<&Relation> = instance
-        .constraints()
-        .iter()
-        .map(|c| c.relation().as_ref())
-        .collect();
-    let classes = classify(relations.iter().copied());
-    let n = instance.num_vars();
 
     // Nullary degenerate constraints.
     if instance
@@ -144,18 +139,53 @@ pub fn solve_boolean(instance: &CspInstance) -> (SolverUsed, Option<Vec<u32>>) {
         return (SolverUsed::GenericSearch, None);
     }
 
+    match solve_boolean_polynomial(instance) {
+        Some(result) => result,
+        None => (SolverUsed::GenericSearch, cspdb_solver::solve_csp(instance)),
+    }
+}
+
+/// The tractable half of [`solve_boolean`]: classify the template and,
+/// when it lies in a Schaefer class, solve with the dedicated
+/// polynomial algorithm. Returns `None` for NP-side templates — no
+/// fallback search of any kind runs, so resource-governed callers can
+/// use this as a cheap first tier without risking an unbudgeted
+/// exponential blowup.
+///
+/// # Panics
+///
+/// Panics if the instance is not Boolean (`num_values != 2`).
+pub fn solve_boolean_polynomial(instance: &CspInstance) -> Option<(SolverUsed, Option<Vec<u32>>)> {
+    assert_eq!(instance.num_values(), 2, "Schaefer requires Boolean values");
+    let relations: Vec<&Relation> = instance
+        .constraints()
+        .iter()
+        .map(|c| c.relation().as_ref())
+        .collect();
+    let classes = classify(relations.iter().copied());
+    let n = instance.num_vars();
+
+    // Nullary degenerate constraints defeat the per-class compilers.
+    if instance
+        .constraints()
+        .iter()
+        .any(|c| c.scope().is_empty() && c.relation().is_empty())
+    {
+        return None;
+    }
+
     // Classes are ordered cheapest-first; the first match decides.
     if let Some(&class) = classes.first() {
         match class {
             SchaeferClass::ZeroValid => {
                 let sol = vec![0u32; n];
                 debug_assert!(instance.is_solution(&sol));
-                return (SolverUsed::ZeroValid, Some(sol));
+                return Some((SolverUsed::ZeroValid, Some(sol)));
             }
             SchaeferClass::OneValid => {
                 let sol = vec![1u32; n];
                 debug_assert!(instance.is_solution(&sol));
-                return (SolverUsed::OneValid, Some(sol));
+                return Some((SolverUsed::OneValid, Some(sol)));
             }
             SchaeferClass::Horn => {
                 let mut cnf = Cnf::new(n);
@@ -164,7 +194,7 @@ pub fn solve_boolean(instance: &CspInstance) -> (SolverUsed, Option<Vec<u32>>) {
                 }
                 let sol = solve_horn(&cnf).map(bools_to_u32);
                 debug_assert!(sol.as_ref().is_none_or(|s| instance.is_solution(s)));
-                return (SolverUsed::Horn, sol);
+                return Some((SolverUsed::Horn, sol));
             }
             SchaeferClass::DualHorn => {
                 let mut cnf = Cnf::new(n);
@@ -172,7 +202,7 @@ pub fn solve_boolean(instance: &CspInstance) -> (SolverUsed, Option<Vec<u32>>) {
                     compile_clauses(&mut cnf, c.scope(), c.relation(), Shape::DualHorn);
                 }
                 let sol = solve_dual_horn(&cnf).map(bools_to_u32);
-                return (SolverUsed::DualHorn, sol);
+                return Some((SolverUsed::DualHorn, sol));
             }
             SchaeferClass::Bijunctive => {
                 let mut cnf = Cnf::new(n);
@@ -180,7 +210,7 @@ pub fn solve_boolean(instance: &CspInstance) -> (SolverUsed, Option<Vec<u32>>) {
                     compile_clauses(&mut cnf, c.scope(), c.relation(), Shape::TwoCnf);
                 }
                 let sol = solve_2sat(&cnf).map(bools_to_u32);
-                return (SolverUsed::TwoSat, sol);
+                return Some((SolverUsed::TwoSat, sol));
             }
             SchaeferClass::Affine => {
                 let mut system = XorSystem::new(n);
@@ -188,14 +218,11 @@ pub fn solve_boolean(instance: &CspInstance) -> (SolverUsed, Option<Vec<u32>>) {
                     compile_xor(&mut system, c.scope(), c.relation());
                 }
                 let sol = solve_affine(&system).map(bools_to_u32);
-                return (SolverUsed::Affine, sol);
+                return Some((SolverUsed::Affine, sol));
             }
         }
     }
-    (
-        SolverUsed::GenericSearch,
-        cspdb_solver::solve_csp(instance),
-    )
+    None
 }
 
 fn bools_to_u32(bs: Vec<bool>) -> Vec<u32> {
@@ -320,8 +347,7 @@ mod tests {
                 let mut p = CspInstance::new(n, 2);
                 for _ in 0..(2 + next() % 5) {
                     let arity = template.arity();
-                    let scope: Vec<u32> =
-                        (0..arity).map(|_| (next() % n as u64) as u32).collect();
+                    let scope: Vec<u32> = (0..arity).map(|_| (next() % n as u64) as u32).collect();
                     // Repeated variables are legal; normalize is internal.
                     p.add_constraint(scope.into_boxed_slice(), template.clone())
                         .unwrap();

@@ -29,10 +29,9 @@ mod dichotomy;
 mod solvers;
 
 pub use classify::{
-    classify, is_affine_relation, is_bijunctive_relation, is_dual_horn_relation,
-    is_horn_relation, is_one_valid, is_zero_valid, relation_in_class, SchaeferClass,
-    ALL_CLASSES,
+    classify, is_affine_relation, is_bijunctive_relation, is_dual_horn_relation, is_horn_relation,
+    is_one_valid, is_zero_valid, relation_in_class, SchaeferClass, ALL_CLASSES,
 };
 pub use cnf::{Clause, Cnf};
-pub use dichotomy::{solve_boolean, SolverUsed};
+pub use dichotomy::{solve_boolean, solve_boolean_polynomial, SolverUsed};
 pub use solvers::{solve_2sat, solve_affine, solve_dual_horn, solve_horn, XorSystem};

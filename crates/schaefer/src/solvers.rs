@@ -211,7 +211,9 @@ impl XorSystem {
     /// True if the assignment satisfies every equation.
     pub fn is_satisfied_by(&self, assignment: &[bool]) -> bool {
         self.equations.iter().all(|(vars, rhs)| {
-            vars.iter().fold(false, |acc, &v| acc ^ assignment[v as usize]) == *rhs
+            vars.iter()
+                .fold(false, |acc, &v| acc ^ assignment[v as usize])
+                == *rhs
         })
     }
 }

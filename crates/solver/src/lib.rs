@@ -33,10 +33,74 @@ mod search;
 
 pub use domain::DomainSet;
 pub use problem::{Problem, TableConstraint};
-pub use search::{gac_fixpoint, Config, Outcome, Propagation, Search, Stats, VarOrder};
+pub use search::{
+    gac_fixpoint, gac_fixpoint_budgeted, Config, Outcome, Propagation, Search, Stats, VarOrder,
+};
 
-use cspdb_core::{CspInstance, PartialHom, Structure};
+use cspdb_core::budget::{Answer, Budget, ResourceUsage};
+use cspdb_core::{CoreError, CspInstance, PartialHom, Structure};
 use std::ops::ControlFlow;
+
+/// Result of a budgeted solve: three-valued [`Answer`] plus search
+/// statistics and resource consumption.
+///
+/// Soundness contract: `answer` is [`Answer::Sat`]/[`Answer::Unsat`]
+/// only when an unbudgeted run would return the same verdict;
+/// exhaustion yields [`Answer::Unknown`], never a wrong answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetedRun {
+    /// The (possibly inconclusive) verdict.
+    pub answer: Answer,
+    /// Search counters (nodes, backtracks, revisions, solutions).
+    pub stats: Stats,
+    /// Budget resources consumed.
+    pub usage: ResourceUsage,
+}
+
+fn run_budgeted(p: &Problem, config: Config, budget: &Budget) -> BudgetedRun {
+    let mut search = Search::with_budget(p, config, budget);
+    let mut found = None;
+    let outcome = search.run(None, |sol| {
+        found = Some(sol.to_vec());
+        ControlFlow::Break(())
+    });
+    let answer = match (found, outcome) {
+        (Some(witness), _) => Answer::Sat(witness),
+        (None, Outcome::Exhausted) => Answer::Unsat,
+        (None, Outcome::BudgetExhausted(reason)) => Answer::Unknown(reason),
+        (None, Outcome::NodeLimit) => {
+            Answer::Unknown(cspdb_core::ExhaustionReason::StepLimitExceeded)
+        }
+        // Unreachable: the callback only breaks after recording a witness.
+        (None, Outcome::Stopped) => Answer::Unsat,
+    };
+    BudgetedRun {
+        answer,
+        stats: search.stats(),
+        usage: search.usage(),
+    }
+}
+
+/// Decides `A -> B` under a [`Budget`]: `Sat` with a witness, a definite
+/// `Unsat`, or `Unknown` if the budget ran out first.
+pub fn find_homomorphism_budgeted(a: &Structure, b: &Structure, budget: &Budget) -> BudgetedRun {
+    run_budgeted(&Problem::from_structures(a, b), Config::default(), budget)
+}
+
+/// Solves a CSP instance under a [`Budget`].
+pub fn solve_csp_budgeted(instance: &CspInstance, budget: &Budget) -> BudgetedRun {
+    solve_csp_budgeted_with(instance, Config::default(), budget)
+}
+
+/// Solves a CSP instance under a [`Budget`] with an explicit search
+/// configuration.
+pub fn solve_csp_budgeted_with(
+    instance: &CspInstance,
+    config: Config,
+    budget: &Budget,
+) -> BudgetedRun {
+    run_budgeted(&Problem::from_csp(instance), config, budget)
+}
 
 /// Finds a homomorphism `A -> B` with the default configuration
 /// (MRV+degree, full GAC), or `None` if none exists.
@@ -92,19 +156,34 @@ pub fn enumerate_homomorphisms(a: &Structure, b: &Structure, limit: usize) -> Ve
 }
 
 /// Finds a homomorphism `A -> B` extending the given partial map, or
-/// `None` if no extension exists. This solves the *extension problem*
-/// used by conjunctive-query evaluation with distinguished variables and
-/// by core computation.
+/// `Ok(None)` if no extension exists. This solves the *extension
+/// problem* used by conjunctive-query evaluation with distinguished
+/// variables and by core computation.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `fixed` maps outside the domains of `a`/`b`.
-pub fn find_extension(a: &Structure, b: &Structure, fixed: &PartialHom) -> Option<Vec<u32>> {
+/// [`CoreError::VariableOutOfRange`] / [`CoreError::ElementOutOfRange`]
+/// if `fixed` maps outside the domains of `a` / `b`.
+pub fn find_extension(
+    a: &Structure,
+    b: &Structure,
+    fixed: &PartialHom,
+) -> Result<Option<Vec<u32>>, CoreError> {
     let p = Problem::from_structures(a, b);
     let mut seeds = p.initial_domains.clone();
     for (x, y) in fixed.iter() {
-        assert!((x as usize) < a.domain_size(), "source out of range");
-        assert!((y as usize) < b.domain_size(), "target out of range");
+        if (x as usize) >= a.domain_size() {
+            return Err(CoreError::VariableOutOfRange {
+                variable: x,
+                num_vars: a.domain_size(),
+            });
+        }
+        if (y as usize) >= b.domain_size() {
+            return Err(CoreError::ElementOutOfRange {
+                element: y,
+                domain_size: b.domain_size(),
+            });
+        }
         seeds[x as usize].assign(y);
     }
     let mut search = Search::new(&p, Config::default());
@@ -113,18 +192,28 @@ pub fn find_extension(a: &Structure, b: &Structure, fixed: &PartialHom) -> Optio
         found = Some(sol.to_vec());
         ControlFlow::Break(())
     });
-    found
+    Ok(found)
 }
 
 /// Finds a homomorphism `A -> B` where each variable is restricted to the
 /// provided candidate list (`restrictions[v]`); an empty slice for `v`
 /// means "unrestricted".
+///
+/// # Errors
+///
+/// [`CoreError::ScopeArityMismatch`] if `restrictions` does not have
+/// exactly one candidate list per element of `a`.
 pub fn find_restricted(
     a: &Structure,
     b: &Structure,
     restrictions: &[Vec<u32>],
-) -> Option<Vec<u32>> {
-    assert_eq!(restrictions.len(), a.domain_size(), "one list per variable");
+) -> Result<Option<Vec<u32>>, CoreError> {
+    if restrictions.len() != a.domain_size() {
+        return Err(CoreError::ScopeArityMismatch {
+            scope_len: restrictions.len(),
+            arity: a.domain_size(),
+        });
+    }
     let p = Problem::from_structures(a, b);
     let mut seeds = p.initial_domains.clone();
     for (v, allowed) in restrictions.iter().enumerate() {
@@ -139,7 +228,7 @@ pub fn find_restricted(
         found = Some(sol.to_vec());
         ControlFlow::Break(())
     });
-    found
+    Ok(found)
 }
 
 /// Solves a classical CSP instance; returns a satisfying assignment or
@@ -188,12 +277,17 @@ mod tests {
         let a = path(3);
         let b = clique(2);
         let fixed = PartialHom::from_pairs([(0, 1)]).unwrap();
-        let h = find_extension(&a, &b, &fixed).unwrap();
+        let h = find_extension(&a, &b, &fixed).unwrap().unwrap();
         assert_eq!(h[0], 1);
         assert!(is_homomorphism(&h, &a, &b));
         // Over-constrained: fix both endpoints of an edge to one color.
         let fixed = PartialHom::from_pairs([(0, 1), (1, 1)]).unwrap();
-        assert!(find_extension(&a, &b, &fixed).is_none());
+        assert!(find_extension(&a, &b, &fixed).unwrap().is_none());
+        // Out-of-range fixed points are errors, not panics.
+        let fixed = PartialHom::from_pairs([(9, 0)]).unwrap();
+        assert!(find_extension(&a, &b, &fixed).is_err());
+        let fixed = PartialHom::from_pairs([(0, 9)]).unwrap();
+        assert!(find_extension(&a, &b, &fixed).is_err());
     }
 
     #[test]
@@ -201,11 +295,17 @@ mod tests {
         let a = path(3);
         let b = clique(3);
         // Restrict middle vertex to color 2; endpoints to {0,1}.
-        let h = find_restricted(&a, &b, &[vec![0, 1], vec![2], vec![0, 1]]).unwrap();
+        let h = find_restricted(&a, &b, &[vec![0, 1], vec![2], vec![0, 1]])
+            .unwrap()
+            .unwrap();
         assert_eq!(h[1], 2);
         assert!(h[0] < 2 && h[2] < 2);
         // Empty restriction list means unrestricted.
-        assert!(find_restricted(&a, &b, &[vec![], vec![], vec![]]).is_some());
+        assert!(find_restricted(&a, &b, &[vec![], vec![], vec![]])
+            .unwrap()
+            .is_some());
+        // Wrong number of lists is an error, not a panic.
+        assert!(find_restricted(&a, &b, &[vec![], vec![]]).is_err());
     }
 
     #[test]

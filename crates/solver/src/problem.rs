@@ -160,9 +160,7 @@ mod tests {
         let p = Problem::from_structures(&a, &b);
         for (v, list) in p.var_constraints.iter().enumerate() {
             for &ci in list {
-                assert!(p.constraints[ci as usize]
-                    .scope
-                    .contains(&(v as u32)));
+                assert!(p.constraints[ci as usize].scope.contains(&(v as u32)));
             }
         }
         // Every constraint is registered with each scope variable.

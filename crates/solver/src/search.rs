@@ -8,6 +8,8 @@
 
 use std::ops::ControlFlow;
 
+use cspdb_core::budget::{Budget, ExhaustionReason, Meter, ResourceUsage};
+
 use crate::domain::DomainSet;
 use crate::problem::Problem;
 
@@ -71,6 +73,11 @@ pub enum Outcome {
     Stopped,
     /// The node limit was hit before exhausting the space.
     NodeLimit,
+    /// The attached [`Budget`] ran out before exhausting the space.
+    ///
+    /// Solutions delivered before exhaustion are still valid; the
+    /// *absence* of solutions is inconclusive.
+    BudgetExhausted(ExhaustionReason),
 }
 
 /// Runs generalized arc consistency to a fixpoint on the problem's
@@ -79,18 +86,29 @@ pub enum Outcome {
 /// the 2-pebble-game / canonical-Datalog approximation of Sections 4–5
 /// of the paper).
 pub fn gac_fixpoint(problem: &Problem) -> Option<Vec<DomainSet>> {
+    gac_fixpoint_budgeted(problem, &Budget::unlimited()).expect("unlimited budget cannot exhaust")
+}
+
+/// [`gac_fixpoint`] under a [`Budget`]: `Err` when the budget ran out
+/// mid-fixpoint (inconclusive), otherwise the same contract — `Ok(None)`
+/// is a *sound* refutation, `Ok(Some(domains))` the GAC-filtered
+/// domains.
+pub fn gac_fixpoint_budgeted(
+    problem: &Problem,
+    budget: &Budget,
+) -> Result<Option<Vec<DomainSet>>, ExhaustionReason> {
     if problem.trivially_false {
-        return None;
+        return Ok(None);
     }
     let mut domains = problem.initial_domains.clone();
     if domains.iter().any(DomainSet::is_empty) && problem.num_vars > 0 {
-        return None;
+        return Ok(None);
     }
-    let mut search = Search::new(problem, Config::default());
-    if search.propagate_all(&mut domains) {
-        Some(domains)
+    let mut search = Search::with_budget(problem, Config::default(), budget);
+    if search.propagate_all(&mut domains)? {
+        Ok(Some(domains))
     } else {
-        None
+        Ok(None)
     }
 }
 
@@ -99,21 +117,36 @@ pub struct Search<'p> {
     problem: &'p Problem,
     config: Config,
     stats: Stats,
+    meter: Meter,
 }
 
 impl<'p> Search<'p> {
-    /// Creates a search with the given configuration.
+    /// Creates a search with the given configuration and no resource
+    /// budget.
     pub fn new(problem: &'p Problem, config: Config) -> Self {
+        Search::with_budget(problem, config, &Budget::unlimited())
+    }
+
+    /// Creates a search governed by `budget`: the run returns
+    /// [`Outcome::BudgetExhausted`] as soon as a limit trips (checked at
+    /// every node and, amortised, inside propagation).
+    pub fn with_budget(problem: &'p Problem, config: Config, budget: &Budget) -> Self {
         Search {
             problem,
             config,
             stats: Stats::default(),
+            meter: budget.meter(),
         }
     }
 
     /// Statistics accumulated so far.
     pub fn stats(&self) -> Stats {
         self.stats
+    }
+
+    /// Budget resources consumed so far.
+    pub fn usage(&self) -> ResourceUsage {
+        self.meter.usage()
     }
 
     /// Runs the search, invoking `on_solution` for every solution found
@@ -137,10 +170,12 @@ impl<'p> Search<'p> {
             d.intersect_with(&self.problem.initial_domains[v]);
         }
         // Root propagation under GAC catches immediate wipeouts.
-        if matches!(self.config.propagation, Propagation::Gac)
-            && !self.propagate_all(&mut domains)
-        {
-            return Outcome::Exhausted;
+        if matches!(self.config.propagation, Propagation::Gac) {
+            match self.propagate_all(&mut domains) {
+                Ok(true) => {}
+                Ok(false) => return Outcome::Exhausted,
+                Err(reason) => return Outcome::BudgetExhausted(reason),
+            }
         }
         if domains.iter().any(DomainSet::is_empty) && self.problem.num_vars > 0 {
             return Outcome::Exhausted;
@@ -150,6 +185,7 @@ impl<'p> Search<'p> {
             ControlFlow::Continue(()) => Outcome::Exhausted,
             ControlFlow::Break(Stop::Requested) => Outcome::Stopped,
             ControlFlow::Break(Stop::NodeLimit) => Outcome::NodeLimit,
+            ControlFlow::Break(Stop::Budget(reason)) => Outcome::BudgetExhausted(reason),
         }
     }
 
@@ -182,14 +218,21 @@ impl<'p> Search<'p> {
                     return ControlFlow::Break(Stop::NodeLimit);
                 }
             }
+            if let Err(reason) = self.meter.tick() {
+                return ControlFlow::Break(Stop::Budget(reason));
+            }
             self.stats.nodes += 1;
             let saved = domains.clone();
             domains[var].assign(value);
             assigned[var] = true;
             let ok = match self.config.propagation {
-                Propagation::Backcheck => self.backcheck(domains, assigned, var),
+                Propagation::Backcheck => Ok(self.backcheck(domains, assigned, var)),
                 Propagation::Forward => self.propagate_from(domains, var, false),
                 Propagation::Gac => self.propagate_from(domains, var, true),
+            };
+            let ok = match ok {
+                Ok(ok) => ok,
+                Err(reason) => return ControlFlow::Break(Stop::Budget(reason)),
             };
             if ok {
                 self.backtrack(domains, assigned, depth + 1, on_solution)?;
@@ -277,18 +320,25 @@ impl<'p> Search<'p> {
 
     /// Propagates starting from the constraints of `var`. If `fixpoint`
     /// is set, continues until quiescence (MAC); otherwise does a single
-    /// pass (forward checking). Returns false on domain wipeout.
-    fn propagate_from(&mut self, domains: &mut [DomainSet], var: usize, fixpoint: bool) -> bool {
+    /// pass (forward checking). `Ok(false)` on domain wipeout, `Err` if
+    /// the budget ran out mid-propagation.
+    fn propagate_from(
+        &mut self,
+        domains: &mut [DomainSet],
+        var: usize,
+        fixpoint: bool,
+    ) -> Result<bool, ExhaustionReason> {
         let mut queue: Vec<u32> = self.problem.var_constraints[var].clone();
         let mut queued: Vec<bool> = vec![false; self.problem.constraints.len()];
         for &ci in &queue {
             queued[ci as usize] = true;
         }
         while let Some(ci) = queue.pop() {
+            self.meter.tick()?;
             queued[ci as usize] = false;
             let (changed, wiped) = self.revise(domains, ci);
             if wiped {
-                return false;
+                return Ok(false);
             }
             if changed && fixpoint {
                 let scope = self.problem.constraints[ci as usize].scope.clone();
@@ -302,19 +352,20 @@ impl<'p> Search<'p> {
                 }
             }
         }
-        true
+        Ok(true)
     }
 
     /// Propagates every constraint to a fixpoint (root preprocessing).
-    /// Returns false on wipeout.
-    fn propagate_all(&mut self, domains: &mut [DomainSet]) -> bool {
+    /// `Ok(false)` on wipeout, `Err` on budget exhaustion.
+    fn propagate_all(&mut self, domains: &mut [DomainSet]) -> Result<bool, ExhaustionReason> {
         let mut queue: Vec<u32> = (0..self.problem.constraints.len() as u32).collect();
         let mut queued: Vec<bool> = vec![true; self.problem.constraints.len()];
         while let Some(ci) = queue.pop() {
+            self.meter.tick()?;
             queued[ci as usize] = false;
             let (changed, wiped) = self.revise(domains, ci);
             if wiped {
-                return false;
+                return Ok(false);
             }
             if changed {
                 let scope = self.problem.constraints[ci as usize].scope.clone();
@@ -328,13 +379,14 @@ impl<'p> Search<'p> {
                 }
             }
         }
-        true
+        Ok(true)
     }
 }
 
 enum Stop {
     Requested,
     NodeLimit,
+    Budget(ExhaustionReason),
 }
 
 #[cfg(test)]
@@ -360,9 +412,11 @@ mod tests {
         for (a, b) in &cases {
             let mut counts = Vec::new();
             for var_order in [VarOrder::Lex, VarOrder::Mrv, VarOrder::MrvDegree] {
-                for propagation in
-                    [Propagation::Backcheck, Propagation::Forward, Propagation::Gac]
-                {
+                for propagation in [
+                    Propagation::Backcheck,
+                    Propagation::Forward,
+                    Propagation::Gac,
+                ] {
                     counts.push(count(
                         a,
                         b,
@@ -455,7 +509,8 @@ mod tests {
         use std::sync::Arc;
         // A unary constraint with an empty relation empties the domain.
         let mut csp = CspInstance::new(2, 2);
-        csp.add_constraint([0], Arc::new(Relation::empty(1))).unwrap();
+        csp.add_constraint([0], Arc::new(Relation::empty(1)))
+            .unwrap();
         let p = Problem::from_csp(&csp);
         let mut s = Search::new(&p, Config::default());
         let outcome = s.run(None, |_| ControlFlow::Continue(()));

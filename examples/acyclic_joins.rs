@@ -10,9 +10,7 @@
 //! Run with: `cargo run --example acyclic_joins`
 
 use constraint_db::core::{CspInstance, Relation};
-use constraint_db::decomp::{
-    exact_treewidth, hypertree_heuristic, Graph, Hypergraph,
-};
+use constraint_db::decomp::{exact_treewidth, hypertree_heuristic, Graph, Hypergraph};
 use constraint_db::relalg::{is_acyclic_instance, solve_acyclic, solve_by_join};
 use std::sync::Arc;
 
@@ -20,7 +18,8 @@ fn neq(d: usize) -> Arc<Relation> {
     Arc::new(
         Relation::from_tuples(
             2,
-            (0..d as u32).flat_map(|i| (0..d as u32).filter_map(move |j| (i != j).then_some([i, j]))),
+            (0..d as u32)
+                .flat_map(|i| (0..d as u32).filter_map(move |j| (i != j).then_some([i, j]))),
         )
         .unwrap(),
     )
@@ -50,7 +49,10 @@ fn main() {
     println!("GYO: acyclic? {}", is_acyclic_instance(&triangle));
     assert!(solve_acyclic(&triangle).is_err(), "Yannakakis must refuse");
     println!("Yannakakis refuses (NotAcyclic); falling back to the join:");
-    println!("full join solvable:   {}", solve_by_join(&triangle).is_some());
+    println!(
+        "full join solvable:   {}",
+        solve_by_join(&triangle).is_some()
+    );
     println!();
 
     // (c) Width measures on the instances' structures.
@@ -80,7 +82,11 @@ fn main() {
     println!(
         "C5 -> K3 via hypertree decomposition of width {}: {}",
         hd.width(),
-        if sol.is_some() { "solvable" } else { "unsolvable" }
+        if sol.is_some() {
+            "solvable"
+        } else {
+            "unsolvable"
+        }
     );
     assert!(sol.is_some());
     println!();

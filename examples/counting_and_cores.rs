@@ -68,7 +68,8 @@ fn main() {
     let neq = Arc::new(
         Relation::from_tuples(
             2,
-            (0..d as u32).flat_map(|i| (0..d as u32).filter_map(move |j| (i != j).then_some([i, j]))),
+            (0..d as u32)
+                .flat_map(|i| (0..d as u32).filter_map(move |j| (i != j).then_some([i, j]))),
         )
         .unwrap(),
     );

@@ -34,9 +34,21 @@ fn main() {
         let truth = constraint_db::core::graphs::two_coloring(&g).is_none();
         println!(
             "C{n:<5} {:>14} {:>18} {:>22}",
-            if datalog_refutes { "derives Q" } else { "silent" },
-            if spoiler { "Spoiler wins" } else { "Duplicator wins" },
-            if truth { "not 2-colorable" } else { "2-colorable" }
+            if datalog_refutes {
+                "derives Q"
+            } else {
+                "silent"
+            },
+            if spoiler {
+                "Spoiler wins"
+            } else {
+                "Duplicator wins"
+            },
+            if truth {
+                "not 2-colorable"
+            } else {
+                "2-colorable"
+            }
         );
         assert_eq!(datalog_refutes, truth);
         assert_eq!(spoiler, truth);

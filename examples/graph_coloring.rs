@@ -81,7 +81,11 @@ fn main() {
         let report = auto_solve(&g, &clique(3));
         let verdict = match &report.witness {
             Some(h) => {
-                assert!(constraint_db::core::is_homomorphism(&h.clone(), &g, &clique(3)));
+                assert!(constraint_db::core::is_homomorphism(
+                    &h.clone(),
+                    &g,
+                    &clique(3)
+                ));
                 "3-colorable"
             }
             None => "NOT 3-colorable",
@@ -105,7 +109,11 @@ fn main() {
                 "  K{} -> K{} with {pebbles} pebbles: {}",
                 k + 1,
                 k,
-                if refuted { "Spoiler wins (refuted)" } else { "Duplicator survives" }
+                if refuted {
+                    "Spoiler wins (refuted)"
+                } else {
+                    "Duplicator survives"
+                }
             );
         }
     }

@@ -8,11 +8,11 @@
 //!
 //! Run with: `cargo run --example query_containment`
 
+use constraint_db::core::graphs::digraph;
 use constraint_db::cq::{
     are_equivalent, canonical_database, evaluate_by_join, is_contained_in, minimize,
     ConjunctiveQuery,
 };
-use constraint_db::core::graphs::digraph;
 
 fn main() {
     // The paper's running example query.

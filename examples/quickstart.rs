@@ -67,7 +67,10 @@ fn main() {
     // View 3: canonical conjunctive query (Proposition 2.3).
     let phi = cq::canonical_query(&wheel);
     println!("== View 3: canonical query φ_A (Proposition 2.3) ==");
-    println!("φ_A has {} atoms; evaluating on K3 and K4:", phi.atoms.len());
+    println!(
+        "φ_A has {} atoms; evaluating on K3 and K4:",
+        phi.atoms.len()
+    );
     let on_k3 = cq::boolean_holds(&phi, &k3).unwrap();
     let on_k4 = cq::boolean_holds(&phi, &k4).unwrap();
     println!("φ_A true in K3: {on_k3};  φ_A true in K4: {on_k4}");

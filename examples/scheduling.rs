@@ -17,7 +17,14 @@ use constraint_db::{auto_solve_csp, Strategy};
 use std::sync::Arc;
 
 const EXAMS: [&str; 8] = [
-    "algebra", "biology", "chemistry", "databases", "ethics", "french", "geometry", "history",
+    "algebra",
+    "biology",
+    "chemistry",
+    "databases",
+    "ethics",
+    "french",
+    "geometry",
+    "history",
 ];
 const SLOTS: usize = 4;
 

@@ -9,9 +9,7 @@
 //!
 //! Run with: `cargo run --example semistructured_views`
 
-use constraint_db::rpq::{
-    certain_answer, maximal_rewriting, Extensions, GraphDb, Regex, View,
-};
+use constraint_db::rpq::{certain_answer, maximal_rewriting, Extensions, GraphDb, Regex, View};
 
 fn main() {
     // An edge-labeled graph: pages linked by `a` (article link) and

@@ -11,23 +11,50 @@
 //! cspdb treewidth <edges-file>        exact treewidth (n ≤ 64) + decomposition
 //! ```
 //!
+//! Resource-governance flags (accepted anywhere after the subcommand,
+//! honored by `color`, `sat`, `datalog`, and `treewidth`):
+//!
+//! ```text
+//! --timeout-ms <n>   wall-clock budget in milliseconds
+//! --steps <n>        solver step budget
+//! --tuples <n>       materialized-tuple budget
+//! ```
+//!
+//! When a budget runs out the command prints `UNKNOWN (<reason>)` and
+//! exits with code 2 instead of hanging.
+//!
 //! Facts files: one fact per line, `Pred arg1 arg2 ...`; `#` comments.
 //! All vertex/argument ids are nonnegative integers.
 
+use constraint_db::core::budget::Budget;
 use constraint_db::core::{Structure, VocabularyBuilder};
 use std::process::ExitCode;
 
+/// A command either finished (printing its result) or ran out of budget
+/// (the payload is the printed `UNKNOWN` reason, mapped to exit code 2).
+enum CmdOutcome {
+    Done,
+    OutOfBudget,
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let budget = match extract_budget(&mut args) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let result = match args.first().map(String::as_str) {
-        Some("color") => cmd_color(&args[1..]),
-        Some("sat") => cmd_sat(&args[1..]),
-        Some("datalog") => cmd_datalog(&args[1..]),
-        Some("cq") => cmd_cq(&args[1..]),
-        Some("contain") => cmd_contain(&args[1..]),
-        Some("minimize") => cmd_minimize(&args[1..]),
-        Some("rpq") => cmd_rpq(&args[1..]),
-        Some("treewidth") => cmd_treewidth(&args[1..]),
+        Some("color") => cmd_color(&args[1..], &budget),
+        Some("sat") => cmd_sat(&args[1..], &budget),
+        Some("datalog") => cmd_datalog(&args[1..], &budget),
+        Some("cq") => cmd_cq(&args[1..]).map(|()| CmdOutcome::Done),
+        Some("contain") => cmd_contain(&args[1..]).map(|()| CmdOutcome::Done),
+        Some("minimize") => cmd_minimize(&args[1..]).map(|()| CmdOutcome::Done),
+        Some("rpq") => cmd_rpq(&args[1..]).map(|()| CmdOutcome::Done),
+        Some("treewidth") => cmd_treewidth(&args[1..], &budget),
         Some("help") | Some("--help") | Some("-h") | None => {
             eprintln!("{}", USAGE);
             return ExitCode::SUCCESS;
@@ -35,7 +62,8 @@ fn main() -> ExitCode {
         Some(other) => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(CmdOutcome::Done) => ExitCode::SUCCESS,
+        Ok(CmdOutcome::OutOfBudget) => ExitCode::from(2),
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
@@ -51,7 +79,34 @@ const USAGE: &str = "usage:
   cspdb contain \"<q1>\" \"<q2>\"
   cspdb minimize \"<query>\"
   cspdb rpq \"<regex>\" <labeled-edges-file>
-  cspdb treewidth <edges-file>";
+  cspdb treewidth <edges-file>
+budget flags (color/sat/datalog/treewidth): --timeout-ms <n> --steps <n> --tuples <n>";
+
+/// Strips `--timeout-ms/--steps/--tuples <n>` from `args` and builds the
+/// corresponding [`Budget`] (unlimited when no flag is given).
+fn extract_budget(args: &mut Vec<String>) -> Result<Budget, String> {
+    let mut budget = Budget::unlimited();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        match flag.as_str() {
+            "--timeout-ms" | "--steps" | "--tuples" => {
+                if i + 1 >= args.len() {
+                    return Err(format!("{flag} requires a value"));
+                }
+                let v: u64 = args[i + 1].parse().map_err(|e| format!("{flag}: {e}"))?;
+                budget = match flag.as_str() {
+                    "--timeout-ms" => budget.with_deadline(std::time::Duration::from_millis(v)),
+                    "--steps" => budget.with_step_limit(v),
+                    _ => budget.with_tuple_limit(v),
+                };
+                args.drain(i..i + 2);
+            }
+            _ => i += 1,
+        }
+    }
+    Ok(budget)
+}
 
 fn read(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
@@ -80,7 +135,14 @@ fn parse_edges(src: &str) -> Result<(usize, Vec<(u32, u32)>), String> {
         max = max.max(u).max(v);
         edges.push((u, v));
     }
-    Ok((if edges.is_empty() { 0 } else { max as usize + 1 }, edges))
+    Ok((
+        if edges.is_empty() {
+            0
+        } else {
+            max as usize + 1
+        },
+        edges,
+    ))
 }
 
 /// Parses a facts file "Pred a1 a2 ..." into a structure.
@@ -95,7 +157,10 @@ fn parse_facts(src: &str) -> Result<Structure, String> {
         let mut it = line.split_whitespace();
         let pred = it.next().expect("nonempty line").to_owned();
         let args: Vec<u32> = it
-            .map(|a| a.parse::<u32>().map_err(|e| format!("line {}: {e}", ln + 1)))
+            .map(|a| {
+                a.parse::<u32>()
+                    .map_err(|e| format!("line {}: {e}", ln + 1))
+            })
             .collect::<Result<_, _>>()?;
         for &a in &args {
             max = max.max(a);
@@ -117,7 +182,7 @@ fn parse_facts(src: &str) -> Result<Structure, String> {
     Ok(s)
 }
 
-fn cmd_color(args: &[String]) -> Result<(), String> {
+fn cmd_color(args: &[String], budget: &Budget) -> Result<CmdOutcome, String> {
     let [k, path] = args else {
         return Err("usage: cspdb color <k> <edges-file>".into());
     };
@@ -125,23 +190,30 @@ fn cmd_color(args: &[String]) -> Result<(), String> {
     let (n, edges) = parse_edges(&read(path)?)?;
     let g = constraint_db::core::graphs::undirected(n, &edges);
     let h = constraint_db::core::graphs::clique(k);
-    let report = constraint_db::auto_solve(&g, &h);
-    match report.witness {
-        Some(coloring) => {
-            println!("{k}-colorable (via {:?})", report.strategy);
+    let report = constraint_db::auto_solve_governed(&g, &h, budget);
+    use constraint_db::core::budget::Answer;
+    match report.answer {
+        Answer::Sat(coloring) => {
+            let via = report.strategy.expect("decided");
+            println!("{k}-colorable (via {via})");
             for (v, c) in coloring.iter().enumerate() {
                 println!("{v} {c}");
             }
-            Ok(())
+            Ok(CmdOutcome::Done)
         }
-        None => {
-            println!("not {k}-colorable (via {:?})", report.strategy);
-            Ok(())
+        Answer::Unsat => {
+            let via = report.strategy.expect("decided");
+            println!("not {k}-colorable (via {via})");
+            Ok(CmdOutcome::Done)
+        }
+        Answer::Unknown(reason) => {
+            println!("UNKNOWN ({reason})");
+            Ok(CmdOutcome::OutOfBudget)
         }
     }
 }
 
-fn cmd_sat(args: &[String]) -> Result<(), String> {
+fn cmd_sat(args: &[String], budget: &Budget) -> Result<CmdOutcome, String> {
     let [path] = args else {
         return Err("usage: cspdb sat <dimacs-file>".into());
     };
@@ -179,10 +251,12 @@ fn cmd_sat(args: &[String]) -> Result<(), String> {
         cnf.add_clause(c);
     }
     let csp = cspdb_gen::cnf_to_csp(&cnf);
-    let (used, sol) = cspdb_schaefer::solve_boolean(&csp);
-    match sol {
-        Some(model) => {
-            println!("SATISFIABLE (via {used:?})");
+    let report = constraint_db::auto_solve_governed_csp(&csp, budget);
+    use constraint_db::core::budget::Answer;
+    match report.answer {
+        Answer::Sat(model) => {
+            let via = report.strategy.expect("decided");
+            println!("SATISFIABLE (via {via})");
             let lits: Vec<String> = model
                 .iter()
                 .enumerate()
@@ -195,19 +269,34 @@ fn cmd_sat(args: &[String]) -> Result<(), String> {
                 })
                 .collect();
             println!("v {} 0", lits.join(" "));
+            Ok(CmdOutcome::Done)
         }
-        None => println!("UNSATISFIABLE (via {used:?})"),
+        Answer::Unsat => {
+            let via = report.strategy.expect("decided");
+            println!("UNSATISFIABLE (via {via})");
+            Ok(CmdOutcome::Done)
+        }
+        Answer::Unknown(reason) => {
+            println!("UNKNOWN ({reason})");
+            Ok(CmdOutcome::OutOfBudget)
+        }
     }
-    Ok(())
 }
 
-fn cmd_datalog(args: &[String]) -> Result<(), String> {
+fn cmd_datalog(args: &[String], budget: &Budget) -> Result<CmdOutcome, String> {
     let [program_path, facts_path] = args else {
         return Err("usage: cspdb datalog <program-file> <facts-file>".into());
     };
     let program = cspdb_datalog::parse_program(&read(program_path)?)?;
     let edb = parse_facts(&read(facts_path)?)?;
-    let eval = cspdb_datalog::evaluate(&program, &edb)?;
+    let eval = match cspdb_datalog::evaluate_budgeted(&program, &edb, budget) {
+        Ok(eval) => eval,
+        Err(cspdb_datalog::EvalError::Exhausted(reason)) => {
+            println!("UNKNOWN ({reason})");
+            return Ok(CmdOutcome::OutOfBudget);
+        }
+        Err(cspdb_datalog::EvalError::Invalid(msg)) => return Err(msg),
+    };
     println!(
         "fixpoint after {} iterations, {} facts derived",
         eval.iterations, eval.derived_facts
@@ -227,7 +316,7 @@ fn cmd_datalog(args: &[String]) -> Result<(), String> {
     if goal.len() > 50 {
         println!("... ({} more)", goal.len() - 50);
     }
-    Ok(())
+    Ok(CmdOutcome::Done)
 }
 
 fn cmd_cq(args: &[String]) -> Result<(), String> {
@@ -297,9 +386,7 @@ fn cmd_rpq(args: &[String]) -> Result<(), String> {
             .ok_or(format!("line {}: missing source", ln + 1))?
             .parse()
             .map_err(|e| format!("line {}: {e}", ln + 1))?;
-        let label = it
-            .next()
-            .ok_or(format!("line {}: missing label", ln + 1))?;
+        let label = it.next().ok_or(format!("line {}: missing label", ln + 1))?;
         if label.chars().count() != 1 {
             return Err(format!("line {}: label must be one character", ln + 1));
         }
@@ -315,7 +402,11 @@ fn cmd_rpq(args: &[String]) -> Result<(), String> {
     }
     alphabet.sort_unstable();
     alphabet.dedup();
-    let n = if edges.is_empty() { 0 } else { max as usize + 1 };
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max as usize + 1
+    };
     let mut db = cspdb_rpq::GraphDb::new(n, &alphabet);
     for (u, l, v) in edges {
         db.add_edge(u, l, v);
@@ -328,7 +419,7 @@ fn cmd_rpq(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_treewidth(args: &[String]) -> Result<(), String> {
+fn cmd_treewidth(args: &[String], budget: &Budget) -> Result<CmdOutcome, String> {
     let [path] = args else {
         return Err("usage: cspdb treewidth <edges-file>".into());
     };
@@ -337,7 +428,13 @@ fn cmd_treewidth(args: &[String]) -> Result<(), String> {
         return Err("exact treewidth supports at most 64 vertices".into());
     }
     let g = cspdb_decomp::Graph::from_edges(n, edges);
-    let (w, order) = cspdb_decomp::exact_treewidth(&g);
+    let (w, order) = match cspdb_decomp::exact_treewidth_budgeted(&g, budget) {
+        Ok(res) => res,
+        Err(reason) => {
+            println!("UNKNOWN ({reason})");
+            return Ok(CmdOutcome::OutOfBudget);
+        }
+    };
     let td = cspdb_decomp::from_elimination_order(&g, &order);
     td.validate(&g).map_err(|e| format!("internal: {e}"))?;
     println!("treewidth {w}");
@@ -350,5 +447,5 @@ fn cmd_treewidth(args: &[String]) -> Result<(), String> {
     for (a, b) in &td.edges {
         println!("edge {a} {b}");
     }
-    Ok(())
+    Ok(CmdOutcome::Done)
 }

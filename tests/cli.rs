@@ -86,11 +86,7 @@ fn cq_and_containment_and_minimize() {
     assert!(out.contains("1 answers"), "{out}");
     assert!(out.contains("(0,2)"), "{out}");
 
-    let (ok, out, _) = cspdb(&[
-        "contain",
-        "Q(X) :- E(X,Y), E(Y,Z)",
-        "Q(X) :- E(X,Y)",
-    ]);
+    let (ok, out, _) = cspdb(&["contain", "Q(X) :- E(X,Y), E(Y,Z)", "Q(X) :- E(X,Y)"]);
     assert!(ok);
     assert!(out.contains("Q1 ⊆ Q2: true"), "{out}");
     assert!(out.contains("Q2 ⊆ Q1: false"), "{out}");

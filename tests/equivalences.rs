@@ -73,8 +73,11 @@ fn normalization_preserves_semantics() {
     let mut p = CspInstance::new(3, 2);
     let r = Arc::new(Relation::from_tuples(2, [[0u32, 1], [1, 0], [1, 1]]).unwrap());
     p.add_constraint([0, 1], r.clone()).unwrap();
-    p.add_constraint([0, 1], Arc::new(Relation::from_tuples(2, [[0u32, 1], [1, 0]]).unwrap()))
-        .unwrap();
+    p.add_constraint(
+        [0, 1],
+        Arc::new(Relation::from_tuples(2, [[0u32, 1], [1, 0]]).unwrap()),
+    )
+    .unwrap();
     p.add_constraint([2, 2], r).unwrap(); // repeated variable
     let q = p.normalize_distinct().consolidate();
     assert_eq!(

@@ -27,7 +27,10 @@ fn homomorphisms_witness_duplicator_wins() {
     for (a, b) in pairs {
         assert!(homomorphism_exists(&a, &b), "precondition: hom exists");
         for k in 1..=3usize {
-            assert!(duplicator_wins(&a, &b, k), "hom implies Duplicator win (k={k})");
+            assert!(
+                duplicator_wins(&a, &b, k),
+                "hom implies Duplicator win (k={k})"
+            );
         }
     }
 }
@@ -38,10 +41,10 @@ fn non_2_colorability_is_preserved_along_game_wins() {
     // Pairs (A, B) where the Duplicator wins the 4-pebble game (via an
     // explicit homomorphism) and A is not 2-colorable.
     let pairs = [
-        (cycle(5), clique(3)),   // C5 -> K3
-        (cycle(9), cycle(3)),    // C9 -> C3 (odd wrap)
-        (cycle(7), cycle(7)),    // identity
-        (clique(3), clique(5)),  // K3 -> K5
+        (cycle(5), clique(3)),  // C5 -> K3
+        (cycle(9), cycle(3)),   // C9 -> C3 (odd wrap)
+        (cycle(7), cycle(7)),   // identity
+        (clique(3), clique(5)), // K3 -> K5
     ];
     for (a, b) in pairs {
         assert!(homomorphism_exists(&a, &b));

@@ -16,8 +16,7 @@ fn relation(arity: usize, d: u32, max_tuples: usize) -> impl Strategy<Value = Re
 /// Strategy: a small undirected graph as a structure.
 fn graph(n: usize) -> impl Strategy<Value = constraint_db::core::Structure> {
     prop::collection::vec((0..n as u32, 0..n as u32), 0..(n * 2)).prop_map(move |edges| {
-        let filtered: Vec<(u32, u32)> =
-            edges.into_iter().filter(|(u, v)| u != v).collect();
+        let filtered: Vec<(u32, u32)> = edges.into_iter().filter(|(u, v)| u != v).collect();
         constraint_db::core::graphs::undirected(n, &filtered)
     })
 }

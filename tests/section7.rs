@@ -84,8 +84,7 @@ fn certain_answers_match_bruteforce() {
         for c in 0..num_objects as u32 {
             for d in 0..num_objects as u32 {
                 let fast = oracle.is_certain(&exts, c, d);
-                let slow =
-                    certain_answer_bruteforce(&q, &views, &alphabet, &exts, c, d, 4);
+                let slow = certain_answer_bruteforce(&q, &views, &alphabet, &exts, c, d, 4);
                 assert_eq!(fast, slow, "query {qsrc}, pair ({c},{d})");
             }
         }
@@ -104,11 +103,7 @@ fn theorem_7_3_round_trip() {
     ];
     for b in &templates {
         let reduction = constraint_db::rpq::csp_to_views(b);
-        let oracle = CertainAnswering::new(
-            &reduction.query,
-            &reduction.views,
-            &reduction.alphabet,
-        );
+        let oracle = CertainAnswering::new(&reduction.query, &reduction.views, &reduction.alphabet);
         for seed in 0..5u64 {
             let n = 2 + (seed % 3) as usize;
             let mut edges = Vec::new();

@@ -48,8 +48,11 @@ fn acyclic_routes_agree() {
                     .flat_map(|i| (0..3u32).map(move |j| [i, j]))
                     .filter(|_| next() % 3 != 0)
                     .collect();
-                q.add_constraint([0, leaf], Arc::new(Relation::from_tuples(2, tuples).unwrap()))
-                    .unwrap();
+                q.add_constraint(
+                    [0, leaf],
+                    Arc::new(Relation::from_tuples(2, tuples).unwrap()),
+                )
+                .unwrap();
             }
             q
         };
