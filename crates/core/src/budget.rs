@@ -17,7 +17,7 @@
 //! if it says `Sat` or `Unsat` that answer agrees with the unbudgeted
 //! ground truth.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -38,6 +38,7 @@ pub const CHECK_INTERVAL: u64 = 1024;
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
+    parent: Option<Arc<CancelToken>>,
 }
 
 impl CancelToken {
@@ -46,14 +47,27 @@ impl CancelToken {
         Self::default()
     }
 
-    /// Requests cancellation. Idempotent; never blocks.
+    /// Requests cancellation. Idempotent; never blocks. Cancelling a
+    /// [`child`](Self::child) does not cancel its parent.
     pub fn cancel(&self) {
         self.flag.store(true, Ordering::Relaxed);
     }
 
-    /// True once [`cancel`](Self::cancel) has been called.
+    /// True once [`cancel`](Self::cancel) has been called on this token
+    /// or on any ancestor it was [`child`](Self::child)-derived from.
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Relaxed)
+        self.flag.load(Ordering::Relaxed) || self.parent.as_ref().is_some_and(|p| p.is_cancelled())
+    }
+
+    /// Derives a linked token: cancelling the parent cancels the child,
+    /// but cancelling the child leaves the parent (and its other
+    /// children) running. Portfolio racing uses this — the race's
+    /// "winner found" cancellation must not look like a caller abort.
+    pub fn child(&self) -> CancelToken {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            parent: Some(Arc::new(self.clone())),
+        }
     }
 }
 
@@ -203,6 +217,25 @@ impl Budget {
             tripped: None,
         }
     }
+
+    /// Starts enforcement shared across threads: the returned
+    /// [`SharedMeter`] draws every clone's steps and tuples from one
+    /// pair of atomic counters, so a parallel algorithm's *total* work
+    /// is bounded, not each worker's.
+    pub fn shared_meter(&self) -> SharedMeter {
+        SharedMeter {
+            inner: Arc::new(SharedMeterState {
+                start: Instant::now(),
+                deadline: self.deadline,
+                step_limit: self.step_limit,
+                tuple_limit: self.tuple_limit,
+                cancel: self.cancel.clone(),
+                steps: AtomicU64::new(0),
+                tuples: AtomicU64::new(0),
+                tripped: AtomicU8::new(TRIP_NONE),
+            }),
+        }
+    }
 }
 
 /// Resources consumed by a (possibly exhausted) run.
@@ -282,19 +315,29 @@ impl Meter {
     ///
     /// Unlike [`tick`](Meter::tick), the limit check is immediate: a
     /// single join step can materialise a huge batch, so amortising
-    /// here would defeat the cap.
+    /// here would defeat the cap. The *expensive* checks (deadline,
+    /// cancellation) are still amortised, at the same cadence as
+    /// `tick`: once per [`CHECK_INTERVAL`] tuples crossed. Without
+    /// this, a skewed join whose inner loop only charges tuples — one
+    /// outer row matching millions — would never observe a deadline or
+    /// a cancellation when no tuple cap is set.
     #[inline]
     pub fn charge_tuples(&mut self, n: u64) -> std::result::Result<(), ExhaustionReason> {
         if let Some(reason) = self.tripped {
             return Err(reason);
         }
-        self.tuples = self.tuples.saturating_add(n);
+        let before = self.tuples;
+        self.tuples = before.saturating_add(n);
         if let Some(limit) = self.tuple_limit {
             if self.tuples > limit {
                 return Err(self.trip(ExhaustionReason::TupleLimitExceeded));
             }
         }
-        Ok(())
+        if before / CHECK_INTERVAL != self.tuples / CHECK_INTERVAL {
+            self.checkpoint()
+        } else {
+            Ok(())
+        }
     }
 
     /// Forces the expensive checks (clock, cancellation) right now,
@@ -353,6 +396,224 @@ impl Meter {
             spent,
             limit,
         }
+    }
+}
+
+const TRIP_NONE: u8 = 0;
+
+fn reason_code(reason: ExhaustionReason) -> u8 {
+    match reason {
+        ExhaustionReason::DeadlineExceeded => 1,
+        ExhaustionReason::StepLimitExceeded => 2,
+        ExhaustionReason::TupleLimitExceeded => 3,
+        ExhaustionReason::Cancelled => 4,
+    }
+}
+
+fn decode_reason(code: u8) -> Option<ExhaustionReason> {
+    match code {
+        1 => Some(ExhaustionReason::DeadlineExceeded),
+        2 => Some(ExhaustionReason::StepLimitExceeded),
+        3 => Some(ExhaustionReason::TupleLimitExceeded),
+        4 => Some(ExhaustionReason::Cancelled),
+        _ => None,
+    }
+}
+
+/// [`Meter`]'s thread-shared counterpart: an `Arc`-shared enforcer whose
+/// step and tuple counters are atomics, so any number of worker threads
+/// can charge one budget concurrently. Cloning is cheap (one `Arc`
+/// bump) and every clone observes the same counters and the same
+/// latched trip, which is what makes cancellation propagate: the first
+/// worker to trip (or an external [`CancelToken::cancel`]) stops every
+/// other worker at its next checkpoint.
+///
+/// The fast path is one `fetch_add(Relaxed)`; the clock and the
+/// cancellation flag are read only when the *global* step count crosses
+/// a [`CHECK_INTERVAL`] boundary, so the amortisation contract of
+/// [`Meter`] carries over: a limit is observed within at most
+/// `CHECK_INTERVAL` units of total work across all workers.
+#[derive(Debug, Clone)]
+pub struct SharedMeter {
+    inner: Arc<SharedMeterState>,
+}
+
+#[derive(Debug)]
+struct SharedMeterState {
+    start: Instant,
+    deadline: Option<Duration>,
+    step_limit: Option<u64>,
+    tuple_limit: Option<u64>,
+    cancel: Option<CancelToken>,
+    steps: AtomicU64,
+    tuples: AtomicU64,
+    tripped: AtomicU8,
+}
+
+impl Default for SharedMeter {
+    /// An unlimited shared meter
+    /// (equivalent to `Budget::unlimited().shared_meter()`).
+    fn default() -> Self {
+        Budget::unlimited().shared_meter()
+    }
+}
+
+impl SharedMeter {
+    /// Records one elementary step; errs once the budget is exhausted.
+    /// Safe to call from any number of threads concurrently.
+    #[inline]
+    pub fn tick(&self) -> std::result::Result<(), ExhaustionReason> {
+        if let Some(reason) = self.exhausted() {
+            return Err(reason);
+        }
+        let steps = self.inner.steps.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(limit) = self.inner.step_limit {
+            if steps > limit {
+                return Err(self.trip(ExhaustionReason::StepLimitExceeded));
+            }
+        }
+        if steps & (CHECK_INTERVAL - 1) == 0 {
+            self.checkpoint()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Records `n` materialised tuples; the tuple-cap check is
+    /// immediate, the deadline/cancellation check amortised (same
+    /// contract as [`Meter::charge_tuples`]).
+    #[inline]
+    pub fn charge_tuples(&self, n: u64) -> std::result::Result<(), ExhaustionReason> {
+        if let Some(reason) = self.exhausted() {
+            return Err(reason);
+        }
+        let before = self
+            .inner
+            .tuples
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |t| {
+                Some(t.saturating_add(n))
+            })
+            .expect("fetch_update closure never returns None");
+        let after = before.saturating_add(n);
+        if let Some(limit) = self.inner.tuple_limit {
+            if after > limit {
+                return Err(self.trip(ExhaustionReason::TupleLimitExceeded));
+            }
+        }
+        if before / CHECK_INTERVAL != after / CHECK_INTERVAL {
+            self.checkpoint()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Forces the expensive checks (clock, cancellation) right now.
+    pub fn checkpoint(&self) -> std::result::Result<(), ExhaustionReason> {
+        if let Some(reason) = self.exhausted() {
+            return Err(reason);
+        }
+        if let Some(token) = &self.inner.cancel {
+            if token.is_cancelled() {
+                return Err(self.trip(ExhaustionReason::Cancelled));
+            }
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if self.inner.start.elapsed() >= deadline {
+                return Err(self.trip(ExhaustionReason::DeadlineExceeded));
+            }
+        }
+        Ok(())
+    }
+
+    /// Latches `reason`; the first trip wins and every clone observes it.
+    fn trip(&self, reason: ExhaustionReason) -> ExhaustionReason {
+        match self.inner.tripped.compare_exchange(
+            TRIP_NONE,
+            reason_code(reason),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => reason,
+            Err(prior) => decode_reason(prior).expect("latched code decodes"),
+        }
+    }
+
+    /// The latched exhaustion reason, if any limit has tripped.
+    pub fn exhausted(&self) -> Option<ExhaustionReason> {
+        decode_reason(self.inner.tripped.load(Ordering::Relaxed))
+    }
+
+    /// Resources consumed so far, totalled across every clone.
+    pub fn usage(&self) -> ResourceUsage {
+        ResourceUsage {
+            steps: self.inner.steps.load(Ordering::Relaxed),
+            tuples: self.inner.tuples.load(Ordering::Relaxed),
+            elapsed: self.inner.start.elapsed(),
+        }
+    }
+}
+
+/// The metering operations shared by [`Meter`] (single-threaded, plain
+/// counters) and [`SharedMeter`] (thread-shared, atomic counters).
+///
+/// Algorithms generic over `M: Metering` run unchanged sequentially or
+/// inside a parallel worker; the parallel caller hands each worker a
+/// clone of one `SharedMeter` so the *combined* work stays within one
+/// budget.
+pub trait Metering {
+    /// Records one elementary step; errs once the budget is exhausted.
+    fn tick(&mut self) -> std::result::Result<(), ExhaustionReason>;
+    /// Records `n` materialised tuples.
+    fn charge_tuples(&mut self, n: u64) -> std::result::Result<(), ExhaustionReason>;
+    /// Forces the expensive checks (clock, cancellation) right now.
+    fn checkpoint(&mut self) -> std::result::Result<(), ExhaustionReason>;
+    /// Resources consumed so far.
+    fn usage(&self) -> ResourceUsage;
+    /// The latched exhaustion reason, if any limit has tripped.
+    fn exhausted(&self) -> Option<ExhaustionReason>;
+}
+
+impl Metering for Meter {
+    fn tick(&mut self) -> std::result::Result<(), ExhaustionReason> {
+        Meter::tick(self)
+    }
+
+    fn charge_tuples(&mut self, n: u64) -> std::result::Result<(), ExhaustionReason> {
+        Meter::charge_tuples(self, n)
+    }
+
+    fn checkpoint(&mut self) -> std::result::Result<(), ExhaustionReason> {
+        Meter::checkpoint(self)
+    }
+
+    fn usage(&self) -> ResourceUsage {
+        Meter::usage(self)
+    }
+
+    fn exhausted(&self) -> Option<ExhaustionReason> {
+        Meter::exhausted(self)
+    }
+}
+
+impl Metering for SharedMeter {
+    fn tick(&mut self) -> std::result::Result<(), ExhaustionReason> {
+        SharedMeter::tick(self)
+    }
+
+    fn charge_tuples(&mut self, n: u64) -> std::result::Result<(), ExhaustionReason> {
+        SharedMeter::charge_tuples(self, n)
+    }
+
+    fn checkpoint(&mut self) -> std::result::Result<(), ExhaustionReason> {
+        SharedMeter::checkpoint(self)
+    }
+
+    fn usage(&self) -> ResourceUsage {
+        SharedMeter::usage(self)
+    }
+
+    fn exhausted(&self) -> Option<ExhaustionReason> {
+        SharedMeter::exhausted(self)
     }
 }
 
@@ -550,6 +811,186 @@ mod tests {
             }
             other => panic!("wrong error: {other:?}"),
         }
+    }
+
+    #[test]
+    fn charge_tuples_observes_deadline_without_tuple_cap() {
+        // Regression: a skewed join whose inner loop only charges
+        // tuples (no ticks) must still observe the deadline, even when
+        // no tuple cap is set.
+        let mut m = Budget::new()
+            .with_deadline(Duration::from_millis(1))
+            .meter();
+        thread::sleep(Duration::from_millis(3));
+        let mut tripped = false;
+        for _ in 0..=CHECK_INTERVAL {
+            if m.charge_tuples(1) == Err(ExhaustionReason::DeadlineExceeded) {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped, "deadline never observed through charge_tuples");
+    }
+
+    #[test]
+    fn charge_tuples_observes_cancellation_mid_batch() {
+        let token = CancelToken::new();
+        let mut m = Budget::new().with_cancel(token.clone()).meter();
+        token.cancel();
+        // A single huge batch crosses a CHECK_INTERVAL boundary, so the
+        // cancellation is observed on this very call.
+        assert_eq!(
+            m.charge_tuples(10 * CHECK_INTERVAL),
+            Err(ExhaustionReason::Cancelled)
+        );
+    }
+
+    #[test]
+    fn child_token_links_one_way() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        // Child cancellation does not propagate up.
+        child.cancel();
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled());
+        // Parent cancellation propagates down, even to other children.
+        let second = parent.child();
+        parent.cancel();
+        assert!(second.is_cancelled());
+    }
+
+    #[test]
+    fn shared_meter_counts_across_threads() {
+        let m = Budget::unlimited().shared_meter();
+        thread::scope(|s| {
+            for _ in 0..4 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        m.tick().unwrap();
+                        m.charge_tuples(2).unwrap();
+                    }
+                });
+            }
+        });
+        let u = m.usage();
+        assert_eq!(u.steps, 4000);
+        assert_eq!(u.tuples, 8000);
+        assert_eq!(m.exhausted(), None);
+    }
+
+    #[test]
+    fn shared_meter_step_limit_is_global() {
+        // Four workers share a 2000-step budget: the limit bounds their
+        // *sum*, and every worker observes the latched trip.
+        let m = Budget::new().with_step_limit(2000).shared_meter();
+        let mut reasons = Vec::new();
+        thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let m = m.clone();
+                    s.spawn(move || {
+                        for _ in 0..1000 {
+                            if let Err(r) = m.tick() {
+                                return Some(r);
+                            }
+                        }
+                        None
+                    })
+                })
+                .collect();
+            for h in handles {
+                reasons.push(h.join().unwrap());
+            }
+        });
+        let tripped = reasons.iter().filter(|r| r.is_some()).count();
+        assert!(tripped >= 2, "at least half the workers must trip");
+        for r in reasons.into_iter().flatten() {
+            assert_eq!(r, ExhaustionReason::StepLimitExceeded);
+        }
+        assert_eq!(m.exhausted(), Some(ExhaustionReason::StepLimitExceeded));
+        assert!(m.usage().steps <= 2000 + 4, "overshoot bounded by workers");
+    }
+
+    #[test]
+    fn shared_meter_first_trip_wins() {
+        let m = Budget::new()
+            .with_step_limit(1)
+            .with_tuple_limit(1)
+            .shared_meter();
+        m.tick().unwrap();
+        assert_eq!(m.tick(), Err(ExhaustionReason::StepLimitExceeded));
+        // A later, different violation reports the latched reason.
+        assert_eq!(
+            m.charge_tuples(100),
+            Err(ExhaustionReason::StepLimitExceeded)
+        );
+    }
+
+    #[test]
+    fn shared_meter_cancellation_stops_workers_promptly() {
+        // Bounded-latency cancellation: once the token fires, every
+        // worker unwinds within one CHECK_INTERVAL of further ticks.
+        let token = CancelToken::new();
+        let m = Budget::new().with_cancel(token.clone()).shared_meter();
+        thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let m = m.clone();
+                    s.spawn(move || {
+                        let mut ticks_after_latch = 0u64;
+                        loop {
+                            match m.tick() {
+                                Err(r) => return (r, ticks_after_latch),
+                                Ok(()) if m.exhausted().is_some() => ticks_after_latch += 1,
+                                Ok(()) => {}
+                            }
+                        }
+                    })
+                })
+                .collect();
+            token.cancel();
+            for h in handles {
+                let (reason, after_latch) = h.join().unwrap();
+                assert_eq!(reason, ExhaustionReason::Cancelled);
+                // A tick may pass its entry check concurrently with the
+                // latch, but the very next call must fail.
+                assert!(after_latch <= 1, "latched trip must fail the next call");
+            }
+        });
+    }
+
+    #[test]
+    fn shared_meter_deadline_trips() {
+        let m = Budget::new()
+            .with_deadline(Duration::from_millis(1))
+            .shared_meter();
+        thread::sleep(Duration::from_millis(3));
+        let mut tripped = false;
+        for _ in 0..=CHECK_INTERVAL {
+            if m.tick() == Err(ExhaustionReason::DeadlineExceeded) {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped);
+    }
+
+    #[test]
+    fn metering_trait_unifies_both_meters() {
+        fn burn<M: Metering>(meter: &mut M) -> std::result::Result<u64, ExhaustionReason> {
+            for _ in 0..10 {
+                meter.tick()?;
+                meter.charge_tuples(1)?;
+            }
+            Ok(meter.usage().steps)
+        }
+        let mut plain = Budget::unlimited().meter();
+        let mut shared = Budget::unlimited().shared_meter();
+        assert_eq!(burn(&mut plain), Ok(10));
+        assert_eq!(burn(&mut shared), Ok(10));
+        let mut capped = Budget::new().with_step_limit(5).shared_meter();
+        assert_eq!(burn(&mut capped), Err(ExhaustionReason::StepLimitExceeded));
     }
 
     #[test]

@@ -38,7 +38,9 @@ mod structure;
 pub mod sum;
 mod vocabulary;
 
-pub use budget::{Answer, Budget, CancelToken, ExhaustionReason, Meter, ResourceUsage};
+pub use budget::{
+    Answer, Budget, CancelToken, ExhaustionReason, Meter, Metering, ResourceUsage, SharedMeter,
+};
 pub use csp::{is_coherent, make_coherent, Constraint, CspInstance};
 pub use error::{CoreError, Result};
 pub use homomorphism::{compose, is_homomorphism, PartialHom};

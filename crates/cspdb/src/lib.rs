@@ -51,8 +51,9 @@ pub use cspdb_schaefer as schaefer;
 /// Backtracking search.
 pub use cspdb_solver as solver;
 
-use cspdb_core::budget::{Answer, Budget, ExhaustionReason};
+use cspdb_core::budget::{Answer, Budget, CancelToken, ExhaustionReason};
 use cspdb_core::{CspInstance, Structure};
+use rayon::prelude::*;
 
 /// Which strategy [`auto_solve`] ended up using.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -387,6 +388,255 @@ pub fn auto_solve_governed_csp(instance: &CspInstance, budget: &Budget) -> Gover
     }
 }
 
+/// How one racer in [`auto_solve_portfolio_csp`] ended.
+enum RaceResult {
+    Decided(Answer),
+    Skipped(&'static str),
+    Exhausted(ExhaustionReason),
+}
+
+/// [`auto_solve_governed`] in portfolio mode: see
+/// [`auto_solve_portfolio_csp`].
+///
+/// # Panics
+///
+/// Panics if the structures have different vocabularies.
+pub fn auto_solve_portfolio(a: &Structure, b: &Structure, budget: &Budget) -> GovernedReport {
+    assert_eq!(a.vocabulary(), b.vocabulary(), "vocabulary mismatch");
+    let instance = CspInstance::from_homomorphism(a, b).expect("same vocabulary");
+    auto_solve_portfolio_csp(&instance, budget)
+}
+
+/// Portfolio dispatch: instead of walking the ladder tier by tier with
+/// budget *slices* (as [`auto_solve_governed_csp`] does), the applicable
+/// structural strategies — Yannakakis on acyclic instances, the
+/// treewidth DP when planning stays under the cutoff, and MAC
+/// backtracking — **race on [`rayon`] workers under one thread-shared
+/// [`cspdb_core::budget::SharedMeter`]**. The budget's step, tuple, and
+/// deadline limits bound the racers' *total* work, and the first racer
+/// to produce a sound answer cancels the rest through a
+/// [`CancelToken`] child of the caller's token (so cancelling the caller
+/// still stops everything, while the race's own cancellation never
+/// escapes to the caller).
+///
+/// Schaefer's polynomial solvers still run inline first (they are
+/// low-order polynomial and complete), and the sound-refutation-only
+/// consistency fallbacks run after the race only if no racer decided.
+/// Soundness is unchanged: every decided answer agrees with the
+/// unbudgeted ground truth.
+pub fn auto_solve_portfolio_csp(instance: &CspInstance, budget: &Budget) -> GovernedReport {
+    let mut attempts: Vec<TierAttempt> = Vec::new();
+
+    // 1. Schaefer inline — same as the sequential ladder.
+    if instance.num_values() == 2 && budget.meter().checkpoint().is_ok() {
+        if let Some((used, witness)) = cspdb_schaefer::solve_boolean_polynomial(instance) {
+            let strategy = Strategy::Schaefer(used);
+            attempts.push(TierAttempt {
+                strategy,
+                outcome: TierOutcome::Decided,
+            });
+            let answer = match witness {
+                Some(w) => Answer::Sat(w),
+                None => Answer::Unsat,
+            };
+            return GovernedReport {
+                answer,
+                strategy: Some(strategy),
+                attempts,
+            };
+        }
+    }
+
+    // 2. Race the structural strategies under one shared meter. The race
+    // token is a *child* of the caller's token: caller cancellation
+    // propagates in, the winner's `race.cancel()` does not leak out.
+    let race = match &budget.cancel {
+        Some(caller) => caller.child(),
+        None => CancelToken::new(),
+    };
+    let race_budget = budget.clone().with_cancel(race.clone());
+    let meter = race_budget.shared_meter();
+    let acyclic = cspdb_relalg::is_acyclic_instance(instance);
+    let (a, b) = instance.to_homomorphism();
+
+    type Racer<'r> = Box<dyn FnOnce() -> (Strategy, RaceResult) + Send + 'r>;
+    let answer_of = |witness: Option<Vec<u32>>| match witness {
+        Some(w) => Answer::Sat(w),
+        None => Answer::Unsat,
+    };
+    let racers: Vec<Racer> = vec![
+        Box::new(|| {
+            if !acyclic {
+                return (
+                    Strategy::Yannakakis,
+                    RaceResult::Skipped("hypergraph is not α-acyclic"),
+                );
+            }
+            match cspdb_relalg::solve_acyclic_shared(instance, &meter) {
+                Ok(witness) => {
+                    race.cancel();
+                    (
+                        Strategy::Yannakakis,
+                        RaceResult::Decided(answer_of(witness)),
+                    )
+                }
+                Err(cspdb_relalg::AcyclicSolveError::Exhausted(r)) => {
+                    (Strategy::Yannakakis, RaceResult::Exhausted(r))
+                }
+                Err(cspdb_relalg::AcyclicSolveError::NotAcyclic) => {
+                    unreachable!("checked acyclic")
+                }
+            }
+        }),
+        Box::new(|| {
+            let g = cspdb_decomp::Graph::gaifman(&a);
+            match cspdb_decomp::min_fill_order_shared(&g, &meter) {
+                Err(r) => (
+                    Strategy::Treewidth(TREEWIDTH_CUTOFF),
+                    RaceResult::Exhausted(r),
+                ),
+                Ok(order) => {
+                    let width = cspdb_decomp::order_width(&g, &order);
+                    if width > TREEWIDTH_CUTOFF {
+                        return (
+                            Strategy::Treewidth(width),
+                            RaceResult::Skipped("heuristic treewidth above cutoff"),
+                        );
+                    }
+                    let td = cspdb_decomp::from_elimination_order(&g, &order);
+                    match cspdb_decomp::solve_with_decomposition_shared(&a, &b, &td, &meter) {
+                        Ok(witness) => {
+                            race.cancel();
+                            (
+                                Strategy::Treewidth(width),
+                                RaceResult::Decided(answer_of(witness)),
+                            )
+                        }
+                        Err(cspdb_decomp::DecompSolveError::Exhausted(r)) => {
+                            (Strategy::Treewidth(width), RaceResult::Exhausted(r))
+                        }
+                        Err(cspdb_decomp::DecompSolveError::Invalid(msg)) => {
+                            unreachable!("constructed decomposition is valid: {msg}")
+                        }
+                    }
+                }
+            }
+        }),
+        Box::new(|| {
+            let run = cspdb_solver::solve_csp_shared(instance, &meter);
+            match run.answer {
+                Answer::Unknown(r) => (Strategy::Backtracking, RaceResult::Exhausted(r)),
+                sound => {
+                    race.cancel();
+                    (Strategy::Backtracking, RaceResult::Decided(sound))
+                }
+            }
+        }),
+    ];
+    let results: Vec<(Strategy, RaceResult)> = racers.into_par_iter().map(|tier| tier()).collect();
+
+    let mut winner: Option<(Strategy, Answer)> = None;
+    let mut last_exhaustion: Option<ExhaustionReason> = None;
+    for (strategy, result) in results {
+        let outcome = match result {
+            RaceResult::Decided(answer) => {
+                if winner.is_none() {
+                    winner = Some((strategy, answer));
+                }
+                TierOutcome::Decided
+            }
+            RaceResult::Skipped(why) => TierOutcome::Skipped(why),
+            RaceResult::Exhausted(r) => {
+                last_exhaustion = Some(r);
+                TierOutcome::Exhausted(r)
+            }
+        };
+        attempts.push(TierAttempt { strategy, outcome });
+    }
+    if let Some((strategy, answer)) = winner {
+        return GovernedReport {
+            answer,
+            strategy: Some(strategy),
+            attempts,
+        };
+    }
+
+    // 3. Sound-refutation fallbacks, sequential, under the race-token
+    // budget (the race found no winner, so the token is untripped unless
+    // the caller cancelled).
+    match cspdb_consistency::ac3_budgeted(instance, &race_budget.slice(1, 8)) {
+        Ok(None) => {
+            attempts.push(TierAttempt {
+                strategy: Strategy::ArcConsistency,
+                outcome: TierOutcome::Decided,
+            });
+            return GovernedReport {
+                answer: Answer::Unsat,
+                strategy: Some(Strategy::ArcConsistency),
+                attempts,
+            };
+        }
+        Ok(Some(_)) => attempts.push(TierAttempt {
+            strategy: Strategy::ArcConsistency,
+            outcome: TierOutcome::Inconclusive,
+        }),
+        Err(r) => {
+            last_exhaustion = Some(r);
+            attempts.push(TierAttempt {
+                strategy: Strategy::ArcConsistency,
+                outcome: TierOutcome::Exhausted(r),
+            });
+        }
+    }
+    let wk_ok = cspdb_consistency::wk_table_bound(a.domain_size(), b.domain_size(), FALLBACK_K)
+        .map(|bound| bound <= FALLBACK_WK_CAP)
+        .unwrap_or(false);
+    if wk_ok {
+        match cspdb_consistency::k_consistency_refutes_budgeted(
+            &a,
+            &b,
+            FALLBACK_K,
+            &race_budget.slice(1, 8),
+        ) {
+            Ok(Some(false)) => {
+                attempts.push(TierAttempt {
+                    strategy: Strategy::KConsistency(FALLBACK_K),
+                    outcome: TierOutcome::Decided,
+                });
+                return GovernedReport {
+                    answer: Answer::Unsat,
+                    strategy: Some(Strategy::KConsistency(FALLBACK_K)),
+                    attempts,
+                };
+            }
+            Ok(_) => attempts.push(TierAttempt {
+                strategy: Strategy::KConsistency(FALLBACK_K),
+                outcome: TierOutcome::Inconclusive,
+            }),
+            Err(r) => {
+                last_exhaustion = Some(r);
+                attempts.push(TierAttempt {
+                    strategy: Strategy::KConsistency(FALLBACK_K),
+                    outcome: TierOutcome::Exhausted(r),
+                });
+            }
+        }
+    } else {
+        attempts.push(TierAttempt {
+            strategy: Strategy::KConsistency(FALLBACK_K),
+            outcome: TierOutcome::Skipped("W^k table estimate above cap"),
+        });
+    }
+
+    GovernedReport {
+        answer: Answer::Unknown(
+            last_exhaustion.expect("backtracking racer either decides or exhausts"),
+        ),
+        strategy: None,
+        attempts,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -481,5 +731,100 @@ mod tests {
         let report = auto_solve(&path(6), &clique(2));
         let h = report.witness.unwrap();
         assert!(cspdb_core::is_homomorphism(&h, &path(6), &clique(2)));
+    }
+
+    #[test]
+    fn portfolio_agrees_with_sequential_ladder() {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let cases = [
+            (cycle(5), clique(3), true),   // treewidth territory
+            (cycle(5), clique(4), true),   // treewidth territory, sat
+            (clique(4), clique(3), false), // backtracking territory
+            (clique(4), clique(4), true),  // backtracking territory, sat
+            (cycle(6), clique(2), true),   // Schaefer inline
+            (cycle(7), clique(2), false),  // Schaefer inline, unsat
+        ];
+        for (a, b, expected) in cases {
+            let budget = Budget::unlimited();
+            let report = pool.install(|| auto_solve_portfolio(&a, &b, &budget));
+            assert!(
+                report.strategy.is_some(),
+                "unlimited portfolio must decide on {a}"
+            );
+            assert_eq!(report.answer.is_sat(), expected, "on {a} -> {b}");
+            if let Some(w) = report.answer.witness() {
+                assert!(cspdb_core::is_homomorphism(w, &a, &b));
+            }
+            // And agreement with the sequential governed ladder.
+            let seq = auto_solve_governed(&a, &b, &Budget::unlimited());
+            assert_eq!(report.answer.is_sat(), seq.answer.is_sat());
+        }
+    }
+
+    #[test]
+    fn portfolio_acyclic_instances_race_yannakakis() {
+        // Non-Boolean star: Schaefer is inapplicable, so the race decides
+        // — and the Yannakakis racer must at least appear in the trace.
+        let mut p = CspInstance::new(4, 3);
+        let neq = Arc::new(
+            Relation::from_tuples(
+                2,
+                (0..3u32).flat_map(|i| (0..3u32).filter_map(move |j| (i != j).then_some([i, j]))),
+            )
+            .unwrap(),
+        );
+        for leaf in 1..4u32 {
+            p.add_constraint([0, leaf], neq.clone()).unwrap();
+        }
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let report = pool.install(|| auto_solve_portfolio_csp(&p, &Budget::unlimited()));
+        assert!(report.answer.is_sat());
+        assert!(p.is_solution(report.answer.witness().unwrap()));
+        assert!(report
+            .attempts
+            .iter()
+            .any(|t| t.strategy == Strategy::Yannakakis));
+    }
+
+    #[test]
+    fn portfolio_exhausts_to_unknown_soundly() {
+        // A 1-step budget cannot decide K4 -> K3 (not Boolean, cyclic,
+        // planning alone costs more): every racer exhausts, fallbacks
+        // exhaust or stay inconclusive, answer is Unknown — never wrong.
+        let report =
+            auto_solve_portfolio(&clique(4), &clique(3), &Budget::new().with_step_limit(1));
+        assert!(report.answer.is_unknown());
+        assert!(report.strategy.is_none());
+    }
+
+    #[test]
+    fn portfolio_respects_caller_cancellation() {
+        let token = cspdb_core::CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_cancel(token.clone());
+        // K7 -> K6 is big enough that every racer crosses an amortised
+        // checkpoint, so the pre-cancelled token must yield Unknown.
+        let report = auto_solve_portfolio(&clique(7), &clique(6), &budget);
+        assert!(report.answer.is_unknown());
+        // The race's internal cancellation must never fire the caller's
+        // token; here it was already cancelled by the caller, and the
+        // token object is unchanged (still just "cancelled").
+        assert!(token.is_cancelled());
+        // Conversely a fresh caller token stays untripped after a
+        // portfolio run in which a winner cancelled the race internally.
+        let token = cspdb_core::CancelToken::new();
+        let budget = Budget::unlimited().with_cancel(token.clone());
+        let report = auto_solve_portfolio(&cycle(5), &clique(3), &budget);
+        assert!(report.answer.is_sat());
+        assert!(
+            !token.is_cancelled(),
+            "race cancellation leaked to the caller token"
+        );
     }
 }

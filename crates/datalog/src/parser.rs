@@ -7,7 +7,7 @@
 //! rule    := atom ( ":-" atom ("," atom)* )? "."
 //! atom    := IDENT ( "(" term ("," term)* ")" )?
 //! term    := IDENT | NUMBER          % identifiers are variables
-//! goal    := "% goal:" IDENT         % otherwise: first rule's head
+//! goal    := "% goal:" IDENT         % otherwise: last rule's head
 //! ```
 //!
 //! Identifiers in argument position are variables; numbers are constants;
@@ -236,5 +236,24 @@ mod tests {
     fn nullary_atoms() {
         let p = parse_program("Q :- E(X,X).").unwrap();
         assert!(p.rules[0].head.terms.is_empty());
+    }
+
+    #[test]
+    fn goal_defaults_to_last_rules_head() {
+        // Two rules with distinct head predicates: the *last* rule's
+        // head is the default goal (matching the paper's programs, where
+        // the query predicate is defined last).
+        let p = parse_program("P(X,Y) :- E(X,Y).\nQ :- P(X,X).").unwrap();
+        assert_eq!(p.goal, "Q");
+    }
+
+    #[test]
+    fn goal_comment_overrides_last_rule_default() {
+        // `% goal:` wins over the last-rule default regardless of where
+        // the comment appears in the source.
+        let p = parse_program("% goal: P\nP(X,Y) :- E(X,Y).\nQ :- P(X,X).").unwrap();
+        assert_eq!(p.goal, "P");
+        let p = parse_program("P(X,Y) :- E(X,Y).\nQ :- P(X,X).\n% goal: P").unwrap();
+        assert_eq!(p.goal, "P");
     }
 }

@@ -13,8 +13,9 @@
 
 use crate::graph::Graph;
 use crate::treewidth::{from_elimination_order, min_fill_order_metered, TreeDecomposition};
-use cspdb_core::budget::{Budget, ExhaustionReason, Meter};
+use cspdb_core::budget::{Budget, ExhaustionReason, Metering, SharedMeter};
 use cspdb_core::{RelId, Structure};
+use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// Error from the budgeted decomposition DP: either the decomposition
@@ -84,23 +85,20 @@ pub fn solve_with_decomposition_budgeted(
     solve_with_decomposition_metered(a, b, td, &mut meter)
 }
 
-fn solve_with_decomposition_metered(
-    a: &Structure,
-    b: &Structure,
-    td: &TreeDecomposition,
-    meter: &mut Meter,
-) -> Result<Option<Vec<u32>>, DecompSolveError> {
-    if a.vocabulary() != b.vocabulary() {
-        return Err(DecompSolveError::Invalid("vocabulary mismatch".into()));
-    }
-    td.validate_structure(a)
-        .map_err(DecompSolveError::Invalid)?;
-    if a.domain_size() == 0 {
-        return Ok(Some(vec![]));
-    }
-    if b.domain_size() == 0 {
-        return Ok(None);
-    }
+/// The decomposition tree rooted at bag 0, plus each fact of **A**
+/// assigned to one covering bag — everything the DP needs besides the
+/// tables themselves.
+struct DpSetup {
+    parent: Vec<Option<usize>>,
+    children: Vec<Vec<usize>>,
+    /// DFS preorder: parents before children.
+    order: Vec<usize>,
+    /// `depth[i]` = distance from bag `i` to the root.
+    depth: Vec<usize>,
+    bag_facts: Vec<Vec<(RelId, Vec<u32>)>>,
+}
+
+fn dp_setup(a: &Structure, td: &TreeDecomposition) -> DpSetup {
     // Assign each fact of A to one bag that covers it.
     let mut bag_facts: Vec<Vec<(RelId, Vec<u32>)>> = vec![Vec::new(); td.bags.len()];
     for (id, rel) in a.relations() {
@@ -114,10 +112,12 @@ fn solve_with_decomposition_metered(
             unreachable!("validate_structure guarantees coverage");
         }
     }
-    // Root the decomposition tree at 0 and compute a post-order.
+    // Root the decomposition tree at 0 and compute a preorder.
     let adj = td.adjacency();
     let nb = td.bags.len();
     let mut parent: Vec<Option<usize>> = vec![None; nb];
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); nb];
+    let mut depth = vec![0usize; nb];
     let mut order: Vec<usize> = Vec::with_capacity(nb);
     let mut stack = vec![0usize];
     let mut visited = vec![false; nb];
@@ -128,101 +128,121 @@ fn solve_with_decomposition_metered(
             if !visited[v] {
                 visited[v] = true;
                 parent[v] = Some(u);
+                children[u].push(v);
+                depth[v] = depth[u] + 1;
                 stack.push(v);
             }
         }
     }
     debug_assert_eq!(order.len(), nb, "decomposition tree is connected");
+    DpSetup {
+        parent,
+        children,
+        order,
+        depth,
+        bag_facts,
+    }
+}
 
-    // Bottom-up: table of surviving bag assignments per node.
-    // Key of the child join: the assignment restricted to bag ∩ parent bag.
-    let d = b.domain_size() as u32;
-    let mut tables: Vec<Vec<Vec<u32>>> = vec![Vec::new(); nb];
-    for &node in order.iter().rev() {
-        let bag = &td.bags[node];
-        let children: Vec<usize> = adj[node]
+/// Computes the table of surviving assignments for one bag, given its
+/// children's (final) tables. One step is ticked per assignment
+/// enumerated, one tuple charged per surviving row. This is the single
+/// DP kernel the sequential and parallel solvers share.
+fn compute_bag_table<M: Metering>(
+    b: &Structure,
+    td: &TreeDecomposition,
+    setup: &DpSetup,
+    node: usize,
+    tables: &[Vec<Vec<u32>>],
+    meter: &mut M,
+) -> Result<Vec<Vec<u32>>, ExhaustionReason> {
+    let bag = &td.bags[node];
+    // Pre-index child tables by the shared-variable projection:
+    // (positions of shared vars in this bag, projection set).
+    type ChildIndex = (Vec<usize>, HashMap<Vec<u32>, bool>);
+    let mut child_index: Vec<ChildIndex> = Vec::new();
+    for &c in &setup.children[node] {
+        let shared_pos: Vec<usize> = td.bags[c]
             .iter()
-            .copied()
-            .filter(|&c| parent[c] == Some(node))
+            .enumerate()
+            .filter(|(_, v)| bag.binary_search(v).is_ok())
+            .map(|(i, _)| i)
             .collect();
-        // Pre-index child tables by the shared-variable projection:
-        // (positions of shared vars in this bag, projection set).
-        type ChildIndex = (Vec<usize>, HashMap<Vec<u32>, bool>);
-        let mut child_index: Vec<ChildIndex> = Vec::new();
-        for &c in &children {
-            let shared_pos: Vec<usize> = td.bags[c]
-                .iter()
-                .enumerate()
-                .filter(|(_, v)| bag.binary_search(v).is_ok())
-                .map(|(i, _)| i)
-                .collect();
-            let mut index: HashMap<Vec<u32>, bool> = HashMap::new();
-            for row in &tables[c] {
-                let key: Vec<u32> = shared_pos.iter().map(|&i| row[i]).collect();
-                index.insert(key, true);
-            }
-            // Positions of the shared variables inside *this* bag, in the
-            // same order as shared_pos enumerates the child's bag.
-            let shared_vars: Vec<u32> = shared_pos.iter().map(|&i| td.bags[c][i]).collect();
-            let my_pos: Vec<usize> = shared_vars
-                .iter()
-                .map(|v| bag.binary_search(v).expect("shared var in bag"))
-                .collect();
-            child_index.push((my_pos, index));
+        let mut index: HashMap<Vec<u32>, bool> = HashMap::new();
+        for row in &tables[c] {
+            let key: Vec<u32> = shared_pos.iter().map(|&i| row[i]).collect();
+            index.insert(key, true);
         }
-        // Enumerate assignments of the bag.
-        let k = bag.len();
-        let mut assignment = vec![0u32; k];
-        let mut image = Vec::new();
-        'assignments: loop {
-            meter.tick()?;
-            // Check facts assigned to this bag.
-            let ok_facts = bag_facts[node].iter().all(|(id, t)| {
-                image.clear();
-                for x in t {
-                    let pos = bag.binary_search(x).expect("fact inside bag");
-                    image.push(assignment[pos]);
-                }
-                b.relation(*id).contains(&image)
+        // Positions of the shared variables inside *this* bag, in the
+        // same order as shared_pos enumerates the child's bag.
+        let shared_vars: Vec<u32> = shared_pos.iter().map(|&i| td.bags[c][i]).collect();
+        let my_pos: Vec<usize> = shared_vars
+            .iter()
+            .map(|v| bag.binary_search(v).expect("shared var in bag"))
+            .collect();
+        child_index.push((my_pos, index));
+    }
+    // Enumerate assignments of the bag.
+    let d = b.domain_size() as u32;
+    let k = bag.len();
+    let mut assignment = vec![0u32; k];
+    let mut image = Vec::new();
+    let mut table = Vec::new();
+    'assignments: loop {
+        meter.tick()?;
+        // Check facts assigned to this bag.
+        let ok_facts = setup.bag_facts[node].iter().all(|(id, t)| {
+            image.clear();
+            for x in t {
+                let pos = bag.binary_search(x).expect("fact inside bag");
+                image.push(assignment[pos]);
+            }
+            b.relation(*id).contains(&image)
+        });
+        if ok_facts {
+            // Check each child has a compatible surviving row.
+            let ok_children = child_index.iter().all(|(my_pos, index)| {
+                let key: Vec<u32> = my_pos.iter().map(|&i| assignment[i]).collect();
+                index.contains_key(&key)
             });
-            if ok_facts {
-                // Check each child has a compatible surviving row.
-                let ok_children = child_index.iter().all(|(my_pos, index)| {
-                    let key: Vec<u32> = my_pos.iter().map(|&i| assignment[i]).collect();
-                    index.contains_key(&key)
-                });
-                if ok_children {
-                    meter.charge_tuples(1)?;
-                    tables[node].push(assignment.clone());
-                }
-            }
-            // Odometer.
-            let mut i = k;
-            loop {
-                if i == 0 {
-                    break 'assignments;
-                }
-                i -= 1;
-                assignment[i] += 1;
-                if assignment[i] < d {
-                    break;
-                }
-                assignment[i] = 0;
+            if ok_children {
+                meter.charge_tuples(1)?;
+                table.push(assignment.clone());
             }
         }
-        if tables[node].is_empty() {
-            return Ok(None);
+        // Odometer.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                break 'assignments;
+            }
+            i -= 1;
+            assignment[i] += 1;
+            if assignment[i] < d {
+                break;
+            }
+            assignment[i] = 0;
         }
     }
+    Ok(table)
+}
 
-    // Top-down witness extraction.
+/// Top-down witness extraction from the completed bag tables.
+fn extract_witness<M: Metering>(
+    a: &Structure,
+    td: &TreeDecomposition,
+    setup: &DpSetup,
+    tables: &[Vec<Vec<u32>>],
+    meter: &mut M,
+) -> Result<Vec<u32>, ExhaustionReason> {
     let n = a.domain_size();
+    let nb = td.bags.len();
     let mut h: Vec<Option<u32>> = vec![None; n];
     let mut chosen: Vec<Option<Vec<u32>>> = vec![None; nb];
-    for &node in &order {
+    for &node in &setup.order {
         meter.tick()?;
         let bag = &td.bags[node];
-        let row = match parent[node] {
+        let row = match setup.parent[node] {
             None => tables[node][0].clone(),
             Some(p) => {
                 let pbag = &td.bags[p];
@@ -247,10 +267,113 @@ fn solve_with_decomposition_metered(
         }
         chosen[node] = Some(row);
     }
-    let witness: Vec<u32> = h
-        .into_iter()
+    Ok(h.into_iter()
         .map(|x| x.expect("every element in some bag"))
-        .collect();
+        .collect())
+}
+
+/// Trivial-case screening shared by the sequential and parallel DP
+/// drivers: `Err` for an invalid decomposition, `Ok(Some(verdict))`
+/// when no DP is needed, `Ok(None)` to proceed.
+#[allow(clippy::type_complexity)]
+fn dp_precheck(
+    a: &Structure,
+    b: &Structure,
+    td: &TreeDecomposition,
+) -> Result<Option<Option<Vec<u32>>>, DecompSolveError> {
+    if a.vocabulary() != b.vocabulary() {
+        return Err(DecompSolveError::Invalid("vocabulary mismatch".into()));
+    }
+    td.validate_structure(a)
+        .map_err(DecompSolveError::Invalid)?;
+    if a.domain_size() == 0 {
+        return Ok(Some(Some(vec![])));
+    }
+    if b.domain_size() == 0 {
+        return Ok(Some(None));
+    }
+    Ok(None)
+}
+
+fn solve_with_decomposition_metered<M: Metering>(
+    a: &Structure,
+    b: &Structure,
+    td: &TreeDecomposition,
+    meter: &mut M,
+) -> Result<Option<Vec<u32>>, DecompSolveError> {
+    if let Some(verdict) = dp_precheck(a, b, td)? {
+        return Ok(verdict);
+    }
+    let setup = dp_setup(a, td);
+    // Bottom-up: table of surviving bag assignments per node.
+    let nb = td.bags.len();
+    let mut tables: Vec<Vec<Vec<u32>>> = vec![Vec::new(); nb];
+    for &node in setup.order.iter().rev() {
+        tables[node] = compute_bag_table(b, td, &setup, node, &tables, meter)?;
+        if tables[node].is_empty() {
+            return Ok(None);
+        }
+    }
+    let witness = extract_witness(a, td, &setup, &tables, meter)?;
+    debug_assert!(cspdb_core::is_homomorphism(&witness, a, b));
+    Ok(Some(witness))
+}
+
+/// [`solve_with_decomposition_budgeted`] with independent subtrees
+/// computed in parallel under a thread-shared budget: bag tables at the
+/// same depth depend only on tables one level deeper, so each level's
+/// bags run on [`rayon`] workers charging the one [`SharedMeter`]. The
+/// verdict and witness are identical to the sequential DP's.
+///
+/// # Errors
+///
+/// [`DecompSolveError::Invalid`] if the decomposition does not cover
+/// **A**, [`DecompSolveError::Exhausted`] if the shared budget ran out
+/// or was cancelled.
+pub fn solve_with_decomposition_shared(
+    a: &Structure,
+    b: &Structure,
+    td: &TreeDecomposition,
+    meter: &SharedMeter,
+) -> Result<Option<Vec<u32>>, DecompSolveError> {
+    if let Some(verdict) = dp_precheck(a, b, td)? {
+        return Ok(verdict);
+    }
+    let setup = dp_setup(a, td);
+    let nb = td.bags.len();
+    let max_depth = setup.depth.iter().copied().max().unwrap_or(0);
+    let mut tables: Vec<Vec<Vec<u32>>> = vec![Vec::new(); nb];
+    // Bottom-up, level by level (deepest first); bags within a level are
+    // independent and parallelise.
+    for level in (0..=max_depth).rev() {
+        let nodes: Vec<usize> = setup
+            .order
+            .iter()
+            .copied()
+            .filter(|&n| setup.depth[n] == level)
+            .collect();
+        let tables_ref = &tables;
+        let setup_ref = &setup;
+        let computed: Vec<(usize, Vec<Vec<u32>>)> = nodes
+            .into_par_iter()
+            .map(move |node| {
+                let table =
+                    compute_bag_table(b, td, setup_ref, node, tables_ref, &mut meter.clone())?;
+                Ok((node, table))
+            })
+            .collect::<Result<_, ExhaustionReason>>()
+            .map_err(DecompSolveError::Exhausted)?;
+        let mut any_empty = false;
+        for (node, table) in computed {
+            any_empty |= table.is_empty();
+            tables[node] = table;
+        }
+        if any_empty {
+            return Ok(None);
+        }
+    }
+    let witness = extract_witness(a, td, &setup, &tables, &mut meter.clone())
+        .map_err(DecompSolveError::Exhausted)?;
     debug_assert!(cspdb_core::is_homomorphism(&witness, a, b));
     Ok(Some(witness))
 }
@@ -277,6 +400,28 @@ pub fn solve_by_treewidth_budgeted(
     let order = min_fill_order_metered(&g, &mut meter)?;
     let td = from_elimination_order(&g, &order);
     let res = match solve_with_decomposition_metered(a, b, &td, &mut meter) {
+        Ok(res) => res,
+        Err(DecompSolveError::Exhausted(r)) => return Err(r),
+        Err(DecompSolveError::Invalid(msg)) => {
+            unreachable!("constructed decomposition is valid: {msg}")
+        }
+    };
+    Ok((td.width(), res))
+}
+
+/// [`solve_by_treewidth_budgeted`] with the DP parallelised per
+/// decomposition level under a thread-shared budget (see
+/// [`solve_with_decomposition_shared`]). Planning (min-fill order) and
+/// the DP draw from the same shared meter.
+pub fn solve_by_treewidth_shared(
+    a: &Structure,
+    b: &Structure,
+    meter: &SharedMeter,
+) -> Result<(usize, Option<Vec<u32>>), ExhaustionReason> {
+    let g = Graph::gaifman(a);
+    let order = min_fill_order_metered(&g, &mut meter.clone())?;
+    let td = from_elimination_order(&g, &order);
+    let res = match solve_with_decomposition_shared(a, b, &td, meter) {
         Ok(res) => res,
         Err(DecompSolveError::Exhausted(r)) => return Err(r),
         Err(DecompSolveError::Invalid(msg)) => {
@@ -364,6 +509,46 @@ mod tests {
         assert!(w <= 2);
         let h = res.expect("satisfiable");
         assert!(is_homomorphism(&h, &a, &b));
+    }
+
+    #[test]
+    fn shared_dp_agrees_with_sequential() {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let cases = [
+            (cycle(5), clique(3), true),
+            (cycle(5), clique(2), false),
+            (cycle(6), clique(2), true),
+            (path(7), clique(2), true),
+        ];
+        for (a, b, expected) in cases {
+            let (seq_w, seq_res) = solve_by_treewidth(&a, &b);
+            let meter = Budget::unlimited().shared_meter();
+            let (par_w, par_res) = pool
+                .install(|| solve_by_treewidth_shared(&a, &b, &meter))
+                .unwrap();
+            assert_eq!(par_w, seq_w);
+            assert_eq!(par_res.is_some(), expected, "on {a}");
+            // The parallel DP is deterministic and must match exactly.
+            assert_eq!(par_res, seq_res, "on {a}");
+        }
+    }
+
+    #[test]
+    fn shared_dp_observes_step_limit() {
+        let a = cycle(6);
+        let b = clique(3);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let meter = Budget::unlimited().with_step_limit(10).shared_meter();
+        assert_eq!(
+            pool.install(|| solve_by_treewidth_shared(&a, &b, &meter)),
+            Err(ExhaustionReason::StepLimitExceeded)
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! checks independently.
 
 use crate::graph::Graph;
-use cspdb_core::budget::{Budget, ExhaustionReason, Meter};
+use cspdb_core::budget::{Budget, ExhaustionReason, Meter, Metering, SharedMeter};
 use cspdb_core::Structure;
 use std::collections::{BTreeSet, HashSet};
 
@@ -243,9 +243,16 @@ pub fn min_fill_order_budgeted(g: &Graph, budget: &Budget) -> Result<Vec<u32>, E
     min_fill_order_metered(g, &mut meter)
 }
 
-pub(crate) fn min_fill_order_metered(
+/// [`min_fill_order`] charging a thread-shared [`SharedMeter`]: used
+/// when decomposition planning runs inside a parallel portfolio under
+/// one global budget.
+pub fn min_fill_order_shared(g: &Graph, meter: &SharedMeter) -> Result<Vec<u32>, ExhaustionReason> {
+    min_fill_order_metered(g, &mut meter.clone())
+}
+
+pub(crate) fn min_fill_order_metered<M: Metering>(
     g: &Graph,
-    meter: &mut Meter,
+    meter: &mut M,
 ) -> Result<Vec<u32>, ExhaustionReason> {
     elimination_heuristic_budgeted(g, meter, fill_score)
 }
@@ -269,9 +276,9 @@ fn elimination_heuristic(g: &Graph, score: impl Fn(&[BTreeSet<u32>], u32) -> usi
         .expect("unlimited budget cannot exhaust")
 }
 
-fn elimination_heuristic_budgeted(
+fn elimination_heuristic_budgeted<M: Metering>(
     g: &Graph,
-    meter: &mut Meter,
+    meter: &mut M,
     score: impl Fn(&[BTreeSet<u32>], u32) -> usize,
 ) -> Result<Vec<u32>, ExhaustionReason> {
     let n = g.num_vertices();

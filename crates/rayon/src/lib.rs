@@ -1,0 +1,370 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the API subset the workspace uses — [`join`], [`ThreadPoolBuilder`] /
+//! [`ThreadPool::install`], [`current_num_threads`], and the
+//! `par_iter` / `into_par_iter` → `map` → `collect` pipeline — on top of
+//! `std::thread::scope`. Call sites are source-compatible with real
+//! rayon, so swapping in the crates.io crate is a `Cargo.toml` change.
+//!
+//! Execution model: a parallel iterator is **eager** — the driving call
+//! (`collect`, `for_each`) splits the items into one contiguous chunk
+//! per thread, runs each chunk on a scoped thread, and reassembles
+//! results in chunk order, so output order always matches the
+//! sequential order. The thread count comes from the innermost
+//! [`ThreadPool::install`] on the calling thread, defaulting to
+//! `std::thread::available_parallelism`. Unlike real rayon there is no
+//! work stealing and no persistent pool; `install` only scopes the
+//! thread count, and nested parallel calls inside a worker see the
+//! default count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::fmt;
+use std::thread;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of threads parallel operations on this thread will use:
+/// the innermost [`ThreadPool::install`] override, else
+/// `std::thread::available_parallelism`.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(|c| c.get()).unwrap_or_else(|| {
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Error from [`ThreadPoolBuilder::build`]. The stand-in never fails to
+/// build; the type exists for API compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the pool's thread count; `0` means the default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Never fails in the stand-in.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A logical thread pool: in the stand-in, just a thread count that
+/// [`install`](ThreadPool::install) scopes onto the calling thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+/// Restores the previous thread-count override even if `op` panics.
+struct InstallGuard {
+    previous: Option<usize>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        INSTALLED_THREADS.with(|c| c.set(self.previous));
+    }
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing parallel
+    /// operations it performs (on the calling thread).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let guard = InstallGuard {
+            previous: INSTALLED_THREADS.with(|c| c.replace(Some(self.threads))),
+        };
+        let out = op();
+        drop(guard);
+        out
+    }
+
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (oper_a(), oper_b());
+    }
+    thread::scope(|s| {
+        let b = s.spawn(oper_b);
+        let ra = oper_a();
+        let rb = b.join().expect("rayon::join closure panicked");
+        (ra, rb)
+    })
+}
+
+pub mod iter {
+    //! Parallel iterator subset: `into_par_iter`/`par_iter` over ranges,
+    //! vectors, and slices; `map`, `for_each`, and order-preserving
+    //! `collect`.
+
+    use super::current_num_threads;
+    use std::thread;
+
+    /// Runs `f` over `items`, one contiguous chunk per thread, and
+    /// returns the results in input order.
+    fn chunked_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = items.len();
+        let threads = current_num_threads().clamp(1, n.max(1));
+        if threads <= 1 || n <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let chunk_len = n.div_ceil(threads);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        let mut items = items.into_iter();
+        loop {
+            let chunk: Vec<T> = items.by_ref().take(chunk_len).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            chunks.push(chunk);
+        }
+        let mut slots: Vec<Vec<R>> = Vec::new();
+        thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for h in handles {
+                slots.push(h.join().expect("parallel iterator closure panicked"));
+            }
+        });
+        slots.into_iter().flatten().collect()
+    }
+
+    /// An eager parallel iterator over already-collected items.
+    pub struct ParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParIter<T> {
+        /// Maps every item through `f` (lazily; the map runs at
+        /// [`collect`](ParMap::collect) / [`for_each`](ParMap::for_each)).
+        pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+        where
+            R: Send,
+            F: Fn(T) -> R + Sync,
+        {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+
+        /// Runs `f` on every item in parallel.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(T) + Sync,
+        {
+            chunked_map(self.items, &|t| f(t));
+        }
+    }
+
+    /// A mapped parallel iterator: the driving adapters live here.
+    pub struct ParMap<T, F> {
+        items: Vec<T>,
+        f: F,
+    }
+
+    impl<T, R, F> ParMap<T, F>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        /// Runs the pipeline and collects results **in input order**.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            chunked_map(self.items, &self.f).into_iter().collect()
+        }
+
+        /// Runs the pipeline for its side effects.
+        pub fn for_each<G>(self, g: G)
+        where
+            G: Fn(R) + Sync,
+        {
+            let f = &self.f;
+            chunked_map(self.items, &|t| g(f(t)));
+        }
+    }
+
+    /// Conversion into a parallel iterator by value.
+    pub trait IntoParallelIterator {
+        /// The element type.
+        type Item: Send;
+        /// Converts `self`.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        fn into_par_iter(self) -> ParIter<usize> {
+            ParIter {
+                items: self.collect(),
+            }
+        }
+    }
+
+    /// Conversion into a borrowing parallel iterator (`par_iter`).
+    pub trait IntoParallelRefIterator<'a> {
+        /// The borrowed element type.
+        type Item: Send;
+        /// Parallel-iterates over references into `self`.
+        fn par_iter(&'a self) -> ParIter<Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Traits to import for `par_iter` / `into_par_iter`.
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn collect_preserves_order() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<usize> = pool.install(|| (0..1000).into_par_iter().map(|i| i * 2).collect());
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v: Vec<u32> = (0..100).collect();
+        let s: u32 = v
+            .par_iter()
+            .map(|&x| x + 1)
+            .collect::<Vec<u32>>()
+            .iter()
+            .sum();
+        assert_eq!(s, (1..=100).sum::<u32>());
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_value() {
+        let r: Result<Vec<usize>, &'static str> = (0..10)
+            .into_par_iter()
+            .map(|i| if i == 5 { Err("boom") } else { Ok(i) })
+            .collect();
+        assert_eq!(r, Err("boom"));
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        assert!(current_num_threads() >= 1);
+        let pool = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 7));
+        let nested = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            nested.install(|| assert_eq!(current_num_threads(), 2));
+            assert_eq!(current_num_threads(), 7);
+        });
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let (a, b) = pool.install(|| join(|| 1 + 1, || "two"));
+        assert_eq!((a, b), (2, "two"));
+    }
+
+    #[test]
+    fn empty_and_single_item_iterators() {
+        let out: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let out: Vec<u32> = vec![9].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![10]);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let sum = AtomicU64::new(0);
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| {
+            (0..100usize).into_par_iter().for_each(|i| {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+}

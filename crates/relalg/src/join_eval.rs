@@ -11,7 +11,7 @@
 //! baseline that Yannakakis beats on acyclic instances (Experiment E10).
 
 use crate::named::NamedRelation;
-use cspdb_core::budget::{Budget, ExhaustionReason, Meter};
+use cspdb_core::budget::{Budget, ExhaustionReason, Meter, SharedMeter};
 use cspdb_core::CspInstance;
 
 /// Lowers each constraint to a named relation over its scope.
@@ -58,6 +58,50 @@ pub fn join_all_budgeted(
         }
     }
     Ok(acc)
+}
+
+/// [`join_all`] with every pairwise join executed as a partitioned
+/// parallel hash join ([`NamedRelation::natural_join_parallel`]) under a
+/// thread-shared budget. The join *sequence* is the same
+/// smallest-first greedy order, so the result is identical to
+/// [`join_all`]'s; only the work inside each pairwise join fans out.
+pub fn join_all_parallel(
+    mut relations: Vec<NamedRelation>,
+    meter: &SharedMeter,
+) -> Result<NamedRelation, ExhaustionReason> {
+    relations.sort_by_key(NamedRelation::len);
+    let mut acc = NamedRelation::unit();
+    for r in relations {
+        acc = acc.natural_join_parallel(&r, meter)?;
+        if acc.is_empty() {
+            return Ok(acc);
+        }
+    }
+    Ok(acc)
+}
+
+/// [`solve_by_join`] with parallel pairwise joins under a thread-shared
+/// budget (see [`join_all_parallel`]): `Err` when the shared budget ran
+/// out or was cancelled mid-join, otherwise the unbudgeted contract.
+pub fn solve_by_join_parallel(
+    instance: &CspInstance,
+    meter: &SharedMeter,
+) -> Result<Option<Vec<u32>>, ExhaustionReason> {
+    if instance.num_vars() > 0 && instance.num_values() == 0 {
+        return Ok(None);
+    }
+    let relations = constraint_relations(instance);
+    let joined = join_all_parallel(relations, meter)?;
+    if joined.is_empty() {
+        return Ok(None);
+    }
+    let row = &joined.rows()[0];
+    let mut solution = vec![0u32; instance.num_vars()];
+    for (i, &attr) in joined.schema().iter().enumerate() {
+        solution[attr as usize] = row[i];
+    }
+    debug_assert!(instance.is_solution(&solution));
+    Ok(Some(solution))
 }
 
 /// [`solve_by_join`] under a [`Budget`]: `Err` when the budget ran out
@@ -194,6 +238,24 @@ mod tests {
         let p = CspInstance::new(2, 0);
         assert!(solve_by_join(&p).is_none());
         assert_eq!(count_by_join(&p), 0);
+    }
+
+    #[test]
+    fn parallel_join_pipeline_agrees_with_sequential() {
+        let tri = [(0u32, 1u32), (1, 2), (0, 2)];
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        for colors in [2usize, 3, 4] {
+            let p = coloring(3, &tri, colors);
+            let meter = cspdb_core::Budget::unlimited().shared_meter();
+            let parallel = pool.install(|| solve_by_join_parallel(&p, &meter)).unwrap();
+            assert_eq!(parallel.is_some(), solve_by_join(&p).is_some());
+            if let Some(sol) = parallel {
+                assert!(p.is_solution(&sol));
+            }
+        }
     }
 
     #[test]

@@ -26,11 +26,11 @@ mod named;
 mod yannakakis;
 
 pub use join_eval::{
-    constraint_relations, count_by_join, join_all, join_all_budgeted, solve_by_join,
-    solve_by_join_budgeted,
+    constraint_relations, count_by_join, join_all, join_all_budgeted, join_all_parallel,
+    solve_by_join, solve_by_join_budgeted, solve_by_join_parallel,
 };
 pub use named::NamedRelation;
 pub use yannakakis::{
     is_acyclic_instance, solve_acyclic, solve_acyclic_budgeted, solve_acyclic_hom,
-    solve_with_hypertree, AcyclicSolveError, NotAcyclic,
+    solve_acyclic_shared, solve_with_hypertree, AcyclicSolveError, NotAcyclic,
 };

@@ -7,9 +7,89 @@
 //! [`NamedRelation`] is that view: rows keyed by a schema of distinct
 //! attribute ids.
 
-use cspdb_core::budget::{ExhaustionReason, Meter};
-use std::collections::HashMap;
+use cspdb_core::budget::{Budget, ExhaustionReason, Meter, Metering, SharedMeter};
+use rayon::prelude::*;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+
+/// Minimum combined row count before [`NamedRelation::natural_join_parallel`]
+/// bothers spawning workers; below this, partitioning overhead dominates.
+const PARALLEL_JOIN_MIN_ROWS: usize = 512;
+
+/// Deterministic (FNV-1a) hash of a join key, used to assign rows to
+/// partitions. Must not depend on process-global state: the parallel
+/// join's output is required to be byte-identical to the sequential
+/// join's, and partition assignment feeds the concatenation order.
+fn key_hash(values: impl Iterator<Item = u32>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in values {
+        h = (h ^ u64::from(v)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Column correspondence for `left ⋈ right`, computed once per join.
+struct JoinPlan {
+    /// `(i, j)`: left column `i` equals right column `j`.
+    common: Vec<(usize, usize)>,
+    /// Right columns not in the common set, in right-schema order.
+    extra: Vec<usize>,
+    /// Output schema: left schema then the extra right attributes.
+    schema: Vec<u32>,
+}
+
+impl JoinPlan {
+    fn new(left: &NamedRelation, right: &NamedRelation) -> JoinPlan {
+        let common: Vec<(usize, usize)> = left
+            .schema
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| right.position(a).map(|j| (i, j)))
+            .collect();
+        let extra: Vec<usize> = (0..right.schema.len())
+            .filter(|&j| !common.iter().any(|&(_, cj)| cj == j))
+            .collect();
+        let mut schema = left.schema.clone();
+        schema.extend(extra.iter().map(|&j| right.schema[j]));
+        JoinPlan {
+            common,
+            extra,
+            schema,
+        }
+    }
+}
+
+/// Hash-joins `left` against `right` under `plan`, charging the meter
+/// one tick per input row and one tuple per output row. This is the
+/// single join kernel: the sequential, budgeted, and parallel
+/// (per-partition) joins all run exactly this loop.
+fn join_rows<M: Metering>(
+    left: &[Vec<u32>],
+    right: &[Vec<u32>],
+    plan: &JoinPlan,
+    meter: &mut M,
+) -> Result<Vec<Vec<u32>>, ExhaustionReason> {
+    let mut index: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+    for (ri, row) in right.iter().enumerate() {
+        meter.tick()?;
+        let key: Vec<u32> = plan.common.iter().map(|&(_, j)| row[j]).collect();
+        index.entry(key).or_default().push(ri);
+    }
+    let mut rows = Vec::new();
+    for row in left {
+        meter.tick()?;
+        let key: Vec<u32> = plan.common.iter().map(|&(i, _)| row[i]).collect();
+        if let Some(matches) = index.get(&key) {
+            for &ri in matches {
+                meter.charge_tuples(1)?;
+                let mut out = row.clone();
+                out.extend(plan.extra.iter().map(|&j| right[ri][j]));
+                rows.push(out);
+            }
+        }
+    }
+    Ok(rows)
+}
 
 /// A relation with named (attribute-labeled) columns. Rows are
 /// deduplicated and kept sorted for canonical equality.
@@ -104,14 +184,109 @@ impl NamedRelation {
         (self.rows.len() as u64).checked_mul(other.rows.len() as u64)
     }
 
-    /// [`natural_join`](Self::natural_join) under a [`Meter`]: every
-    /// output row is charged against the tuple cap *as it is produced*,
-    /// so a join whose intermediate result would blow the cap aborts
-    /// mid-materialisation instead of exhausting memory first.
+    /// [`natural_join`](Self::natural_join) under any [`Metering`]
+    /// enforcer: every output row is charged against the tuple cap *as
+    /// it is produced*, so a join whose intermediate result would blow
+    /// the cap aborts mid-materialisation instead of exhausting memory
+    /// first.
+    pub fn natural_join_metered<M: Metering>(
+        &self,
+        other: &NamedRelation,
+        meter: &mut M,
+    ) -> Result<NamedRelation, ExhaustionReason> {
+        let plan = JoinPlan::new(self, other);
+        let rows = join_rows(&self.rows, &other.rows, &plan, meter)?;
+        Ok(NamedRelation::new(plan.schema, rows))
+    }
+
+    /// [`natural_join_metered`](Self::natural_join_metered) fixed to the
+    /// single-threaded [`Meter`] (the pre-existing budgeted entry point).
     pub fn natural_join_budgeted(
         &self,
         other: &NamedRelation,
         meter: &mut Meter,
+    ) -> Result<NamedRelation, ExhaustionReason> {
+        self.natural_join_metered(other, meter)
+    }
+
+    /// Natural join: rows that agree on all common attributes are glued;
+    /// with disjoint schemas this is the cartesian product; with equal
+    /// schemas it is intersection.
+    pub fn natural_join(&self, other: &NamedRelation) -> NamedRelation {
+        self.natural_join_metered(other, &mut Budget::unlimited().meter())
+            .expect("unlimited budget cannot exhaust")
+    }
+
+    /// Partitioned parallel natural join under a thread-shared budget.
+    ///
+    /// Both sides are hash-partitioned on the join key with a fixed
+    /// (process-independent) hash; partition pairs are joined on
+    /// [`rayon`] workers, each charging the one [`SharedMeter`]; and the
+    /// per-partition results are concatenated in partition-index order
+    /// before canonicalisation, so the result is **identical** to
+    /// [`natural_join`](Self::natural_join). Disjoint schemas (a pure
+    /// cartesian product) parallelise over blocks of `self` instead.
+    ///
+    /// Small inputs and single-thread configurations fall back to the
+    /// sequential kernel — still metered, so cancellation works either
+    /// way.
+    pub fn natural_join_parallel(
+        &self,
+        other: &NamedRelation,
+        meter: &SharedMeter,
+    ) -> Result<NamedRelation, ExhaustionReason> {
+        let threads = rayon::current_num_threads();
+        if threads <= 1 || self.rows.len() + other.rows.len() < PARALLEL_JOIN_MIN_ROWS {
+            return self.natural_join_metered(other, &mut meter.clone());
+        }
+        let plan = JoinPlan::new(self, other);
+        let results: Result<Vec<Vec<Vec<u32>>>, ExhaustionReason> = if plan.common.is_empty() {
+            // Cartesian product: block-partition the outer side.
+            let block = self.rows.len().div_ceil(threads).max(1);
+            self.rows
+                .chunks(block)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|chunk| join_rows(chunk, &other.rows, &plan, &mut meter.clone()))
+                .collect()
+        } else {
+            // Hash-partition both sides on the join key; joining
+            // partition i of self with partition i of other is exhaustive
+            // because matching rows share a key, hence a partition.
+            let parts = threads * 4;
+            let mut left: Vec<Vec<Vec<u32>>> = vec![Vec::new(); parts];
+            let mut right: Vec<Vec<Vec<u32>>> = vec![Vec::new(); parts];
+            {
+                let m = meter.clone();
+                for row in &self.rows {
+                    m.tick()?;
+                    let h = key_hash(plan.common.iter().map(|&(i, _)| row[i]));
+                    left[(h % parts as u64) as usize].push(row.clone());
+                }
+                for row in &other.rows {
+                    m.tick()?;
+                    let h = key_hash(plan.common.iter().map(|&(_, j)| row[j]));
+                    right[(h % parts as u64) as usize].push(row.clone());
+                }
+            }
+            (0..parts)
+                .into_par_iter()
+                .map(|p| join_rows(&left[p], &right[p], &plan, &mut meter.clone()))
+                .collect()
+        };
+        let rows: Vec<Vec<u32>> = results?.into_iter().flatten().collect();
+        Ok(NamedRelation::new(plan.schema, rows))
+    }
+
+    /// Semijoin `self ⋉ other` under any [`Metering`] enforcer: one tick
+    /// per input row scanned on either side, one tuple charged per
+    /// surviving row — so a tuple cap bounds the peak size a reducer
+    /// sweep can carry, and a deadline is observed *inside* large
+    /// semijoins instead of only between them.
+    pub fn semijoin_metered<M: Metering>(
+        &self,
+        other: &NamedRelation,
+        meter: &mut M,
     ) -> Result<NamedRelation, ExhaustionReason> {
         let common: Vec<(usize, usize)> = self
             .schema
@@ -119,102 +294,52 @@ impl NamedRelation {
             .enumerate()
             .filter_map(|(i, &a)| other.position(a).map(|j| (i, j)))
             .collect();
-        let extra: Vec<usize> = (0..other.schema.len())
-            .filter(|&j| !common.iter().any(|&(_, cj)| cj == j))
-            .collect();
-        let mut schema = self.schema.clone();
-        schema.extend(extra.iter().map(|&j| other.schema[j]));
-        let mut index: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
-        for (ri, row) in other.rows.iter().enumerate() {
+        if common.is_empty() {
+            // Disjoint schemas: cross-product semantics — keep all of
+            // `self` iff `other` is nonempty.
             meter.tick()?;
-            let key: Vec<u32> = common.iter().map(|&(_, j)| row[j]).collect();
-            index.entry(key).or_default().push(ri);
+            return if other.is_empty() {
+                Ok(NamedRelation::empty(self.schema.clone()))
+            } else {
+                meter.charge_tuples(self.rows.len() as u64)?;
+                Ok(self.clone())
+            };
+        }
+        let mut keys: HashSet<Vec<u32>> = HashSet::new();
+        for row in &other.rows {
+            meter.tick()?;
+            keys.insert(common.iter().map(|&(_, j)| row[j]).collect());
         }
         let mut rows = Vec::new();
         for row in &self.rows {
             meter.tick()?;
             let key: Vec<u32> = common.iter().map(|&(i, _)| row[i]).collect();
-            if let Some(matches) = index.get(&key) {
-                for &ri in matches {
-                    meter.charge_tuples(1)?;
-                    let mut out = row.clone();
-                    out.extend(extra.iter().map(|&j| other.rows[ri][j]));
-                    rows.push(out);
-                }
+            if keys.contains(&key) {
+                meter.charge_tuples(1)?;
+                rows.push(row.clone());
             }
         }
-        Ok(NamedRelation::new(schema, rows))
+        Ok(NamedRelation {
+            schema: self.schema.clone(),
+            rows,
+        })
     }
 
-    /// Natural join: rows that agree on all common attributes are glued;
-    /// with disjoint schemas this is the cartesian product; with equal
-    /// schemas it is intersection.
-    pub fn natural_join(&self, other: &NamedRelation) -> NamedRelation {
-        // Positions of common attributes in both relations.
-        let common: Vec<(usize, usize)> = self
-            .schema
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &a)| other.position(a).map(|j| (i, j)))
-            .collect();
-        let extra: Vec<usize> = (0..other.schema.len())
-            .filter(|&j| !common.iter().any(|&(_, cj)| cj == j))
-            .collect();
-        let mut schema = self.schema.clone();
-        schema.extend(extra.iter().map(|&j| other.schema[j]));
-        // Hash other's rows by the common key.
-        let mut index: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
-        for (ri, row) in other.rows.iter().enumerate() {
-            let key: Vec<u32> = common.iter().map(|&(_, j)| row[j]).collect();
-            index.entry(key).or_default().push(ri);
-        }
-        let mut rows = Vec::new();
-        for row in &self.rows {
-            let key: Vec<u32> = common.iter().map(|&(i, _)| row[i]).collect();
-            if let Some(matches) = index.get(&key) {
-                for &ri in matches {
-                    let mut out = row.clone();
-                    out.extend(extra.iter().map(|&j| other.rows[ri][j]));
-                    rows.push(out);
-                }
-            }
-        }
-        NamedRelation::new(schema, rows)
+    /// [`semijoin_metered`](Self::semijoin_metered) fixed to the
+    /// single-threaded [`Meter`].
+    pub fn semijoin_budgeted(
+        &self,
+        other: &NamedRelation,
+        meter: &mut Meter,
+    ) -> Result<NamedRelation, ExhaustionReason> {
+        self.semijoin_metered(other, meter)
     }
 
     /// Semijoin `self ⋉ other`: rows of `self` that join with at least
     /// one row of `other`.
     pub fn semijoin(&self, other: &NamedRelation) -> NamedRelation {
-        let common: Vec<(usize, usize)> = self
-            .schema
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &a)| other.position(a).map(|j| (i, j)))
-            .collect();
-        if common.is_empty() {
-            return if other.is_empty() {
-                NamedRelation::empty(self.schema.clone())
-            } else {
-                self.clone()
-            };
-        }
-        let mut keys: HashMap<Vec<u32>, ()> = HashMap::new();
-        for row in &other.rows {
-            keys.insert(common.iter().map(|&(_, j)| row[j]).collect(), ());
-        }
-        let rows = self
-            .rows
-            .iter()
-            .filter(|row| {
-                let key: Vec<u32> = common.iter().map(|&(i, _)| row[i]).collect();
-                keys.contains_key(&key)
-            })
-            .cloned()
-            .collect::<Vec<_>>();
-        NamedRelation {
-            schema: self.schema.clone(),
-            rows,
-        }
+        self.semijoin_metered(other, &mut Budget::unlimited().meter())
+            .expect("unlimited budget cannot exhaust")
     }
 
     /// Projection onto the listed attributes (must exist; order given).
@@ -374,5 +499,109 @@ mod tests {
     fn rows_dedup() {
         let r = rel(&[0], &[&[1], &[1], &[0]]);
         assert_eq!(r.rows(), &[vec![0], vec![1]]);
+    }
+
+    /// Deterministic pseudo-random relation (LCG; no external deps).
+    fn random_rel(schema: &[u32], n: usize, domain: u32, seed: u64) -> NamedRelation {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let rows = (0..n)
+            .map(|_| schema.iter().map(|_| next() % domain).collect::<Vec<u32>>())
+            .collect::<Vec<_>>();
+        NamedRelation::new(schema.to_vec(), rows)
+    }
+
+    #[test]
+    fn budgeted_join_agrees_with_unbudgeted() {
+        let r = random_rel(&[0, 1], 300, 20, 7);
+        let s = random_rel(&[1, 2], 300, 20, 11);
+        let mut meter = Budget::unlimited().meter();
+        let budgeted = r.natural_join_budgeted(&s, &mut meter).unwrap();
+        assert_eq!(budgeted, r.natural_join(&s));
+    }
+
+    #[test]
+    fn parallel_join_identical_to_sequential() {
+        let r = random_rel(&[0, 1], 600, 15, 3);
+        let s = random_rel(&[1, 2], 600, 15, 5);
+        let expected = r.natural_join(&s);
+        for threads in [2usize, 4, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let meter = Budget::unlimited().shared_meter();
+            let got = pool
+                .install(|| r.natural_join_parallel(&s, &meter))
+                .unwrap();
+            assert_eq!(got, expected, "mismatch at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_join_disjoint_schemas_matches_product() {
+        let r = random_rel(&[0], 400, 50, 13);
+        let s = random_rel(&[1], 400, 50, 17);
+        let expected = r.natural_join(&s);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let meter = Budget::unlimited().shared_meter();
+        let got = pool
+            .install(|| r.natural_join_parallel(&s, &meter))
+            .unwrap();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn parallel_join_observes_shared_tuple_cap() {
+        let r = random_rel(&[0, 1], 800, 40, 19);
+        let s = random_rel(&[1, 2], 800, 40, 23);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let meter = Budget::unlimited().with_tuple_limit(100).shared_meter();
+        let err = pool
+            .install(|| r.natural_join_parallel(&s, &meter))
+            .unwrap_err();
+        assert_eq!(err, ExhaustionReason::TupleLimitExceeded);
+    }
+
+    #[test]
+    fn semijoin_budgeted_agrees_and_trips_tuple_cap() {
+        let r = random_rel(&[0, 1], 500, 5, 29);
+        let s = random_rel(&[1, 2], 500, 5, 31);
+        let mut meter = Budget::unlimited().meter();
+        assert_eq!(r.semijoin_budgeted(&s, &mut meter).unwrap(), r.semijoin(&s));
+        // With dense keys nearly every row survives; a tiny cap trips.
+        let mut capped = Budget::unlimited().with_tuple_limit(10).meter();
+        assert_eq!(
+            r.semijoin_budgeted(&s, &mut capped).unwrap_err(),
+            ExhaustionReason::TupleLimitExceeded
+        );
+    }
+
+    #[test]
+    fn semijoin_budgeted_disjoint_schema_edge() {
+        let r = rel(&[0, 1], &[&[1, 2], &[3, 4]]);
+        // Keep all of self iff other nonempty — and the kept rows are
+        // charged as tuples, so a zero cap trips.
+        let nonempty = rel(&[5], &[&[0]]);
+        let mut meter = Budget::unlimited().meter();
+        assert_eq!(r.semijoin_budgeted(&nonempty, &mut meter).unwrap(), r);
+        let empty = NamedRelation::empty(vec![5]);
+        assert!(r.semijoin_budgeted(&empty, &mut meter).unwrap().is_empty());
+        let mut capped = Budget::unlimited().with_tuple_limit(1).meter();
+        assert_eq!(
+            r.semijoin_budgeted(&nonempty, &mut capped).unwrap_err(),
+            ExhaustionReason::TupleLimitExceeded
+        );
     }
 }

@@ -15,9 +15,10 @@
 //! route to tractability cited at the end of Section 6.
 
 use crate::named::NamedRelation;
-use cspdb_core::budget::{Budget, ExhaustionReason, Meter};
+use cspdb_core::budget::{Budget, ExhaustionReason, Meter, Metering, SharedMeter};
 use cspdb_core::{CspInstance, Structure};
 use cspdb_decomp::{Hypergraph, HypertreeDecomposition};
+use rayon::prelude::*;
 
 /// Error: the instance's hypergraph is not α-acyclic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,72 +63,63 @@ fn solve_along_forest(
     parent: &[Option<usize>],
     num_vars: usize,
 ) -> Option<Vec<u32>> {
-    solve_along_forest_budgeted(rels, parent, num_vars, &mut Budget::unlimited().meter())
+    solve_along_forest_metered(rels, parent, num_vars, &mut Budget::unlimited().meter())
         .expect("unlimited budget cannot exhaust")
 }
 
-/// Budgeted full reducer: ticks one step per semijoin and per witness
-/// row scan, and charges surviving rows after each reduction sweep so a
-/// tuple cap bounds peak relation sizes.
-fn solve_along_forest_budgeted(
-    mut rels: Vec<NamedRelation>,
-    parent: &[Option<usize>],
-    num_vars: usize,
-    meter: &mut Meter,
-) -> Result<Option<Vec<u32>>, ExhaustionReason> {
-    let m = rels.len();
-    debug_assert_eq!(parent.len(), m);
-    // Topological order: parents after children (roots last).
-    let mut children: Vec<Vec<usize>> = vec![Vec::new(); m];
-    let mut roots = Vec::new();
-    for (i, p) in parent.iter().enumerate() {
-        match p {
-            Some(p) => children[*p].push(i),
-            None => roots.push(i),
-        }
-    }
-    let mut order = Vec::with_capacity(m);
-    let mut stack = roots.clone();
-    while let Some(u) = stack.pop() {
-        order.push(u);
-        stack.extend(children[u].iter().copied());
-    }
-    debug_assert_eq!(order.len(), m, "parent array must be a forest");
-    // Bottom-up: parent ⋉ child.
-    for &node in order.iter().rev() {
-        if let Some(p) = parent[node] {
-            meter.tick()?;
-            let reduced = rels[p].semijoin(&rels[node]);
-            meter.charge_tuples(reduced.len() as u64)?;
-            rels[p] = reduced;
-        }
-    }
-    if rels.iter().any(NamedRelation::is_empty) && m > 0 {
-        // An empty relation anywhere means no solution (roots are checked
-        // below; interior empties propagate up, but check all for safety).
-        if roots.iter().any(|&r| rels[r].is_empty()) {
-            return Ok(None);
-        }
-    }
-    // Top-down: child ⋉ parent.
-    for &node in &order {
-        if let Some(p) = parent[node] {
-            meter.tick()?;
-            let reduced = rels[node].semijoin(&rels[p]);
-            meter.charge_tuples(reduced.len() as u64)?;
-            rels[node] = reduced;
-            if rels[node].is_empty() {
-                return Ok(None);
+/// Children lists, roots, and a parents-before-children order for a
+/// forest given as a parent array.
+struct Forest {
+    children: Vec<Vec<usize>>,
+    roots: Vec<usize>,
+    /// DFS preorder: every parent precedes its children.
+    order: Vec<usize>,
+    /// `depth[i]` = distance from `i` to its root.
+    depth: Vec<usize>,
+}
+
+impl Forest {
+    fn new(parent: &[Option<usize>]) -> Forest {
+        let m = parent.len();
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); m];
+        let mut roots = Vec::new();
+        for (i, p) in parent.iter().enumerate() {
+            match p {
+                Some(p) => children[*p].push(i),
+                None => roots.push(i),
             }
         }
+        let mut order = Vec::with_capacity(m);
+        let mut depth = vec![0usize; m];
+        let mut stack = roots.clone();
+        while let Some(u) = stack.pop() {
+            order.push(u);
+            for &c in &children[u] {
+                depth[c] = depth[u] + 1;
+                stack.push(c);
+            }
+        }
+        debug_assert_eq!(order.len(), m, "parent array must be a forest");
+        Forest {
+            children,
+            roots,
+            order,
+            depth,
+        }
     }
-    if rels.iter().any(NamedRelation::is_empty) {
-        return Ok(None);
-    }
-    // Greedy witness, top-down: after full reduction every tuple extends
-    // to a solution, so picking any row consistent with the parent works.
+}
+
+/// Greedy witness assembly, top-down: after full reduction every tuple
+/// extends to a solution, so picking any row consistent with the parent
+/// works.
+fn assemble_witness<M: Metering>(
+    rels: &[NamedRelation],
+    order: &[usize],
+    num_vars: usize,
+    meter: &mut M,
+) -> Result<Vec<u32>, ExhaustionReason> {
     let mut assignment: Vec<Option<u32>> = vec![None; num_vars];
-    for &node in &order {
+    for &node in order {
         meter.tick()?;
         let rel = &rels[node];
         let row = rel
@@ -147,9 +139,148 @@ fn solve_along_forest_budgeted(
             assignment[a as usize] = Some(row[i]);
         }
     }
-    Ok(Some(
-        assignment.into_iter().map(|v| v.unwrap_or(0)).collect(),
-    ))
+    Ok(assignment.into_iter().map(|v| v.unwrap_or(0)).collect())
+}
+
+/// Metered full reducer: every semijoin meters per row scanned and per
+/// surviving row (via [`NamedRelation::semijoin_metered`]), so a tuple
+/// cap bounds peak relation sizes and a deadline or cancellation is
+/// observed *inside* a large sweep, not just between sweeps.
+fn solve_along_forest_metered<M: Metering>(
+    mut rels: Vec<NamedRelation>,
+    parent: &[Option<usize>],
+    num_vars: usize,
+    meter: &mut M,
+) -> Result<Option<Vec<u32>>, ExhaustionReason> {
+    debug_assert_eq!(parent.len(), rels.len());
+    let forest = Forest::new(parent);
+    // Bottom-up: parent ⋉ child (children before parents).
+    for &node in forest.order.iter().rev() {
+        if let Some(p) = parent[node] {
+            meter.tick()?;
+            rels[p] = rels[p].semijoin_metered(&rels[node], meter)?;
+        }
+    }
+    if forest.roots.iter().any(|&r| rels[r].is_empty()) {
+        return Ok(None);
+    }
+    // Top-down: child ⋉ parent.
+    for &node in &forest.order {
+        if let Some(p) = parent[node] {
+            meter.tick()?;
+            rels[node] = rels[node].semijoin_metered(&rels[p], meter)?;
+            if rels[node].is_empty() {
+                return Ok(None);
+            }
+        }
+    }
+    if rels.iter().any(NamedRelation::is_empty) {
+        return Ok(None);
+    }
+    Ok(Some(assemble_witness(
+        &rels,
+        &forest.order,
+        num_vars,
+        meter,
+    )?))
+}
+
+/// Single-threaded budgeted full reducer (the pre-existing entry point).
+fn solve_along_forest_budgeted(
+    rels: Vec<NamedRelation>,
+    parent: &[Option<usize>],
+    num_vars: usize,
+    meter: &mut Meter,
+) -> Result<Option<Vec<u32>>, ExhaustionReason> {
+    solve_along_forest_metered(rels, parent, num_vars, meter)
+}
+
+/// Parallel full reducer under a thread-shared budget: each sweep is run
+/// level by level (by join-tree depth), and all semijoins within a level
+/// execute on [`rayon`] workers charging the one [`SharedMeter`].
+///
+/// Correctness: semijoin is a filter, so reducing a parent by its
+/// children is order-independent; bottom-up, the parents updated at one
+/// level are distinct and their children (one level deeper) are already
+/// final; top-down, the nodes updated at one level are distinct and read
+/// only their (already final) parents. Hence the result is identical to
+/// the sequential reducer.
+fn solve_along_forest_shared(
+    mut rels: Vec<NamedRelation>,
+    parent: &[Option<usize>],
+    num_vars: usize,
+    meter: &SharedMeter,
+) -> Result<Option<Vec<u32>>, ExhaustionReason> {
+    debug_assert_eq!(parent.len(), rels.len());
+    let forest = Forest::new(parent);
+    let max_depth = forest.depth.iter().copied().max().unwrap_or(0);
+    // Bottom-up: at each level (deepest first), every parent with
+    // children folds them in, in parallel across parents.
+    for level in (0..max_depth).rev() {
+        let parents: Vec<usize> = forest
+            .order
+            .iter()
+            .copied()
+            .filter(|&p| forest.depth[p] == level && !forest.children[p].is_empty())
+            .collect();
+        let rels_ref = &rels;
+        let forest_ref = &forest;
+        let reduced: Vec<(usize, NamedRelation)> = parents
+            .into_par_iter()
+            .map(move |p| {
+                let mut m = meter.clone();
+                m.tick()?;
+                let mut r = rels_ref[p].clone();
+                for &c in &forest_ref.children[p] {
+                    r = r.semijoin_metered(&rels_ref[c], &mut m)?;
+                }
+                Ok((p, r))
+            })
+            .collect::<Result<_, ExhaustionReason>>()?;
+        for (p, r) in reduced {
+            rels[p] = r;
+        }
+    }
+    if forest.roots.iter().any(|&r| rels[r].is_empty()) {
+        return Ok(None);
+    }
+    // Top-down: nodes at each level reduce against their parents, in
+    // parallel within the level.
+    for level in 1..=max_depth {
+        let nodes: Vec<usize> = forest
+            .order
+            .iter()
+            .copied()
+            .filter(|&n| forest.depth[n] == level)
+            .collect();
+        let rels_ref = &rels;
+        let reduced: Vec<(usize, NamedRelation)> = nodes
+            .into_par_iter()
+            .map(move |n| {
+                let mut m = meter.clone();
+                m.tick()?;
+                let p = parent[n].expect("depth > 0 implies a parent");
+                Ok((n, rels_ref[n].semijoin_metered(&rels_ref[p], &mut m)?))
+            })
+            .collect::<Result<_, ExhaustionReason>>()?;
+        let mut any_empty = false;
+        for (n, r) in reduced {
+            any_empty |= r.is_empty();
+            rels[n] = r;
+        }
+        if any_empty {
+            return Ok(None);
+        }
+    }
+    if rels.iter().any(NamedRelation::is_empty) {
+        return Ok(None);
+    }
+    Ok(Some(assemble_witness(
+        &rels,
+        &forest.order,
+        num_vars,
+        &mut meter.clone(),
+    )?))
 }
 
 /// Yannakakis' algorithm: solves an α-acyclic CSP instance in polynomial
@@ -207,6 +338,43 @@ pub fn solve_acyclic_budgeted(
     }
     let jt = hg.gyo().ok_or(AcyclicSolveError::NotAcyclic)?;
     let sol = solve_along_forest_budgeted(rels, &jt.parent, normalized.num_vars(), &mut meter)
+        .map_err(AcyclicSolveError::Exhausted)?;
+    if let Some(ref s) = sol {
+        debug_assert!(instance.is_solution(s));
+    }
+    Ok(sol)
+}
+
+/// [`solve_acyclic`] with the full reducer parallelised per join-tree
+/// level under a thread-shared budget: all semijoins at one depth run on
+/// [`rayon`] workers charging the one [`SharedMeter`], so a step/tuple
+/// cap, deadline, or cancellation is enforced globally across workers.
+/// The verdict and witness are identical to [`solve_acyclic_budgeted`]'s.
+///
+/// # Errors
+///
+/// [`AcyclicSolveError::NotAcyclic`] if GYO fails,
+/// [`AcyclicSolveError::Exhausted`] if the shared budget ran out or was
+/// cancelled (inconclusive).
+pub fn solve_acyclic_shared(
+    instance: &CspInstance,
+    meter: &SharedMeter,
+) -> Result<Option<Vec<u32>>, AcyclicSolveError> {
+    if instance.num_vars() > 0 && instance.num_values() == 0 {
+        return Ok(None);
+    }
+    let normalized = instance.normalize_distinct().consolidate();
+    let rels: Vec<NamedRelation> = normalized
+        .constraints()
+        .iter()
+        .map(|c| NamedRelation::new(c.scope().to_vec(), c.relation().iter().map(|t| t.to_vec())))
+        .collect();
+    let mut hg = Hypergraph::new(normalized.num_vars());
+    for r in &rels {
+        hg.add_edge(r.schema().iter().copied());
+    }
+    let jt = hg.gyo().ok_or(AcyclicSolveError::NotAcyclic)?;
+    let sol = solve_along_forest_shared(rels, &jt.parent, normalized.num_vars(), meter)
         .map_err(AcyclicSolveError::Exhausted)?;
     if let Some(ref s) = sol {
         debug_assert!(instance.is_solution(s));
@@ -471,5 +639,98 @@ mod tests {
         let p = CspInstance::new(2, 2); // no constraints
         let sol = solve_acyclic(&p).unwrap().unwrap();
         assert_eq!(sol.len(), 2);
+    }
+
+    /// A wide star instance whose reducer sweeps carry thousands of
+    /// surviving rows per semijoin.
+    fn wide_star(leaves: usize, d: usize) -> CspInstance {
+        let mut p = CspInstance::new(leaves + 1, d);
+        let r = neq(d);
+        for leaf in 1..=leaves as u32 {
+            p.add_constraint([0, leaf], r.clone()).unwrap();
+        }
+        p
+    }
+
+    #[test]
+    fn tuple_cap_trips_inside_reducer_sweep() {
+        // d=60 gives 60·59 = 3540-row constraint relations; a 100-tuple
+        // cap must trip *during* a single semijoin, proving the reducer
+        // meters per row rather than per sweep.
+        let p = wide_star(6, 60);
+        let budget = Budget::unlimited().with_tuple_limit(100);
+        assert_eq!(
+            solve_acyclic_budgeted(&p, &budget),
+            Err(AcyclicSolveError::Exhausted(
+                ExhaustionReason::TupleLimitExceeded
+            ))
+        );
+        // And with room to breathe the same instance solves.
+        let sol = solve_acyclic_budgeted(&p, &Budget::unlimited())
+            .unwrap()
+            .expect("satisfiable");
+        assert!(p.is_solution(&sol));
+    }
+
+    #[test]
+    fn shared_reducer_agrees_with_sequential() {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        for (leaves, d) in [(5usize, 3usize), (8, 4), (3, 1)] {
+            let p = wide_star(leaves, d);
+            let sequential = solve_acyclic(&p).unwrap();
+            let meter = Budget::unlimited().shared_meter();
+            let parallel = pool.install(|| solve_acyclic_shared(&p, &meter)).unwrap();
+            assert_eq!(parallel, sequential, "star({leaves},{d})");
+        }
+        // A cyclic instance is rejected identically.
+        let mut tri = CspInstance::new(3, 3);
+        let r = neq(3);
+        for (u, v) in [(0u32, 1u32), (1, 2), (0, 2)] {
+            tri.add_constraint([u, v], r.clone()).unwrap();
+        }
+        let meter = Budget::unlimited().shared_meter();
+        assert_eq!(
+            solve_acyclic_shared(&tri, &meter),
+            Err(AcyclicSolveError::NotAcyclic)
+        );
+    }
+
+    #[test]
+    fn shared_reducer_observes_tuple_cap() {
+        let p = wide_star(6, 60);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let meter = Budget::unlimited().with_tuple_limit(100).shared_meter();
+        assert_eq!(
+            pool.install(|| solve_acyclic_shared(&p, &meter)),
+            Err(AcyclicSolveError::Exhausted(
+                ExhaustionReason::TupleLimitExceeded
+            ))
+        );
+    }
+
+    #[test]
+    fn shared_reducer_deep_chain_agrees() {
+        // A path is a join tree of depth n-1: exercises the level loop.
+        let mut p = CspInstance::new(7, 2);
+        let r = neq(2);
+        for i in 0..6u32 {
+            p.add_constraint([i, i + 1], r.clone()).unwrap();
+        }
+        let sequential = solve_acyclic(&p).unwrap();
+        let meter = Budget::unlimited().shared_meter();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        assert_eq!(
+            pool.install(|| solve_acyclic_shared(&p, &meter)).unwrap(),
+            sequential
+        );
     }
 }

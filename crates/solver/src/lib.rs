@@ -37,7 +37,7 @@ pub use search::{
     gac_fixpoint, gac_fixpoint_budgeted, Config, Outcome, Propagation, Search, Stats, VarOrder,
 };
 
-use cspdb_core::budget::{Answer, Budget, ResourceUsage};
+use cspdb_core::budget::{Answer, Budget, Metering, ResourceUsage, SharedMeter};
 use cspdb_core::{CoreError, CspInstance, PartialHom, Structure};
 use std::ops::ControlFlow;
 
@@ -57,8 +57,8 @@ pub struct BudgetedRun {
     pub usage: ResourceUsage,
 }
 
-fn run_budgeted(p: &Problem, config: Config, budget: &Budget) -> BudgetedRun {
-    let mut search = Search::with_budget(p, config, budget);
+fn run_metered<M: Metering>(p: &Problem, config: Config, meter: M) -> BudgetedRun {
+    let mut search = Search::with_meter(p, config, meter);
     let mut found = None;
     let outcome = search.run(None, |sol| {
         found = Some(sol.to_vec());
@@ -81,6 +81,10 @@ fn run_budgeted(p: &Problem, config: Config, budget: &Budget) -> BudgetedRun {
     }
 }
 
+fn run_budgeted(p: &Problem, config: Config, budget: &Budget) -> BudgetedRun {
+    run_metered(p, config, budget.meter())
+}
+
 /// Decides `A -> B` under a [`Budget`]: `Sat` with a witness, a definite
 /// `Unsat`, or `Unknown` if the budget ran out first.
 pub fn find_homomorphism_budgeted(a: &Structure, b: &Structure, budget: &Budget) -> BudgetedRun {
@@ -100,6 +104,30 @@ pub fn solve_csp_budgeted_with(
     budget: &Budget,
 ) -> BudgetedRun {
     run_budgeted(&Problem::from_csp(instance), config, budget)
+}
+
+/// Solves a CSP instance charging a thread-shared [`SharedMeter`]:
+/// several solver runs (or other algorithms) holding clones of the same
+/// meter draw on one global step/tuple/deadline budget, and any of them
+/// tripping — or the meter's [`cspdb_core::budget::CancelToken`] firing —
+/// stops this search at its next checkpoint with
+/// [`Answer::Unknown`].
+pub fn solve_csp_shared(instance: &CspInstance, meter: &SharedMeter) -> BudgetedRun {
+    run_metered(
+        &Problem::from_csp(instance),
+        Config::default(),
+        meter.clone(),
+    )
+}
+
+/// [`find_homomorphism_budgeted`] charging a thread-shared
+/// [`SharedMeter`] (see [`solve_csp_shared`]).
+pub fn find_homomorphism_shared(a: &Structure, b: &Structure, meter: &SharedMeter) -> BudgetedRun {
+    run_metered(
+        &Problem::from_structures(a, b),
+        Config::default(),
+        meter.clone(),
+    )
 }
 
 /// Finds a homomorphism `A -> B` with the default configuration

@@ -8,7 +8,7 @@
 
 use std::ops::ControlFlow;
 
-use cspdb_core::budget::{Budget, ExhaustionReason, Meter, ResourceUsage};
+use cspdb_core::budget::{Budget, ExhaustionReason, Meter, Metering, ResourceUsage};
 
 use crate::domain::DomainSet;
 use crate::problem::Problem;
@@ -112,12 +112,15 @@ pub fn gac_fixpoint_budgeted(
     }
 }
 
-/// A configured search over a [`Problem`].
-pub struct Search<'p> {
+/// A configured search over a [`Problem`], generic over the budget
+/// enforcer: [`Meter`] (the default) for single-threaded runs,
+/// [`cspdb_core::budget::SharedMeter`] when several searches race under
+/// one thread-shared budget.
+pub struct Search<'p, M: Metering = Meter> {
     problem: &'p Problem,
     config: Config,
     stats: Stats,
-    meter: Meter,
+    meter: M,
 }
 
 impl<'p> Search<'p> {
@@ -131,11 +134,20 @@ impl<'p> Search<'p> {
     /// [`Outcome::BudgetExhausted`] as soon as a limit trips (checked at
     /// every node and, amortised, inside propagation).
     pub fn with_budget(problem: &'p Problem, config: Config, budget: &Budget) -> Self {
+        Search::with_meter(problem, config, budget.meter())
+    }
+}
+
+impl<'p, M: Metering> Search<'p, M> {
+    /// Creates a search charging an arbitrary [`Metering`] enforcer —
+    /// pass a clone of a [`cspdb_core::budget::SharedMeter`] to race
+    /// this search against others under one budget.
+    pub fn with_meter(problem: &'p Problem, config: Config, meter: M) -> Self {
         Search {
             problem,
             config,
             stats: Stats::default(),
-            meter: budget.meter(),
+            meter,
         }
     }
 

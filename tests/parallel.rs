@@ -1,0 +1,144 @@
+//! Parallel-execution integration tests: the shared-meter parallel paths
+//! (partitioned joins, per-level Yannakakis sweeps, parallel tree-DP,
+//! the portfolio racer) must agree with their sequential counterparts,
+//! and cancellation through a `SharedMeter` must stop work with bounded
+//! latency.
+
+use constraint_db::auto_solve_csp;
+use constraint_db::auto_solve_portfolio_csp;
+use constraint_db::core::budget::{Budget, CancelToken, ExhaustionReason, CHECK_INTERVAL};
+use constraint_db::core::{CspInstance, Relation};
+use constraint_db::decomp::{solve_by_treewidth, solve_by_treewidth_shared};
+use constraint_db::relalg::{solve_acyclic, solve_acyclic_shared, NamedRelation};
+use proptest::prelude::*;
+use rayon::ThreadPoolBuilder;
+use std::sync::Arc;
+
+/// Strategy: a named binary relation over `schema` with tuples in `0..d`.
+fn named_rel(schema: [u32; 2], d: u32, max_tuples: usize) -> impl Strategy<Value = NamedRelation> {
+    prop::collection::vec((0..d, 0..d), 0..=max_tuples).prop_map(move |rows| {
+        NamedRelation::new(schema.to_vec(), rows.into_iter().map(|(a, b)| vec![a, b]))
+    })
+}
+
+/// Strategy: a small chain CSP (acyclic by construction).
+fn chain_csp() -> impl Strategy<Value = CspInstance> {
+    (
+        2usize..6,
+        2usize..4,
+        prop::collection::vec(
+            prop::collection::vec((0u32..4, 0u32..4), 0..10usize),
+            1..6usize,
+        ),
+    )
+        .prop_map(|(n, d, edges)| {
+            let mut p = CspInstance::new(n, d);
+            for (i, tuples) in edges.into_iter().enumerate() {
+                let x = (i % (n - 1)) as u32;
+                let tuples: Vec<[u32; 2]> = tuples
+                    .into_iter()
+                    .map(|(a, b)| [a % d as u32, b % d as u32])
+                    .collect();
+                let rel = Relation::from_tuples(2, tuples.iter()).unwrap();
+                p.add_constraint(vec![x, x + 1], Arc::new(rel)).unwrap();
+            }
+            p
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Partitioned parallel hash joins are byte-identical to the
+    /// sequential join, at every thread count, including sub-threshold
+    /// inputs that take the sequential fallback.
+    #[test]
+    fn parallel_join_equals_sequential(
+        a in named_rel([0, 1], 4, 24),
+        b in named_rel([1, 2], 4, 24),
+    ) {
+        let expected = a.natural_join(&b);
+        for threads in [1usize, 2, 4] {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let meter = Budget::unlimited().shared_meter();
+            let got = pool.install(|| a.natural_join_parallel(&b, &meter)).unwrap();
+            prop_assert_eq!(&got, &expected);
+        }
+    }
+
+    /// The per-level parallel Yannakakis reducer decides exactly the
+    /// instances the sequential reducer decides, with valid witnesses.
+    #[test]
+    fn shared_yannakakis_agrees_with_sequential(p in chain_csp()) {
+        let expected = solve_acyclic(&p).unwrap();
+        let meter = Budget::unlimited().shared_meter();
+        let got = solve_acyclic_shared(&p, &meter).unwrap();
+        prop_assert_eq!(got.is_some(), expected.is_some());
+        if let Some(w) = got {
+            prop_assert!(p.is_solution(&w));
+        }
+    }
+
+    /// The portfolio racer under an ample budget reaches the same
+    /// verdict as the unbudgeted auto-solver, with valid witnesses.
+    #[test]
+    fn portfolio_agrees_with_auto_solve(p in chain_csp()) {
+        let truth = auto_solve_csp(&p).witness.is_some();
+        let report = auto_solve_portfolio_csp(&p, &Budget::unlimited());
+        prop_assert_eq!(report.answer.is_sat(), truth);
+        prop_assert_eq!(report.answer.is_unsat(), !truth);
+        if let Some(w) = report.answer.witness() {
+            prop_assert!(p.is_solution(w));
+        }
+    }
+}
+
+/// The parallel tree-decomposition DP agrees with the sequential one on
+/// graph-coloring instances spanning sat and unsat.
+#[test]
+fn shared_treewidth_dp_agrees_with_sequential() {
+    use constraint_db::core::graphs::{clique, complete_bipartite, cycle};
+    let cases = [
+        (cycle(5), clique(3)),
+        (cycle(5), clique(2)),
+        (complete_bipartite(3, 3), clique(2)),
+        (cycle(6), clique(2)),
+    ];
+    for (a, b) in &cases {
+        let (w_seq, seq) = solve_by_treewidth(a, b);
+        let meter = Budget::unlimited().shared_meter();
+        let (w_par, par) = solve_by_treewidth_shared(a, b, &meter)
+            .expect("shared treewidth DP exhausted on an unlimited budget");
+        assert_eq!(w_seq, w_par, "widths diverged");
+        assert_eq!(seq.is_some(), par.is_some(), "verdicts diverged");
+    }
+}
+
+/// Cancelling through a `SharedMeter` stops a ticking worker within one
+/// amortized checkpoint window (`CHECK_INTERVAL` ticks), not "eventually".
+#[test]
+fn shared_meter_cancellation_latency_is_bounded() {
+    let token = CancelToken::new();
+    let budget = Budget::unlimited().with_cancel(token.clone());
+    let meter = budget.shared_meter();
+    let worker = meter.clone();
+
+    // Warm up past the first checkpoint so the next one is a clean probe.
+    for _ in 0..CHECK_INTERVAL {
+        worker.tick().unwrap();
+    }
+    token.cancel();
+
+    let mut survived: u64 = 0;
+    let tripped = loop {
+        match worker.tick() {
+            Ok(()) => survived += 1,
+            Err(reason) => break reason,
+        }
+        assert!(
+            survived <= CHECK_INTERVAL,
+            "worker survived {survived} ticks after cancellation"
+        );
+    };
+    assert_eq!(tripped, ExhaustionReason::Cancelled);
+}
