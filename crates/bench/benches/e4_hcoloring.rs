@@ -15,7 +15,7 @@ fn bench(c: &mut Criterion) {
         ("C5_np", cycle(5)),
     ] {
         group.bench_with_input(BenchmarkId::new(name, 30), &h, |b, h| {
-            b.iter(|| cspdb::auto_solve(&g, h))
+            b.iter(|| cspdb::Solver::new().solve(&g, h))
         });
     }
     group.finish();

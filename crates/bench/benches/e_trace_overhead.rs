@@ -1,0 +1,65 @@
+//! Trace-overhead experiment: the observability layer must be
+//! zero-cost when disabled. Three configurations over the same
+//! workloads:
+//!
+//! * `untraced`  — no sink attached (the `Tracer` is inert);
+//! * `null_sink` — a `NullSink` attached (events are constructed only
+//!   if the tracer is active; `NullSink` reports inactive, so this must
+//!   match `untraced` to within noise — the acceptance bar is < 2%);
+//! * `recorder`  — a `Recorder` attached (the honest cost of capturing
+//!   every event, for calibration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cspdb::{SolveStrategy, Solver};
+use cspdb_core::budget::Budget;
+use cspdb_core::trace::{NullSink, Recorder, TraceSink};
+use cspdb_core::CspInstance;
+use std::sync::Arc;
+
+fn workloads() -> Vec<(&'static str, CspInstance)> {
+    use cspdb_core::graphs::{clique, cycle};
+    let sparse = cspdb_gen::gnp(24, 0.08, 11);
+    vec![
+        (
+            "acyclic_yannakakis",
+            CspInstance::from_homomorphism(&cspdb_gen::gnp(20, 0.05, 7), &clique(3)).unwrap(),
+        ),
+        (
+            "cyclic_treewidth",
+            CspInstance::from_homomorphism(&cycle(9), &clique(3)).unwrap(),
+        ),
+        (
+            "sparse_ladder",
+            CspInstance::from_homomorphism(&sparse, &clique(3)).unwrap(),
+        ),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e_trace_overhead");
+    group.sample_size(30);
+    let configs: Vec<(&str, Option<Arc<dyn TraceSink>>)> = vec![
+        ("untraced", None),
+        ("null_sink", Some(Arc::new(NullSink))),
+        ("recorder", Some(Arc::new(Recorder::new()))),
+    ];
+    for (name, p) in workloads() {
+        for (cfg, sink) in &configs {
+            group.bench_with_input(BenchmarkId::new(name, cfg), &p, |b, p| {
+                b.iter(|| {
+                    let mut solver = Solver::new()
+                        .budget(Budget::unlimited())
+                        .strategy(SolveStrategy::Ladder);
+                    if let Some(sink) = sink {
+                        solver = solver.trace(sink.clone());
+                    }
+                    solver.solve_csp(p)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -169,7 +169,7 @@ fn e4() {
     for (name, h) in templates {
         let bipartite = two_coloring(&h).is_some();
         let g = cspdb_gen::gnp(40, 0.08, 3);
-        let (report, t) = time_once(|| cspdb::auto_solve(&g, &h));
+        let (report, t) = time_once(|| cspdb::Solver::new().solve(&g, &h).expect_decided());
         println!(
             "| {name} | {bipartite} | G(40,0.08) | {} via {:?} | {} |",
             if report.witness.is_some() {

@@ -195,6 +195,24 @@ pub fn k_consistency_refutes_budgeted(
     }
 }
 
+/// [`k_consistency_refutes`] under any
+/// [`Metering`](cspdb_core::budget::Metering) enforcer: same contract as
+/// [`k_consistency_refutes_budgeted`], but the caller keeps the meter,
+/// so resource usage (and the tracer it carries) stays readable
+/// afterwards.
+pub fn k_consistency_refutes_metered<M: cspdb_core::budget::Metering>(
+    a: &Structure,
+    b: &Structure,
+    k: usize,
+    meter: &mut M,
+) -> Result<Option<bool>, cspdb_core::budget::ExhaustionReason> {
+    if crate::game::spoiler_wins_metered(a, b, k, meter)? {
+        Ok(Some(false))
+    } else {
+        Ok(None)
+    }
+}
+
 /// A coherence check for the established instance: every constraint
 /// tuple's correspondence is a partial homomorphism of `(A', B')` — the
 /// property Theorem 5.6 guarantees ("largest coherent instance").

@@ -15,7 +15,8 @@
 //! `O(n^{2k})` bound shows up as the size of the candidate set — this is
 //! what Experiment E5 measures.
 
-use cspdb_core::budget::{Budget, ExhaustionReason};
+use cspdb_core::budget::{Budget, ExhaustionReason, Metering};
+use cspdb_core::trace::TraceEvent;
 use cspdb_core::{PartialHom, Structure};
 use std::collections::HashMap;
 
@@ -132,11 +133,25 @@ pub fn largest_winning_strategy_budgeted(
     k: usize,
     budget: &Budget,
 ) -> Result<WinningStrategy, ExhaustionReason> {
+    largest_winning_strategy_metered(a, b, k, &mut budget.meter())
+}
+
+/// [`largest_winning_strategy`] under any [`Metering`] enforcer: same
+/// contract as [`largest_winning_strategy_budgeted`], but the caller
+/// keeps the meter, so resource usage (and the tracer it carries) stays
+/// readable afterwards. Emits one [`TraceEvent::KConsistency`] per
+/// completed run with the candidate-table and greatest-fixpoint
+/// survivor counts.
+pub fn largest_winning_strategy_metered<M: Metering>(
+    a: &Structure,
+    b: &Structure,
+    k: usize,
+    meter: &mut M,
+) -> Result<WinningStrategy, ExhaustionReason> {
     assert!(k >= 1, "the game needs at least one pebble");
     assert_eq!(a.vocabulary(), b.vocabulary(), "vocabulary mismatch");
     let n = a.domain_size() as u32;
     let d = b.domain_size() as u32;
-    let mut meter = budget.meter();
 
     // Candidate generation: all partial homomorphisms of size <= k.
     let mut maps: Vec<PartialHom> = Vec::new();
@@ -204,11 +219,17 @@ pub fn largest_winning_strategy_budgeted(
         }
     }
 
+    let candidates = maps.len() as u64;
     let surviving: Vec<PartialHom> = maps
         .into_iter()
         .zip(alive)
         .filter_map(|(f, keep)| keep.then_some(f))
         .collect();
+    meter.tracer().emit_with(|| TraceEvent::KConsistency {
+        k,
+        candidates,
+        survivors: surviving.len() as u64,
+    });
     let index = surviving
         .iter()
         .enumerate()
@@ -241,6 +262,17 @@ pub fn spoiler_wins_budgeted(
     budget: &Budget,
 ) -> Result<bool, ExhaustionReason> {
     Ok(largest_winning_strategy_budgeted(a, b, k, budget)?.is_empty())
+}
+
+/// [`spoiler_wins`] under any [`Metering`] enforcer; `Err` means the
+/// game computation ran out of resources (inconclusive either way).
+pub fn spoiler_wins_metered<M: Metering>(
+    a: &Structure,
+    b: &Structure,
+    k: usize,
+    meter: &mut M,
+) -> Result<bool, ExhaustionReason> {
+    Ok(largest_winning_strategy_metered(a, b, k, meter)?.is_empty())
 }
 
 #[cfg(test)]

@@ -7,7 +7,8 @@
 //! instance is strongly k-consistent iff the family of **all** ≤k partial
 //! homomorphisms is a winning strategy for the Duplicator.
 
-use cspdb_core::budget::{Budget, ExhaustionReason};
+use cspdb_core::budget::{Budget, ExhaustionReason, Metering};
+use cspdb_core::trace::TraceEvent;
 use cspdb_core::{CspInstance, PartialHom, Structure};
 
 /// Enumerates all partial homomorphisms `A -> B` with exactly `size`
@@ -96,7 +97,28 @@ pub fn ac3_budgeted(
     instance: &CspInstance,
     budget: &Budget,
 ) -> Result<Option<Vec<Vec<u32>>>, ExhaustionReason> {
-    let mut meter = budget.meter();
+    ac3_metered(instance, &mut budget.meter())
+}
+
+/// [`ac3`] under any [`Metering`] enforcer: same contract as
+/// [`ac3_budgeted`], but the caller keeps the meter, so resource usage
+/// (and the tracer it carries) stays readable afterwards. Emits one
+/// [`TraceEvent::Propagation`] per completed run with the revision and
+/// removal counts.
+pub fn ac3_metered<M: Metering>(
+    instance: &CspInstance,
+    meter: &mut M,
+) -> Result<Option<Vec<Vec<u32>>>, ExhaustionReason> {
+    let mut revisions = 0u64;
+    let mut removals = 0u64;
+    let emit = |meter: &mut M, revisions: u64, removals: u64, wipeout: bool| {
+        meter.tracer().emit_with(|| TraceEvent::Propagation {
+            algorithm: "ac3",
+            revisions,
+            removals,
+            wipeout,
+        });
+    };
     let n = instance.num_vars();
     let d = instance.num_values();
     let mut domains: Vec<Vec<bool>> = vec![vec![true; d]; n];
@@ -125,6 +147,7 @@ pub fn ac3_budgeted(
     while let Some(ai) = queue.pop() {
         meter.tick()?;
         queued[ai] = false;
+        revisions += 1;
         let (ci, x, y, flipped) = arcs[ai];
         let rel = instance.constraints()[ci].relation();
         let mut revised = false;
@@ -142,11 +165,13 @@ pub fn ac3_budgeted(
             });
             if !supported {
                 domains[x][vx as usize] = false;
+                removals += 1;
                 revised = true;
             }
         }
         if revised {
             if domains[x].iter().all(|&s| !s) {
+                emit(meter, revisions, removals, true);
                 return Ok(None);
             }
             for (aj, &(_, _, ty, _)) in arcs.iter().enumerate() {
@@ -157,6 +182,7 @@ pub fn ac3_budgeted(
             }
         }
     }
+    emit(meter, revisions, removals, false);
     Ok(Some(
         domains
             .into_iter()

@@ -22,6 +22,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::error::CoreError;
+use crate::trace::{TraceSink, Tracer};
 
 /// Number of [`Meter::tick`] calls between expensive checkpoint checks
 /// (clock read, cancellation flag load). Power of two so the modulo is a
@@ -138,6 +139,9 @@ pub struct Budget {
     pub tuple_limit: Option<u64>,
     /// Cooperative cancellation flag, if any.
     pub cancel: Option<CancelToken>,
+    /// Telemetry handle copied into every meter created from this
+    /// budget. Disabled by default; see [`Budget::with_trace`].
+    trace: Tracer,
 }
 
 impl Budget {
@@ -179,6 +183,25 @@ impl Budget {
         self
     }
 
+    /// Attaches a trace sink: every meter created from this budget
+    /// emits [`crate::trace::TraceEvent`]s to it. A sink that reports
+    /// itself disabled (e.g. [`crate::trace::NullSink`]) keeps the
+    /// tracer inert.
+    pub fn with_trace(self, sink: Arc<dyn TraceSink>) -> Self {
+        self.with_tracer(Tracer::new(sink))
+    }
+
+    /// Attaches an already-built [`Tracer`] (shares its sink).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.trace = tracer;
+        self
+    }
+
+    /// The budget's tracer (disabled unless a sink was attached).
+    pub fn tracer(&self) -> &Tracer {
+        &self.trace
+    }
+
     /// True if no limit of any kind is set.
     pub fn is_unlimited(&self) -> bool {
         self.deadline.is_none()
@@ -189,18 +212,35 @@ impl Budget {
 
     /// A proportional slice of this budget for one phase of a larger
     /// computation: numeric limits are scaled by `num / den` (min 1 if
-    /// the original was finite), the cancel token is shared.
+    /// the original was finite), the cancel token and the tracer are
+    /// shared.
     ///
     /// Used by tiered strategies to give each tier a fraction of the
     /// caller's budget while the overall deadline still applies.
+    ///
+    /// A zero-width slice (`num == 0`) exhausts immediately: its meters
+    /// trip on the first tick or checkpoint regardless of whether the
+    /// parent was limited. (Previously `slice(0, den)` of an unlimited
+    /// parent silently produced another *unlimited* budget, because
+    /// scaling only applied to limits that were present.)
     pub fn slice(&self, num: u64, den: u64) -> Budget {
         assert!(den > 0, "slice denominator must be positive");
+        if num == 0 {
+            return Budget {
+                deadline: Some(Duration::ZERO),
+                step_limit: Some(0),
+                tuple_limit: Some(0),
+                cancel: self.cancel.clone(),
+                trace: self.trace.clone(),
+            };
+        }
         let scale = |v: u64| (v.saturating_mul(num) / den).max(1);
         Budget {
             deadline: self.deadline.map(|d| d.mul_f64(num as f64 / den as f64)),
             step_limit: self.step_limit.map(scale),
             tuple_limit: self.tuple_limit.map(scale),
             cancel: self.cancel.clone(),
+            trace: self.trace.clone(),
         }
     }
 
@@ -212,6 +252,7 @@ impl Budget {
             step_limit: self.step_limit,
             tuple_limit: self.tuple_limit,
             cancel: self.cancel.clone(),
+            trace: self.trace.clone(),
             steps: 0,
             tuples: 0,
             tripped: None,
@@ -230,6 +271,7 @@ impl Budget {
                 step_limit: self.step_limit,
                 tuple_limit: self.tuple_limit,
                 cancel: self.cancel.clone(),
+                trace: self.trace.clone(),
                 steps: AtomicU64::new(0),
                 tuples: AtomicU64::new(0),
                 tripped: AtomicU8::new(TRIP_NONE),
@@ -275,6 +317,7 @@ pub struct Meter {
     step_limit: Option<u64>,
     tuple_limit: Option<u64>,
     cancel: Option<CancelToken>,
+    trace: Tracer,
     steps: u64,
     tuples: u64,
     tripped: Option<ExhaustionReason>,
@@ -370,6 +413,12 @@ impl Meter {
         self.tripped
     }
 
+    /// The tracer carried from the originating [`Budget`].
+    #[inline]
+    pub fn tracer(&self) -> &Tracer {
+        &self.trace
+    }
+
     /// Resources consumed so far.
     pub fn usage(&self) -> ResourceUsage {
         ResourceUsage {
@@ -445,6 +494,7 @@ struct SharedMeterState {
     step_limit: Option<u64>,
     tuple_limit: Option<u64>,
     cancel: Option<CancelToken>,
+    trace: Tracer,
     steps: AtomicU64,
     tuples: AtomicU64,
     tripped: AtomicU8,
@@ -543,6 +593,13 @@ impl SharedMeter {
         decode_reason(self.inner.tripped.load(Ordering::Relaxed))
     }
 
+    /// The tracer carried from the originating [`Budget`]; shared by
+    /// every clone, so parallel workers emit to one sink.
+    #[inline]
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.trace
+    }
+
     /// Resources consumed so far, totalled across every clone.
     pub fn usage(&self) -> ResourceUsage {
         ResourceUsage {
@@ -571,6 +628,10 @@ pub trait Metering {
     fn usage(&self) -> ResourceUsage;
     /// The latched exhaustion reason, if any limit has tripped.
     fn exhausted(&self) -> Option<ExhaustionReason>;
+    /// The telemetry handle carried alongside the meter; disabled
+    /// (a single-branch no-op) unless the originating [`Budget`] had a
+    /// sink attached via [`Budget::with_trace`].
+    fn tracer(&self) -> &Tracer;
 }
 
 impl Metering for Meter {
@@ -593,6 +654,10 @@ impl Metering for Meter {
     fn exhausted(&self) -> Option<ExhaustionReason> {
         Meter::exhausted(self)
     }
+
+    fn tracer(&self) -> &Tracer {
+        Meter::tracer(self)
+    }
 }
 
 impl Metering for SharedMeter {
@@ -614,6 +679,10 @@ impl Metering for SharedMeter {
 
     fn exhausted(&self) -> Option<ExhaustionReason> {
         SharedMeter::exhausted(self)
+    }
+
+    fn tracer(&self) -> &Tracer {
+        SharedMeter::tracer(self)
     }
 }
 
@@ -775,6 +844,31 @@ mod tests {
         assert_eq!(m.checkpoint(), Err(ExhaustionReason::Cancelled));
         // Finite limits never scale to zero.
         assert_eq!(b.slice(1, 100_000).step_limit, Some(1));
+    }
+
+    #[test]
+    fn zero_width_slice_exhausts_immediately() {
+        // Regression: slice(0, den) of an *unlimited* parent used to
+        // produce another unlimited budget (scaling only applied to
+        // limits that were present). A zero-width slice must exhaust
+        // on the very first unit of work.
+        let s = Budget::unlimited().slice(0, 4);
+        assert_eq!(s.step_limit, Some(0));
+        assert_eq!(s.tuple_limit, Some(0));
+        assert_eq!(s.deadline, Some(Duration::ZERO));
+        let mut m = s.meter();
+        assert!(m.tick().is_err());
+        let mut m2 = s.meter();
+        assert!(m2.charge_tuples(1).is_err());
+        let m3 = s.meter();
+        assert!(m3.clone().checkpoint().is_err());
+        // Same for a limited parent.
+        let s = Budget::new().with_step_limit(1000).slice(0, 4);
+        assert!(s.meter().tick().is_err());
+        // The cancel token is still shared through a zero slice.
+        let token = CancelToken::new();
+        let s = Budget::new().with_cancel(token.clone()).slice(0, 2);
+        assert!(s.cancel.is_some());
     }
 
     #[test]

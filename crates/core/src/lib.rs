@@ -36,6 +36,7 @@ mod homomorphism;
 mod relation;
 mod structure;
 pub mod sum;
+pub mod trace;
 mod vocabulary;
 
 pub use budget::{
@@ -46,4 +47,5 @@ pub use error::{CoreError, Result};
 pub use homomorphism::{compose, is_homomorphism, PartialHom};
 pub use relation::Relation;
 pub use structure::Structure;
+pub use trace::{JsonLinesSink, NullSink, OperatorKind, Recorder, TraceEvent, TraceSink, Tracer};
 pub use vocabulary::{RelId, Vocabulary, VocabularyBuilder};

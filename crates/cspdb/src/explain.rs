@@ -1,0 +1,272 @@
+//! EXPLAIN-style reporting: a [`GovernedReport`] plus the recorded
+//! [`TraceEvent`] stream, rendered as text or JSON.
+//!
+//! Database engines answer `EXPLAIN ANALYZE` with the executed plan and
+//! its per-operator cardinalities; this module is the CSP analogue. The
+//! ladder's tiers play the role of plan alternatives, the trace events
+//! carry per-operator (join/semijoin) cardinalities, and the phase
+//! summary gives per-tier wall time and meter charges.
+//!
+//! ```
+//! use cspdb::{ExplainReport, Solver};
+//! use cspdb::core::graphs::{clique, cycle};
+//! use cspdb::core::trace::Recorder;
+//! use std::sync::Arc;
+//!
+//! let rec = Arc::new(Recorder::new());
+//! let report = Solver::new().trace(rec.clone()).solve(&cycle(5), &clique(3));
+//! let explain = ExplainReport::new(report, rec.take());
+//! assert!(explain.render_text().contains("treewidth"));
+//! assert!(explain.to_json().starts_with('{'));
+//! ```
+
+use crate::facade::GovernedReport;
+use cspdb_core::budget::Answer;
+use cspdb_core::trace::TraceEvent;
+use std::fmt::Write as _;
+
+/// A governed run together with its recorded event stream, renderable
+/// as an `EXPLAIN ANALYZE`-style report.
+#[derive(Debug, Clone)]
+pub struct ExplainReport {
+    /// The run's answer, attempts, and phase summary.
+    pub report: GovernedReport,
+    /// The typed events recorded during the run, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl ExplainReport {
+    /// Pairs a report with the events a
+    /// [`Recorder`](cspdb_core::trace::Recorder) captured for it.
+    pub fn new(report: GovernedReport, events: Vec<TraceEvent>) -> Self {
+        ExplainReport { report, events }
+    }
+
+    /// Human-readable plan report: the answer, the winning strategy, every
+    /// tier attempt with its per-phase wall time and meter counters, and
+    /// the event stream indented under its enclosing tier.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        match &self.report.answer {
+            Answer::Sat(w) => {
+                let _ = writeln!(out, "answer: sat (witness over {} variables)", w.len());
+            }
+            Answer::Unsat => {
+                let _ = writeln!(out, "answer: unsat");
+            }
+            Answer::Unknown(r) => {
+                let _ = writeln!(out, "answer: unknown ({r})");
+            }
+        }
+        match &self.report.strategy {
+            Some(s) => {
+                let _ = writeln!(out, "strategy: {s}");
+            }
+            None => {
+                let _ = writeln!(out, "strategy: none (no tier decided)");
+            }
+        }
+        let _ = writeln!(out, "tiers:");
+        for (attempt, phase) in self
+            .report
+            .attempts
+            .iter()
+            .zip(self.report.trace.phases.iter())
+        {
+            let _ = writeln!(
+                out,
+                "  {:<16} {:<40} {:>8} µs {:>10} steps {:>10} tuples",
+                attempt.strategy.to_string(),
+                attempt.outcome.label(),
+                phase.micros,
+                phase.steps,
+                phase.tuples,
+            );
+        }
+        // Phases beyond the attempts (e.g. the aggregate "portfolio" row).
+        for phase in self
+            .report
+            .trace
+            .phases
+            .iter()
+            .skip(self.report.attempts.len())
+        {
+            let _ = writeln!(
+                out,
+                "  {:<16} {:<40} {:>8} µs {:>10} steps {:>10} tuples",
+                phase.phase, "(aggregate)", phase.micros, phase.steps, phase.tuples,
+            );
+        }
+        if self.events.is_empty() {
+            let _ = writeln!(out, "events: none recorded");
+        } else {
+            let _ = writeln!(out, "events ({}):", self.events.len());
+            let mut depth = 0usize;
+            for event in &self.events {
+                if matches!(event, TraceEvent::TierEnd { .. }) {
+                    depth = depth.saturating_sub(1);
+                }
+                let _ = writeln!(
+                    out,
+                    "  {}{} {}",
+                    "  ".repeat(depth),
+                    event.kind(),
+                    event.to_json(),
+                );
+                if matches!(event, TraceEvent::TierStart { .. }) {
+                    depth += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Machine-readable report: one JSON object with the answer, the
+    /// winning strategy, the exhaustion reason (`null` unless the answer
+    /// is unknown), the tier attempts, the per-phase timings/counters,
+    /// and the raw event objects.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let (answer, witness_len, reason) = match &self.report.answer {
+            Answer::Sat(w) => ("sat", Some(w.len()), None),
+            Answer::Unsat => ("unsat", None, None),
+            Answer::Unknown(r) => ("unknown", None, Some(r.to_string())),
+        };
+        let _ = write!(out, "\"answer\":\"{answer}\"");
+        match witness_len {
+            Some(n) => {
+                let _ = write!(out, ",\"witness_len\":{n}");
+            }
+            None => out.push_str(",\"witness_len\":null"),
+        }
+        match &self.report.strategy {
+            Some(s) => {
+                let _ = write!(out, ",\"strategy\":\"{}\"", esc(&s.to_string()));
+            }
+            None => out.push_str(",\"strategy\":null"),
+        }
+        match reason {
+            Some(r) => {
+                let _ = write!(out, ",\"exhaustion_reason\":\"{}\"", esc(&r));
+            }
+            None => out.push_str(",\"exhaustion_reason\":null"),
+        }
+        out.push_str(",\"attempts\":[");
+        for (i, attempt) in self.report.attempts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"strategy\":\"{}\",\"outcome\":\"{}\"}}",
+                esc(&attempt.strategy.to_string()),
+                esc(&attempt.outcome.label()),
+            );
+        }
+        out.push_str("],\"phases\":[");
+        for (i, phase) in self.report.trace.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"phase\":\"{}\",\"micros\":{},\"steps\":{},\"tuples\":{}}}",
+                esc(&phase.phase),
+                phase.micros,
+                phase.steps,
+                phase.tuples,
+            );
+        }
+        out.push_str("],\"events\":[");
+        for (i, event) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&event.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facade::{SolveStrategy, Solver};
+    use cspdb_core::budget::Budget;
+    use cspdb_core::graphs::{clique, cycle};
+    use cspdb_core::trace::Recorder;
+    use std::sync::Arc;
+
+    fn explain(a: &cspdb_core::Structure, b: &cspdb_core::Structure) -> ExplainReport {
+        let rec = Arc::new(Recorder::new());
+        let report = Solver::new().trace(rec.clone()).solve(a, b);
+        ExplainReport::new(report, rec.take())
+    }
+
+    #[test]
+    fn text_report_names_the_winning_tier() {
+        let e = explain(&cycle(5), &clique(3));
+        let text = e.render_text();
+        assert!(text.contains("answer: sat"), "got:\n{text}");
+        assert!(text.contains("strategy: treewidth"), "got:\n{text}");
+        assert!(text.contains("tier_start"), "got:\n{text}");
+    }
+
+    #[test]
+    fn json_report_is_structurally_sound() {
+        let e = explain(&cycle(5), &clique(3));
+        let json = e.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"answer\":\"sat\""), "got:\n{json}");
+        assert!(json.contains("\"exhaustion_reason\":null"));
+        assert!(json.contains("\"phases\":["));
+        assert!(json.contains("\"event\":\"dp_table\""), "got:\n{json}");
+        // Balanced braces and quotes — cheap well-formedness checks that
+        // catch missed commas/escapes without a JSON parser dependency.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "got:\n{json}"
+        );
+        assert_eq!(json.matches('"').count() % 2, 0, "got:\n{json}");
+    }
+
+    #[test]
+    fn exhausted_run_reports_reason_in_json() {
+        let rec = Arc::new(Recorder::new());
+        let report = Solver::new()
+            .budget(Budget::new().with_step_limit(1))
+            .strategy(SolveStrategy::Ladder)
+            .trace(rec.clone())
+            .solve(&clique(4), &clique(3));
+        let e = ExplainReport::new(report, rec.take());
+        let json = e.to_json();
+        assert!(json.contains("\"answer\":\"unknown\""), "got:\n{json}");
+        assert!(json.contains("\"strategy\":null"));
+        assert!(
+            json.contains("\"exhaustion_reason\":\"step"),
+            "got:\n{json}"
+        );
+        let text = e.render_text();
+        assert!(text.contains("answer: unknown"), "got:\n{text}");
+    }
+}

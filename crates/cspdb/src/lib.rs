@@ -6,9 +6,8 @@
 //!
 //! The tutorial's thesis is that constraint satisfaction and database
 //! theory are two views of the homomorphism problem. This crate
-//! re-exports every subsystem and adds [`auto_solve`]: a dispatcher that
-//! inspects an instance and picks the best algorithm the paper's theory
-//! licenses —
+//! re-exports every subsystem and adds [`Solver`]: one builder over
+//! every solving mode, dispatching on the paper's tractability map —
 //!
 //! 1. Boolean template in a Schaefer class → the dedicated polynomial
 //!    solver (Section 3);
@@ -17,17 +16,21 @@
 //! 3. small Gaifman treewidth → dynamic programming over a tree
 //!    decomposition (Theorem 6.2);
 //! 4. otherwise → MAC backtracking (the honest NP baseline), with
-//!    k-consistency refutation (Sections 4–5) as a cheap pre-check.
+//!    arc-/k-consistency refutation (Sections 4–5) as sound fallbacks.
 //!
 //! ```
-//! use cspdb::auto_solve;
+//! use cspdb::Solver;
 //! use cspdb::core::graphs::{clique, cycle};
 //!
-//! let report = auto_solve(&cycle(6), &clique(2));
-//! assert!(report.witness.is_some()); // even cycles are 2-colorable
-//! let report = auto_solve(&cycle(7), &clique(2));
-//! assert!(report.witness.is_none());
+//! let report = Solver::new().solve(&cycle(6), &clique(2));
+//! assert!(report.answer.is_sat()); // even cycles are 2-colorable
+//! let report = Solver::new().solve(&cycle(7), &clique(2));
+//! assert!(report.answer.is_unsat());
 //! ```
+//!
+//! Budgets ([`core::budget::Budget`]), parallel tier execution, the
+//! portfolio race, and trace sinks ([`core::trace::TraceSink`]) all hang
+//! off the same builder; see [`Solver`] and [`ExplainReport`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,780 +54,99 @@ pub use cspdb_schaefer as schaefer;
 /// Backtracking search.
 pub use cspdb_solver as solver;
 
-use cspdb_core::budget::{Answer, Budget, CancelToken, ExhaustionReason};
+mod explain;
+mod facade;
+
+pub use explain::ExplainReport;
+pub use facade::{
+    GovernedReport, PhaseTrace, SolveOutcome, SolveReport, SolveStrategy, Solver, Strategy,
+    TierAttempt, TierOutcome, TraceSummary,
+};
+
+use cspdb_core::budget::Budget;
 use cspdb_core::{CspInstance, Structure};
-use rayon::prelude::*;
 
-/// Which strategy [`auto_solve`] ended up using.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Strategy {
-    /// Schaefer-class polynomial solver (which one is in the payload).
-    Schaefer(cspdb_schaefer::SolverUsed),
-    /// Yannakakis on an acyclic instance.
-    Yannakakis,
-    /// Dynamic programming over a tree decomposition of the given width.
-    Treewidth(usize),
-    /// Generic MAC backtracking.
-    Backtracking,
-    /// Arc-consistency fallback (sound refutations only).
-    ArcConsistency,
-    /// Strong k-consistency fallback (sound refutations only).
-    KConsistency(usize),
-}
-
-impl std::fmt::Display for Strategy {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Strategy::Schaefer(used) => write!(f, "schaefer({used:?})"),
-            Strategy::Yannakakis => write!(f, "yannakakis"),
-            Strategy::Treewidth(w) => write!(f, "treewidth({w})"),
-            Strategy::Backtracking => write!(f, "backtracking"),
-            Strategy::ArcConsistency => write!(f, "arc-consistency"),
-            Strategy::KConsistency(k) => write!(f, "{k}-consistency"),
-        }
-    }
-}
-
-/// The result of [`auto_solve`].
-#[derive(Debug, Clone)]
-pub struct SolveReport {
-    /// The strategy that produced the answer.
-    pub strategy: Strategy,
-    /// A homomorphism `A -> B`, if one exists.
-    pub witness: Option<Vec<u32>>,
-}
-
-/// How one tier of the [`auto_solve_governed`] ladder ended.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum TierOutcome {
-    /// The tier produced the final answer.
-    Decided,
-    /// The tier was skipped, with the reason (inapplicable / too big).
-    Skipped(&'static str),
-    /// The tier's budget slice ran out before it could decide.
-    Exhausted(ExhaustionReason),
-    /// The tier completed but could not decide (e.g. consistency held).
-    Inconclusive,
-}
-
-/// One rung of the degradation ladder: which strategy was tried and how
-/// it ended. The full trace explains an `Unknown` answer.
-#[derive(Debug, Clone)]
-pub struct TierAttempt {
-    /// The strategy attempted.
-    pub strategy: Strategy,
-    /// How the attempt ended.
-    pub outcome: TierOutcome,
-}
-
-/// The result of [`auto_solve_governed`]: a three-valued answer plus the
-/// ladder trace that produced it.
-///
-/// Soundness contract: `Sat`/`Unsat` always agree with the unbudgeted
-/// ground truth; exhaustion only ever widens the answer to `Unknown`.
-#[derive(Debug, Clone)]
-pub struct GovernedReport {
-    /// `Sat` with witness, `Unsat`, or `Unknown(reason)`.
-    pub answer: Answer,
-    /// The strategy that decided, `None` when the answer is `Unknown`.
-    pub strategy: Option<Strategy>,
-    /// Every tier attempted, in ladder order.
-    pub attempts: Vec<TierAttempt>,
-}
-
-/// Maximum heuristic treewidth for which the DP route is attempted.
-const TREEWIDTH_CUTOFF: usize = 4;
-
-/// Pebble count for the k-consistency fallback tier.
-const FALLBACK_K: usize = 3;
-
-/// Largest `W^k` table the k-consistency fallback will build when the
-/// budget carries no tuple cap of its own.
-const FALLBACK_WK_CAP: u64 = 1_000_000;
-
-/// Solves the homomorphism problem `A -> B`, dispatching on instance
-/// structure per the paper's tractability map (see crate docs).
-///
-/// # Panics
-///
-/// Panics if the structures have different vocabularies.
+/// Dispatches on the paper's tractability map and solves `A -> B` with
+/// the best algorithm the theory licenses, unbudgeted.
+#[deprecated(since = "0.4.0", note = "use `Solver::new().solve(a, b)`")]
 pub fn auto_solve(a: &Structure, b: &Structure) -> SolveReport {
-    assert_eq!(a.vocabulary(), b.vocabulary(), "vocabulary mismatch");
-    let instance = CspInstance::from_homomorphism(a, b).expect("same vocabulary");
-    auto_solve_csp(&instance)
+    Solver::new().solve(a, b).expect_decided()
 }
 
-/// [`auto_solve`] for classical CSP instances.
+/// [`auto_solve`] for a classical CSP instance, unbudgeted.
+#[deprecated(since = "0.4.0", note = "use `Solver::new().solve_csp(instance)`")]
 pub fn auto_solve_csp(instance: &CspInstance) -> SolveReport {
-    let report = auto_solve_governed_csp(instance, &Budget::unlimited());
-    let strategy = report.strategy.expect("unlimited budget always decides");
-    SolveReport {
-        strategy,
-        witness: report.answer.witness().map(<[u32]>::to_vec),
-    }
+    Solver::new().solve_csp(instance).expect_decided()
 }
 
-/// [`auto_solve`] under a [`Budget`]: the homomorphism-problem entry
-/// point of the governed ladder. See [`auto_solve_governed_csp`].
-///
-/// # Panics
-///
-/// Panics if the structures have different vocabularies.
+/// Resource-governed dispatch for the homomorphism problem `A -> B`:
+/// the sequential degradation ladder under budget slices.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `Solver::new().budget(budget).solve(a, b)`"
+)]
 pub fn auto_solve_governed(a: &Structure, b: &Structure, budget: &Budget) -> GovernedReport {
-    assert_eq!(a.vocabulary(), b.vocabulary(), "vocabulary mismatch");
-    let instance = CspInstance::from_homomorphism(a, b).expect("same vocabulary");
-    auto_solve_governed_csp(&instance, budget)
+    Solver::new().budget(budget.clone()).solve(a, b)
 }
 
-/// Resource-governed dispatch: walks the paper's tractability ladder
-/// under a [`Budget`], degrading gracefully instead of hanging.
-///
-/// 1. Boolean template in a Schaefer class → the dedicated polynomial
-///    solver (Section 3);
-/// 2. α-acyclic constraint hypergraph → Yannakakis under a budget slice;
-/// 3. small heuristic Gaifman treewidth → decomposition DP under a
-///    budget slice (the planning pass is budgeted too — min-fill alone
-///    can dwarf a millisecond deadline on large instances);
-/// 4. MAC backtracking under a budget slice;
-/// 5. approximation fallback: budgeted arc-consistency, then strong
-///    k-consistency, which can soundly answer `Unsat` (a wipeout /
-///    Spoiler win refutes, Sections 4–5) but never `Sat`.
-///
-/// Every decided answer agrees with the unbudgeted ground truth; if all
-/// tiers exhaust, the answer is `Unknown` carrying the last tier's
-/// exhaustion reason and the trace of every attempt.
+/// [`auto_solve_governed`] for a classical CSP instance.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `Solver::new().budget(budget).solve_csp(instance)`"
+)]
 pub fn auto_solve_governed_csp(instance: &CspInstance, budget: &Budget) -> GovernedReport {
-    let mut attempts: Vec<TierAttempt> = Vec::new();
-    let mut last_exhaustion: Option<ExhaustionReason> = None;
-    let exhaust = |attempts: &mut Vec<TierAttempt>,
-                   last: &mut Option<ExhaustionReason>,
-                   strategy: Strategy,
-                   reason: ExhaustionReason| {
-        attempts.push(TierAttempt {
-            strategy,
-            outcome: TierOutcome::Exhausted(reason),
-        });
-        *last = Some(reason);
-    };
-    let decided = |answer: Answer, strategy: Strategy, mut attempts: Vec<TierAttempt>| {
-        attempts.push(TierAttempt {
-            strategy,
-            outcome: TierOutcome::Decided,
-        });
-        GovernedReport {
-            answer,
-            strategy: Some(strategy),
-            attempts,
-        }
-    };
-
-    // 1. Boolean templates: Schaefer's dichotomy. The class test and the
-    // dedicated solvers are low-order polynomial, so they run without a
-    // slice of their own; a cancellation check guards re-entry. The
-    // polynomial-only entry point never falls back to generic search —
-    // NP-side templates return `None` and fall through to the
-    // structural strategies, which run under budget slices.
-    if instance.num_values() == 2 && budget.meter().checkpoint().is_ok() {
-        if let Some((used, witness)) = cspdb_schaefer::solve_boolean_polynomial(instance) {
-            let strategy = Strategy::Schaefer(used);
-            let answer = match witness {
-                Some(w) => Answer::Sat(w),
-                None => Answer::Unsat,
-            };
-            return decided(answer, strategy, attempts);
-        }
-    }
-
-    // 2. Acyclic hypergraph: Yannakakis under a quarter slice.
-    if cspdb_relalg::is_acyclic_instance(instance) {
-        match cspdb_relalg::solve_acyclic_budgeted(instance, &budget.slice(1, 4)) {
-            Ok(witness) => {
-                let answer = match witness {
-                    Some(w) => Answer::Sat(w),
-                    None => Answer::Unsat,
-                };
-                return decided(answer, Strategy::Yannakakis, attempts);
-            }
-            Err(cspdb_relalg::AcyclicSolveError::Exhausted(r)) => {
-                exhaust(&mut attempts, &mut last_exhaustion, Strategy::Yannakakis, r);
-            }
-            Err(cspdb_relalg::AcyclicSolveError::NotAcyclic) => {
-                unreachable!("checked acyclic")
-            }
-        }
-    } else {
-        attempts.push(TierAttempt {
-            strategy: Strategy::Yannakakis,
-            outcome: TierOutcome::Skipped("hypergraph is not α-acyclic"),
-        });
-    }
-
-    // 3. Bounded treewidth: budgeted planning, then budgeted DP, under a
-    // quarter slice together.
-    let tw_slice = budget.slice(1, 4);
-    let (a, b) = instance.to_homomorphism();
-    let g = cspdb_decomp::Graph::gaifman(&a);
-    match cspdb_decomp::min_fill_order_budgeted(&g, &tw_slice) {
-        Err(r) => {
-            // Planning alone blew the slice: record under the treewidth
-            // strategy with the width unknown (0 placeholder avoided by
-            // using the cutoff).
-            exhaust(
-                &mut attempts,
-                &mut last_exhaustion,
-                Strategy::Treewidth(TREEWIDTH_CUTOFF),
-                r,
-            );
-        }
-        Ok(order) => {
-            let width = cspdb_decomp::order_width(&g, &order);
-            if width <= TREEWIDTH_CUTOFF {
-                let td = cspdb_decomp::from_elimination_order(&g, &order);
-                match cspdb_decomp::solve_with_decomposition_budgeted(&a, &b, &td, &tw_slice) {
-                    Ok(witness) => {
-                        let answer = match witness {
-                            Some(w) => Answer::Sat(w),
-                            None => Answer::Unsat,
-                        };
-                        return decided(answer, Strategy::Treewidth(width), attempts);
-                    }
-                    Err(cspdb_decomp::DecompSolveError::Exhausted(r)) => {
-                        exhaust(
-                            &mut attempts,
-                            &mut last_exhaustion,
-                            Strategy::Treewidth(width),
-                            r,
-                        );
-                    }
-                    Err(cspdb_decomp::DecompSolveError::Invalid(msg)) => {
-                        unreachable!("constructed decomposition is valid: {msg}")
-                    }
-                }
-            } else {
-                attempts.push(TierAttempt {
-                    strategy: Strategy::Treewidth(width),
-                    outcome: TierOutcome::Skipped("heuristic treewidth above cutoff"),
-                });
-            }
-        }
-    }
-
-    // 4. Generic MAC backtracking under a quarter slice (complete given
-    // enough budget: with no limits this tier always decides).
-    let run = cspdb_solver::solve_csp_budgeted(instance, &budget.slice(1, 4));
-    match run.answer {
-        Answer::Sat(w) => return decided(Answer::Sat(w), Strategy::Backtracking, attempts),
-        Answer::Unsat => return decided(Answer::Unsat, Strategy::Backtracking, attempts),
-        Answer::Unknown(r) => {
-            exhaust(
-                &mut attempts,
-                &mut last_exhaustion,
-                Strategy::Backtracking,
-                r,
-            );
-        }
-    }
-
-    // 5a. Arc-consistency approximation: a wipeout soundly refutes.
-    match cspdb_consistency::ac3_budgeted(instance, &budget.slice(1, 8)) {
-        Ok(None) => return decided(Answer::Unsat, Strategy::ArcConsistency, attempts),
-        Ok(Some(_)) => attempts.push(TierAttempt {
-            strategy: Strategy::ArcConsistency,
-            outcome: TierOutcome::Inconclusive,
-        }),
-        Err(r) => {
-            exhaust(
-                &mut attempts,
-                &mut last_exhaustion,
-                Strategy::ArcConsistency,
-                r,
-            );
-        }
-    }
-
-    // 5b. Strong k-consistency approximation: a Spoiler win in the
-    // existential k-pebble game soundly refutes. Gated by an
-    // overflow-safe table estimate so an uncapped budget cannot be
-    // tricked into building a gigantic W^k table.
-    let wk_ok = cspdb_consistency::wk_table_bound(a.domain_size(), b.domain_size(), FALLBACK_K)
-        .map(|bound| bound <= FALLBACK_WK_CAP)
-        .unwrap_or(false);
-    if wk_ok {
-        match cspdb_consistency::k_consistency_refutes_budgeted(
-            &a,
-            &b,
-            FALLBACK_K,
-            &budget.slice(1, 8),
-        ) {
-            Ok(Some(false)) => {
-                return decided(Answer::Unsat, Strategy::KConsistency(FALLBACK_K), attempts)
-            }
-            Ok(_) => attempts.push(TierAttempt {
-                strategy: Strategy::KConsistency(FALLBACK_K),
-                outcome: TierOutcome::Inconclusive,
-            }),
-            Err(r) => {
-                exhaust(
-                    &mut attempts,
-                    &mut last_exhaustion,
-                    Strategy::KConsistency(FALLBACK_K),
-                    r,
-                );
-            }
-        }
-    } else {
-        attempts.push(TierAttempt {
-            strategy: Strategy::KConsistency(FALLBACK_K),
-            outcome: TierOutcome::Skipped("W^k table estimate above cap"),
-        });
-    }
-
-    GovernedReport {
-        answer: Answer::Unknown(
-            last_exhaustion.expect("some tier exhausted, else a complete tier decided"),
-        ),
-        strategy: None,
-        attempts,
-    }
+    Solver::new().budget(budget.clone()).solve_csp(instance)
 }
 
-/// How one racer in [`auto_solve_portfolio_csp`] ended.
-enum RaceResult {
-    Decided(Answer),
-    Skipped(&'static str),
-    Exhausted(ExhaustionReason),
-}
-
-/// [`auto_solve_governed`] in portfolio mode: see
-/// [`auto_solve_portfolio_csp`].
-///
-/// # Panics
-///
-/// Panics if the structures have different vocabularies.
+/// Portfolio dispatch for the homomorphism problem `A -> B`: the
+/// applicable strategies race in parallel under one shared meter.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `Solver::new().budget(budget).strategy(SolveStrategy::Portfolio).solve(a, b)`"
+)]
 pub fn auto_solve_portfolio(a: &Structure, b: &Structure, budget: &Budget) -> GovernedReport {
-    assert_eq!(a.vocabulary(), b.vocabulary(), "vocabulary mismatch");
-    let instance = CspInstance::from_homomorphism(a, b).expect("same vocabulary");
-    auto_solve_portfolio_csp(&instance, budget)
+    Solver::new()
+        .budget(budget.clone())
+        .strategy(SolveStrategy::Portfolio)
+        .solve(a, b)
 }
 
-/// Portfolio dispatch: instead of walking the ladder tier by tier with
-/// budget *slices* (as [`auto_solve_governed_csp`] does), the applicable
-/// structural strategies — Yannakakis on acyclic instances, the
-/// treewidth DP when planning stays under the cutoff, and MAC
-/// backtracking — **race on [`rayon`] workers under one thread-shared
-/// [`cspdb_core::budget::SharedMeter`]**. The budget's step, tuple, and
-/// deadline limits bound the racers' *total* work, and the first racer
-/// to produce a sound answer cancels the rest through a
-/// [`CancelToken`] child of the caller's token (so cancelling the caller
-/// still stops everything, while the race's own cancellation never
-/// escapes to the caller).
-///
-/// Schaefer's polynomial solvers still run inline first (they are
-/// low-order polynomial and complete), and the sound-refutation-only
-/// consistency fallbacks run after the race only if no racer decided.
-/// Soundness is unchanged: every decided answer agrees with the
-/// unbudgeted ground truth.
+/// [`auto_solve_portfolio`] for a classical CSP instance.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `Solver::new().budget(budget).strategy(SolveStrategy::Portfolio).solve_csp(instance)`"
+)]
 pub fn auto_solve_portfolio_csp(instance: &CspInstance, budget: &Budget) -> GovernedReport {
-    let mut attempts: Vec<TierAttempt> = Vec::new();
-
-    // 1. Schaefer inline — same as the sequential ladder.
-    if instance.num_values() == 2 && budget.meter().checkpoint().is_ok() {
-        if let Some((used, witness)) = cspdb_schaefer::solve_boolean_polynomial(instance) {
-            let strategy = Strategy::Schaefer(used);
-            attempts.push(TierAttempt {
-                strategy,
-                outcome: TierOutcome::Decided,
-            });
-            let answer = match witness {
-                Some(w) => Answer::Sat(w),
-                None => Answer::Unsat,
-            };
-            return GovernedReport {
-                answer,
-                strategy: Some(strategy),
-                attempts,
-            };
-        }
-    }
-
-    // 2. Race the structural strategies under one shared meter. The race
-    // token is a *child* of the caller's token: caller cancellation
-    // propagates in, the winner's `race.cancel()` does not leak out.
-    let race = match &budget.cancel {
-        Some(caller) => caller.child(),
-        None => CancelToken::new(),
-    };
-    let race_budget = budget.clone().with_cancel(race.clone());
-    let meter = race_budget.shared_meter();
-    let acyclic = cspdb_relalg::is_acyclic_instance(instance);
-    let (a, b) = instance.to_homomorphism();
-
-    type Racer<'r> = Box<dyn FnOnce() -> (Strategy, RaceResult) + Send + 'r>;
-    let answer_of = |witness: Option<Vec<u32>>| match witness {
-        Some(w) => Answer::Sat(w),
-        None => Answer::Unsat,
-    };
-    let racers: Vec<Racer> = vec![
-        Box::new(|| {
-            if !acyclic {
-                return (
-                    Strategy::Yannakakis,
-                    RaceResult::Skipped("hypergraph is not α-acyclic"),
-                );
-            }
-            match cspdb_relalg::solve_acyclic_shared(instance, &meter) {
-                Ok(witness) => {
-                    race.cancel();
-                    (
-                        Strategy::Yannakakis,
-                        RaceResult::Decided(answer_of(witness)),
-                    )
-                }
-                Err(cspdb_relalg::AcyclicSolveError::Exhausted(r)) => {
-                    (Strategy::Yannakakis, RaceResult::Exhausted(r))
-                }
-                Err(cspdb_relalg::AcyclicSolveError::NotAcyclic) => {
-                    unreachable!("checked acyclic")
-                }
-            }
-        }),
-        Box::new(|| {
-            let g = cspdb_decomp::Graph::gaifman(&a);
-            match cspdb_decomp::min_fill_order_shared(&g, &meter) {
-                Err(r) => (
-                    Strategy::Treewidth(TREEWIDTH_CUTOFF),
-                    RaceResult::Exhausted(r),
-                ),
-                Ok(order) => {
-                    let width = cspdb_decomp::order_width(&g, &order);
-                    if width > TREEWIDTH_CUTOFF {
-                        return (
-                            Strategy::Treewidth(width),
-                            RaceResult::Skipped("heuristic treewidth above cutoff"),
-                        );
-                    }
-                    let td = cspdb_decomp::from_elimination_order(&g, &order);
-                    match cspdb_decomp::solve_with_decomposition_shared(&a, &b, &td, &meter) {
-                        Ok(witness) => {
-                            race.cancel();
-                            (
-                                Strategy::Treewidth(width),
-                                RaceResult::Decided(answer_of(witness)),
-                            )
-                        }
-                        Err(cspdb_decomp::DecompSolveError::Exhausted(r)) => {
-                            (Strategy::Treewidth(width), RaceResult::Exhausted(r))
-                        }
-                        Err(cspdb_decomp::DecompSolveError::Invalid(msg)) => {
-                            unreachable!("constructed decomposition is valid: {msg}")
-                        }
-                    }
-                }
-            }
-        }),
-        Box::new(|| {
-            let run = cspdb_solver::solve_csp_shared(instance, &meter);
-            match run.answer {
-                Answer::Unknown(r) => (Strategy::Backtracking, RaceResult::Exhausted(r)),
-                sound => {
-                    race.cancel();
-                    (Strategy::Backtracking, RaceResult::Decided(sound))
-                }
-            }
-        }),
-    ];
-    let results: Vec<(Strategy, RaceResult)> = racers.into_par_iter().map(|tier| tier()).collect();
-
-    let mut winner: Option<(Strategy, Answer)> = None;
-    let mut last_exhaustion: Option<ExhaustionReason> = None;
-    for (strategy, result) in results {
-        let outcome = match result {
-            RaceResult::Decided(answer) => {
-                if winner.is_none() {
-                    winner = Some((strategy, answer));
-                }
-                TierOutcome::Decided
-            }
-            RaceResult::Skipped(why) => TierOutcome::Skipped(why),
-            RaceResult::Exhausted(r) => {
-                last_exhaustion = Some(r);
-                TierOutcome::Exhausted(r)
-            }
-        };
-        attempts.push(TierAttempt { strategy, outcome });
-    }
-    if let Some((strategy, answer)) = winner {
-        return GovernedReport {
-            answer,
-            strategy: Some(strategy),
-            attempts,
-        };
-    }
-
-    // 3. Sound-refutation fallbacks, sequential, under the race-token
-    // budget (the race found no winner, so the token is untripped unless
-    // the caller cancelled).
-    match cspdb_consistency::ac3_budgeted(instance, &race_budget.slice(1, 8)) {
-        Ok(None) => {
-            attempts.push(TierAttempt {
-                strategy: Strategy::ArcConsistency,
-                outcome: TierOutcome::Decided,
-            });
-            return GovernedReport {
-                answer: Answer::Unsat,
-                strategy: Some(Strategy::ArcConsistency),
-                attempts,
-            };
-        }
-        Ok(Some(_)) => attempts.push(TierAttempt {
-            strategy: Strategy::ArcConsistency,
-            outcome: TierOutcome::Inconclusive,
-        }),
-        Err(r) => {
-            last_exhaustion = Some(r);
-            attempts.push(TierAttempt {
-                strategy: Strategy::ArcConsistency,
-                outcome: TierOutcome::Exhausted(r),
-            });
-        }
-    }
-    let wk_ok = cspdb_consistency::wk_table_bound(a.domain_size(), b.domain_size(), FALLBACK_K)
-        .map(|bound| bound <= FALLBACK_WK_CAP)
-        .unwrap_or(false);
-    if wk_ok {
-        match cspdb_consistency::k_consistency_refutes_budgeted(
-            &a,
-            &b,
-            FALLBACK_K,
-            &race_budget.slice(1, 8),
-        ) {
-            Ok(Some(false)) => {
-                attempts.push(TierAttempt {
-                    strategy: Strategy::KConsistency(FALLBACK_K),
-                    outcome: TierOutcome::Decided,
-                });
-                return GovernedReport {
-                    answer: Answer::Unsat,
-                    strategy: Some(Strategy::KConsistency(FALLBACK_K)),
-                    attempts,
-                };
-            }
-            Ok(_) => attempts.push(TierAttempt {
-                strategy: Strategy::KConsistency(FALLBACK_K),
-                outcome: TierOutcome::Inconclusive,
-            }),
-            Err(r) => {
-                last_exhaustion = Some(r);
-                attempts.push(TierAttempt {
-                    strategy: Strategy::KConsistency(FALLBACK_K),
-                    outcome: TierOutcome::Exhausted(r),
-                });
-            }
-        }
-    } else {
-        attempts.push(TierAttempt {
-            strategy: Strategy::KConsistency(FALLBACK_K),
-            outcome: TierOutcome::Skipped("W^k table estimate above cap"),
-        });
-    }
-
-    GovernedReport {
-        answer: Answer::Unknown(
-            last_exhaustion.expect("backtracking racer either decides or exhausts"),
-        ),
-        strategy: None,
-        attempts,
-    }
+    Solver::new()
+        .budget(budget.clone())
+        .strategy(SolveStrategy::Portfolio)
+        .solve_csp(instance)
 }
 
 #[cfg(test)]
-mod tests {
+mod deprecated_surface_tests {
+    //! The legacy entry points must keep compiling and agreeing with the
+    //! facade until they are removed.
+    #![allow(deprecated)]
+
     use super::*;
-    use cspdb_core::graphs::{clique, cycle, path};
-    use cspdb_core::Relation;
-    use std::sync::Arc;
+    use cspdb_core::graphs::{clique, cycle};
 
     #[test]
-    fn dispatches_to_schaefer_for_boolean_templates() {
-        // 2-coloring = CSP(K2): Boolean, xor-like template.
-        let report = auto_solve(&cycle(6), &clique(2));
-        assert!(matches!(report.strategy, Strategy::Schaefer(_)));
-        assert!(report.witness.is_some());
-        let report = auto_solve(&cycle(7), &clique(2));
-        assert!(matches!(report.strategy, Strategy::Schaefer(_)));
-        assert!(report.witness.is_none());
-    }
-
-    #[test]
-    fn dispatches_to_yannakakis_for_acyclic() {
-        // Star coloring with 3 colors: acyclic instance, non-Boolean.
-        let mut p = CspInstance::new(4, 3);
-        let neq = Arc::new(
-            Relation::from_tuples(
-                2,
-                (0..3u32).flat_map(|i| (0..3u32).filter_map(move |j| (i != j).then_some([i, j]))),
-            )
-            .unwrap(),
-        );
-        for leaf in 1..4u32 {
-            p.add_constraint([0, leaf], neq.clone()).unwrap();
-        }
-        let report = auto_solve_csp(&p);
-        assert_eq!(report.strategy, Strategy::Yannakakis);
-        assert!(report.witness.is_some());
-        assert!(p.is_solution(report.witness.as_ref().unwrap()));
-    }
-
-    #[test]
-    fn dispatches_to_treewidth_for_cyclic_sparse() {
-        // Odd cycle into K3: cyclic, treewidth 2, 3 values.
-        let report = auto_solve(&cycle(5), &clique(3));
-        assert!(matches!(report.strategy, Strategy::Treewidth(w) if w <= 2));
-        let h = report.witness.expect("3-colorable");
-        assert!(cspdb_core::is_homomorphism(&h, &cycle(5), &clique(3)));
-    }
-
-    #[test]
-    fn dispatches_to_backtracking_for_dense() {
-        // K7 into K6: treewidth 6 > cutoff, not Boolean, cyclic.
-        let report = auto_solve(&clique(7), &clique(6));
-        assert_eq!(report.strategy, Strategy::Backtracking);
-        assert!(report.witness.is_none());
-        let report = auto_solve(&clique(7), &clique(7));
-        assert_eq!(report.strategy, Strategy::Backtracking);
-        assert!(report.witness.is_some());
-    }
-
-    #[test]
-    fn all_strategies_agree_with_each_other() {
-        let mut state = 0x1357924680ACE135u64;
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
-        for _ in 0..10 {
-            let n = 4 + (next() % 3) as usize;
-            let mut edges = Vec::new();
-            for u in 0..n as u32 {
-                for v in (u + 1)..n as u32 {
-                    if next() % 2 == 0 {
-                        edges.push((u, v));
-                    }
-                }
-            }
-            let a = cspdb_core::graphs::undirected(n, &edges);
-            for b in [clique(2), clique(3)] {
-                let report = auto_solve(&a, &b);
-                let direct = cspdb_solver::find_homomorphism(&a, &b);
-                assert_eq!(report.witness.is_some(), direct.is_some());
-                if let Some(h) = report.witness {
-                    assert!(cspdb_core::is_homomorphism(&h, &a, &b));
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn witnesses_verify_for_path_instances() {
-        let report = auto_solve(&path(6), &clique(2));
-        let h = report.witness.unwrap();
-        assert!(cspdb_core::is_homomorphism(&h, &path(6), &clique(2)));
-    }
-
-    #[test]
-    fn portfolio_agrees_with_sequential_ladder() {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(4)
-            .build()
-            .unwrap();
-        let cases = [
-            (cycle(5), clique(3), true),   // treewidth territory
-            (cycle(5), clique(4), true),   // treewidth territory, sat
-            (clique(4), clique(3), false), // backtracking territory
-            (clique(4), clique(4), true),  // backtracking territory, sat
-            (cycle(6), clique(2), true),   // Schaefer inline
-            (cycle(7), clique(2), false),  // Schaefer inline, unsat
-        ];
-        for (a, b, expected) in cases {
-            let budget = Budget::unlimited();
-            let report = pool.install(|| auto_solve_portfolio(&a, &b, &budget));
-            assert!(
-                report.strategy.is_some(),
-                "unlimited portfolio must decide on {a}"
-            );
-            assert_eq!(report.answer.is_sat(), expected, "on {a} -> {b}");
-            if let Some(w) = report.answer.witness() {
-                assert!(cspdb_core::is_homomorphism(w, &a, &b));
-            }
-            // And agreement with the sequential governed ladder.
-            let seq = auto_solve_governed(&a, &b, &Budget::unlimited());
-            assert_eq!(report.answer.is_sat(), seq.answer.is_sat());
-        }
-    }
-
-    #[test]
-    fn portfolio_acyclic_instances_race_yannakakis() {
-        // Non-Boolean star: Schaefer is inapplicable, so the race decides
-        // — and the Yannakakis racer must at least appear in the trace.
-        let mut p = CspInstance::new(4, 3);
-        let neq = Arc::new(
-            Relation::from_tuples(
-                2,
-                (0..3u32).flat_map(|i| (0..3u32).filter_map(move |j| (i != j).then_some([i, j]))),
-            )
-            .unwrap(),
-        );
-        for leaf in 1..4u32 {
-            p.add_constraint([0, leaf], neq.clone()).unwrap();
-        }
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(4)
-            .build()
-            .unwrap();
-        let report = pool.install(|| auto_solve_portfolio_csp(&p, &Budget::unlimited()));
-        assert!(report.answer.is_sat());
-        assert!(p.is_solution(report.answer.witness().unwrap()));
-        assert!(report
-            .attempts
-            .iter()
-            .any(|t| t.strategy == Strategy::Yannakakis));
-    }
-
-    #[test]
-    fn portfolio_exhausts_to_unknown_soundly() {
-        // A 1-step budget cannot decide K4 -> K3 (not Boolean, cyclic,
-        // planning alone costs more): every racer exhausts, fallbacks
-        // exhaust or stay inconclusive, answer is Unknown — never wrong.
-        let report =
-            auto_solve_portfolio(&clique(4), &clique(3), &Budget::new().with_step_limit(1));
-        assert!(report.answer.is_unknown());
-        assert!(report.strategy.is_none());
-    }
-
-    #[test]
-    fn portfolio_respects_caller_cancellation() {
-        let token = cspdb_core::CancelToken::new();
-        token.cancel();
-        let budget = Budget::unlimited().with_cancel(token.clone());
-        // K7 -> K6 is big enough that every racer crosses an amortised
-        // checkpoint, so the pre-cancelled token must yield Unknown.
-        let report = auto_solve_portfolio(&clique(7), &clique(6), &budget);
-        assert!(report.answer.is_unknown());
-        // The race's internal cancellation must never fire the caller's
-        // token; here it was already cancelled by the caller, and the
-        // token object is unchanged (still just "cancelled").
-        assert!(token.is_cancelled());
-        // Conversely a fresh caller token stays untripped after a
-        // portfolio run in which a winner cancelled the race internally.
-        let token = cspdb_core::CancelToken::new();
-        let budget = Budget::unlimited().with_cancel(token.clone());
-        let report = auto_solve_portfolio(&cycle(5), &clique(3), &budget);
-        assert!(report.answer.is_sat());
-        assert!(
-            !token.is_cancelled(),
-            "race cancellation leaked to the caller token"
-        );
+    fn legacy_entry_points_still_answer_correctly() {
+        assert!(auto_solve(&cycle(6), &clique(2)).witness.is_some());
+        assert!(auto_solve(&cycle(7), &clique(2)).witness.is_none());
+        let governed = auto_solve_governed(&cycle(5), &clique(3), &Budget::unlimited());
+        assert!(governed.answer.is_sat());
+        let portfolio = auto_solve_portfolio(&cycle(5), &clique(3), &Budget::unlimited());
+        assert!(portfolio.answer.is_sat());
+        let instance = CspInstance::from_homomorphism(&cycle(5), &clique(3)).unwrap();
+        assert!(auto_solve_csp(&instance).witness.is_some());
+        assert!(auto_solve_governed_csp(&instance, &Budget::unlimited())
+            .answer
+            .is_sat());
+        assert!(auto_solve_portfolio_csp(&instance, &Budget::unlimited())
+            .answer
+            .is_sat());
     }
 }

@@ -10,7 +10,8 @@
 //! recomputed.
 
 use crate::ast::{Program, Rule, Term};
-use cspdb_core::budget::{Budget, ExhaustionReason, Meter};
+use cspdb_core::budget::{Budget, ExhaustionReason, Metering};
+use cspdb_core::trace::TraceEvent;
 use cspdb_core::{Relation, Structure};
 use std::collections::HashMap;
 
@@ -90,7 +91,19 @@ pub fn evaluate_budgeted(
     edb: &Structure,
     budget: &Budget,
 ) -> Result<Evaluation, EvalError> {
-    let mut meter = budget.meter();
+    evaluate_metered(program, edb, &mut budget.meter())
+}
+
+/// [`evaluate`] under any [`Metering`] enforcer: same contract as
+/// [`evaluate_budgeted`], but the caller keeps the meter, so resource
+/// usage (and the tracer it carries) stays readable afterwards. Emits
+/// one [`TraceEvent::DatalogIteration`] per semi-naive round with the
+/// delta and cumulative fact counts.
+pub fn evaluate_metered<M: Metering>(
+    program: &Program,
+    edb: &Structure,
+    meter: &mut M,
+) -> Result<Evaluation, EvalError> {
     let domain = edb.domain_size() as u32;
     // Infer predicate arities.
     let mut arity: HashMap<&str, usize> = HashMap::new();
@@ -149,28 +162,27 @@ pub fn evaluate_budgeted(
     let mut derived_facts = 0usize;
     for rule in &program.rules {
         let before = derived_facts;
-        fire_rule(
-            rule,
-            &edb_rels,
-            &full,
-            None,
-            &mut meter,
-            &mut |pred, tuple| {
-                let rel = delta.get_mut(pred).expect("head is IDB");
-                if rel.insert(tuple).expect("arity checked") {
-                    derived_facts += 1;
-                }
-            },
-        )?;
+        fire_rule(rule, &edb_rels, &full, None, meter, &mut |pred, tuple| {
+            let rel = delta.get_mut(pred).expect("head is IDB");
+            if rel.insert(tuple).expect("arity checked") {
+                derived_facts += 1;
+            }
+        })?;
         meter.charge_tuples((derived_facts - before) as u64)?;
     }
     for (p, d) in &delta {
         let merged = full[p].union(d).expect("same arity");
         full.insert(p.clone(), merged);
     }
+    meter.tracer().emit_with(|| TraceEvent::DatalogIteration {
+        iteration: 0,
+        delta_facts: derived_facts as u64,
+        total_facts: derived_facts as u64,
+    });
 
     let mut iterations = 1usize;
     loop {
+        let before_iter = derived_facts;
         let mut new_delta: HashMap<String, Relation> = idb
             .iter()
             .map(|&p| (p.to_owned(), Relation::empty(arity[p])))
@@ -196,7 +208,7 @@ pub fn evaluate_budgeted(
                     &edb_rels,
                     &full,
                     Some((pos, delta_rel)),
-                    &mut meter,
+                    meter,
                     &mut |pred, tuple| {
                         if !full[pred].contains(tuple) {
                             let rel = new_delta.get_mut(pred).expect("head is IDB");
@@ -218,6 +230,11 @@ pub fn evaluate_budgeted(
             full.insert(p.clone(), merged);
         }
         delta = new_delta;
+        meter.tracer().emit_with(|| TraceEvent::DatalogIteration {
+            iteration: iterations as u64,
+            delta_facts: (derived_facts - before_iter) as u64,
+            total_facts: derived_facts as u64,
+        });
         iterations += 1;
     }
     Ok(Evaluation {
@@ -260,12 +277,12 @@ pub fn goal_holds_budgeted(
 
 /// Enumerates all satisfying bindings of a single rule, invoking `emit`
 /// with the head predicate and the instantiated head tuple.
-fn fire_rule(
+fn fire_rule<M: Metering>(
     rule: &Rule,
     edb: &HashMap<&str, &Relation>,
     full: &HashMap<String, Relation>,
     delta_at: Option<(usize, &Relation)>,
-    meter: &mut Meter,
+    meter: &mut M,
     emit: &mut impl FnMut(&str, &[u32]),
 ) -> Result<(), ExhaustionReason> {
     let mut bindings: HashMap<&str, u32> = HashMap::new();
@@ -291,14 +308,14 @@ fn fire_rule(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn search<'r>(
+fn search<'r, M: Metering>(
     rule: &'r Rule,
     idx: usize,
     edb: &HashMap<&str, &Relation>,
     full: &HashMap<String, Relation>,
     delta_at: Option<(usize, &Relation)>,
     bindings: &mut HashMap<&'r str, u32>,
-    meter: &mut Meter,
+    meter: &mut M,
     found: &mut impl FnMut(&HashMap<&'r str, u32>),
 ) -> Result<(), ExhaustionReason> {
     if idx == rule.body.len() {

@@ -27,7 +27,8 @@ pub mod programs;
 
 pub use ast::{Atom, Program, Rule, Term};
 pub use eval::{
-    evaluate, evaluate_budgeted, goal_holds, goal_holds_budgeted, EvalError, Evaluation,
+    evaluate, evaluate_budgeted, evaluate_metered, goal_holds, goal_holds_budgeted, EvalError,
+    Evaluation,
 };
 pub use parser::parse_program;
 

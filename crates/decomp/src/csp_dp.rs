@@ -14,6 +14,7 @@
 use crate::graph::Graph;
 use crate::treewidth::{from_elimination_order, min_fill_order_metered, TreeDecomposition};
 use cspdb_core::budget::{Budget, ExhaustionReason, Metering, SharedMeter};
+use cspdb_core::trace::TraceEvent;
 use cspdb_core::{RelId, Structure};
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -224,6 +225,11 @@ fn compute_bag_table<M: Metering>(
             assignment[i] = 0;
         }
     }
+    meter.tracer().emit_with(|| TraceEvent::DpTable {
+        bag: node,
+        bag_size: k,
+        rows: table.len() as u64,
+    });
     Ok(table)
 }
 
@@ -295,7 +301,22 @@ fn dp_precheck(
     Ok(None)
 }
 
-fn solve_with_decomposition_metered<M: Metering>(
+/// Emits the one-per-run [`TraceEvent::Decomposition`] summary shared
+/// by the sequential and parallel DP drivers.
+fn emit_decomposition<M: Metering>(td: &TreeDecomposition, meter: &mut M) {
+    meter.tracer().emit_with(|| TraceEvent::Decomposition {
+        width: td.width(),
+        bags: td.bags.len(),
+        largest_bag: td.bags.iter().map(|b| b.len()).max().unwrap_or(0),
+    });
+}
+
+/// [`solve_with_decomposition`] under any [`Metering`] enforcer: same
+/// contract as [`solve_with_decomposition_budgeted`], but the caller
+/// keeps the meter, so resource usage (and the tracer it carries) stays
+/// readable afterwards. Emits one [`TraceEvent::Decomposition`] summary
+/// and one [`TraceEvent::DpTable`] per bag table materialised.
+pub fn solve_with_decomposition_metered<M: Metering>(
     a: &Structure,
     b: &Structure,
     td: &TreeDecomposition,
@@ -304,6 +325,7 @@ fn solve_with_decomposition_metered<M: Metering>(
     if let Some(verdict) = dp_precheck(a, b, td)? {
         return Ok(verdict);
     }
+    emit_decomposition(td, meter);
     let setup = dp_setup(a, td);
     // Bottom-up: table of surviving bag assignments per node.
     let nb = td.bags.len();
@@ -339,6 +361,7 @@ pub fn solve_with_decomposition_shared(
     if let Some(verdict) = dp_precheck(a, b, td)? {
         return Ok(verdict);
     }
+    emit_decomposition(td, &mut meter.clone());
     let setup = dp_setup(a, td);
     let nb = td.bags.len();
     let max_depth = setup.depth.iter().copied().max().unwrap_or(0);
@@ -395,11 +418,22 @@ pub fn solve_by_treewidth_budgeted(
     b: &Structure,
     budget: &Budget,
 ) -> Result<(usize, Option<Vec<u32>>), ExhaustionReason> {
+    solve_by_treewidth_metered(a, b, &mut budget.meter())
+}
+
+/// [`solve_by_treewidth`] under any [`Metering`] enforcer: same contract
+/// as [`solve_by_treewidth_budgeted`], but the caller keeps the meter,
+/// so resource usage (and the tracer it carries) stays readable
+/// afterwards.
+pub fn solve_by_treewidth_metered<M: Metering>(
+    a: &Structure,
+    b: &Structure,
+    meter: &mut M,
+) -> Result<(usize, Option<Vec<u32>>), ExhaustionReason> {
     let g = Graph::gaifman(a);
-    let mut meter = budget.meter();
-    let order = min_fill_order_metered(&g, &mut meter)?;
+    let order = min_fill_order_metered(&g, meter)?;
     let td = from_elimination_order(&g, &order);
-    let res = match solve_with_decomposition_metered(a, b, &td, &mut meter) {
+    let res = match solve_with_decomposition_metered(a, b, &td, meter) {
         Ok(res) => res,
         Err(DecompSolveError::Exhausted(r)) => return Err(r),
         Err(DecompSolveError::Invalid(msg)) => {

@@ -250,7 +250,10 @@ pub fn min_fill_order_shared(g: &Graph, meter: &SharedMeter) -> Result<Vec<u32>,
     min_fill_order_metered(g, &mut meter.clone())
 }
 
-pub(crate) fn min_fill_order_metered<M: Metering>(
+/// Generic-meter core of [`min_fill_order_budgeted`]: charges the
+/// supplied [`Metering`] implementation instead of owning a fresh meter,
+/// so callers can pool planning with downstream DP on one budget slice.
+pub fn min_fill_order_metered<M: Metering>(
     g: &Graph,
     meter: &mut M,
 ) -> Result<Vec<u32>, ExhaustionReason> {

@@ -32,5 +32,6 @@ pub use join_eval::{
 pub use named::NamedRelation;
 pub use yannakakis::{
     is_acyclic_instance, solve_acyclic, solve_acyclic_budgeted, solve_acyclic_hom,
-    solve_acyclic_shared, solve_with_hypertree, AcyclicSolveError, NotAcyclic,
+    solve_acyclic_metered, solve_acyclic_shared, solve_with_hypertree, AcyclicSolveError,
+    NotAcyclic,
 };

@@ -8,6 +8,7 @@
 //! attribute ids.
 
 use cspdb_core::budget::{Budget, ExhaustionReason, Meter, Metering, SharedMeter};
+use cspdb_core::trace::{OperatorKind, TraceEvent, Tracer};
 use rayon::prelude::*;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -63,12 +64,19 @@ impl JoinPlan {
 /// one tick per input row and one tuple per output row. This is the
 /// single join kernel: the sequential, budgeted, and parallel
 /// (per-partition) joins all run exactly this loop.
+///
+/// Emits one [`TraceEvent::Operator`] per completed call (tagged `kind`
+/// so partition joins are distinguishable); its `output_rows` equals
+/// the tuples charged, which the trace-accounting property test relies
+/// on.
 fn join_rows<M: Metering>(
     left: &[Vec<u32>],
     right: &[Vec<u32>],
     plan: &JoinPlan,
+    kind: OperatorKind,
     meter: &mut M,
 ) -> Result<Vec<Vec<u32>>, ExhaustionReason> {
+    let span = meter.tracer().span_start();
     let mut index: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
     for (ri, row) in right.iter().enumerate() {
         meter.tick()?;
@@ -88,6 +96,13 @@ fn join_rows<M: Metering>(
             }
         }
     }
+    meter.tracer().emit_with(|| TraceEvent::Operator {
+        op: kind,
+        left_rows: left.len() as u64,
+        right_rows: right.len() as u64,
+        output_rows: rows.len() as u64,
+        micros: Tracer::span_micros(span),
+    });
     Ok(rows)
 }
 
@@ -195,7 +210,13 @@ impl NamedRelation {
         meter: &mut M,
     ) -> Result<NamedRelation, ExhaustionReason> {
         let plan = JoinPlan::new(self, other);
-        let rows = join_rows(&self.rows, &other.rows, &plan, meter)?;
+        let rows = join_rows(
+            &self.rows,
+            &other.rows,
+            &plan,
+            OperatorKind::HashJoin,
+            meter,
+        )?;
         Ok(NamedRelation::new(plan.schema, rows))
     }
 
@@ -247,7 +268,15 @@ impl NamedRelation {
                 .chunks(block)
                 .collect::<Vec<_>>()
                 .into_par_iter()
-                .map(|chunk| join_rows(chunk, &other.rows, &plan, &mut meter.clone()))
+                .map(|chunk| {
+                    join_rows(
+                        chunk,
+                        &other.rows,
+                        &plan,
+                        OperatorKind::ParallelHashJoin,
+                        &mut meter.clone(),
+                    )
+                })
                 .collect()
         } else {
             // Hash-partition both sides on the join key; joining
@@ -271,7 +300,15 @@ impl NamedRelation {
             }
             (0..parts)
                 .into_par_iter()
-                .map(|p| join_rows(&left[p], &right[p], &plan, &mut meter.clone()))
+                .map(|p| {
+                    join_rows(
+                        &left[p],
+                        &right[p],
+                        &plan,
+                        OperatorKind::ParallelHashJoin,
+                        &mut meter.clone(),
+                    )
+                })
                 .collect()
         };
         let rows: Vec<Vec<u32>> = results?.into_iter().flatten().collect();
@@ -288,6 +325,16 @@ impl NamedRelation {
         other: &NamedRelation,
         meter: &mut M,
     ) -> Result<NamedRelation, ExhaustionReason> {
+        let span = meter.tracer().span_start();
+        let emit = |meter: &mut M, out: u64, span| {
+            meter.tracer().emit_with(|| TraceEvent::Operator {
+                op: OperatorKind::Semijoin,
+                left_rows: self.rows.len() as u64,
+                right_rows: other.rows.len() as u64,
+                output_rows: out,
+                micros: Tracer::span_micros(span),
+            });
+        };
         let common: Vec<(usize, usize)> = self
             .schema
             .iter()
@@ -299,9 +346,11 @@ impl NamedRelation {
             // `self` iff `other` is nonempty.
             meter.tick()?;
             return if other.is_empty() {
+                emit(meter, 0, span);
                 Ok(NamedRelation::empty(self.schema.clone()))
             } else {
                 meter.charge_tuples(self.rows.len() as u64)?;
+                emit(meter, self.rows.len() as u64, span);
                 Ok(self.clone())
             };
         }
@@ -319,6 +368,7 @@ impl NamedRelation {
                 rows.push(row.clone());
             }
         }
+        emit(meter, rows.len() as u64, span);
         Ok(NamedRelation {
             schema: self.schema.clone(),
             rows,

@@ -15,7 +15,8 @@
 //! route to tractability cited at the end of Section 6.
 
 use crate::named::NamedRelation;
-use cspdb_core::budget::{Budget, ExhaustionReason, Meter, Metering, SharedMeter};
+use cspdb_core::budget::{Budget, ExhaustionReason, Metering, SharedMeter};
+use cspdb_core::trace::TraceEvent;
 use cspdb_core::{CspInstance, Structure};
 use cspdb_decomp::{Hypergraph, HypertreeDecomposition};
 use rayon::prelude::*;
@@ -155,25 +156,41 @@ fn solve_along_forest_metered<M: Metering>(
     debug_assert_eq!(parent.len(), rels.len());
     let forest = Forest::new(parent);
     // Bottom-up: parent ⋉ child (children before parents).
+    let mut semijoins = 0u64;
     for &node in forest.order.iter().rev() {
         if let Some(p) = parent[node] {
             meter.tick()?;
             rels[p] = rels[p].semijoin_metered(&rels[node], meter)?;
+            semijoins += 1;
         }
     }
+    meter.tracer().emit_with(|| TraceEvent::YannakakisSweep {
+        direction: "bottom_up",
+        semijoins,
+    });
     if forest.roots.iter().any(|&r| rels[r].is_empty()) {
         return Ok(None);
     }
     // Top-down: child ⋉ parent.
+    let mut semijoins = 0u64;
     for &node in &forest.order {
         if let Some(p) = parent[node] {
             meter.tick()?;
             rels[node] = rels[node].semijoin_metered(&rels[p], meter)?;
+            semijoins += 1;
             if rels[node].is_empty() {
+                meter.tracer().emit_with(|| TraceEvent::YannakakisSweep {
+                    direction: "top_down",
+                    semijoins,
+                });
                 return Ok(None);
             }
         }
     }
+    meter.tracer().emit_with(|| TraceEvent::YannakakisSweep {
+        direction: "top_down",
+        semijoins,
+    });
     if rels.iter().any(NamedRelation::is_empty) {
         return Ok(None);
     }
@@ -183,16 +200,6 @@ fn solve_along_forest_metered<M: Metering>(
         num_vars,
         meter,
     )?))
-}
-
-/// Single-threaded budgeted full reducer (the pre-existing entry point).
-fn solve_along_forest_budgeted(
-    rels: Vec<NamedRelation>,
-    parent: &[Option<usize>],
-    num_vars: usize,
-    meter: &mut Meter,
-) -> Result<Option<Vec<u32>>, ExhaustionReason> {
-    solve_along_forest_metered(rels, parent, num_vars, meter)
 }
 
 /// Parallel full reducer under a thread-shared budget: each sweep is run
@@ -216,6 +223,7 @@ fn solve_along_forest_shared(
     let max_depth = forest.depth.iter().copied().max().unwrap_or(0);
     // Bottom-up: at each level (deepest first), every parent with
     // children folds them in, in parallel across parents.
+    let mut semijoins = 0u64;
     for level in (0..max_depth).rev() {
         let parents: Vec<usize> = forest
             .order
@@ -223,6 +231,10 @@ fn solve_along_forest_shared(
             .copied()
             .filter(|&p| forest.depth[p] == level && !forest.children[p].is_empty())
             .collect();
+        semijoins += parents
+            .iter()
+            .map(|&p| forest.children[p].len() as u64)
+            .sum::<u64>();
         let rels_ref = &rels;
         let forest_ref = &forest;
         let reduced: Vec<(usize, NamedRelation)> = parents
@@ -241,11 +253,16 @@ fn solve_along_forest_shared(
             rels[p] = r;
         }
     }
+    meter.tracer().emit_with(|| TraceEvent::YannakakisSweep {
+        direction: "bottom_up",
+        semijoins,
+    });
     if forest.roots.iter().any(|&r| rels[r].is_empty()) {
         return Ok(None);
     }
     // Top-down: nodes at each level reduce against their parents, in
     // parallel within the level.
+    let mut semijoins = 0u64;
     for level in 1..=max_depth {
         let nodes: Vec<usize> = forest
             .order
@@ -253,6 +270,7 @@ fn solve_along_forest_shared(
             .copied()
             .filter(|&n| forest.depth[n] == level)
             .collect();
+        semijoins += nodes.len() as u64;
         let rels_ref = &rels;
         let reduced: Vec<(usize, NamedRelation)> = nodes
             .into_par_iter()
@@ -269,9 +287,18 @@ fn solve_along_forest_shared(
             rels[n] = r;
         }
         if any_empty {
+            let done = semijoins;
+            meter.tracer().emit_with(|| TraceEvent::YannakakisSweep {
+                direction: "top_down",
+                semijoins: done,
+            });
             return Ok(None);
         }
     }
+    meter.tracer().emit_with(|| TraceEvent::YannakakisSweep {
+        direction: "top_down",
+        semijoins,
+    });
     if rels.iter().any(NamedRelation::is_empty) {
         return Ok(None);
     }
@@ -322,10 +349,24 @@ pub fn solve_acyclic_budgeted(
     instance: &CspInstance,
     budget: &Budget,
 ) -> Result<Option<Vec<u32>>, AcyclicSolveError> {
+    solve_acyclic_metered(instance, &mut budget.meter())
+}
+
+/// [`solve_acyclic`] under any [`Metering`] enforcer: the caller keeps
+/// the meter, so per-phase resource usage stays readable afterwards
+/// (the governed ladder's per-tier trace summaries rely on this).
+///
+/// # Errors
+///
+/// [`AcyclicSolveError::NotAcyclic`] if GYO fails,
+/// [`AcyclicSolveError::Exhausted`] if the budget ran out (inconclusive).
+pub fn solve_acyclic_metered<M: Metering>(
+    instance: &CspInstance,
+    meter: &mut M,
+) -> Result<Option<Vec<u32>>, AcyclicSolveError> {
     if instance.num_vars() > 0 && instance.num_values() == 0 {
         return Ok(None);
     }
-    let mut meter = budget.meter();
     let normalized = instance.normalize_distinct().consolidate();
     let rels: Vec<NamedRelation> = normalized
         .constraints()
@@ -337,7 +378,7 @@ pub fn solve_acyclic_budgeted(
         hg.add_edge(r.schema().iter().copied());
     }
     let jt = hg.gyo().ok_or(AcyclicSolveError::NotAcyclic)?;
-    let sol = solve_along_forest_budgeted(rels, &jt.parent, normalized.num_vars(), &mut meter)
+    let sol = solve_along_forest_metered(rels, &jt.parent, normalized.num_vars(), meter)
         .map_err(AcyclicSolveError::Exhausted)?;
     if let Some(ref s) = sol {
         debug_assert!(instance.is_solution(s));

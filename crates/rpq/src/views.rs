@@ -21,6 +21,7 @@ use crate::automata::Nfa;
 use crate::graphdb::GraphDb;
 use crate::regex::Regex;
 use cspdb_core::budget::{Answer, Budget, ExhaustionReason};
+use cspdb_core::trace::TraceEvent;
 use cspdb_core::{Structure, Vocabulary};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -278,6 +279,10 @@ impl CertainAnswering {
                 }
             }
         }
+        budget.tracer().emit_with(|| TraceEvent::RpqCertain {
+            pairs,
+            certain: out.len() as u64,
+        });
         Ok(out)
     }
 }

@@ -106,6 +106,25 @@ pub fn solve_csp_budgeted_with(
     run_budgeted(&Problem::from_csp(instance), config, budget)
 }
 
+/// Solves a CSP instance charging an arbitrary [`Metering`] enforcer.
+///
+/// The caller keeps the meter, so the run's resource usage (and the
+/// tracer carried by the meter) stays observable afterwards — the
+/// `Solver` facade's per-phase trace summaries are built on this.
+pub fn solve_csp_metered<M: Metering>(instance: &CspInstance, meter: M) -> BudgetedRun {
+    run_metered(&Problem::from_csp(instance), Config::default(), meter)
+}
+
+/// [`find_homomorphism_budgeted`] charging an arbitrary [`Metering`]
+/// enforcer (see [`solve_csp_metered`]).
+pub fn find_homomorphism_metered<M: Metering>(
+    a: &Structure,
+    b: &Structure,
+    meter: M,
+) -> BudgetedRun {
+    run_metered(&Problem::from_structures(a, b), Config::default(), meter)
+}
+
 /// Solves a CSP instance charging a thread-shared [`SharedMeter`]:
 /// several solver runs (or other algorithms) holding clones of the same
 /// meter draw on one global step/tuple/deadline budget, and any of them

@@ -9,6 +9,7 @@
 use std::ops::ControlFlow;
 
 use cspdb_core::budget::{Budget, ExhaustionReason, Meter, Metering, ResourceUsage};
+use cspdb_core::trace::TraceEvent;
 
 use crate::domain::DomainSet;
 use crate::problem::Problem;
@@ -172,6 +173,28 @@ impl<'p, M: Metering> Search<'p, M> {
         seed_domains: Option<Vec<DomainSet>>,
         mut on_solution: impl FnMut(&[u32]) -> ControlFlow<()>,
     ) -> Outcome {
+        let outcome = self.run_inner(seed_domains, &mut on_solution);
+        let stats = self.stats;
+        self.meter.tracer().emit_with(|| TraceEvent::Search {
+            nodes: stats.nodes,
+            backtracks: stats.backtracks,
+            revisions: stats.revisions,
+            solutions: stats.solutions,
+        });
+        if let Outcome::BudgetExhausted(reason) = outcome {
+            self.meter.tracer().emit_with(|| TraceEvent::Exhausted {
+                phase: "backtracking",
+                reason,
+            });
+        }
+        outcome
+    }
+
+    fn run_inner(
+        &mut self,
+        seed_domains: Option<Vec<DomainSet>>,
+        on_solution: &mut impl FnMut(&[u32]) -> ControlFlow<()>,
+    ) -> Outcome {
         if self.problem.trivially_false {
             return Outcome::Exhausted;
         }
@@ -193,7 +216,7 @@ impl<'p, M: Metering> Search<'p, M> {
             return Outcome::Exhausted;
         }
         let mut assigned = vec![false; self.problem.num_vars];
-        match self.backtrack(&mut domains, &mut assigned, 0, &mut on_solution) {
+        match self.backtrack(&mut domains, &mut assigned, 0, on_solution) {
             ControlFlow::Continue(()) => Outcome::Exhausted,
             ControlFlow::Break(Stop::Requested) => Outcome::Stopped,
             ControlFlow::Break(Stop::NodeLimit) => Outcome::NodeLimit,

@@ -12,7 +12,7 @@
 use constraint_db::consistency::k_consistency_refutes;
 use constraint_db::core::graphs::{clique, cycle, two_coloring, undirected};
 use constraint_db::datalog::{goal_holds, programs};
-use constraint_db::{auto_solve, Strategy};
+use constraint_db::{Solver, Strategy};
 
 fn petersen() -> constraint_db::core::Structure {
     undirected(
@@ -70,7 +70,7 @@ fn main() {
     }
     println!();
 
-    // NP side: H = K3 (3-colorability). auto_solve picks structural
+    // NP side: H = K3 (3-colorability). The Solver facade picks structural
     // strategies where it can.
     println!("H = K3 (3-colorability): NP-complete in general.");
     for (name, g) in [
@@ -78,7 +78,7 @@ fn main() {
         ("Petersen", petersen()),
         ("K4", clique(4)),
     ] {
-        let report = auto_solve(&g, &clique(3));
+        let report = Solver::new().solve(&g, &clique(3)).expect_decided();
         let verdict = match &report.witness {
             Some(h) => {
                 assert!(constraint_db::core::is_homomorphism(

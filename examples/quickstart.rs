@@ -11,7 +11,7 @@
 
 use constraint_db::core::graphs::{clique, undirected};
 use constraint_db::core::CspInstance;
-use constraint_db::{auto_solve, cq, relalg, solver};
+use constraint_db::{cq, relalg, solver, Solver};
 
 fn main() {
     // A wheel: a 5-cycle plus a hub adjacent to every rim vertex.
@@ -78,8 +78,8 @@ fn main() {
     println!();
 
     // View 4: the automatic dispatcher.
-    let report = auto_solve(&wheel, &k4);
-    println!("== View 4: auto_solve ==");
+    let report = Solver::new().solve(&wheel, &k4).expect_decided();
+    println!("== View 4: the Solver facade ==");
     println!("strategy = {:?}", report.strategy);
     let witness = report.witness.expect("solvable");
     println!("witness  = {witness:?}");

@@ -6,14 +6,14 @@
 //! students) must differ; some exams must precede others; some are
 //! pinned. The example shows (a) modeling with `CspInstance`, (b) cheap
 //! consistency preprocessing (AC-3, Section 5), and (c) structure-aware
-//! solving via `auto_solve` — the instance's constraint graph is sparse,
+//! solving via the `Solver` facade — the constraint graph is sparse,
 //! so the Theorem 6.2 treewidth route applies.
 //!
 //! Run with: `cargo run --example scheduling`
 
 use constraint_db::consistency::ac3;
 use constraint_db::core::{CspInstance, Relation};
-use constraint_db::{auto_solve_csp, Strategy};
+use constraint_db::{Solver, Strategy};
 use std::sync::Arc;
 
 const EXAMS: [&str; 8] = [
@@ -90,7 +90,7 @@ fn main() {
     println!();
 
     // Solve.
-    let report = auto_solve_csp(&csp);
+    let report = Solver::new().solve_csp(&csp).expect_decided();
     let strategy = match report.strategy {
         Strategy::Treewidth(w) => format!("treewidth DP (width {w})"),
         s => format!("{s:?}"),

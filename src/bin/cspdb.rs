@@ -20,21 +20,39 @@
 //! --tuples <n>       materialized-tuple budget
 //! ```
 //!
+//! Observability flags (honored by `color` and `sat`):
+//!
+//! ```text
+//! --explain          append an EXPLAIN ANALYZE-style plan report
+//! --explain=json     print the full report as one JSON document instead
+//! ```
+//!
 //! When a budget runs out the command prints `UNKNOWN (<reason>)` and
 //! exits with code 2 instead of hanging.
 //!
 //! Facts files: one fact per line, `Pred arg1 arg2 ...`; `#` comments.
 //! All vertex/argument ids are nonnegative integers.
 
-use constraint_db::core::budget::Budget;
+use constraint_db::core::budget::{Answer, Budget};
+use constraint_db::core::trace::Recorder;
 use constraint_db::core::{Structure, VocabularyBuilder};
+use constraint_db::{ExplainReport, GovernedReport, Solver};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// A command either finished (printing its result) or ran out of budget
 /// (the payload is the printed `UNKNOWN` reason, mapped to exit code 2).
 enum CmdOutcome {
     Done,
     OutOfBudget,
+}
+
+/// How `--explain` asks the solver-backed commands to report their plan.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Explain {
+    Off,
+    Text,
+    Json,
 }
 
 fn main() -> ExitCode {
@@ -46,9 +64,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let explain = match extract_explain(&mut args) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let result = match args.first().map(String::as_str) {
-        Some("color") => cmd_color(&args[1..], &budget),
-        Some("sat") => cmd_sat(&args[1..], &budget),
+        Some("color") => cmd_color(&args[1..], &budget, explain),
+        Some("sat") => cmd_sat(&args[1..], &budget, explain),
         Some("datalog") => cmd_datalog(&args[1..], &budget),
         Some("cq") => cmd_cq(&args[1..]).map(|()| CmdOutcome::Done),
         Some("contain") => cmd_contain(&args[1..]).map(|()| CmdOutcome::Done),
@@ -80,7 +105,8 @@ const USAGE: &str = "usage:
   cspdb minimize \"<query>\"
   cspdb rpq \"<regex>\" <labeled-edges-file>
   cspdb treewidth <edges-file>
-budget flags (color/sat/datalog/treewidth): --timeout-ms <n> --steps <n> --tuples <n>";
+budget flags (color/sat/datalog/treewidth): --timeout-ms <n> --steps <n> --tuples <n>
+explain flags (color/sat): --explain --explain=json";
 
 /// Strips `--timeout-ms/--steps/--tuples <n>` from `args` and builds the
 /// corresponding [`Budget`] (unlimited when no flag is given).
@@ -106,6 +132,66 @@ fn extract_budget(args: &mut Vec<String>) -> Result<Budget, String> {
         }
     }
     Ok(budget)
+}
+
+/// Strips `--explain[=text|json]` from `args`.
+fn extract_explain(args: &mut Vec<String>) -> Result<Explain, String> {
+    let mut mode = Explain::Off;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--explain" | "--explain=text" => {
+                mode = Explain::Text;
+                args.remove(i);
+            }
+            "--explain=json" => {
+                mode = Explain::Json;
+                args.remove(i);
+            }
+            other if other.starts_with("--explain=") => {
+                return Err(format!(
+                    "unknown explain format `{}` (expected text or json)",
+                    &other["--explain=".len()..]
+                ));
+            }
+            _ => i += 1,
+        }
+    }
+    Ok(mode)
+}
+
+/// Runs `solve` under the configured budget, wiring in a [`Recorder`]
+/// when `--explain` asked for one, prints the answer via `print_answer`
+/// (suppressed in JSON mode, where the report is the whole output), and
+/// maps `Unknown` to exit code 2.
+fn solve_and_report(
+    budget: &Budget,
+    explain: Explain,
+    solve: impl FnOnce(Solver) -> GovernedReport,
+    print_answer: impl FnOnce(&GovernedReport),
+) -> CmdOutcome {
+    let recorder = (explain != Explain::Off).then(|| Arc::new(Recorder::new()));
+    let mut solver = Solver::new().budget(budget.clone());
+    if let Some(rec) = &recorder {
+        solver = solver.trace(rec.clone());
+    }
+    let report = solve(solver);
+    let outcome = if matches!(report.answer, Answer::Unknown(_)) {
+        CmdOutcome::OutOfBudget
+    } else {
+        CmdOutcome::Done
+    };
+    match (explain, recorder) {
+        (Explain::Json, Some(rec)) => {
+            println!("{}", ExplainReport::new(report, rec.take()).to_json());
+        }
+        (Explain::Text, Some(rec)) => {
+            print_answer(&report);
+            print!("{}", ExplainReport::new(report, rec.take()).render_text());
+        }
+        _ => print_answer(&report),
+    }
+    outcome
 }
 
 fn read(path: &str) -> Result<String, String> {
@@ -182,7 +268,7 @@ fn parse_facts(src: &str) -> Result<Structure, String> {
     Ok(s)
 }
 
-fn cmd_color(args: &[String], budget: &Budget) -> Result<CmdOutcome, String> {
+fn cmd_color(args: &[String], budget: &Budget, explain: Explain) -> Result<CmdOutcome, String> {
     let [k, path] = args else {
         return Err("usage: cspdb color <k> <edges-file>".into());
     };
@@ -190,30 +276,31 @@ fn cmd_color(args: &[String], budget: &Budget) -> Result<CmdOutcome, String> {
     let (n, edges) = parse_edges(&read(path)?)?;
     let g = constraint_db::core::graphs::undirected(n, &edges);
     let h = constraint_db::core::graphs::clique(k);
-    let report = constraint_db::auto_solve_governed(&g, &h, budget);
-    use constraint_db::core::budget::Answer;
-    match report.answer {
-        Answer::Sat(coloring) => {
-            let via = report.strategy.expect("decided");
-            println!("{k}-colorable (via {via})");
-            for (v, c) in coloring.iter().enumerate() {
-                println!("{v} {c}");
+    let outcome = solve_and_report(
+        budget,
+        explain,
+        |solver| solver.solve(&g, &h),
+        |report| match &report.answer {
+            Answer::Sat(coloring) => {
+                let via = report.strategy.expect("decided");
+                println!("{k}-colorable (via {via})");
+                for (v, c) in coloring.iter().enumerate() {
+                    println!("{v} {c}");
+                }
             }
-            Ok(CmdOutcome::Done)
-        }
-        Answer::Unsat => {
-            let via = report.strategy.expect("decided");
-            println!("not {k}-colorable (via {via})");
-            Ok(CmdOutcome::Done)
-        }
-        Answer::Unknown(reason) => {
-            println!("UNKNOWN ({reason})");
-            Ok(CmdOutcome::OutOfBudget)
-        }
-    }
+            Answer::Unsat => {
+                let via = report.strategy.expect("decided");
+                println!("not {k}-colorable (via {via})");
+            }
+            Answer::Unknown(reason) => {
+                println!("UNKNOWN ({reason})");
+            }
+        },
+    );
+    Ok(outcome)
 }
 
-fn cmd_sat(args: &[String], budget: &Budget) -> Result<CmdOutcome, String> {
+fn cmd_sat(args: &[String], budget: &Budget, explain: Explain) -> Result<CmdOutcome, String> {
     let [path] = args else {
         return Err("usage: cspdb sat <dimacs-file>".into());
     };
@@ -251,36 +338,37 @@ fn cmd_sat(args: &[String], budget: &Budget) -> Result<CmdOutcome, String> {
         cnf.add_clause(c);
     }
     let csp = cspdb_gen::cnf_to_csp(&cnf);
-    let report = constraint_db::auto_solve_governed_csp(&csp, budget);
-    use constraint_db::core::budget::Answer;
-    match report.answer {
-        Answer::Sat(model) => {
-            let via = report.strategy.expect("decided");
-            println!("SATISFIABLE (via {via})");
-            let lits: Vec<String> = model
-                .iter()
-                .enumerate()
-                .map(|(v, &b)| {
-                    if b == 1 {
-                        format!("{}", v + 1)
-                    } else {
-                        format!("-{}", v + 1)
-                    }
-                })
-                .collect();
-            println!("v {} 0", lits.join(" "));
-            Ok(CmdOutcome::Done)
-        }
-        Answer::Unsat => {
-            let via = report.strategy.expect("decided");
-            println!("UNSATISFIABLE (via {via})");
-            Ok(CmdOutcome::Done)
-        }
-        Answer::Unknown(reason) => {
-            println!("UNKNOWN ({reason})");
-            Ok(CmdOutcome::OutOfBudget)
-        }
-    }
+    let outcome = solve_and_report(
+        budget,
+        explain,
+        |solver| solver.solve_csp(&csp),
+        |report| match &report.answer {
+            Answer::Sat(model) => {
+                let via = report.strategy.expect("decided");
+                println!("SATISFIABLE (via {via})");
+                let lits: Vec<String> = model
+                    .iter()
+                    .enumerate()
+                    .map(|(v, &b)| {
+                        if b == 1 {
+                            format!("{}", v + 1)
+                        } else {
+                            format!("-{}", v + 1)
+                        }
+                    })
+                    .collect();
+                println!("v {} 0", lits.join(" "));
+            }
+            Answer::Unsat => {
+                let via = report.strategy.expect("decided");
+                println!("UNSATISFIABLE (via {via})");
+            }
+            Answer::Unknown(reason) => {
+                println!("UNKNOWN ({reason})");
+            }
+        },
+    );
+    Ok(outcome)
 }
 
 fn cmd_datalog(args: &[String], budget: &Budget) -> Result<CmdOutcome, String> {

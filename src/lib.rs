@@ -24,6 +24,9 @@ mod tests {
     #[test]
     fn facade_is_reachable() {
         use cspdb::core::graphs::{clique, cycle};
-        assert!(cspdb::auto_solve(&cycle(4), &clique(2)).witness.is_some());
+        assert!(cspdb::Solver::new()
+            .solve(&cycle(4), &clique(2))
+            .answer
+            .is_sat());
     }
 }

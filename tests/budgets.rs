@@ -3,10 +3,10 @@
 //! degradation ladder answers `Unknown` on out-of-budget hard instances
 //! instead of hanging.
 
-use constraint_db::auto_solve_governed_csp;
 use constraint_db::core::budget::{Answer, Budget, CancelToken, ExhaustionReason};
 use constraint_db::core::{CspInstance, Relation};
 use constraint_db::solver::{self, solve_csp_budgeted};
+use constraint_db::Solver;
 use proptest::prelude::*;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -77,14 +77,14 @@ proptest! {
     #[test]
     fn governed_ladder_agrees_with_ground_truth(p in small_csp(), steps in 1u64..3000) {
         let truth = p.solve_brute_force().is_some();
-        let report = auto_solve_governed_csp(&p, &Budget::new().with_step_limit(steps));
+        let report = Solver::new().budget(Budget::new().with_step_limit(steps)).solve_csp(&p);
         prop_assert!(report.answer.agrees_with(truth), "answer {} vs truth {}", report.answer, truth);
         prop_assert_eq!(report.answer.is_decided(), report.strategy.is_some());
         if let Some(w) = report.answer.witness() {
             prop_assert!(p.is_solution(w));
         }
         // Unlimited budgets always decide.
-        let unlimited = auto_solve_governed_csp(&p, &Budget::unlimited());
+        let unlimited = Solver::new().solve_csp(&p);
         prop_assert!(unlimited.answer.is_decided());
         prop_assert_eq!(unlimited.answer.is_sat(), truth);
     }
@@ -104,7 +104,9 @@ fn prompt_cancellation_returns_unknown_cancelled() {
     let t0 = Instant::now();
     let run = solve_csp_budgeted(&p, &Budget::new().with_cancel(token.clone()));
     assert_eq!(run.answer, Answer::Unknown(ExhaustionReason::Cancelled));
-    let report = auto_solve_governed_csp(&p, &Budget::new().with_cancel(token));
+    let report = Solver::new()
+        .budget(Budget::new().with_cancel(token))
+        .solve_csp(&p);
     assert_eq!(report.answer, Answer::Unknown(ExhaustionReason::Cancelled));
     assert!(
         t0.elapsed() < Duration::from_secs(2),
@@ -122,7 +124,7 @@ fn ten_ms_deadline_on_hard_3sat_degrades_to_unknown() {
     let p = hard_3sat(200, 42);
     let budget = Budget::new().with_deadline(Duration::from_millis(10));
     let t0 = Instant::now();
-    let report = auto_solve_governed_csp(&p, &budget);
+    let report = Solver::new().budget(budget).solve_csp(&p);
     let elapsed = t0.elapsed();
     assert_eq!(
         report.answer,

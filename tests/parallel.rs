@@ -4,12 +4,11 @@
 //! and cancellation through a `SharedMeter` must stop work with bounded
 //! latency.
 
-use constraint_db::auto_solve_csp;
-use constraint_db::auto_solve_portfolio_csp;
 use constraint_db::core::budget::{Budget, CancelToken, ExhaustionReason, CHECK_INTERVAL};
 use constraint_db::core::{CspInstance, Relation};
 use constraint_db::decomp::{solve_by_treewidth, solve_by_treewidth_shared};
 use constraint_db::relalg::{solve_acyclic, solve_acyclic_shared, NamedRelation};
+use constraint_db::{SolveStrategy, Solver};
 use proptest::prelude::*;
 use rayon::ThreadPoolBuilder;
 use std::sync::Arc;
@@ -83,8 +82,8 @@ proptest! {
     /// verdict as the unbudgeted auto-solver, with valid witnesses.
     #[test]
     fn portfolio_agrees_with_auto_solve(p in chain_csp()) {
-        let truth = auto_solve_csp(&p).witness.is_some();
-        let report = auto_solve_portfolio_csp(&p, &Budget::unlimited());
+        let truth = Solver::new().solve_csp(&p).answer.is_sat();
+        let report = Solver::new().strategy(SolveStrategy::Portfolio).solve_csp(&p);
         prop_assert_eq!(report.answer.is_sat(), truth);
         prop_assert_eq!(report.answer.is_unsat(), !truth);
         if let Some(w) = report.answer.witness() {

@@ -118,14 +118,14 @@ fn hypertree_route_agrees() {
     }
 }
 
-/// The auto dispatcher always verifies its witnesses and matches search.
+/// The facade dispatcher always verifies its witnesses and matches search.
 #[test]
-fn auto_solve_is_correct_everywhere() {
+fn solver_facade_is_correct_everywhere() {
     for seed in 0..8u64 {
         let a = cspdb_gen::gnp(8, 0.3, seed);
         for colors in 2..=4usize {
             let b = clique(colors);
-            let report = constraint_db::auto_solve(&a, &b);
+            let report = constraint_db::Solver::new().solve(&a, &b).expect_decided();
             let direct = solver::find_homomorphism(&a, &b);
             assert_eq!(report.witness.is_some(), direct.is_some());
             if let Some(w) = report.witness {
