@@ -133,6 +133,27 @@ pub enum TraceEvent {
         /// Candidates surviving the greatest-fixpoint deletion loop.
         survivors: u64,
     },
+    /// A join order chosen by the connectivity-aware planner.
+    PlanChosen {
+        /// Number of relations planned over.
+        relations: usize,
+        /// Chosen join order (indices into the planner's input).
+        order: Vec<u32>,
+        /// Estimated cardinality after each step of `order`.
+        est_rows: Vec<u64>,
+        /// Positions in `order` the planner was forced to execute as
+        /// explicit cross products (disconnected join graph).
+        cross_steps: Vec<u32>,
+    },
+    /// A hash index was built over a relation's key attributes.
+    IndexBuilt {
+        /// Width of the index key (number of attributes).
+        attrs: usize,
+        /// Rows indexed.
+        rows: u64,
+        /// Distinct key values in the index.
+        distinct_keys: u64,
+    },
     /// One relational operator application with its cardinalities.
     Operator {
         /// Which operator ran.
@@ -219,6 +240,8 @@ impl TraceEvent {
             TraceEvent::Search { .. } => "search",
             TraceEvent::Propagation { .. } => "propagation",
             TraceEvent::KConsistency { .. } => "k_consistency",
+            TraceEvent::PlanChosen { .. } => "plan_chosen",
+            TraceEvent::IndexBuilt { .. } => "index_built",
             TraceEvent::Operator { .. } => "operator",
             TraceEvent::YannakakisSweep { .. } => "yannakakis_sweep",
             TraceEvent::Decomposition { .. } => "decomposition",
@@ -297,6 +320,37 @@ impl TraceEvent {
             } => {
                 s.push_str(&format!(
                     ",\"k\":{k},\"candidates\":{candidates},\"survivors\":{survivors}"
+                ));
+            }
+            TraceEvent::PlanChosen {
+                relations,
+                order,
+                est_rows,
+                cross_steps,
+            } => {
+                let join = |xs: &[u64]| xs.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+                let order_s = order
+                    .iter()
+                    .map(u32::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let cross_s = cross_steps
+                    .iter()
+                    .map(u32::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",");
+                s.push_str(&format!(
+                    ",\"relations\":{relations},\"order\":[{order_s}],\"est_rows\":[{}],\"cross_steps\":[{cross_s}]",
+                    join(est_rows)
+                ));
+            }
+            TraceEvent::IndexBuilt {
+                attrs,
+                rows,
+                distinct_keys,
+            } => {
+                s.push_str(&format!(
+                    ",\"attrs\":{attrs},\"rows\":{rows},\"distinct_keys\":{distinct_keys}"
                 ));
             }
             TraceEvent::Operator {
@@ -645,6 +699,17 @@ mod tests {
                 k: 3,
                 candidates: 10,
                 survivors: 7,
+            },
+            TraceEvent::PlanChosen {
+                relations: 3,
+                order: vec![2, 0, 1],
+                est_rows: vec![10, 40, 12],
+                cross_steps: vec![1],
+            },
+            TraceEvent::IndexBuilt {
+                attrs: 2,
+                rows: 40,
+                distinct_keys: 11,
             },
             TraceEvent::Operator {
                 op: OperatorKind::Semijoin,

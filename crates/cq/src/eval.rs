@@ -10,10 +10,32 @@
 
 use crate::canonical::canonical_database;
 use crate::query::ConjunctiveQuery;
+use cspdb_core::budget::{Budget, ExhaustionReason};
 use cspdb_core::{Relation, Structure};
 use cspdb_relalg::NamedRelation;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::ops::ControlFlow;
+
+/// Why a budget-governed evaluation produced no answer relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CqEvalError {
+    /// The query does not fit the database (missing predicate, arity
+    /// mismatch) — evaluation cannot start.
+    Invalid(String),
+    /// The budget ran out mid-evaluation — inconclusive.
+    Exhausted(ExhaustionReason),
+}
+
+impl std::fmt::Display for CqEvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CqEvalError::Invalid(m) => f.write_str(m),
+            CqEvalError::Exhausted(r) => write!(f, "budget exhausted: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for CqEvalError {}
 
 /// Evaluates `Q` on `db` by homomorphism search from the canonical
 /// database: returns the answer relation over the distinguished
@@ -24,24 +46,55 @@ use std::ops::ControlFlow;
 /// Returns a message if a query predicate is missing from `db` or used
 /// with the wrong arity.
 pub fn evaluate_by_search(q: &ConjunctiveQuery, db: &Structure) -> Result<Relation, String> {
+    evaluate_by_search_budgeted(q, db, &Budget::unlimited()).map_err(|e| e.to_string())
+}
+
+/// [`evaluate_by_search`] under a [`Budget`]. The search enumerates
+/// homomorphisms, but never more than the answer needs: a Boolean query
+/// (no distinguished variables) stops at the first witness, and a
+/// non-Boolean query tracks the projected tuples already seen in a
+/// `HashSet` so a high-multiplicity database cannot make it buffer
+/// exponentially many duplicates.
+///
+/// # Errors
+///
+/// [`CqEvalError::Invalid`] if the query does not fit the database,
+/// [`CqEvalError::Exhausted`] if the budget ran out (inconclusive).
+pub fn evaluate_by_search_budgeted(
+    q: &ConjunctiveQuery,
+    db: &Structure,
+    budget: &Budget,
+) -> Result<Relation, CqEvalError> {
     let canon = canonical_database(q, false);
-    check_compatible(q, db)?;
+    check_compatible(q, db).map_err(CqEvalError::Invalid)?;
     // Rebuild the canonical structure over db's vocabulary so the solver
     // sees one shared signature.
-    let a = retype(&canon.structure, db)?;
+    let a = retype(&canon.structure, db).map_err(CqEvalError::Invalid)?;
     let dist_elems: Vec<u32> = q
         .distinguished
         .iter()
         .map(|v| canon.element_of_var[v])
         .collect();
     let problem = cspdb_solver::Problem::from_structures(&a, db);
-    let mut search = cspdb_solver::Search::new(&problem, cspdb_solver::Config::default());
-    let mut answers: Vec<Vec<u32>> = Vec::new();
-    search.run(None, |h| {
-        answers.push(dist_elems.iter().map(|&e| h[e as usize]).collect());
-        ControlFlow::Continue(())
+    let mut search =
+        cspdb_solver::Search::with_budget(&problem, cspdb_solver::Config::default(), budget);
+    let boolean = q.is_boolean();
+    let mut answers: HashSet<Vec<u32>> = HashSet::new();
+    let outcome = search.run(None, |h| {
+        answers.insert(dist_elems.iter().map(|&e| h[e as usize]).collect());
+        if boolean {
+            // One witness decides a Boolean query; enumerating the rest
+            // of the homomorphisms would be pure waste.
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
     });
-    Relation::from_tuples(dist_elems.len(), answers.iter()).map_err(|e| e.to_string())
+    if let cspdb_solver::Outcome::BudgetExhausted(reason) = outcome {
+        return Err(CqEvalError::Exhausted(reason));
+    }
+    Relation::from_tuples(dist_elems.len(), answers.iter())
+        .map_err(|e| CqEvalError::Invalid(e.to_string()))
 }
 
 /// Evaluates `Q` on `db` through the relational algebra: one
@@ -54,7 +107,28 @@ pub fn evaluate_by_search(q: &ConjunctiveQuery, db: &Structure) -> Result<Relati
 /// with the wrong arity, or if a Boolean query's empty projection is
 /// requested on an empty join (handled: returns the empty relation).
 pub fn evaluate_by_join(q: &ConjunctiveQuery, db: &Structure) -> Result<Relation, String> {
-    check_compatible(q, db)?;
+    evaluate_by_join_budgeted(q, db, &Budget::unlimited()).map_err(|e| e.to_string())
+}
+
+/// [`evaluate_by_join`] under a [`Budget`]: the atom relations run
+/// through the planner-ordered, index-backed join pipeline
+/// ([`cspdb_relalg::join_all_metered`]), charging every intermediate row
+/// against the tuple cap. Attach a trace sink to the budget to observe
+/// the chosen join order
+/// ([`TraceEvent::PlanChosen`](cspdb_core::trace::TraceEvent)) and the
+/// per-operator cardinalities — this is what `cspdb cq --explain`
+/// surfaces.
+///
+/// # Errors
+///
+/// [`CqEvalError::Invalid`] if the query does not fit the database,
+/// [`CqEvalError::Exhausted`] if the budget ran out (inconclusive).
+pub fn evaluate_by_join_budgeted(
+    q: &ConjunctiveQuery,
+    db: &Structure,
+    budget: &Budget,
+) -> Result<Relation, CqEvalError> {
+    check_compatible(q, db).map_err(CqEvalError::Invalid)?;
     let vars = q.variables();
     let var_index: HashMap<&str, u32> = vars
         .iter()
@@ -65,7 +139,7 @@ pub fn evaluate_by_join(q: &ConjunctiveQuery, db: &Structure) -> Result<Relation
     for atom in &q.atoms {
         let rel = db
             .relation_by_name(&atom.predicate)
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| CqEvalError::Invalid(e.to_string()))?;
         // Distinct attributes: positions of the first occurrence of each
         // variable; rows must agree on repeated positions.
         let mut schema: Vec<u32> = Vec::new();
@@ -93,7 +167,9 @@ pub fn evaluate_by_join(q: &ConjunctiveQuery, db: &Structure) -> Result<Relation
             .collect();
         relations.push(NamedRelation::new(schema, rows));
     }
-    let joined = cspdb_relalg::join_all(relations);
+    let mut meter = budget.meter();
+    let joined =
+        cspdb_relalg::join_all_metered(&relations, &mut meter).map_err(CqEvalError::Exhausted)?;
     let dist_attrs: Vec<u32> = q
         .distinguished
         .iter()
@@ -103,7 +179,8 @@ pub fn evaluate_by_join(q: &ConjunctiveQuery, db: &Structure) -> Result<Relation
         return Ok(Relation::empty(dist_attrs.len()));
     }
     let projected = joined.project(&dist_attrs);
-    Relation::from_tuples(dist_attrs.len(), projected.rows().iter()).map_err(|e| e.to_string())
+    Relation::from_tuples(dist_attrs.len(), projected.rows().iter())
+        .map_err(|e| CqEvalError::Invalid(e.to_string()))
 }
 
 /// True if the Boolean query holds on `db` (via the join engine).
@@ -225,5 +302,65 @@ mod tests {
         let q = ConjunctiveQuery::parse("Q :- F(X,Y)").unwrap();
         assert!(evaluate_by_join(&q, &cycle(3)).is_err());
         assert!(evaluate_by_search(&q, &cycle(3)).is_err());
+    }
+
+    /// The complete digraph on `n` vertices (all n² edges): every
+    /// variable assignment is a homomorphism, the worst case for an
+    /// enumerate-everything search.
+    fn complete_digraph(n: u32) -> cspdb_core::Structure {
+        let edges: Vec<(u32, u32)> = (0..n).flat_map(|u| (0..n).map(move |v| (u, v))).collect();
+        digraph(n as usize, &edges)
+    }
+
+    #[test]
+    fn boolean_search_stops_at_first_witness() {
+        use cspdb_core::trace::{Recorder, TraceEvent};
+        use std::sync::Arc;
+
+        // On K12 every one of the 12³ = 1728 assignments of {X,Y,Z} is a
+        // homomorphism; a search that enumerates them all expands at
+        // least that many nodes. The Boolean early exit must stop after
+        // the first witness.
+        let db = complete_digraph(12);
+        let q = ConjunctiveQuery::parse("Q :- E(X,Y), E(Y,Z)").unwrap();
+        let rec = Arc::new(Recorder::new());
+        let budget = Budget::unlimited().with_trace(rec.clone());
+        let ans = evaluate_by_search_budgeted(&q, &db, &budget).unwrap();
+        assert!(!ans.is_empty(), "K12 satisfies the query");
+        let nodes = rec
+            .events()
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::Search { nodes, .. } => Some(*nodes),
+                _ => None,
+            })
+            .expect("search emits its stats");
+        assert!(
+            nodes < 100,
+            "Boolean query must stop at the first witness, expanded {nodes} nodes"
+        );
+    }
+
+    #[test]
+    fn high_multiplicity_projection_deduplicates() {
+        // Q(X) :- E(X,Y) on K9: every X has 9 matching Y's; the search
+        // engine must not buffer the duplicates, and both engines agree.
+        let db = complete_digraph(9);
+        let q = ConjunctiveQuery::parse("Q(X) :- E(X,Y)").unwrap();
+        let by_search = evaluate_by_search(&q, &db).unwrap();
+        let by_join = evaluate_by_join(&q, &db).unwrap();
+        assert_eq!(by_search, by_join);
+        assert_eq!(by_search.len(), 9);
+    }
+
+    #[test]
+    fn budgeted_join_eval_reports_exhaustion() {
+        let db = complete_digraph(10);
+        let q = ConjunctiveQuery::parse("Q(X,Y) :- E(X,Z), E(Z,Y)").unwrap();
+        let tiny = Budget::unlimited().with_tuple_limit(5);
+        match evaluate_by_join_budgeted(&q, &db, &tiny) {
+            Err(CqEvalError::Exhausted(ExhaustionReason::TupleLimitExceeded)) => {}
+            other => panic!("expected tuple exhaustion, got {other:?}"),
+        }
     }
 }

@@ -22,8 +22,79 @@
 
 use crate::facade::GovernedReport;
 use cspdb_core::budget::Answer;
-use cspdb_core::trace::TraceEvent;
+use cspdb_core::trace::{OperatorKind, TraceEvent};
 use std::fmt::Write as _;
+
+/// Renders the join-planner section of an EXPLAIN report: for every
+/// [`TraceEvent::PlanChosen`] in `events`, the chosen order with the
+/// planner's estimated cardinality per step next to the *actual* rows
+/// the subsequent hash-join operators produced, plus the number of hash
+/// indexes built. Returns `None` when no plan was recorded (the run
+/// never entered the join pipeline).
+pub fn render_join_plan(events: &[TraceEvent]) -> Option<String> {
+    let mut out = String::new();
+    let mut plans = 0usize;
+    for (i, event) in events.iter().enumerate() {
+        let TraceEvent::PlanChosen {
+            relations,
+            order,
+            est_rows,
+            cross_steps,
+        } = event
+        else {
+            continue;
+        };
+        plans += 1;
+        let _ = writeln!(
+            out,
+            "join plan: {} relations, {} cross product{}",
+            relations,
+            cross_steps.len(),
+            if cross_steps.len() == 1 { "" } else { "s" },
+        );
+        // Actual cardinalities: the sequential hash-join operators that
+        // ran after this plan, one per step past the first (fewer when
+        // an empty intermediate ended the pipeline early).
+        let mut actuals = events[i + 1..]
+            .iter()
+            .take_while(|e| !matches!(e, TraceEvent::PlanChosen { .. }))
+            .filter_map(|e| match e {
+                TraceEvent::Operator {
+                    op: OperatorKind::HashJoin,
+                    output_rows,
+                    ..
+                } => Some(*output_rows),
+                _ => None,
+            });
+        for (step, (rel, est)) in order.iter().zip(est_rows.iter()).enumerate() {
+            let actual = if step == 0 {
+                String::new()
+            } else {
+                match actuals.next() {
+                    Some(rows) => format!("   actual {rows:>8} rows"),
+                    None => String::new(),
+                }
+            };
+            let cross = if cross_steps.contains(&(step as u32)) {
+                "   (cross product)"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  step {step}  relation {rel:>3}   est {est:>8} rows{actual}{cross}"
+            );
+        }
+    }
+    let indexes = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::IndexBuilt { .. }))
+        .count();
+    if indexes > 0 {
+        let _ = writeln!(out, "indexes built: {indexes}");
+    }
+    (plans > 0).then_some(out)
+}
 
 /// A governed run together with its recorded event stream, renderable
 /// as an `EXPLAIN ANALYZE`-style report.
@@ -114,6 +185,9 @@ impl ExplainReport {
                 "  {:<16} {:<40} {:>8} µs {:>10} steps {:>10} tuples",
                 phase.phase, "(aggregate)", phase.micros, phase.steps, phase.tuples,
             );
+        }
+        if let Some(plan) = render_join_plan(&self.events) {
+            out.push_str(&plan);
         }
         if self.events.is_empty() {
             let _ = writeln!(out, "events: none recorded");
@@ -248,6 +322,39 @@ mod tests {
             "got:\n{json}"
         );
         assert_eq!(json.matches('"').count() % 2, 0, "got:\n{json}");
+    }
+
+    #[test]
+    fn join_plan_section_pairs_estimates_with_actuals() {
+        use cspdb_relalg::{join_all_budgeted, NamedRelation};
+        let rec = Arc::new(Recorder::new());
+        let budget = Budget::unlimited().with_trace(rec.clone());
+        let mut meter = budget.meter();
+        // A 3-relation chain: R(0,1) ⋈ S(1,2) ⋈ T(2,3).
+        let r = NamedRelation::new(vec![0, 1], vec![vec![1, 2], vec![2, 3]]);
+        let s = NamedRelation::new(vec![1, 2], vec![vec![2, 4], vec![3, 5]]);
+        let t = NamedRelation::new(vec![2, 3], vec![vec![4, 6], vec![5, 7]]);
+        let joined = join_all_budgeted(vec![r, s, t], &mut meter).unwrap();
+        assert_eq!(joined.len(), 2);
+        let events = rec.take();
+        let plan = render_join_plan(&events).expect("a plan was recorded");
+        assert!(plan.contains("join plan: 3 relations"), "got:\n{plan}");
+        assert!(plan.contains("0 cross products"), "got:\n{plan}");
+        assert!(plan.contains("actual"), "got:\n{plan}");
+        assert!(plan.contains("indexes built: 2"), "got:\n{plan}");
+        // And the section shows up in a rendered report.
+        let report = Solver::new().solve(&cycle(5), &clique(3));
+        let text = ExplainReport::new(report, events).render_text();
+        assert!(text.contains("join plan:"), "got:\n{text}");
+    }
+
+    #[test]
+    fn render_join_plan_is_none_without_a_plan() {
+        assert!(render_join_plan(&[]).is_none());
+        let e = explain(&cycle(5), &clique(3));
+        // The default ladder solves cycle/clique before the join tier, so
+        // no PlanChosen event is recorded and the section is omitted.
+        let _ = render_join_plan(&e.events);
     }
 
     #[test]

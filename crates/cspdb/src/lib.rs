@@ -57,7 +57,7 @@ pub use cspdb_solver as solver;
 mod explain;
 mod facade;
 
-pub use explain::ExplainReport;
+pub use explain::{render_join_plan, ExplainReport};
 pub use facade::{
     GovernedReport, PhaseTrace, SolveOutcome, SolveReport, SolveStrategy, Solver, Strategy,
     TierAttempt, TierOutcome, TraceSummary,
@@ -148,5 +148,70 @@ mod deprecated_surface_tests {
         assert!(auto_solve_portfolio_csp(&instance, &Budget::unlimited())
             .answer
             .is_sat());
+    }
+
+    /// The deprecated shims are one-line delegations to the [`Solver`]
+    /// facade with default settings; their reports must stay *identical*
+    /// to the facade's over randomized instances, not just on the few
+    /// fixed graphs above.
+    #[test]
+    fn legacy_shims_match_facade_defaults_on_random_instances() {
+        use cspdb_core::graphs::undirected;
+
+        let mut state = 0x9e37_79b9_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..12 {
+            let n = 4 + (next() % 5) as usize;
+            let mut edges = Vec::new();
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if next() % 3 != 0 {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let a = undirected(n, &edges);
+            let k = 2 + (next() % 3) as usize;
+            let b = clique(k);
+
+            let facade = Solver::new().solve(&a, &b).expect_decided();
+            let legacy = auto_solve(&a, &b);
+            assert_eq!(
+                legacy.strategy, facade.strategy,
+                "round {round}: strategy diverged (n={n}, k={k})"
+            );
+            assert_eq!(
+                legacy.witness.is_some(),
+                facade.witness.is_some(),
+                "round {round}: answer diverged (n={n}, k={k})"
+            );
+
+            let governed_facade = Solver::new().solve(&a, &b);
+            let governed_legacy = auto_solve_governed(&a, &b, &Budget::unlimited());
+            assert_eq!(
+                governed_legacy.answer.is_sat(),
+                governed_facade.answer.is_sat(),
+                "round {round}: governed answer diverged (n={n}, k={k})"
+            );
+            assert_eq!(
+                governed_legacy.strategy, governed_facade.strategy,
+                "round {round}: governed strategy diverged (n={n}, k={k})"
+            );
+
+            if let Ok(instance) = CspInstance::from_homomorphism(&a, &b) {
+                let csp_facade = Solver::new().solve_csp(&instance).expect_decided();
+                let csp_legacy = auto_solve_csp(&instance);
+                assert_eq!(
+                    csp_legacy.witness.is_some(),
+                    csp_facade.witness.is_some(),
+                    "round {round}: csp answer diverged (n={n}, k={k})"
+                );
+            }
+        }
     }
 }

@@ -5,13 +5,17 @@
 //! become [`NamedRelation`]s whose attributes are the CSP variables; the
 //! instance is solvable iff `⋈_{(t,R) ∈ C} R ≠ ∅`, and each row of the
 //! join restricted to the variables is a solution. Join order matters
-//! enormously in practice; we order by ascending relation size and join
-//! eagerly (a standard greedy heuristic), which keeps the laptop-scale
-//! experiments tractable while remaining the honest quadratic-ish
-//! baseline that Yannakakis beats on acyclic instances (Experiment E10).
+//! enormously in practice; every entry point here runs the
+//! connectivity-aware greedy planner ([`crate::plan_join_order`]), which
+//! only joins relations sharing an attribute with the prefix (estimated
+//! cardinality breaks ties) and falls back to explicit, traced cross
+//! products when the join graph is disconnected. The historical
+//! size-only ordering survives as [`join_all_size_ordered`] — the
+//! baseline the `e_join_order` benchmark measures the planner against.
 
 use crate::named::NamedRelation;
-use cspdb_core::budget::{Budget, ExhaustionReason, Meter, SharedMeter};
+use crate::planner::{common_attrs, plan_join_order, IndexCache, INDEX_CACHE_CAPACITY};
+use cspdb_core::budget::{Budget, ExhaustionReason, Meter, Metering, SharedMeter};
 use cspdb_core::CspInstance;
 
 /// Lowers each constraint to a named relation over its scope.
@@ -28,9 +32,97 @@ pub fn constraint_relations(instance: &CspInstance) -> Vec<NamedRelation> {
         .collect()
 }
 
-/// Evaluates the full natural join of the constraint relations, smallest
-/// first. The result's schema covers every constrained variable.
-pub fn join_all(mut relations: Vec<NamedRelation>) -> NamedRelation {
+/// Evaluates the full natural join of the constraint relations in the
+/// order chosen by the connectivity-aware planner. The result's schema
+/// covers every constrained variable (column order follows the plan).
+pub fn join_all(relations: Vec<NamedRelation>) -> NamedRelation {
+    join_all_metered(&relations, &mut Budget::unlimited().meter())
+        .expect("unlimited budget cannot exhaust")
+}
+
+/// [`join_all`] under any [`Metering`] enforcer: the planner's order is
+/// traced ([`TraceEvent::PlanChosen`](cspdb_core::trace::TraceEvent)),
+/// each build side is indexed once through a per-call [`IndexCache`],
+/// and every intermediate row is charged against the tuple cap, so
+/// runaway intermediate results abort instead of exhausting memory.
+pub fn join_all_metered<M: Metering>(
+    relations: &[NamedRelation],
+    meter: &mut M,
+) -> Result<NamedRelation, ExhaustionReason> {
+    let plan = plan_join_order(relations);
+    meter.tracer().emit_with(|| plan.trace_event());
+    let mut cache = IndexCache::new(INDEX_CACHE_CAPACITY);
+    let mut acc: Option<NamedRelation> = None;
+    for step in &plan.steps {
+        let r = &relations[step.relation];
+        let next = match acc {
+            None => r.clone(),
+            Some(a) => {
+                let common = common_attrs(&a, r);
+                debug_assert_eq!(
+                    common.is_empty(),
+                    step.cross_product,
+                    "planner must flag exactly the disconnected joins"
+                );
+                if common.is_empty() {
+                    // Explicit cross product (disconnected join graph).
+                    a.natural_join_metered(r, meter)?
+                } else {
+                    let index = cache.get_or_build(step.relation, 0, r, &common, meter)?;
+                    a.natural_join_with_index(r, &index, meter)?
+                }
+            }
+        };
+        if next.is_empty() {
+            return Ok(next);
+        }
+        acc = Some(next);
+    }
+    Ok(acc.unwrap_or_else(NamedRelation::unit))
+}
+
+/// [`join_all_metered`] fixed to the single-threaded [`Meter`] (the
+/// pre-existing budgeted entry point).
+pub fn join_all_budgeted(
+    relations: Vec<NamedRelation>,
+    meter: &mut Meter,
+) -> Result<NamedRelation, ExhaustionReason> {
+    join_all_metered(&relations, meter)
+}
+
+/// [`join_all`] with every pairwise join executed as a partitioned
+/// parallel hash join ([`NamedRelation::natural_join_parallel`]) under a
+/// thread-shared budget. The join *sequence* is the same planner order,
+/// so the result is identical to [`join_all`]'s; only the work inside
+/// each pairwise join fans out (planned cross products route to the
+/// sequential kernel — an empty join key defeats hash partitioning).
+pub fn join_all_parallel(
+    relations: Vec<NamedRelation>,
+    meter: &SharedMeter,
+) -> Result<NamedRelation, ExhaustionReason> {
+    let plan = plan_join_order(&relations);
+    meter.tracer().emit_with(|| plan.trace_event());
+    let mut acc: Option<NamedRelation> = None;
+    for step in &plan.steps {
+        let r = &relations[step.relation];
+        let next = match acc {
+            None => r.clone(),
+            Some(a) => a.natural_join_parallel(r, meter)?,
+        };
+        if next.is_empty() {
+            return Ok(next);
+        }
+        acc = Some(next);
+    }
+    Ok(acc.unwrap_or_else(NamedRelation::unit))
+}
+
+/// The historical size-only join order: ascending cardinality, blind to
+/// connectivity — it happily cross-products two relations sharing no
+/// attributes. Kept as the measurable baseline for the planner
+/// (`e_join_order` benchmark, property tests); not used by any solver
+/// path.
+pub fn join_all_size_ordered(mut relations: Vec<NamedRelation>) -> NamedRelation {
     relations.sort_by_key(NamedRelation::len);
     let mut acc = NamedRelation::unit();
     for r in relations {
@@ -40,44 +132,6 @@ pub fn join_all(mut relations: Vec<NamedRelation>) -> NamedRelation {
         }
     }
     acc
-}
-
-/// [`join_all`] under a [`Meter`]: every intermediate row is charged
-/// against the tuple cap, so runaway intermediate results abort instead
-/// of exhausting memory.
-pub fn join_all_budgeted(
-    mut relations: Vec<NamedRelation>,
-    meter: &mut Meter,
-) -> Result<NamedRelation, ExhaustionReason> {
-    relations.sort_by_key(NamedRelation::len);
-    let mut acc = NamedRelation::unit();
-    for r in relations {
-        acc = acc.natural_join_budgeted(&r, meter)?;
-        if acc.is_empty() {
-            return Ok(acc);
-        }
-    }
-    Ok(acc)
-}
-
-/// [`join_all`] with every pairwise join executed as a partitioned
-/// parallel hash join ([`NamedRelation::natural_join_parallel`]) under a
-/// thread-shared budget. The join *sequence* is the same
-/// smallest-first greedy order, so the result is identical to
-/// [`join_all`]'s; only the work inside each pairwise join fans out.
-pub fn join_all_parallel(
-    mut relations: Vec<NamedRelation>,
-    meter: &SharedMeter,
-) -> Result<NamedRelation, ExhaustionReason> {
-    relations.sort_by_key(NamedRelation::len);
-    let mut acc = NamedRelation::unit();
-    for r in relations {
-        acc = acc.natural_join_parallel(&r, meter)?;
-        if acc.is_empty() {
-            return Ok(acc);
-        }
-    }
-    Ok(acc)
 }
 
 /// [`solve_by_join`] with parallel pairwise joins under a thread-shared

@@ -10,6 +10,9 @@
 //!
 //! * [`NamedRelation`] — attribute-labeled relations with natural join,
 //!   semijoin, projection, selection, and renaming;
+//! * [`plan_join_order`] / [`HashIndex`] / [`IndexCache`] — a
+//!   connectivity-aware greedy join planner with reusable build-side
+//!   hash indexes, shared by the join pipeline and the reducer sweeps;
 //! * [`solve_by_join`] / [`count_by_join`] — Proposition 2.1 as code;
 //! * [`solve_acyclic`] / [`solve_acyclic_hom`] — Yannakakis' polynomial
 //!   algorithm for α-acyclic instances via GYO join trees and a full
@@ -23,13 +26,18 @@
 
 mod join_eval;
 mod named;
+mod planner;
 mod yannakakis;
 
 pub use join_eval::{
-    constraint_relations, count_by_join, join_all, join_all_budgeted, join_all_parallel,
-    solve_by_join, solve_by_join_budgeted, solve_by_join_parallel,
+    constraint_relations, count_by_join, join_all, join_all_budgeted, join_all_metered,
+    join_all_parallel, join_all_size_ordered, solve_by_join, solve_by_join_budgeted,
+    solve_by_join_parallel,
 };
 pub use named::NamedRelation;
+pub use planner::{
+    common_attrs, plan_join_order, HashIndex, IndexCache, JoinOrder, PlanStep, INDEX_CACHE_CAPACITY,
+};
 pub use yannakakis::{
     is_acyclic_instance, solve_acyclic, solve_acyclic_budgeted, solve_acyclic_hom,
     solve_acyclic_metered, solve_acyclic_shared, solve_with_hypertree, AcyclicSolveError,

@@ -7,6 +7,7 @@
 //! [`NamedRelation`] is that view: rows keyed by a schema of distinct
 //! attribute ids.
 
+use crate::planner::HashIndex;
 use cspdb_core::budget::{Budget, ExhaustionReason, Meter, Metering, SharedMeter};
 use cspdb_core::trace::{OperatorKind, TraceEvent, Tracer};
 use rayon::prelude::*;
@@ -238,6 +239,62 @@ impl NamedRelation {
             .expect("unlimited budget cannot exhaust")
     }
 
+    /// [`natural_join_metered`](Self::natural_join_metered) probing a
+    /// prebuilt build-side [`HashIndex`] instead of hashing `other`
+    /// again: the planner's executor and the reducer sweeps reuse one
+    /// index across calls (see [`crate::IndexCache`]). The index must
+    /// have been built over `other`, keyed by the common attributes of
+    /// the two schemas (any order); the result is identical to the
+    /// unindexed join.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index key is not the common attribute set, or the
+    /// index row count does not match `other`.
+    pub fn natural_join_with_index<M: Metering>(
+        &self,
+        other: &NamedRelation,
+        index: &HashIndex,
+        meter: &mut M,
+    ) -> Result<NamedRelation, ExhaustionReason> {
+        let plan = JoinPlan::new(self, other);
+        assert_eq!(
+            index.rows(),
+            other.len(),
+            "index was not built over the build side"
+        );
+        assert_eq!(
+            index.key_attrs().len(),
+            plan.common.len(),
+            "index key must be the common attribute set"
+        );
+        let span = meter.tracer().span_start();
+        let probe_pos: Vec<usize> = index
+            .key_attrs()
+            .iter()
+            .map(|&a| self.position(a).expect("index key attribute in probe side"))
+            .collect();
+        let mut rows = Vec::new();
+        for row in &self.rows {
+            meter.tick()?;
+            let key: Vec<u32> = probe_pos.iter().map(|&p| row[p]).collect();
+            for &ri in index.probe(&key) {
+                meter.charge_tuples(1)?;
+                let mut out = row.clone();
+                out.extend(plan.extra.iter().map(|&j| other.rows[ri][j]));
+                rows.push(out);
+            }
+        }
+        meter.tracer().emit_with(|| TraceEvent::Operator {
+            op: OperatorKind::HashJoin,
+            left_rows: self.rows.len() as u64,
+            right_rows: other.rows.len() as u64,
+            output_rows: rows.len() as u64,
+            micros: Tracer::span_micros(span),
+        });
+        Ok(NamedRelation::new(plan.schema, rows))
+    }
+
     /// Partitioned parallel natural join under a thread-shared budget.
     ///
     /// Both sides are hash-partitioned on the join key with a fixed
@@ -261,24 +318,15 @@ impl NamedRelation {
             return self.natural_join_metered(other, &mut meter.clone());
         }
         let plan = JoinPlan::new(self, other);
-        let results: Result<Vec<Vec<Vec<u32>>>, ExhaustionReason> = if plan.common.is_empty() {
-            // Cartesian product: block-partition the outer side.
-            let block = self.rows.len().div_ceil(threads).max(1);
-            self.rows
-                .chunks(block)
-                .collect::<Vec<_>>()
-                .into_par_iter()
-                .map(|chunk| {
-                    join_rows(
-                        chunk,
-                        &other.rows,
-                        &plan,
-                        OperatorKind::ParallelHashJoin,
-                        &mut meter.clone(),
-                    )
-                })
-                .collect()
-        } else {
+        if plan.common.is_empty() {
+            // Empty join key: every row hashes identically, so hash
+            // partitioning degenerates to one partition doing all the
+            // work while the workers idle. The planner only emits such
+            // joins as explicit cross products; run them on the
+            // sequential kernel.
+            return self.natural_join_metered(other, &mut meter.clone());
+        }
+        let results: Result<Vec<Vec<Vec<u32>>>, ExhaustionReason> = {
             // Hash-partition both sides on the join key; joining
             // partition i of self with partition i of other is exhaustive
             // because matching rows share a key, hence a partition.
@@ -369,6 +417,55 @@ impl NamedRelation {
             }
         }
         emit(meter, rows.len() as u64, span);
+        Ok(NamedRelation {
+            schema: self.schema.clone(),
+            rows,
+        })
+    }
+
+    /// [`semijoin_metered`](Self::semijoin_metered) probing a prebuilt
+    /// [`HashIndex`] over the filtering side instead of rebuilding its
+    /// key set: the Yannakakis top-down sweep probes the same parent
+    /// from every child, so one index serves them all. The index must be
+    /// keyed by the (nonempty) common attribute set; metering matches
+    /// the unindexed semijoin — one tick per probe row, one tuple per
+    /// surviving row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index key attribute is missing from `self`'s schema
+    /// (callers handle the disjoint-schema case before indexing).
+    pub fn semijoin_with_index<M: Metering>(
+        &self,
+        index: &HashIndex,
+        meter: &mut M,
+    ) -> Result<NamedRelation, ExhaustionReason> {
+        assert!(
+            !index.key_attrs().is_empty(),
+            "disjoint-schema semijoins take the unindexed path"
+        );
+        let span = meter.tracer().span_start();
+        let probe_pos: Vec<usize> = index
+            .key_attrs()
+            .iter()
+            .map(|&a| self.position(a).expect("index key attribute in schema"))
+            .collect();
+        let mut rows = Vec::new();
+        for row in &self.rows {
+            meter.tick()?;
+            let key: Vec<u32> = probe_pos.iter().map(|&p| row[p]).collect();
+            if !index.probe(&key).is_empty() {
+                meter.charge_tuples(1)?;
+                rows.push(row.clone());
+            }
+        }
+        meter.tracer().emit_with(|| TraceEvent::Operator {
+            op: OperatorKind::Semijoin,
+            left_rows: self.rows.len() as u64,
+            right_rows: index.rows() as u64,
+            output_rows: rows.len() as u64,
+            micros: Tracer::span_micros(span),
+        });
         Ok(NamedRelation {
             schema: self.schema.clone(),
             rows,
@@ -622,6 +719,33 @@ mod tests {
             .install(|| r.natural_join_parallel(&s, &meter))
             .unwrap_err();
         assert_eq!(err, ExhaustionReason::TupleLimitExceeded);
+    }
+
+    #[test]
+    fn indexed_join_identical_to_unindexed() {
+        let r = random_rel(&[0, 1], 300, 12, 41);
+        let s = random_rel(&[1, 2], 300, 12, 43);
+        let mut meter = Budget::unlimited().meter();
+        let idx = HashIndex::build(&s, &[1], &mut meter).unwrap();
+        let via_index = r.natural_join_with_index(&s, &idx, &mut meter).unwrap();
+        assert_eq!(via_index, r.natural_join(&s));
+    }
+
+    #[test]
+    fn indexed_semijoin_identical_to_unindexed() {
+        let r = random_rel(&[0, 1], 300, 6, 47);
+        let s = random_rel(&[1, 2], 300, 6, 53);
+        let mut meter = Budget::unlimited().meter();
+        let idx = HashIndex::build(&s, &[1], &mut meter).unwrap();
+        let via_index = r.semijoin_with_index(&idx, &mut meter).unwrap();
+        assert_eq!(via_index, r.semijoin(&s));
+        // Surviving rows are charged as tuples, exactly like the
+        // unindexed semijoin.
+        let mut capped = Budget::unlimited().with_tuple_limit(1).meter();
+        assert_eq!(
+            r.semijoin_with_index(&idx, &mut capped).unwrap_err(),
+            ExhaustionReason::TupleLimitExceeded
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! route to tractability cited at the end of Section 6.
 
 use crate::named::NamedRelation;
+use crate::planner::{common_attrs, IndexCache, INDEX_CACHE_CAPACITY};
 use cspdb_core::budget::{Budget, ExhaustionReason, Metering, SharedMeter};
 use cspdb_core::trace::TraceEvent;
 use cspdb_core::{CspInstance, Structure};
@@ -144,9 +145,16 @@ fn assemble_witness<M: Metering>(
 }
 
 /// Metered full reducer: every semijoin meters per row scanned and per
-/// surviving row (via [`NamedRelation::semijoin_metered`]), so a tuple
-/// cap bounds peak relation sizes and a deadline or cancellation is
-/// observed *inside* a large sweep, not just between sweeps.
+/// surviving row, so a tuple cap bounds peak relation sizes and a
+/// deadline or cancellation is observed *inside* a large sweep, not
+/// just between sweeps.
+///
+/// Each semijoin probes a [`HashIndex`](crate::HashIndex) on its
+/// filtering side, fetched from one per-solve [`IndexCache`]: relations
+/// are versioned (a rewrite bumps the version, invalidating stale
+/// entries), so in the top-down sweep all children of one parent probe
+/// a single shared index instead of each rebuilding the parent's key
+/// set — on a star join tree that is one build instead of one per leaf.
 fn solve_along_forest_metered<M: Metering>(
     mut rels: Vec<NamedRelation>,
     parent: &[Option<usize>],
@@ -155,12 +163,38 @@ fn solve_along_forest_metered<M: Metering>(
 ) -> Result<Option<Vec<u32>>, ExhaustionReason> {
     debug_assert_eq!(parent.len(), rels.len());
     let forest = Forest::new(parent);
+    let mut cache = IndexCache::new(INDEX_CACHE_CAPACITY);
+    let mut versions = vec![0u64; rels.len()];
+    // Indexed semijoin `rels[target] ⋉ rels[filter]`, reusing a cached
+    // index of the filter side. Disjoint schemas keep the unindexed
+    // path (the edge case charges all-or-nothing, no key set needed).
+    let reduce = |rels: &mut Vec<NamedRelation>,
+                  versions: &mut Vec<u64>,
+                  cache: &mut IndexCache,
+                  target: usize,
+                  filter: usize,
+                  meter: &mut M|
+     -> Result<(), ExhaustionReason> {
+        let common = common_attrs(&rels[target], &rels[filter]);
+        let reduced = if common.is_empty() {
+            rels[target].semijoin_metered(&rels[filter], meter)?
+        } else {
+            let index =
+                cache.get_or_build(filter, versions[filter], &rels[filter], &common, meter)?;
+            rels[target].semijoin_with_index(&index, meter)?
+        };
+        if reduced.len() != rels[target].len() {
+            versions[target] += 1;
+        }
+        rels[target] = reduced;
+        Ok(())
+    };
     // Bottom-up: parent ⋉ child (children before parents).
     let mut semijoins = 0u64;
     for &node in forest.order.iter().rev() {
         if let Some(p) = parent[node] {
             meter.tick()?;
-            rels[p] = rels[p].semijoin_metered(&rels[node], meter)?;
+            reduce(&mut rels, &mut versions, &mut cache, p, node, meter)?;
             semijoins += 1;
         }
     }
@@ -176,7 +210,7 @@ fn solve_along_forest_metered<M: Metering>(
     for &node in &forest.order {
         if let Some(p) = parent[node] {
             meter.tick()?;
-            rels[node] = rels[node].semijoin_metered(&rels[p], meter)?;
+            reduce(&mut rels, &mut versions, &mut cache, node, p, meter)?;
             semijoins += 1;
             if rels[node].is_empty() {
                 meter.tracer().emit_with(|| TraceEvent::YannakakisSweep {

@@ -12,7 +12,7 @@
 //! ```
 //!
 //! Resource-governance flags (accepted anywhere after the subcommand,
-//! honored by `color`, `sat`, `datalog`, and `treewidth`):
+//! honored by `color`, `sat`, `datalog`, `cq`, and `treewidth`):
 //!
 //! ```text
 //! --timeout-ms <n>   wall-clock budget in milliseconds
@@ -20,10 +20,12 @@
 //! --tuples <n>       materialized-tuple budget
 //! ```
 //!
-//! Observability flags (honored by `color` and `sat`):
+//! Observability flags (honored by `color`, `sat`, and `cq`):
 //!
 //! ```text
 //! --explain          append an EXPLAIN ANALYZE-style plan report
+//!                    (for `cq`: the chosen join order with estimated vs
+//!                    actual cardinalities and index builds)
 //! --explain=json     print the full report as one JSON document instead
 //! ```
 //!
@@ -75,7 +77,7 @@ fn main() -> ExitCode {
         Some("color") => cmd_color(&args[1..], &budget, explain),
         Some("sat") => cmd_sat(&args[1..], &budget, explain),
         Some("datalog") => cmd_datalog(&args[1..], &budget),
-        Some("cq") => cmd_cq(&args[1..]).map(|()| CmdOutcome::Done),
+        Some("cq") => cmd_cq(&args[1..], &budget, explain),
         Some("contain") => cmd_contain(&args[1..]).map(|()| CmdOutcome::Done),
         Some("minimize") => cmd_minimize(&args[1..]).map(|()| CmdOutcome::Done),
         Some("rpq") => cmd_rpq(&args[1..]).map(|()| CmdOutcome::Done),
@@ -105,8 +107,8 @@ const USAGE: &str = "usage:
   cspdb minimize \"<query>\"
   cspdb rpq \"<regex>\" <labeled-edges-file>
   cspdb treewidth <edges-file>
-budget flags (color/sat/datalog/treewidth): --timeout-ms <n> --steps <n> --tuples <n>
-explain flags (color/sat): --explain --explain=json";
+budget flags (color/sat/datalog/cq/treewidth): --timeout-ms <n> --steps <n> --tuples <n>
+explain flags (color/sat/cq): --explain --explain=json";
 
 /// Strips `--timeout-ms/--steps/--tuples <n>` from `args` and builds the
 /// corresponding [`Budget`] (unlimited when no flag is given).
@@ -407,13 +409,26 @@ fn cmd_datalog(args: &[String], budget: &Budget) -> Result<CmdOutcome, String> {
     Ok(CmdOutcome::Done)
 }
 
-fn cmd_cq(args: &[String]) -> Result<(), String> {
+fn cmd_cq(args: &[String], budget: &Budget, explain: Explain) -> Result<CmdOutcome, String> {
     let [query, facts_path] = args else {
         return Err("usage: cspdb cq \"<query>\" <facts-file>".into());
     };
     let q = cspdb_cq::ConjunctiveQuery::parse(query)?;
     let db = parse_facts(&read(facts_path)?)?;
-    let answers = cspdb_cq::evaluate_by_join(&q, &db)?;
+    let rec = Arc::new(Recorder::new());
+    let budget = if explain == Explain::Off {
+        budget.clone()
+    } else {
+        budget.clone().with_trace(rec.clone())
+    };
+    let answers = match cspdb_cq::evaluate_by_join_budgeted(&q, &db, &budget) {
+        Ok(answers) => answers,
+        Err(cspdb_cq::CqEvalError::Exhausted(reason)) => {
+            println!("UNKNOWN ({reason})");
+            return Ok(CmdOutcome::OutOfBudget);
+        }
+        Err(cspdb_cq::CqEvalError::Invalid(e)) => return Err(e),
+    };
     if q.is_boolean() {
         println!("{}", if answers.is_empty() { "false" } else { "true" });
     } else {
@@ -425,7 +440,21 @@ fn cmd_cq(args: &[String]) -> Result<(), String> {
             );
         }
     }
-    Ok(())
+    if explain != Explain::Off {
+        let events = rec.take();
+        match explain {
+            Explain::Text => match constraint_db::render_join_plan(&events) {
+                Some(plan) => print!("{plan}"),
+                None => println!("join plan: none recorded"),
+            },
+            Explain::Json => {
+                let body: Vec<String> = events.iter().map(|e| e.to_json()).collect();
+                println!("{{\"events\":[{}]}}", body.join(","));
+            }
+            Explain::Off => unreachable!(),
+        }
+    }
+    Ok(CmdOutcome::Done)
 }
 
 fn cmd_contain(args: &[String]) -> Result<(), String> {
