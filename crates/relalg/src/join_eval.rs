@@ -122,16 +122,29 @@ pub fn join_all_parallel(
 /// attributes. Kept as the measurable baseline for the planner
 /// (`e_join_order` benchmark, property tests); not used by any solver
 /// path.
-pub fn join_all_size_ordered(mut relations: Vec<NamedRelation>) -> NamedRelation {
+pub fn join_all_size_ordered(relations: Vec<NamedRelation>) -> NamedRelation {
+    join_all_size_ordered_metered(relations, &mut Budget::unlimited().meter())
+        .expect("unlimited budget cannot exhaust")
+}
+
+/// [`join_all_size_ordered`] under any [`Metering`] enforcer. The
+/// baseline used to bypass metering entirely — a comparison run could
+/// blow far past a tuple budget the planned path respected; now every
+/// intermediate row is charged through the same metered join kernel, so
+/// baseline-vs-planner comparisons run under identical budgets.
+pub fn join_all_size_ordered_metered<M: Metering>(
+    mut relations: Vec<NamedRelation>,
+    meter: &mut M,
+) -> Result<NamedRelation, ExhaustionReason> {
     relations.sort_by_key(NamedRelation::len);
     let mut acc = NamedRelation::unit();
     for r in relations {
-        acc = acc.natural_join(&r);
+        acc = acc.natural_join_metered(&r, meter)?;
         if acc.is_empty() {
-            return acc;
+            return Ok(acc);
         }
     }
-    acc
+    Ok(acc)
 }
 
 /// [`solve_by_join`] with parallel pairwise joins under a thread-shared

@@ -31,8 +31,8 @@ mod yannakakis;
 
 pub use join_eval::{
     constraint_relations, count_by_join, join_all, join_all_budgeted, join_all_metered,
-    join_all_parallel, join_all_size_ordered, solve_by_join, solve_by_join_budgeted,
-    solve_by_join_parallel,
+    join_all_parallel, join_all_size_ordered, join_all_size_ordered_metered, solve_by_join,
+    solve_by_join_budgeted, solve_by_join_parallel,
 };
 pub use named::NamedRelation;
 pub use planner::{

@@ -1,0 +1,139 @@
+//! Named, versioned databases shared by every request.
+//!
+//! A `put` replaces the structure under a name and bumps its version;
+//! the semantic cache keys entries by `(name, version, core)`, so stale
+//! answers die with the version they were computed against.
+
+use cspdb_core::{Structure, VocabularyBuilder};
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// A concurrent map from database names to versioned structures.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    inner: RwLock<HashMap<String, (u64, Arc<Structure>)>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates or replaces `name`, returning the new version (versions
+    /// start at 1 and only ever grow, so an old version never aliases a
+    /// new structure in cache keys).
+    pub fn put(&self, name: &str, structure: Structure) -> u64 {
+        let mut map = self.inner.write().expect("catalog lock poisoned");
+        let entry = map
+            .entry(name.to_owned())
+            .or_insert((0, Arc::new(structure.clone())));
+        entry.0 += 1;
+        entry.1 = Arc::new(structure);
+        entry.0
+    }
+
+    /// The current `(version, structure)` of `name`, if present.
+    pub fn get(&self, name: &str) -> Option<(u64, Arc<Structure>)> {
+        self.inner
+            .read()
+            .expect("catalog lock poisoned")
+            .get(name)
+            .map(|(v, s)| (*v, s.clone()))
+    }
+
+    /// All database names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .inner
+            .read()
+            .expect("catalog lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of databases.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("catalog lock poisoned").len()
+    }
+
+    /// True when no database has been put.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Parses a facts source (one `Pred a1 a2 ...` per line, `#` comments)
+/// into a structure — the same format the CLI's facts files use, so a
+/// file can be shipped verbatim inside a `put` request.
+///
+/// # Errors
+///
+/// A message naming the offending line.
+pub fn parse_facts(src: &str) -> Result<Structure, String> {
+    let mut rows: Vec<(String, Vec<u32>)> = Vec::new();
+    let mut max = 0u32;
+    for (ln, line) in src.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let pred = it.next().expect("nonempty line").to_owned();
+        let args: Vec<u32> = it
+            .map(|a| {
+                a.parse::<u32>()
+                    .map_err(|e| format!("line {}: {e}", ln + 1))
+            })
+            .collect::<Result<_, _>>()?;
+        for &a in &args {
+            max = max.max(a);
+        }
+        rows.push((pred, args));
+    }
+    let mut builder = VocabularyBuilder::new();
+    for (pred, args) in &rows {
+        builder
+            .add_or_get(pred, args.len())
+            .map_err(|e| e.to_string())?;
+    }
+    let voc = builder.finish();
+    let n = if rows.is_empty() { 0 } else { max as usize + 1 };
+    let mut s = Structure::new(voc, n);
+    for (pred, args) in &rows {
+        s.insert_by_name(pred, args).map_err(|e| e.to_string())?;
+    }
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_bumps_versions_monotonically() {
+        let cat = Catalog::new();
+        assert!(cat.get("g").is_none());
+        let g1 = parse_facts("E 0 1\nE 1 2").unwrap();
+        assert_eq!(cat.put("g", g1), 1);
+        let (v, s) = cat.get("g").unwrap();
+        assert_eq!((v, s.domain_size()), (1, 3));
+        let g2 = parse_facts("E 0 1").unwrap();
+        assert_eq!(cat.put("g", g2), 2);
+        assert_eq!(cat.get("g").unwrap().0, 2);
+        assert_eq!(cat.names(), vec!["g".to_string()]);
+    }
+
+    #[test]
+    fn parse_facts_handles_comments_and_arity() {
+        let s = parse_facts("# graph\nE 0 1\nE 1 2 # loop-free\nP 2\n").unwrap();
+        assert_eq!(s.domain_size(), 3);
+        assert_eq!(s.relation_by_name("E").unwrap().len(), 2);
+        assert_eq!(s.relation_by_name("P").unwrap().len(), 1);
+        assert!(parse_facts("E 0 1\nE 0").is_err(), "arity mismatch");
+        assert!(parse_facts("E x y").is_err(), "non-numeric argument");
+    }
+}

@@ -1,0 +1,328 @@
+//! The JSONL wire protocol: one request object in, one response object
+//! out, matched by client-assigned `id`.
+//!
+//! Requests (one per line):
+//!
+//! ```text
+//! {"id":1,"op":"put","db":"g","facts":"E 0 1\nE 1 2"}
+//! {"id":2,"op":"cq","db":"g","query":"Q(X,Y) :- E(X,Z), E(Z,Y)"}
+//! {"id":3,"op":"contain","q1":"Q(X) :- E(X,Y)","q2":"Q(X) :- E(X,Y), E(X,Z)"}
+//! {"id":4,"op":"solve","a":"g","b":"h"}
+//! {"id":5,"op":"stats"}
+//! ```
+//!
+//! Responses carry `"status"` — `ok`, `unknown` (budget exhausted or
+//! cancelled; the CLI maps it to exit code 2 like every other governed
+//! command), `overloaded` (typed admission rejection), or `error`.
+
+use crate::json::{escape, parse_object, JsonValue};
+use cspdb_core::Relation;
+
+/// What a request asks the server to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestBody {
+    /// Create or replace the named database (bumps its version).
+    Put {
+        /// Database name.
+        db: String,
+        /// Facts source, one `Pred a1 a2 ...` per line.
+        facts: String,
+    },
+    /// Evaluate a conjunctive query against a named database.
+    Cq {
+        /// Database name.
+        db: String,
+        /// Query source, e.g. `Q(X,Y) :- E(X,Z), E(Z,Y)`.
+        query: String,
+    },
+    /// Decide containment `q1 ⊆ q2` (and the reverse) between two
+    /// queries given inline.
+    Contain {
+        /// Left query source.
+        q1: String,
+        /// Right query source.
+        q2: String,
+    },
+    /// Decide homomorphism existence between two *named* databases via
+    /// the governed [`Solver`](cspdb::Solver) facade.
+    Solve {
+        /// Source structure's database name.
+        a: String,
+        /// Target structure's database name.
+        b: String,
+    },
+    /// Snapshot the server's [`Stats`](crate::Stats).
+    Stats,
+}
+
+impl RequestBody {
+    /// True for the cheap control-plane operations the server executes
+    /// inline at admission (never queued, never subject to overload).
+    pub fn is_control(&self) -> bool {
+        matches!(self, RequestBody::Put { .. } | RequestBody::Stats)
+    }
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Client-assigned id, echoed in the response.
+    pub id: u64,
+    /// The operation.
+    pub body: RequestBody,
+}
+
+impl Request {
+    /// Parses one JSONL request line.
+    ///
+    /// # Errors
+    ///
+    /// A message for malformed JSON, an unknown `"op"`, or missing
+    /// fields.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let map = parse_object(line)?;
+        let id = match map.get("id") {
+            Some(JsonValue::Num(n)) => *n,
+            Some(_) => return Err("\"id\" must be a nonnegative integer".into()),
+            None => return Err("missing \"id\"".into()),
+        };
+        let get = |key: &str| -> Result<String, String> {
+            map.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("missing string field \"{key}\""))
+        };
+        let op = get("op")?;
+        let body = match op.as_str() {
+            "put" => RequestBody::Put {
+                db: get("db")?,
+                facts: get("facts")?,
+            },
+            "cq" => RequestBody::Cq {
+                db: get("db")?,
+                query: get("query")?,
+            },
+            "contain" => RequestBody::Contain {
+                q1: get("q1")?,
+                q2: get("q2")?,
+            },
+            "solve" => RequestBody::Solve {
+                a: get("a")?,
+                b: get("b")?,
+            },
+            "stats" => RequestBody::Stats,
+            other => return Err(format!("unknown op \"{other}\"")),
+        };
+        Ok(Request { id, body })
+    }
+}
+
+/// The operation-specific payload of a response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// A CQ answer relation, pre-serialized (`[[0,2],[1,3]]`, rows
+    /// sorted). Cache hits reuse the stored string verbatim, which is
+    /// what makes the byte-identical-answers guarantee checkable.
+    Answers {
+        /// Sorted JSON rows.
+        rows: String,
+        /// True when served from the semantic cache.
+        cached: bool,
+    },
+    /// Containment verdicts for a `contain` request.
+    Contains {
+        /// `q1 ⊆ q2`.
+        forward: bool,
+        /// `q2 ⊆ q1`.
+        backward: bool,
+    },
+    /// A decided `solve` request.
+    Solved {
+        /// True if a homomorphism exists.
+        sat: bool,
+        /// The witness homomorphism, when sat.
+        witness: Option<Vec<u32>>,
+    },
+    /// A successful `put`.
+    Put {
+        /// Database name.
+        db: String,
+        /// New version (1 for a fresh name).
+        version: u64,
+    },
+    /// A `stats` snapshot, pre-serialized by [`Stats`](crate::Stats).
+    Stats {
+        /// The snapshot JSON object.
+        json: String,
+    },
+    /// The request's budget ran out or it was cancelled — inconclusive,
+    /// the governed-command analogue of CLI exit code 2.
+    Unknown {
+        /// The exhaustion or cancellation reason.
+        reason: String,
+    },
+    /// Typed admission rejection: the target lane's queue was full.
+    Overloaded {
+        /// Which lane rejected it (`"normal"`/`"heavy"`).
+        lane: &'static str,
+    },
+    /// The request could not be executed (parse error, unknown
+    /// database, predicate mismatch, shutdown, ...).
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+/// One response line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request's id (0 when the request line had no parsable id).
+    pub id: u64,
+    /// The payload.
+    pub outcome: Outcome,
+    /// Wall-clock service time in microseconds (admission to
+    /// completion; 0 for rejections).
+    pub micros: u64,
+}
+
+impl Response {
+    /// The coarse `"status"` field value.
+    pub fn status(&self) -> &'static str {
+        match self.outcome {
+            Outcome::Unknown { .. } => "unknown",
+            Outcome::Overloaded { .. } => "overloaded",
+            Outcome::Error { .. } => "error",
+            _ => "ok",
+        }
+    }
+
+    /// Serialises the response as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = format!("{{\"id\":{},\"status\":\"{}\"", self.id, self.status());
+        match &self.outcome {
+            Outcome::Answers { rows, cached } => {
+                s.push_str(&format!(",\"cached\":{cached},\"answers\":{rows}"));
+            }
+            Outcome::Contains { forward, backward } => {
+                s.push_str(&format!(
+                    ",\"forward\":{forward},\"backward\":{backward},\"equivalent\":{}",
+                    *forward && *backward
+                ));
+            }
+            Outcome::Solved { sat, witness } => {
+                s.push_str(&format!(",\"sat\":{sat}"));
+                if let Some(w) = witness {
+                    let body: Vec<String> = w.iter().map(u32::to_string).collect();
+                    s.push_str(&format!(",\"witness\":[{}]", body.join(",")));
+                }
+            }
+            Outcome::Put { db, version } => {
+                s.push_str(&format!(",\"db\":\"{}\",\"version\":{version}", escape(db)));
+            }
+            Outcome::Stats { json } => {
+                s.push_str(&format!(",\"stats\":{json}"));
+            }
+            Outcome::Unknown { reason } => {
+                s.push_str(&format!(",\"reason\":\"{}\"", escape(reason)));
+            }
+            Outcome::Overloaded { lane } => {
+                s.push_str(&format!(",\"lane\":\"{}\"", escape(lane)));
+            }
+            Outcome::Error { message } => {
+                s.push_str(&format!(",\"message\":\"{}\"", escape(message)));
+            }
+        }
+        if self.micros > 0 {
+            s.push_str(&format!(",\"micros\":{}", self.micros));
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Serialises an answer relation as a deterministic JSON array of rows:
+/// rows sorted lexicographically, so equal relations always produce
+/// byte-identical strings regardless of which engine (or cache entry)
+/// supplied them.
+pub fn relation_to_json(rel: &Relation) -> String {
+    let mut rows: Vec<&[u32]> = rel.iter().collect();
+    rows.sort_unstable();
+    let body: Vec<String> = rows
+        .iter()
+        .map(|t| {
+            let cells: Vec<String> = t.iter().map(u32::to_string).collect();
+            format!("[{}]", cells.join(","))
+        })
+        .collect();
+    format!("[{}]", body.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op() {
+        let put = Request::parse(r#"{"id":1,"op":"put","db":"g","facts":"E 0 1"}"#).unwrap();
+        assert_eq!(
+            put.body,
+            RequestBody::Put {
+                db: "g".into(),
+                facts: "E 0 1".into()
+            }
+        );
+        assert!(put.body.is_control());
+        let cq = Request::parse(r#"{"id":2,"op":"cq","db":"g","query":"Q(X) :- E(X,Y)"}"#).unwrap();
+        assert!(!cq.body.is_control());
+        assert!(Request::parse(r#"{"id":5,"op":"stats"}"#).unwrap().body == RequestBody::Stats);
+        assert!(Request::parse(r#"{"op":"stats"}"#).is_err(), "id required");
+        assert!(Request::parse(r#"{"id":1,"op":"nope"}"#).is_err());
+        assert!(Request::parse(r#"{"id":1,"op":"cq","db":"g"}"#).is_err());
+    }
+
+    #[test]
+    fn responses_serialise_with_status() {
+        let ok = Response {
+            id: 3,
+            outcome: Outcome::Answers {
+                rows: "[[0,2]]".into(),
+                cached: true,
+            },
+            micros: 42,
+        };
+        assert_eq!(
+            ok.to_json(),
+            r#"{"id":3,"status":"ok","cached":true,"answers":[[0,2]],"micros":42}"#
+        );
+        let over = Response {
+            id: 9,
+            outcome: Outcome::Overloaded { lane: "heavy" },
+            micros: 0,
+        };
+        assert_eq!(
+            over.to_json(),
+            r#"{"id":9,"status":"overloaded","lane":"heavy"}"#
+        );
+        let unk = Response {
+            id: 1,
+            outcome: Outcome::Unknown {
+                reason: "cancelled".into(),
+            },
+            micros: 0,
+        };
+        assert_eq!(unk.status(), "unknown");
+    }
+
+    #[test]
+    fn relation_serialisation_is_sorted_and_deterministic() {
+        let a = Relation::from_tuples(2, [[1u32, 3], [0, 2]]).unwrap();
+        let b = Relation::from_tuples(2, [[0u32, 2], [1, 3]]).unwrap();
+        assert_eq!(relation_to_json(&a), "[[0,2],[1,3]]");
+        assert_eq!(relation_to_json(&a), relation_to_json(&b));
+        assert_eq!(relation_to_json(&Relation::empty(2)), "[]");
+        // A Boolean (arity-0) "true" relation is the unit row.
+        let unit = Relation::from_tuples(0, [Vec::<u32>::new()]).unwrap();
+        assert_eq!(relation_to_json(&unit), "[[]]");
+    }
+}

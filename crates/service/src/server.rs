@@ -1,0 +1,746 @@
+//! The concurrent request executor: two bounded lanes of worker
+//! threads over the shared [`Catalog`] and [`SemanticCache`].
+//!
+//! **Admission control.** Every data-plane request (`cq`, `contain`,
+//! `solve`) is classified at submission: conjunctive queries whose
+//! planner-estimated peak intermediate cardinality exceeds
+//! [`ServerConfig::heavy_threshold`] — and the NP-hard `contain`/`solve`
+//! ops always — route to the bounded *heavy* lane, so one expensive
+//! request cannot occupy every worker. A full lane rejects with the
+//! typed [`Rejection::Overloaded`] instead of queueing unboundedly.
+//! Control-plane ops (`put`, `stats`) execute inline at admission and
+//! are never rejected.
+//!
+//! **Budgets.** Each executed request gets a fresh slice of the global
+//! budget (`1/total_workers` of every numeric limit — the configured
+//! worst-case concurrency) and its own child of the server-wide
+//! [`CancelToken`].
+//!
+//! **Shutdown.** [`Server::shutdown`] stops intake and drains: every
+//! queued request still receives a response. In
+//! [`ShutdownMode::Cancel`] the server token is cancelled first, which
+//! trips the *child* tokens of in-flight work at their next budget
+//! checkpoint (and makes drained queue entries answer
+//! `unknown (cancelled)` immediately) — the caller's own token, being
+//! the server token's *parent*, is never cancelled.
+
+use crate::cache::{CacheKey, SemanticCache};
+use crate::catalog::{parse_facts, Catalog};
+use crate::proto::{relation_to_json, Outcome, Request, RequestBody, Response};
+use cspdb_core::budget::{Budget, CancelToken};
+use cspdb_core::trace::{TraceEvent, TraceSink, Tracer};
+use cspdb_core::{Answer, Structure, VocabularyBuilder};
+use cspdb_cq::{evaluate_by_join_budgeted, is_contained_in, ConjunctiveQuery, CqEvalError};
+use cspdb_relalg::{plan_join_order, NamedRelation};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Instrumentation callback run at the start of each queued request's
+/// execution (see [`ServerConfig::exec_hook`]).
+pub type ExecHook = Arc<dyn Fn(&Request) + Send + Sync>;
+
+const NORMAL: usize = 0;
+const HEAVY: usize = 1;
+const LANE_NAMES: [&str; 2] = ["normal", "heavy"];
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Worker threads on the normal lane (min 1).
+    pub workers: usize,
+    /// Worker threads on the heavy lane (min 1).
+    pub heavy_workers: usize,
+    /// Queue depth bound of the normal lane.
+    pub queue_depth: usize,
+    /// Queue depth bound of the heavy lane.
+    pub heavy_queue_depth: usize,
+    /// Planner-estimated peak rows above which a `cq` request routes to
+    /// the heavy lane.
+    pub heavy_threshold: u64,
+    /// Whether the semantic result cache serves repeats.
+    pub cache_enabled: bool,
+    /// The global budget; each request executes under a
+    /// `1/(workers + heavy_workers)` slice of it. Its cancel token (if
+    /// any) becomes the *parent* of the server token, so cancelling it
+    /// still stops everything — but the server never cancels it.
+    pub global_budget: Budget,
+    /// Sink for service trace events (admission, cache, shutdown) and
+    /// solver events of every request. `None` inherits the global
+    /// budget's tracer.
+    pub trace: Option<Arc<dyn TraceSink>>,
+    /// Instrumentation called at the start of each queued request's
+    /// execution, on the worker thread. Tests and benchmarks use it to
+    /// hold workers at a barrier; production configs leave it `None`.
+    pub exec_hook: Option<ExecHook>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            heavy_workers: 1,
+            queue_depth: 64,
+            heavy_queue_depth: 8,
+            heavy_threshold: 1_000_000,
+            cache_enabled: true,
+            global_budget: Budget::unlimited(),
+            trace: None,
+            exec_hook: None,
+        }
+    }
+}
+
+/// Why [`Server::submit`] refused a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejection {
+    /// The target lane's queue was at its depth bound.
+    Overloaded {
+        /// The lane that was full.
+        lane: &'static str,
+    },
+    /// The server is shutting down and no longer accepts requests.
+    ShuttingDown,
+}
+
+impl Rejection {
+    /// The response line a front end should write for the rejected id.
+    pub fn into_response(self, id: u64) -> Response {
+        let outcome = match self {
+            Rejection::Overloaded { lane } => Outcome::Overloaded { lane },
+            Rejection::ShuttingDown => Outcome::Error {
+                message: "shutting down".into(),
+            },
+        };
+        Response {
+            id,
+            outcome,
+            micros: 0,
+        }
+    }
+}
+
+/// How [`Server::shutdown`] treats in-flight work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShutdownMode {
+    /// Let queued and in-flight requests finish normally.
+    Drain,
+    /// Cancel the server token: in-flight requests unwind as
+    /// `unknown (cancelled)` at their next budget checkpoint, queued
+    /// requests drain to the same answer immediately. The caller's
+    /// token (the server token's parent) is untouched.
+    Cancel,
+}
+
+/// A handle to one submitted request's eventual response.
+#[derive(Debug)]
+pub struct Ticket {
+    id: u64,
+    rx: mpsc::Receiver<Response>,
+}
+
+impl Ticket {
+    /// Blocks until the response arrives.
+    pub fn wait(self) -> Response {
+        self.rx.recv().unwrap_or_else(|_| Response {
+            id: self.id,
+            outcome: Outcome::Error {
+                message: "server dropped the request".into(),
+            },
+            micros: 0,
+        })
+    }
+}
+
+/// A point-in-time summary of the server's behaviour.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Stats {
+    /// Requests admitted (queued or executed inline).
+    pub admitted: u64,
+    /// Requests rejected at admission.
+    pub rejected: u64,
+    /// Requests that received a response.
+    pub completed: u64,
+    /// Responses with status `unknown` (budget/cancellation).
+    pub unknown: u64,
+    /// Confirmed semantic-cache hits.
+    pub cache_hits: u64,
+    /// Semantic-cache misses.
+    pub cache_misses: u64,
+    /// Median service latency in microseconds (admission→response).
+    pub p50_micros: u64,
+    /// 99th-percentile service latency in microseconds.
+    pub p99_micros: u64,
+    /// `cache_hits / (cache_hits + cache_misses)`, 0 when no lookups.
+    pub hit_rate: f64,
+}
+
+impl Stats {
+    /// Serialises the snapshot as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"admitted\":{},\"rejected\":{},\"completed\":{},\"unknown\":{},\
+             \"cache_hits\":{},\"cache_misses\":{},\"hit_rate\":{:.4},\
+             \"p50_micros\":{},\"p99_micros\":{}}}",
+            self.admitted,
+            self.rejected,
+            self.completed,
+            self.unknown,
+            self.cache_hits,
+            self.cache_misses,
+            self.hit_rate,
+            self.p50_micros,
+            self.p99_micros
+        )
+    }
+}
+
+struct Job {
+    request: Request,
+    tx: mpsc::Sender<Response>,
+    admitted_at: Instant,
+}
+
+struct Lane {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    depth: usize,
+}
+
+impl Lane {
+    fn new(depth: usize) -> Self {
+        Self {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            depth: depth.max(1),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    unknown: AtomicU64,
+}
+
+struct Inner {
+    catalog: Catalog,
+    cache: SemanticCache,
+    cache_enabled: bool,
+    heavy_threshold: u64,
+    lanes: [Lane; 2],
+    accepting: AtomicBool,
+    stopping: AtomicBool,
+    server_token: CancelToken,
+    request_budget: Budget,
+    tracer: Tracer,
+    counters: Counters,
+    latencies: Mutex<Vec<u64>>,
+    inflight: AtomicU64,
+    exec_hook: Option<ExecHook>,
+}
+
+/// The running service. Dropping the server shuts it down in
+/// [`ShutdownMode::Drain`].
+pub struct Server {
+    inner: Arc<Inner>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Spawns the worker pool and returns the running server.
+    pub fn start(config: ServerConfig) -> Server {
+        let workers = config.workers.max(1);
+        let heavy_workers = config.heavy_workers.max(1);
+        // The server token is a *child* of the caller's token: caller
+        // cancellation propagates in, server shutdown never leaks out.
+        let server_token = match &config.global_budget.cancel {
+            Some(caller) => caller.child(),
+            None => CancelToken::new(),
+        };
+        let tracer = match &config.trace {
+            Some(sink) => Tracer::new(sink.clone()),
+            None => config.global_budget.tracer().clone(),
+        };
+        let request_budget = config
+            .global_budget
+            .slice(1, (workers + heavy_workers) as u64)
+            .with_tracer(tracer.clone());
+        let inner = Arc::new(Inner {
+            catalog: Catalog::new(),
+            cache: SemanticCache::new(),
+            cache_enabled: config.cache_enabled,
+            heavy_threshold: config.heavy_threshold,
+            lanes: [
+                Lane::new(config.queue_depth),
+                Lane::new(config.heavy_queue_depth),
+            ],
+            accepting: AtomicBool::new(true),
+            stopping: AtomicBool::new(false),
+            server_token,
+            request_budget,
+            tracer,
+            counters: Counters::default(),
+            latencies: Mutex::new(Vec::new()),
+            inflight: AtomicU64::new(0),
+            exec_hook: config.exec_hook,
+        });
+        let mut threads = Vec::with_capacity(workers + heavy_workers);
+        for (lane, count) in [(NORMAL, workers), (HEAVY, heavy_workers)] {
+            for _ in 0..count {
+                let inner = inner.clone();
+                threads.push(std::thread::spawn(move || worker_loop(&inner, lane)));
+            }
+        }
+        Server {
+            inner,
+            threads: Mutex::new(threads),
+        }
+    }
+
+    /// The server's database catalog (normally mutated via `put`
+    /// requests; exposed for inspection).
+    pub fn catalog(&self) -> &Catalog {
+        &self.inner.catalog
+    }
+
+    /// Submits a request, returning a [`Ticket`] for its response.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`Rejection`] when the target lane is full or the server
+    /// is shutting down.
+    pub fn submit(&self, request: Request) -> Result<Ticket, Rejection> {
+        let id = request.id;
+        let (tx, rx) = mpsc::channel();
+        self.submit_to(request, tx)?;
+        Ok(Ticket { id, rx })
+    }
+
+    /// [`Server::submit`] with a caller-supplied response channel, so a
+    /// front end can multiplex every response onto one stream.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Server::submit`].
+    pub fn submit_to(&self, request: Request, tx: mpsc::Sender<Response>) -> Result<(), Rejection> {
+        let inner = &self.inner;
+        let id = request.id;
+        if !inner.accepting.load(Ordering::SeqCst) {
+            inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            inner.tracer.emit_with(|| TraceEvent::RequestRejected {
+                id,
+                reason: "shutting down".into(),
+            });
+            return Err(Rejection::ShuttingDown);
+        }
+        if request.body.is_control() {
+            // Control plane: cheap, executed inline, never sheds.
+            inner.counters.admitted.fetch_add(1, Ordering::Relaxed);
+            inner.tracer.emit_with(|| TraceEvent::RequestAdmitted {
+                id,
+                lane: "control",
+            });
+            let start = Instant::now();
+            let outcome = run_control(inner, &request.body);
+            let response = Response {
+                id,
+                outcome,
+                micros: start.elapsed().as_micros() as u64,
+            };
+            record_completion(inner, &response, start.elapsed().as_micros() as u64);
+            let _ = tx.send(response);
+            return Ok(());
+        }
+        let lane_idx = classify(inner, &request.body);
+        let lane = &inner.lanes[lane_idx];
+        let lane_name = LANE_NAMES[lane_idx];
+        {
+            let mut queue = lane.queue.lock().expect("lane lock poisoned");
+            if queue.len() >= lane.depth {
+                drop(queue);
+                inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                inner.tracer.emit_with(|| TraceEvent::RequestRejected {
+                    id,
+                    reason: format!("overloaded: {lane_name} lane full"),
+                });
+                return Err(Rejection::Overloaded { lane: lane_name });
+            }
+            queue.push_back(Job {
+                request,
+                tx,
+                admitted_at: Instant::now(),
+            });
+        }
+        lane.available.notify_one();
+        inner.counters.admitted.fetch_add(1, Ordering::Relaxed);
+        inner.tracer.emit_with(|| TraceEvent::RequestAdmitted {
+            id,
+            lane: lane_name,
+        });
+        Ok(())
+    }
+
+    /// A point-in-time [`Stats`] snapshot.
+    pub fn stats(&self) -> Stats {
+        server_stats(&self.inner)
+    }
+
+    /// Stops intake, drains the queues, and joins every worker. See
+    /// [`ShutdownMode`] for what happens to queued and in-flight work.
+    /// Idempotent; concurrent calls race benignly (the first joiner
+    /// reaps the threads).
+    pub fn shutdown(&self, mode: ShutdownMode) {
+        let inner = &self.inner;
+        inner.accepting.store(false, Ordering::SeqCst);
+        let queued: u64 = inner
+            .lanes
+            .iter()
+            .map(|l| l.queue.lock().expect("lane lock poisoned").len() as u64)
+            .sum();
+        let inflight = inner.inflight.load(Ordering::SeqCst);
+        inner
+            .tracer
+            .emit_with(|| TraceEvent::ShutdownDrain { queued, inflight });
+        if mode == ShutdownMode::Cancel {
+            inner.server_token.cancel();
+        }
+        inner.stopping.store(true, Ordering::SeqCst);
+        for lane in &inner.lanes {
+            lane.available.notify_all();
+        }
+        let threads: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.threads.lock().expect("thread list poisoned"));
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown(ShutdownMode::Drain);
+    }
+}
+
+fn worker_loop(inner: &Inner, lane_idx: usize) {
+    let lane = &inner.lanes[lane_idx];
+    loop {
+        let job = {
+            let mut queue = lane.queue.lock().expect("lane lock poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if inner.stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = lane.available.wait(queue).expect("lane lock poisoned");
+            }
+        };
+        inner.inflight.fetch_add(1, Ordering::SeqCst);
+        execute(inner, job);
+        inner.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn execute(inner: &Inner, job: Job) {
+    if let Some(hook) = &inner.exec_hook {
+        hook(&job.request);
+    }
+    // Fresh child token per request: server-wide cancellation reaches
+    // it, completed requests don't accumulate cancel state.
+    let mut budget = inner.request_budget.clone();
+    let token = inner.server_token.child();
+    budget.cancel = Some(token.clone());
+    let outcome = if token.is_cancelled() {
+        // Drained under ShutdownMode::Cancel (or the caller cancelled):
+        // answer inconclusively without starting work.
+        Outcome::Unknown {
+            reason: "cancelled".into(),
+        }
+    } else {
+        run_data(inner, &job.request.body, &budget)
+    };
+    let micros = job.admitted_at.elapsed().as_micros() as u64;
+    let response = Response {
+        id: job.request.id,
+        outcome,
+        micros,
+    };
+    record_completion(inner, &response, micros);
+    let _ = job.tx.send(response);
+}
+
+fn record_completion(inner: &Inner, response: &Response, micros: u64) {
+    inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+    if response.status() == "unknown" {
+        inner.counters.unknown.fetch_add(1, Ordering::Relaxed);
+    }
+    inner
+        .latencies
+        .lock()
+        .expect("latency lock poisoned")
+        .push(micros);
+}
+
+/// Routes a data-plane request: `contain`/`solve` are NP-hard and
+/// always heavy; `cq` is heavy when the planner's estimated peak
+/// intermediate cardinality exceeds the threshold. Unparsable requests
+/// stay on the normal lane — the worker will produce the error cheaply.
+fn classify(inner: &Inner, body: &RequestBody) -> usize {
+    match body {
+        RequestBody::Contain { .. } | RequestBody::Solve { .. } => HEAVY,
+        RequestBody::Cq { db, query } => {
+            let Ok(q) = ConjunctiveQuery::parse(query) else {
+                return NORMAL;
+            };
+            let Some((_, structure)) = inner.catalog.get(db) else {
+                return NORMAL;
+            };
+            match estimate_peak(&q, &structure) {
+                Some(peak) if peak > inner.heavy_threshold => HEAVY,
+                _ => NORMAL,
+            }
+        }
+        _ => NORMAL,
+    }
+}
+
+/// The planner's estimated peak intermediate cardinality for evaluating
+/// `q` on `db` (`None` when the query doesn't fit the database — the
+/// worker will report the real error).
+fn estimate_peak(q: &ConjunctiveQuery, db: &Structure) -> Option<u64> {
+    let vars = q.variables();
+    let var_index: HashMap<&str, u32> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as u32))
+        .collect();
+    let mut relations = Vec::with_capacity(q.atoms.len());
+    for atom in &q.atoms {
+        let rel = db.relation_by_name(&atom.predicate).ok()?;
+        if rel.arity() != atom.args.len() {
+            return None;
+        }
+        // Estimation-only lowering: project to the first occurrence of
+        // each variable (repeated-variable filtering only shrinks the
+        // real input, so this upper-bounds the evaluated relation).
+        let mut schema: Vec<u32> = Vec::new();
+        let mut first_position: Vec<usize> = Vec::new();
+        for (i, v) in atom.args.iter().enumerate() {
+            let attr = var_index[v.as_str()];
+            if !schema.contains(&attr) {
+                schema.push(attr);
+                first_position.push(i);
+            }
+        }
+        let rows: Vec<Vec<u32>> = rel
+            .iter()
+            .map(|t| first_position.iter().map(|&i| t[i]).collect())
+            .collect();
+        relations.push(NamedRelation::new(schema, rows));
+    }
+    Some(plan_join_order(&relations).est_peak())
+}
+
+fn run_control(inner: &Inner, body: &RequestBody) -> Outcome {
+    match body {
+        RequestBody::Put { db, facts } => match parse_facts(facts) {
+            Ok(structure) => {
+                // Invalidate before publishing the new version so no
+                // reader can pair a stale entry with the new structure.
+                inner.cache.invalidate_db(db);
+                let version = inner.catalog.put(db, structure);
+                Outcome::Put {
+                    db: db.clone(),
+                    version,
+                }
+            }
+            Err(e) => Outcome::Error {
+                message: format!("put {db}: {e}"),
+            },
+        },
+        RequestBody::Stats => Outcome::Stats {
+            json: server_stats(inner).to_json(),
+        },
+        _ => unreachable!("only control ops reach run_control"),
+    }
+}
+
+/// Builds the [`Stats`] snapshot from `Inner` (shared by
+/// [`Server::stats`] and the inline `stats` op on the admission path).
+fn server_stats(inner: &Inner) -> Stats {
+    let mut latencies = inner
+        .latencies
+        .lock()
+        .expect("latency lock poisoned")
+        .clone();
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            0
+        } else {
+            latencies[((latencies.len() - 1) as f64 * p).round() as usize]
+        }
+    };
+    let hits = inner.cache.hits();
+    let misses = inner.cache.misses();
+    Stats {
+        admitted: inner.counters.admitted.load(Ordering::Relaxed),
+        rejected: inner.counters.rejected.load(Ordering::Relaxed),
+        completed: inner.counters.completed.load(Ordering::Relaxed),
+        unknown: inner.counters.unknown.load(Ordering::Relaxed),
+        cache_hits: hits,
+        cache_misses: misses,
+        p50_micros: pct(0.5),
+        p99_micros: pct(0.99),
+        hit_rate: if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        },
+    }
+}
+
+fn run_data(inner: &Inner, body: &RequestBody, budget: &Budget) -> Outcome {
+    match body {
+        RequestBody::Cq { db, query } => run_cq(inner, db, query, budget),
+        RequestBody::Contain { q1, q2 } => run_contain(q1, q2),
+        RequestBody::Solve { a, b } => run_solve(inner, a, b, budget),
+        _ => unreachable!("control ops never reach the lanes"),
+    }
+}
+
+fn run_cq(inner: &Inner, db_name: &str, query: &str, budget: &Budget) -> Outcome {
+    let q = match ConjunctiveQuery::parse(query) {
+        Ok(q) => q,
+        Err(e) => return Outcome::Error { message: e },
+    };
+    let Some((version, db)) = inner.catalog.get(db_name) else {
+        return Outcome::Error {
+            message: format!("unknown database \"{db_name}\""),
+        };
+    };
+    if !inner.cache_enabled {
+        return match evaluate_by_join_budgeted(&q, &db, budget) {
+            Ok(rel) => Outcome::Answers {
+                rows: relation_to_json(&rel),
+                cached: false,
+            },
+            Err(e) => eval_error(e),
+        };
+    }
+    // Minimize → core; the core is the cache key *and* the query we
+    // evaluate (it is equivalent and never larger than the original).
+    let key = CacheKey::of(&q);
+    if let Some((rows, _)) = inner.cache.lookup(db_name, version, &key) {
+        inner.tracer.emit_with(|| TraceEvent::CacheHit {
+            db: db_name.to_owned(),
+            version,
+            invariant: key.invariant,
+        });
+        return Outcome::Answers { rows, cached: true };
+    }
+    inner.tracer.emit_with(|| TraceEvent::CacheMiss {
+        db: db_name.to_owned(),
+        version,
+        invariant: key.invariant,
+    });
+    match evaluate_by_join_budgeted(&key.core, &db, budget) {
+        Ok(rel) => {
+            let rows = inner.cache.insert(db_name, version, key, rel);
+            Outcome::Answers {
+                rows,
+                cached: false,
+            }
+        }
+        Err(e) => eval_error(e),
+    }
+}
+
+fn eval_error(e: CqEvalError) -> Outcome {
+    match e {
+        CqEvalError::Exhausted(reason) => Outcome::Unknown {
+            reason: reason.to_string(),
+        },
+        CqEvalError::Invalid(message) => Outcome::Error { message },
+    }
+}
+
+fn run_contain(q1: &str, q2: &str) -> Outcome {
+    let parse = |src: &str| ConjunctiveQuery::parse(src);
+    let (q1, q2) = match (parse(q1), parse(q2)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => return Outcome::Error { message: e },
+    };
+    match (is_contained_in(&q1, &q2), is_contained_in(&q2, &q1)) {
+        (Ok(forward), Ok(backward)) => Outcome::Contains { forward, backward },
+        (Err(e), _) | (_, Err(e)) => Outcome::Error { message: e },
+    }
+}
+
+fn run_solve(inner: &Inner, a: &str, b: &str, budget: &Budget) -> Outcome {
+    let fetch = |name: &str| {
+        inner
+            .catalog
+            .get(name)
+            .map(|(_, s)| s)
+            .ok_or_else(|| format!("unknown database \"{name}\""))
+    };
+    let (sa, sb) = match (fetch(a), fetch(b)) {
+        (Ok(sa), Ok(sb)) => (sa, sb),
+        (Err(e), _) | (_, Err(e)) => return Outcome::Error { message: e },
+    };
+    let Some((ra, rb)) = union_retype(&sa, &sb) else {
+        return Outcome::Error {
+            message: format!("databases \"{a}\" and \"{b}\" have incompatible predicate arities"),
+        };
+    };
+    let report = cspdb::Solver::new().budget(budget.clone()).solve(&ra, &rb);
+    match report.answer {
+        Answer::Sat(witness) => Outcome::Solved {
+            sat: true,
+            witness: Some(witness),
+        },
+        Answer::Unsat => Outcome::Solved {
+            sat: false,
+            witness: None,
+        },
+        Answer::Unknown(reason) => Outcome::Unknown {
+            reason: reason.to_string(),
+        },
+    }
+}
+
+/// Rebuilds both structures over the union of their vocabularies
+/// (`None` if a shared predicate name has conflicting arities).
+fn union_retype(a: &Structure, b: &Structure) -> Option<(Structure, Structure)> {
+    let mut builder = VocabularyBuilder::new();
+    for s in [a, b] {
+        for (id, _) in s.relations() {
+            builder
+                .add_or_get(s.vocabulary().name(id), s.vocabulary().arity(id))
+                .ok()?;
+        }
+    }
+    let voc = builder.finish();
+    let retype = |s: &Structure| -> Structure {
+        let mut out = Structure::new(voc.clone(), s.domain_size());
+        for (id, rel) in s.relations() {
+            let new_id = voc
+                .id(s.vocabulary().name(id))
+                .expect("union vocabulary contains both sides");
+            for t in rel.iter() {
+                out.insert(new_id, t).expect("tuples were in range");
+            }
+        }
+        out
+    };
+    Some((retype(a), retype(b)))
+}

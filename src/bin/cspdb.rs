@@ -9,10 +9,12 @@
 //! cspdb minimize "<query>"            minimize a query to its core
 //! cspdb rpq "<regex>" <ledges-file>   RPQ over a labeled graph ("0 a 1")
 //! cspdb treewidth <edges-file>        exact treewidth (n ≤ 64) + decomposition
+//! cspdb serve [--stdin|--listen A]    JSONL request server (see below)
 //! ```
 //!
 //! Resource-governance flags (accepted anywhere after the subcommand,
-//! honored by `color`, `sat`, `datalog`, `cq`, and `treewidth`):
+//! honored by `color`, `sat`, `datalog`, `cq`, `treewidth`, and
+//! `serve`, where they form the server's global budget):
 //!
 //! ```text
 //! --timeout-ms <n>   wall-clock budget in milliseconds
@@ -20,14 +22,23 @@
 //! --tuples <n>       materialized-tuple budget
 //! ```
 //!
-//! Observability flags (honored by `color`, `sat`, and `cq`):
+//! Observability flags:
 //!
 //! ```text
 //! --explain          append an EXPLAIN ANALYZE-style plan report
 //!                    (for `cq`: the chosen join order with estimated vs
-//!                    actual cardinalities and index builds)
+//!                    actual cardinalities and index builds; honored by
+//!                    `color`, `sat`, and `cq`)
 //! --explain=json     print the full report as one JSON document instead
+//! --trace=FILE       append every TraceEvent of the run to FILE as JSON
+//!                    lines (any subcommand; composes with --explain)
 //! ```
+//!
+//! Service mode (`cspdb serve`) reads one JSON request object per line
+//! from stdin (`--stdin`, the default) or a TCP socket (`--listen
+//! ADDR`), executes them on a worker pool with admission control and a
+//! semantic result cache, and writes one JSON response per line. See
+//! README.md § "Service mode" for the schema and knobs.
 //!
 //! When a budget runs out the command prints `UNKNOWN (<reason>)` and
 //! exits with code 2 instead of hanging.
@@ -36,11 +47,13 @@
 //! All vertex/argument ids are nonnegative integers.
 
 use constraint_db::core::budget::{Answer, Budget};
-use constraint_db::core::trace::Recorder;
+use constraint_db::core::trace::{Fanout, JsonLinesSink, Recorder, TraceSink};
 use constraint_db::core::{Structure, VocabularyBuilder};
+use constraint_db::service::{Outcome, Request, Response, Server, ServerConfig, ShutdownMode};
 use constraint_db::{ExplainReport, GovernedReport, Solver};
+use std::io::{BufRead, Write};
 use std::process::ExitCode;
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 
 /// A command either finished (printing its result) or ran out of budget
 /// (the payload is the printed `UNKNOWN` reason, mapped to exit code 2).
@@ -73,15 +86,29 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let trace = match extract_trace(&mut args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Attach the file sink to the budget so every budget-honoring
+    // subcommand emits its events; explain paths re-compose via Fanout.
+    let budget = match &trace {
+        Some(sink) => budget.with_trace(sink.clone()),
+        None => budget,
+    };
     let result = match args.first().map(String::as_str) {
-        Some("color") => cmd_color(&args[1..], &budget, explain),
-        Some("sat") => cmd_sat(&args[1..], &budget, explain),
+        Some("color") => cmd_color(&args[1..], &budget, explain, &trace),
+        Some("sat") => cmd_sat(&args[1..], &budget, explain, &trace),
         Some("datalog") => cmd_datalog(&args[1..], &budget),
-        Some("cq") => cmd_cq(&args[1..], &budget, explain),
+        Some("cq") => cmd_cq(&args[1..], &budget, explain, &trace),
         Some("contain") => cmd_contain(&args[1..]).map(|()| CmdOutcome::Done),
         Some("minimize") => cmd_minimize(&args[1..]).map(|()| CmdOutcome::Done),
         Some("rpq") => cmd_rpq(&args[1..]).map(|()| CmdOutcome::Done),
         Some("treewidth") => cmd_treewidth(&args[1..], &budget),
+        Some("serve") => cmd_serve(&args[1..], &budget, &trace),
         Some("help") | Some("--help") | Some("-h") | None => {
             eprintln!("{}", USAGE);
             return ExitCode::SUCCESS;
@@ -107,8 +134,12 @@ const USAGE: &str = "usage:
   cspdb minimize \"<query>\"
   cspdb rpq \"<regex>\" <labeled-edges-file>
   cspdb treewidth <edges-file>
-budget flags (color/sat/datalog/cq/treewidth): --timeout-ms <n> --steps <n> --tuples <n>
-explain flags (color/sat/cq): --explain --explain=json";
+  cspdb serve [--stdin | --listen <addr>] [--workers <n>] [--heavy-workers <n>]
+              [--queue <n>] [--heavy-queue <n>] [--heavy-threshold <n>]
+              [--no-cache] [--once]
+budget flags (color/sat/datalog/cq/treewidth/serve): --timeout-ms <n> --steps <n> --tuples <n>
+explain flags (color/sat/cq): --explain --explain=json
+trace flag (any subcommand): --trace=<file>";
 
 /// Strips `--timeout-ms/--steps/--tuples <n>` from `args` and builds the
 /// corresponding [`Budget`] (unlimited when no flag is given).
@@ -162,6 +193,43 @@ fn extract_explain(args: &mut Vec<String>) -> Result<Explain, String> {
     Ok(mode)
 }
 
+/// Strips `--trace=<file>` / `--trace <file>` from `args` and opens the
+/// JSON-lines event sink.
+fn extract_trace(args: &mut Vec<String>) -> Result<Option<Arc<dyn TraceSink>>, String> {
+    let mut sink: Option<Arc<dyn TraceSink>> = None;
+    let open = |path: &str| -> Result<Arc<dyn TraceSink>, String> {
+        let file = std::fs::File::create(path).map_err(|e| format!("--trace {path}: {e}"))?;
+        Ok(Arc::new(JsonLinesSink::new(file)))
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        if let Some(path) = flag.strip_prefix("--trace=") {
+            sink = Some(open(path)?);
+            args.remove(i);
+        } else if flag == "--trace" {
+            if i + 1 >= args.len() {
+                return Err("--trace requires a file path".into());
+            }
+            sink = Some(open(&args[i + 1].clone())?);
+            args.drain(i..i + 2);
+        } else {
+            i += 1;
+        }
+    }
+    Ok(sink)
+}
+
+/// The sink a run should emit to when `--explain` recorded events and
+/// `--trace=FILE` may also be listening: the recorder alone, or a
+/// [`Fanout`] over both.
+fn compose_sinks(rec: &Arc<Recorder>, trace: &Option<Arc<dyn TraceSink>>) -> Arc<dyn TraceSink> {
+    match trace {
+        Some(file) => Arc::new(Fanout::new(vec![file.clone(), rec.clone()])),
+        None => rec.clone(),
+    }
+}
+
 /// Runs `solve` under the configured budget, wiring in a [`Recorder`]
 /// when `--explain` asked for one, prints the answer via `print_answer`
 /// (suppressed in JSON mode, where the report is the whole output), and
@@ -169,13 +237,16 @@ fn extract_explain(args: &mut Vec<String>) -> Result<Explain, String> {
 fn solve_and_report(
     budget: &Budget,
     explain: Explain,
+    trace: &Option<Arc<dyn TraceSink>>,
     solve: impl FnOnce(Solver) -> GovernedReport,
     print_answer: impl FnOnce(&GovernedReport),
 ) -> CmdOutcome {
     let recorder = (explain != Explain::Off).then(|| Arc::new(Recorder::new()));
     let mut solver = Solver::new().budget(budget.clone());
     if let Some(rec) = &recorder {
-        solver = solver.trace(rec.clone());
+        // Solver::trace replaces the budget's sink, so keep the file
+        // sink (if any) listening by fanning out to both.
+        solver = solver.trace(compose_sinks(rec, trace));
     }
     let report = solve(solver);
     let outcome = if matches!(report.answer, Answer::Unknown(_)) {
@@ -270,7 +341,12 @@ fn parse_facts(src: &str) -> Result<Structure, String> {
     Ok(s)
 }
 
-fn cmd_color(args: &[String], budget: &Budget, explain: Explain) -> Result<CmdOutcome, String> {
+fn cmd_color(
+    args: &[String],
+    budget: &Budget,
+    explain: Explain,
+    trace: &Option<Arc<dyn TraceSink>>,
+) -> Result<CmdOutcome, String> {
     let [k, path] = args else {
         return Err("usage: cspdb color <k> <edges-file>".into());
     };
@@ -281,6 +357,7 @@ fn cmd_color(args: &[String], budget: &Budget, explain: Explain) -> Result<CmdOu
     let outcome = solve_and_report(
         budget,
         explain,
+        trace,
         |solver| solver.solve(&g, &h),
         |report| match &report.answer {
             Answer::Sat(coloring) => {
@@ -302,7 +379,12 @@ fn cmd_color(args: &[String], budget: &Budget, explain: Explain) -> Result<CmdOu
     Ok(outcome)
 }
 
-fn cmd_sat(args: &[String], budget: &Budget, explain: Explain) -> Result<CmdOutcome, String> {
+fn cmd_sat(
+    args: &[String],
+    budget: &Budget,
+    explain: Explain,
+    trace: &Option<Arc<dyn TraceSink>>,
+) -> Result<CmdOutcome, String> {
     let [path] = args else {
         return Err("usage: cspdb sat <dimacs-file>".into());
     };
@@ -343,6 +425,7 @@ fn cmd_sat(args: &[String], budget: &Budget, explain: Explain) -> Result<CmdOutc
     let outcome = solve_and_report(
         budget,
         explain,
+        trace,
         |solver| solver.solve_csp(&csp),
         |report| match &report.answer {
             Answer::Sat(model) => {
@@ -409,7 +492,12 @@ fn cmd_datalog(args: &[String], budget: &Budget) -> Result<CmdOutcome, String> {
     Ok(CmdOutcome::Done)
 }
 
-fn cmd_cq(args: &[String], budget: &Budget, explain: Explain) -> Result<CmdOutcome, String> {
+fn cmd_cq(
+    args: &[String],
+    budget: &Budget,
+    explain: Explain,
+    trace: &Option<Arc<dyn TraceSink>>,
+) -> Result<CmdOutcome, String> {
     let [query, facts_path] = args else {
         return Err("usage: cspdb cq \"<query>\" <facts-file>".into());
     };
@@ -419,7 +507,7 @@ fn cmd_cq(args: &[String], budget: &Budget, explain: Explain) -> Result<CmdOutco
     let budget = if explain == Explain::Off {
         budget.clone()
     } else {
-        budget.clone().with_trace(rec.clone())
+        budget.clone().with_trace(compose_sinks(&rec, trace))
     };
     let answers = match cspdb_cq::evaluate_by_join_budgeted(&q, &db, &budget) {
         Ok(answers) => answers,
@@ -565,4 +653,160 @@ fn cmd_treewidth(args: &[String], budget: &Budget) -> Result<CmdOutcome, String>
         println!("edge {a} {b}");
     }
     Ok(CmdOutcome::Done)
+}
+
+/// `cspdb serve`: a JSONL request server over stdin or TCP.
+///
+/// Per-request outcomes travel in-band (`"status"` per response line);
+/// the process exit code follows the governed-command convention — 2 if
+/// any request ended `unknown` or `overloaded`, 0 otherwise. A final
+/// `{"stats":...}` line summarises the run (stdin mode) or each
+/// connection (TCP mode, written to the socket).
+fn cmd_serve(
+    args: &[String],
+    budget: &Budget,
+    trace: &Option<Arc<dyn TraceSink>>,
+) -> Result<CmdOutcome, String> {
+    let mut config = ServerConfig {
+        global_budget: budget.clone(),
+        trace: trace.clone(),
+        ..ServerConfig::default()
+    };
+    let mut listen: Option<String> = None;
+    let mut once = false;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        let value = |i: &mut usize| -> Result<u64, String> {
+            let v = args
+                .get(*i + 1)
+                .ok_or(format!("{flag} requires a value"))?
+                .parse()
+                .map_err(|e| format!("{flag}: {e}"))?;
+            *i += 2;
+            Ok(v)
+        };
+        match flag.as_str() {
+            "--stdin" => {
+                listen = None;
+                i += 1;
+            }
+            "--listen" => {
+                listen = Some(
+                    args.get(i + 1)
+                        .ok_or("--listen requires an address")?
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--workers" => config.workers = value(&mut i)? as usize,
+            "--heavy-workers" => config.heavy_workers = value(&mut i)? as usize,
+            "--queue" => config.queue_depth = value(&mut i)? as usize,
+            "--heavy-queue" => config.heavy_queue_depth = value(&mut i)? as usize,
+            "--heavy-threshold" => config.heavy_threshold = value(&mut i)?,
+            "--no-cache" => {
+                config.cache_enabled = false;
+                i += 1;
+            }
+            "--once" => {
+                once = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown serve flag `{other}`")),
+        }
+    }
+    let server = Server::start(config);
+    let bad = match listen {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let bad = pump(&server, stdin.lock(), stdout)?;
+            server.shutdown(ShutdownMode::Drain);
+            // Tolerate a consumer that closed stdout early (e.g. head).
+            let _ = writeln!(
+                std::io::stdout(),
+                "{{\"stats\":{}}}",
+                server.stats().to_json()
+            );
+            bad
+        }
+        Some(addr) => {
+            let listener =
+                std::net::TcpListener::bind(&addr).map_err(|e| format!("bind {addr}: {e}"))?;
+            let local = listener.local_addr().map_err(|e| e.to_string())?;
+            // Advertise the bound address (port 0 resolves here).
+            eprintln!("listening on {local}");
+            let mut bad = 0u64;
+            for stream in listener.incoming() {
+                let stream = stream.map_err(|e| format!("accept: {e}"))?;
+                let reader =
+                    std::io::BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+                bad += pump(
+                    &server,
+                    reader,
+                    stream.try_clone().map_err(|e| e.to_string())?,
+                )?;
+                let mut stream = stream;
+                let _ = writeln!(stream, "{{\"stats\":{}}}", server.stats().to_json());
+                if once {
+                    break;
+                }
+            }
+            server.shutdown(ShutdownMode::Drain);
+            bad
+        }
+    };
+    Ok(if bad > 0 {
+        CmdOutcome::OutOfBudget
+    } else {
+        CmdOutcome::Done
+    })
+}
+
+/// Reads JSONL requests from `input` until EOF, submits them to the
+/// server, and writes every response line to `output` (a dedicated
+/// writer thread keeps responses flowing while the reader blocks).
+/// Returns the number of `unknown`/`overloaded` responses.
+fn pump(
+    server: &Server,
+    input: impl BufRead,
+    mut output: impl Write + Send + 'static,
+) -> Result<u64, String> {
+    let (tx, rx) = mpsc::channel::<Response>();
+    let writer = std::thread::spawn(move || {
+        let mut bad = 0u64;
+        for response in rx {
+            if matches!(response.status(), "unknown" | "overloaded") {
+                bad += 1;
+            }
+            let _ = writeln!(output, "{}", response.to_json());
+        }
+        let _ = output.flush();
+        bad
+    });
+    for line in input.lines() {
+        let line = line.map_err(|e| format!("read: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Request::parse(&line) {
+            Ok(request) => {
+                let id = request.id;
+                if let Err(rejection) = server.submit_to(request, tx.clone()) {
+                    let _ = tx.send(rejection.into_response(id));
+                }
+            }
+            Err(message) => {
+                let _ = tx.send(Response {
+                    id: 0,
+                    outcome: Outcome::Error { message },
+                    micros: 0,
+                });
+            }
+        }
+    }
+    // In-flight jobs hold tx clones; the writer drains until the last
+    // response of this stream has been delivered.
+    drop(tx);
+    writer.join().map_err(|_| "writer thread panicked".into())
 }

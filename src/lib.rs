@@ -15,6 +15,8 @@
 
 pub use cspdb::*;
 
+pub use cspdb_service as service;
+
 /// The paper this workspace reproduces.
 pub const PAPER: &str =
     "Moshe Y. Vardi. Constraint Satisfaction and Database Theory: a Tutorial. PODS 2000.";

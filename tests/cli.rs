@@ -113,3 +113,159 @@ fn treewidth_of_cycle() {
     assert!(out.contains("treewidth 2"), "{out}");
     assert!(out.contains("bag 0"), "{out}");
 }
+
+/// Runs the binary feeding `stdin`, returning (exit code, stdout, stderr).
+fn cspdb_stdin(args: &[&str], stdin: &str) -> (Option<i32>, String, String) {
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cspdb"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .take()
+        .expect("piped")
+        .write_all(stdin.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().expect("binary exits");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// The checked-in 50-request workload must flow through `serve --stdin`
+/// with at least one semantic cache hit, and every hit must be
+/// byte-identical to the cold answer for the same query shape. This is
+/// the in-repo mirror of the CI smoke job.
+#[test]
+fn serve_stdin_workload_has_semantic_hits_with_identical_bytes() {
+    let workload = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/service_workload.jsonl"),
+    )
+    .expect("workload file is checked in");
+    assert_eq!(
+        workload.lines().count(),
+        50,
+        "workload must stay 50 requests"
+    );
+    let (code, out, err) = cspdb_stdin(&["serve", "--stdin"], &workload);
+    assert_eq!(code, Some(0), "serve must exit 0\nstderr: {err}");
+    let hits = out.matches("\"cached\":true").count();
+    assert!(hits >= 1, "expected at least one semantic cache hit\n{out}");
+    // Hits must be byte-identical to the cold answer of their shape:
+    // group every answers payload; within a run, any id that answered
+    // "cached":true must carry a payload some cold response also carried.
+    let mut cold: Vec<&str> = Vec::new();
+    let mut cached: Vec<&str> = Vec::new();
+    for line in out.lines() {
+        if let Some(idx) = line.find("\"answers\":") {
+            let payload = &line[idx + "\"answers\":".len()..];
+            let payload = payload.split(",\"micros\"").next().unwrap_or(payload);
+            if line.contains("\"cached\":true") {
+                cached.push(payload);
+            } else {
+                cold.push(payload);
+            }
+        }
+    }
+    assert!(!cold.is_empty() && !cached.is_empty());
+    for hit in &cached {
+        assert!(
+            cold.contains(hit),
+            "cached answer bytes {hit} never produced by a cold evaluation"
+        );
+    }
+    // The final stats line reports the hits the responses showed.
+    let stats = out.lines().last().expect("stats line");
+    assert!(stats.starts_with("{\"stats\":"), "{stats}");
+    assert!(stats.contains("\"cache_hits\":"), "{stats}");
+}
+
+/// `serve` maps unknown/overloaded responses to exit code 2, the same
+/// convention every governed subcommand uses.
+#[test]
+fn serve_exit_code_follows_unknown_semantics() {
+    // Two workers => each request gets a 1-tuple slice of the 2-tuple
+    // global budget; the join cannot fit and must answer unknown.
+    let workload = concat!(
+        r#"{"id":1,"op":"put","db":"g","facts":"E 0 1\nE 1 2\nE 2 0"}"#,
+        "\n",
+        r#"{"id":2,"op":"cq","db":"g","query":"Q(X,Y) :- E(X,Z), E(Z,Y)"}"#,
+        "\n",
+    );
+    let (code, out, _) = cspdb_stdin(
+        &[
+            "serve",
+            "--stdin",
+            "--workers",
+            "1",
+            "--heavy-workers",
+            "1",
+            "--tuples",
+            "2",
+        ],
+        workload,
+    );
+    assert_eq!(code, Some(2), "unknown responses must map to exit 2\n{out}");
+    assert!(out.contains("\"status\":\"unknown\""), "{out}");
+}
+
+/// `--trace=FILE` writes JSON-lines events for any subcommand,
+/// composing with `--explain` rather than displacing it.
+#[test]
+fn trace_flag_writes_json_lines_events() {
+    let dir = std::env::temp_dir().join("cspdb-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // cq with both --trace and --explain: the file gets events AND the
+    // explain plan still prints.
+    let facts = temp_file("trace-cq.facts", "E 0 1\nE 1 2\n");
+    let trace_path = dir.join("cq-trace.jsonl");
+    let trace_arg = format!("--trace={}", trace_path.display());
+    let (ok, out, _) = cspdb(&[
+        "cq",
+        "Q(X,Y) :- E(X,Z), E(Z,Y)",
+        facts.to_str().unwrap(),
+        &trace_arg,
+        "--explain",
+    ]);
+    assert!(ok);
+    assert!(out.contains("1 answers"), "{out}");
+    assert!(out.contains("join plan") || out.contains("order"), "{out}");
+    let traced = std::fs::read_to_string(&trace_path).unwrap();
+    assert!(!traced.trim().is_empty(), "trace file must not be empty");
+    for line in traced.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "bad line {line}"
+        );
+        assert!(
+            line.contains("\"event\":") || line.contains("\"kind\":"),
+            "{line}"
+        );
+    }
+
+    // serve with --trace: admission and cache events land in the file.
+    let trace_path = dir.join("serve-trace.jsonl");
+    let trace_arg = format!("--trace={}", trace_path.display());
+    let workload = concat!(
+        r#"{"id":1,"op":"put","db":"g","facts":"E 0 1"}"#,
+        "\n",
+        r#"{"id":2,"op":"cq","db":"g","query":"Q(X) :- E(X,Y)"}"#,
+        "\n",
+        r#"{"id":3,"op":"cq","db":"g","query":"Q(A) :- E(A,B)"}"#,
+        "\n",
+    );
+    let (code, _out, _err) = cspdb_stdin(&["serve", "--stdin", &trace_arg], workload);
+    assert_eq!(code, Some(0));
+    let traced = std::fs::read_to_string(&trace_path).unwrap();
+    assert!(traced.contains("request_admitted"), "{traced}");
+    assert!(traced.contains("cache_miss"), "{traced}");
+    assert!(traced.contains("cache_hit"), "{traced}");
+    assert!(traced.contains("shutdown_drain"), "{traced}");
+}

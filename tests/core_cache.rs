@@ -1,0 +1,186 @@
+//! Property tests for the core-keyed semantic cache (Chandra–Merlin,
+//! Propositions 2.2/2.3 of the paper):
+//!
+//! 1. `minimize(q)` is homomorphically equivalent to `q` — containment
+//!    holds in both directions, so the core answers every database
+//!    exactly as the original does;
+//! 2. cores are unique up to isomorphism — minimizing any
+//!    variable-renamed, atom-shuffled presentation of a query yields a
+//!    core of the same shape whose marked canonical database is
+//!    hom-equivalent to the original core's;
+//! 3. equal cache keys imply set-equal answers — whenever
+//!    [`CacheKey::matches`] accepts two queries, evaluating both on a
+//!    random database produces byte-identical sorted answer
+//!    serializations (and renamed/padded variants always match).
+
+use constraint_db::core::{Structure, VocabularyBuilder};
+use constraint_db::service::{relation_to_json, CacheKey};
+use cspdb_cq::{evaluate_by_join, is_contained_in, minimize, ConjunctiveQuery};
+use proptest::prelude::*;
+
+const VARS: [&str; 5] = ["A", "B", "C", "D", "F"];
+
+/// Strategy: a small random connected-ish CQ over a binary predicate
+/// `E` and occasionally a unary `P`, with 1–2 distinguished variables
+/// drawn from the body (so the query is always safe).
+fn arbitrary_query() -> impl Strategy<Value = ConjunctiveQuery> {
+    (
+        prop::collection::vec((0usize..VARS.len(), 0usize..VARS.len(), 0u32..4), 1..4usize),
+        0usize..VARS.len(),
+        0usize..VARS.len(),
+        0u32..2,
+    )
+        .prop_map(|(raw_atoms, d1, d2, two_heads)| {
+            let mut body: Vec<String> = Vec::new();
+            let mut used: Vec<usize> = Vec::new();
+            for (a, b, kind) in &raw_atoms {
+                if *kind == 0 {
+                    body.push(format!("P({})", VARS[*a]));
+                    used.push(*a);
+                } else {
+                    body.push(format!("E({},{})", VARS[*a], VARS[*b]));
+                    used.push(*a);
+                    used.push(*b);
+                }
+            }
+            let h1 = used[d1 % used.len()];
+            let mut head = vec![VARS[h1]];
+            let h2 = used[d2 % used.len()];
+            // The join evaluator requires distinct head variables.
+            if two_heads == 1 && h2 != h1 {
+                head.push(VARS[h2]);
+            }
+            let src = format!("Q({}) :- {}", head.join(","), body.join(", "));
+            ConjunctiveQuery::parse(&src).expect("generated query parses")
+        })
+}
+
+/// A consistent variable renaming plus an atom-order rotation: an
+/// isomorphic presentation of the same query.
+fn renamed_rotated(q: &ConjunctiveQuery, rot: usize) -> ConjunctiveQuery {
+    let fresh = |v: &str| format!("V{v}x");
+    let mut atoms = q.atoms.clone();
+    let n = atoms.len();
+    atoms.rotate_left(rot % n);
+    let body: Vec<String> = atoms
+        .iter()
+        .map(|a| {
+            let args: Vec<String> = a.args.iter().map(|v| fresh(v)).collect();
+            format!("{}({})", a.predicate, args.join(","))
+        })
+        .collect();
+    let head: Vec<String> = q.distinguished.iter().map(|v| fresh(v)).collect();
+    let src = format!("Q({}) :- {}", head.join(","), body.join(", "));
+    ConjunctiveQuery::parse(&src).expect("renamed query parses")
+}
+
+/// A deterministic random database over `E`/`P` for a given seed.
+fn random_db(seed: u64, n: usize) -> Structure {
+    let mut state = seed | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut builder = VocabularyBuilder::new();
+    builder.add_or_get("E", 2).unwrap();
+    builder.add_or_get("P", 1).unwrap();
+    let mut s = Structure::new(builder.finish(), n);
+    for _ in 0..(2 * n) {
+        let u = (next() % n as u64) as u32;
+        let v = (next() % n as u64) as u32;
+        s.insert_by_name("E", &[u, v]).unwrap();
+        if next() % 3 == 0 {
+            s.insert_by_name("P", &[u]).unwrap();
+        }
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property (1): the core is equivalent to the query — containment
+    /// in both directions, per Chandra–Merlin.
+    #[test]
+    fn minimize_is_equivalent_both_directions(q in arbitrary_query()) {
+        let core = minimize(&q);
+        prop_assert!(is_contained_in(&q, &core).unwrap(), "q ⊆ core fails");
+        prop_assert!(is_contained_in(&core, &q).unwrap(), "core ⊆ q fails");
+        // And the cache key accepts the core as equivalent to q.
+        prop_assert!(CacheKey::of(&q).matches(&CacheKey::of(&core)));
+    }
+
+    /// Property (2): cores are unique up to isomorphism — any renamed,
+    /// rotated presentation minimizes to a core with the same atom and
+    /// variable counts and the same cheap invariant, and the two keys
+    /// confirm each other.
+    #[test]
+    fn cores_unique_up_to_isomorphism(q in arbitrary_query(), rot in 0usize..4) {
+        let other = renamed_rotated(&q, rot);
+        let (core_a, core_b) = (minimize(&q), minimize(&other));
+        prop_assert_eq!(core_a.atoms.len(), core_b.atoms.len());
+        prop_assert_eq!(core_a.variables().len(), core_b.variables().len());
+        let (key_a, key_b) = (CacheKey::of(&q), CacheKey::of(&other));
+        prop_assert_eq!(key_a.invariant, key_b.invariant);
+        prop_assert!(key_a.matches(&key_b) && key_b.matches(&key_a));
+    }
+
+    /// Property (3): equal cache keys mean set-equal answers. The
+    /// renamed variant must share the key and both queries — and the
+    /// core the cache actually evaluates — produce byte-identical
+    /// sorted answers on random databases.
+    #[test]
+    fn equal_keys_imply_equal_answers(q in arbitrary_query(), rot in 0usize..4, seed in 1u64..500) {
+        let other = renamed_rotated(&q, rot);
+        let key = CacheKey::of(&q);
+        prop_assert!(key.matches(&CacheKey::of(&other)));
+        let db = random_db(seed, 5);
+        let a = relation_to_json(&evaluate_by_join(&q, &db).unwrap());
+        let b = relation_to_json(&evaluate_by_join(&other, &db).unwrap());
+        let c = relation_to_json(&evaluate_by_join(&key.core, &db).unwrap());
+        prop_assert_eq!(&a, &b, "renamed variant diverged");
+        prop_assert_eq!(&a, &c, "core evaluation diverged");
+    }
+
+    /// Contrapositive spot check: keys that do NOT match may disagree,
+    /// but a key must never match a query with a different distinguished
+    /// arity (answers would have different widths — unsoundness).
+    #[test]
+    fn keys_never_match_across_head_arities(q in arbitrary_query()) {
+        if q.distinguished.len() == 1 {
+            let widened = {
+                let src = format!(
+                    "Q({0},{0}) :- {1}",
+                    q.distinguished[0],
+                    q.atoms
+                        .iter()
+                        .map(|a| format!("{}({})", a.predicate, a.args.join(",")))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                ConjunctiveQuery::parse(&src).unwrap()
+            };
+            prop_assert!(!CacheKey::of(&q).matches(&CacheKey::of(&widened)));
+        }
+    }
+}
+
+/// A fixed pair the paper itself uses (redundant-atom folding): the
+/// padded query's core is the short query, so they share a cache key
+/// and answers, byte for byte.
+#[test]
+fn padded_query_shares_key_and_answers() {
+    let short = ConjunctiveQuery::parse("Q(X,Y) :- E(X,Z), E(Z,Y)").unwrap();
+    let padded = ConjunctiveQuery::parse("Q(X,Y) :- E(X,Z), E(Z,Y), E(X,W)").unwrap();
+    let (ks, kp) = (CacheKey::of(&short), CacheKey::of(&padded));
+    assert!(ks.matches(&kp) && kp.matches(&ks));
+    for seed in [3, 17, 99] {
+        let db = random_db(seed, 6);
+        assert_eq!(
+            relation_to_json(&evaluate_by_join(&short, &db).unwrap()),
+            relation_to_json(&evaluate_by_join(&padded, &db).unwrap()),
+        );
+    }
+}

@@ -293,3 +293,44 @@ fn star_planner_peak_bounded_by_size_ordered() {
         );
     }
 }
+
+/// Regression (budget metering hole): the size-ordered baseline used to
+/// join unmetered, so a tuple budget that stops the planned join sailed
+/// straight through `join_all_size_ordered`. The metered variant must
+/// charge every materialized tuple and report exhaustion.
+#[test]
+fn size_ordered_baseline_respects_tuple_budgets() {
+    use constraint_db::core::budget::ExhaustionReason;
+    use constraint_db::relalg::join_all_size_ordered_metered;
+    // Two 8-row relations sharing one attribute: the join materializes
+    // well over 4 tuples.
+    let left = NamedRelation::new(
+        vec![0, 1],
+        (0..8u32).map(|i| vec![i % 2, i]).collect::<Vec<_>>(),
+    );
+    let right = NamedRelation::new(
+        vec![1, 2],
+        (0..8u32).map(|i| vec![i, i + 10]).collect::<Vec<_>>(),
+    );
+    let rels = vec![left, right];
+
+    let tight = Budget::unlimited().with_tuple_limit(4);
+    let mut meter = tight.meter();
+    assert_eq!(
+        join_all_size_ordered_metered(rels.clone(), &mut meter),
+        Err(ExhaustionReason::TupleLimitExceeded),
+        "baseline must observe the tuple budget"
+    );
+
+    // Unlimited metering agrees with the unmetered wrapper, and the
+    // meter charged exactly the tuples the join materialized.
+    let mut free = Budget::unlimited().meter();
+    let metered = join_all_size_ordered_metered(rels.clone(), &mut free)
+        .expect("unlimited budget cannot exhaust");
+    let plain = join_all_size_ordered(rels);
+    assert_eq!(canonical_rows(&metered), canonical_rows(&plain));
+    assert!(
+        free.usage().tuples >= metered.len() as u64,
+        "meter must charge at least the output tuples"
+    );
+}
