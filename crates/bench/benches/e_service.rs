@@ -116,13 +116,13 @@ fn workload(rng: &mut XorShift, len: usize) -> Vec<Request> {
             let shape = zipf_shape(rng);
             let salt = rng.range(0, 4);
             let rot = rng.range(0, 3) as usize;
-            Request {
-                id: i as u64 + 10,
-                body: RequestBody::Cq {
+            Request::new(
+                i as u64 + 10,
+                RequestBody::Cq {
                     db: "g".into(),
                     query: render(shape, salt, rot),
                 },
-            }
+            )
         })
         .collect()
 }
@@ -144,13 +144,13 @@ fn drive(
         cache_enabled: cache,
         ..ServerConfig::default()
     }));
-    let put = Request {
-        id: 1,
-        body: RequestBody::Put {
+    let put = Request::new(
+        1,
+        RequestBody::Put {
             db: "g".into(),
             facts: db.into(),
         },
-    };
+    );
     assert_eq!(server.submit(put).unwrap().wait().status(), "ok");
     let start = Instant::now();
     let chunk = reqs.len().div_ceil(clients);
@@ -195,7 +195,10 @@ fn bench(c: &mut Criterion) {
     let reqs = workload(&mut rng, 240);
 
     // Acceptance: semantic hits dominate, cached answers are
-    // byte-identical to uncached ones, caching never loses.
+    // byte-identical to uncached ones, caching never loses. The
+    // measurements double as the machine-readable BENCH_service.json at
+    // the repo root (consumed by CI and EXPERIMENTS.md).
+    let mut records = Vec::new();
     for workers in [1, 4, 8] {
         let (cold_t, cold) = drive(workers, false, 4, &reqs, &db);
         let (hot_t, hot) = drive(workers, true, 4, &reqs, &db);
@@ -217,7 +220,25 @@ fn bench(c: &mut Criterion) {
             hot_t <= cold_t * 1.5,
             "{workers} workers: cached run slower than uncached ({hot_t:.3}s vs {cold_t:.3}s)"
         );
+        records.push(format!(
+            concat!(
+                "{{\"workers\":{},\"requests\":{},\"semantic_hits\":{},",
+                "\"uncached_secs\":{:.6},\"cached_secs\":{:.6},\"speedup\":{:.3}}}"
+            ),
+            workers,
+            reqs.len(),
+            hits,
+            cold_t,
+            hot_t,
+            cold_t / hot_t.max(1e-9)
+        ));
     }
+    let out = format!(
+        "{{\"bench\":\"e_service\",\"configs\":[{}]}}\n",
+        records.join(",")
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_service.json");
+    std::fs::write(&path, out).expect("write BENCH_service.json");
 
     let mut group = c.benchmark_group("e_service");
     group.sample_size(10);

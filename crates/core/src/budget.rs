@@ -22,6 +22,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::error::CoreError;
+use crate::faults::{FaultHandle, FaultPlan};
 use crate::trace::{TraceSink, Tracer};
 
 /// Number of [`Meter::tick`] calls between expensive checkpoint checks
@@ -142,6 +143,11 @@ pub struct Budget {
     /// Telemetry handle copied into every meter created from this
     /// budget. Disabled by default; see [`Budget::with_trace`].
     trace: Tracer,
+    /// Fault-injection handle copied into every meter created from
+    /// this budget (slow-down faults apply at checkpoints) and read by
+    /// fault-aware subsystems like the service. Inert by default; see
+    /// [`Budget::with_faults`].
+    faults: FaultHandle,
 }
 
 impl Budget {
@@ -202,6 +208,25 @@ impl Budget {
         &self.trace
     }
 
+    /// Arms a fault-injection plan: every meter created from this
+    /// budget applies slow-down faults at its checkpoints, and
+    /// fault-aware subsystems (the service) consult the handle at
+    /// their own sites. An empty plan stays inert.
+    pub fn with_faults(self, plan: FaultPlan) -> Self {
+        self.with_fault_handle(FaultHandle::new(plan))
+    }
+
+    /// Attaches an already-armed [`FaultHandle`] (shares its counters).
+    pub fn with_fault_handle(mut self, handle: FaultHandle) -> Self {
+        self.faults = handle;
+        self
+    }
+
+    /// The budget's fault handle (inert unless a plan was armed).
+    pub fn faults(&self) -> &FaultHandle {
+        &self.faults
+    }
+
     /// True if no limit of any kind is set.
     pub fn is_unlimited(&self) -> bool {
         self.deadline.is_none()
@@ -232,6 +257,7 @@ impl Budget {
                 tuple_limit: Some(0),
                 cancel: self.cancel.clone(),
                 trace: self.trace.clone(),
+                faults: self.faults.clone(),
             };
         }
         let scale = |v: u64| (v.saturating_mul(num) / den).max(1);
@@ -241,6 +267,7 @@ impl Budget {
             tuple_limit: self.tuple_limit.map(scale),
             cancel: self.cancel.clone(),
             trace: self.trace.clone(),
+            faults: self.faults.clone(),
         }
     }
 
@@ -253,6 +280,7 @@ impl Budget {
             tuple_limit: self.tuple_limit,
             cancel: self.cancel.clone(),
             trace: self.trace.clone(),
+            faults: self.faults.clone(),
             steps: 0,
             tuples: 0,
             tripped: None,
@@ -272,6 +300,7 @@ impl Budget {
                 tuple_limit: self.tuple_limit,
                 cancel: self.cancel.clone(),
                 trace: self.trace.clone(),
+                faults: self.faults.clone(),
                 steps: AtomicU64::new(0),
                 tuples: AtomicU64::new(0),
                 tripped: AtomicU8::new(TRIP_NONE),
@@ -318,6 +347,7 @@ pub struct Meter {
     tuple_limit: Option<u64>,
     cancel: Option<CancelToken>,
     trace: Tracer,
+    faults: FaultHandle,
     steps: u64,
     tuples: u64,
     tripped: Option<ExhaustionReason>,
@@ -390,6 +420,9 @@ impl Meter {
         if let Some(reason) = self.tripped {
             return Err(reason);
         }
+        // Slow-down faults strike here, where real stalls are observed:
+        // amortised to checkpoint cadence, inert = one branch.
+        self.faults.maybe_slow_down();
         if let Some(token) = &self.cancel {
             if token.is_cancelled() {
                 return Err(self.trip(ExhaustionReason::Cancelled));
@@ -495,6 +528,7 @@ struct SharedMeterState {
     tuple_limit: Option<u64>,
     cancel: Option<CancelToken>,
     trace: Tracer,
+    faults: FaultHandle,
     steps: AtomicU64,
     tuples: AtomicU64,
     tripped: AtomicU8,
@@ -562,6 +596,7 @@ impl SharedMeter {
         if let Some(reason) = self.exhausted() {
             return Err(reason);
         }
+        self.inner.faults.maybe_slow_down();
         if let Some(token) = &self.inner.cancel {
             if token.is_cancelled() {
                 return Err(self.trip(ExhaustionReason::Cancelled));
@@ -1085,6 +1120,49 @@ mod tests {
         assert_eq!(burn(&mut shared), Ok(10));
         let mut capped = Budget::new().with_step_limit(5).shared_meter();
         assert_eq!(burn(&mut capped), Err(ExhaustionReason::StepLimitExceeded));
+    }
+
+    #[test]
+    fn faults_ride_the_budget_like_the_tracer() {
+        use crate::faults::{FaultPlan, FaultSite};
+        let b = Budget::new().with_faults(
+            FaultPlan::none()
+                .with_seed(1)
+                .with_period(FaultSite::QueueFull, 3),
+        );
+        assert!(b.faults().is_active());
+        // Slices share the armed injector: counters are one pool.
+        let s = b.slice(1, 2);
+        assert!(s.faults().is_active());
+        for _ in 0..3 {
+            s.faults().fire(FaultSite::QueueFull);
+        }
+        assert_eq!(b.faults().injected(FaultSite::QueueFull), 1);
+        // Default budgets stay inert, and empty plans collapse to inert.
+        assert!(!Budget::unlimited().faults().is_active());
+        assert!(!Budget::new()
+            .with_faults(FaultPlan::none())
+            .faults()
+            .is_active());
+    }
+
+    #[test]
+    fn slow_down_fault_applies_at_checkpoints() {
+        use crate::faults::{FaultPlan, FaultSite};
+        let plan = FaultPlan::none()
+            .with_period(FaultSite::SlowDown, 1)
+            .with_slow_down(Duration::from_millis(5));
+        let mut m = Budget::new().with_faults(plan.clone()).meter();
+        let t = Instant::now();
+        m.checkpoint().unwrap();
+        assert!(
+            t.elapsed() >= Duration::from_millis(5),
+            "checkpoint must observe the injected stall"
+        );
+        let shared = Budget::new().with_faults(plan).shared_meter();
+        let t = Instant::now();
+        shared.checkpoint().unwrap();
+        assert!(t.elapsed() >= Duration::from_millis(5));
     }
 
     #[test]

@@ -31,6 +31,7 @@
 pub mod budget;
 mod csp;
 mod error;
+pub mod faults;
 pub mod graphs;
 mod homomorphism;
 mod relation;
@@ -44,6 +45,7 @@ pub use budget::{
 };
 pub use csp::{is_coherent, make_coherent, Constraint, CspInstance};
 pub use error::{CoreError, Result};
+pub use faults::{silence_injected_panics, FaultHandle, FaultInjector, FaultPlan, FaultSite};
 pub use homomorphism::{compose, is_homomorphism, PartialHom};
 pub use relation::Relation;
 pub use structure::Structure;

@@ -249,6 +249,31 @@ pub enum TraceEvent {
         /// Requests executing when shutdown began.
         inflight: u64,
     },
+    /// A worker's request execution panicked; the panic was isolated,
+    /// the request answered with a typed internal error, and the worker
+    /// thread survived.
+    WorkerPanicked {
+        /// Client-assigned request id.
+        id: u64,
+        /// The lane whose worker caught the panic.
+        lane: &'static str,
+    },
+    /// A request was shed because its deadline could not be met —
+    /// either estimated at admission or already passed at dequeue.
+    RequestExpired {
+        /// Client-assigned request id.
+        id: u64,
+        /// Where the shed happened (`"admission"`/`"dequeue"`).
+        at: &'static str,
+        /// Microseconds the request had waited when shed.
+        waited_micros: u64,
+    },
+    /// A heavy-lane CQ request was degraded to the normal lane's
+    /// budget-sliced cheap tier instead of being rejected.
+    RequestDegraded {
+        /// Client-assigned request id.
+        id: u64,
+    },
 }
 
 /// Escapes `s` for embedding in a JSON string literal.
@@ -294,6 +319,9 @@ impl TraceEvent {
             TraceEvent::CacheHit { .. } => "cache_hit",
             TraceEvent::CacheMiss { .. } => "cache_miss",
             TraceEvent::ShutdownDrain { .. } => "shutdown_drain",
+            TraceEvent::WorkerPanicked { .. } => "worker_panicked",
+            TraceEvent::RequestExpired { .. } => "request_expired",
+            TraceEvent::RequestDegraded { .. } => "request_degraded",
         }
     }
 
@@ -476,6 +504,22 @@ impl TraceEvent {
             }
             TraceEvent::ShutdownDrain { queued, inflight } => {
                 s.push_str(&format!(",\"queued\":{queued},\"inflight\":{inflight}"));
+            }
+            TraceEvent::WorkerPanicked { id, lane } => {
+                s.push_str(&format!(",\"id\":{id},\"lane\":\"{}\"", json_escape(lane)));
+            }
+            TraceEvent::RequestExpired {
+                id,
+                at,
+                waited_micros,
+            } => {
+                s.push_str(&format!(
+                    ",\"id\":{id},\"at\":\"{}\",\"waited_micros\":{waited_micros}",
+                    json_escape(at)
+                ));
+            }
+            TraceEvent::RequestDegraded { id } => {
+                s.push_str(&format!(",\"id\":{id}"));
             }
         }
         s.push('}');
@@ -876,6 +920,16 @@ mod tests {
                 queued: 3,
                 inflight: 2,
             },
+            TraceEvent::WorkerPanicked {
+                id: 11,
+                lane: "heavy",
+            },
+            TraceEvent::RequestExpired {
+                id: 12,
+                at: "dequeue",
+                waited_micros: 1500,
+            },
+            TraceEvent::RequestDegraded { id: 13 },
         ];
         for ev in &events {
             let json = ev.to_json();

@@ -25,7 +25,7 @@ use cspdb_core::{Relation, Structure, VocabularyBuilder};
 use cspdb_cq::{are_hom_equivalent, canonical_database, minimize, ConjunctiveQuery};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 /// The semantic identity of a query: its core plus the artifacts needed
 /// to bucket and confirm equivalence.
@@ -164,6 +164,7 @@ pub struct SemanticCache {
     buckets: Mutex<HashMap<(String, u64, u64), Vec<Entry>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    recoveries: AtomicU64,
 }
 
 impl SemanticCache {
@@ -172,11 +173,29 @@ impl SemanticCache {
         Self::default()
     }
 
+    /// Locks the bucket map, recovering from poison: a thread that
+    /// panicked while holding the lock may have left a bucket
+    /// half-updated, so recovery discards every entry — the cache
+    /// restarts cold, which is always correct (it only ever serves
+    /// confirmed equivalents) — counts the event, and continues.
+    fn lock_buckets(&self) -> MutexGuard<'_, HashMap<(String, u64, u64), Vec<Entry>>> {
+        match self.buckets.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.recoveries.fetch_add(1, Ordering::Relaxed);
+                self.buckets.clear_poison();
+                let mut guard = poisoned.into_inner();
+                guard.clear();
+                guard
+            }
+        }
+    }
+
     /// Looks up an equivalent query's answer computed against `(db,
     /// version)`. Returns the stored `(serialized, relation)` pair on a
     /// confirmed hit.
     pub fn lookup(&self, db: &str, version: u64, key: &CacheKey) -> Option<(String, Relation)> {
-        let buckets = self.buckets.lock().expect("cache lock poisoned");
+        let buckets = self.lock_buckets();
         let found = buckets
             .get(&(db.to_owned(), version, key.invariant))
             .and_then(|bucket| bucket.iter().find(|e| e.key.matches(key)))
@@ -195,7 +214,7 @@ impl SemanticCache {
     /// keep the first entry — both computed the same answer.
     pub fn insert(&self, db: &str, version: u64, key: CacheKey, answers: Relation) -> String {
         let answers_json = relation_to_json(&answers);
-        let mut buckets = self.buckets.lock().expect("cache lock poisoned");
+        let mut buckets = self.lock_buckets();
         let bucket = buckets
             .entry((db.to_owned(), version, key.invariant))
             .or_default();
@@ -213,10 +232,7 @@ impl SemanticCache {
     /// replaced databases free their stranded entries immediately
     /// instead of waiting for the process to exit.
     pub fn invalidate_db(&self, db: &str) {
-        self.buckets
-            .lock()
-            .expect("cache lock poisoned")
-            .retain(|(name, _, _), _| name != db);
+        self.lock_buckets().retain(|(name, _, _), _| name != db);
     }
 
     /// Confirmed hits so far.
@@ -229,14 +245,26 @@ impl SemanticCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Times a poisoned bucket lock was recovered (each recovery
+    /// restarts the cache cold).
+    pub fn poison_recoveries(&self) -> u64 {
+        self.recoveries.load(Ordering::Relaxed)
+    }
+
+    /// Poisons the bucket lock by panicking while holding it (the
+    /// panic is caught here). Fault injection uses this to exercise
+    /// the poison-recovery path; real code never calls it.
+    #[doc(hidden)]
+    pub fn poison(&self) {
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = self.buckets.lock();
+            panic!("injected lock poison");
+        }));
+    }
+
     /// Number of stored entries across all buckets.
     pub fn len(&self) -> usize {
-        self.buckets
-            .lock()
-            .expect("cache lock poisoned")
-            .values()
-            .map(Vec::len)
-            .sum()
+        self.lock_buckets().values().map(Vec::len).sum()
     }
 
     /// True when nothing is cached.
@@ -297,5 +325,23 @@ mod tests {
         assert_eq!(cache.misses(), 3);
         cache.invalidate_db("g");
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_to_a_cold_cache() {
+        let cache = SemanticCache::new();
+        let key = CacheKey::of(&q("Q(X) :- E(X,Y)"));
+        let ans = || Relation::from_tuples(1, [[0u32]]).unwrap();
+        cache.insert("g", 1, key.clone(), ans());
+        assert_eq!(cache.len(), 1);
+        cache.poison();
+        // The first access after poisoning recovers to a cold cache
+        // and counts the event.
+        assert!(cache.lookup("g", 1, &key).is_none());
+        assert_eq!(cache.poison_recoveries(), 1);
+        assert!(cache.is_empty());
+        // The cache keeps working afterwards.
+        cache.insert("g", 1, key.clone(), ans());
+        assert!(cache.lookup("g", 1, &key).is_some());
     }
 }

@@ -6,12 +6,14 @@
 
 use cspdb_core::{Structure, VocabularyBuilder};
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// A concurrent map from database names to versioned structures.
 #[derive(Debug, Default)]
 pub struct Catalog {
     inner: RwLock<HashMap<String, (u64, Arc<Structure>)>>,
+    recoveries: AtomicU64,
 }
 
 impl Catalog {
@@ -20,11 +22,43 @@ impl Catalog {
         Self::default()
     }
 
+    /// Read-locks the map, recovering from poison. The map's contents
+    /// are always structurally sound after a writer panic: `put`'s
+    /// critical section only assigns an `Arc` and bumps a counter, so
+    /// recovery keeps the data, clears the flag, and counts the event.
+    fn read_recover(&self) -> RwLockReadGuard<'_, HashMap<String, (u64, Arc<Structure>)>> {
+        match self.inner.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.recoveries.fetch_add(1, Ordering::Relaxed);
+                self.inner.clear_poison();
+                poisoned.into_inner()
+            }
+        }
+    }
+
+    /// Write-lock analogue of [`Catalog::read_recover`].
+    fn write_recover(&self) -> RwLockWriteGuard<'_, HashMap<String, (u64, Arc<Structure>)>> {
+        match self.inner.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.recoveries.fetch_add(1, Ordering::Relaxed);
+                self.inner.clear_poison();
+                poisoned.into_inner()
+            }
+        }
+    }
+
+    /// Times a poisoned catalog lock was recovered.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries.load(Ordering::Relaxed)
+    }
+
     /// Creates or replaces `name`, returning the new version (versions
     /// start at 1 and only ever grow, so an old version never aliases a
     /// new structure in cache keys).
     pub fn put(&self, name: &str, structure: Structure) -> u64 {
-        let mut map = self.inner.write().expect("catalog lock poisoned");
+        let mut map = self.write_recover();
         let entry = map
             .entry(name.to_owned())
             .or_insert((0, Arc::new(structure.clone())));
@@ -35,29 +69,19 @@ impl Catalog {
 
     /// The current `(version, structure)` of `name`, if present.
     pub fn get(&self, name: &str) -> Option<(u64, Arc<Structure>)> {
-        self.inner
-            .read()
-            .expect("catalog lock poisoned")
-            .get(name)
-            .map(|(v, s)| (*v, s.clone()))
+        self.read_recover().get(name).map(|(v, s)| (*v, s.clone()))
     }
 
     /// All database names, sorted.
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .inner
-            .read()
-            .expect("catalog lock poisoned")
-            .keys()
-            .cloned()
-            .collect();
+        let mut names: Vec<String> = self.read_recover().keys().cloned().collect();
         names.sort_unstable();
         names
     }
 
     /// Number of databases.
     pub fn len(&self) -> usize {
-        self.inner.read().expect("catalog lock poisoned").len()
+        self.read_recover().len()
     }
 
     /// True when no database has been put.

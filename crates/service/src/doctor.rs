@@ -1,0 +1,548 @@
+//! `cspdb doctor` — a self-check that replays a fault-laden workload
+//! against an in-process [`Server`] and verifies the service's
+//! robustness invariants.
+//!
+//! The doctor plays the role of a hostile environment *and* a strict
+//! front end at once: it renders every request to its wire form,
+//! mangles some lines the way a flaky link would (truncation, byte
+//! corruption, per the [`FaultPlan`]), submits the survivors from
+//! several client threads at once (a saturation burst), and then
+//! checks what a correct service must guarantee no matter what was
+//! injected:
+//!
+//! 1. **Exactly-once answering** — every submitted request id comes
+//!    back exactly once (admitted → one response; rejected → one typed
+//!    rejection), and no unknown id ever appears.
+//! 2. **No wedged lanes** — after the burst, a probe through each lane
+//!    still answers within a generous timeout.
+//! 3. **Stats add up** — after a drain shutdown, `admitted` equals
+//!    `completed`: nothing was dropped and nothing was double-counted.
+//! 4. **Deterministic answers survive chaos** — repeats of the same
+//!    exact query against the same database version return
+//!    byte-identical rows whenever both runs completed exactly.
+//! 5. **Faults actually fired** — when the plan injects worker panics
+//!    or lock poisoning, the server must have isolated at least one
+//!    (a plan that never fires would make the other checks vacuous).
+
+use crate::proto::{Outcome, Request, RequestBody, Response};
+use crate::server::{Rejection, Server, ServerConfig, ShutdownMode, Stats};
+use cspdb_core::{Budget, FaultPlan, FaultSite};
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// How long the doctor waits for any single expected event before
+/// declaring the service wedged. Generous: on an unloaded machine the
+/// real latencies are microseconds.
+const WEDGE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Tuning for [`run_doctor`].
+#[derive(Debug, Clone)]
+pub struct DoctorConfig {
+    /// Data-plane requests to generate (puts come on top).
+    pub requests: usize,
+    /// Workload RNG seed (also seeds the fault plan unless the plan
+    /// carries its own).
+    pub seed: u64,
+    /// The faults to inject while the workload runs.
+    pub plan: FaultPlan,
+    /// Normal-lane workers.
+    pub workers: usize,
+    /// Heavy-lane workers.
+    pub heavy_workers: usize,
+}
+
+impl Default for DoctorConfig {
+    fn default() -> Self {
+        Self {
+            requests: 200,
+            seed: 7,
+            plan: FaultPlan::default()
+                .with_seed(7)
+                .with_period(FaultSite::WorkerPanic, 5)
+                .with_period(FaultSite::LockPoison, 9)
+                .with_period(FaultSite::SlowDown, 11)
+                .with_slow_down(Duration::from_millis(1))
+                .with_period(FaultSite::WireTruncate, 17)
+                .with_period(FaultSite::WireCorrupt, 13)
+                .with_period(FaultSite::QueueFull, 6),
+            workers: 2,
+            heavy_workers: 1,
+        }
+    }
+}
+
+/// What [`run_doctor`] observed.
+#[derive(Debug, Clone)]
+pub struct DoctorReport {
+    /// Requests submitted to the server (post-mangling survivors).
+    pub submitted: u64,
+    /// Wire lines the doctor mangled (truncated or corrupted).
+    pub mangled: u64,
+    /// Mangled lines the parser rejected cleanly (no submission).
+    pub parse_rejects: u64,
+    /// Responses received, by status.
+    pub by_status: Vec<(&'static str, u64)>,
+    /// Faults the injector actually fired, by site name.
+    pub injected: Vec<(&'static str, u64)>,
+    /// The server's final stats snapshot.
+    pub stats: Stats,
+    /// Invariant violations. Empty means the service is healthy.
+    pub violations: Vec<String>,
+}
+
+impl DoctorReport {
+    /// True when no invariant was violated.
+    pub fn healthy(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the report for the CLI.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "doctor: {} submitted, {} wire-mangled ({} parse-rejected)\n",
+            self.submitted, self.mangled, self.parse_rejects
+        ));
+        out.push_str("responses:");
+        for (status, n) in &self.by_status {
+            out.push_str(&format!(" {status}={n}"));
+        }
+        out.push('\n');
+        out.push_str("injected:");
+        for (site, n) in &self.injected {
+            out.push_str(&format!(" {site}={n}"));
+        }
+        out.push('\n');
+        out.push_str(&format!(
+            "stats: admitted={} rejected={} completed={} unknown={} \
+             panics={} poisoned={} expired={} degraded={} hit_rate={:.2}\n",
+            self.stats.admitted,
+            self.stats.rejected,
+            self.stats.completed,
+            self.stats.unknown,
+            self.stats.panics,
+            self.stats.poisoned,
+            self.stats.expired,
+            self.stats.degraded,
+            self.stats.hit_rate,
+        ));
+        if self.healthy() {
+            out.push_str("verdict: healthy — every invariant held\n");
+        } else {
+            out.push_str(&format!(
+                "verdict: {} violation(s)\n",
+                self.violations.len()
+            ));
+            for v in &self.violations {
+                out.push_str(&format!("  - {v}\n"));
+            }
+        }
+        out
+    }
+}
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// A seeded random digraph's facts source.
+fn random_facts(rng: &mut XorShift, nodes: u64, edges: usize) -> String {
+    let mut out = String::new();
+    for _ in 0..edges {
+        out.push_str(&format!("E {} {}\n", rng.below(nodes), rng.below(nodes)));
+    }
+    out
+}
+
+/// The query pool: repeats are intentional (they exercise the cache
+/// and the byte-identity check); the multi-join shapes exceed a small
+/// heavy threshold, single atoms stay cheap.
+const QUERIES: [&str; 6] = [
+    "Q(X,Y) :- E(X,Y)",
+    "Q(X) :- E(X,X)",
+    "Q(X,Y) :- E(X,Z), E(Z,Y)",
+    "Q(A,B) :- E(W,B), E(A,W)",
+    "Q(X,Y) :- E(X,Z), E(Z,W), E(W,Y)",
+    "Q(X) :- E(X,Y), E(Y,X)",
+];
+
+fn workload_body(rng: &mut XorShift) -> RequestBody {
+    match rng.below(10) {
+        0..=6 => RequestBody::Cq {
+            db: if rng.below(4) == 0 { "h" } else { "g" }.to_owned(),
+            query: QUERIES[rng.below(QUERIES.len() as u64) as usize].to_owned(),
+        },
+        7..=8 => RequestBody::Contain {
+            q1: QUERIES[rng.below(QUERIES.len() as u64) as usize].to_owned(),
+            q2: QUERIES[rng.below(QUERIES.len() as u64) as usize].to_owned(),
+        },
+        _ => RequestBody::Solve {
+            a: "g".to_owned(),
+            b: "h".to_owned(),
+        },
+    }
+}
+
+/// Renders `request` to its wire line — the doctor goes through the
+/// real wire format so parser robustness is part of the replay.
+fn wire_line(request: &Request) -> String {
+    use crate::json::escape;
+    let mut s = format!("{{\"id\":{}", request.id);
+    if let Some(ms) = request.deadline_ms {
+        s.push_str(&format!(",\"deadline_ms\":{ms}"));
+    }
+    match &request.body {
+        RequestBody::Put { db, facts } => s.push_str(&format!(
+            ",\"op\":\"put\",\"db\":\"{}\",\"facts\":\"{}\"",
+            escape(db),
+            escape(facts)
+        )),
+        RequestBody::Cq { db, query } => s.push_str(&format!(
+            ",\"op\":\"cq\",\"db\":\"{}\",\"query\":\"{}\"",
+            escape(db),
+            escape(query)
+        )),
+        RequestBody::Contain { q1, q2 } => s.push_str(&format!(
+            ",\"op\":\"contain\",\"q1\":\"{}\",\"q2\":\"{}\"",
+            escape(q1),
+            escape(q2)
+        )),
+        RequestBody::Solve { a, b } => s.push_str(&format!(
+            ",\"op\":\"solve\",\"a\":\"{}\",\"b\":\"{}\"",
+            escape(a),
+            escape(b)
+        )),
+        RequestBody::Stats => s.push_str(",\"op\":\"stats\""),
+    }
+    s.push('}');
+    s
+}
+
+/// Replays the fault-laden workload and checks every invariant. See
+/// the module docs for the list.
+pub fn run_doctor(config: &DoctorConfig) -> DoctorReport {
+    // Injected panics are expected and caught; keep them out of stderr
+    // so the report stays readable. Real panics still print.
+    cspdb_core::silence_injected_panics();
+    let mut violations: Vec<String> = Vec::new();
+    // Tight knobs on purpose: small queues and a low heavy threshold
+    // make overload, degradation, and shedding actually happen.
+    let budget = Budget::unlimited()
+        .with_tuple_limit(200_000)
+        .with_faults(config.plan.clone());
+    let faults = budget.faults().clone();
+    let server = Server::start(ServerConfig {
+        workers: config.workers.max(1),
+        heavy_workers: config.heavy_workers.max(1),
+        queue_depth: 8,
+        heavy_queue_depth: 2,
+        heavy_threshold: 50,
+        cache_enabled: true,
+        global_budget: budget,
+        trace: None,
+        exec_hook: None,
+    });
+
+    // Seed two small databases through the real control plane.
+    let mut rng = XorShift::new(config.seed);
+    for (name, nodes, edges) in [("g", 12, 40), ("h", 8, 20)] {
+        let facts = random_facts(&mut rng, nodes, edges);
+        let response = server
+            .submit(Request::new(
+                0,
+                RequestBody::Put {
+                    db: name.to_owned(),
+                    facts,
+                },
+            ))
+            .map(|t| t.wait());
+        if !matches!(
+            response.as_ref().map(|r| &r.outcome),
+            Ok(Outcome::Put { .. })
+        ) {
+            violations.push(format!("put \"{name}\" failed: {response:?}"));
+        }
+    }
+
+    // Generate the workload up front (ids 1..=N), render each request
+    // to its wire line, and let the plan's wire faults mangle some.
+    let mut lines: Vec<String> = Vec::new();
+    let mut mangled = 0u64;
+    for id in 1..=config.requests as u64 {
+        let mut request = Request::new(id, workload_body(&mut rng));
+        request.deadline_ms = match rng.below(8) {
+            0 => Some(0),      // doomed: expires at dequeue
+            1 => Some(10_000), // generous: never expires
+            _ => None,
+        };
+        let mut line = wire_line(&request);
+        if faults.fire(FaultSite::WireTruncate) {
+            line.truncate(line.len() - 1 - (rng.below(line.len() as u64 / 2) as usize));
+            mangled += 1;
+        } else if faults.fire(FaultSite::WireCorrupt) {
+            let mut bytes = line.into_bytes();
+            let i = (rng.below(bytes.len() as u64)) as usize;
+            bytes[i] ^= 0x20;
+            line = String::from_utf8_lossy(&bytes).into_owned();
+            mangled += 1;
+        }
+        lines.push(line);
+    }
+
+    // Parse the (possibly mangled) lines like the front end would: a
+    // clean parse error is answered in-band and never submitted.
+    let mut parse_rejects = 0u64;
+    let survivors: Vec<Request> = lines
+        .iter()
+        .filter_map(|line| match Request::parse(line) {
+            Ok(r) => Some(r),
+            Err(_) => {
+                parse_rejects += 1;
+                None
+            }
+        })
+        .collect();
+    let submitted = survivors.len() as u64;
+
+    // Saturation burst: several client threads shove their share of
+    // the workload in as fast as possible, multiplexing every response
+    // (and every typed rejection) onto one channel — exactly-once
+    // answering is checked over that stream. Overloads are retried a
+    // few times honouring the server's `retry_after_ms` hint, like a
+    // well-behaved client; the final rejection (if any) is answered
+    // in-band so every id still yields exactly one response.
+    let (tx, rx) = mpsc::channel::<Response>();
+    let expected: Vec<u64> = survivors.iter().map(|r| r.id).collect();
+    std::thread::scope(|scope| {
+        for chunk in survivors.chunks(survivors.len().div_ceil(4).max(1)) {
+            let tx = tx.clone();
+            let server = &server;
+            scope.spawn(move || {
+                for request in chunk.iter() {
+                    let id = request.id;
+                    let mut attempts = 0u32;
+                    loop {
+                        match server.submit_to(request.clone(), tx.clone()) {
+                            Ok(()) => break,
+                            Err(Rejection::Overloaded { retry_after_ms, .. }) if attempts < 8 => {
+                                attempts += 1;
+                                std::thread::sleep(Duration::from_millis(
+                                    retry_after_ms.clamp(1, 20),
+                                ));
+                            }
+                            Err(rejection) => {
+                                let _ = tx.send(rejection.into_response(id));
+                                break;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    drop(tx);
+
+    // Invariant 1: every submitted id answered exactly once, no id
+    // invented. A recv gap of WEDGE_TIMEOUT means answers stopped
+    // arriving with requests still unanswered.
+    let mut answered: HashMap<u64, u64> = HashMap::new();
+    let mut by_status: HashMap<&'static str, u64> = HashMap::new();
+    let mut exact_rows: HashMap<u64, String> = HashMap::new();
+    let mut received = 0u64;
+    while received < submitted {
+        match rx.recv_timeout(WEDGE_TIMEOUT) {
+            Ok(response) => {
+                received += 1;
+                *answered.entry(response.id).or_insert(0) += 1;
+                *by_status.entry(response.status()).or_insert(0) += 1;
+                if let Outcome::Answers {
+                    rows,
+                    approximate: false,
+                    ..
+                } = &response.outcome
+                {
+                    exact_rows.insert(response.id, rows.clone());
+                }
+            }
+            Err(_) => {
+                violations.push(format!(
+                    "answers stalled: {received}/{submitted} received, then \
+                     nothing for {WEDGE_TIMEOUT:?}"
+                ));
+                break;
+            }
+        }
+    }
+    for id in &expected {
+        match answered.get(id) {
+            Some(1) => {}
+            Some(n) => violations.push(format!("request {id} answered {n} times")),
+            None => violations.push(format!("request {id} never answered")),
+        }
+    }
+    for (id, n) in &answered {
+        if !expected.contains(id) {
+            violations.push(format!("unsubmitted id {id} answered {n} times"));
+        }
+    }
+
+    // Invariant 4 proper: identical wire requests (same id space is
+    // per-request, so key by query text) with exact answers agree.
+    let mut canonical: HashMap<(String, String), String> = HashMap::new();
+    for (request, rows) in survivors.iter().filter_map(|r| {
+        let rows = exact_rows.get(&r.id)?;
+        match &r.body {
+            RequestBody::Cq { db, query } => Some(((db.clone(), query.clone()), rows.clone())),
+            _ => None,
+        }
+    }) {
+        if let Some(prev) = canonical.insert(request.clone(), rows.clone()) {
+            if prev != rows {
+                violations.push(format!(
+                    "non-deterministic answers for {request:?}: {prev} vs {rows}"
+                ));
+            }
+        }
+    }
+
+    // Invariant 2: both lanes still answer a probe — no wedged lane.
+    let probes = [
+        (
+            "normal",
+            RequestBody::Cq {
+                db: "g".to_owned(),
+                query: "Q(X) :- E(X,X)".to_owned(),
+            },
+        ),
+        (
+            "heavy",
+            RequestBody::Contain {
+                q1: "Q(X,Y) :- E(X,Y)".to_owned(),
+                q2: "Q(X,Y) :- E(X,Z), E(Z,Y)".to_owned(),
+            },
+        ),
+    ];
+    for (lane, body) in probes {
+        // Overload (including a forced queue-full fault) is a valid
+        // answer from a live lane — retry through it; only silence or
+        // persistent rejection of an idle server is a wedge.
+        let mut attempts = 0u32;
+        loop {
+            match server.submit(Request::new(u64::MAX, body.clone())) {
+                Ok(ticket) => {
+                    if ticket.wait_timeout(WEDGE_TIMEOUT).is_none() {
+                        violations.push(format!("{lane} lane wedged: probe unanswered"));
+                    }
+                    break;
+                }
+                Err(Rejection::Overloaded { retry_after_ms, .. }) if attempts < 20 => {
+                    attempts += 1;
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.clamp(1, 20)));
+                }
+                Err(rejection) => {
+                    violations.push(format!("{lane} lane probe rejected: {rejection:?}"));
+                    break;
+                }
+            }
+        }
+    }
+
+    server.shutdown(ShutdownMode::Drain);
+    let stats = server.stats();
+
+    // Invariant 3: stats add up — everything admitted completed.
+    if stats.admitted != stats.completed {
+        violations.push(format!(
+            "stats leak: admitted={} but completed={}",
+            stats.admitted, stats.completed
+        ));
+    }
+
+    // Invariant 5: a plan that injects panics/poison must have fired,
+    // and the server must have survived them (we got here, but insist
+    // the counters saw them too).
+    if config.plan.period(FaultSite::WorkerPanic) > 0 && stats.panics == 0 {
+        violations.push("panic injection configured but no panic was isolated".into());
+    }
+    // Per-lane: the server panics on stream `lane index`, so a large
+    // enough workload must have hit both lanes (skip the check for
+    // tiny runs where a lane may legitimately see too few jobs).
+    if config.plan.period(FaultSite::WorkerPanic) > 0 && config.requests >= 100 {
+        for (lane, name) in [(0usize, "normal"), (1, "heavy")] {
+            if faults.injected_in(FaultSite::WorkerPanic, lane) == 0 {
+                violations.push(format!("no injected panic ever fired on the {name} lane"));
+            }
+        }
+    }
+    if config.plan.period(FaultSite::LockPoison) > 0 && stats.poisoned == 0 {
+        violations.push("lock poisoning configured but no poisoned lock was recovered".into());
+    }
+
+    let mut by_status: Vec<(&'static str, u64)> = by_status.into_iter().collect();
+    by_status.sort_unstable();
+    let injected: Vec<(&'static str, u64)> = FaultSite::all()
+        .into_iter()
+        .map(|site| (site.name(), faults.injected(site)))
+        .collect();
+    DoctorReport {
+        submitted,
+        mangled,
+        parse_rejects,
+        by_status,
+        injected,
+        stats,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doctor_is_healthy_under_the_default_fault_plan() {
+        let report = run_doctor(&DoctorConfig {
+            requests: 120,
+            ..DoctorConfig::default()
+        });
+        assert!(
+            report.healthy(),
+            "violations: {:?}\n{}",
+            report.violations,
+            report.render()
+        );
+        // The plan really injected chaos: at least one isolated panic
+        // and one recovered poisoning.
+        assert!(report.stats.panics >= 1);
+        assert!(report.stats.poisoned >= 1);
+        assert!(report.mangled >= 1);
+    }
+
+    #[test]
+    fn doctor_with_no_faults_is_healthy_and_injects_nothing() {
+        let report = run_doctor(&DoctorConfig {
+            requests: 60,
+            plan: FaultPlan::none(),
+            ..DoctorConfig::default()
+        });
+        assert!(report.healthy(), "{}", report.render());
+        assert!(report.injected.iter().all(|(_, n)| *n == 0));
+        assert_eq!(report.mangled, 0);
+    }
+}

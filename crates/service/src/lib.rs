@@ -25,6 +25,16 @@
 //!   when someone submits a hard instance. Full lanes reject with a
 //!   typed [`Rejection::Overloaded`] instead of queueing unboundedly.
 //!
+//! The service is hardened against the faults
+//! [`FaultPlan`](cspdb_core::FaultPlan) can inject (and their
+//! real-world counterparts): worker panics are isolated with
+//! `catch_unwind` (typed internal error, surviving worker), poisoned
+//! locks are recovered and counted, per-request deadlines shed
+//! doomed work at admission *and* at dequeue, and a saturated heavy
+//! lane degrades CQ requests to a budget-sliced cheap tier before
+//! rejecting. The [`doctor`] module replays a fault-laden workload
+//! against an in-process server and reports invariant violations.
+//!
 //! [`Budget`]: cspdb_core::Budget
 
 #![forbid(unsafe_code)]
@@ -32,12 +42,14 @@
 
 mod cache;
 mod catalog;
+pub mod doctor;
 mod json;
 mod proto;
 mod server;
 
 pub use cache::{invariant_hash, CacheKey, SemanticCache};
 pub use catalog::{parse_facts, Catalog};
+pub use doctor::{run_doctor, DoctorConfig, DoctorReport};
 pub use json::{escape, parse_object, JsonValue};
-pub use proto::{relation_to_json, Outcome, Request, RequestBody, Response};
+pub use proto::{relation_to_json, retry_with_backoff, Outcome, Request, RequestBody, Response};
 pub use server::{ExecHook, Rejection, Server, ServerConfig, ShutdownMode, Stats, Ticket};

@@ -70,9 +70,23 @@ pub struct Request {
     pub id: u64,
     /// The operation.
     pub body: RequestBody,
+    /// Optional client deadline in milliseconds, measured from
+    /// admission. The server sheds requests it cannot serve in time
+    /// (at admission by estimate, at dequeue by clock) with status
+    /// `expired` instead of executing them late.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Request {
+    /// A request with no deadline.
+    pub fn new(id: u64, body: RequestBody) -> Request {
+        Request {
+            id,
+            body,
+            deadline_ms: None,
+        }
+    }
+
     /// Parses one JSONL request line.
     ///
     /// # Errors
@@ -85,6 +99,11 @@ impl Request {
             Some(JsonValue::Num(n)) => *n,
             Some(_) => return Err("\"id\" must be a nonnegative integer".into()),
             None => return Err("missing \"id\"".into()),
+        };
+        let deadline_ms = match map.get("deadline_ms") {
+            Some(JsonValue::Num(n)) => Some(*n),
+            Some(_) => return Err("\"deadline_ms\" must be a nonnegative integer".into()),
+            None => None,
         };
         let get = |key: &str| -> Result<String, String> {
             map.get(key)
@@ -113,7 +132,11 @@ impl Request {
             "stats" => RequestBody::Stats,
             other => return Err(format!("unknown op \"{other}\"")),
         };
-        Ok(Request { id, body })
+        Ok(Request {
+            id,
+            body,
+            deadline_ms,
+        })
     }
 }
 
@@ -128,6 +151,10 @@ pub enum Outcome {
         rows: String,
         /// True when served from the semantic cache.
         cached: bool,
+        /// True when the heavy lane was saturated and the server
+        /// degraded the request to a budget-sliced cheap tier: the
+        /// evaluation was bounded, so the answer may be incomplete.
+        approximate: bool,
     },
     /// Containment verdicts for a `contain` request.
     Contains {
@@ -165,7 +192,27 @@ pub enum Outcome {
     Overloaded {
         /// Which lane rejected it (`"normal"`/`"heavy"`).
         lane: &'static str,
+        /// Server hint: how long to wait before retrying, in
+        /// milliseconds (0 = no hint; omitted from the JSON).
+        retry_after_ms: u64,
     },
+    /// The request's deadline passed before it could be executed; it
+    /// was shed (at admission by estimate or at dequeue by clock)
+    /// rather than served late.
+    Expired {
+        /// How long the request had waited when it was shed, in
+        /// milliseconds.
+        waited_ms: u64,
+    },
+    /// The worker executing the request panicked; the panic was
+    /// isolated and the worker survived.
+    InternalError {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// The worker dropped the reply channel without answering (it
+    /// died in a way panic isolation could not catch).
+    WorkerLost,
     /// The request could not be executed (parse error, unknown
     /// database, predicate mismatch, shutdown, ...).
     Error {
@@ -192,7 +239,8 @@ impl Response {
         match self.outcome {
             Outcome::Unknown { .. } => "unknown",
             Outcome::Overloaded { .. } => "overloaded",
-            Outcome::Error { .. } => "error",
+            Outcome::Expired { .. } => "expired",
+            Outcome::Error { .. } | Outcome::InternalError { .. } | Outcome::WorkerLost => "error",
             _ => "ok",
         }
     }
@@ -201,8 +249,15 @@ impl Response {
     pub fn to_json(&self) -> String {
         let mut s = format!("{{\"id\":{},\"status\":\"{}\"", self.id, self.status());
         match &self.outcome {
-            Outcome::Answers { rows, cached } => {
+            Outcome::Answers {
+                rows,
+                cached,
+                approximate,
+            } => {
                 s.push_str(&format!(",\"cached\":{cached},\"answers\":{rows}"));
+                if *approximate {
+                    s.push_str(",\"approximate\":true");
+                }
             }
             Outcome::Contains { forward, backward } => {
                 s.push_str(&format!(
@@ -226,8 +281,26 @@ impl Response {
             Outcome::Unknown { reason } => {
                 s.push_str(&format!(",\"reason\":\"{}\"", escape(reason)));
             }
-            Outcome::Overloaded { lane } => {
+            Outcome::Overloaded {
+                lane,
+                retry_after_ms,
+            } => {
                 s.push_str(&format!(",\"lane\":\"{}\"", escape(lane)));
+                if *retry_after_ms > 0 {
+                    s.push_str(&format!(",\"retry_after_ms\":{retry_after_ms}"));
+                }
+            }
+            Outcome::Expired { waited_ms } => {
+                s.push_str(&format!(",\"waited_ms\":{waited_ms}"));
+            }
+            Outcome::InternalError { message } => {
+                s.push_str(&format!(
+                    ",\"kind\":\"internal\",\"message\":\"{}\"",
+                    escape(message)
+                ));
+            }
+            Outcome::WorkerLost => {
+                s.push_str(",\"kind\":\"worker_lost\",\"message\":\"worker dropped the request\"");
             }
             Outcome::Error { message } => {
                 s.push_str(&format!(",\"message\":\"{}\"", escape(message)));
@@ -239,6 +312,38 @@ impl Response {
         s.push('}');
         s
     }
+}
+
+/// Client-side retry loop for `overloaded` responses.
+///
+/// Calls `attempt` up to `max_attempts` times. Any response other than
+/// [`Outcome::Overloaded`] is returned immediately. On overload the
+/// helper waits via `sleep` — honouring the server's `retry_after_ms`
+/// hint when present, falling back to exponential backoff
+/// (10ms · 2^attempt) when the server gave none — and tries again. The
+/// final overloaded response is returned when every attempt was
+/// rejected. `sleep` is injectable so tests (and the doctor harness)
+/// can run the policy without real waiting.
+pub fn retry_with_backoff(
+    mut attempt: impl FnMut() -> Response,
+    max_attempts: u32,
+    mut sleep: impl FnMut(std::time::Duration),
+) -> Response {
+    let mut last = attempt();
+    for tried in 1..max_attempts {
+        let hint = match last.outcome {
+            Outcome::Overloaded { retry_after_ms, .. } => retry_after_ms,
+            _ => return last,
+        };
+        let wait_ms = if hint > 0 {
+            hint
+        } else {
+            10u64.saturating_mul(1 << tried.min(10))
+        };
+        sleep(std::time::Duration::from_millis(wait_ms));
+        last = attempt();
+    }
+    last
 }
 
 /// Serialises an answer relation as a deterministic JSON array of rows:
@@ -288,6 +393,7 @@ mod tests {
             outcome: Outcome::Answers {
                 rows: "[[0,2]]".into(),
                 cached: true,
+                approximate: false,
             },
             micros: 42,
         };
@@ -297,7 +403,10 @@ mod tests {
         );
         let over = Response {
             id: 9,
-            outcome: Outcome::Overloaded { lane: "heavy" },
+            outcome: Outcome::Overloaded {
+                lane: "heavy",
+                retry_after_ms: 0,
+            },
             micros: 0,
         };
         assert_eq!(
@@ -312,6 +421,128 @@ mod tests {
             micros: 0,
         };
         assert_eq!(unk.status(), "unknown");
+    }
+
+    #[test]
+    fn robustness_outcomes_serialise() {
+        let hinted = Response {
+            id: 9,
+            outcome: Outcome::Overloaded {
+                lane: "heavy",
+                retry_after_ms: 25,
+            },
+            micros: 0,
+        };
+        assert_eq!(
+            hinted.to_json(),
+            r#"{"id":9,"status":"overloaded","lane":"heavy","retry_after_ms":25}"#
+        );
+        let approx = Response {
+            id: 4,
+            outcome: Outcome::Answers {
+                rows: "[]".into(),
+                cached: false,
+                approximate: true,
+            },
+            micros: 0,
+        };
+        assert_eq!(
+            approx.to_json(),
+            r#"{"id":4,"status":"ok","cached":false,"answers":[],"approximate":true}"#
+        );
+        let expired = Response {
+            id: 7,
+            outcome: Outcome::Expired { waited_ms: 12 },
+            micros: 0,
+        };
+        assert_eq!(
+            expired.to_json(),
+            r#"{"id":7,"status":"expired","waited_ms":12}"#
+        );
+        let internal = Response {
+            id: 8,
+            outcome: Outcome::InternalError {
+                message: "boom".into(),
+            },
+            micros: 0,
+        };
+        assert_eq!(
+            internal.to_json(),
+            r#"{"id":8,"status":"error","kind":"internal","message":"boom"}"#
+        );
+        let lost = Response {
+            id: 2,
+            outcome: Outcome::WorkerLost,
+            micros: 0,
+        };
+        assert_eq!(
+            lost.to_json(),
+            r#"{"id":2,"status":"error","kind":"worker_lost","message":"worker dropped the request"}"#
+        );
+    }
+
+    #[test]
+    fn deadlines_parse_and_default_to_none() {
+        let r = Request::parse(r#"{"id":1,"op":"stats","deadline_ms":250}"#).unwrap();
+        assert_eq!(r.deadline_ms, Some(250));
+        let r = Request::parse(r#"{"id":1,"op":"stats"}"#).unwrap();
+        assert_eq!(r.deadline_ms, None);
+        assert!(Request::parse(r#"{"id":1,"op":"stats","deadline_ms":"soon"}"#).is_err());
+    }
+
+    #[test]
+    fn retry_honours_hint_then_falls_back_to_exponential() {
+        let overloaded = |hint: u64| Response {
+            id: 1,
+            outcome: Outcome::Overloaded {
+                lane: "normal",
+                retry_after_ms: hint,
+            },
+            micros: 0,
+        };
+        let ok = Response {
+            id: 1,
+            outcome: Outcome::Stats { json: "{}".into() },
+            micros: 1,
+        };
+        // Hinted overload, unhinted overload, then success: the sleeps
+        // must be the hint (25ms) then the exponential fallback (40ms
+        // for attempt 2).
+        let script = vec![overloaded(25), overloaded(0), ok.clone()];
+        let mut calls = script.into_iter();
+        let mut slept = Vec::new();
+        let got = retry_with_backoff(
+            || calls.next().unwrap(),
+            5,
+            |d| slept.push(d.as_millis() as u64),
+        );
+        assert_eq!(got, ok);
+        assert_eq!(slept, vec![25, 40]);
+        // Persistent overload: exactly max_attempts calls, final
+        // overloaded response returned.
+        let mut count = 0;
+        let got = retry_with_backoff(
+            || {
+                count += 1;
+                overloaded(1)
+            },
+            3,
+            |_| {},
+        );
+        assert_eq!(count, 3);
+        assert!(matches!(got.outcome, Outcome::Overloaded { .. }));
+        // A non-overloaded response returns immediately, no sleeping.
+        let mut count = 0;
+        let got = retry_with_backoff(
+            || {
+                count += 1;
+                ok.clone()
+            },
+            5,
+            |_| panic!("must not sleep"),
+        );
+        assert_eq!(count, 1);
+        assert_eq!(got, ok);
     }
 
     #[test]

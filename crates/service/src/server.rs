@@ -28,16 +28,18 @@ use crate::cache::{CacheKey, SemanticCache};
 use crate::catalog::{parse_facts, Catalog};
 use crate::proto::{relation_to_json, Outcome, Request, RequestBody, Response};
 use cspdb_core::budget::{Budget, CancelToken};
+use cspdb_core::faults::{FaultHandle, FaultSite};
 use cspdb_core::trace::{TraceEvent, TraceSink, Tracer};
 use cspdb_core::{Answer, Structure, VocabularyBuilder};
 use cspdb_cq::{evaluate_by_join_budgeted, is_contained_in, ConjunctiveQuery, CqEvalError};
 use cspdb_relalg::{plan_join_order, NamedRelation};
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Instrumentation callback run at the start of each queued request's
 /// execution (see [`ServerConfig::exec_hook`]).
@@ -101,7 +103,13 @@ pub enum Rejection {
     Overloaded {
         /// The lane that was full.
         lane: &'static str,
+        /// Hint: estimated milliseconds until a slot frees up (0 when
+        /// the server has no estimate yet).
+        retry_after_ms: u64,
     },
+    /// The request carried a `deadline_ms` the server estimated it
+    /// could not meet, so it was shed at admission instead of queued.
+    Expired,
     /// The server is shutting down and no longer accepts requests.
     ShuttingDown,
 }
@@ -110,7 +118,14 @@ impl Rejection {
     /// The response line a front end should write for the rejected id.
     pub fn into_response(self, id: u64) -> Response {
         let outcome = match self {
-            Rejection::Overloaded { lane } => Outcome::Overloaded { lane },
+            Rejection::Overloaded {
+                lane,
+                retry_after_ms,
+            } => Outcome::Overloaded {
+                lane,
+                retry_after_ms,
+            },
+            Rejection::Expired => Outcome::Expired { waited_ms: 0 },
             Rejection::ShuttingDown => Outcome::Error {
                 message: "shutting down".into(),
             },
@@ -143,15 +158,31 @@ pub struct Ticket {
 }
 
 impl Ticket {
-    /// Blocks until the response arrives.
+    /// Blocks until the response arrives. If the worker died without
+    /// answering (the reply channel was dropped), the response is the
+    /// typed [`Outcome::WorkerLost`] carrying the original request id —
+    /// callers can still correlate it.
     pub fn wait(self) -> Response {
-        self.rx.recv().unwrap_or_else(|_| Response {
+        self.rx.recv().unwrap_or(Response {
             id: self.id,
-            outcome: Outcome::Error {
-                message: "server dropped the request".into(),
-            },
+            outcome: Outcome::WorkerLost,
             micros: 0,
         })
+    }
+
+    /// [`Ticket::wait`] with an upper bound: `None` when no response
+    /// arrived within `timeout` (the doctor uses this to detect wedged
+    /// lanes without hanging itself).
+    pub fn wait_timeout(self, timeout: Duration) -> Option<Response> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(response) => Some(response),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Response {
+                id: self.id,
+                outcome: Outcome::WorkerLost,
+                micros: 0,
+            }),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+        }
     }
 }
 
@@ -176,6 +207,18 @@ pub struct Stats {
     pub p99_micros: u64,
     /// `cache_hits / (cache_hits + cache_misses)`, 0 when no lookups.
     pub hit_rate: f64,
+    /// Worker panics isolated by `catch_unwind` (the worker survived
+    /// and the request answered with a typed internal error).
+    pub panics: u64,
+    /// Poisoned locks recovered (lane/latency/thread-list mutexes plus
+    /// cache and catalog recoveries).
+    pub poisoned: u64,
+    /// Requests shed because their deadline passed (at admission by
+    /// estimate or at dequeue by clock).
+    pub expired: u64,
+    /// Heavy-lane CQ requests degraded to the budget-sliced cheap tier
+    /// instead of being rejected.
+    pub degraded: u64,
 }
 
 impl Stats {
@@ -184,7 +227,8 @@ impl Stats {
         format!(
             "{{\"admitted\":{},\"rejected\":{},\"completed\":{},\"unknown\":{},\
              \"cache_hits\":{},\"cache_misses\":{},\"hit_rate\":{:.4},\
-             \"p50_micros\":{},\"p99_micros\":{}}}",
+             \"p50_micros\":{},\"p99_micros\":{},\
+             \"panics\":{},\"poisoned\":{},\"expired\":{},\"degraded\":{}}}",
             self.admitted,
             self.rejected,
             self.completed,
@@ -193,7 +237,11 @@ impl Stats {
             self.cache_misses,
             self.hit_rate,
             self.p50_micros,
-            self.p99_micros
+            self.p99_micros,
+            self.panics,
+            self.poisoned,
+            self.expired,
+            self.degraded
         )
     }
 }
@@ -202,6 +250,11 @@ struct Job {
     request: Request,
     tx: mpsc::Sender<Response>,
     admitted_at: Instant,
+    /// Absolute shed point derived from the request's `deadline_ms`.
+    deadline: Option<Instant>,
+    /// True when the heavy lane was full and this CQ was re-routed to
+    /// the normal lane's budget-sliced cheap tier.
+    degraded: bool,
 }
 
 struct Lane {
@@ -226,6 +279,10 @@ struct Counters {
     rejected: AtomicU64,
     completed: AtomicU64,
     unknown: AtomicU64,
+    panics: AtomicU64,
+    poisoned: AtomicU64,
+    expired: AtomicU64,
+    degraded: AtomicU64,
 }
 
 struct Inner {
@@ -239,10 +296,31 @@ struct Inner {
     server_token: CancelToken,
     request_budget: Budget,
     tracer: Tracer,
+    faults: FaultHandle,
     counters: Counters,
     latencies: Mutex<Vec<u64>>,
+    /// Exponentially-weighted moving average of service latency in
+    /// microseconds (`ewma ← ewma·7/8 + sample/8`); 0 until the first
+    /// completion. Drives the admission-time wait estimate and the
+    /// `retry_after_ms` hint without sorting the latency vector.
+    ewma_micros: AtomicU64,
     inflight: AtomicU64,
     exec_hook: Option<ExecHook>,
+}
+
+/// Locks `m`, recovering from poison: a worker that panicked while
+/// holding the lock leaves the protected data structurally intact (see
+/// each call site for why), so we count the event, clear the poison
+/// flag, and continue with the guard.
+fn lock_recover<'a, T>(m: &'a Mutex<T>, counters: &Counters) -> MutexGuard<'a, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            counters.poisoned.fetch_add(1, Ordering::Relaxed);
+            m.clear_poison();
+            poisoned.into_inner()
+        }
+    }
 }
 
 /// The running service. Dropping the server shuts it down in
@@ -271,6 +349,7 @@ impl Server {
             .global_budget
             .slice(1, (workers + heavy_workers) as u64)
             .with_tracer(tracer.clone());
+        let faults = config.global_budget.faults().clone();
         let inner = Arc::new(Inner {
             catalog: Catalog::new(),
             cache: SemanticCache::new(),
@@ -285,8 +364,10 @@ impl Server {
             server_token,
             request_budget,
             tracer,
+            faults,
             counters: Counters::default(),
             latencies: Mutex::new(Vec::new()),
+            ewma_micros: AtomicU64::new(0),
             inflight: AtomicU64::new(0),
             exec_hook: config.exec_hook,
         });
@@ -358,32 +439,50 @@ impl Server {
             return Ok(());
         }
         let lane_idx = classify(inner, &request.body);
-        let lane = &inner.lanes[lane_idx];
         let lane_name = LANE_NAMES[lane_idx];
-        {
-            let mut queue = lane.queue.lock().expect("lane lock poisoned");
-            if queue.len() >= lane.depth {
-                drop(queue);
+        match try_enqueue(inner, lane_idx, request, tx, false) {
+            Ok(()) => {
+                inner.counters.admitted.fetch_add(1, Ordering::Relaxed);
+                inner.tracer.emit_with(|| TraceEvent::RequestAdmitted {
+                    id,
+                    lane: lane_name,
+                });
+                Ok(())
+            }
+            Err((_, _, Refusal::Expired)) => reject_expired(inner, id),
+            Err((request, tx, Refusal::Full)) => {
+                // Degrade-don't-reject: when the heavy lane is
+                // saturated, CQ work falls back to the normal lane's
+                // budget-sliced cheap tier before any typed rejection.
+                if lane_idx == HEAVY && matches!(request.body, RequestBody::Cq { .. }) {
+                    match try_enqueue(inner, NORMAL, request, tx, true) {
+                        Ok(()) => {
+                            inner.counters.degraded.fetch_add(1, Ordering::Relaxed);
+                            inner.counters.admitted.fetch_add(1, Ordering::Relaxed);
+                            inner
+                                .tracer
+                                .emit_with(|| TraceEvent::RequestDegraded { id });
+                            inner.tracer.emit_with(|| TraceEvent::RequestAdmitted {
+                                id,
+                                lane: LANE_NAMES[NORMAL],
+                            });
+                            return Ok(());
+                        }
+                        Err((_, _, Refusal::Expired)) => return reject_expired(inner, id),
+                        Err((_, _, Refusal::Full)) => {}
+                    }
+                }
                 inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
                 inner.tracer.emit_with(|| TraceEvent::RequestRejected {
                     id,
                     reason: format!("overloaded: {lane_name} lane full"),
                 });
-                return Err(Rejection::Overloaded { lane: lane_name });
+                Err(Rejection::Overloaded {
+                    lane: lane_name,
+                    retry_after_ms: retry_hint(inner),
+                })
             }
-            queue.push_back(Job {
-                request,
-                tx,
-                admitted_at: Instant::now(),
-            });
         }
-        lane.available.notify_one();
-        inner.counters.admitted.fetch_add(1, Ordering::Relaxed);
-        inner.tracer.emit_with(|| TraceEvent::RequestAdmitted {
-            id,
-            lane: lane_name,
-        });
-        Ok(())
     }
 
     /// A point-in-time [`Stats`] snapshot.
@@ -401,7 +500,7 @@ impl Server {
         let queued: u64 = inner
             .lanes
             .iter()
-            .map(|l| l.queue.lock().expect("lane lock poisoned").len() as u64)
+            .map(|l| lock_recover(&l.queue, &inner.counters).len() as u64)
             .sum();
         let inflight = inner.inflight.load(Ordering::SeqCst);
         inner
@@ -415,7 +514,7 @@ impl Server {
             lane.available.notify_all();
         }
         let threads: Vec<JoinHandle<()>> =
-            std::mem::take(&mut *self.threads.lock().expect("thread list poisoned"));
+            std::mem::take(&mut *lock_recover(&self.threads, &inner.counters));
         for t in threads {
             let _ = t.join();
         }
@@ -428,11 +527,85 @@ impl Drop for Server {
     }
 }
 
+/// What stopped [`try_enqueue`] from queueing a job.
+enum Refusal {
+    /// The lane's queue was at its depth bound (or a queue-full fault
+    /// fired).
+    Full,
+    /// The admission-time wait estimate exceeded the request deadline.
+    Expired,
+}
+
+/// Attempts to queue `request` on lane `lane_idx`, shedding
+/// deadline-doomed requests first: if `queued jobs × EWMA service
+/// time` already exceeds the request's `deadline_ms`, executing it
+/// would only waste a worker on an answer the client has given up on.
+/// Refusals hand the request and channel back so the caller can try a
+/// degraded placement.
+fn try_enqueue(
+    inner: &Inner,
+    lane_idx: usize,
+    request: Request,
+    tx: mpsc::Sender<Response>,
+    degraded: bool,
+) -> Result<(), (Request, mpsc::Sender<Response>, Refusal)> {
+    let lane = &inner.lanes[lane_idx];
+    let mut queue = lock_recover(&lane.queue, &inner.counters);
+    if let Some(deadline_ms) = request.deadline_ms {
+        let est_wait_ms = queue.len() as u64 * (inner.ewma_micros.load(Ordering::Relaxed) / 1000);
+        if est_wait_ms > deadline_ms {
+            drop(queue);
+            return Err((request, tx, Refusal::Expired));
+        }
+    }
+    if queue.len() >= lane.depth || inner.faults.fire(FaultSite::QueueFull) {
+        drop(queue);
+        return Err((request, tx, Refusal::Full));
+    }
+    let admitted_at = Instant::now();
+    let deadline = request
+        .deadline_ms
+        .map(|ms| admitted_at + Duration::from_millis(ms));
+    queue.push_back(Job {
+        request,
+        tx,
+        admitted_at,
+        deadline,
+        degraded,
+    });
+    drop(queue);
+    lane.available.notify_one();
+    Ok(())
+}
+
+fn reject_expired(inner: &Inner, id: u64) -> Result<(), Rejection> {
+    inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+    inner.counters.expired.fetch_add(1, Ordering::Relaxed);
+    inner.tracer.emit_with(|| TraceEvent::RequestExpired {
+        id,
+        at: "admission",
+        waited_micros: 0,
+    });
+    Err(Rejection::Expired)
+}
+
+/// The `retry_after_ms` hint for an overload rejection: one EWMA
+/// service time (a queue slot frees up about that often), clamped to
+/// [1, 1000]ms; 10ms before the first completion gives an estimate.
+fn retry_hint(inner: &Inner) -> u64 {
+    let ewma = inner.ewma_micros.load(Ordering::Relaxed);
+    if ewma == 0 {
+        10
+    } else {
+        (ewma / 1000 + 1).clamp(1, 1000)
+    }
+}
+
 fn worker_loop(inner: &Inner, lane_idx: usize) {
     let lane = &inner.lanes[lane_idx];
     loop {
         let job = {
-            let mut queue = lane.queue.lock().expect("lane lock poisoned");
+            let mut queue = lock_recover(&lane.queue, &inner.counters);
             loop {
                 if let Some(job) = queue.pop_front() {
                     break job;
@@ -440,24 +613,65 @@ fn worker_loop(inner: &Inner, lane_idx: usize) {
                 if inner.stopping.load(Ordering::SeqCst) {
                     return;
                 }
-                queue = lane.available.wait(queue).expect("lane lock poisoned");
+                queue = match lane.available.wait(queue) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => {
+                        inner.counters.poisoned.fetch_add(1, Ordering::Relaxed);
+                        lane.queue.clear_poison();
+                        poisoned.into_inner()
+                    }
+                };
             }
         };
         inner.inflight.fetch_add(1, Ordering::SeqCst);
-        execute(inner, job);
+        execute(inner, lane_idx, job);
         inner.inflight.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
-fn execute(inner: &Inner, job: Job) {
-    if let Some(hook) = &inner.exec_hook {
-        hook(&job.request);
+fn execute(inner: &Inner, lane_idx: usize, job: Job) {
+    let id = job.request.id;
+    // Dequeue-time deadline re-check: the admission estimate can be
+    // wrong; the clock is not. A request whose deadline passed while
+    // queued is shed here, never executed late.
+    if let Some(deadline) = job.deadline {
+        if Instant::now() >= deadline {
+            let waited_micros = job.admitted_at.elapsed().as_micros() as u64;
+            inner.counters.expired.fetch_add(1, Ordering::Relaxed);
+            inner.tracer.emit_with(|| TraceEvent::RequestExpired {
+                id,
+                at: "dequeue",
+                waited_micros,
+            });
+            let response = Response {
+                id,
+                outcome: Outcome::Expired {
+                    waited_ms: waited_micros / 1000,
+                },
+                micros: waited_micros,
+            };
+            record_completion(inner, &response, waited_micros);
+            let _ = job.tx.send(response);
+            return;
+        }
     }
     // Fresh child token per request: server-wide cancellation reaches
-    // it, completed requests don't accumulate cancel state.
-    let mut budget = inner.request_budget.clone();
+    // it, completed requests don't accumulate cancel state. Degraded
+    // requests run under an eighth of the per-request slice — the
+    // bounded cheap tier.
+    let mut budget = if job.degraded {
+        inner.request_budget.slice(1, 8)
+    } else {
+        inner.request_budget.clone()
+    };
     let token = inner.server_token.child();
     budget.cancel = Some(token.clone());
+    // The budget's wall-clock deadline is clamped to the request's
+    // remaining time, so execution observes the deadline too.
+    if let Some(deadline) = job.deadline {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        budget.deadline = Some(budget.deadline.map_or(remaining, |d| d.min(remaining)));
+    }
     let outcome = if token.is_cancelled() {
         // Drained under ShutdownMode::Cancel (or the caller cancelled):
         // answer inconclusively without starting work.
@@ -465,7 +679,37 @@ fn execute(inner: &Inner, job: Job) {
             reason: "cancelled".into(),
         }
     } else {
-        run_data(inner, &job.request.body, &budget)
+        // Panic isolation: a panicking request (injected or real, in
+        // the hook or the engine) answers with a typed internal error
+        // and the worker thread survives for the next job.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(hook) = &inner.exec_hook {
+                hook(&job.request);
+            }
+            if inner.faults.fire_in(FaultSite::WorkerPanic, lane_idx) {
+                panic!("injected worker panic");
+            }
+            if inner.faults.fire(FaultSite::LockPoison) {
+                inner.cache.poison();
+            }
+            run_data(inner, &job.request.body, &budget, job.degraded)
+        }));
+        match result {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                inner.counters.panics.fetch_add(1, Ordering::Relaxed);
+                inner.tracer.emit_with(|| TraceEvent::WorkerPanicked {
+                    id,
+                    lane: LANE_NAMES[lane_idx],
+                });
+                let message = payload
+                    .downcast_ref::<&'static str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "worker panicked".into());
+                Outcome::InternalError { message }
+            }
+        }
     };
     let micros = job.admitted_at.elapsed().as_micros() as u64;
     let response = Response {
@@ -482,11 +726,14 @@ fn record_completion(inner: &Inner, response: &Response, micros: u64) {
     if response.status() == "unknown" {
         inner.counters.unknown.fetch_add(1, Ordering::Relaxed);
     }
-    inner
-        .latencies
-        .lock()
-        .expect("latency lock poisoned")
-        .push(micros);
+    let prev = inner.ewma_micros.load(Ordering::Relaxed);
+    let next = if prev == 0 {
+        micros
+    } else {
+        prev - prev / 8 + micros / 8
+    };
+    inner.ewma_micros.store(next.max(1), Ordering::Relaxed);
+    lock_recover(&inner.latencies, &inner.counters).push(micros);
 }
 
 /// Routes a data-plane request: `contain`/`solve` are NP-hard and
@@ -576,11 +823,7 @@ fn run_control(inner: &Inner, body: &RequestBody) -> Outcome {
 /// Builds the [`Stats`] snapshot from `Inner` (shared by
 /// [`Server::stats`] and the inline `stats` op on the admission path).
 fn server_stats(inner: &Inner) -> Stats {
-    let mut latencies = inner
-        .latencies
-        .lock()
-        .expect("latency lock poisoned")
-        .clone();
+    let mut latencies = lock_recover(&inner.latencies, &inner.counters).clone();
     latencies.sort_unstable();
     let pct = |p: f64| -> u64 {
         if latencies.is_empty() {
@@ -605,19 +848,25 @@ fn server_stats(inner: &Inner) -> Stats {
         } else {
             hits as f64 / (hits + misses) as f64
         },
+        panics: inner.counters.panics.load(Ordering::Relaxed),
+        poisoned: inner.counters.poisoned.load(Ordering::Relaxed)
+            + inner.cache.poison_recoveries()
+            + inner.catalog.recoveries(),
+        expired: inner.counters.expired.load(Ordering::Relaxed),
+        degraded: inner.counters.degraded.load(Ordering::Relaxed),
     }
 }
 
-fn run_data(inner: &Inner, body: &RequestBody, budget: &Budget) -> Outcome {
+fn run_data(inner: &Inner, body: &RequestBody, budget: &Budget, degraded: bool) -> Outcome {
     match body {
-        RequestBody::Cq { db, query } => run_cq(inner, db, query, budget),
+        RequestBody::Cq { db, query } => run_cq(inner, db, query, budget, degraded),
         RequestBody::Contain { q1, q2 } => run_contain(q1, q2),
         RequestBody::Solve { a, b } => run_solve(inner, a, b, budget),
         _ => unreachable!("control ops never reach the lanes"),
     }
 }
 
-fn run_cq(inner: &Inner, db_name: &str, query: &str, budget: &Budget) -> Outcome {
+fn run_cq(inner: &Inner, db_name: &str, query: &str, budget: &Budget, degraded: bool) -> Outcome {
     let q = match ConjunctiveQuery::parse(query) {
         Ok(q) => q,
         Err(e) => return Outcome::Error { message: e },
@@ -627,11 +876,15 @@ fn run_cq(inner: &Inner, db_name: &str, query: &str, budget: &Budget) -> Outcome
             message: format!("unknown database \"{db_name}\""),
         };
     };
-    if !inner.cache_enabled {
+    if degraded || !inner.cache_enabled {
+        // Degraded requests bypass the cache: the cheap tier must not
+        // publish answers computed under a truncated budget as the
+        // canonical result for the query.
         return match evaluate_by_join_budgeted(&q, &db, budget) {
             Ok(rel) => Outcome::Answers {
                 rows: relation_to_json(&rel),
                 cached: false,
+                approximate: degraded,
             },
             Err(e) => eval_error(e),
         };
@@ -645,7 +898,11 @@ fn run_cq(inner: &Inner, db_name: &str, query: &str, budget: &Budget) -> Outcome
             version,
             invariant: key.invariant,
         });
-        return Outcome::Answers { rows, cached: true };
+        return Outcome::Answers {
+            rows,
+            cached: true,
+            approximate: false,
+        };
     }
     inner.tracer.emit_with(|| TraceEvent::CacheMiss {
         db: db_name.to_owned(),
@@ -658,6 +915,7 @@ fn run_cq(inner: &Inner, db_name: &str, query: &str, budget: &Budget) -> Outcome
             Outcome::Answers {
                 rows,
                 cached: false,
+                approximate: false,
             }
         }
         Err(e) => eval_error(e),

@@ -10,6 +10,7 @@
 //! cspdb rpq "<regex>" <ledges-file>   RPQ over a labeled graph ("0 a 1")
 //! cspdb treewidth <edges-file>        exact treewidth (n ≤ 64) + decomposition
 //! cspdb serve [--stdin|--listen A]    JSONL request server (see below)
+//! cspdb doctor [--requests N]         replay a fault-laden workload, verify invariants
 //! ```
 //!
 //! Resource-governance flags (accepted anywhere after the subcommand,
@@ -34,6 +35,18 @@
 //!                    lines (any subcommand; composes with --explain)
 //! ```
 //!
+//! Fault injection (off unless the flag is given — the default
+//! [`FaultHandle`](cspdb_core::FaultHandle) is inert, a single branch):
+//!
+//! ```text
+//! --faults=SPEC      seeded deterministic fault plan, e.g.
+//!                    "seed=7,panic=5,poison=9,slow=11,slow-ms=2,
+//!                     truncate=17,corrupt=13,queue-full=6" — each
+//!                    site fires once per period. Threaded through the
+//!                    budget into `serve`; `doctor` uses it as the
+//!                    replay plan.
+//! ```
+//!
 //! Service mode (`cspdb serve`) reads one JSON request object per line
 //! from stdin (`--stdin`, the default) or a TCP socket (`--listen
 //! ADDR`), executes them on a worker pool with admission control and a
@@ -48,8 +61,10 @@
 
 use constraint_db::core::budget::{Answer, Budget};
 use constraint_db::core::trace::{Fanout, JsonLinesSink, Recorder, TraceSink};
-use constraint_db::core::{Structure, VocabularyBuilder};
-use constraint_db::service::{Outcome, Request, Response, Server, ServerConfig, ShutdownMode};
+use constraint_db::core::{FaultPlan, Structure, VocabularyBuilder};
+use constraint_db::service::{
+    run_doctor, DoctorConfig, Outcome, Request, Response, Server, ServerConfig, ShutdownMode,
+};
 use constraint_db::{ExplainReport, GovernedReport, Solver};
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
@@ -93,10 +108,28 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let faults = match extract_faults(&mut args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     // Attach the file sink to the budget so every budget-honoring
     // subcommand emits its events; explain paths re-compose via Fanout.
     let budget = match &trace {
         Some(sink) => budget.with_trace(sink.clone()),
+        None => budget,
+    };
+    // Thread the fault plan through the budget the same way the tracer
+    // rides it: `serve` inherits it via the server's global budget.
+    // Armed faults also install the panic-hook filter so injected
+    // (caught) panics don't bury real output under backtraces.
+    let budget = match &faults {
+        Some(plan) => {
+            constraint_db::core::silence_injected_panics();
+            budget.with_faults(plan.clone())
+        }
         None => budget,
     };
     let result = match args.first().map(String::as_str) {
@@ -109,6 +142,7 @@ fn main() -> ExitCode {
         Some("rpq") => cmd_rpq(&args[1..]).map(|()| CmdOutcome::Done),
         Some("treewidth") => cmd_treewidth(&args[1..], &budget),
         Some("serve") => cmd_serve(&args[1..], &budget, &trace),
+        Some("doctor") => cmd_doctor(&args[1..], faults.clone()),
         Some("help") | Some("--help") | Some("-h") | None => {
             eprintln!("{}", USAGE);
             return ExitCode::SUCCESS;
@@ -137,9 +171,11 @@ const USAGE: &str = "usage:
   cspdb serve [--stdin | --listen <addr>] [--workers <n>] [--heavy-workers <n>]
               [--queue <n>] [--heavy-queue <n>] [--heavy-threshold <n>]
               [--no-cache] [--once]
+  cspdb doctor [--requests <n>] [--seed <n>]
 budget flags (color/sat/datalog/cq/treewidth/serve): --timeout-ms <n> --steps <n> --tuples <n>
 explain flags (color/sat/cq): --explain --explain=json
-trace flag (any subcommand): --trace=<file>";
+trace flag (any subcommand): --trace=<file>
+fault flag (serve/doctor): --faults=<spec>  e.g. --faults=seed=7,panic=5,poison=9";
 
 /// Strips `--timeout-ms/--steps/--tuples <n>` from `args` and builds the
 /// corresponding [`Budget`] (unlimited when no flag is given).
@@ -218,6 +254,30 @@ fn extract_trace(args: &mut Vec<String>) -> Result<Option<Arc<dyn TraceSink>>, S
         }
     }
     Ok(sink)
+}
+
+/// Strips `--faults=<spec>` / `--faults <spec>` from `args` and parses
+/// the [`FaultPlan`]. `None` (no flag) leaves fault handling compiled
+/// down to its inert single-branch default.
+fn extract_faults(args: &mut Vec<String>) -> Result<Option<FaultPlan>, String> {
+    let mut plan: Option<FaultPlan> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        if let Some(spec) = flag.strip_prefix("--faults=") {
+            plan = Some(FaultPlan::parse(spec)?);
+            args.remove(i);
+        } else if flag == "--faults" {
+            if i + 1 >= args.len() {
+                return Err("--faults requires a spec".into());
+            }
+            plan = Some(FaultPlan::parse(&args[i + 1].clone())?);
+            args.drain(i..i + 2);
+        } else {
+            i += 1;
+        }
+    }
+    Ok(plan)
 }
 
 /// The sink a run should emit to when `--explain` recorded events and
@@ -655,6 +715,45 @@ fn cmd_treewidth(args: &[String], budget: &Budget) -> Result<CmdOutcome, String>
     Ok(CmdOutcome::Done)
 }
 
+/// `cspdb doctor`: replays a fault-laden workload against an
+/// in-process server and verifies the robustness invariants (every
+/// request answered exactly once, no wedged lanes, stats add up).
+/// Exits 0 when healthy, 1 with the violations listed otherwise.
+fn cmd_doctor(args: &[String], faults: Option<FaultPlan>) -> Result<CmdOutcome, String> {
+    let mut config = DoctorConfig::default();
+    if let Some(plan) = faults {
+        config.plan = plan;
+    }
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        let value = |i: &mut usize| -> Result<u64, String> {
+            let v = args
+                .get(*i + 1)
+                .ok_or(format!("{flag} requires a value"))?
+                .parse()
+                .map_err(|e| format!("{flag}: {e}"))?;
+            *i += 2;
+            Ok(v)
+        };
+        match flag.as_str() {
+            "--requests" => config.requests = value(&mut i)? as usize,
+            "--seed" => config.seed = value(&mut i)?,
+            other => return Err(format!("unknown doctor flag `{other}`")),
+        }
+    }
+    let report = run_doctor(&config);
+    print!("{}", report.render());
+    if report.healthy() {
+        Ok(CmdOutcome::Done)
+    } else {
+        Err(format!(
+            "doctor found {} invariant violation(s)",
+            report.violations.len()
+        ))
+    }
+}
+
 /// `cspdb serve`: a JSONL request server over stdin or TCP.
 ///
 /// Per-request outcomes travel in-band (`"status"` per response line);
@@ -737,15 +836,27 @@ fn cmd_serve(
             // Advertise the bound address (port 0 resolves here).
             eprintln!("listening on {local}");
             let mut bad = 0u64;
+            // Per-connection failures (a client vanishing mid-request,
+            // a transient accept error) are warned about and skipped —
+            // they must never tear down the accept loop.
             for stream in listener.incoming() {
-                let stream = stream.map_err(|e| format!("accept: {e}"))?;
-                let reader =
-                    std::io::BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
-                bad += pump(
-                    &server,
-                    reader,
-                    stream.try_clone().map_err(|e| e.to_string())?,
-                )?;
+                let stream = match stream {
+                    Ok(stream) => stream,
+                    Err(e) => {
+                        eprintln!("warn: accept: {e}");
+                        continue;
+                    }
+                };
+                let conn = stream
+                    .try_clone()
+                    .and_then(|r| stream.try_clone().map(|w| (std::io::BufReader::new(r), w)));
+                match conn {
+                    Ok((reader, writer)) => match pump(&server, reader, writer) {
+                        Ok(n) => bad += n,
+                        Err(e) => eprintln!("warn: connection: {e}"),
+                    },
+                    Err(e) => eprintln!("warn: clone: {e}"),
+                }
                 let mut stream = stream;
                 let _ = writeln!(stream, "{{\"stats\":{}}}", server.stats().to_json());
                 if once {
@@ -776,7 +887,7 @@ fn pump(
     let writer = std::thread::spawn(move || {
         let mut bad = 0u64;
         for response in rx {
-            if matches!(response.status(), "unknown" | "overloaded") {
+            if matches!(response.status(), "unknown" | "overloaded" | "expired") {
                 bad += 1;
             }
             let _ = writeln!(output, "{}", response.to_json());
@@ -785,7 +896,17 @@ fn pump(
         bad
     });
     for line in input.lines() {
-        let line = line.map_err(|e| format!("read: {e}"))?;
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                // A client that disconnects mid-request ends this
+                // stream; in-flight work still drains to the writer
+                // (which tolerates the dead socket), and TCP mode's
+                // accept loop keeps serving other connections.
+                eprintln!("warn: read: {e}");
+                break;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }

@@ -215,6 +215,82 @@ fn serve_exit_code_follows_unknown_semantics() {
     assert!(out.contains("\"status\":\"unknown\""), "{out}");
 }
 
+/// A client that disconnects mid-request must not tear down the TCP
+/// accept loop: the next connection still gets full service. Regression
+/// test for the listener propagating a per-connection error.
+#[test]
+fn serve_listen_survives_mid_request_disconnect() {
+    use std::io::{BufRead, BufReader, Read};
+    use std::net::TcpStream;
+    use std::process::Stdio;
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_cspdb"))
+        .args(["serve", "--listen", "127.0.0.1:0"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    // The server advertises its resolved port on stderr.
+    let mut stderr = BufReader::new(child.stderr.take().expect("piped"));
+    let mut line = String::new();
+    stderr.read_line(&mut line).expect("stderr line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {line:?}"))
+        .to_owned();
+
+    // Connection 1: write half a request, then vanish.
+    {
+        let mut conn = TcpStream::connect(&addr).expect("connect");
+        conn.write_all(b"{\"id\":1,\"op\":\"cq\",\"db")
+            .expect("write");
+    } // dropped: socket closed mid-request
+
+    // Connection 2: a full round-trip must still work.
+    let mut conn = TcpStream::connect(&addr).expect("reconnect");
+    conn.write_all(
+        concat!(
+            r#"{"id":1,"op":"put","db":"g","facts":"E 0 1\nE 1 2"}"#,
+            "\n",
+            r#"{"id":2,"op":"cq","db":"g","query":"Q(X,Y) :- E(X,Z), E(Z,Y)"}"#,
+            "\n",
+        )
+        .as_bytes(),
+    )
+    .expect("write workload");
+    conn.shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut out = String::new();
+    conn.read_to_string(&mut out).expect("read responses");
+    assert!(
+        out.contains("\"id\":1") && out.contains("\"status\":\"ok\""),
+        "{out}"
+    );
+    assert!(out.contains("\"answers\":[[0,2]]"), "{out}");
+    assert!(out.contains("\"stats\":"), "{out}");
+
+    child.kill().expect("kill server");
+    let _ = child.wait();
+}
+
+/// In-repo mirror of the CI doctor smoke: a fault-laden replay with the
+/// default plan must report zero invariant violations and exit 0.
+#[test]
+fn doctor_smoke_is_healthy_with_injected_faults() {
+    let (ok, out, err) = cspdb(&[
+        "doctor",
+        "--requests",
+        "120",
+        "--faults",
+        "seed=7,panic=5,poison=9,slow=11,slow-ms=1,truncate=17,corrupt=13,queue-full=6",
+    ]);
+    assert!(ok, "doctor must exit 0\nstdout: {out}\nstderr: {err}");
+    assert!(out.contains("verdict: healthy"), "{out}");
+    assert!(out.contains("panic="), "{out}");
+}
+
 /// `--trace=FILE` writes JSON-lines events for any subcommand,
 /// composing with `--explain` rather than displacing it.
 #[test]

@@ -1,0 +1,157 @@
+//! Parse-totality property tests: `Request::parse` must be *total* —
+//! every byte string, however malformed, yields `Ok` or `Err`, never a
+//! panic. The doctor's wire-fault injector (truncation, corruption)
+//! relies on this, as does the TCP listener, which feeds whatever a
+//! client sends straight into the parser.
+//!
+//! The generators are a hand-rolled property harness (seeded xorshift,
+//! no external fuzzing dependency): random byte soup, every-prefix
+//! truncations of valid requests, single-byte flips of valid requests,
+//! and a corpus of targeted nasty inputs.
+
+use constraint_db::service::Request;
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// Parse must not panic; the result itself is irrelevant.
+fn total(input: &str) {
+    let _ = Request::parse(input);
+}
+
+/// A pool of valid requests covering every body shape, used as mutation
+/// seeds.
+fn valid_corpus() -> Vec<String> {
+    vec![
+        r#"{"id":1,"op":"put","db":"g","facts":"E 0 1\nE 1 2"}"#.into(),
+        r#"{"id":2,"op":"cq","db":"g","query":"Q(X,Y) :- E(X,Z), E(Z,Y)"}"#.into(),
+        r#"{"id":3,"op":"cq","db":"g","query":"Q(X) :- E(X,Y)","deadline_ms":250}"#.into(),
+        r#"{"id":4,"op":"contain","q1":"Q(X) :- E(X,Y)","q2":"Q(X) :- E(X,X)"}"#.into(),
+        r#"{"id":5,"op":"solve","a":"g","b":"h"}"#.into(),
+        r#"{"id":6,"op":"stats"}"#.into(),
+    ]
+}
+
+#[test]
+fn parse_survives_random_byte_soup() {
+    let mut rng = XorShift::new(0x5eed_1111_c0ff_ee00);
+    for _ in 0..20_000 {
+        let len = (rng.next() % 120) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| (rng.next() & 0xff) as u8).collect();
+        total(&String::from_utf8_lossy(&bytes));
+    }
+}
+
+#[test]
+fn parse_survives_random_json_ish_soup() {
+    // Soup biased toward JSON structure: braces, quotes, colons,
+    // digits, backslashes — much likelier to get deep into the parser
+    // than uniform bytes.
+    const ALPHABET: &[u8] = br#"{}[]":,\0123456789.eE+-truefalsn "id"op"cq"#;
+    let mut rng = XorShift::new(0x5eed_2222_dead_beef);
+    for _ in 0..20_000 {
+        let len = (rng.next() % 160) as usize;
+        let bytes: Vec<u8> = (0..len)
+            .map(|_| ALPHABET[(rng.next() as usize) % ALPHABET.len()])
+            .collect();
+        total(&String::from_utf8_lossy(&bytes));
+    }
+}
+
+#[test]
+fn parse_survives_every_truncation_of_valid_requests() {
+    for line in valid_corpus() {
+        for cut in 0..=line.len() {
+            if line.is_char_boundary(cut) {
+                total(&line[..cut]);
+            }
+        }
+    }
+}
+
+#[test]
+fn parse_survives_single_byte_flips_of_valid_requests() {
+    let mut rng = XorShift::new(0x5eed_3333_0000_0001);
+    for line in valid_corpus() {
+        let bytes = line.as_bytes();
+        for i in 0..bytes.len() {
+            let mut mutated = bytes.to_vec();
+            mutated[i] ^= 1 << (rng.next() % 8);
+            total(&String::from_utf8_lossy(&mutated));
+        }
+    }
+}
+
+#[test]
+fn parse_survives_targeted_nasty_inputs() {
+    let huge = "9".repeat(400);
+    let deep_open = "[".repeat(10_000);
+    let deep_obj = "{\"a\":".repeat(5_000);
+    let long_string = format!("{{\"id\":1,\"op\":\"{}\"", "a".repeat(100_000));
+    let nasty: Vec<String> = vec![
+        String::new(),
+        " ".into(),
+        "\n".into(),
+        "\u{0}".into(),
+        "{".into(),
+        "}".into(),
+        "{}".into(),
+        "[]".into(),
+        "null".into(),
+        "true".into(),
+        "\"\"".into(),
+        "{\"id\"}".into(),
+        "{\"id\":}".into(),
+        "{\"id\":1".into(),
+        "{\"id\":1,}".into(),
+        "{\"id\":-1,\"op\":\"stats\"}".into(),
+        "{\"id\":1.5,\"op\":\"stats\"}".into(),
+        format!("{{\"id\":{huge},\"op\":\"stats\"}}"),
+        format!("{{\"id\":1,\"op\":\"cq\",\"db\":\"g\",\"query\":\"Q\",\"deadline_ms\":{huge}}}"),
+        "{\"id\":1,\"op\":\"stats\",\"id\":2}".into(),
+        "{\"id\":1,\"id\":1,\"op\":\"stats\",\"op\":\"cq\"}".into(),
+        "{\"id\":1,\"op\":\"cq\",\"db\":1,\"query\":true}".into(),
+        "{\"id\":\"1\",\"op\":\"stats\"}".into(),
+        "{\"id\":1,\"op\":\"solve\",\"a\":-2,\"b\":99999999999999999999}".into(),
+        "{\"id\":1,\"op\":\"put\",\"db\":\"\\".into(),
+        "{\"id\":1,\"op\":\"put\",\"db\":\"\\u\"}".into(),
+        "{\"id\":1,\"op\":\"put\",\"db\":\"\\u00\"}".into(),
+        "{\"id\":1,\"op\":\"put\",\"db\":\"\\ud800\"}".into(),
+        "{\"id\":1,\"op\":\"put\",\"db\":\"\\q\"}".into(),
+        "{\"id\":1,\"op\":\"put\",\"db\":\"g\",\"facts\":\"\\n\\t\\r\\f\"}".into(),
+        deep_open,
+        deep_obj,
+        long_string,
+        "{\"op\":\"cq\"}".into(),
+        "{\"id\":1}".into(),
+        "{\"id\":1,\"op\":\"no-such-op\"}".into(),
+        "\u{feff}{\"id\":1,\"op\":\"stats\"}".into(),
+        "{\"id\":1,\"op\":\"stats\"}{\"id\":2,\"op\":\"stats\"}".into(),
+        "{\"id\" :\t1 ,\n\"op\" : \"stats\" }".into(),
+    ];
+    for input in &nasty {
+        total(input);
+    }
+}
+
+#[test]
+fn parse_accepts_the_valid_corpus() {
+    for line in valid_corpus() {
+        assert!(
+            Request::parse(&line).is_ok(),
+            "corpus line should parse: {line}"
+        );
+    }
+}

@@ -1,17 +1,19 @@
 //! Integration tests of the `cspdb_service` subsystem: semantic cache
 //! hits with byte-identical answers, version invalidation, typed
 //! overload rejection, heavy-lane routing, graceful shutdown (drain and
-//! cancel), and the stats snapshot.
+//! cancel), the stats snapshot, and the fault-tolerance behaviours
+//! (panic isolation, deadline shedding, degrade-don't-reject).
 
 use constraint_db::core::budget::{Budget, CancelToken};
 use constraint_db::core::trace::{Recorder, TraceEvent};
+use constraint_db::core::{FaultPlan, FaultSite};
 use constraint_db::service::{
     Outcome, Request, RequestBody, Response, Server, ServerConfig, ShutdownMode,
 };
 use std::sync::{Arc, Condvar, Mutex};
 
 fn req(id: u64, body: RequestBody) -> Request {
-    Request { id, body }
+    Request::new(id, body)
 }
 
 fn put(id: u64, db: &str, facts: &str) -> Request {
@@ -89,10 +91,12 @@ fn semantic_cache_hits_are_byte_identical_and_version_scoped() {
         Outcome::Answers {
             rows: cold_rows,
             cached: false,
+            ..
         },
         Outcome::Answers {
             rows: hit_rows,
             cached: true,
+            ..
         },
     ) = (&cold.outcome, &hit.outcome)
     else {
@@ -115,7 +119,7 @@ fn semantic_cache_hits_are_byte_identical_and_version_scoped() {
         .submit(cq(6, "g", "Q(X,Y) :- E(X,Z), E(Z,Y)"))
         .unwrap()
         .wait();
-    let Outcome::Answers { rows, cached } = &after.outcome else {
+    let Outcome::Answers { rows, cached, .. } = &after.outcome else {
         panic!("expected answers, got {after:?}");
     };
     assert!(!cached, "version bump must invalidate the cache");
@@ -166,6 +170,11 @@ fn full_lane_rejects_with_typed_overload() {
     let resp = rejection.into_response(4);
     assert_eq!(resp.status(), "overloaded");
     assert!(resp.to_json().contains("\"lane\":\"normal\""));
+    assert!(
+        resp.to_json().contains("\"retry_after_ms\":"),
+        "overload carries a retry hint: {}",
+        resp.to_json()
+    );
     gate.release();
     assert_eq!(t1.wait().status(), "ok");
     assert_eq!(t2.wait().status(), "ok");
@@ -353,6 +362,209 @@ fn responses_and_errors_stay_in_band() {
     let s = server.submit(req(5, RequestBody::Stats)).unwrap().wait();
     assert!(matches!(s.outcome, Outcome::Stats { .. }));
     assert_eq!(server.catalog().names(), vec!["g".to_string()]);
+}
+
+#[test]
+fn drain_answers_every_admitted_request_while_panics_inject() {
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        heavy_workers: 1,
+        global_budget: Budget::unlimited().with_faults(
+            FaultPlan::default()
+                .with_seed(3)
+                .with_period(FaultSite::WorkerPanic, 3),
+        ),
+        ..ServerConfig::default()
+    });
+    server.submit(put(1, "g", "E 0 1\nE 1 2")).unwrap().wait();
+    let tickets: Vec<_> = (0..20)
+        .map(|i| server.submit(cq(10 + i, "g", "Q(X,Y) :- E(X,Y)")).unwrap())
+        .collect();
+    server.shutdown(ShutdownMode::Drain);
+    let (mut ok, mut internal) = (0u32, 0u32);
+    for (i, t) in tickets.into_iter().enumerate() {
+        let r = t.wait();
+        assert_eq!(r.id, 10 + i as u64, "response keeps its request id");
+        match &r.outcome {
+            Outcome::Answers { .. } => ok += 1,
+            Outcome::InternalError { message } => {
+                assert!(message.contains("injected worker panic"), "{message}");
+                internal += 1;
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+    assert!(ok >= 1, "workers survive their panics and keep serving");
+    assert!(internal >= 1, "the plan must actually have fired");
+    let stats = server.stats();
+    assert_eq!(stats.admitted, stats.completed, "drain answers everything");
+    assert!(stats.panics >= 1);
+}
+
+#[test]
+fn cancel_under_fault_plan_answers_all_and_spares_caller_token() {
+    let caller_token = CancelToken::new();
+    let gate = Arc::new(Gate::default());
+    let hook_gate = gate.clone();
+    let server = Arc::new(Server::start(ServerConfig {
+        workers: 1,
+        heavy_workers: 1,
+        queue_depth: 16,
+        global_budget: Budget::unlimited()
+            .with_cancel(caller_token.clone())
+            .with_faults(
+                FaultPlan::default()
+                    .with_seed(5)
+                    .with_period(FaultSite::WorkerPanic, 2)
+                    .with_period(FaultSite::LockPoison, 2),
+            ),
+        exec_hook: Some(Arc::new(move |_req| hook_gate.hold())),
+        ..ServerConfig::default()
+    }));
+    server.submit(put(1, "g", "E 0 1")).unwrap().wait();
+    let inflight = server.submit(cq(2, "g", "Q(X) :- E(X,Y)")).unwrap();
+    gate.await_arrivals(1);
+    let queued: Vec<_> = (0..4)
+        .map(|i| server.submit(cq(3 + i, "g", "Q(X) :- E(X,Y)")).unwrap())
+        .collect();
+    let shutter = {
+        let server = server.clone();
+        std::thread::spawn(move || server.shutdown(ShutdownMode::Cancel))
+    };
+    while server.submit(req(99, RequestBody::Stats)).is_ok() {
+        std::thread::yield_now();
+    }
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    gate.release();
+    shutter.join().unwrap();
+    // Every admitted request answers — cancelled, panicked, or done —
+    // and always under its own id.
+    assert_eq!(inflight.wait().id, 2);
+    for (i, t) in queued.into_iter().enumerate() {
+        let r = t.wait();
+        assert_eq!(r.id, 3 + i as u64);
+        assert_eq!(r.status(), "unknown", "queued request must answer unknown");
+    }
+    assert!(
+        !caller_token.is_cancelled(),
+        "server shutdown leaked into the caller's cancel token"
+    );
+}
+
+#[test]
+fn deadline_passed_in_queue_is_shed_at_dequeue_not_executed() {
+    let gate = Arc::new(Gate::default());
+    let hook_gate = gate.clone();
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        heavy_workers: 1,
+        exec_hook: Some(Arc::new(move |_req| hook_gate.hold())),
+        ..ServerConfig::default()
+    });
+    server.submit(put(1, "g", "E 0 1")).unwrap().wait();
+    // Pin the single worker, then queue a request that can only wait
+    // 1ms: by the time the worker frees up, its deadline has passed and
+    // it must be shed (expired), not executed late.
+    let blocker = server.submit(cq(2, "g", "Q(X,Y) :- E(X,Y)")).unwrap();
+    gate.await_arrivals(1);
+    let mut doomed = cq(3, "g", "Q(X,Y) :- E(X,Y)");
+    doomed.deadline_ms = Some(1);
+    let doomed_ticket = server.submit(doomed).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    gate.release();
+    assert_eq!(blocker.wait().status(), "ok");
+    let r = doomed_ticket.wait();
+    assert_eq!(r.status(), "expired", "{:?}", r.outcome);
+    assert!(matches!(r.outcome, Outcome::Expired { waited_ms } if waited_ms >= 1));
+    server.shutdown(ShutdownMode::Drain);
+    let stats = server.stats();
+    assert_eq!(stats.expired, 1);
+    assert_eq!(stats.admitted, stats.completed, "shed still answers");
+}
+
+#[test]
+fn saturated_heavy_lane_degrades_cq_to_approximate_cheap_tier() {
+    let recorder = Arc::new(Recorder::new());
+    let gate = Arc::new(Gate::default());
+    let hook_gate = gate.clone();
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        heavy_workers: 1,
+        heavy_queue_depth: 1,
+        // Threshold 0: every estimable cq classifies as heavy.
+        heavy_threshold: 0,
+        trace: Some(recorder.clone()),
+        exec_hook: Some(Arc::new(move |_req| hook_gate.hold())),
+        ..ServerConfig::default()
+    });
+    server.submit(put(1, "g", "E 0 1")).unwrap().wait();
+    let contain = |id| {
+        req(
+            id,
+            RequestBody::Contain {
+                q1: "Q(X) :- E(X,Y)".into(),
+                q2: "Q(X) :- E(X,Y), E(X,Z)".into(),
+            },
+        )
+    };
+    // Pin the heavy worker, fill the depth-1 heavy queue, then submit a
+    // heavy-classified cq: instead of a rejection it must be degraded
+    // onto the normal lane's budget-sliced cheap tier.
+    let t1 = server.submit(contain(2)).unwrap();
+    gate.await_arrivals(1);
+    let t2 = server.submit(contain(3)).unwrap();
+    let t3 = server
+        .submit(cq(4, "g", "Q(X,Y) :- E(X,Y)"))
+        .expect("degraded, not rejected");
+    gate.release();
+    assert_eq!(t1.wait().status(), "ok");
+    assert_eq!(t2.wait().status(), "ok");
+    let degraded = t3.wait();
+    let Outcome::Answers {
+        rows,
+        cached,
+        approximate,
+    } = &degraded.outcome
+    else {
+        panic!("expected degraded answers, got {degraded:?}");
+    };
+    assert!(approximate, "degraded answers carry the approximate marker");
+    assert!(!cached, "the cheap tier bypasses the cache");
+    assert_eq!(rows, "[[0,1]]");
+    assert!(degraded.to_json().contains("\"approximate\":true"));
+    server.shutdown(ShutdownMode::Drain);
+    assert_eq!(server.stats().degraded, 1);
+    assert!(recorder
+        .events()
+        .iter()
+        .any(|e| matches!(e, TraceEvent::RequestDegraded { id: 4 })));
+}
+
+#[test]
+fn injected_poison_recovers_and_service_keeps_answering() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        heavy_workers: 1,
+        global_budget: Budget::unlimited().with_faults(
+            FaultPlan::default()
+                .with_seed(11)
+                .with_period(FaultSite::LockPoison, 2),
+        ),
+        ..ServerConfig::default()
+    });
+    server.submit(put(1, "g", "E 0 1\nE 1 2")).unwrap().wait();
+    for id in 2..10 {
+        let r = server
+            .submit(cq(id, "g", "Q(X,Y) :- E(X,Y)"))
+            .unwrap()
+            .wait();
+        assert_eq!(r.status(), "ok", "{:?}", r.outcome);
+        assert!(r.to_json().contains("[[0,1],[1,2]]"), "{}", r.to_json());
+    }
+    server.shutdown(ShutdownMode::Drain);
+    let stats = server.stats();
+    assert!(stats.poisoned >= 1, "poison fault must have been recovered");
+    assert_eq!(stats.admitted, stats.completed);
 }
 
 #[test]
