@@ -162,9 +162,14 @@ impl FaultPlan {
     ///
     /// # Errors
     ///
-    /// A message naming the offending `key=value` pair.
+    /// A message naming the offending `key=value` pair. Repeating a key
+    /// (`panic=5,panic=9`) is an error rather than silently keeping the
+    /// last value: a duplicated key in a fault spec is almost always a
+    /// typo for a *different* site, and last-wins would arm a schedule
+    /// the operator never asked for.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::default();
+        let mut seen: Vec<&str> = Vec::new();
         for part in spec.split(',') {
             let part = part.trim();
             if part.is_empty() {
@@ -177,7 +182,11 @@ impl FaultPlan {
                 .trim()
                 .parse()
                 .map_err(|e| format!("fault spec `{part}`: {e}"))?;
-            match key.trim() {
+            let key = key.trim();
+            if seen.contains(&key) {
+                return Err(format!("fault spec `{part}`: duplicate key `{key}`"));
+            }
+            match key {
                 "seed" => plan.seed = n,
                 "slow-ms" => plan.slow_down = Duration::from_millis(n),
                 other => {
@@ -193,6 +202,7 @@ impl FaultPlan {
                     plan.periods[site.index()] = n;
                 }
             }
+            seen.push(key);
         }
         Ok(plan)
     }
@@ -417,6 +427,23 @@ mod tests {
         assert!(FaultPlan::parse("panic").is_err(), "missing =value");
         assert!(FaultPlan::parse("panic=x").is_err(), "non-numeric");
         assert!(FaultPlan::parse("frobnicate=3").is_err(), "unknown key");
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_keys() {
+        for spec in [
+            "panic=5,panic=9",
+            "seed=1,seed=2",
+            "slow-ms=1,slow-ms=2",
+            "seed=7, panic=3 ,poison=2,panic=3",
+        ] {
+            let err = FaultPlan::parse(spec).unwrap_err();
+            assert!(err.contains("duplicate key"), "{spec}: {err}");
+        }
+        // Distinct keys still parse; a site name never clashes with the
+        // scalar keys.
+        let plan = FaultPlan::parse("seed=1,slow-ms=2,panic=3").unwrap();
+        assert_eq!(plan.period(FaultSite::WorkerPanic), 3);
     }
 
     #[test]

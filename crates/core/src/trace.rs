@@ -36,6 +36,9 @@ pub enum OperatorKind {
     ParallelHashJoin,
     /// Semijoin (left rows filtered by join-compatibility with right).
     Semijoin,
+    /// Worst-case-optimal multiway join (leapfrog intersection over
+    /// sorted trie views; all inputs joined in one operator).
+    MultiwayJoin,
 }
 
 impl OperatorKind {
@@ -45,6 +48,7 @@ impl OperatorKind {
             OperatorKind::HashJoin => "hash_join",
             OperatorKind::ParallelHashJoin => "parallel_hash_join",
             OperatorKind::Semijoin => "semijoin",
+            OperatorKind::MultiwayJoin => "multiway_join",
         }
     }
 }
@@ -144,6 +148,26 @@ pub enum TraceEvent {
         /// Positions in `order` the planner was forced to execute as
         /// explicit cross products (disconnected join graph).
         cross_steps: Vec<u32>,
+        /// Which join engine executes the plan (`"binary"` for the
+        /// left-deep hash-join pipeline, `"wcoj"` for the
+        /// worst-case-optimal leapfrog engine).
+        engine: &'static str,
+        /// Why that engine was chosen (cost comparison or structural
+        /// fallback), for `--explain` output.
+        reason: String,
+    },
+    /// One attribute level of a worst-case-optimal (leapfrog) multiway
+    /// join: how many candidate bindings the intersection at this depth
+    /// produced across the whole run.
+    WcojLevel {
+        /// Depth in the global attribute order (0 = outermost).
+        level: u32,
+        /// The attribute bound at this level.
+        attr: u32,
+        /// Relations participating in the intersection at this level.
+        relations: u32,
+        /// Bindings that survived the intersection at this level.
+        matches: u64,
     },
     /// A hash index was built over a relation's key attributes.
     IndexBuilt {
@@ -307,6 +331,7 @@ impl TraceEvent {
             TraceEvent::Propagation { .. } => "propagation",
             TraceEvent::KConsistency { .. } => "k_consistency",
             TraceEvent::PlanChosen { .. } => "plan_chosen",
+            TraceEvent::WcojLevel { .. } => "wcoj_level",
             TraceEvent::IndexBuilt { .. } => "index_built",
             TraceEvent::Operator { .. } => "operator",
             TraceEvent::YannakakisSweep { .. } => "yannakakis_sweep",
@@ -401,6 +426,8 @@ impl TraceEvent {
                 order,
                 est_rows,
                 cross_steps,
+                engine,
+                reason,
             } => {
                 let join = |xs: &[u64]| xs.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
                 let order_s = order
@@ -414,8 +441,20 @@ impl TraceEvent {
                     .collect::<Vec<_>>()
                     .join(",");
                 s.push_str(&format!(
-                    ",\"relations\":{relations},\"order\":[{order_s}],\"est_rows\":[{}],\"cross_steps\":[{cross_s}]",
-                    join(est_rows)
+                    ",\"relations\":{relations},\"order\":[{order_s}],\"est_rows\":[{}],\"cross_steps\":[{cross_s}],\"engine\":\"{}\",\"reason\":\"{}\"",
+                    join(est_rows),
+                    json_escape(engine),
+                    json_escape(reason)
+                ));
+            }
+            TraceEvent::WcojLevel {
+                level,
+                attr,
+                relations,
+                matches,
+            } => {
+                s.push_str(&format!(
+                    ",\"level\":{level},\"attr\":{attr},\"relations\":{relations},\"matches\":{matches}"
                 ));
             }
             TraceEvent::IndexBuilt {
@@ -862,6 +901,14 @@ mod tests {
                 order: vec![2, 0, 1],
                 est_rows: vec![10, 40, 12],
                 cross_steps: vec![1],
+                engine: "binary",
+                reason: "acyclic join graph".into(),
+            },
+            TraceEvent::WcojLevel {
+                level: 0,
+                attr: 2,
+                relations: 3,
+                matches: 17,
             },
             TraceEvent::IndexBuilt {
                 attrs: 2,

@@ -26,11 +26,14 @@ use cspdb_core::trace::{OperatorKind, TraceEvent};
 use std::fmt::Write as _;
 
 /// Renders the join-planner section of an EXPLAIN report: for every
-/// [`TraceEvent::PlanChosen`] in `events`, the chosen order with the
-/// planner's estimated cardinality per step next to the *actual* rows
-/// the subsequent hash-join operators produced, plus the number of hash
-/// indexes built. Returns `None` when no plan was recorded (the run
-/// never entered the join pipeline).
+/// [`TraceEvent::PlanChosen`] in `events`, the engine the cost gate
+/// picked (and why), then the chosen order with the planner's estimated
+/// cardinality per step next to the *actual* rows the subsequent
+/// hash-join operators produced, plus the number of hash indexes built.
+/// Runs executed by the worst-case-optimal engine instead render one
+/// line per attribute level with its surviving-binding count. Returns
+/// `None` when no plan was recorded (the run never entered the join
+/// pipeline).
 pub fn render_join_plan(events: &[TraceEvent]) -> Option<String> {
     let mut out = String::new();
     let mut plans = 0usize;
@@ -40,6 +43,8 @@ pub fn render_join_plan(events: &[TraceEvent]) -> Option<String> {
             order,
             est_rows,
             cross_steps,
+            engine,
+            reason,
         } = event
         else {
             continue;
@@ -52,20 +57,42 @@ pub fn render_join_plan(events: &[TraceEvent]) -> Option<String> {
             cross_steps.len(),
             if cross_steps.len() == 1 { "" } else { "s" },
         );
+        let _ = writeln!(out, "  engine: {engine} ({reason})");
+        // Events belonging to this plan: everything up to the next one.
+        let tail = events[i + 1..]
+            .iter()
+            .take_while(|e| !matches!(e, TraceEvent::PlanChosen { .. }));
+        if *engine == "wcoj" {
+            // The leapfrog engine binds one attribute per level; show the
+            // surviving-binding count per level instead of per-step
+            // hash-join actuals (no binary steps ran).
+            for e in tail {
+                if let TraceEvent::WcojLevel {
+                    level,
+                    attr,
+                    relations,
+                    matches,
+                } = e
+                {
+                    let _ = writeln!(
+                        out,
+                        "  level {level}  attr {attr:>3}   {relations} relations   {matches:>8} matches"
+                    );
+                }
+            }
+            continue;
+        }
         // Actual cardinalities: the sequential hash-join operators that
         // ran after this plan, one per step past the first (fewer when
         // an empty intermediate ended the pipeline early).
-        let mut actuals = events[i + 1..]
-            .iter()
-            .take_while(|e| !matches!(e, TraceEvent::PlanChosen { .. }))
-            .filter_map(|e| match e {
-                TraceEvent::Operator {
-                    op: OperatorKind::HashJoin,
-                    output_rows,
-                    ..
-                } => Some(*output_rows),
-                _ => None,
-            });
+        let mut actuals = tail.filter_map(|e| match e {
+            TraceEvent::Operator {
+                op: OperatorKind::HashJoin,
+                output_rows,
+                ..
+            } => Some(*output_rows),
+            _ => None,
+        });
         for (step, (rel, est)) in order.iter().zip(est_rows.iter()).enumerate() {
             let actual = if step == 0 {
                 String::new()
@@ -340,12 +367,43 @@ mod tests {
         let plan = render_join_plan(&events).expect("a plan was recorded");
         assert!(plan.contains("join plan: 3 relations"), "got:\n{plan}");
         assert!(plan.contains("0 cross products"), "got:\n{plan}");
+        assert!(plan.contains("engine: binary"), "got:\n{plan}");
         assert!(plan.contains("actual"), "got:\n{plan}");
         assert!(plan.contains("indexes built: 2"), "got:\n{plan}");
         // And the section shows up in a rendered report.
         let report = Solver::new().solve(&cycle(5), &clique(3));
         let text = ExplainReport::new(report, events).render_text();
         assert!(text.contains("join plan:"), "got:\n{text}");
+    }
+
+    #[test]
+    fn join_plan_section_renders_wcoj_levels() {
+        use cspdb_relalg::{join_all_budgeted, NamedRelation};
+        let rec = Arc::new(Recorder::new());
+        let budget = Budget::unlimited().with_trace(rec.clone());
+        let mut meter = budget.meter();
+        // A dense cyclic triangle query: R(0,1) ⋈ S(1,2) ⋈ T(2,0) over
+        // the complete 8-vertex digraph, where the AGM bound (512)
+        // undercuts the binary peak estimate and the cost gate routes
+        // to the worst-case-optimal engine.
+        let edges: Vec<Vec<u32>> = (0..8u32)
+            .flat_map(|a| (0..8u32).filter(move |&b| b != a).map(move |b| vec![a, b]))
+            .collect();
+        let r = NamedRelation::new(vec![0, 1], edges.clone());
+        let s = NamedRelation::new(vec![1, 2], edges.clone());
+        let t = NamedRelation::new(vec![2, 0], edges);
+        let joined = join_all_budgeted(vec![r, s, t], &mut meter).unwrap();
+        assert_eq!(joined.len(), 8 * 7 * 6);
+        let events = rec.take();
+        let plan = render_join_plan(&events).expect("a plan was recorded");
+        assert!(plan.contains("engine: wcoj"), "got:\n{plan}");
+        assert!(plan.contains("AGM"), "got:\n{plan}");
+        assert!(plan.contains("level 0"), "got:\n{plan}");
+        assert!(plan.contains("level 2"), "got:\n{plan}");
+        // Each triangle attribute is shared by exactly two relations.
+        assert!(plan.contains("2 relations"), "got:\n{plan}");
+        // No binary hash-join steps ran, so no per-step actuals.
+        assert!(!plan.contains("actual"), "got:\n{plan}");
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //! baseline the `e_join_order` benchmark measures the planner against.
 
 use crate::named::NamedRelation;
-use crate::planner::{common_attrs, plan_join_order, IndexCache, INDEX_CACHE_CAPACITY};
+use crate::planner::{common_attrs, plan_join_order, IndexCache, JoinOrder, INDEX_CACHE_CAPACITY};
+use crate::wcoj::{choose_engine, wcoj_join_with_order, EngineChoice};
 use cspdb_core::budget::{Budget, ExhaustionReason, Meter, Metering, SharedMeter};
 use cspdb_core::CspInstance;
 
@@ -40,17 +41,47 @@ pub fn join_all(relations: Vec<NamedRelation>) -> NamedRelation {
         .expect("unlimited budget cannot exhaust")
 }
 
-/// [`join_all`] under any [`Metering`] enforcer: the planner's order is
-/// traced ([`TraceEvent::PlanChosen`](cspdb_core::trace::TraceEvent)),
-/// each build side is indexed once through a per-call [`IndexCache`],
-/// and every intermediate row is charged against the tuple cap, so
-/// runaway intermediate results abort instead of exhausting memory.
+/// [`join_all`] under any [`Metering`] enforcer, with cost-based engine
+/// choice: the binary System-R plan is compared against the
+/// worst-case-optimal leapfrog engine ([`crate::wcoj`]) and the winner
+/// runs. The choice, order, and rationale are traced
+/// ([`TraceEvent::PlanChosen`](cspdb_core::trace::TraceEvent)). On the
+/// binary path each build side is indexed once through a per-call
+/// [`IndexCache`] and every intermediate row is charged against the
+/// tuple cap, so runaway intermediate results abort instead of
+/// exhausting memory; the WCOJ path materializes nothing but output
+/// rows, each charged as it is produced.
 pub fn join_all_metered<M: Metering>(
     relations: &[NamedRelation],
     meter: &mut M,
 ) -> Result<NamedRelation, ExhaustionReason> {
-    let plan = plan_join_order(relations);
-    meter.tracer().emit_with(|| plan.trace_event());
+    match choose_engine(relations) {
+        EngineChoice::Binary { plan, reason } => {
+            meter
+                .tracer()
+                .emit_with(|| plan.trace_event_for("binary", reason.clone()));
+            join_binary_planned(relations, &plan, meter)
+        }
+        EngineChoice::Wcoj {
+            plan,
+            attr_order,
+            reason,
+            ..
+        } => {
+            meter
+                .tracer()
+                .emit_with(|| plan.trace_event_for("wcoj", reason.clone()));
+            wcoj_join_with_order(relations, &attr_order, meter)
+        }
+    }
+}
+
+/// The binary engine: executes `plan`'s left-deep hash-join pipeline.
+fn join_binary_planned<M: Metering>(
+    relations: &[NamedRelation],
+    plan: &JoinOrder,
+    meter: &mut M,
+) -> Result<NamedRelation, ExhaustionReason> {
     let mut cache = IndexCache::new(INDEX_CACHE_CAPACITY);
     let mut acc: Option<NamedRelation> = None;
     for step in &plan.steps {

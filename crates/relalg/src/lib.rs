@@ -13,6 +13,10 @@
 //! * [`plan_join_order`] / [`HashIndex`] / [`IndexCache`] — a
 //!   connectivity-aware greedy join planner with reusable build-side
 //!   hash indexes, shared by the join pipeline and the reducer sweeps;
+//! * [`wcoj_join_metered`] / [`choose_engine`] — a worst-case-optimal
+//!   leapfrog multiway join over sorted trie views, selected cost-wise
+//!   (AGM bound vs. System-R peak estimate) for cyclic join cores like
+//!   triangles and Loomis–Whitney;
 //! * [`solve_by_join`] / [`count_by_join`] — Proposition 2.1 as code;
 //! * [`solve_acyclic`] / [`solve_acyclic_hom`] — Yannakakis' polynomial
 //!   algorithm for α-acyclic instances via GYO join trees and a full
@@ -27,6 +31,7 @@
 mod join_eval;
 mod named;
 mod planner;
+mod wcoj;
 mod yannakakis;
 
 pub use join_eval::{
@@ -37,6 +42,10 @@ pub use join_eval::{
 pub use named::NamedRelation;
 pub use planner::{
     common_attrs, plan_join_order, HashIndex, IndexCache, JoinOrder, PlanStep, INDEX_CACHE_CAPACITY,
+};
+pub use wcoj::{
+    agm_sqrt_bound, choose_engine, estimated_join_peak, global_attribute_order, is_cyclic_join,
+    wcoj_join_metered, wcoj_join_with_order, EngineChoice,
 };
 pub use yannakakis::{
     is_acyclic_instance, solve_acyclic, solve_acyclic_budgeted, solve_acyclic_hom,

@@ -62,8 +62,15 @@ impl JoinOrder {
         self.steps.iter().map(|s| s.est_rows).max().unwrap_or(0)
     }
 
-    /// The [`TraceEvent::PlanChosen`] describing this plan.
+    /// The [`TraceEvent::PlanChosen`] describing this plan, executed by
+    /// the default binary (left-deep hash join) engine.
     pub fn trace_event(&self) -> TraceEvent {
+        self.trace_event_for("binary", "left-deep hash-join pipeline".into())
+    }
+
+    /// [`trace_event`](Self::trace_event) attributed to an explicit
+    /// `engine` with the cost/structure `reason` that selected it.
+    pub fn trace_event_for(&self, engine: &'static str, reason: String) -> TraceEvent {
         TraceEvent::PlanChosen {
             relations: self.steps.len(),
             order: self.steps.iter().map(|s| s.relation as u32).collect(),
@@ -75,6 +82,8 @@ impl JoinOrder {
                 .filter(|(_, s)| s.cross_product)
                 .map(|(i, _)| i as u32)
                 .collect(),
+            engine,
+            reason,
         }
     }
 }
@@ -382,6 +391,31 @@ mod tests {
         // 4·4/4 = 4 expected output rows.
         assert_eq!(plan.steps[1].est_rows, 4);
         assert_eq!(plan.est_peak(), 4);
+    }
+
+    #[test]
+    fn adversarial_products_saturate_instead_of_truncating() {
+        // Eight pairwise-disconnected 500-row relations: the running
+        // cross-product estimate reaches 500^8 ≈ 3.9e21 > u64::MAX.
+        // The u128 → u64 store must saturate — truncation would wrap
+        // the peak down to a small number, silently wrecking both the
+        // ordering and est_peak-based heavy-lane routing.
+        let relations: Vec<NamedRelation> = (0..8u32)
+            .map(|a| NamedRelation::new(vec![a], (0..500u32).map(|v| vec![v])))
+            .collect();
+        let plan = plan_join_order(&relations);
+        assert_eq!(plan.cross_products(), 7);
+        assert_eq!(
+            plan.steps.last().expect("nonempty").est_rows,
+            u64::MAX,
+            "overflowing estimate must saturate"
+        );
+        assert_eq!(plan.est_peak(), u64::MAX);
+        // Estimates along a pure cross-product plan are monotone;
+        // wrap-around truncation broke this invariant.
+        for w in plan.steps.windows(2) {
+            assert!(w[1].est_rows >= w[0].est_rows, "{:?}", plan.steps);
+        }
     }
 
     #[test]

@@ -52,4 +52,6 @@ pub use catalog::{parse_facts, Catalog};
 pub use doctor::{run_doctor, DoctorConfig, DoctorReport};
 pub use json::{escape, parse_object, JsonValue};
 pub use proto::{relation_to_json, retry_with_backoff, Outcome, Request, RequestBody, Response};
-pub use server::{ExecHook, Rejection, Server, ServerConfig, ShutdownMode, Stats, Ticket};
+pub use server::{
+    ExecHook, Rejection, Server, ServerConfig, ShutdownMode, Stats, Ticket, MIN_RETRY_HINT_MS,
+};

@@ -193,7 +193,11 @@ pub enum Outcome {
         /// Which lane rejected it (`"normal"`/`"heavy"`).
         lane: &'static str,
         /// Server hint: how long to wait before retrying, in
-        /// milliseconds (0 = no hint; omitted from the JSON).
+        /// milliseconds. The server always emits at least
+        /// [`MIN_RETRY_HINT_MS`](crate::MIN_RETRY_HINT_MS); 0 (no hint,
+        /// omitted from the JSON) is still accepted on the wire, and
+        /// [`retry_with_backoff`] falls back to exponential backoff for
+        /// it rather than hot-spinning.
         retry_after_ms: u64,
     },
     /// The request's deadline passed before it could be executed; it

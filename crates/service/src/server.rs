@@ -32,7 +32,7 @@ use cspdb_core::faults::{FaultHandle, FaultSite};
 use cspdb_core::trace::{TraceEvent, TraceSink, Tracer};
 use cspdb_core::{Answer, Structure, VocabularyBuilder};
 use cspdb_cq::{evaluate_by_join_budgeted, is_contained_in, ConjunctiveQuery, CqEvalError};
-use cspdb_relalg::{plan_join_order, NamedRelation};
+use cspdb_relalg::{estimated_join_peak, NamedRelation};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -552,7 +552,10 @@ fn try_enqueue(
     let lane = &inner.lanes[lane_idx];
     let mut queue = lock_recover(&lane.queue, &inner.counters);
     if let Some(deadline_ms) = request.deadline_ms {
-        let est_wait_ms = queue.len() as u64 * (inner.ewma_micros.load(Ordering::Relaxed) / 1000);
+        // Multiply before dividing: `ewma / 1000` truncates sub-ms
+        // service times to 0 and silently disables deadline shedding.
+        let ewma = inner.ewma_micros.load(Ordering::Relaxed) as u128;
+        let est_wait_ms = u64::try_from(queue.len() as u128 * ewma / 1000).unwrap_or(u64::MAX);
         if est_wait_ms > deadline_ms {
             drop(queue);
             return Err((request, tx, Refusal::Expired));
@@ -589,15 +592,22 @@ fn reject_expired(inner: &Inner, id: u64) -> Result<(), Rejection> {
     Err(Rejection::Expired)
 }
 
+/// Smallest `retry_after_ms` hint the server ever emits. A 0 hint would
+/// make clients that sleep exactly the hinted duration retry in a hot
+/// loop against a still-full queue, so overload rejections always carry
+/// at least this much.
+pub const MIN_RETRY_HINT_MS: u64 = 1;
+
 /// The `retry_after_ms` hint for an overload rejection: one EWMA
 /// service time (a queue slot frees up about that often), clamped to
-/// [1, 1000]ms; 10ms before the first completion gives an estimate.
+/// [[`MIN_RETRY_HINT_MS`], 1000]ms; 10ms before the first completion
+/// gives an estimate.
 fn retry_hint(inner: &Inner) -> u64 {
     let ewma = inner.ewma_micros.load(Ordering::Relaxed);
     if ewma == 0 {
         10
     } else {
-        (ewma / 1000 + 1).clamp(1, 1000)
+        (ewma / 1000 + 1).clamp(MIN_RETRY_HINT_MS, 1000)
     }
 }
 
@@ -759,9 +769,11 @@ fn classify(inner: &Inner, body: &RequestBody) -> usize {
     }
 }
 
-/// The planner's estimated peak intermediate cardinality for evaluating
-/// `q` on `db` (`None` when the query doesn't fit the database — the
-/// worker will report the real error).
+/// The estimated peak intermediate cardinality for evaluating `q` on
+/// `db` under whichever join engine the cost gate would pick — the
+/// binary planner's peak estimate, or the AGM output bound when the
+/// worst-case-optimal engine takes the query (`None` when the query
+/// doesn't fit the database — the worker will report the real error).
 fn estimate_peak(q: &ConjunctiveQuery, db: &Structure) -> Option<u64> {
     let vars = q.variables();
     let var_index: HashMap<&str, u32> = vars
@@ -793,7 +805,7 @@ fn estimate_peak(q: &ConjunctiveQuery, db: &Structure) -> Option<u64> {
             .collect();
         relations.push(NamedRelation::new(schema, rows));
     }
-    Some(plan_join_order(&relations).est_peak())
+    Some(estimated_join_peak(&relations))
 }
 
 fn run_control(inner: &Inner, body: &RequestBody) -> Outcome {

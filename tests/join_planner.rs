@@ -15,7 +15,7 @@
 use constraint_db::core::budget::Budget;
 use constraint_db::core::trace::{Recorder, TraceEvent};
 use constraint_db::relalg::{
-    join_all_budgeted, join_all_size_ordered, plan_join_order, NamedRelation,
+    join_all_budgeted, join_all_size_ordered, plan_join_order, wcoj_join_metered, NamedRelation,
 };
 use proptest::prelude::*;
 use std::collections::BTreeSet;
@@ -40,6 +40,19 @@ fn arbitrary_relations() -> impl Strategy<Value = Vec<NamedRelation>> {
                 NamedRelation::new(attrs, rows.into_iter().map(|r| r[..width].to_vec()))
             })
             .collect()
+    })
+}
+
+/// Strategy: random triangle queries `R(0,1) ⋈ S(1,2) ⋈ T(2,0)` — the
+/// canonical cyclic join core the worst-case-optimal engine exists for.
+fn cyclic_triangle_relations() -> impl Strategy<Value = Vec<NamedRelation>> {
+    let edges = || prop::collection::vec(prop::collection::vec(0u32..4, 2), 0..12usize);
+    (edges(), edges(), edges()).prop_map(|(r, s, t)| {
+        vec![
+            NamedRelation::new(vec![0, 1], r),
+            NamedRelation::new(vec![1, 2], s),
+            NamedRelation::new(vec![2, 0], t),
+        ]
     })
 }
 
@@ -192,6 +205,79 @@ proptest! {
             })
             .sum();
         prop_assert_eq!(recorded, meter.usage().tuples, "trace/meter drift");
+    }
+
+    /// Property (4a): the worst-case-optimal leapfrog engine is a drop-in
+    /// replacement — on arbitrary relation sets (acyclic, cyclic,
+    /// disconnected, empty) it computes the same tuple set as the
+    /// size-only left-deep baseline, and its trace events account for
+    /// exactly the tuples the meter charged.
+    #[test]
+    fn wcoj_equals_size_ordered_on_arbitrary_relations(rels in arbitrary_relations()) {
+        let rec = std::sync::Arc::new(Recorder::new());
+        let budget = Budget::unlimited().with_trace(rec.clone());
+        let mut meter = budget.meter();
+        let wcoj = wcoj_join_metered(&rels, &mut meter)
+            .expect("unlimited budget cannot exhaust");
+        let baseline = join_all_size_ordered(rels);
+        prop_assert_eq!(
+            canonical_rows(&wcoj),
+            canonical_rows(&baseline),
+            "wcoj and size-ordered joins disagree"
+        );
+        let recorded: u64 = rec
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Operator { output_rows, .. } => Some(*output_rows),
+                _ => None,
+            })
+            .sum();
+        prop_assert_eq!(recorded, meter.usage().tuples, "wcoj trace/meter drift");
+    }
+
+    /// Property (4b): on the cyclic triangle family the engines still
+    /// agree, and the per-level trace cardinalities are internally
+    /// consistent — the deepest level's surviving-binding count is
+    /// exactly the output cardinality the meter charged.
+    #[test]
+    fn wcoj_equals_size_ordered_on_cyclic_triangles(rels in cyclic_triangle_relations()) {
+        let rec = std::sync::Arc::new(Recorder::new());
+        let budget = Budget::unlimited().with_trace(rec.clone());
+        let mut meter = budget.meter();
+        let wcoj = wcoj_join_metered(&rels, &mut meter)
+            .expect("unlimited budget cannot exhaust");
+        let baseline = join_all_size_ordered(rels);
+        prop_assert_eq!(
+            canonical_rows(&wcoj),
+            canonical_rows(&baseline),
+            "wcoj disagrees with the baseline on a triangle"
+        );
+        let events = rec.events();
+        // Levels are emitted only when the trie recursion actually ran
+        // (an empty input short-circuits the engine without levels).
+        let deepest = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::WcojLevel { level: 2, matches, .. } => Some(*matches),
+                _ => None,
+            })
+            .next();
+        if let Some(matches) = deepest {
+            prop_assert_eq!(
+                matches,
+                wcoj.len() as u64,
+                "deepest-level matches must equal the output cardinality"
+            );
+        }
+        let recorded: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Operator { output_rows, .. } => Some(*output_rows),
+                _ => None,
+            })
+            .sum();
+        prop_assert_eq!(recorded, meter.usage().tuples, "wcoj trace/meter drift");
     }
 
 }

@@ -9,6 +9,7 @@
 //! truncations of valid requests, single-byte flips of valid requests,
 //! and a corpus of targeted nasty inputs.
 
+use constraint_db::core::FaultPlan;
 use constraint_db::service::Request;
 
 struct XorShift(u64);
@@ -143,6 +144,58 @@ fn parse_survives_targeted_nasty_inputs() {
     ];
     for input in &nasty {
         total(input);
+    }
+}
+
+#[test]
+fn fault_spec_parse_is_total_and_rejects_duplicates() {
+    // Totality over key/value soup built from the real vocabulary plus
+    // junk: FaultPlan::parse must answer Ok or Err, never panic.
+    const KEYS: &[&str] = &[
+        "seed",
+        "slow-ms",
+        "panic",
+        "poison",
+        "slow",
+        "truncate",
+        "corrupt",
+        "queue-full",
+        "frobnicate",
+        "",
+        " seed ",
+        "=",
+    ];
+    const VALUES: &[&str] = &["0", "1", "7", "99999999999999999999", "x", "", " 3 ", "-1"];
+    let mut rng = XorShift::new(0x5eed_4444_fa07_01aa);
+    for _ in 0..5_000 {
+        let parts = (rng.next() % 6) as usize;
+        let spec: Vec<String> = (0..parts)
+            .map(|_| {
+                let k = KEYS[(rng.next() as usize) % KEYS.len()];
+                let v = VALUES[(rng.next() as usize) % VALUES.len()];
+                if rng.next().is_multiple_of(8) {
+                    k.to_string()
+                } else {
+                    format!("{k}={v}")
+                }
+            })
+            .collect();
+        let spec = spec.join(",");
+        let result = FaultPlan::parse(&spec);
+        // A spec that names the same (trimmed) key twice must be a
+        // typed duplicate error, never a silent last-wins parse.
+        let mut keys: Vec<&str> = spec
+            .split(',')
+            .filter_map(|p| p.trim().split_once('=').map(|(k, _)| k.trim()))
+            .collect();
+        keys.sort_unstable();
+        let had_duplicate = keys.windows(2).any(|w| w[0] == w[1]);
+        if had_duplicate && result.is_ok() {
+            panic!("duplicate key accepted: `{spec}`");
+        }
+        if let Err(e) = &result {
+            assert!(!e.is_empty(), "error for `{spec}` must carry a message");
+        }
     }
 }
 

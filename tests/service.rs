@@ -175,6 +175,15 @@ fn full_lane_rejects_with_typed_overload() {
         "overload carries a retry hint: {}",
         resp.to_json()
     );
+    // The hint must never be 0: a client sleeping exactly the hinted
+    // duration would otherwise hot-spin against a still-full queue.
+    let Outcome::Overloaded { retry_after_ms, .. } = resp.outcome else {
+        panic!("overloaded rejection expected, got {:?}", resp.outcome);
+    };
+    assert!(
+        retry_after_ms >= constraint_db::service::MIN_RETRY_HINT_MS,
+        "retry hint {retry_after_ms} below minimum"
+    );
     gate.release();
     assert_eq!(t1.wait().status(), "ok");
     assert_eq!(t2.wait().status(), "ok");
