@@ -1,0 +1,195 @@
+//! e_durable: restart-with-warm-cache vs cold-start latency.
+//!
+//! A durable server is populated with a graph database and a Zipf-ish
+//! stream of conjunctive queries, then shut down. The experiment
+//! compares two ways of serving the same stream again:
+//!
+//! * **cold start** — a fresh data directory: the database must be
+//!   re-put and every distinct query core recomputed;
+//! * **warm restart** — the same data directory: the catalog is
+//!   replayed from snapshot + log and the semantic cache warm-starts
+//!   from the persisted entry index, so confirmed hits skip evaluation.
+//!
+//! Before timing, the harness asserts the warm restart recovers the
+//! catalog (no re-put), warms at least one cache entry, and answers
+//! byte-identically to the cold run. The measurements are written to
+//! BENCH_durable.json at the repo root (consumed by EXPERIMENTS.md
+//! § E-durable).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cspdb_service::{DurableStorage, Outcome, Request, RequestBody, Server, ServerConfig};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo + 1)
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cspdb-e-durable-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The shared graph: a cycle with random chords.
+fn facts(rng: &mut XorShift, n: u64) -> String {
+    let mut lines: Vec<String> = (0..n).map(|i| format!("E {i} {}", (i + 1) % n)).collect();
+    for _ in 0..n / 2 {
+        lines.push(format!("E {} {}", rng.range(0, n - 1), rng.range(0, n - 1)));
+    }
+    lines.join("\n")
+}
+
+/// A small pool of distinct query cores: paths of length 1..=4 plus a
+/// triangle, each rendered several times with renamed variables so the
+/// stream exercises the semantic (core-keyed) cache.
+fn workload(rng: &mut XorShift, len: usize) -> Vec<Request> {
+    let vars = ["X", "Y", "Z", "W", "V"];
+    (0..len)
+        .map(|i| {
+            let hops = 1 + (rng.range(0, 3)) as usize;
+            let salt = rng.range(0, 2);
+            let atoms: Vec<String> = (0..hops)
+                .map(|h| format!("E({}{salt},{}{salt})", vars[h], vars[h + 1]))
+                .collect();
+            let query = format!(
+                "Q({}{salt},{}{salt}) :- {}",
+                vars[0],
+                vars[hops],
+                atoms.join(", ")
+            );
+            Request::new(
+                i as u64 + 10,
+                RequestBody::Cq {
+                    db: "g".into(),
+                    query,
+                },
+            )
+        })
+        .collect()
+}
+
+fn durable_server(dir: &Path) -> Server {
+    let storage = DurableStorage::open(dir.to_path_buf()).expect("open data dir");
+    Server::start(ServerConfig {
+        storage: Some(Arc::new(storage)),
+        ..ServerConfig::default()
+    })
+}
+
+/// Runs the stream and returns (answers in order, confirmed hits).
+fn run(server: &Server, reqs: &[Request]) -> (Vec<String>, usize) {
+    let mut answers = Vec::with_capacity(reqs.len());
+    let mut hits = 0usize;
+    for r in reqs {
+        let resp = server.submit(r.clone()).unwrap().wait();
+        match resp.outcome {
+            Outcome::Answers { rows, cached, .. } => {
+                answers.push(rows);
+                hits += usize::from(cached);
+            }
+            other => panic!("request {} failed: {other:?}", r.id),
+        }
+    }
+    (answers, hits)
+}
+
+/// Cold start: fresh directory, put + full stream.
+fn cold_start(dir: &Path, db: &str, reqs: &[Request]) -> (f64, Vec<String>) {
+    let _ = std::fs::remove_dir_all(dir);
+    let start = Instant::now();
+    let server = durable_server(dir);
+    let put = Request::new(
+        1,
+        RequestBody::Put {
+            db: "g".into(),
+            facts: db.into(),
+        },
+    );
+    assert_eq!(server.submit(put).unwrap().wait().status(), "ok");
+    let (answers, _) = run(&server, reqs);
+    let elapsed = start.elapsed().as_secs_f64();
+    server.shutdown(cspdb_service::ShutdownMode::Drain);
+    (elapsed, answers)
+}
+
+/// Warm restart: reopen the populated directory, no put, full stream.
+fn warm_restart(dir: &Path, reqs: &[Request]) -> (f64, Vec<String>, usize, u64) {
+    let start = Instant::now();
+    let server = durable_server(dir);
+    let (answers, hits) = run(&server, reqs);
+    let elapsed = start.elapsed().as_secs_f64();
+    let warmed = server.stats().cache_warmed;
+    server.shutdown(cspdb_service::ShutdownMode::Drain);
+    (elapsed, answers, hits, warmed)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut rng = XorShift(0xd02a_b1e5_eed0_0008);
+    let mut records = Vec::new();
+    for n in [40u64, 80] {
+        let db = facts(&mut rng, n);
+        let reqs = workload(&mut rng, 60);
+        let dir = tmp_dir(&format!("n{n}"));
+
+        // Populate once, then compare a cold start against a warm
+        // restart over the identical stream.
+        let (_, cold_answers) = cold_start(&dir, &db, &reqs);
+        let (warm_t, warm_answers, warm_hits, warmed) = warm_restart(&dir, &reqs);
+        let cold_dir = tmp_dir(&format!("n{n}-cold"));
+        let (cold_t, cold_again) = cold_start(&cold_dir, &db, &reqs);
+
+        assert_eq!(cold_answers, warm_answers, "n={n}: warm answers diverge");
+        assert_eq!(cold_answers, cold_again, "n={n}: cold answers diverge");
+        assert!(warmed >= 1, "n={n}: no cache entries warm-started");
+        assert!(warm_hits >= 1, "n={n}: no confirmed warm hits");
+
+        records.push(format!(
+            concat!(
+                "{{\"domain\":{},\"requests\":{},\"warm_hits\":{},\"warmed_entries\":{},",
+                "\"cold_secs\":{:.6},\"warm_secs\":{:.6},\"speedup\":{:.3}}}"
+            ),
+            n,
+            reqs.len(),
+            warm_hits,
+            warmed,
+            cold_t,
+            warm_t,
+            cold_t / warm_t.max(1e-9)
+        ));
+
+        let mut group = c.benchmark_group("e_durable");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("cold_start", n), &n, |b, _| {
+            b.iter(|| cold_start(&cold_dir, &db, &reqs).1.len())
+        });
+        group.bench_with_input(BenchmarkId::new("warm_restart", n), &n, |b, _| {
+            b.iter(|| warm_restart(&dir, &reqs).1.len())
+        });
+        group.finish();
+
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&cold_dir);
+    }
+    let out = format!(
+        "{{\"bench\":\"e_durable\",\"configs\":[{}]}}\n",
+        records.join(",")
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_durable.json");
+    std::fs::write(&path, out).expect("write BENCH_durable.json");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

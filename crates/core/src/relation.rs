@@ -34,8 +34,26 @@ impl Relation {
     /// # Errors
     ///
     /// Returns [`CoreError::ArityMismatch`] if any tuple has the wrong
-    /// length (the symbol name in the error is a placeholder `_`).
+    /// length (the symbol name in the error is a placeholder `_`; use
+    /// [`Relation::from_tuples_named`] when the relation symbol is
+    /// known).
     pub fn from_tuples<I, T>(arity: usize, tuples: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = T>,
+        T: AsRef<[u32]>,
+    {
+        Self::from_tuples_named("_", arity, tuples)
+    }
+
+    /// [`Relation::from_tuples`] with the real relation symbol threaded
+    /// into any [`CoreError::ArityMismatch`], so errors name the
+    /// offending relation instead of the placeholder `_`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ArityMismatch`] naming `symbol` if any
+    /// tuple has the wrong length.
+    pub fn from_tuples_named<I, T>(symbol: &str, arity: usize, tuples: I) -> Result<Self>
     where
         I: IntoIterator<Item = T>,
         T: AsRef<[u32]>,
@@ -45,7 +63,7 @@ impl Relation {
             let t = t.as_ref();
             if t.len() != arity {
                 return Err(CoreError::ArityMismatch {
-                    symbol: "_".into(),
+                    symbol: symbol.into(),
                     expected: arity,
                     got: t.len(),
                 });
@@ -310,6 +328,26 @@ mod tests {
         assert!(Relation::from_tuples(2, [&[1u32, 2, 3][..]]).is_err());
         let mut r = Relation::empty(2);
         assert!(r.insert(&[1]).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_names_the_symbol() {
+        let err = Relation::from_tuples_named("Edge", 2, [&[1u32][..]]).unwrap_err();
+        match &err {
+            CoreError::ArityMismatch {
+                symbol,
+                expected,
+                got,
+            } => {
+                assert_eq!(symbol, "Edge");
+                assert_eq!((*expected, *got), (2, 1));
+            }
+            other => panic!("expected ArityMismatch, got {other:?}"),
+        }
+        assert!(err.to_string().contains("Edge"));
+        // The unnamed constructor still reports the placeholder.
+        let err = Relation::from_tuples(2, [&[1u32][..]]).unwrap_err();
+        assert!(err.to_string().contains('_'));
     }
 
     #[test]

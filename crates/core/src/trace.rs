@@ -298,6 +298,38 @@ pub enum TraceEvent {
         /// Client-assigned request id.
         id: u64,
     },
+    /// A durable snapshot of a named database was written to disk.
+    SnapshotWritten {
+        /// Database name.
+        db: String,
+        /// Version the snapshot captures.
+        version: u64,
+        /// Size of the snapshot record in bytes.
+        bytes: u64,
+    },
+    /// A named database's snapshot and append log were replayed at
+    /// startup.
+    LogReplayed {
+        /// Database name.
+        db: String,
+        /// Version recovered (highest valid record).
+        version: u64,
+        /// Valid log records replayed on top of the snapshot.
+        records: u64,
+        /// True when a torn (partially written or corrupt) tail was
+        /// found and truncated during replay.
+        torn_truncated: bool,
+    },
+    /// An append log crossed the compaction threshold and was folded
+    /// into a fresh snapshot.
+    LogCompacted {
+        /// Database name.
+        db: String,
+        /// Version of the fresh snapshot.
+        version: u64,
+        /// Log records folded away.
+        folded: u64,
+    },
 }
 
 /// Escapes `s` for embedding in a JSON string literal.
@@ -347,6 +379,9 @@ impl TraceEvent {
             TraceEvent::WorkerPanicked { .. } => "worker_panicked",
             TraceEvent::RequestExpired { .. } => "request_expired",
             TraceEvent::RequestDegraded { .. } => "request_degraded",
+            TraceEvent::SnapshotWritten { .. } => "snapshot_written",
+            TraceEvent::LogReplayed { .. } => "log_replayed",
+            TraceEvent::LogCompacted { .. } => "log_compacted",
         }
     }
 
@@ -559,6 +594,33 @@ impl TraceEvent {
             }
             TraceEvent::RequestDegraded { id } => {
                 s.push_str(&format!(",\"id\":{id}"));
+            }
+            TraceEvent::SnapshotWritten { db, version, bytes } => {
+                s.push_str(&format!(
+                    ",\"db\":\"{}\",\"version\":{version},\"bytes\":{bytes}",
+                    json_escape(db)
+                ));
+            }
+            TraceEvent::LogReplayed {
+                db,
+                version,
+                records,
+                torn_truncated,
+            } => {
+                s.push_str(&format!(
+                    ",\"db\":\"{}\",\"version\":{version},\"records\":{records},\"torn_truncated\":{torn_truncated}",
+                    json_escape(db)
+                ));
+            }
+            TraceEvent::LogCompacted {
+                db,
+                version,
+                folded,
+            } => {
+                s.push_str(&format!(
+                    ",\"db\":\"{}\",\"version\":{version},\"folded\":{folded}",
+                    json_escape(db)
+                ));
             }
         }
         s.push('}');
@@ -977,6 +1039,22 @@ mod tests {
                 waited_micros: 1500,
             },
             TraceEvent::RequestDegraded { id: 13 },
+            TraceEvent::SnapshotWritten {
+                db: "g".into(),
+                version: 3,
+                bytes: 512,
+            },
+            TraceEvent::LogReplayed {
+                db: "g".into(),
+                version: 3,
+                records: 2,
+                torn_truncated: true,
+            },
+            TraceEvent::LogCompacted {
+                db: "g".into(),
+                version: 3,
+                folded: 8,
+            },
         ];
         for ev in &events {
             let json = ev.to_json();

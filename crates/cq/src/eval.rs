@@ -93,7 +93,7 @@ pub fn evaluate_by_search_budgeted(
     if let cspdb_solver::Outcome::BudgetExhausted(reason) = outcome {
         return Err(CqEvalError::Exhausted(reason));
     }
-    Relation::from_tuples(dist_elems.len(), answers.iter())
+    Relation::from_tuples_named(&q.name, dist_elems.len(), answers.iter())
         .map_err(|e| CqEvalError::Invalid(e.to_string()))
 }
 
@@ -179,7 +179,7 @@ pub fn evaluate_by_join_budgeted(
         return Ok(Relation::empty(dist_attrs.len()));
     }
     let projected = joined.project(&dist_attrs);
-    Relation::from_tuples(dist_attrs.len(), projected.rows().iter())
+    Relation::from_tuples_named(&q.name, dist_attrs.len(), projected.rows().iter())
         .map_err(|e| CqEvalError::Invalid(e.to_string()))
 }
 

@@ -1,6 +1,7 @@
 //! The unified [`Solver`] facade and the governed dispatch machinery.
 //!
-//! One builder subsumes every historical `auto_solve*` entry point:
+//! One builder covers every solving mode — plain, budget-governed, and
+//! the parallel portfolio race:
 //!
 //! ```
 //! use cspdb::{Solver, SolveStrategy};
@@ -71,7 +72,8 @@ impl std::fmt::Display for Strategy {
     }
 }
 
-/// The result of a plain (unbudgeted) [`auto_solve`]-style run.
+/// The result of a plain (unbudgeted) solve, as returned by
+/// [`GovernedReport::expect_decided`].
 #[derive(Debug, Clone)]
 pub struct SolveReport {
     /// The strategy that produced the answer.

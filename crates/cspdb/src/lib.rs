@@ -63,99 +63,56 @@ pub use facade::{
     TierAttempt, TierOutcome, TraceSummary,
 };
 
-use cspdb_core::budget::Budget;
-use cspdb_core::{CspInstance, Structure};
-
-/// Dispatches on the paper's tractability map and solves `A -> B` with
-/// the best algorithm the theory licenses, unbudgeted.
-#[deprecated(since = "0.4.0", note = "use `Solver::new().solve(a, b)`")]
-pub fn auto_solve(a: &Structure, b: &Structure) -> SolveReport {
-    Solver::new().solve(a, b).expect_decided()
-}
-
-/// [`auto_solve`] for a classical CSP instance, unbudgeted.
-#[deprecated(since = "0.4.0", note = "use `Solver::new().solve_csp(instance)`")]
-pub fn auto_solve_csp(instance: &CspInstance) -> SolveReport {
-    Solver::new().solve_csp(instance).expect_decided()
-}
-
-/// Resource-governed dispatch for the homomorphism problem `A -> B`:
-/// the sequential degradation ladder under budget slices.
-#[deprecated(
-    since = "0.4.0",
-    note = "use `Solver::new().budget(budget).solve(a, b)`"
-)]
-pub fn auto_solve_governed(a: &Structure, b: &Structure, budget: &Budget) -> GovernedReport {
-    Solver::new().budget(budget.clone()).solve(a, b)
-}
-
-/// [`auto_solve_governed`] for a classical CSP instance.
-#[deprecated(
-    since = "0.4.0",
-    note = "use `Solver::new().budget(budget).solve_csp(instance)`"
-)]
-pub fn auto_solve_governed_csp(instance: &CspInstance, budget: &Budget) -> GovernedReport {
-    Solver::new().budget(budget.clone()).solve_csp(instance)
-}
-
-/// Portfolio dispatch for the homomorphism problem `A -> B`: the
-/// applicable strategies race in parallel under one shared meter.
-#[deprecated(
-    since = "0.4.0",
-    note = "use `Solver::new().budget(budget).strategy(SolveStrategy::Portfolio).solve(a, b)`"
-)]
-pub fn auto_solve_portfolio(a: &Structure, b: &Structure, budget: &Budget) -> GovernedReport {
-    Solver::new()
-        .budget(budget.clone())
-        .strategy(SolveStrategy::Portfolio)
-        .solve(a, b)
-}
-
-/// [`auto_solve_portfolio`] for a classical CSP instance.
-#[deprecated(
-    since = "0.4.0",
-    note = "use `Solver::new().budget(budget).strategy(SolveStrategy::Portfolio).solve_csp(instance)`"
-)]
-pub fn auto_solve_portfolio_csp(instance: &CspInstance, budget: &Budget) -> GovernedReport {
-    Solver::new()
-        .budget(budget.clone())
-        .strategy(SolveStrategy::Portfolio)
-        .solve_csp(instance)
-}
-
 #[cfg(test)]
-mod deprecated_surface_tests {
-    //! The legacy entry points must keep compiling and agreeing with the
-    //! facade until they are removed.
-    #![allow(deprecated)]
+mod facade_surface_tests {
+    //! The [`Solver`] builder is the one public entry point; these keep
+    //! its default-settings behaviour pinned over randomized instances
+    //! (the parity coverage the removed `auto_solve*` shims used to
+    //! exercise).
 
     use super::*;
+    use cspdb_core::budget::Budget;
     use cspdb_core::graphs::{clique, cycle};
+    use cspdb_core::CspInstance;
 
     #[test]
-    fn legacy_entry_points_still_answer_correctly() {
-        assert!(auto_solve(&cycle(6), &clique(2)).witness.is_some());
-        assert!(auto_solve(&cycle(7), &clique(2)).witness.is_none());
-        let governed = auto_solve_governed(&cycle(5), &clique(3), &Budget::unlimited());
+    fn builder_entry_points_answer_correctly() {
+        let solve = |a: &_, b: &_| Solver::new().solve(a, b).expect_decided();
+        assert!(solve(&cycle(6), &clique(2)).witness.is_some());
+        assert!(solve(&cycle(7), &clique(2)).witness.is_none());
+        let governed = Solver::new()
+            .budget(Budget::unlimited())
+            .solve(&cycle(5), &clique(3));
         assert!(governed.answer.is_sat());
-        let portfolio = auto_solve_portfolio(&cycle(5), &clique(3), &Budget::unlimited());
+        let portfolio = Solver::new()
+            .budget(Budget::unlimited())
+            .strategy(SolveStrategy::Portfolio)
+            .solve(&cycle(5), &clique(3));
         assert!(portfolio.answer.is_sat());
         let instance = CspInstance::from_homomorphism(&cycle(5), &clique(3)).unwrap();
-        assert!(auto_solve_csp(&instance).witness.is_some());
-        assert!(auto_solve_governed_csp(&instance, &Budget::unlimited())
+        assert!(Solver::new()
+            .solve_csp(&instance)
+            .expect_decided()
+            .witness
+            .is_some());
+        assert!(Solver::new()
+            .budget(Budget::unlimited())
+            .solve_csp(&instance)
             .answer
             .is_sat());
-        assert!(auto_solve_portfolio_csp(&instance, &Budget::unlimited())
+        assert!(Solver::new()
+            .budget(Budget::unlimited())
+            .strategy(SolveStrategy::Portfolio)
+            .solve_csp(&instance)
             .answer
             .is_sat());
     }
 
-    /// The deprecated shims are one-line delegations to the [`Solver`]
-    /// facade with default settings; their reports must stay *identical*
-    /// to the facade's over randomized instances, not just on the few
-    /// fixed graphs above.
+    /// Default-settings dispatch is deterministic: two fresh builders
+    /// must agree on strategy and answer over randomized instances
+    /// (structure-vs-structure and the CSP view of the same problem).
     #[test]
-    fn legacy_shims_match_facade_defaults_on_random_instances() {
+    fn facade_defaults_are_deterministic_on_random_instances() {
         use cspdb_core::graphs::undirected;
 
         let mut state = 0x9e37_79b9_u64;
@@ -179,36 +136,30 @@ mod deprecated_surface_tests {
             let k = 2 + (next() % 3) as usize;
             let b = clique(k);
 
-            let facade = Solver::new().solve(&a, &b).expect_decided();
-            let legacy = auto_solve(&a, &b);
+            let first = Solver::new().solve(&a, &b).expect_decided();
+            let second = Solver::new().solve(&a, &b).expect_decided();
             assert_eq!(
-                legacy.strategy, facade.strategy,
+                first.strategy, second.strategy,
                 "round {round}: strategy diverged (n={n}, k={k})"
             );
             assert_eq!(
-                legacy.witness.is_some(),
-                facade.witness.is_some(),
+                first.witness.is_some(),
+                second.witness.is_some(),
                 "round {round}: answer diverged (n={n}, k={k})"
             );
 
-            let governed_facade = Solver::new().solve(&a, &b);
-            let governed_legacy = auto_solve_governed(&a, &b, &Budget::unlimited());
+            let governed = Solver::new().budget(Budget::unlimited()).solve(&a, &b);
             assert_eq!(
-                governed_legacy.answer.is_sat(),
-                governed_facade.answer.is_sat(),
+                governed.answer.is_sat(),
+                first.witness.is_some(),
                 "round {round}: governed answer diverged (n={n}, k={k})"
-            );
-            assert_eq!(
-                governed_legacy.strategy, governed_facade.strategy,
-                "round {round}: governed strategy diverged (n={n}, k={k})"
             );
 
             if let Ok(instance) = CspInstance::from_homomorphism(&a, &b) {
-                let csp_facade = Solver::new().solve_csp(&instance).expect_decided();
-                let csp_legacy = auto_solve_csp(&instance);
+                let csp = Solver::new().solve_csp(&instance).expect_decided();
                 assert_eq!(
-                    csp_legacy.witness.is_some(),
-                    csp_facade.witness.is_some(),
+                    csp.witness.is_some(),
+                    first.witness.is_some(),
                     "round {round}: csp answer diverged (n={n}, k={k})"
                 );
             }

@@ -4,22 +4,61 @@
 //! the semantic cache keys entries by `(name, version, core)`, so stale
 //! answers die with the version they were computed against.
 
+use crate::storage::{MemStorage, Storage, StorageError};
 use cspdb_core::{Structure, VocabularyBuilder};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-/// A concurrent map from database names to versioned structures.
-#[derive(Debug, Default)]
+/// A concurrent map from database names to versioned structures,
+/// mirrored through a [`Storage`] backend (a no-op for the default
+/// in-memory [`MemStorage`]).
+#[derive(Debug)]
 pub struct Catalog {
     inner: RwLock<HashMap<String, (u64, Arc<Structure>)>>,
     recoveries: AtomicU64,
+    storage: Arc<dyn Storage>,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog {
+            inner: RwLock::new(HashMap::new()),
+            recoveries: AtomicU64::new(0),
+            storage: Arc::new(MemStorage),
+        }
+    }
 }
 
 impl Catalog {
-    /// An empty catalog.
+    /// An empty, non-durable catalog.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Opens a catalog backed by `storage`, replaying every persisted
+    /// database (and the torn-tail truncation that entails).
+    ///
+    /// # Errors
+    ///
+    /// When the backend cannot enumerate or read its data
+    /// ([`StorageError::Io`]); individual corrupt records are skipped
+    /// by the backend, not fatal here.
+    pub fn open(storage: Arc<dyn Storage>) -> Result<Self, StorageError> {
+        let mut map = HashMap::new();
+        for db in storage.load()? {
+            map.insert(db.name, (db.version, Arc::new(db.structure)));
+        }
+        Ok(Catalog {
+            inner: RwLock::new(map),
+            recoveries: AtomicU64::new(0),
+            storage,
+        })
+    }
+
+    /// The storage backend this catalog records through.
+    pub fn storage(&self) -> &Arc<dyn Storage> {
+        &self.storage
     }
 
     /// Read-locks the map, recovering from poison. The map's contents
@@ -56,7 +95,10 @@ impl Catalog {
 
     /// Creates or replaces `name`, returning the new version (versions
     /// start at 1 and only ever grow, so an old version never aliases a
-    /// new structure in cache keys).
+    /// new structure in cache keys). The write is recorded to storage
+    /// *inside* the write lock, so log order always matches version
+    /// order; a failed durable write keeps the in-memory update and is
+    /// counted by the backend ([`Storage::stats`]).
     pub fn put(&self, name: &str, structure: Structure) -> u64 {
         let mut map = self.write_recover();
         let entry = map
@@ -64,7 +106,9 @@ impl Catalog {
             .or_insert((0, Arc::new(structure.clone())));
         entry.0 += 1;
         entry.1 = Arc::new(structure);
-        entry.0
+        let version = entry.0;
+        let _ = self.storage.record_put(name, version, &entry.1);
+        version
     }
 
     /// The current `(version, structure)` of `name`, if present.
@@ -149,6 +193,29 @@ mod tests {
         assert_eq!(cat.put("g", g2), 2);
         assert_eq!(cat.get("g").unwrap().0, 2);
         assert_eq!(cat.names(), vec!["g".to_string()]);
+    }
+
+    #[test]
+    fn durable_catalog_survives_reopen() {
+        use crate::storage::DurableStorage;
+        let dir = std::env::temp_dir().join(format!("cspdb-catalog-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let store = Arc::new(DurableStorage::open(&dir).unwrap());
+            let cat = Catalog::open(store).unwrap();
+            cat.put("g", parse_facts("E 0 1\n").unwrap());
+            cat.put("g", parse_facts("E 0 1\nE 1 2\n").unwrap());
+            cat.put("h", parse_facts("P 0\n").unwrap());
+        }
+        let store = Arc::new(DurableStorage::open(&dir).unwrap());
+        let cat = Catalog::open(store).unwrap();
+        assert_eq!(cat.names(), vec!["g".to_string(), "h".to_string()]);
+        let (v, s) = cat.get("g").unwrap();
+        assert_eq!((v, s.domain_size()), (2, 3));
+        assert_eq!(cat.get("h").unwrap().0, 1);
+        // Versions keep growing across the restart.
+        assert_eq!(cat.put("g", parse_facts("E 0 1\n").unwrap()), 3);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -23,12 +23,24 @@
 //! 5. **Faults actually fired** — when the plan injects worker panics
 //!    or lock poisoning, the server must have isolated at least one
 //!    (a plan that never fires would make the other checks vacuous).
+//! 6. **Durable state verifies** — with a data directory, the on-disk
+//!    records checksum clean and snapshot/log versions agree after the
+//!    workload, and a kill-mid-append drill (driven by the plan's
+//!    truncate/corrupt wire sites, replayed against scratch stores)
+//!    recovers byte-identically to an uninterrupted run: the torn tail
+//!    is truncated and no tuple is invented.
 
 use crate::proto::{Outcome, Request, RequestBody, Response};
 use crate::server::{Rejection, Server, ServerConfig, ShutdownMode, Stats};
+use crate::storage::{
+    encode_db_payload, encode_record, structure_to_facts, verify_data_dir, DurableStorage, Storage,
+    StorageStats,
+};
 use cspdb_core::{Budget, FaultPlan, FaultSite};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// How long the doctor waits for any single expected event before
@@ -50,6 +62,10 @@ pub struct DoctorConfig {
     pub workers: usize,
     /// Heavy-lane workers.
     pub heavy_workers: usize,
+    /// Run the workload against a [`DurableStorage`] rooted here and
+    /// check invariant 6 (on-disk integrity + kill-mid-append drill).
+    /// `None` keeps the doctor fully in-memory.
+    pub data_dir: Option<PathBuf>,
 }
 
 impl Default for DoctorConfig {
@@ -68,6 +84,7 @@ impl Default for DoctorConfig {
                 .with_period(FaultSite::QueueFull, 6),
             workers: 2,
             heavy_workers: 1,
+            data_dir: None,
         }
     }
 }
@@ -87,6 +104,8 @@ pub struct DoctorReport {
     pub injected: Vec<(&'static str, u64)>,
     /// The server's final stats snapshot.
     pub stats: Stats,
+    /// The storage backend's counters (`None` without a data dir).
+    pub storage: Option<StorageStats>,
     /// Invariant violations. Empty means the service is healthy.
     pub violations: Vec<String>,
 }
@@ -127,6 +146,17 @@ impl DoctorReport {
             self.stats.degraded,
             self.stats.hit_rate,
         ));
+        if let Some(s) = &self.storage {
+            out.push_str(&format!(
+                "storage: snapshots={} replayed={} compactions={} \
+                 torn_truncated={} write_errors={}\n",
+                s.snapshots_written,
+                s.log_records_replayed,
+                s.log_compactions,
+                s.torn_tails_truncated,
+                s.write_errors,
+            ));
+        }
         if self.healthy() {
             out.push_str("verdict: healthy — every invariant held\n");
         } else {
@@ -247,6 +277,16 @@ pub fn run_doctor(config: &DoctorConfig) -> DoctorReport {
         .with_tuple_limit(200_000)
         .with_faults(config.plan.clone());
     let faults = budget.faults().clone();
+    let storage: Option<Arc<dyn Storage>> = match &config.data_dir {
+        Some(dir) => match DurableStorage::open(dir) {
+            Ok(store) => Some(Arc::new(store)),
+            Err(e) => {
+                violations.push(format!("data dir {}: {e}", dir.display()));
+                None
+            }
+        },
+        None => None,
+    };
     let server = Server::start(ServerConfig {
         workers: config.workers.max(1),
         heavy_workers: config.heavy_workers.max(1),
@@ -257,6 +297,7 @@ pub fn run_doctor(config: &DoctorConfig) -> DoctorReport {
         global_budget: budget,
         trace: None,
         exec_hook: None,
+        storage: storage.clone(),
     });
 
     // Seed two small databases through the real control plane.
@@ -494,6 +535,31 @@ pub fn run_doctor(config: &DoctorConfig) -> DoctorReport {
         violations.push("lock poisoning configured but no poisoned lock was recovered".into());
     }
 
+    // Invariant 6: durable state verifies. The live directory must
+    // checksum clean and agree on versions after the whole workload,
+    // and the kill-mid-append drill must recover byte-identically.
+    let storage_stats = storage.as_ref().map(|s| s.stats());
+    if let Some(dir) = &config.data_dir {
+        match verify_data_dir(dir, false) {
+            Ok(issues) => {
+                for issue in issues {
+                    violations.push(format!("integrity: {}: {}", issue.file, issue.problem));
+                }
+            }
+            Err(e) => violations.push(format!("integrity check failed to run: {e}")),
+        }
+        if let Some(s) = &storage_stats {
+            if s.write_errors > 0 {
+                violations.push(format!("{} durable write(s) failed", s.write_errors));
+            }
+        }
+        let truncate = config.plan.period(FaultSite::WireTruncate) > 0;
+        let corrupt = config.plan.period(FaultSite::WireCorrupt) > 0;
+        if truncate || corrupt {
+            recovery_drill(dir, config.seed, truncate, corrupt, &mut violations);
+        }
+    }
+
     let mut by_status: Vec<(&'static str, u64)> = by_status.into_iter().collect();
     by_status.sort_unstable();
     let injected: Vec<(&'static str, u64)> = FaultSite::all()
@@ -507,7 +573,124 @@ pub fn run_doctor(config: &DoctorConfig) -> DoctorReport {
         by_status,
         injected,
         stats,
+        storage: storage_stats,
         violations,
+    }
+}
+
+/// The kill-mid-append recovery drill: writes one seeded workload into
+/// two scratch stores under `dir`, then damages the tail of the
+/// *interrupted* store's log the way a kill mid-write (`truncate`) or a
+/// bad sector (`corrupt`) would, reopens it, and demands recovery be
+/// byte-identical to the uninterrupted store — torn tail truncated,
+/// no tuple invented.
+fn recovery_drill(
+    dir: &std::path::Path,
+    seed: u64,
+    truncate: bool,
+    corrupt: bool,
+    violations: &mut Vec<String>,
+) {
+    let mut rng = XorShift::new(seed ^ 0xd211);
+    let clean_dir = dir.join("drill-uninterrupted");
+    let hurt_dir = dir.join("drill-interrupted");
+    for d in [&clean_dir, &hurt_dir] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    let mut fail = |message: String| violations.push(format!("recovery drill: {message}"));
+    let result = (|| -> Result<(), String> {
+        let clean = DurableStorage::open(&clean_dir).map_err(|e| e.to_string())?;
+        let hurt = DurableStorage::open(&hurt_dir).map_err(|e| e.to_string())?;
+        // The same committed history lands in both stores.
+        for name in ["a", "b", "c"] {
+            for version in 1..=3u64 {
+                let facts = random_facts(&mut rng, 6, 8);
+                let s =
+                    crate::catalog::parse_facts(&facts).map_err(|e| format!("seed facts: {e}"))?;
+                clean
+                    .record_put(name, version, &s)
+                    .map_err(|e| e.to_string())?;
+                hurt.record_put(name, version, &s)
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+        // Damage the interrupted store's tail: a torn half-record (kill
+        // mid-append of a would-be version 4) and/or a flipped byte in
+        // the last committed record.
+        let victim = hurt.log_file("b");
+        if corrupt {
+            let mut bytes = std::fs::read(&victim).map_err(|e| e.to_string())?;
+            let last = bytes.len() - 1 - (rng.below(8) as usize);
+            bytes[last] ^= 0x40;
+            std::fs::write(&victim, &bytes).map_err(|e| e.to_string())?;
+        }
+        if truncate {
+            let s = crate::catalog::parse_facts("E 0 1\n").map_err(|e| e.to_string())?;
+            let record = encode_record(&encode_db_payload("b", 4, &s));
+            let cut = 1 + rng.below(record.len() as u64 - 1) as usize;
+            let mut bytes = std::fs::read(&victim).map_err(|e| e.to_string())?;
+            bytes.extend_from_slice(&record[..cut]);
+            std::fs::write(&victim, &bytes).map_err(|e| e.to_string())?;
+        }
+        // Reopen and compare: recovery must match the uninterrupted
+        // store byte for byte — except on "b", where a *corrupted
+        // committed* record (not just a torn tail) may legitimately
+        // roll that database back to its previous committed version.
+        let clean2 = DurableStorage::open(&clean_dir).map_err(|e| e.to_string())?;
+        let hurt2 = DurableStorage::open(&hurt_dir).map_err(|e| e.to_string())?;
+        let dump = |dbs: Vec<crate::storage::PersistedDb>| -> HashMap<String, (u64, String)> {
+            dbs.into_iter()
+                .map(|db| (db.name, (db.version, structure_to_facts(&db.structure))))
+                .collect()
+        };
+        let want = dump(clean2.load().map_err(|e| e.to_string())?);
+        let got = dump(hurt2.load().map_err(|e| e.to_string())?);
+        for (name, (want_v, want_facts)) in &want {
+            let Some((got_v, got_facts)) = got.get(name) else {
+                return Err(format!("database \"{name}\" lost in recovery"));
+            };
+            if corrupt && name == "b" {
+                // The corrupted record is discarded, never half-read:
+                // recovery lands on an earlier committed version with
+                // no invented tuples (facts of SOME committed state).
+                if got_v > want_v {
+                    return Err(format!(
+                        "\"{name}\" recovered version {got_v} beyond committed {want_v}"
+                    ));
+                }
+                continue;
+            }
+            if (got_v, got_facts) != (want_v, want_facts) {
+                return Err(format!(
+                    "\"{name}\" diverged: recovered v{got_v} vs uninterrupted \
+                     v{want_v} (facts {})",
+                    if got_facts == want_facts {
+                        "identical"
+                    } else {
+                        "DIFFER"
+                    }
+                ));
+            }
+        }
+        if truncate && hurt2.stats().torn_tails_truncated == 0 {
+            return Err("torn tail was appended but never truncated".into());
+        }
+        // After replay the damaged directory must verify clean even
+        // under the strict (no-torn-tail-tolerance) check.
+        let issues = verify_data_dir(&hurt_dir, true).map_err(|e| e.to_string())?;
+        if let Some(issue) = issues.first() {
+            return Err(format!(
+                "post-recovery integrity: {}: {}",
+                issue.file, issue.problem
+            ));
+        }
+        Ok(())
+    })();
+    if let Err(message) = result {
+        fail(message);
+    }
+    for d in [&clean_dir, &hurt_dir] {
+        let _ = std::fs::remove_dir_all(d);
     }
 }
 
@@ -544,5 +727,40 @@ mod tests {
         assert!(report.healthy(), "{}", report.render());
         assert!(report.injected.iter().all(|(_, n)| *n == 0));
         assert_eq!(report.mangled, 0);
+    }
+
+    #[test]
+    fn doctor_with_data_dir_verifies_disk_and_survives_the_drill() {
+        let dir = std::env::temp_dir().join(format!("cspdb-doctor-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = run_doctor(&DoctorConfig {
+            requests: 120,
+            data_dir: Some(dir.clone()),
+            ..DoctorConfig::default()
+        });
+        assert!(
+            report.healthy(),
+            "violations: {:?}\n{}",
+            report.violations,
+            report.render()
+        );
+        // The default plan has truncate/corrupt sites, so the drill ran
+        // and its scratch stores were cleaned up.
+        assert!(!dir.join("drill-interrupted").exists());
+        let storage = report.storage.expect("durable run reports storage stats");
+        assert_eq!(storage.write_errors, 0);
+        // A second run over the same directory replays the first run's
+        // records and stays healthy.
+        let report2 = run_doctor(&DoctorConfig {
+            requests: 60,
+            data_dir: Some(dir.clone()),
+            ..DoctorConfig::default()
+        });
+        assert!(report2.healthy(), "{}", report2.render());
+        assert!(
+            report2.storage.expect("stats").log_records_replayed > 0,
+            "second run must replay the first run's log"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -46,12 +46,20 @@ pub mod doctor;
 mod json;
 mod proto;
 mod server;
+pub mod storage;
 
 pub use cache::{invariant_hash, CacheKey, SemanticCache};
 pub use catalog::{parse_facts, Catalog};
 pub use doctor::{run_doctor, DoctorConfig, DoctorReport};
 pub use json::{escape, parse_object, JsonValue};
-pub use proto::{relation_to_json, retry_with_backoff, Outcome, Request, RequestBody, Response};
+pub use proto::{
+    relation_to_json, retry_with_backoff, Outcome, ParseError, Request, RequestBody, Response,
+    PROTOCOL_VERSION,
+};
 pub use server::{
     ExecHook, Rejection, Server, ServerConfig, ShutdownMode, Stats, Ticket, MIN_RETRY_HINT_MS,
+};
+pub use storage::{
+    verify_data_dir, DurableStorage, IntegrityIssue, MemStorage, PersistedDb, PersistedEntry,
+    Storage, StorageError, StorageStats,
 };

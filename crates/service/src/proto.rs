@@ -17,6 +17,41 @@
 
 use crate::json::{escape, parse_object, JsonValue};
 use cspdb_core::Relation;
+use std::fmt;
+
+/// The wire-protocol version this server speaks. Requests may carry an
+/// optional `"v"` field; when present it must equal this value, and
+/// when absent version 1 is implied (every pre-versioning client spoke
+/// what is now version 1).
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Why a request line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Bad JSON, an unknown `"op"`, or a missing/mistyped field.
+    Malformed(String),
+    /// The line carried a `"v"` the server does not speak. Typed so
+    /// servers answer with a dedicated `unsupported_version` error
+    /// (naming both versions) instead of a generic parse failure.
+    UnsupportedVersion {
+        /// The version the client asked for.
+        got: u64,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Malformed(m) => f.write_str(m),
+            ParseError::UnsupportedVersion { got } => write!(
+                f,
+                "unsupported protocol version {got} (server speaks {PROTOCOL_VERSION})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
 
 /// What a request asks the server to do.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,25 +126,46 @@ impl Request {
     ///
     /// # Errors
     ///
-    /// A message for malformed JSON, an unknown `"op"`, or missing
-    /// fields.
-    pub fn parse(line: &str) -> Result<Request, String> {
-        let map = parse_object(line)?;
+    /// [`ParseError::Malformed`] for bad JSON, an unknown `"op"`, or a
+    /// missing/mistyped field; [`ParseError::UnsupportedVersion`] when
+    /// the optional `"v"` field names a version other than
+    /// [`PROTOCOL_VERSION`] (absent `"v"` implies version 1).
+    pub fn parse(line: &str) -> Result<Request, ParseError> {
+        let map = parse_object(line).map_err(ParseError::Malformed)?;
+        match map.get("v") {
+            None | Some(JsonValue::Num(PROTOCOL_VERSION)) => {}
+            Some(JsonValue::Num(got)) => {
+                return Err(ParseError::UnsupportedVersion { got: *got });
+            }
+            Some(_) => {
+                return Err(ParseError::Malformed(
+                    "\"v\" must be a nonnegative integer".into(),
+                ));
+            }
+        }
         let id = match map.get("id") {
             Some(JsonValue::Num(n)) => *n,
-            Some(_) => return Err("\"id\" must be a nonnegative integer".into()),
-            None => return Err("missing \"id\"".into()),
+            Some(_) => {
+                return Err(ParseError::Malformed(
+                    "\"id\" must be a nonnegative integer".into(),
+                ))
+            }
+            None => return Err(ParseError::Malformed("missing \"id\"".into())),
         };
         let deadline_ms = match map.get("deadline_ms") {
             Some(JsonValue::Num(n)) => Some(*n),
-            Some(_) => return Err("\"deadline_ms\" must be a nonnegative integer".into()),
+            Some(_) => {
+                return Err(ParseError::Malformed(
+                    "\"deadline_ms\" must be a nonnegative integer".into(),
+                ))
+            }
             None => None,
         };
-        let get = |key: &str| -> Result<String, String> {
+        let get = |key: &str| -> Result<String, ParseError> {
             map.get(key)
                 .and_then(JsonValue::as_str)
                 .map(str::to_owned)
-                .ok_or_else(|| format!("missing string field \"{key}\""))
+                .ok_or_else(|| ParseError::Malformed(format!("missing string field \"{key}\"")))
         };
         let op = get("op")?;
         let body = match op.as_str() {
@@ -130,7 +186,7 @@ impl Request {
                 b: get("b")?,
             },
             "stats" => RequestBody::Stats,
-            other => return Err(format!("unknown op \"{other}\"")),
+            other => return Err(ParseError::Malformed(format!("unknown op \"{other}\""))),
         };
         Ok(Request {
             id,
@@ -217,6 +273,12 @@ pub enum Outcome {
     /// The worker dropped the reply channel without answering (it
     /// died in a way panic isolation could not catch).
     WorkerLost,
+    /// The request named a wire-protocol version the server does not
+    /// speak (see [`PROTOCOL_VERSION`]).
+    UnsupportedVersion {
+        /// The version the client asked for.
+        got: u64,
+    },
     /// The request could not be executed (parse error, unknown
     /// database, predicate mismatch, shutdown, ...).
     Error {
@@ -244,7 +306,10 @@ impl Response {
             Outcome::Unknown { .. } => "unknown",
             Outcome::Overloaded { .. } => "overloaded",
             Outcome::Expired { .. } => "expired",
-            Outcome::Error { .. } | Outcome::InternalError { .. } | Outcome::WorkerLost => "error",
+            Outcome::Error { .. }
+            | Outcome::InternalError { .. }
+            | Outcome::WorkerLost
+            | Outcome::UnsupportedVersion { .. } => "error",
             _ => "ok",
         }
     }
@@ -305,6 +370,11 @@ impl Response {
             }
             Outcome::WorkerLost => {
                 s.push_str(",\"kind\":\"worker_lost\",\"message\":\"worker dropped the request\"");
+            }
+            Outcome::UnsupportedVersion { got } => {
+                s.push_str(&format!(
+                    ",\"kind\":\"unsupported_version\",\"got\":{got},\"speaks\":{PROTOCOL_VERSION}"
+                ));
             }
             Outcome::Error { message } => {
                 s.push_str(&format!(",\"message\":\"{}\"", escape(message)));
@@ -482,6 +552,37 @@ mod tests {
         assert_eq!(
             lost.to_json(),
             r#"{"id":2,"status":"error","kind":"worker_lost","message":"worker dropped the request"}"#
+        );
+    }
+
+    #[test]
+    fn protocol_version_is_checked_when_present() {
+        // Absent "v" implies version 1; explicit version 1 is accepted.
+        assert!(Request::parse(r#"{"id":1,"op":"stats"}"#).is_ok());
+        assert!(Request::parse(r#"{"id":1,"v":1,"op":"stats"}"#).is_ok());
+        // Unknown versions get the typed error, not a generic message.
+        assert_eq!(
+            Request::parse(r#"{"id":1,"v":2,"op":"stats"}"#),
+            Err(ParseError::UnsupportedVersion { got: 2 })
+        );
+        // Even an otherwise-broken line reports the version first, so
+        // old servers talking to new clients fail with the real cause.
+        assert_eq!(
+            Request::parse(r#"{"v":9}"#),
+            Err(ParseError::UnsupportedVersion { got: 9 })
+        );
+        assert!(matches!(
+            Request::parse(r#"{"id":1,"v":"one","op":"stats"}"#),
+            Err(ParseError::Malformed(_))
+        ));
+        let resp = Response {
+            id: 1,
+            outcome: Outcome::UnsupportedVersion { got: 2 },
+            micros: 0,
+        };
+        assert_eq!(
+            resp.to_json(),
+            r#"{"id":1,"status":"error","kind":"unsupported_version","got":2,"speaks":1}"#
         );
     }
 

@@ -27,10 +27,11 @@
 use crate::cache::{CacheKey, SemanticCache};
 use crate::catalog::{parse_facts, Catalog};
 use crate::proto::{relation_to_json, Outcome, Request, RequestBody, Response};
+use crate::storage::{PersistedEntry, Storage};
 use cspdb_core::budget::{Budget, CancelToken};
 use cspdb_core::faults::{FaultHandle, FaultSite};
 use cspdb_core::trace::{TraceEvent, TraceSink, Tracer};
-use cspdb_core::{Answer, Structure, VocabularyBuilder};
+use cspdb_core::{Answer, Relation, Structure, VocabularyBuilder};
 use cspdb_cq::{evaluate_by_join_budgeted, is_contained_in, ConjunctiveQuery, CqEvalError};
 use cspdb_relalg::{estimated_join_peak, NamedRelation};
 use std::collections::{HashMap, VecDeque};
@@ -78,6 +79,14 @@ pub struct ServerConfig {
     /// execution, on the worker thread. Tests and benchmarks use it to
     /// hold workers at a barrier; production configs leave it `None`.
     pub exec_hook: Option<ExecHook>,
+    /// Durable backend for the catalog and the semantic-cache index.
+    /// `None` (the default) keeps everything in memory, exactly the
+    /// pre-persistence behaviour. With a backend, startup replays every
+    /// persisted database and warm-starts the cache from the entry
+    /// index — each entry re-confirmed against the recovered catalog
+    /// version and re-keyed from its stored query text, never trusted
+    /// blindly.
+    pub storage: Option<Arc<dyn Storage>>,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +101,7 @@ impl Default for ServerConfig {
             global_budget: Budget::unlimited(),
             trace: None,
             exec_hook: None,
+            storage: None,
         }
     }
 }
@@ -219,6 +229,19 @@ pub struct Stats {
     /// Heavy-lane CQ requests degraded to the budget-sliced cheap tier
     /// instead of being rejected.
     pub degraded: u64,
+    /// Snapshot files written by the storage backend (0 without one).
+    pub snapshots_written: u64,
+    /// Valid log records replayed at startup.
+    pub log_replayed: u64,
+    /// Append logs folded into fresh snapshots.
+    pub log_compactions: u64,
+    /// Torn or corrupt tails truncated during replay.
+    pub torn_truncated: u64,
+    /// Failed durable writes (serving continued from memory).
+    pub storage_write_errors: u64,
+    /// Cache entries warm-started from the persisted index and
+    /// re-confirmed against the recovered catalog.
+    pub cache_warmed: u64,
 }
 
 impl Stats {
@@ -228,7 +251,9 @@ impl Stats {
             "{{\"admitted\":{},\"rejected\":{},\"completed\":{},\"unknown\":{},\
              \"cache_hits\":{},\"cache_misses\":{},\"hit_rate\":{:.4},\
              \"p50_micros\":{},\"p99_micros\":{},\
-             \"panics\":{},\"poisoned\":{},\"expired\":{},\"degraded\":{}}}",
+             \"panics\":{},\"poisoned\":{},\"expired\":{},\"degraded\":{},\
+             \"snapshots_written\":{},\"log_replayed\":{},\"log_compactions\":{},\
+             \"torn_truncated\":{},\"storage_write_errors\":{},\"cache_warmed\":{}}}",
             self.admitted,
             self.rejected,
             self.completed,
@@ -241,7 +266,13 @@ impl Stats {
             self.panics,
             self.poisoned,
             self.expired,
-            self.degraded
+            self.degraded,
+            self.snapshots_written,
+            self.log_replayed,
+            self.log_compactions,
+            self.torn_truncated,
+            self.storage_write_errors,
+            self.cache_warmed
         )
     }
 }
@@ -306,6 +337,8 @@ struct Inner {
     ewma_micros: AtomicU64,
     inflight: AtomicU64,
     exec_hook: Option<ExecHook>,
+    /// Cache entries warm-started (and re-confirmed) at startup.
+    cache_warmed: u64,
 }
 
 /// Locks `m`, recovering from poison: a worker that panicked while
@@ -350,9 +383,46 @@ impl Server {
             .slice(1, (workers + heavy_workers) as u64)
             .with_tracer(tracer.clone());
         let faults = config.global_budget.faults().clone();
+        // A storage backend changes startup from "empty" to "recover":
+        // replay every persisted database, then warm-start the cache.
+        // A backend that cannot even enumerate its directory falls back
+        // to a fresh in-memory catalog — the server still serves.
+        let catalog = match &config.storage {
+            Some(storage) => {
+                storage.attach_tracer(tracer.clone());
+                Catalog::open(storage.clone()).unwrap_or_default()
+            }
+            None => Catalog::new(),
+        };
+        let cache = SemanticCache::new();
+        let mut cache_warmed = 0u64;
+        if config.cache_enabled {
+            if let Some(storage) = &config.storage {
+                for e in storage.load_cache_entries().unwrap_or_default() {
+                    // Re-confirm, never trust: the database must still
+                    // exist at exactly the persisted version, the stored
+                    // query must re-parse, and the key is recomputed
+                    // from it. Anything stale or unreadable is skipped.
+                    let Some((version, _)) = catalog.get(&e.db) else {
+                        continue;
+                    };
+                    if version != e.version {
+                        continue;
+                    }
+                    let Ok(q) = cspdb_cq::ConjunctiveQuery::parse(&e.query) else {
+                        continue;
+                    };
+                    let Ok(rel) = Relation::from_tuples(e.arity, e.rows) else {
+                        continue;
+                    };
+                    cache.insert(&e.db, e.version, CacheKey::of(&q), rel);
+                    cache_warmed += 1;
+                }
+            }
+        }
         let inner = Arc::new(Inner {
-            catalog: Catalog::new(),
-            cache: SemanticCache::new(),
+            catalog,
+            cache,
             cache_enabled: config.cache_enabled,
             heavy_threshold: config.heavy_threshold,
             lanes: [
@@ -370,6 +440,7 @@ impl Server {
             ewma_micros: AtomicU64::new(0),
             inflight: AtomicU64::new(0),
             exec_hook: config.exec_hook,
+            cache_warmed,
         });
         let mut threads = Vec::with_capacity(workers + heavy_workers);
         for (lane, count) in [(NORMAL, workers), (HEAVY, heavy_workers)] {
@@ -846,6 +917,7 @@ fn server_stats(inner: &Inner) -> Stats {
     };
     let hits = inner.cache.hits();
     let misses = inner.cache.misses();
+    let storage = inner.catalog.storage().stats();
     Stats {
         admitted: inner.counters.admitted.load(Ordering::Relaxed),
         rejected: inner.counters.rejected.load(Ordering::Relaxed),
@@ -866,6 +938,12 @@ fn server_stats(inner: &Inner) -> Stats {
             + inner.catalog.recoveries(),
         expired: inner.counters.expired.load(Ordering::Relaxed),
         degraded: inner.counters.degraded.load(Ordering::Relaxed),
+        snapshots_written: storage.snapshots_written,
+        log_replayed: storage.log_records_replayed,
+        log_compactions: storage.log_compactions,
+        torn_truncated: storage.torn_tails_truncated,
+        storage_write_errors: storage.write_errors,
+        cache_warmed: inner.cache_warmed,
     }
 }
 
@@ -923,6 +1001,20 @@ fn run_cq(inner: &Inner, db_name: &str, query: &str, budget: &Budget, degraded: 
     });
     match evaluate_by_join_budgeted(&key.core, &db, budget) {
         Ok(rel) => {
+            // Persist the entry (keyed by the core's source text, which
+            // round-trips through the query parser on warm-start) before
+            // the cache consumes the relation. Failed writes are counted
+            // by the backend, never fatal to the request.
+            let storage = inner.catalog.storage();
+            if storage.persists() {
+                let _ = storage.record_cache_entry(&PersistedEntry {
+                    db: db_name.to_owned(),
+                    version,
+                    query: key.core.to_string(),
+                    arity: rel.arity(),
+                    rows: rel.iter().map(<[u32]>::to_vec).collect(),
+                });
+            }
             let rows = inner.cache.insert(db_name, version, key, rel);
             Outcome::Answers {
                 rows,

@@ -63,7 +63,8 @@ use constraint_db::core::budget::{Answer, Budget};
 use constraint_db::core::trace::{Fanout, JsonLinesSink, Recorder, TraceSink};
 use constraint_db::core::{FaultPlan, Structure, VocabularyBuilder};
 use constraint_db::service::{
-    run_doctor, DoctorConfig, Outcome, Request, Response, Server, ServerConfig, ShutdownMode,
+    run_doctor, DoctorConfig, DurableStorage, Outcome, ParseError, Request, Response, Server,
+    ServerConfig, ShutdownMode,
 };
 use constraint_db::{ExplainReport, GovernedReport, Solver};
 use std::io::{BufRead, Write};
@@ -170,8 +171,8 @@ const USAGE: &str = "usage:
   cspdb treewidth <edges-file>
   cspdb serve [--stdin | --listen <addr>] [--workers <n>] [--heavy-workers <n>]
               [--queue <n>] [--heavy-queue <n>] [--heavy-threshold <n>]
-              [--no-cache] [--once]
-  cspdb doctor [--requests <n>] [--seed <n>]
+              [--no-cache] [--once] [--data-dir <dir>]
+  cspdb doctor [--requests <n>] [--seed <n>] [--data-dir <dir>]
 budget flags (color/sat/datalog/cq/treewidth/serve): --timeout-ms <n> --steps <n> --tuples <n>
 explain flags (color/sat/cq): --explain --explain=json
 trace flag (any subcommand): --trace=<file>
@@ -739,6 +740,15 @@ fn cmd_doctor(args: &[String], faults: Option<FaultPlan>) -> Result<CmdOutcome, 
         match flag.as_str() {
             "--requests" => config.requests = value(&mut i)? as usize,
             "--seed" => config.seed = value(&mut i)?,
+            "--data-dir" => {
+                config.data_dir = Some(
+                    args.get(i + 1)
+                        .ok_or("--data-dir requires a path")?
+                        .clone()
+                        .into(),
+                );
+                i += 2;
+            }
             other => return Err(format!("unknown doctor flag `{other}`")),
         }
     }
@@ -806,6 +816,13 @@ fn cmd_serve(
             "--no-cache" => {
                 config.cache_enabled = false;
                 i += 1;
+            }
+            "--data-dir" => {
+                let dir = args.get(i + 1).ok_or("--data-dir requires a path")?;
+                let store =
+                    DurableStorage::open(dir).map_err(|e| format!("--data-dir {dir}: {e}"))?;
+                config.storage = Some(Arc::new(store));
+                i += 2;
             }
             "--once" => {
                 once = true;
@@ -917,10 +934,16 @@ fn pump(
                     let _ = tx.send(rejection.into_response(id));
                 }
             }
-            Err(message) => {
+            Err(e) => {
+                // Version mismatches get their typed outcome (naming
+                // both versions); everything else stays a plain error.
+                let outcome = match e {
+                    ParseError::UnsupportedVersion { got } => Outcome::UnsupportedVersion { got },
+                    ParseError::Malformed(message) => Outcome::Error { message },
+                };
                 let _ = tx.send(Response {
                     id: 0,
-                    outcome: Outcome::Error { message },
+                    outcome,
                     micros: 0,
                 });
             }

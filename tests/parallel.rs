@@ -79,9 +79,9 @@ proptest! {
     }
 
     /// The portfolio racer under an ample budget reaches the same
-    /// verdict as the unbudgeted auto-solver, with valid witnesses.
+    /// verdict as the default ladder dispatch, with valid witnesses.
     #[test]
-    fn portfolio_agrees_with_auto_solve(p in chain_csp()) {
+    fn portfolio_agrees_with_ladder_dispatch(p in chain_csp()) {
         let truth = Solver::new().solve_csp(&p).answer.is_sat();
         let report = Solver::new().strategy(SolveStrategy::Portfolio).solve_csp(&p);
         prop_assert_eq!(report.answer.is_sat(), truth);

@@ -9,8 +9,12 @@
 //! truncations of valid requests, single-byte flips of valid requests,
 //! and a corpus of targeted nasty inputs.
 
-use constraint_db::core::FaultPlan;
-use constraint_db::service::Request;
+use constraint_db::core::{FaultPlan, Structure, VocabularyBuilder};
+use constraint_db::service::storage::{
+    decode_cache_payload, decode_db_payload, decode_records, encode_cache_payload,
+    encode_db_payload, encode_record, structure_to_facts,
+};
+use constraint_db::service::{PersistedEntry, Request};
 
 struct XorShift(u64);
 
@@ -206,5 +210,153 @@ fn parse_accepts_the_valid_corpus() {
             Request::parse(&line).is_ok(),
             "corpus line should parse: {line}"
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Storage-record properties: the snapshot/log codec must round-trip
+// exactly, and a damaged stream must never decode to *wrong* data —
+// only to a (possibly shorter) committed prefix.
+// ---------------------------------------------------------------------
+
+/// A random structure over a random vocabulary, plus a name and version
+/// for framing it as a database record.
+fn random_db(rng: &mut XorShift) -> (String, u64, Structure) {
+    let name = format!("db-{}", rng.next() % 1000);
+    let version = rng.next() % 100;
+    let domain = 1 + (rng.next() % 8) as usize;
+    let nrels = 1 + (rng.next() % 3) as usize;
+    let mut builder = VocabularyBuilder::new();
+    let mut specs = Vec::new();
+    for r in 0..nrels {
+        let rel = format!("R{r}");
+        let arity = 1 + (rng.next() % 3) as usize;
+        builder.add_or_get(&rel, arity).unwrap();
+        specs.push((rel, arity));
+    }
+    let mut s = Structure::new(builder.finish(), domain);
+    for (rel, arity) in &specs {
+        for _ in 0..rng.next() % 6 {
+            let row: Vec<u32> = (0..*arity)
+                .map(|_| (rng.next() % domain as u64) as u32)
+                .collect();
+            s.insert_by_name(rel, &row).unwrap();
+        }
+    }
+    (name, version, s)
+}
+
+/// A random persisted cache entry.
+fn random_entry(rng: &mut XorShift) -> PersistedEntry {
+    let arity = 1 + (rng.next() % 3) as usize;
+    let nrows = (rng.next() % 5) as usize;
+    PersistedEntry {
+        db: format!("db-{}", rng.next() % 1000),
+        version: rng.next() % 100,
+        query: "Q(X,Y) :- E(X,Z), E(Z,Y)".into(),
+        arity,
+        rows: (0..nrows)
+            .map(|_| (0..arity).map(|_| (rng.next() % 16) as u32).collect())
+            .collect(),
+    }
+}
+
+/// Database payloads round-trip exactly on arbitrary random structures:
+/// name, version, domain size, and the full canonical fact listing.
+#[test]
+fn storage_db_payloads_round_trip_on_random_structures() {
+    let mut rng = XorShift::new(0xD0C5);
+    for _ in 0..200 {
+        let (name, version, s) = random_db(&mut rng);
+        let payload = encode_db_payload(&name, version, &s);
+        let (got_name, got_version, got) =
+            decode_db_payload(&payload).expect("fresh payload must decode");
+        assert_eq!(got_name, name);
+        assert_eq!(got_version, version);
+        assert_eq!(got.domain_size(), s.domain_size());
+        assert_eq!(structure_to_facts(&got), structure_to_facts(&s));
+    }
+}
+
+/// Cache payloads round-trip exactly on arbitrary random entries.
+#[test]
+fn storage_cache_payloads_round_trip_on_random_entries() {
+    let mut rng = XorShift::new(0xCAC4E);
+    for _ in 0..200 {
+        let entry = random_entry(&mut rng);
+        let payload = encode_cache_payload(&entry);
+        let got = decode_cache_payload(&payload).expect("fresh payload must decode");
+        assert_eq!(got, entry);
+    }
+}
+
+/// Every truncation of a framed record stream yields exactly the
+/// committed prefix: payloads match the originals index-for-index,
+/// `valid_len` lands on a record boundary, and `torn` is set iff the
+/// cut fell strictly inside a record.
+#[test]
+fn storage_record_streams_survive_every_truncation() {
+    let mut rng = XorShift::new(0x7259);
+    let mut stream = Vec::new();
+    let mut payloads = Vec::new();
+    let mut boundaries = vec![0usize];
+    for _ in 0..5 {
+        let (name, version, s) = random_db(&mut rng);
+        let payload = encode_db_payload(&name, version, &s);
+        stream.extend_from_slice(&encode_record(&payload));
+        payloads.push(payload);
+        boundaries.push(stream.len());
+    }
+    for cut in 0..=stream.len() {
+        let replay = decode_records(&stream[..cut]);
+        let committed = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+        assert_eq!(replay.payloads.len(), committed, "cut at {cut}");
+        assert_eq!(replay.payloads, payloads[..committed], "cut at {cut}");
+        assert_eq!(replay.valid_len, boundaries[committed], "cut at {cut}");
+        assert_eq!(replay.torn, cut != boundaries[committed], "cut at {cut}");
+    }
+}
+
+/// Every single-bit flip of a record stream decodes to *some prefix of
+/// the original payloads* — a flip may tear the stream early, but must
+/// never surface a payload that differs from what was written.
+#[test]
+fn storage_record_streams_survive_single_bit_flips() {
+    let mut rng = XorShift::new(0xF11B);
+    let mut stream = Vec::new();
+    let mut payloads = Vec::new();
+    for _ in 0..3 {
+        let (name, version, s) = random_db(&mut rng);
+        let payload = encode_db_payload(&name, version, &s);
+        stream.extend_from_slice(&encode_record(&payload));
+        payloads.push(payload);
+    }
+    for i in 0..stream.len() {
+        let mut mutated = stream.clone();
+        mutated[i] ^= 1 << (rng.next() % 8);
+        let replay = decode_records(&mutated);
+        assert!(
+            replay.payloads.len() <= payloads.len(),
+            "flip at {i} invented records"
+        );
+        for (j, got) in replay.payloads.iter().enumerate() {
+            assert_eq!(got, &payloads[j], "flip at {i} corrupted record {j}");
+        }
+    }
+}
+
+/// The payload decoders are total over random byte soup: arbitrary
+/// bytes yield `Err`, never a panic, and `decode_records` always
+/// returns a well-formed `Replay`.
+#[test]
+fn storage_decoders_are_total_on_byte_soup() {
+    let mut rng = XorShift::new(0x50FA);
+    for _ in 0..2_000 {
+        let len = (rng.next() % 64) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| (rng.next() % 256) as u8).collect();
+        let _ = decode_db_payload(&bytes);
+        let _ = decode_cache_payload(&bytes);
+        let replay = decode_records(&bytes);
+        assert!(replay.valid_len <= bytes.len());
     }
 }
