@@ -1,0 +1,199 @@
+//! e_shard: TCP service throughput — serial accept loop vs concurrent
+//! connection pool over the sharded catalog.
+//!
+//! Eight closed-loop TCP clients (each sends a request, waits for its
+//! response, sends the next) work distinct databases — which the
+//! catalog routes to distinct shards — against two servings of the same
+//! workload:
+//!
+//! * **serial**: the pre-fix accept loop — each accepted connection is
+//!   pumped to EOF before the next `accept`, so at any moment exactly
+//!   one client's requests can be in flight (head-of-line blocking);
+//! * **concurrent**: [`serve_listener`] — every client's requests are
+//!   in flight at once, executing on the worker pool in parallel.
+//!
+//! Both sides pump connections with the same [`pump_pipelined`], so the
+//! measured gap is purely accept concurrency. The acceptance gate (and
+//! the claim recorded in EXPERIMENTS.md § E-shard) is a ≥3× throughput
+//! win for the concurrent pool; the measured ratio lands in
+//! BENCH_shard.json at the repo root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cspdb_service::{pump_pipelined, serve_listener, NetConfig, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CLIENTS: u64 = 8;
+const REQUESTS_PER_CLIENT: usize = 30;
+/// Client think time between requests. This is what the serial accept
+/// loop cannot hide: while one client thinks, its connection is still
+/// the only one being pumped, so everyone else's wall clock absorbs the
+/// pause. The concurrent pool overlaps all eight clients' think time
+/// (which also keeps the measurement honest on a single-core runner,
+/// where parallel *compute* cannot speed anything up).
+const THINK: Duration = Duration::from_millis(3);
+
+fn server() -> Arc<Server> {
+    Arc::new(Server::start(ServerConfig {
+        workers: 8,
+        // Cold evaluation on every request: the bench measures serving
+        // concurrency, not the semantic cache (e_service covers that).
+        cache_enabled: false,
+        ..ServerConfig::default()
+    }))
+}
+
+/// Each client's graph: a cycle of its own length, so answers differ
+/// per database and a misrouted request would be caught.
+fn put_line(client: u64) -> String {
+    let n = 30 + client;
+    let facts: Vec<String> = (0..n).map(|v| format!("E {v} {}", (v + 1) % n)).collect();
+    format!(
+        r#"{{"id":1,"op":"put","db":"db{client}","facts":"{}"}}"#,
+        facts.join("\\n")
+    )
+}
+
+fn cq_line(client: u64, i: usize) -> String {
+    // Alternate path-2 and path-3 joins; fresh variable names per
+    // request keep the stream textually varied.
+    let query = if i.is_multiple_of(2) {
+        format!("Q(X{i},Y{i}) :- E(X{i},Z{i}), E(Z{i},Y{i})")
+    } else {
+        format!("Q(X{i},Y{i}) :- E(X{i},Z{i}), E(Z{i},W{i}), E(W{i},Y{i})")
+    };
+    format!(
+        r#"{{"id":{},"op":"cq","db":"db{client}","query":"{query}"}}"#,
+        i + 2
+    )
+}
+
+/// One closed-loop client: put (await ack), then request→response
+/// strictly alternating. Panics on any non-ok response.
+fn run_client(addr: SocketAddr, client: u64) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut line = String::new();
+    let mut round_trip = |request: &str, line: &mut String| {
+        writeln!(writer, "{request}").expect("write");
+        line.clear();
+        reader.read_line(line).expect("read");
+        assert!(
+            line.contains("\"status\":\"ok\""),
+            "client {client}: {}",
+            line.trim()
+        );
+    };
+    round_trip(&put_line(client), &mut line);
+    for i in 0..REQUESTS_PER_CLIENT {
+        std::thread::sleep(THINK);
+        round_trip(&cq_line(client, i), &mut line);
+    }
+    writer.shutdown(Shutdown::Write).expect("shutdown");
+    line.clear();
+    reader.read_line(&mut line).expect("stats");
+    assert!(line.starts_with("{\"stats\":"), "missing stats line");
+}
+
+/// Runs all clients against `addr` at once and returns the wall-clock
+/// seconds until every one has finished.
+fn drive_clients(addr: SocketAddr) -> f64 {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| std::thread::spawn(move || run_client(addr, c)))
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// The pre-fix serve loop: accept, pump to EOF, only then accept again.
+/// Connections beyond the first wait in the OS backlog with their
+/// requests unread. Serves exactly `CLIENTS` connections, then returns.
+fn serve_serial(server: Arc<Server>, listener: TcpListener) {
+    for stream in listener.incoming().take(CLIENTS as usize) {
+        let stream = stream.expect("accept");
+        // Same socket options as the concurrent layer: the comparison
+        // must isolate accept concurrency, nothing else.
+        let _ = stream.set_nodelay(true);
+        let (reader, writer) = stream
+            .try_clone()
+            .and_then(|r| stream.try_clone().map(|w| (BufReader::new(r), w)))
+            .expect("clone");
+        pump_pipelined(&server, 0, reader, writer);
+        let mut stream = stream;
+        let _ = writeln!(stream, "{{\"stats\":{}}}", server.stats().to_json());
+    }
+}
+
+/// One full serving of the workload; `concurrent` picks the layer.
+fn serve_once(concurrent: bool) -> f64 {
+    let server = server();
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local_addr");
+    let serving = if concurrent {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            let net = NetConfig {
+                idle_timeout: Some(Duration::from_secs(30)),
+                ..NetConfig::default()
+            };
+            serve_listener(&server, listener, &net);
+        })
+    } else {
+        std::thread::spawn(move || serve_serial(server, listener))
+    };
+    let elapsed = drive_clients(addr);
+    // The serial loop returns after CLIENTS connections; the concurrent
+    // accept loop blocks forever, so only join the former.
+    if !concurrent {
+        serving.join().expect("serve thread");
+    }
+    elapsed
+}
+
+fn bench(c: &mut Criterion) {
+    // Acceptance: the concurrent pool beats the serial accept loop by
+    // ≥3× on 8 closed-loop clients over distinct databases. Measured
+    // before timing so `--test` smoke runs enforce it too; the numbers
+    // land in BENCH_shard.json for CI's history appender.
+    let serial_secs = serve_once(false);
+    let concurrent_secs = serve_once(true);
+    let total = (CLIENTS as usize * (REQUESTS_PER_CLIENT + 1)) as f64;
+    let speedup = serial_secs / concurrent_secs.max(1e-9);
+    assert!(
+        speedup >= 3.0,
+        "concurrent pool only {speedup:.2}x over serial accept \
+         ({serial_secs:.3}s vs {concurrent_secs:.3}s)"
+    );
+    let out = format!(
+        concat!(
+            "{{\"bench\":\"e_shard\",\"clients\":{},\"requests\":{},",
+            "\"serial_secs\":{:.6},\"concurrent_secs\":{:.6},",
+            "\"serial_rps\":{:.1},\"concurrent_rps\":{:.1},\"speedup\":{:.3}}}\n"
+        ),
+        CLIENTS,
+        total as u64,
+        serial_secs,
+        concurrent_secs,
+        total / serial_secs.max(1e-9),
+        total / concurrent_secs.max(1e-9),
+        speedup
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_shard.json");
+    std::fs::write(&path, out).expect("write BENCH_shard.json");
+
+    let mut group = c.benchmark_group("e_shard");
+    group.sample_size(10);
+    group.bench_function("serial_accept", |b| b.iter(|| serve_once(false)));
+    group.bench_function("concurrent_pool", |b| b.iter(|| serve_once(true)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

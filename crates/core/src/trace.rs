@@ -330,6 +330,31 @@ pub enum TraceEvent {
         /// Log records folded away.
         folded: u64,
     },
+    /// A client connection was accepted by the service's listener.
+    ConnectionOpened {
+        /// Server-assigned connection id (monotone per process).
+        conn: u64,
+        /// Peer address as reported by the socket.
+        peer: String,
+    },
+    /// A client connection ended and its handler exited.
+    ConnectionClosed {
+        /// Server-assigned connection id.
+        conn: u64,
+        /// Requests the connection submitted over its lifetime.
+        requests: u64,
+        /// True when the stream ended in an orderly EOF; false when the
+        /// handler dropped it after an I/O error or idle timeout.
+        clean: bool,
+    },
+    /// A client connection sat idle past the read timeout and was
+    /// dropped to protect the pool from slowloris-style occupancy.
+    ConnectionTimedOut {
+        /// Server-assigned connection id.
+        conn: u64,
+        /// The idle timeout that was exceeded, in milliseconds.
+        idle_ms: u64,
+    },
 }
 
 /// Escapes `s` for embedding in a JSON string literal.
@@ -382,6 +407,9 @@ impl TraceEvent {
             TraceEvent::SnapshotWritten { .. } => "snapshot_written",
             TraceEvent::LogReplayed { .. } => "log_replayed",
             TraceEvent::LogCompacted { .. } => "log_compacted",
+            TraceEvent::ConnectionOpened { .. } => "connection_opened",
+            TraceEvent::ConnectionClosed { .. } => "connection_closed",
+            TraceEvent::ConnectionTimedOut { .. } => "connection_timed_out",
         }
     }
 
@@ -621,6 +649,24 @@ impl TraceEvent {
                     ",\"db\":\"{}\",\"version\":{version},\"folded\":{folded}",
                     json_escape(db)
                 ));
+            }
+            TraceEvent::ConnectionOpened { conn, peer } => {
+                s.push_str(&format!(
+                    ",\"conn\":{conn},\"peer\":\"{}\"",
+                    json_escape(peer)
+                ));
+            }
+            TraceEvent::ConnectionClosed {
+                conn,
+                requests,
+                clean,
+            } => {
+                s.push_str(&format!(
+                    ",\"conn\":{conn},\"requests\":{requests},\"clean\":{clean}"
+                ));
+            }
+            TraceEvent::ConnectionTimedOut { conn, idle_ms } => {
+                s.push_str(&format!(",\"conn\":{conn},\"idle_ms\":{idle_ms}"));
             }
         }
         s.push('}');
@@ -1054,6 +1100,19 @@ mod tests {
                 db: "g".into(),
                 version: 3,
                 folded: 8,
+            },
+            TraceEvent::ConnectionOpened {
+                conn: 4,
+                peer: "127.0.0.1:5000".into(),
+            },
+            TraceEvent::ConnectionClosed {
+                conn: 4,
+                requests: 17,
+                clean: true,
+            },
+            TraceEvent::ConnectionTimedOut {
+                conn: 5,
+                idle_ms: 2000,
             },
         ];
         for ev in &events {

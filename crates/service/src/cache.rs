@@ -152,38 +152,62 @@ struct Entry {
     answers: Relation,
 }
 
-/// A concurrent core-keyed result cache.
+type BucketMap = HashMap<(String, u64, u64), Vec<Entry>>;
+
+/// A concurrent core-keyed result cache, sharded by database name.
 ///
 /// Entries are bucketed by `(database name, database version,
 /// invariant hash)`; within a bucket, candidates are confirmed by
 /// [`CacheKey::matches`]. A version bump strands the old version's
 /// buckets, which [`SemanticCache::invalidate_db`] purges eagerly on
 /// every `put`.
-#[derive(Debug, Default)]
+///
+/// The bucket map is split into independently locked shards routed by
+/// the same name hash as the [`Catalog`](crate::Catalog): lookups and
+/// inserts for different databases never contend, and invalidating one
+/// database only locks its shard.
+#[derive(Debug)]
 pub struct SemanticCache {
-    buckets: Mutex<HashMap<(String, u64, u64), Vec<Entry>>>,
+    shards: Box<[Mutex<BucketMap>]>,
     hits: AtomicU64,
     misses: AtomicU64,
     recoveries: AtomicU64,
 }
 
+impl Default for SemanticCache {
+    fn default() -> Self {
+        SemanticCache::with_shards(crate::catalog::DEFAULT_SHARDS)
+    }
+}
+
 impl SemanticCache {
-    /// An empty cache.
+    /// An empty cache with the default shard count.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Locks the bucket map, recovering from poison: a thread that
-    /// panicked while holding the lock may have left a bucket
-    /// half-updated, so recovery discards every entry — the cache
-    /// restarts cold, which is always correct (it only ever serves
-    /// confirmed equivalents) — counts the event, and continues.
-    fn lock_buckets(&self) -> MutexGuard<'_, HashMap<(String, u64, u64), Vec<Entry>>> {
-        match self.buckets.lock() {
+    /// An empty cache split into `shards` shards (min 1).
+    pub fn with_shards(shards: usize) -> Self {
+        SemanticCache {
+            shards: (0..shards.max(1)).map(|_| Mutex::default()).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
+        }
+    }
+
+    /// Locks one shard's bucket map, recovering from poison: a thread
+    /// that panicked while holding the lock may have left a bucket
+    /// half-updated, so recovery discards the shard's entries — that
+    /// slice of the cache restarts cold, which is always correct (it
+    /// only ever serves confirmed equivalents) — counts the event, and
+    /// continues. Other shards are untouched.
+    fn lock_shard<'a>(&self, shard: &'a Mutex<BucketMap>) -> MutexGuard<'a, BucketMap> {
+        match shard.lock() {
             Ok(guard) => guard,
             Err(poisoned) => {
                 self.recoveries.fetch_add(1, Ordering::Relaxed);
-                self.buckets.clear_poison();
+                shard.clear_poison();
                 let mut guard = poisoned.into_inner();
                 guard.clear();
                 guard
@@ -191,11 +215,16 @@ impl SemanticCache {
         }
     }
 
+    /// The shard holding `db`'s buckets.
+    fn shard_for(&self, db: &str) -> &Mutex<BucketMap> {
+        &self.shards[crate::catalog::shard_of(db, self.shards.len())]
+    }
+
     /// Looks up an equivalent query's answer computed against `(db,
     /// version)`. Returns the stored `(serialized, relation)` pair on a
     /// confirmed hit.
     pub fn lookup(&self, db: &str, version: u64, key: &CacheKey) -> Option<(String, Relation)> {
-        let buckets = self.lock_buckets();
+        let buckets = self.lock_shard(self.shard_for(db));
         let found = buckets
             .get(&(db.to_owned(), version, key.invariant))
             .and_then(|bucket| bucket.iter().find(|e| e.key.matches(key)))
@@ -214,7 +243,7 @@ impl SemanticCache {
     /// keep the first entry — both computed the same answer.
     pub fn insert(&self, db: &str, version: u64, key: CacheKey, answers: Relation) -> String {
         let answers_json = relation_to_json(&answers);
-        let mut buckets = self.lock_buckets();
+        let mut buckets = self.lock_shard(self.shard_for(db));
         let bucket = buckets
             .entry((db.to_owned(), version, key.invariant))
             .or_default();
@@ -228,11 +257,13 @@ impl SemanticCache {
         answers_json
     }
 
-    /// Drops every entry for `db` (all versions). Called on `put`, so
-    /// replaced databases free their stranded entries immediately
-    /// instead of waiting for the process to exit.
+    /// Drops every entry for `db` (all versions), locking only `db`'s
+    /// shard. Called on `put`, so replaced databases free their
+    /// stranded entries immediately instead of waiting for the process
+    /// to exit.
     pub fn invalidate_db(&self, db: &str) {
-        self.lock_buckets().retain(|(name, _, _), _| name != db);
+        self.lock_shard(self.shard_for(db))
+            .retain(|(name, _, _), _| name != db);
     }
 
     /// Confirmed hits so far.
@@ -245,26 +276,31 @@ impl SemanticCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Times a poisoned bucket lock was recovered (each recovery
-    /// restarts the cache cold).
+    /// Times a poisoned shard lock was recovered (each recovery
+    /// restarts that shard cold).
     pub fn poison_recoveries(&self) -> u64 {
         self.recoveries.load(Ordering::Relaxed)
     }
 
-    /// Poisons the bucket lock by panicking while holding it (the
-    /// panic is caught here). Fault injection uses this to exercise
+    /// Poisons every shard lock by panicking while holding it (the
+    /// panics are caught here). Fault injection uses this to exercise
     /// the poison-recovery path; real code never calls it.
     #[doc(hidden)]
     pub fn poison(&self) {
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _guard = self.buckets.lock();
-            panic!("injected lock poison");
-        }));
+        for shard in self.shards.iter() {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = shard.lock();
+                panic!("injected lock poison");
+            }));
+        }
     }
 
-    /// Number of stored entries across all buckets.
+    /// Number of stored entries across all shards.
     pub fn len(&self) -> usize {
-        self.lock_buckets().values().map(Vec::len).sum()
+        self.shards
+            .iter()
+            .map(|s| self.lock_shard(s).values().map(Vec::len).sum::<usize>())
+            .sum()
     }
 
     /// True when nothing is cached.

@@ -3,6 +3,13 @@
 //! A `put` replaces the structure under a name and bumps its version;
 //! the semantic cache keys entries by `(name, version, core)`, so stale
 //! answers die with the version they were computed against.
+//!
+//! The map is split into [`DEFAULT_SHARDS`] (configurable)
+//! independently locked shards routed by a hash of the database name:
+//! readers of different databases never contend, and a `put` to one
+//! database only write-locks its own shard. Storage replay at
+//! [`Catalog::open`] routes each recovered database to its shard the
+//! same way, so the shard layout is stable across restarts.
 
 use crate::storage::{MemStorage, Storage, StorageError};
 use cspdb_core::{Structure, VocabularyBuilder};
@@ -10,34 +17,61 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
+/// Default shard count for the catalog and the semantic cache. Sixteen
+/// keeps per-shard contention negligible for tens of concurrent
+/// connections while the fixed arrays stay cheap to scan for
+/// whole-catalog operations (`names`, `len`, invalidation).
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// FNV-1a over the database name, reduced to a shard index. Shared by
+/// the catalog and the semantic cache so a database's structure and its
+/// cached answers always live in same-numbered shards.
+pub(crate) fn shard_of(name: &str, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards.max(1) as u64) as usize
+}
+
+type Shard = RwLock<HashMap<String, (u64, Arc<Structure>)>>;
+
 /// A concurrent map from database names to versioned structures,
-/// mirrored through a [`Storage`] backend (a no-op for the default
-/// in-memory [`MemStorage`]).
+/// sharded by name hash and mirrored through a [`Storage`] backend (a
+/// no-op for the default in-memory [`MemStorage`]).
 #[derive(Debug)]
 pub struct Catalog {
-    inner: RwLock<HashMap<String, (u64, Arc<Structure>)>>,
+    shards: Box<[Shard]>,
     recoveries: AtomicU64,
     storage: Arc<dyn Storage>,
 }
 
 impl Default for Catalog {
     fn default() -> Self {
-        Catalog {
-            inner: RwLock::new(HashMap::new()),
-            recoveries: AtomicU64::new(0),
-            storage: Arc::new(MemStorage),
-        }
+        Catalog::with_shards(DEFAULT_SHARDS)
     }
 }
 
 impl Catalog {
-    /// An empty, non-durable catalog.
+    /// An empty, non-durable catalog with [`DEFAULT_SHARDS`] shards.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty, non-durable catalog with `shards` shards (min 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        Catalog {
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+            recoveries: AtomicU64::new(0),
+            storage: Arc::new(MemStorage),
+        }
+    }
+
     /// Opens a catalog backed by `storage`, replaying every persisted
-    /// database (and the torn-tail truncation that entails).
+    /// database (and the torn-tail truncation that entails) into
+    /// [`DEFAULT_SHARDS`] shards.
     ///
     /// # Errors
     ///
@@ -45,12 +79,27 @@ impl Catalog {
     /// ([`StorageError::Io`]); individual corrupt records are skipped
     /// by the backend, not fatal here.
     pub fn open(storage: Arc<dyn Storage>) -> Result<Self, StorageError> {
-        let mut map = HashMap::new();
+        Self::open_with_shards(storage, DEFAULT_SHARDS)
+    }
+
+    /// [`Catalog::open`] with an explicit shard count (min 1). Replay
+    /// routes each recovered database to its name-hash shard.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Catalog::open`].
+    pub fn open_with_shards(
+        storage: Arc<dyn Storage>,
+        shards: usize,
+    ) -> Result<Self, StorageError> {
+        let shards = shards.max(1);
+        let mut maps: Vec<HashMap<String, (u64, Arc<Structure>)>> =
+            (0..shards).map(|_| HashMap::new()).collect();
         for db in storage.load()? {
-            map.insert(db.name, (db.version, Arc::new(db.structure)));
+            maps[shard_of(&db.name, shards)].insert(db.name, (db.version, Arc::new(db.structure)));
         }
         Ok(Catalog {
-            inner: RwLock::new(map),
+            shards: maps.into_iter().map(RwLock::new).collect(),
             recoveries: AtomicU64::new(0),
             storage,
         })
@@ -61,28 +110,40 @@ impl Catalog {
         &self.storage
     }
 
-    /// Read-locks the map, recovering from poison. The map's contents
-    /// are always structurally sound after a writer panic: `put`'s
-    /// critical section only assigns an `Arc` and bumps a counter, so
-    /// recovery keeps the data, clears the flag, and counts the event.
-    fn read_recover(&self) -> RwLockReadGuard<'_, HashMap<String, (u64, Arc<Structure>)>> {
-        match self.inner.read() {
+    /// Number of shards the catalog is split into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read-locks `name`'s shard, recovering from poison. The map's
+    /// contents are always structurally sound after a writer panic:
+    /// `put`'s critical section only assigns an `Arc` and bumps a
+    /// counter, so recovery keeps the data, clears the flag, and counts
+    /// the event.
+    fn read_recover<'a>(
+        &self,
+        shard: &'a Shard,
+    ) -> RwLockReadGuard<'a, HashMap<String, (u64, Arc<Structure>)>> {
+        match shard.read() {
             Ok(guard) => guard,
             Err(poisoned) => {
                 self.recoveries.fetch_add(1, Ordering::Relaxed);
-                self.inner.clear_poison();
+                shard.clear_poison();
                 poisoned.into_inner()
             }
         }
     }
 
     /// Write-lock analogue of [`Catalog::read_recover`].
-    fn write_recover(&self) -> RwLockWriteGuard<'_, HashMap<String, (u64, Arc<Structure>)>> {
-        match self.inner.write() {
+    fn write_recover<'a>(
+        &self,
+        shard: &'a Shard,
+    ) -> RwLockWriteGuard<'a, HashMap<String, (u64, Arc<Structure>)>> {
+        match shard.write() {
             Ok(guard) => guard,
             Err(poisoned) => {
                 self.recoveries.fetch_add(1, Ordering::Relaxed);
-                self.inner.clear_poison();
+                shard.clear_poison();
                 poisoned.into_inner()
             }
         }
@@ -96,11 +157,14 @@ impl Catalog {
     /// Creates or replaces `name`, returning the new version (versions
     /// start at 1 and only ever grow, so an old version never aliases a
     /// new structure in cache keys). The write is recorded to storage
-    /// *inside* the write lock, so log order always matches version
-    /// order; a failed durable write keeps the in-memory update and is
-    /// counted by the backend ([`Storage::stats`]).
+    /// *inside* the shard's write lock, so log order always matches
+    /// version order for every database of that shard; a failed durable
+    /// write keeps the in-memory update and is counted by the backend
+    /// ([`Storage::stats`]). Databases in other shards stay readable
+    /// and writable throughout.
     pub fn put(&self, name: &str, structure: Structure) -> u64 {
-        let mut map = self.write_recover();
+        let shard = &self.shards[shard_of(name, self.shards.len())];
+        let mut map = self.write_recover(shard);
         let entry = map
             .entry(name.to_owned())
             .or_insert((0, Arc::new(structure.clone())));
@@ -113,19 +177,26 @@ impl Catalog {
 
     /// The current `(version, structure)` of `name`, if present.
     pub fn get(&self, name: &str) -> Option<(u64, Arc<Structure>)> {
-        self.read_recover().get(name).map(|(v, s)| (*v, s.clone()))
+        let shard = &self.shards[shard_of(name, self.shards.len())];
+        self.read_recover(shard)
+            .get(name)
+            .map(|(v, s)| (*v, s.clone()))
     }
 
-    /// All database names, sorted.
+    /// All database names, sorted (scans every shard).
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.read_recover().keys().cloned().collect();
+        let mut names: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| self.read_recover(s).keys().cloned().collect::<Vec<_>>())
+            .collect();
         names.sort_unstable();
         names
     }
 
-    /// Number of databases.
+    /// Number of databases (scans every shard).
     pub fn len(&self) -> usize {
-        self.read_recover().len()
+        self.shards.iter().map(|s| self.read_recover(s).len()).sum()
     }
 
     /// True when no database has been put.
@@ -196,6 +267,32 @@ mod tests {
     }
 
     #[test]
+    fn sharded_catalog_routes_and_aggregates_across_shards() {
+        // Enough names to populate several of the 4 shards.
+        let cat = Catalog::with_shards(4);
+        assert_eq!(cat.shard_count(), 4);
+        let names: Vec<String> = (0..16).map(|i| format!("db{i}")).collect();
+        for (i, name) in names.iter().enumerate() {
+            let facts = format!("E 0 {}", i + 1);
+            assert_eq!(cat.put(name, parse_facts(&facts).unwrap()), 1);
+        }
+        // Every name resolves through its own shard; whole-catalog
+        // views aggregate all shards, sorted.
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(cat.names(), sorted);
+        assert_eq!(cat.len(), 16);
+        for (i, name) in names.iter().enumerate() {
+            let (v, s) = cat.get(name).unwrap();
+            assert_eq!((v, s.domain_size()), (1, i + 2), "{name}");
+        }
+        // Versions stay per-database monotone regardless of shard.
+        assert_eq!(cat.put("db3", parse_facts("E 0 1").unwrap()), 2);
+        assert_eq!(cat.get("db3").unwrap().0, 2);
+        assert_eq!(cat.get("db4").unwrap().0, 1);
+    }
+
+    #[test]
     fn durable_catalog_survives_reopen() {
         use crate::storage::DurableStorage;
         let dir = std::env::temp_dir().join(format!("cspdb-catalog-{}", std::process::id()));
@@ -207,8 +304,10 @@ mod tests {
             cat.put("g", parse_facts("E 0 1\nE 1 2\n").unwrap());
             cat.put("h", parse_facts("P 0\n").unwrap());
         }
+        // Reopening with a different shard count still recovers every
+        // database: replay routes by name hash, not stored position.
         let store = Arc::new(DurableStorage::open(&dir).unwrap());
-        let cat = Catalog::open(store).unwrap();
+        let cat = Catalog::open_with_shards(store, 3).unwrap();
         assert_eq!(cat.names(), vec!["g".to_string(), "h".to_string()]);
         let (v, s) = cat.get("g").unwrap();
         assert_eq!((v, s.domain_size()), (2, 3));

@@ -66,6 +66,11 @@ pub struct DoctorConfig {
     /// check invariant 6 (on-disk integrity + kill-mid-append drill).
     /// `None` keeps the doctor fully in-memory.
     pub data_dir: Option<PathBuf>,
+    /// Catalog/cache shards the replayed server runs with. The default
+    /// (3) is deliberately small and coprime with nothing in
+    /// particular: the doctor's databases land in different shards, so
+    /// every invariant is checked across shard boundaries.
+    pub shards: usize,
 }
 
 impl Default for DoctorConfig {
@@ -85,6 +90,7 @@ impl Default for DoctorConfig {
             workers: 2,
             heavy_workers: 1,
             data_dir: None,
+            shards: 3,
         }
     }
 }
@@ -298,6 +304,7 @@ pub fn run_doctor(config: &DoctorConfig) -> DoctorReport {
         trace: None,
         exec_hook: None,
         storage: storage.clone(),
+        shards: config.shards,
     });
 
     // Seed two small databases through the real control plane.

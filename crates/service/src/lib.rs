@@ -44,14 +44,16 @@ mod cache;
 mod catalog;
 pub mod doctor;
 mod json;
+pub mod net;
 mod proto;
 mod server;
 pub mod storage;
 
 pub use cache::{invariant_hash, CacheKey, SemanticCache};
-pub use catalog::{parse_facts, Catalog};
+pub use catalog::{parse_facts, Catalog, DEFAULT_SHARDS};
 pub use doctor::{run_doctor, DoctorConfig, DoctorReport};
 pub use json::{escape, parse_object, JsonValue};
+pub use net::{pump_pipelined, serve_listener, NetConfig, NetSummary, PumpOutcome, MAX_LINE_BYTES};
 pub use proto::{
     relation_to_json, retry_with_backoff, Outcome, ParseError, Request, RequestBody, Response,
     PROTOCOL_VERSION,

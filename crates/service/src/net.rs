@@ -1,0 +1,394 @@
+//! The TCP connection layer: eager accept over a bounded handler pool,
+//! per-connection request pipelining, and idle-timeout protection.
+//!
+//! The old serve loop pumped each accepted connection to EOF before
+//! accepting the next, so one slow (or merely idle) client stalled
+//! every other client indefinitely. [`serve_listener`] instead accepts
+//! eagerly and hands each connection to its own handler thread, bounded
+//! by [`NetConfig::max_connections`]; within a connection, requests are
+//! *pipelined* — a client may write many request lines without waiting,
+//! and responses come back in submission order (each request's slot in
+//! the output stream is reserved at submission, so a fast request
+//! queued behind a slow one waits for its turn while other connections
+//! make independent progress).
+//!
+//! Protection against misbehaving clients:
+//!
+//! * **Idle timeout** ([`NetConfig::idle_timeout`], wired to
+//!   `set_read_timeout`): a connection that stops sending — including
+//!   the classic slowloris half-request drip — is dropped with a warn
+//!   and traced as [`TraceEvent::ConnectionTimedOut`].
+//! * **Bounded read buffers** ([`MAX_LINE_BYTES`]): a request line that
+//!   never ends cannot balloon memory; the connection is dropped once
+//!   the bound is hit.
+//! * **Fairness**: every request is submitted with its connection id
+//!   ([`Server::submit_from`]), so admission can refuse a flooding
+//!   connection's surplus while other connections' requests get in.
+//!
+//! The final `{"stats":…}` line is written only on a clean EOF —
+//! half-dead sockets don't get a stats line, and the failure is counted
+//! in [`Stats::conn_failures`](crate::Stats::conn_failures).
+
+use crate::proto::{Outcome, ParseError, Request, Response};
+use crate::server::Server;
+use cspdb_core::trace::TraceEvent;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Longest accepted request line in bytes. A line still unterminated at
+/// this bound drops the connection instead of growing the read buffer
+/// without limit.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Tuning for [`serve_listener`].
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Drop a connection that sends no byte for this long (`None`
+    /// disables the read timeout — library/stdin semantics).
+    pub idle_timeout: Option<Duration>,
+    /// Connections serviced concurrently (min 1). The accept loop
+    /// blocks — clients queue in the OS backlog — when the pool is
+    /// full, rather than accepting unboundedly many handler threads.
+    pub max_connections: usize,
+    /// Serve exactly one connection, then return (smoke tests).
+    pub once: bool,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            idle_timeout: Some(Duration::from_millis(30_000)),
+            max_connections: 64,
+            once: false,
+        }
+    }
+}
+
+/// What [`serve_listener`] served (totals across all connections).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetSummary {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Responses with status `unknown`/`overloaded`/`expired` (the
+    /// CLI's exit-code-2 signal).
+    pub bad: u64,
+    /// Connections that ended uncleanly (I/O error, idle timeout, or
+    /// an over-long request line).
+    pub failures: u64,
+}
+
+/// How one pumped stream ended.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PumpOutcome {
+    /// Responses with status `unknown`/`overloaded`/`expired`.
+    pub bad: u64,
+    /// Request lines submitted (including ones that failed to parse).
+    pub requests: u64,
+    /// True when the input ended in an orderly EOF.
+    pub clean: bool,
+    /// True when the read timeout fired (implies `!clean`).
+    pub timed_out: bool,
+}
+
+/// What [`read_line_bounded`] produced.
+enum LineRead {
+    /// A (possibly empty) line is in the buffer.
+    Line,
+    /// Orderly end of stream with no buffered bytes.
+    Eof,
+    /// The line exceeded the bound; the connection should be dropped.
+    TooLong,
+}
+
+/// Reads one `\n`-terminated line into `buf` (newline excluded),
+/// refusing to buffer more than `max` bytes. A final unterminated line
+/// before EOF still counts as a line, matching `BufRead::lines`.
+fn read_line_bounded(
+    input: &mut impl BufRead,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> std::io::Result<LineRead> {
+    loop {
+        let available = match input.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Ok(if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line
+            });
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if buf.len() + pos > max {
+                    return Ok(LineRead::TooLong);
+                }
+                buf.extend_from_slice(&available[..pos]);
+                input.consume(pos + 1);
+                return Ok(LineRead::Line);
+            }
+            None => {
+                let n = available.len();
+                if buf.len() + n > max {
+                    return Ok(LineRead::TooLong);
+                }
+                buf.extend_from_slice(available);
+                input.consume(n);
+            }
+        }
+    }
+}
+
+/// Reads JSONL requests from `input` until EOF (or timeout/error),
+/// submits them under connection id `conn`, and writes one response
+/// line per request to `output` **in submission order**: each request
+/// reserves its output slot at submission, and a dedicated writer
+/// thread releases slots FIFO, blocking on each slot's response while
+/// later responses buffer behind it. Pipelining costs a client
+/// nothing; ordering costs the server nothing but memory for
+/// out-of-order completions.
+pub fn pump_pipelined(
+    server: &Server,
+    conn: u64,
+    mut input: impl BufRead,
+    mut output: impl Write + Send + 'static,
+) -> PumpOutcome {
+    // Slots of (request id, response receiver), released in FIFO order.
+    let (slot_tx, slot_rx) = mpsc::channel::<(u64, mpsc::Receiver<Response>)>();
+    let writer = std::thread::spawn(move || {
+        let mut bad = 0u64;
+        let mut broken = false;
+        for (id, rx) in slot_rx {
+            // A dropped channel means the worker died without
+            // answering: surface the typed WorkerLost under the
+            // request's own id rather than skipping its slot.
+            let response = rx.recv().unwrap_or(Response {
+                id,
+                outcome: Outcome::WorkerLost,
+                micros: 0,
+            });
+            if matches!(response.status(), "unknown" | "overloaded" | "expired") {
+                bad += 1;
+            }
+            // A dead socket stops writes but keeps draining slots, so
+            // submitted work still completes and is accounted.
+            if !broken && writeln!(output, "{}", response.to_json()).is_err() {
+                broken = true;
+            }
+        }
+        let _ = output.flush();
+        bad
+    });
+    let mut outcome = PumpOutcome {
+        clean: true,
+        ..PumpOutcome::default()
+    };
+    let mut line_buf: Vec<u8> = Vec::new();
+    loop {
+        line_buf.clear();
+        match read_line_bounded(&mut input, &mut line_buf, MAX_LINE_BYTES) {
+            Ok(LineRead::Eof) => break,
+            Ok(LineRead::TooLong) => {
+                eprintln!(
+                    "warn: connection {conn}: request line exceeds {MAX_LINE_BYTES} bytes, dropping"
+                );
+                outcome.clean = false;
+                break;
+            }
+            Ok(LineRead::Line) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                outcome.timed_out = true;
+                outcome.clean = false;
+                break;
+            }
+            Err(e) => {
+                eprintln!("warn: connection {conn}: read: {e}");
+                outcome.clean = false;
+                break;
+            }
+        }
+        let line = String::from_utf8_lossy(&line_buf);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        outcome.requests += 1;
+        let (rtx, rrx) = mpsc::channel::<Response>();
+        let id = match Request::parse(line) {
+            Ok(request) => {
+                let id = request.id;
+                if let Err(rejection) = server.submit_from(request, rtx.clone(), conn) {
+                    let _ = rtx.send(rejection.into_response(id));
+                }
+                id
+            }
+            Err(e) => {
+                // Version mismatches get their typed outcome (naming
+                // both versions); everything else stays a plain error.
+                let outcome = match e {
+                    ParseError::UnsupportedVersion { got } => Outcome::UnsupportedVersion { got },
+                    ParseError::Malformed(message) => Outcome::Error { message },
+                };
+                let _ = rtx.send(Response {
+                    id: 0,
+                    outcome,
+                    micros: 0,
+                });
+                0
+            }
+        };
+        let _ = slot_tx.send((id, rrx));
+    }
+    // In-flight jobs hold response senders; the writer drains until the
+    // last reserved slot of this stream has been delivered.
+    drop(slot_tx);
+    outcome.bad = writer.join().unwrap_or(0);
+    outcome
+}
+
+/// Services one accepted TCP connection: arms the idle timeout, pumps
+/// pipelined requests, and — only on a clean EOF — appends the final
+/// `{"stats":…}` line. Mid-connection failures skip the stats line (it
+/// would land on a half-dead socket) and are counted by the caller.
+fn handle_connection(
+    server: &Server,
+    stream: &TcpStream,
+    conn: u64,
+    idle_timeout: Option<Duration>,
+) -> PumpOutcome {
+    if idle_timeout.is_some() {
+        let _ = stream.set_read_timeout(idle_timeout);
+    }
+    // Responses are small JSONL lines in a request/response loop;
+    // Nagle's algorithm would add delayed-ACK stalls to every one.
+    let _ = stream.set_nodelay(true);
+    let halves = stream
+        .try_clone()
+        .and_then(|r| stream.try_clone().map(|w| (BufReader::new(r), w)));
+    let (reader, writer) = match halves {
+        Ok(halves) => halves,
+        Err(e) => {
+            eprintln!("warn: connection {conn}: clone: {e}");
+            return PumpOutcome::default();
+        }
+    };
+    let outcome = pump_pipelined(server, conn, reader, writer);
+    if outcome.timed_out {
+        let idle_ms = idle_timeout.map_or(0, |d| d.as_millis() as u64);
+        eprintln!("warn: connection {conn}: idle for {idle_ms}ms, dropping");
+        server
+            .tracer()
+            .emit_with(|| TraceEvent::ConnectionTimedOut { conn, idle_ms });
+    }
+    if outcome.clean {
+        let mut stream = stream;
+        let _ = writeln!(stream, "{{\"stats\":{}}}", server.stats().to_json());
+    }
+    outcome
+}
+
+/// A counted semaphore bounding the handler pool.
+struct Pool {
+    active: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Pool {
+    fn acquire(&self, cap: usize) {
+        let mut active = self.active.lock().unwrap_or_else(|p| p.into_inner());
+        while *active >= cap {
+            active = self.freed.wait(active).unwrap_or_else(|p| p.into_inner());
+        }
+        *active += 1;
+    }
+
+    fn release(&self) {
+        *self.active.lock().unwrap_or_else(|p| p.into_inner()) -= 1;
+        self.freed.notify_one();
+    }
+}
+
+/// Accepts connections from `listener` and services them concurrently
+/// on a pool of at most [`NetConfig::max_connections`] handler threads.
+/// Accept errors and per-connection failures are warned about and
+/// skipped — they never tear down the accept loop. Returns only when
+/// the listener ends (never, for a real socket) or after one
+/// connection with [`NetConfig::once`].
+pub fn serve_listener(
+    server: &Arc<Server>,
+    listener: TcpListener,
+    config: &NetConfig,
+) -> NetSummary {
+    let cap = config.max_connections.max(1);
+    let pool = Arc::new(Pool {
+        active: Mutex::new(0),
+        freed: Condvar::new(),
+    });
+    let bad = Arc::new(AtomicU64::new(0));
+    let failures = Arc::new(AtomicU64::new(0));
+    let mut connections = 0u64;
+    let mut handles: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(e) => {
+                eprintln!("warn: accept: {e}");
+                continue;
+            }
+        };
+        // Block (clients wait in the OS backlog) rather than spawn an
+        // unbounded number of handlers.
+        pool.acquire(cap);
+        connections += 1;
+        let conn = server.open_connection();
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "unknown".into());
+        server.tracer().emit_with(|| TraceEvent::ConnectionOpened {
+            conn,
+            peer: peer.clone(),
+        });
+        let server = Arc::clone(server);
+        let pool = Arc::clone(&pool);
+        let bad = Arc::clone(&bad);
+        let failures = Arc::clone(&failures);
+        let idle_timeout = config.idle_timeout;
+        handles.push(std::thread::spawn(move || {
+            let outcome = handle_connection(&server, &stream, conn, idle_timeout);
+            bad.fetch_add(outcome.bad, Ordering::Relaxed);
+            if !outcome.clean {
+                failures.fetch_add(1, Ordering::Relaxed);
+            }
+            server.close_connection(outcome.clean);
+            server.tracer().emit_with(|| TraceEvent::ConnectionClosed {
+                conn,
+                requests: outcome.requests,
+                clean: outcome.clean,
+            });
+            pool.release();
+        }));
+        // Reap finished handlers so the vec stays bounded by the pool
+        // cap plus stragglers (dropping a handle detaches nothing the
+        // pool doesn't already track).
+        handles.retain(|h| !h.is_finished());
+        if config.once {
+            break;
+        }
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    NetSummary {
+        connections,
+        bad: bad.load(Ordering::Relaxed),
+        failures: failures.load(Ordering::Relaxed),
+    }
+}

@@ -87,6 +87,11 @@ pub struct ServerConfig {
     /// version and re-keyed from its stored query text, never trusted
     /// blindly.
     pub storage: Option<Arc<dyn Storage>>,
+    /// Number of independently locked shards the catalog and the
+    /// semantic cache are split into (min 1, routed by database-name
+    /// hash). Readers of different databases never contend and a `put`
+    /// only locks its own shard.
+    pub shards: usize,
 }
 
 impl Default for ServerConfig {
@@ -102,6 +107,7 @@ impl Default for ServerConfig {
             trace: None,
             exec_hook: None,
             storage: None,
+            shards: crate::catalog::DEFAULT_SHARDS,
         }
     }
 }
@@ -242,6 +248,15 @@ pub struct Stats {
     /// Cache entries warm-started from the persisted index and
     /// re-confirmed against the recovered catalog.
     pub cache_warmed: u64,
+    /// Client connections accepted over the server's lifetime (0 when
+    /// requests arrive via the library API or stdin only).
+    pub connections: u64,
+    /// Connections that ended abnormally — an I/O error or idle
+    /// timeout mid-stream instead of a clean EOF.
+    pub conn_failures: u64,
+    /// Requests refused because their connection already held its fair
+    /// share of a lane's queue while other connections were waiting.
+    pub fair_rejected: u64,
 }
 
 impl Stats {
@@ -253,7 +268,8 @@ impl Stats {
              \"p50_micros\":{},\"p99_micros\":{},\
              \"panics\":{},\"poisoned\":{},\"expired\":{},\"degraded\":{},\
              \"snapshots_written\":{},\"log_replayed\":{},\"log_compactions\":{},\
-             \"torn_truncated\":{},\"storage_write_errors\":{},\"cache_warmed\":{}}}",
+             \"torn_truncated\":{},\"storage_write_errors\":{},\"cache_warmed\":{},\
+             \"connections\":{},\"conn_failures\":{},\"fair_rejected\":{}}}",
             self.admitted,
             self.rejected,
             self.completed,
@@ -272,7 +288,10 @@ impl Stats {
             self.log_compactions,
             self.torn_truncated,
             self.storage_write_errors,
-            self.cache_warmed
+            self.cache_warmed,
+            self.connections,
+            self.conn_failures,
+            self.fair_rejected
         )
     }
 }
@@ -286,10 +305,41 @@ struct Job {
     /// True when the heavy lane was full and this CQ was re-routed to
     /// the normal lane's budget-sliced cheap tier.
     degraded: bool,
+    /// Connection the request arrived on (0 for library/stdin callers,
+    /// which all share one implicit connection).
+    conn: u64,
+}
+
+/// A lane's queue plus the per-connection occupancy the fairness check
+/// reads — kept under one lock so counts never drift from the queue.
+#[derive(Default)]
+struct LaneQueue {
+    jobs: VecDeque<Job>,
+    /// Queued jobs per connection id (entries removed at zero, so
+    /// `by_conn.len()` is the number of connections with queued work).
+    by_conn: HashMap<u64, usize>,
+}
+
+impl LaneQueue {
+    fn push(&mut self, job: Job) {
+        *self.by_conn.entry(job.conn).or_insert(0) += 1;
+        self.jobs.push_back(job);
+    }
+
+    fn pop(&mut self) -> Option<Job> {
+        let job = self.jobs.pop_front()?;
+        if let Some(count) = self.by_conn.get_mut(&job.conn) {
+            *count -= 1;
+            if *count == 0 {
+                self.by_conn.remove(&job.conn);
+            }
+        }
+        Some(job)
+    }
 }
 
 struct Lane {
-    queue: Mutex<VecDeque<Job>>,
+    queue: Mutex<LaneQueue>,
     available: Condvar,
     depth: usize,
 }
@@ -297,7 +347,7 @@ struct Lane {
 impl Lane {
     fn new(depth: usize) -> Self {
         Self {
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(LaneQueue::default()),
             available: Condvar::new(),
             depth: depth.max(1),
         }
@@ -314,6 +364,40 @@ struct Counters {
     poisoned: AtomicU64,
     expired: AtomicU64,
     degraded: AtomicU64,
+    connections: AtomicU64,
+    conn_failures: AtomicU64,
+    fair_rejected: AtomicU64,
+}
+
+/// Samples the latency ring holds. Large enough for stable p50/p99
+/// estimates, small enough that a `stats()` snapshot copies and sorts a
+/// bounded slice instead of the whole service history.
+const LATENCY_SAMPLES: usize = 1024;
+
+/// A bounded ring of the most recent service latencies. Under
+/// sustained traffic the old unbounded `Vec` grew without limit and
+/// every stats snapshot cloned and re-sorted the entire history; the
+/// ring keeps both the memory and the snapshot cost constant.
+#[derive(Default)]
+struct LatencyRing {
+    samples: Vec<u64>,
+    /// Index the next sample overwrites once the ring is full.
+    next: usize,
+}
+
+impl LatencyRing {
+    fn push(&mut self, micros: u64) {
+        if self.samples.len() < LATENCY_SAMPLES {
+            self.samples.push(micros);
+        } else {
+            self.samples[self.next] = micros;
+        }
+        self.next = (self.next + 1) % LATENCY_SAMPLES;
+    }
+
+    fn snapshot(&self) -> Vec<u64> {
+        self.samples.clone()
+    }
 }
 
 struct Inner {
@@ -329,7 +413,7 @@ struct Inner {
     tracer: Tracer,
     faults: FaultHandle,
     counters: Counters,
-    latencies: Mutex<Vec<u64>>,
+    latencies: Mutex<LatencyRing>,
     /// Exponentially-weighted moving average of service latency in
     /// microseconds (`ewma ← ewma·7/8 + sample/8`); 0 until the first
     /// completion. Drives the admission-time wait estimate and the
@@ -339,6 +423,9 @@ struct Inner {
     exec_hook: Option<ExecHook>,
     /// Cache entries warm-started (and re-confirmed) at startup.
     cache_warmed: u64,
+    /// Connection-id allocator (ids start at 1; 0 is the implicit
+    /// library/stdin connection).
+    next_conn: AtomicU64,
 }
 
 /// Locks `m`, recovering from poison: a worker that panicked while
@@ -387,14 +474,16 @@ impl Server {
         // replay every persisted database, then warm-start the cache.
         // A backend that cannot even enumerate its directory falls back
         // to a fresh in-memory catalog — the server still serves.
+        let shards = config.shards.max(1);
         let catalog = match &config.storage {
             Some(storage) => {
                 storage.attach_tracer(tracer.clone());
-                Catalog::open(storage.clone()).unwrap_or_default()
+                Catalog::open_with_shards(storage.clone(), shards)
+                    .unwrap_or_else(|_| Catalog::with_shards(shards))
             }
-            None => Catalog::new(),
+            None => Catalog::with_shards(shards),
         };
-        let cache = SemanticCache::new();
+        let cache = SemanticCache::with_shards(shards);
         let mut cache_warmed = 0u64;
         if config.cache_enabled {
             if let Some(storage) = &config.storage {
@@ -436,11 +525,12 @@ impl Server {
             tracer,
             faults,
             counters: Counters::default(),
-            latencies: Mutex::new(Vec::new()),
+            latencies: Mutex::new(LatencyRing::default()),
             ewma_micros: AtomicU64::new(0),
             inflight: AtomicU64::new(0),
             exec_hook: config.exec_hook,
             cache_warmed,
+            next_conn: AtomicU64::new(1),
         });
         let mut threads = Vec::with_capacity(workers + heavy_workers);
         for (lane, count) in [(NORMAL, workers), (HEAVY, heavy_workers)] {
@@ -475,12 +565,34 @@ impl Server {
     }
 
     /// [`Server::submit`] with a caller-supplied response channel, so a
-    /// front end can multiplex every response onto one stream.
+    /// front end can multiplex every response onto one stream. Requests
+    /// submitted this way share the implicit connection 0 for the
+    /// fairness accounting.
     ///
     /// # Errors
     ///
     /// As for [`Server::submit`].
     pub fn submit_to(&self, request: Request, tx: mpsc::Sender<Response>) -> Result<(), Rejection> {
+        self.submit_from(request, tx, 0)
+    }
+
+    /// [`Server::submit_to`] tagged with the originating connection id
+    /// (from [`Server::open_connection`]), which the per-connection
+    /// fairness check uses: a connection may hold at most its fair
+    /// share — `lane depth / connections with queued work` — of a
+    /// lane's queue, so a flooding client is refused with
+    /// [`Rejection::Overloaded`] while other connections' requests
+    /// still get in.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Server::submit`].
+    pub fn submit_from(
+        &self,
+        request: Request,
+        tx: mpsc::Sender<Response>,
+        conn: u64,
+    ) -> Result<(), Rejection> {
         let inner = &self.inner;
         let id = request.id;
         if !inner.accepting.load(Ordering::SeqCst) {
@@ -511,7 +623,7 @@ impl Server {
         }
         let lane_idx = classify(inner, &request.body);
         let lane_name = LANE_NAMES[lane_idx];
-        match try_enqueue(inner, lane_idx, request, tx, false) {
+        match try_enqueue(inner, lane_idx, request, tx, false, conn) {
             Ok(()) => {
                 inner.counters.admitted.fetch_add(1, Ordering::Relaxed);
                 inner.tracer.emit_with(|| TraceEvent::RequestAdmitted {
@@ -526,7 +638,7 @@ impl Server {
                 // saturated, CQ work falls back to the normal lane's
                 // budget-sliced cheap tier before any typed rejection.
                 if lane_idx == HEAVY && matches!(request.body, RequestBody::Cq { .. }) {
-                    match try_enqueue(inner, NORMAL, request, tx, true) {
+                    match try_enqueue(inner, NORMAL, request, tx, true, conn) {
                         Ok(()) => {
                             inner.counters.degraded.fetch_add(1, Ordering::Relaxed);
                             inner.counters.admitted.fetch_add(1, Ordering::Relaxed);
@@ -561,6 +673,36 @@ impl Server {
         server_stats(&self.inner)
     }
 
+    /// Registers a new client connection, returning its id for
+    /// [`Server::submit_from`] (ids start at 1; 0 is the implicit
+    /// library/stdin connection).
+    pub fn open_connection(&self) -> u64 {
+        self.inner
+            .counters
+            .connections
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner.next_conn.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Records the end of a connection opened with
+    /// [`Server::open_connection`]. `clean` is false when the stream
+    /// died mid-connection (I/O error or idle timeout), which counts
+    /// toward [`Stats::conn_failures`].
+    pub fn close_connection(&self, clean: bool) {
+        if !clean {
+            self.inner
+                .counters
+                .conn_failures
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The server's tracer (shared with the connection layer so wire
+    /// events land in the same sink as admission and cache events).
+    pub(crate) fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
+    }
+
     /// Stops intake, drains the queues, and joins every worker. See
     /// [`ShutdownMode`] for what happens to queued and in-flight work.
     /// Idempotent; concurrent calls race benignly (the first joiner
@@ -571,7 +713,7 @@ impl Server {
         let queued: u64 = inner
             .lanes
             .iter()
-            .map(|l| lock_recover(&l.queue, &inner.counters).len() as u64)
+            .map(|l| lock_recover(&l.queue, &inner.counters).jobs.len() as u64)
             .sum();
         let inflight = inner.inflight.load(Ordering::SeqCst);
         inner
@@ -611,14 +753,17 @@ enum Refusal {
 /// deadline-doomed requests first: if `queued jobs × EWMA service
 /// time` already exceeds the request's `deadline_ms`, executing it
 /// would only waste a worker on an answer the client has given up on.
-/// Refusals hand the request and channel back so the caller can try a
-/// degraded placement.
+/// Then the fairness check: `conn` may hold at most `depth / active
+/// connections` queued slots, so one flooding connection saturates its
+/// own share, not the whole lane. Refusals hand the request and
+/// channel back so the caller can try a degraded placement.
 fn try_enqueue(
     inner: &Inner,
     lane_idx: usize,
     request: Request,
     tx: mpsc::Sender<Response>,
     degraded: bool,
+    conn: u64,
 ) -> Result<(), (Request, mpsc::Sender<Response>, Refusal)> {
     let lane = &inner.lanes[lane_idx];
     let mut queue = lock_recover(&lane.queue, &inner.counters);
@@ -626,13 +771,24 @@ fn try_enqueue(
         // Multiply before dividing: `ewma / 1000` truncates sub-ms
         // service times to 0 and silently disables deadline shedding.
         let ewma = inner.ewma_micros.load(Ordering::Relaxed) as u128;
-        let est_wait_ms = u64::try_from(queue.len() as u128 * ewma / 1000).unwrap_or(u64::MAX);
+        let est_wait_ms = u64::try_from(queue.jobs.len() as u128 * ewma / 1000).unwrap_or(u64::MAX);
         if est_wait_ms > deadline_ms {
             drop(queue);
             return Err((request, tx, Refusal::Expired));
         }
     }
-    if queue.len() >= lane.depth || inner.faults.fire(FaultSite::QueueFull) {
+    // Fair share: the lane depth divided among the connections that
+    // currently have queued work (counting this one). A lone
+    // connection still gets the whole queue — fairness only bites when
+    // connections actually compete.
+    let active = queue.by_conn.len() + usize::from(!queue.by_conn.contains_key(&conn));
+    let fair_cap = (lane.depth / active.max(1)).max(1);
+    if queue.by_conn.get(&conn).copied().unwrap_or(0) >= fair_cap {
+        inner.counters.fair_rejected.fetch_add(1, Ordering::Relaxed);
+        drop(queue);
+        return Err((request, tx, Refusal::Full));
+    }
+    if queue.jobs.len() >= lane.depth || inner.faults.fire(FaultSite::QueueFull) {
         drop(queue);
         return Err((request, tx, Refusal::Full));
     }
@@ -640,12 +796,13 @@ fn try_enqueue(
     let deadline = request
         .deadline_ms
         .map(|ms| admitted_at + Duration::from_millis(ms));
-    queue.push_back(Job {
+    queue.push(Job {
         request,
         tx,
         admitted_at,
         deadline,
         degraded,
+        conn,
     });
     drop(queue);
     lane.available.notify_one();
@@ -688,7 +845,7 @@ fn worker_loop(inner: &Inner, lane_idx: usize) {
         let job = {
             let mut queue = lock_recover(&lane.queue, &inner.counters);
             loop {
-                if let Some(job) = queue.pop_front() {
+                if let Some(job) = queue.pop() {
                     break job;
                 }
                 if inner.stopping.load(Ordering::SeqCst) {
@@ -906,7 +1063,9 @@ fn run_control(inner: &Inner, body: &RequestBody) -> Outcome {
 /// Builds the [`Stats`] snapshot from `Inner` (shared by
 /// [`Server::stats`] and the inline `stats` op on the admission path).
 fn server_stats(inner: &Inner) -> Stats {
-    let mut latencies = lock_recover(&inner.latencies, &inner.counters).clone();
+    // The ring bounds this to LATENCY_SAMPLES elements — a constant
+    // cost per snapshot no matter how long the server has been up.
+    let mut latencies = lock_recover(&inner.latencies, &inner.counters).snapshot();
     latencies.sort_unstable();
     let pct = |p: f64| -> u64 {
         if latencies.is_empty() {
@@ -944,6 +1103,9 @@ fn server_stats(inner: &Inner) -> Stats {
         torn_truncated: storage.torn_tails_truncated,
         storage_write_errors: storage.write_errors,
         cache_warmed: inner.cache_warmed,
+        connections: inner.counters.connections.load(Ordering::Relaxed),
+        conn_failures: inner.counters.conn_failures.load(Ordering::Relaxed),
+        fair_rejected: inner.counters.fair_rejected.load(Ordering::Relaxed),
     }
 }
 
@@ -1105,4 +1267,26 @@ fn union_retype(a: &Structure, b: &Structure) -> Option<(Structure, Structure)> 
         out
     };
     Some((retype(a), retype(b)))
+}
+
+/// The queue position fairness gives a brand-new connection: used only
+/// in tests, exported here to keep the policy's arithmetic in one
+/// place.
+#[cfg(test)]
+fn fair_cap(depth: usize, active_connections: usize) -> usize {
+    (depth / active_connections.max(1)).max(1)
+}
+
+#[cfg(test)]
+mod fairness_tests {
+    use super::fair_cap;
+
+    #[test]
+    fn fair_cap_splits_depth_and_never_starves() {
+        assert_eq!(fair_cap(64, 1), 64, "a lone connection gets the lane");
+        assert_eq!(fair_cap(64, 4), 16);
+        assert_eq!(fair_cap(8, 3), 2);
+        assert_eq!(fair_cap(2, 5), 1, "every connection keeps one slot");
+        assert_eq!(fair_cap(0, 0), 1, "degenerate inputs still admit");
+    }
 }

@@ -1,0 +1,44 @@
+#!/bin/sh
+# Appends one JSONL record per BENCH_*.json to BENCH_history.jsonl,
+# stamped with the git revision and UTC time, so bench results accrete
+# into a queryable series across commits instead of overwriting each
+# other. Pure POSIX shell — no jq — the bench writers emit single-line
+# JSON which is embedded verbatim under "metrics".
+#
+# Usage: scripts/bench_history.sh [bench-json ...]
+#   With no arguments, every BENCH_*.json at the repo root is appended.
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+cd "$repo_root"
+
+sha=$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
+stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+history="BENCH_history.jsonl"
+
+if [ "$#" -gt 0 ]; then
+    set -- "$@"
+else
+    set -- BENCH_*.json
+fi
+
+appended=0
+for f in "$@"; do
+    [ -f "$f" ] || continue
+    # BENCH_service.json -> service
+    name=$(basename "$f" .json)
+    name=${name#BENCH_}
+    # The bench writers emit exactly one line of JSON; strip the
+    # trailing newline and refuse multi-line files rather than emit a
+    # broken JSONL record.
+    if [ "$(wc -l < "$f")" -gt 1 ]; then
+        echo "bench_history: skipping $f (not single-line JSON)" >&2
+        continue
+    fi
+    metrics=$(cat "$f")
+    printf '{"sha":"%s","utc":"%s","bench":"%s","metrics":%s}\n' \
+        "$sha" "$stamp" "$name" "$metrics" >> "$history"
+    appended=$((appended + 1))
+done
+
+echo "bench_history: appended $appended record(s) to $history at $sha"

@@ -63,13 +63,13 @@ use constraint_db::core::budget::{Answer, Budget};
 use constraint_db::core::trace::{Fanout, JsonLinesSink, Recorder, TraceSink};
 use constraint_db::core::{FaultPlan, Structure, VocabularyBuilder};
 use constraint_db::service::{
-    run_doctor, DoctorConfig, DurableStorage, Outcome, ParseError, Request, Response, Server,
+    pump_pipelined, run_doctor, serve_listener, DoctorConfig, DurableStorage, NetConfig, Server,
     ServerConfig, ShutdownMode,
 };
 use constraint_db::{ExplainReport, GovernedReport, Solver};
-use std::io::{BufRead, Write};
+use std::io::Write;
 use std::process::ExitCode;
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 
 /// A command either finished (printing its result) or ran out of budget
 /// (the payload is the printed `UNKNOWN` reason, mapped to exit code 2).
@@ -171,7 +171,8 @@ const USAGE: &str = "usage:
   cspdb treewidth <edges-file>
   cspdb serve [--stdin | --listen <addr>] [--workers <n>] [--heavy-workers <n>]
               [--queue <n>] [--heavy-queue <n>] [--heavy-threshold <n>]
-              [--no-cache] [--once] [--data-dir <dir>]
+              [--no-cache] [--once] [--data-dir <dir>] [--shards <n>]
+              [--max-conns <n>] [--idle-timeout-ms <n>]
   cspdb doctor [--requests <n>] [--seed <n>] [--data-dir <dir>]
 budget flags (color/sat/datalog/cq/treewidth/serve): --timeout-ms <n> --steps <n> --tuples <n>
 explain flags (color/sat/cq): --explain --explain=json
@@ -770,7 +771,11 @@ fn cmd_doctor(args: &[String], faults: Option<FaultPlan>) -> Result<CmdOutcome, 
 /// the process exit code follows the governed-command convention — 2 if
 /// any request ended `unknown` or `overloaded`, 0 otherwise. A final
 /// `{"stats":...}` line summarises the run (stdin mode) or each
-/// connection (TCP mode, written to the socket).
+/// cleanly-ended connection (TCP mode, written to the socket).
+///
+/// TCP mode services up to `--max-conns` connections concurrently
+/// (requests pipeline per connection, responses stay in submission
+/// order) and drops clients idle longer than `--idle-timeout-ms`.
 fn cmd_serve(
     args: &[String],
     budget: &Budget,
@@ -782,7 +787,7 @@ fn cmd_serve(
         ..ServerConfig::default()
     };
     let mut listen: Option<String> = None;
-    let mut once = false;
+    let mut net = NetConfig::default();
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].clone();
@@ -813,6 +818,13 @@ fn cmd_serve(
             "--queue" => config.queue_depth = value(&mut i)? as usize,
             "--heavy-queue" => config.heavy_queue_depth = value(&mut i)? as usize,
             "--heavy-threshold" => config.heavy_threshold = value(&mut i)?,
+            "--shards" => config.shards = (value(&mut i)? as usize).max(1),
+            "--max-conns" => net.max_connections = (value(&mut i)? as usize).max(1),
+            "--idle-timeout-ms" => {
+                // 0 disables the idle timeout entirely.
+                let ms = value(&mut i)?;
+                net.idle_timeout = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+            }
             "--no-cache" => {
                 config.cache_enabled = false;
                 i += 1;
@@ -825,18 +837,20 @@ fn cmd_serve(
                 i += 2;
             }
             "--once" => {
-                once = true;
+                net.once = true;
                 i += 1;
             }
             other => return Err(format!("unknown serve flag `{other}`")),
         }
     }
-    let server = Server::start(config);
+    let server = Arc::new(Server::start(config));
     let bad = match listen {
         None => {
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
-            let bad = pump(&server, stdin.lock(), stdout)?;
+            // The stdin stream is connection 0: the implicit library
+            // connection, exempt from idle timeouts and fairness caps.
+            let outcome = pump_pipelined(&server, 0, stdin.lock(), stdout);
             server.shutdown(ShutdownMode::Drain);
             // Tolerate a consumer that closed stdout early (e.g. head).
             let _ = writeln!(
@@ -844,7 +858,7 @@ fn cmd_serve(
                 "{{\"stats\":{}}}",
                 server.stats().to_json()
             );
-            bad
+            outcome.bad
         }
         Some(addr) => {
             let listener =
@@ -852,36 +866,9 @@ fn cmd_serve(
             let local = listener.local_addr().map_err(|e| e.to_string())?;
             // Advertise the bound address (port 0 resolves here).
             eprintln!("listening on {local}");
-            let mut bad = 0u64;
-            // Per-connection failures (a client vanishing mid-request,
-            // a transient accept error) are warned about and skipped —
-            // they must never tear down the accept loop.
-            for stream in listener.incoming() {
-                let stream = match stream {
-                    Ok(stream) => stream,
-                    Err(e) => {
-                        eprintln!("warn: accept: {e}");
-                        continue;
-                    }
-                };
-                let conn = stream
-                    .try_clone()
-                    .and_then(|r| stream.try_clone().map(|w| (std::io::BufReader::new(r), w)));
-                match conn {
-                    Ok((reader, writer)) => match pump(&server, reader, writer) {
-                        Ok(n) => bad += n,
-                        Err(e) => eprintln!("warn: connection: {e}"),
-                    },
-                    Err(e) => eprintln!("warn: clone: {e}"),
-                }
-                let mut stream = stream;
-                let _ = writeln!(stream, "{{\"stats\":{}}}", server.stats().to_json());
-                if once {
-                    break;
-                }
-            }
+            let summary = serve_listener(&server, listener, &net);
             server.shutdown(ShutdownMode::Drain);
-            bad
+            summary.bad
         }
     };
     Ok(if bad > 0 {
@@ -889,68 +876,4 @@ fn cmd_serve(
     } else {
         CmdOutcome::Done
     })
-}
-
-/// Reads JSONL requests from `input` until EOF, submits them to the
-/// server, and writes every response line to `output` (a dedicated
-/// writer thread keeps responses flowing while the reader blocks).
-/// Returns the number of `unknown`/`overloaded` responses.
-fn pump(
-    server: &Server,
-    input: impl BufRead,
-    mut output: impl Write + Send + 'static,
-) -> Result<u64, String> {
-    let (tx, rx) = mpsc::channel::<Response>();
-    let writer = std::thread::spawn(move || {
-        let mut bad = 0u64;
-        for response in rx {
-            if matches!(response.status(), "unknown" | "overloaded" | "expired") {
-                bad += 1;
-            }
-            let _ = writeln!(output, "{}", response.to_json());
-        }
-        let _ = output.flush();
-        bad
-    });
-    for line in input.lines() {
-        let line = match line {
-            Ok(line) => line,
-            Err(e) => {
-                // A client that disconnects mid-request ends this
-                // stream; in-flight work still drains to the writer
-                // (which tolerates the dead socket), and TCP mode's
-                // accept loop keeps serving other connections.
-                eprintln!("warn: read: {e}");
-                break;
-            }
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        match Request::parse(&line) {
-            Ok(request) => {
-                let id = request.id;
-                if let Err(rejection) = server.submit_to(request, tx.clone()) {
-                    let _ = tx.send(rejection.into_response(id));
-                }
-            }
-            Err(e) => {
-                // Version mismatches get their typed outcome (naming
-                // both versions); everything else stays a plain error.
-                let outcome = match e {
-                    ParseError::UnsupportedVersion { got } => Outcome::UnsupportedVersion { got },
-                    ParseError::Malformed(message) => Outcome::Error { message },
-                };
-                let _ = tx.send(Response {
-                    id: 0,
-                    outcome,
-                    micros: 0,
-                });
-            }
-        }
-    }
-    // In-flight jobs hold tx clones; the writer drains until the last
-    // response of this stream has been delivered.
-    drop(tx);
-    writer.join().map_err(|_| "writer thread panicked".into())
 }

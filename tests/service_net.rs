@@ -1,0 +1,227 @@
+//! Integration tests of the TCP connection layer: concurrent clients
+//! see exactly the bytes a sequential run produces, a stalled client
+//! cannot delay anyone else (the head-of-line-blocking regression), and
+//! an idle client is dropped by the read timeout without a stats line.
+
+use constraint_db::core::budget::Budget;
+use constraint_db::service::{serve_listener, NetConfig, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Binds an ephemeral listener and serves it from a background thread
+/// (detached — the accept loop runs until the test process exits).
+fn spawn_service(config: ServerConfig, net: NetConfig) -> (Arc<Server>, SocketAddr) {
+    let server = Arc::new(Server::start(config));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local_addr");
+    let served = Arc::clone(&server);
+    std::thread::spawn(move || serve_listener(&served, listener, &net));
+    (server, addr)
+}
+
+/// The per-client script: one `put` (acknowledged before anything else
+/// so queries never race the load), then pipelined queries. Distinct
+/// clients use distinct databases and distinct graphs.
+fn client_script(client: u64) -> (String, Vec<String>) {
+    let db = format!("db{client}");
+    let n = 5 + client;
+    let facts: Vec<String> = (0..n).map(|v| format!("E {v} {}", (v + 1) % n)).collect();
+    let put = format!(
+        r#"{{"id":{},"op":"put","db":"{db}","facts":"{}"}}"#,
+        client * 100 + 1,
+        facts.join("\\n")
+    );
+    let queries = [
+        "Q(X,Y) :- E(X,Y)",
+        "Q(X,Y) :- E(X,Z), E(Z,Y)",
+        "Q(X) :- E(X,Y), E(Y,Z)",
+        "Q(A,B) :- E(C,B), E(A,C)",
+    ];
+    let cqs = queries
+        .iter()
+        .enumerate()
+        .map(|(k, q)| {
+            format!(
+                r#"{{"id":{},"op":"cq","db":"{db}","query":"{q}"}}"#,
+                client * 100 + 2 + k as u64
+            )
+        })
+        .collect();
+    (put, cqs)
+}
+
+/// Timing fields vary run to run; everything else must not.
+fn normalize(line: &str) -> String {
+    match line.find(",\"micros\":") {
+        Some(pos) => format!("{}}}", &line[..pos]),
+        None => line.to_string(),
+    }
+}
+
+/// Runs one client: put, await its ack, pipeline every query, close the
+/// write half, and collect all normalized response lines (the trailing
+/// `{"stats":…}` line is checked for presence, then dropped — its
+/// counters legitimately differ between runs).
+fn run_client(addr: SocketAddr, client: u64) -> Vec<String> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let (put, cqs) = client_script(client);
+    writeln!(writer, "{put}").expect("write put");
+    let mut ack = String::new();
+    reader.read_line(&mut ack).expect("put ack");
+    assert!(
+        ack.contains("\"status\":\"ok\""),
+        "client {client}: put failed: {ack}"
+    );
+    for cq in &cqs {
+        writeln!(writer, "{cq}").expect("write cq");
+    }
+    writer.shutdown(Shutdown::Write).expect("shutdown write");
+    let mut lines: Vec<String> = vec![normalize(ack.trim())];
+    for line in reader.lines() {
+        lines.push(normalize(line.expect("read response").trim()));
+    }
+    let stats = lines.pop().expect("stats line");
+    assert!(
+        stats.starts_with("{\"stats\":"),
+        "client {client}: clean EOF must end with a stats line, got: {stats}"
+    );
+    assert_eq!(
+        lines.len(),
+        1 + cqs.len(),
+        "client {client}: one response per request"
+    );
+    lines
+}
+
+/// One worker makes execution order deterministic; the interesting
+/// concurrency (many connections in flight) lives in the net layer.
+fn deterministic_config() -> ServerConfig {
+    ServerConfig {
+        workers: 1,
+        global_budget: Budget::unlimited(),
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn concurrent_clients_match_sequential_byte_for_byte() {
+    const CLIENTS: u64 = 6;
+
+    // Sequential baseline: one client at a time.
+    let (_server, addr) = spawn_service(deterministic_config(), NetConfig::default());
+    let sequential: Vec<Vec<String>> = (0..CLIENTS).map(|c| run_client(addr, c)).collect();
+
+    // Concurrent run against a fresh server: all clients at once.
+    let (server, addr) = spawn_service(deterministic_config(), NetConfig::default());
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| std::thread::spawn(move || run_client(addr, c)))
+        .collect();
+    let concurrent: Vec<Vec<String>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+
+    for (client, (seq, conc)) in sequential.iter().zip(&concurrent).enumerate() {
+        assert_eq!(
+            seq, conc,
+            "client {client}: concurrent responses diverge from sequential"
+        );
+    }
+    // Each response also arrived in submission order (ids ascending).
+    for (client, lines) in concurrent.iter().enumerate() {
+        let ids: Vec<u64> = lines
+            .iter()
+            .map(|l| {
+                let rest = &l["{\"id\":".len()..];
+                rest[..rest.find(',').expect("id field")]
+                    .parse()
+                    .expect("id")
+            })
+            .collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted, "client {client}: responses out of order");
+    }
+    let stats = server.stats();
+    assert_eq!(stats.connections, CLIENTS, "every client was counted");
+    assert_eq!(stats.conn_failures, 0, "all clients ended cleanly");
+}
+
+#[test]
+fn stalled_client_does_not_delay_others() {
+    // No idle timeout: the stalled client must be outrun by concurrency
+    // alone, not rescued by the watchdog.
+    let net = NetConfig {
+        idle_timeout: None,
+        ..NetConfig::default()
+    };
+    let (_server, addr) = spawn_service(
+        ServerConfig {
+            global_budget: Budget::unlimited(),
+            ..ServerConfig::default()
+        },
+        net,
+    );
+
+    // The stalled client: half a request line, then silence, socket
+    // held open. Under the old serial accept loop this blocked every
+    // later connection forever.
+    let mut stalled = TcpStream::connect(addr).expect("connect stalled");
+    stalled
+        .write_all(br#"{"id":9,"op":"cq","db":"g","#)
+        .expect("half request");
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..4)
+        .map(|c| std::thread::spawn(move || run_client(addr, c)))
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "healthy clients took {:?} behind a stalled connection",
+        start.elapsed()
+    );
+    drop(stalled);
+}
+
+#[test]
+fn idle_client_is_dropped_by_timeout_without_stats_line() {
+    let net = NetConfig {
+        idle_timeout: Some(Duration::from_millis(150)),
+        ..NetConfig::default()
+    };
+    let (server, addr) = spawn_service(
+        ServerConfig {
+            global_budget: Budget::unlimited(),
+            ..ServerConfig::default()
+        },
+        net,
+    );
+
+    // Connect and send nothing (the slowloris regression): the server
+    // must hang up, and an unclean end gets no stats line.
+    let mut idle = TcpStream::connect(addr).expect("connect");
+    idle.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("client read timeout");
+    let mut received = Vec::new();
+    let start = Instant::now();
+    idle.read_to_end(&mut received).expect("read until close");
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "server never dropped the idle connection"
+    );
+    assert!(
+        received.is_empty(),
+        "unclean close must not write a stats line, got: {}",
+        String::from_utf8_lossy(&received)
+    );
+    let stats = server.stats();
+    assert_eq!(stats.connections, 1);
+    assert_eq!(stats.conn_failures, 1, "the timed-out client is a failure");
+}
