@@ -355,6 +355,46 @@ pub enum TraceEvent {
         /// The idle timeout that was exceeded, in milliseconds.
         idle_ms: u64,
     },
+    /// A single-tuple delta (insert or delete) was applied to a named
+    /// database, bumping its version without a full snapshot put.
+    DeltaApplied {
+        /// Database name.
+        db: String,
+        /// Version after the delta.
+        version: u64,
+        /// Relation the tuple was inserted into / deleted from.
+        rel: String,
+        /// `"insert"` or `"delete"`.
+        op: &'static str,
+        /// False when the delta was a no-op (duplicate insert or
+        /// delete of an absent tuple); the version is not bumped then.
+        applied: bool,
+    },
+    /// A materialized view absorbed a delta through its incremental
+    /// maintenance path (counting for CQs, template-reuse for RPQ).
+    ViewRefreshed {
+        /// View name (query name or registered label).
+        view: String,
+        /// Answer tuples the delta added to the view.
+        added: u64,
+        /// Answer tuples the delta removed from the view.
+        removed: u64,
+        /// Answer tuples after the refresh.
+        total: u64,
+    },
+    /// A recursive view ran its DRed over-delete/re-derive cycle for a
+    /// deletion (deletes may cascade, so over-deletion is followed by
+    /// re-derivation of still-supported facts).
+    ViewRederived {
+        /// View name.
+        view: String,
+        /// Facts over-deleted in the pessimistic first phase.
+        overdeleted: u64,
+        /// Over-deleted facts re-derived from surviving support.
+        rederived: u64,
+        /// Facts in the view's IDB after the cycle.
+        total: u64,
+    },
 }
 
 /// Escapes `s` for embedding in a JSON string literal.
@@ -410,6 +450,9 @@ impl TraceEvent {
             TraceEvent::ConnectionOpened { .. } => "connection_opened",
             TraceEvent::ConnectionClosed { .. } => "connection_closed",
             TraceEvent::ConnectionTimedOut { .. } => "connection_timed_out",
+            TraceEvent::DeltaApplied { .. } => "delta_applied",
+            TraceEvent::ViewRefreshed { .. } => "view_refreshed",
+            TraceEvent::ViewRederived { .. } => "view_rederived",
         }
     }
 
@@ -667,6 +710,42 @@ impl TraceEvent {
             }
             TraceEvent::ConnectionTimedOut { conn, idle_ms } => {
                 s.push_str(&format!(",\"conn\":{conn},\"idle_ms\":{idle_ms}"));
+            }
+            TraceEvent::DeltaApplied {
+                db,
+                version,
+                rel,
+                op,
+                applied,
+            } => {
+                s.push_str(&format!(
+                    ",\"db\":\"{}\",\"version\":{version},\"rel\":\"{}\",\"op\":\"{}\",\"applied\":{applied}",
+                    json_escape(db),
+                    json_escape(rel),
+                    json_escape(op)
+                ));
+            }
+            TraceEvent::ViewRefreshed {
+                view,
+                added,
+                removed,
+                total,
+            } => {
+                s.push_str(&format!(
+                    ",\"view\":\"{}\",\"added\":{added},\"removed\":{removed},\"total\":{total}",
+                    json_escape(view)
+                ));
+            }
+            TraceEvent::ViewRederived {
+                view,
+                overdeleted,
+                rederived,
+                total,
+            } => {
+                s.push_str(&format!(
+                    ",\"view\":\"{}\",\"overdeleted\":{overdeleted},\"rederived\":{rederived},\"total\":{total}",
+                    json_escape(view)
+                ));
             }
         }
         s.push('}');
@@ -1113,6 +1192,25 @@ mod tests {
             TraceEvent::ConnectionTimedOut {
                 conn: 5,
                 idle_ms: 2000,
+            },
+            TraceEvent::DeltaApplied {
+                db: "g".into(),
+                version: 4,
+                rel: "E".into(),
+                op: "insert",
+                applied: true,
+            },
+            TraceEvent::ViewRefreshed {
+                view: "Q".into(),
+                added: 2,
+                removed: 0,
+                total: 9,
+            },
+            TraceEvent::ViewRederived {
+                view: "T".into(),
+                overdeleted: 5,
+                rederived: 3,
+                total: 21,
             },
         ];
         for ev in &events {

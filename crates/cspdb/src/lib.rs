@@ -45,6 +45,8 @@ pub use cspdb_cq as cq;
 pub use cspdb_datalog as datalog;
 /// Treewidth and hypertree decompositions (Section 6).
 pub use cspdb_decomp as decomp;
+/// Incremental view maintenance: delta-driven materialized views.
+pub use cspdb_ivm as ivm;
 /// Relational algebra and join-based solving (Prop 2.1, Yannakakis).
 pub use cspdb_relalg as relalg;
 /// Regular path queries and view-based answering (Section 7).

@@ -1,0 +1,343 @@
+//! Counting-based maintenance for non-recursive conjunctive queries.
+//!
+//! Every answer tuple carries its *derivation count*: the number of
+//! valuations of the query body that project to it. An insert adds the
+//! derivations that use the new tuple at least once (computed by the
+//! standard semi-naive delta expansion — for each occurrence of the
+//! changed predicate, pin that atom to the delta tuple, atoms at
+//! earlier occurrences see the *new* relation, later occurrences the
+//! *old*); a delete subtracts the same sum. A tuple leaves the answer
+//! set exactly when its count reaches zero, so deletions never
+//! recompute.
+
+use crate::delta::{Delta, DeltaOp, IvmError, Refresh};
+use crate::join::{for_each_valuation, BodyAtom, Tm};
+use cspdb_core::{Budget, Relation, Structure, TraceEvent};
+use cspdb_cq::ConjunctiveQuery;
+use std::collections::HashMap;
+
+/// A materialized conjunctive-query view maintained by derivation
+/// counting.
+#[derive(Debug, Clone)]
+pub struct CqView {
+    query: ConjunctiveQuery,
+    /// Variable order: distinguished first (projection prefix).
+    vars: Vec<String>,
+    /// Resolved body (terms as indices into `vars`).
+    body: Vec<BodyAtom>,
+    /// Derivation count per answer tuple. Invariant: every count > 0.
+    counts: HashMap<Box<[u32]>, u64>,
+    /// The current answer set (keys of `counts`), kept materialized.
+    answers: Relation,
+}
+
+impl CqView {
+    /// Registers the view: resolves the query against `db`'s vocabulary
+    /// and computes the initial derivation counts with one full
+    /// enumeration.
+    ///
+    /// # Errors
+    ///
+    /// [`IvmError::Invalid`] when the query does not fit the database
+    /// (unknown predicate, arity mismatch, distinguished variable
+    /// missing from the body); [`IvmError::Exhausted`] when the budget
+    /// runs out mid-enumeration.
+    pub fn new(
+        query: &ConjunctiveQuery,
+        db: &Structure,
+        budget: &Budget,
+    ) -> Result<Self, IvmError> {
+        let vars: Vec<String> = query.variables().iter().map(|v| v.to_string()).collect();
+        let index: HashMap<&str, usize> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.as_str(), i))
+            .collect();
+        for d in &query.distinguished {
+            if !query.atoms.iter().any(|a| a.args.iter().any(|x| x == d)) {
+                return Err(IvmError::Invalid(format!(
+                    "distinguished variable {d} does not occur in the body"
+                )));
+            }
+        }
+        let mut body = Vec::with_capacity(query.atoms.len());
+        for atom in &query.atoms {
+            let rel = db
+                .relation_by_name(&atom.predicate)
+                .map_err(|e| IvmError::Invalid(e.to_string()))?;
+            if rel.arity() != atom.args.len() {
+                return Err(IvmError::Invalid(format!(
+                    "atom {} has {} arguments but relation arity is {}",
+                    atom.predicate,
+                    atom.args.len(),
+                    rel.arity()
+                )));
+            }
+            body.push(BodyAtom {
+                terms: atom
+                    .args
+                    .iter()
+                    .map(|v| Tm::Var(index[v.as_str()]))
+                    .collect(),
+            });
+        }
+        let mut view = CqView {
+            query: query.clone(),
+            vars,
+            body,
+            counts: HashMap::new(),
+            answers: Relation::empty(query.distinguished.len()),
+        };
+        let rels: Vec<&Relation> = view
+            .query
+            .atoms
+            .iter()
+            .map(|a| db.relation_by_name(&a.predicate).expect("resolved above"))
+            .collect();
+        let arity = view.query.distinguished.len();
+        let mut counts: HashMap<Box<[u32]>, u64> = HashMap::new();
+        let mut meter = budget.meter();
+        for_each_valuation(
+            &view.body,
+            &rels,
+            view.vars.len(),
+            &mut meter,
+            &mut |binding| {
+                let key: Box<[u32]> = binding[..arity]
+                    .iter()
+                    .map(|b| b.expect("distinguished vars occur in body"))
+                    .collect();
+                *counts.entry(key).or_insert(0) += 1;
+            },
+        )
+        .map_err(IvmError::Exhausted)?;
+        view.answers = Relation::from_tuples_named(&view.query.name, arity, counts.keys())
+            .map_err(|e| IvmError::Invalid(e.to_string()))?;
+        view.counts = counts;
+        Ok(view)
+    }
+
+    /// The query this view materializes.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+
+    /// The maintained answer set.
+    pub fn answers(&self) -> &Relation {
+        &self.answers
+    }
+
+    /// The derivation count of one answer tuple (0 when absent).
+    pub fn derivations(&self, tuple: &[u32]) -> u64 {
+        self.counts.get(tuple).copied().unwrap_or(0)
+    }
+
+    /// Absorbs one delta. `pre` and `post` are the database before and
+    /// after the delta (the delta must actually separate them — no-op
+    /// deltas are rejected upstream by [`crate::structure_with_delta`]).
+    ///
+    /// # Errors
+    ///
+    /// [`IvmError::Exhausted`] when the budget runs out; the view is
+    /// then stale and must be dropped or rebuilt.
+    pub fn apply(
+        &mut self,
+        delta: &Delta,
+        pre: &Structure,
+        post: &Structure,
+        budget: &Budget,
+    ) -> Result<Refresh, IvmError> {
+        let occurrences: Vec<usize> = self
+            .query
+            .atoms
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.predicate == delta.rel)
+            .map(|(i, _)| i)
+            .collect();
+        if occurrences.is_empty() {
+            return Ok(Refresh::default());
+        }
+        let single = Relation::from_tuples(delta.tuple.len(), [delta.tuple.as_slice()])
+            .map_err(|e| IvmError::Invalid(e.to_string()))?;
+        let arity = self.query.distinguished.len();
+        let mut meter = budget.meter();
+        // Sum the derivations that use the delta tuple at least once:
+        // occurrence k pins atom occ[k] to {t}; earlier occurrences of
+        // the predicate see the *new* relation, later ones the *old*,
+        // so each mixed derivation is counted exactly once.
+        let mut delta_counts: HashMap<Box<[u32]>, u64> = HashMap::new();
+        for (k, &pinned) in occurrences.iter().enumerate() {
+            let rels: Vec<&Relation> = self
+                .query
+                .atoms
+                .iter()
+                .enumerate()
+                .map(|(i, atom)| {
+                    if i == pinned {
+                        &single
+                    } else if atom.predicate != delta.rel {
+                        post.relation_by_name(&atom.predicate)
+                            .expect("validated at registration")
+                    } else if occurrences[..k].contains(&i) {
+                        // Earlier occurrence: the post-delta relation.
+                        post.relation_by_name(&atom.predicate)
+                            .expect("validated at registration")
+                    } else {
+                        // Later occurrence: the pre-delta relation.
+                        pre.relation_by_name(&atom.predicate)
+                            .expect("validated at registration")
+                    }
+                })
+                .collect();
+            for_each_valuation(&self.body, &rels, self.vars.len(), &mut meter, &mut |b| {
+                let key: Box<[u32]> = b[..arity]
+                    .iter()
+                    .map(|x| x.expect("distinguished vars occur in body"))
+                    .collect();
+                *delta_counts.entry(key).or_insert(0) += 1;
+            })
+            .map_err(IvmError::Exhausted)?;
+        }
+        // The same expansion serves both directions: for an insert the
+        // counted derivations are exactly the ones that exist now and
+        // use t (added); for a delete, exactly the ones that existed
+        // before and used t (removed) — each counted once, at the
+        // first occurrence where t appears.
+        let mut refresh = Refresh::default();
+        match delta.op {
+            DeltaOp::Insert => {
+                for (key, n) in delta_counts {
+                    let entry = self.counts.entry(key.clone()).or_insert(0);
+                    if *entry == 0 {
+                        self.answers
+                            .insert(&key)
+                            .map_err(|e| IvmError::Invalid(e.to_string()))?;
+                        refresh.added += 1;
+                    }
+                    *entry += n;
+                }
+            }
+            DeltaOp::Delete => {
+                for (key, n) in delta_counts {
+                    match self.counts.get_mut(&key) {
+                        Some(entry) if *entry > n => *entry -= n,
+                        Some(_) => {
+                            self.counts.remove(&key);
+                            self.answers = self.answers.filter(|t| t != key.as_ref());
+                            refresh.removed += 1;
+                        }
+                        None => {
+                            return Err(IvmError::Invalid(format!(
+                                "count underflow for {:?}: view out of sync",
+                                key
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+        let name = self.query.name.clone();
+        let total = self.answers.len() as u64;
+        meter.tracer().emit_with(|| TraceEvent::ViewRefreshed {
+            view: name,
+            added: refresh.added,
+            removed: refresh.removed,
+            total,
+        });
+        Ok(refresh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::structure_with_delta;
+    use cspdb_core::Vocabulary;
+    use cspdb_cq::evaluate_by_join;
+
+    fn graph(n: usize, edges: &[(u32, u32)]) -> Structure {
+        let voc = Vocabulary::new([("E", 2)]).unwrap();
+        let mut s = Structure::new(voc, n);
+        for &(u, v) in edges {
+            s.insert_by_name("E", &[u, v]).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn counting_view_tracks_recompute_through_deltas() {
+        let q = ConjunctiveQuery::parse("Q(X,Y) :- E(X,Z), E(Z,Y)").unwrap();
+        let mut db = graph(5, &[(0, 1), (1, 2), (2, 3)]);
+        let budget = Budget::unlimited();
+        let mut view = CqView::new(&q, &db, &budget).unwrap();
+        assert_eq!(view.answers(), &evaluate_by_join(&q, &db).unwrap());
+        let deltas = [
+            Delta::insert("E", &[3, 4]),
+            Delta::insert("E", &[1, 3]),
+            Delta::delete("E", &[1, 2]),
+            Delta::insert("E", &[2, 2]),
+            Delta::delete("E", &[0, 1]),
+        ];
+        for delta in &deltas {
+            let post = structure_with_delta(&db, delta).unwrap();
+            view.apply(delta, &db, &post, &budget).unwrap();
+            db = post;
+            assert_eq!(
+                view.answers(),
+                &evaluate_by_join(&q, &db).unwrap(),
+                "after {delta:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn delete_decrements_instead_of_removing_multiply_derived() {
+        // Diamond: (0,3) has two derivations; deleting one leg keeps it.
+        let q = ConjunctiveQuery::parse("Q(X,Y) :- E(X,Z), E(Z,Y)").unwrap();
+        let db = graph(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let budget = Budget::unlimited();
+        let mut view = CqView::new(&q, &db, &budget).unwrap();
+        assert_eq!(view.derivations(&[0, 3]), 2);
+        let delta = Delta::delete("E", &[0, 1]);
+        let post = structure_with_delta(&db, &delta).unwrap();
+        let refresh = view.apply(&delta, &db, &post, &budget).unwrap();
+        assert_eq!(refresh.removed, 0, "still derivable via the other leg");
+        assert_eq!(view.derivations(&[0, 3]), 1);
+        assert!(view.answers().contains(&[0, 3]));
+    }
+
+    #[test]
+    fn self_join_deltas_count_mixed_derivations_once() {
+        // E(X,Z), E(Z,Y) with a self-loop insert: the new tuple can
+        // occupy both atoms at once; the expansion must count (2,2)
+        // exactly the right number of times.
+        let q = ConjunctiveQuery::parse("Q(X,Y) :- E(X,Z), E(Z,Y)").unwrap();
+        let db = graph(3, &[(1, 2), (2, 0)]);
+        let budget = Budget::unlimited();
+        let mut view = CqView::new(&q, &db, &budget).unwrap();
+        let delta = Delta::insert("E", &[2, 2]);
+        let post = structure_with_delta(&db, &delta).unwrap();
+        view.apply(&delta, &db, &post, &budget).unwrap();
+        assert_eq!(view.answers(), &evaluate_by_join(&q, &post).unwrap());
+        // And removing it again restores the original view exactly.
+        let rm = Delta::delete("E", &[2, 2]);
+        let back = structure_with_delta(&post, &rm).unwrap();
+        view.apply(&rm, &post, &back, &budget).unwrap();
+        assert_eq!(view.answers(), &evaluate_by_join(&q, &db).unwrap());
+    }
+
+    #[test]
+    fn unaffected_predicate_is_a_cheap_noop() {
+        let voc = Vocabulary::new([("E", 2), ("F", 2)]).unwrap();
+        let mut s = Structure::new(voc, 3);
+        s.insert_by_name("E", &[0, 1]).unwrap();
+        let q = ConjunctiveQuery::parse("Q(X,Y) :- E(X,Y)").unwrap();
+        let budget = Budget::unlimited();
+        let mut view = CqView::new(&q, &s, &budget).unwrap();
+        let delta = Delta::insert("F", &[1, 2]);
+        let post = structure_with_delta(&s, &delta).unwrap();
+        let refresh = view.apply(&delta, &s, &post, &budget).unwrap();
+        assert_eq!(refresh, Refresh::default());
+    }
+}

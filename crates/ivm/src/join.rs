@@ -1,0 +1,179 @@
+//! The delta-join kernel shared by counting CQ maintenance and DRed:
+//! enumerate every valuation of a rule/query body against per-atom
+//! relation choices, optionally with one atom pinned to a delta
+//! relation. Enumerating *valuations* (not just result tuples) is what
+//! makes counting maintenance possible — two distinct derivations of
+//! the same answer must both be counted.
+
+use cspdb_core::budget::{ExhaustionReason, Meter};
+use cspdb_core::Relation;
+
+/// A body term after name resolution: a variable slot or a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Tm {
+    /// Index into the valuation vector.
+    Var(usize),
+    /// A fixed domain element.
+    Const(u32),
+}
+
+/// One resolved body atom: terms only — the relation it ranges over is
+/// supplied per call, so the same body can be joined against old, new,
+/// or delta relations.
+#[derive(Debug, Clone)]
+pub(crate) struct BodyAtom {
+    pub terms: Vec<Tm>,
+}
+
+/// Enumerates every valuation of `vars` satisfying the body, where atom
+/// `i` ranges over `rels[i]`. Calls `emit` once per satisfying
+/// valuation with the full binding vector (every variable occurring in
+/// the body is bound; variables absent from the body stay `None`).
+///
+/// Metered: one tick per candidate tuple considered, one tuple charge
+/// per emitted valuation.
+pub(crate) fn for_each_valuation(
+    body: &[BodyAtom],
+    rels: &[&Relation],
+    num_vars: usize,
+    meter: &mut Meter,
+    emit: &mut dyn FnMut(&[Option<u32>]),
+) -> Result<(), ExhaustionReason> {
+    debug_assert_eq!(body.len(), rels.len());
+    let mut binding: Vec<Option<u32>> = vec![None; num_vars];
+    descend(body, rels, 0, &mut binding, meter, emit)
+}
+
+fn descend(
+    body: &[BodyAtom],
+    rels: &[&Relation],
+    depth: usize,
+    binding: &mut Vec<Option<u32>>,
+    meter: &mut Meter,
+    emit: &mut dyn FnMut(&[Option<u32>]),
+) -> Result<(), ExhaustionReason> {
+    if depth == body.len() {
+        meter.charge_tuples(1)?;
+        emit(binding);
+        return Ok(());
+    }
+    let atom = &body[depth];
+    'tuples: for tuple in rels[depth].iter() {
+        meter.tick()?;
+        debug_assert_eq!(tuple.len(), atom.terms.len());
+        // Check consistency and record which slots this atom binds.
+        let mut bound_here: Vec<usize> = Vec::new();
+        for (term, &value) in atom.terms.iter().zip(tuple.iter()) {
+            match *term {
+                Tm::Const(c) => {
+                    if c != value {
+                        for &v in &bound_here {
+                            binding[v] = None;
+                        }
+                        continue 'tuples;
+                    }
+                }
+                Tm::Var(v) => match binding[v] {
+                    Some(existing) if existing != value => {
+                        for &v in &bound_here {
+                            binding[v] = None;
+                        }
+                        continue 'tuples;
+                    }
+                    Some(_) => {}
+                    None => {
+                        binding[v] = Some(value);
+                        bound_here.push(v);
+                    }
+                },
+            }
+        }
+        let result = descend(body, rels, depth + 1, binding, meter, emit);
+        for &v in &bound_here {
+            binding[v] = None;
+        }
+        result?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cspdb_core::Budget;
+
+    fn rel(ts: &[[u32; 2]]) -> Relation {
+        Relation::from_tuples(2, ts.iter()).unwrap()
+    }
+
+    #[test]
+    fn counts_every_valuation_not_just_distinct_results() {
+        // E(x,z), E(z,y) over a diamond: 0->1->3 and 0->2->3 are two
+        // derivations of (0,3).
+        let e = rel(&[[0, 1], [0, 2], [1, 3], [2, 3]]);
+        let body = [
+            BodyAtom {
+                terms: vec![Tm::Var(0), Tm::Var(2)],
+            },
+            BodyAtom {
+                terms: vec![Tm::Var(2), Tm::Var(1)],
+            },
+        ];
+        let budget = Budget::unlimited();
+        let mut meter = budget.meter();
+        let mut count = 0usize;
+        let mut pairs = Vec::new();
+        for_each_valuation(&body, &[&e, &e], 3, &mut meter, &mut |b| {
+            count += 1;
+            pairs.push((b[0].unwrap(), b[1].unwrap()));
+        })
+        .unwrap();
+        assert_eq!(count, 2);
+        assert_eq!(pairs, vec![(0, 3), (0, 3)]);
+    }
+
+    #[test]
+    fn repeated_variables_and_constants_filter() {
+        let e = rel(&[[0, 0], [0, 1], [1, 1]]);
+        // E(x,x) — diagonal only.
+        let body = [BodyAtom {
+            terms: vec![Tm::Var(0), Tm::Var(0)],
+        }];
+        let budget = Budget::unlimited();
+        let mut meter = budget.meter();
+        let mut seen = Vec::new();
+        for_each_valuation(&body, &[&e], 1, &mut meter, &mut |b| {
+            seen.push(b[0].unwrap());
+        })
+        .unwrap();
+        assert_eq!(seen, vec![0, 1]);
+        // E(0, y) — constant in first slot.
+        let body = [BodyAtom {
+            terms: vec![Tm::Const(0), Tm::Var(0)],
+        }];
+        let mut meter = budget.meter();
+        let mut seen = Vec::new();
+        for_each_valuation(&body, &[&e], 1, &mut meter, &mut |b| {
+            seen.push(b[0].unwrap());
+        })
+        .unwrap();
+        assert_eq!(seen, vec![0, 1]);
+    }
+
+    #[test]
+    fn budget_aborts_enumeration() {
+        let e = rel(&[[0, 1], [1, 2], [2, 3]]);
+        let body = [
+            BodyAtom {
+                terms: vec![Tm::Var(0), Tm::Var(2)],
+            },
+            BodyAtom {
+                terms: vec![Tm::Var(2), Tm::Var(1)],
+            },
+        ];
+        let budget = Budget::unlimited().with_step_limit(2);
+        let mut meter = budget.meter();
+        let result = for_each_valuation(&body, &[&e, &e], 3, &mut meter, &mut |_| {});
+        assert!(result.is_err());
+    }
+}

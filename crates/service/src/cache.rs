@@ -260,10 +260,63 @@ impl SemanticCache {
     /// Drops every entry for `db` (all versions), locking only `db`'s
     /// shard. Called on `put`, so replaced databases free their
     /// stranded entries immediately instead of waiting for the process
-    /// to exit.
-    pub fn invalidate_db(&self, db: &str) {
+    /// to exit. Returns how many entries were dropped.
+    pub fn invalidate_db(&self, db: &str) -> u64 {
+        let mut dropped = 0u64;
         self.lock_shard(self.shard_for(db))
-            .retain(|(name, _, _), _| name != db);
+            .retain(|(name, _, _), bucket| {
+                if name == db {
+                    dropped += bucket.len() as u64;
+                    false
+                } else {
+                    true
+                }
+            });
+        dropped
+    }
+
+    /// Delta-aware invalidation: after a single-tuple delta bumped `db`
+    /// to `new_version`, entries whose query matches one of the
+    /// maintained views in `fresh` are *re-keyed* onto the new version
+    /// with the view's incrementally maintained answers — they keep
+    /// serving hits without recomputation. Entries no view covers fall
+    /// back to plain invalidation (dropped, exactly as a version bump
+    /// would strand them). Returns `(revalidated, dropped)`.
+    pub fn revalidate_db(
+        &self,
+        db: &str,
+        new_version: u64,
+        fresh: &[(CacheKey, Relation)],
+    ) -> (u64, u64) {
+        let mut buckets = self.lock_shard(self.shard_for(db));
+        let mut drained: Vec<Entry> = Vec::new();
+        buckets.retain(|(name, _, _), bucket| {
+            if name == db {
+                drained.append(bucket);
+                false
+            } else {
+                true
+            }
+        });
+        let mut revalidated = 0u64;
+        let mut dropped = 0u64;
+        for entry in drained {
+            match fresh.iter().find(|(k, _)| k.matches(&entry.key)) {
+                Some((_, answers)) => {
+                    buckets
+                        .entry((db.to_owned(), new_version, entry.key.invariant))
+                        .or_default()
+                        .push(Entry {
+                            key: entry.key,
+                            answers_json: relation_to_json(answers),
+                            answers: answers.clone(),
+                        });
+                    revalidated += 1;
+                }
+                None => dropped += 1,
+            }
+        }
+        (revalidated, dropped)
     }
 
     /// Confirmed hits so far.
@@ -360,6 +413,41 @@ mod tests {
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 3);
         cache.invalidate_db("g");
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn revalidation_rekeys_covered_entries_and_drops_the_rest() {
+        let cache = SemanticCache::new();
+        let covered = CacheKey::of(&q("Q(X) :- E(X,Y)"));
+        let uncovered = CacheKey::of(&q("R(X,Y) :- E(X,Z), E(Z,Y)"));
+        cache.insert(
+            "g",
+            1,
+            covered.clone(),
+            Relation::from_tuples(1, [[0u32]]).unwrap(),
+        );
+        cache.insert(
+            "g",
+            1,
+            uncovered.clone(),
+            Relation::from_tuples(2, [[0u32, 1]]).unwrap(),
+        );
+        // A delta bumped g to version 2; a maintained view covers the
+        // first query (renamed — semantic match, not textual).
+        let view_key = CacheKey::of(&q("Q(A) :- E(A,B)"));
+        let maintained = Relation::from_tuples(1, [[0u32], [2]]).unwrap();
+        let (revalidated, dropped) = cache.revalidate_db("g", 2, &[(view_key, maintained)]);
+        assert_eq!((revalidated, dropped), (1, 1));
+        // The covered entry now serves the maintained answers at v2.
+        let (json, rel) = cache.lookup("g", 2, &covered).expect("revalidated hit");
+        assert_eq!(json, "[[0],[2]]");
+        assert_eq!(rel.len(), 2);
+        // The uncovered entry is gone at every version.
+        assert!(cache.lookup("g", 1, &uncovered).is_none());
+        assert!(cache.lookup("g", 2, &uncovered).is_none());
+        // Counting invalidation still works and reports its size.
+        assert_eq!(cache.invalidate_db("g"), 1);
         assert!(cache.is_empty());
     }
 

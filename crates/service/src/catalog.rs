@@ -11,8 +11,9 @@
 //! [`Catalog::open`] routes each recovered database to its shard the
 //! same way, so the shard layout is stable across restarts.
 
-use crate::storage::{MemStorage, Storage, StorageError};
+use crate::storage::{MemStorage, PersistedDelta, Storage, StorageError};
 use cspdb_core::{Structure, VocabularyBuilder};
+use cspdb_ivm::{structure_with_delta, Delta, DeltaOp, IvmError};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -175,6 +176,45 @@ impl Catalog {
         version
     }
 
+    /// Applies a single-tuple delta to `name`, bumping its version and
+    /// returning `(new_version, pre, post)` — the structures before and
+    /// after, both needed by view maintenance. Like [`Catalog::put`],
+    /// the delta is recorded to storage *inside* the shard's write
+    /// lock, so log order matches version order; a failed durable write
+    /// keeps the in-memory update and is counted by the backend.
+    ///
+    /// # Errors
+    ///
+    /// [`IvmError::Invalid`] for an unknown database/relation or arity
+    /// mismatch; [`IvmError::NoOp`] for a delete of a tuple that was
+    /// never inserted (or an insert of a present one) — no version is
+    /// burned and no record is written.
+    pub fn apply_delta(
+        &self,
+        name: &str,
+        delta: &Delta,
+    ) -> Result<(u64, Arc<Structure>, Arc<Structure>), IvmError> {
+        let shard = &self.shards[shard_of(name, self.shards.len())];
+        let mut map = self.write_recover(shard);
+        let entry = map
+            .get_mut(name)
+            .ok_or_else(|| IvmError::Invalid(format!("no database named {name}")))?;
+        let pre = entry.1.clone();
+        let post = Arc::new(structure_with_delta(&pre, delta)?);
+        entry.0 += 1;
+        entry.1 = post.clone();
+        let version = entry.0;
+        let persisted = PersistedDelta {
+            db: name.to_owned(),
+            version,
+            rel: delta.rel.clone(),
+            insert: matches!(delta.op, DeltaOp::Insert),
+            tuple: delta.tuple.clone(),
+        };
+        let _ = self.storage.record_delta(&persisted, &post);
+        Ok((version, pre, post))
+    }
+
     /// The current `(version, structure)` of `name`, if present.
     pub fn get(&self, name: &str) -> Option<(u64, Arc<Structure>)> {
         let shard = &self.shards[shard_of(name, self.shards.len())];
@@ -314,6 +354,48 @@ mod tests {
         assert_eq!(cat.get("h").unwrap().0, 1);
         // Versions keep growing across the restart.
         assert_eq!(cat.put("g", parse_facts("E 0 1\n").unwrap()), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn apply_delta_bumps_versions_and_noops_burn_nothing() {
+        let cat = Catalog::new();
+        cat.put("g", parse_facts("E 0 1\n").unwrap());
+        let (v, pre, post) = cat.apply_delta("g", &Delta::insert("E", &[1, 2])).unwrap();
+        assert_eq!(v, 2);
+        assert!(!pre.relation_by_name("E").unwrap().contains(&[1, 2]));
+        assert!(post.relation_by_name("E").unwrap().contains(&[1, 2]));
+        // A delete of a never-inserted tuple is a typed no-op and the
+        // version stays where it was.
+        assert!(matches!(
+            cat.apply_delta("g", &Delta::delete("E", &[5, 5])),
+            Err(IvmError::NoOp(_))
+        ));
+        assert_eq!(cat.get("g").unwrap().0, 2);
+        assert!(matches!(
+            cat.apply_delta("nope", &Delta::insert("E", &[0, 1])),
+            Err(IvmError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn durable_catalog_replays_deltas_after_restart() {
+        use crate::storage::DurableStorage;
+        let dir = std::env::temp_dir().join(format!("cspdb-catalog-delta-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let store = Arc::new(DurableStorage::open(&dir).unwrap());
+            let cat = Catalog::open(store).unwrap();
+            cat.put("g", parse_facts("E 0 1\n").unwrap());
+            cat.apply_delta("g", &Delta::insert("E", &[1, 2])).unwrap();
+            cat.apply_delta("g", &Delta::delete("E", &[0, 1])).unwrap();
+        }
+        let store = Arc::new(DurableStorage::open(&dir).unwrap());
+        let cat = Catalog::open(store).unwrap();
+        let (v, s) = cat.get("g").unwrap();
+        assert_eq!(v, 3);
+        let e = s.relation_by_name("E").unwrap();
+        assert!(e.contains(&[1, 2]) && !e.contains(&[0, 1]));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -29,14 +29,27 @@
 //!    truncate/corrupt wire sites, replayed against scratch stores)
 //!    recovers byte-identically to an uninterrupted run: the torn tail
 //!    is truncated and no tuple is invented.
+//! 7. **Maintained views match recomputation** — three materialized
+//!    views (counting CQ, DRed Datalog, template-reuse RPQ) are
+//!    registered on a write-target database before the storm; after
+//!    the fault-laden insert/delete workload every surviving view must
+//!    be tuple-for-tuple identical to from-scratch recomputation, and
+//!    at least one view must have survived. With a data directory, a
+//!    *delta-replay drill* additionally records a base snapshot plus a
+//!    delta history into two scratch stores, tears the interrupted
+//!    store mid-delta-append, and demands recovery fold the committed
+//!    delta prefix byte-identically to the uninterrupted store.
 
 use crate::proto::{Outcome, Request, RequestBody, Response};
 use crate::server::{Rejection, Server, ServerConfig, ShutdownMode, Stats};
 use crate::storage::{
-    encode_db_payload, encode_record, structure_to_facts, verify_data_dir, DurableStorage, Storage,
-    StorageStats,
+    encode_db_payload, encode_delta_payload, encode_record, structure_to_facts, verify_data_dir,
+    DurableStorage, PersistedDelta, Storage, StorageStats,
 };
 use cspdb_core::{Budget, FaultPlan, FaultSite};
+use cspdb_datalog::parse_program;
+use cspdb_ivm::{structure_with_delta, Delta};
+use cspdb_rpq::{Regex, View};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::mpsc;
@@ -218,20 +231,52 @@ const QUERIES: [&str; 6] = [
     "Q(X) :- E(X,Y), E(Y,X)",
 ];
 
+/// Nodes in the write-target database `w` (deltas keep tuples below
+/// this, so its domain never grows mid-storm).
+const W_NODES: u64 = 8;
+
 fn workload_body(rng: &mut XorShift) -> RequestBody {
-    match rng.below(10) {
+    match rng.below(14) {
         0..=6 => RequestBody::Cq {
-            db: if rng.below(4) == 0 { "h" } else { "g" }.to_owned(),
+            db: match rng.below(5) {
+                0 => "h",
+                1 => "w",
+                _ => "g",
+            }
+            .to_owned(),
             query: QUERIES[rng.below(QUERIES.len() as u64) as usize].to_owned(),
         },
         7..=8 => RequestBody::Contain {
             q1: QUERIES[rng.below(QUERIES.len() as u64) as usize].to_owned(),
             q2: QUERIES[rng.below(QUERIES.len() as u64) as usize].to_owned(),
         },
-        _ => RequestBody::Solve {
+        9 => RequestBody::Solve {
             a: "g".to_owned(),
             b: "h".to_owned(),
         },
+        // The insert/delete storm on the write-target database: mostly
+        // the relation the CQ/Datalog views read, sometimes the RPQ
+        // view extensions. Random deletes often miss — intentionally,
+        // that's the typed no-op path.
+        kind => {
+            let rel = match rng.below(5) {
+                0 => "a",
+                1 => "b",
+                _ => "E",
+            };
+            let fact = format!("{rel} {} {}", rng.below(W_NODES), rng.below(W_NODES));
+            if kind <= 11 {
+                RequestBody::Insert {
+                    db: "w".to_owned(),
+                    fact,
+                }
+            } else {
+                RequestBody::Delete {
+                    db: "w".to_owned(),
+                    fact,
+                }
+            }
+        }
     }
 }
 
@@ -263,6 +308,16 @@ fn wire_line(request: &Request) -> String {
             ",\"op\":\"solve\",\"a\":\"{}\",\"b\":\"{}\"",
             escape(a),
             escape(b)
+        )),
+        RequestBody::Insert { db, fact } => s.push_str(&format!(
+            ",\"v\":2,\"op\":\"insert\",\"db\":\"{}\",\"fact\":\"{}\"",
+            escape(db),
+            escape(fact)
+        )),
+        RequestBody::Delete { db, fact } => s.push_str(&format!(
+            ",\"v\":2,\"op\":\"delete\",\"db\":\"{}\",\"fact\":\"{}\"",
+            escape(db),
+            escape(fact)
         )),
         RequestBody::Stats => s.push_str(",\"op\":\"stats\""),
     }
@@ -307,10 +362,24 @@ pub fn run_doctor(config: &DoctorConfig) -> DoctorReport {
         shards: config.shards,
     });
 
-    // Seed two small databases through the real control plane.
+    // Seed three small databases through the real control plane: two
+    // read-only query targets and the write target `w` of the
+    // insert/delete storm. `w` carries the relation the CQ/Datalog
+    // views read (`E`) plus the RPQ view extensions (`a`, `b`).
     let mut rng = XorShift::new(config.seed);
-    for (name, nodes, edges) in [("g", 12, 40), ("h", 8, 20)] {
-        let facts = random_facts(&mut rng, nodes, edges);
+    let mut w_facts = random_facts(&mut rng, W_NODES, 14);
+    for rel in ["a", "b"] {
+        for _ in 0..6 {
+            w_facts.push_str(&format!(
+                "{rel} {} {}\n",
+                rng.below(W_NODES),
+                rng.below(W_NODES)
+            ));
+        }
+    }
+    let g_facts = random_facts(&mut rng, 12, 40);
+    let h_facts = random_facts(&mut rng, 8, 20);
+    for (name, facts) in [("g", g_facts), ("h", h_facts), ("w", w_facts)] {
         let response = server
             .submit(Request::new(
                 0,
@@ -326,6 +395,51 @@ pub fn run_doctor(config: &DoctorConfig) -> DoctorReport {
         ) {
             violations.push(format!("put \"{name}\" failed: {response:?}"));
         }
+    }
+
+    // Invariant 7 setup: one maintained view per discipline on the
+    // write target. The storm's deltas must keep each one identical to
+    // from-scratch recomputation.
+    if let Err(e) = server.register_cq_view("w", "V(X,Y) :- E(X,Z), E(Z,Y)") {
+        violations.push(format!("cq view registration failed: {e}"));
+    }
+    match server.catalog().get("w") {
+        Some((_, structure)) => {
+            let view_budget = Budget::unlimited().with_tuple_limit(200_000);
+            let program = parse_program(
+                "T(X,Y) :- E(X,Y).\n\
+                 T(X,Y) :- E(X,Z), T(Z,Y).\n\
+                 % goal: T",
+            )
+            .expect("well-formed transitive-closure program");
+            let mut views = server.views();
+            if let Err(e) = views.register_datalog("w", "tc", &program, &structure, &view_budget) {
+                violations.push(format!("datalog view registration failed: {e}"));
+            }
+            let rpq = Regex::parse("ab").expect("well-formed RPQ");
+            let rpq_views = [
+                View {
+                    name: "a".into(),
+                    definition: Regex::parse("a").expect("well-formed view definition"),
+                },
+                View {
+                    name: "b".into(),
+                    definition: Regex::parse("b").expect("well-formed view definition"),
+                },
+            ];
+            if let Err(e) = views.register_rpq(
+                "w",
+                "reach_ab",
+                &rpq,
+                &rpq_views,
+                &['a', 'b'],
+                &structure,
+                &view_budget,
+            ) {
+                violations.push(format!("rpq view registration failed: {e}"));
+            }
+        }
+        None => violations.push("write-target database \"w\" missing after put".into()),
     }
 
     // Generate the workload up front (ids 1..=N), render each request
@@ -452,11 +566,15 @@ pub fn run_doctor(config: &DoctorConfig) -> DoctorReport {
 
     // Invariant 4 proper: identical wire requests (same id space is
     // per-request, so key by query text) with exact answers agree.
+    // The write target `w` is excluded: deltas legitimately change its
+    // answers between repeats of the same query.
     let mut canonical: HashMap<(String, String), String> = HashMap::new();
     for (request, rows) in survivors.iter().filter_map(|r| {
         let rows = exact_rows.get(&r.id)?;
         match &r.body {
-            RequestBody::Cq { db, query } => Some(((db.clone(), query.clone()), rows.clone())),
+            RequestBody::Cq { db, query } if db != "w" => {
+                Some(((db.clone(), query.clone()), rows.clone()))
+            }
             _ => None,
         }
     }) {
@@ -542,6 +660,16 @@ pub fn run_doctor(config: &DoctorConfig) -> DoctorReport {
         violations.push("lock poisoning configured but no poisoned lock was recovered".into());
     }
 
+    // Invariant 7: after the storm, every surviving maintained view is
+    // tuple-for-tuple identical to from-scratch recomputation — and
+    // the storm must not have silently dropped them all.
+    if server.views().is_empty("w") {
+        violations.push("every maintained view on \"w\" was dropped during the storm".into());
+    }
+    for v in server.verify_views() {
+        violations.push(format!("view drift: {v}"));
+    }
+
     // Invariant 6: durable state verifies. The live directory must
     // checksum clean and agree on versions after the whole workload,
     // and the kill-mid-append drill must recover byte-identically.
@@ -565,6 +693,9 @@ pub fn run_doctor(config: &DoctorConfig) -> DoctorReport {
         if truncate || corrupt {
             recovery_drill(dir, config.seed, truncate, corrupt, &mut violations);
         }
+        // Invariant 7's durable half: delta records torn mid-append
+        // must recover to exactly the committed delta prefix.
+        delta_replay_drill(dir, config.seed, &mut violations);
     }
 
     let mut by_status: Vec<(&'static str, u64)> = by_status.into_iter().collect();
@@ -695,6 +826,118 @@ fn recovery_drill(
     })();
     if let Err(message) = result {
         fail(message);
+    }
+    for d in [&clean_dir, &hurt_dir] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+/// The delta-replay drill: records one base snapshot plus the same
+/// committed delta history into two scratch stores, tears the
+/// *interrupted* store's log mid-delta-append the way a kill mid-write
+/// would, reopens both, and demands the interrupted store recover the
+/// committed delta prefix byte-identically to the uninterrupted one —
+/// the delta-log counterpart of [`recovery_drill`].
+fn delta_replay_drill(dir: &std::path::Path, seed: u64, violations: &mut Vec<String>) {
+    let mut rng = XorShift::new(seed ^ 0x9e37);
+    let clean_dir = dir.join("delta-drill-uninterrupted");
+    let hurt_dir = dir.join("delta-drill-interrupted");
+    for d in [&clean_dir, &hurt_dir] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    let result = (|| -> Result<(), String> {
+        let clean = DurableStorage::open(&clean_dir).map_err(|e| e.to_string())?;
+        let hurt = DurableStorage::open(&hurt_dir).map_err(|e| e.to_string())?;
+        let base = crate::catalog::parse_facts(&random_facts(&mut rng, 6, 8))
+            .map_err(|e| format!("seed facts: {e}"))?;
+        clean.record_put("d", 1, &base).map_err(|e| e.to_string())?;
+        hurt.record_put("d", 1, &base).map_err(|e| e.to_string())?;
+        // The same committed delta history lands in both stores
+        // (random no-ops — duplicate inserts, absent deletes — are
+        // skipped exactly as the catalog would skip them).
+        let mut state = base;
+        let mut version = 1u64;
+        let mut applied = 0u32;
+        while applied < 6 {
+            let tuple = vec![rng.below(6) as u32, rng.below(6) as u32];
+            let insert = rng.below(3) > 0;
+            let delta = if insert {
+                Delta::insert("E", &tuple)
+            } else {
+                Delta::delete("E", &tuple)
+            };
+            let Ok(post) = structure_with_delta(&state, &delta) else {
+                continue;
+            };
+            version += 1;
+            let persisted = PersistedDelta {
+                db: "d".into(),
+                version,
+                rel: "E".into(),
+                insert,
+                tuple,
+            };
+            clean
+                .record_delta(&persisted, &post)
+                .map_err(|e| e.to_string())?;
+            hurt.record_delta(&persisted, &post)
+                .map_err(|e| e.to_string())?;
+            state = post;
+            applied += 1;
+        }
+        // Kill mid-append: the interrupted store gets a torn half of a
+        // would-be next delta record.
+        let torn = encode_record(&encode_delta_payload(&PersistedDelta {
+            db: "d".into(),
+            version: version + 1,
+            rel: "E".into(),
+            insert: true,
+            tuple: vec![0, 1],
+        }));
+        let victim = hurt.log_file("d");
+        let cut = 1 + rng.below(torn.len() as u64 - 1) as usize;
+        let mut bytes = std::fs::read(&victim).map_err(|e| e.to_string())?;
+        bytes.extend_from_slice(&torn[..cut]);
+        std::fs::write(&victim, &bytes).map_err(|e| e.to_string())?;
+        // Reopen both: recovery must fold the committed deltas onto the
+        // base and truncate the torn tail, byte-identically.
+        let clean2 = DurableStorage::open(&clean_dir).map_err(|e| e.to_string())?;
+        let hurt2 = DurableStorage::open(&hurt_dir).map_err(|e| e.to_string())?;
+        let load_d = |s: &DurableStorage| -> Result<(u64, String), String> {
+            let dbs = s.load().map_err(|e| e.to_string())?;
+            dbs.into_iter()
+                .find(|db| db.name == "d")
+                .map(|db| (db.version, structure_to_facts(&db.structure)))
+                .ok_or_else(|| "database \"d\" lost in recovery".into())
+        };
+        let want = load_d(&clean2)?;
+        let got = load_d(&hurt2)?;
+        if got != want {
+            return Err(format!(
+                "delta replay diverged: recovered v{} vs uninterrupted v{}",
+                got.0, want.0
+            ));
+        }
+        if want != (version, structure_to_facts(&state)) {
+            return Err(format!(
+                "replay is not the delta-folded state: v{} vs expected v{version}",
+                want.0
+            ));
+        }
+        if hurt2.stats().torn_tails_truncated == 0 {
+            return Err("torn delta tail was appended but never truncated".into());
+        }
+        let issues = verify_data_dir(&hurt_dir, true).map_err(|e| e.to_string())?;
+        if let Some(issue) = issues.first() {
+            return Err(format!(
+                "post-recovery integrity: {}: {}",
+                issue.file, issue.problem
+            ));
+        }
+        Ok(())
+    })();
+    if let Err(message) = result {
+        violations.push(format!("delta replay drill: {message}"));
     }
     for d in [&clean_dir, &hurt_dir] {
         let _ = std::fs::remove_dir_all(d);

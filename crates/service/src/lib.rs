@@ -62,6 +62,6 @@ pub use server::{
     ExecHook, Rejection, Server, ServerConfig, ShutdownMode, Stats, Ticket, MIN_RETRY_HINT_MS,
 };
 pub use storage::{
-    verify_data_dir, DurableStorage, IntegrityIssue, MemStorage, PersistedDb, PersistedEntry,
-    Storage, StorageError, StorageStats,
+    verify_data_dir, DurableStorage, IntegrityIssue, MemStorage, PersistedDb, PersistedDelta,
+    PersistedEntry, Storage, StorageError, StorageStats,
 };

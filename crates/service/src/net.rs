@@ -234,6 +234,9 @@ pub fn pump_pipelined(
                 // both versions); everything else stays a plain error.
                 let outcome = match e {
                     ParseError::UnsupportedVersion { got } => Outcome::UnsupportedVersion { got },
+                    gated @ ParseError::VersionGated { .. } => Outcome::Error {
+                        message: gated.to_string(),
+                    },
                     ParseError::Malformed(message) => Outcome::Error { message },
                 };
                 let _ = rtx.send(Response {

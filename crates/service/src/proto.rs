@@ -9,6 +9,8 @@
 //! {"id":3,"op":"contain","q1":"Q(X) :- E(X,Y)","q2":"Q(X) :- E(X,Y), E(X,Z)"}
 //! {"id":4,"op":"solve","a":"g","b":"h"}
 //! {"id":5,"op":"stats"}
+//! {"id":6,"v":2,"op":"insert","db":"g","fact":"E 1 2"}
+//! {"id":7,"v":2,"op":"delete","db":"g","fact":"E 0 1"}
 //! ```
 //!
 //! Responses carry `"status"` — `ok`, `unknown` (budget exhausted or
@@ -19,11 +21,15 @@ use crate::json::{escape, parse_object, JsonValue};
 use cspdb_core::Relation;
 use std::fmt;
 
-/// The wire-protocol version this server speaks. Requests may carry an
-/// optional `"v"` field; when present it must equal this value, and
-/// when absent version 1 is implied (every pre-versioning client spoke
-/// what is now version 1).
-pub const PROTOCOL_VERSION: u64 = 1;
+/// The highest wire-protocol version this server speaks. Requests may
+/// carry an optional `"v"` field; when absent, version 1 is implied
+/// (every pre-versioning client spoke what is now version 1). Versions
+/// 1 through [`PROTOCOL_VERSION`] are accepted; the single-tuple
+/// `insert`/`delete` ops are **gated on version 2** — a v1 line using
+/// them gets a typed [`ParseError::VersionGated`], so old servers and
+/// new clients fail with the real cause instead of a generic parse
+/// error.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// Why a request line failed to parse.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +43,16 @@ pub enum ParseError {
         /// The version the client asked for.
         got: u64,
     },
+    /// The op exists but needs a newer protocol version than the line
+    /// declared (e.g. `insert`/`delete` on a v1 line).
+    VersionGated {
+        /// The op that was gated.
+        op: String,
+        /// The version the op first appears in.
+        needs: u64,
+        /// The version the line declared (or implied).
+        got: u64,
+    },
 }
 
 impl fmt::Display for ParseError {
@@ -46,6 +62,10 @@ impl fmt::Display for ParseError {
             ParseError::UnsupportedVersion { got } => write!(
                 f,
                 "unsupported protocol version {got} (server speaks {PROTOCOL_VERSION})"
+            ),
+            ParseError::VersionGated { op, needs, got } => write!(
+                f,
+                "op \"{op}\" requires protocol version {needs}, line speaks {got}"
             ),
         }
     }
@@ -86,6 +106,23 @@ pub enum RequestBody {
         /// Target structure's database name.
         b: String,
     },
+    /// Insert one tuple into a relation of a named database (protocol
+    /// v2; bumps the version, maintains registered views).
+    Insert {
+        /// Database name.
+        db: String,
+        /// The fact, facts-file syntax: `Pred a1 a2 ...`.
+        fact: String,
+    },
+    /// Delete one tuple from a relation of a named database (protocol
+    /// v2; bumps the version, maintains registered views). Deleting a
+    /// tuple that was never inserted is a typed no-op, not an error.
+    Delete {
+        /// Database name.
+        db: String,
+        /// The fact, facts-file syntax: `Pred a1 a2 ...`.
+        fact: String,
+    },
     /// Snapshot the server's [`Stats`](crate::Stats).
     Stats,
 }
@@ -94,7 +131,13 @@ impl RequestBody {
     /// True for the cheap control-plane operations the server executes
     /// inline at admission (never queued, never subject to overload).
     pub fn is_control(&self) -> bool {
-        matches!(self, RequestBody::Put { .. } | RequestBody::Stats)
+        matches!(
+            self,
+            RequestBody::Put { .. }
+                | RequestBody::Insert { .. }
+                | RequestBody::Delete { .. }
+                | RequestBody::Stats
+        )
     }
 }
 
@@ -132,8 +175,9 @@ impl Request {
     /// [`PROTOCOL_VERSION`] (absent `"v"` implies version 1).
     pub fn parse(line: &str) -> Result<Request, ParseError> {
         let map = parse_object(line).map_err(ParseError::Malformed)?;
-        match map.get("v") {
-            None | Some(JsonValue::Num(PROTOCOL_VERSION)) => {}
+        let version = match map.get("v") {
+            None => 1,
+            Some(JsonValue::Num(got)) if (1..=PROTOCOL_VERSION).contains(got) => *got,
             Some(JsonValue::Num(got)) => {
                 return Err(ParseError::UnsupportedVersion { got: *got });
             }
@@ -142,7 +186,7 @@ impl Request {
                     "\"v\" must be a nonnegative integer".into(),
                 ));
             }
-        }
+        };
         let id = match map.get("id") {
             Some(JsonValue::Num(n)) => *n,
             Some(_) => {
@@ -185,6 +229,22 @@ impl Request {
                 a: get("a")?,
                 b: get("b")?,
             },
+            "insert" | "delete" => {
+                if version < 2 {
+                    return Err(ParseError::VersionGated {
+                        op,
+                        needs: 2,
+                        got: version,
+                    });
+                }
+                let db = get("db")?;
+                let fact = get("fact")?;
+                if op == "insert" {
+                    RequestBody::Insert { db, fact }
+                } else {
+                    RequestBody::Delete { db, fact }
+                }
+            }
             "stats" => RequestBody::Stats,
             other => return Err(ParseError::Malformed(format!("unknown op \"{other}\""))),
         };
@@ -232,6 +292,20 @@ pub enum Outcome {
         db: String,
         /// New version (1 for a fresh name).
         version: u64,
+    },
+    /// An executed `insert`/`delete`.
+    Delta {
+        /// Database name.
+        db: String,
+        /// Database version after the delta (unchanged when not
+        /// applied).
+        version: u64,
+        /// `"insert"` or `"delete"`.
+        op: &'static str,
+        /// False when the delta was a typed no-op — a delete of a
+        /// tuple that was never inserted, or an insert of a tuple
+        /// already present. No version is burned, no state changes.
+        applied: bool,
     },
     /// A `stats` snapshot, pre-serialized by [`Stats`](crate::Stats).
     Stats {
@@ -343,6 +417,17 @@ impl Response {
             }
             Outcome::Put { db, version } => {
                 s.push_str(&format!(",\"db\":\"{}\",\"version\":{version}", escape(db)));
+            }
+            Outcome::Delta {
+                db,
+                version,
+                op,
+                applied,
+            } => {
+                s.push_str(&format!(
+                    ",\"db\":\"{}\",\"version\":{version},\"op\":\"{op}\",\"applied\":{applied}",
+                    escape(db)
+                ));
             }
             Outcome::Stats { json } => {
                 s.push_str(&format!(",\"stats\":{json}"));
@@ -557,13 +642,19 @@ mod tests {
 
     #[test]
     fn protocol_version_is_checked_when_present() {
-        // Absent "v" implies version 1; explicit version 1 is accepted.
+        // Absent "v" implies version 1; explicit versions 1 and 2 are
+        // accepted.
         assert!(Request::parse(r#"{"id":1,"op":"stats"}"#).is_ok());
         assert!(Request::parse(r#"{"id":1,"v":1,"op":"stats"}"#).is_ok());
+        assert!(Request::parse(r#"{"id":1,"v":2,"op":"stats"}"#).is_ok());
         // Unknown versions get the typed error, not a generic message.
         assert_eq!(
-            Request::parse(r#"{"id":1,"v":2,"op":"stats"}"#),
-            Err(ParseError::UnsupportedVersion { got: 2 })
+            Request::parse(r#"{"id":1,"v":3,"op":"stats"}"#),
+            Err(ParseError::UnsupportedVersion { got: 3 })
+        );
+        assert_eq!(
+            Request::parse(r#"{"id":1,"v":0,"op":"stats"}"#),
+            Err(ParseError::UnsupportedVersion { got: 0 })
         );
         // Even an otherwise-broken line reports the version first, so
         // old servers talking to new clients fail with the real cause.
@@ -577,12 +668,90 @@ mod tests {
         ));
         let resp = Response {
             id: 1,
-            outcome: Outcome::UnsupportedVersion { got: 2 },
+            outcome: Outcome::UnsupportedVersion { got: 3 },
             micros: 0,
         };
         assert_eq!(
             resp.to_json(),
-            r#"{"id":1,"status":"error","kind":"unsupported_version","got":2,"speaks":1}"#
+            r#"{"id":1,"status":"error","kind":"unsupported_version","got":3,"speaks":2}"#
+        );
+    }
+
+    #[test]
+    fn insert_and_delete_are_gated_on_version_2() {
+        let ins =
+            Request::parse(r#"{"id":1,"v":2,"op":"insert","db":"g","fact":"E 0 1"}"#).unwrap();
+        assert_eq!(
+            ins.body,
+            RequestBody::Insert {
+                db: "g".into(),
+                fact: "E 0 1".into()
+            }
+        );
+        assert!(ins.body.is_control());
+        let del =
+            Request::parse(r#"{"id":2,"v":2,"op":"delete","db":"g","fact":"E 0 1"}"#).unwrap();
+        assert_eq!(
+            del.body,
+            RequestBody::Delete {
+                db: "g".into(),
+                fact: "E 0 1".into()
+            }
+        );
+        assert!(del.body.is_control());
+        // A v1 line (explicit or implied) gets the typed gate error.
+        assert_eq!(
+            Request::parse(r#"{"id":3,"op":"insert","db":"g","fact":"E 0 1"}"#),
+            Err(ParseError::VersionGated {
+                op: "insert".into(),
+                needs: 2,
+                got: 1
+            })
+        );
+        assert_eq!(
+            Request::parse(r#"{"id":3,"v":1,"op":"delete","db":"g","fact":"E 0 1"}"#),
+            Err(ParseError::VersionGated {
+                op: "delete".into(),
+                needs: 2,
+                got: 1
+            })
+        );
+        // Missing fields are still plain malformed.
+        assert!(matches!(
+            Request::parse(r#"{"id":4,"v":2,"op":"insert","db":"g"}"#),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn delta_outcomes_serialise() {
+        let applied = Response {
+            id: 6,
+            outcome: Outcome::Delta {
+                db: "g".into(),
+                version: 4,
+                op: "insert",
+                applied: true,
+            },
+            micros: 0,
+        };
+        assert_eq!(
+            applied.to_json(),
+            r#"{"id":6,"status":"ok","db":"g","version":4,"op":"insert","applied":true}"#
+        );
+        let noop = Response {
+            id: 7,
+            outcome: Outcome::Delta {
+                db: "g".into(),
+                version: 4,
+                op: "delete",
+                applied: false,
+            },
+            micros: 0,
+        };
+        assert_eq!(
+            noop.to_json(),
+            r#"{"id":7,"status":"ok","db":"g","version":4,"op":"delete","applied":false}"#
         );
     }
 

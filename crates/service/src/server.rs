@@ -33,6 +33,7 @@ use cspdb_core::faults::{FaultHandle, FaultSite};
 use cspdb_core::trace::{TraceEvent, TraceSink, Tracer};
 use cspdb_core::{Answer, Relation, Structure, VocabularyBuilder};
 use cspdb_cq::{evaluate_by_join_budgeted, is_contained_in, ConjunctiveQuery, CqEvalError};
+use cspdb_ivm::{Delta, IvmError, MaterializedView, ViewSet};
 use cspdb_relalg::{estimated_join_peak, NamedRelation};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -257,6 +258,15 @@ pub struct Stats {
     /// Requests refused because their connection already held its fair
     /// share of a lane's queue while other connections were waiting.
     pub fair_rejected: u64,
+    /// Single-tuple deltas (insert/delete) applied to the catalog
+    /// (no-ops and invalid deltas are not counted).
+    pub deltas_applied: u64,
+    /// Cache entries re-keyed onto a post-delta version with a
+    /// maintained view's answers instead of being dropped.
+    pub cache_revalidations: u64,
+    /// Cache entries dropped by writes — a `put`'s full invalidation
+    /// plus delta-time entries no maintained view covered.
+    pub cache_invalidations: u64,
 }
 
 impl Stats {
@@ -269,7 +279,8 @@ impl Stats {
              \"panics\":{},\"poisoned\":{},\"expired\":{},\"degraded\":{},\
              \"snapshots_written\":{},\"log_replayed\":{},\"log_compactions\":{},\
              \"torn_truncated\":{},\"storage_write_errors\":{},\"cache_warmed\":{},\
-             \"connections\":{},\"conn_failures\":{},\"fair_rejected\":{}}}",
+             \"connections\":{},\"conn_failures\":{},\"fair_rejected\":{},\
+             \"deltas_applied\":{},\"cache_revalidations\":{},\"cache_invalidations\":{}}}",
             self.admitted,
             self.rejected,
             self.completed,
@@ -291,7 +302,10 @@ impl Stats {
             self.cache_warmed,
             self.connections,
             self.conn_failures,
-            self.fair_rejected
+            self.fair_rejected,
+            self.deltas_applied,
+            self.cache_revalidations,
+            self.cache_invalidations
         )
     }
 }
@@ -367,6 +381,9 @@ struct Counters {
     connections: AtomicU64,
     conn_failures: AtomicU64,
     fair_rejected: AtomicU64,
+    deltas_applied: AtomicU64,
+    cache_revalidations: AtomicU64,
+    cache_invalidations: AtomicU64,
 }
 
 /// Samples the latency ring holds. Large enough for stable p50/p99
@@ -403,6 +420,11 @@ impl LatencyRing {
 struct Inner {
     catalog: Catalog,
     cache: SemanticCache,
+    /// Materialized views maintained under deltas (see
+    /// [`Server::views`]). One coarse lock: every delta already
+    /// serializes on its catalog shard, and view maintenance is the
+    /// dominant cost, not the lock.
+    views: Mutex<ViewSet>,
     cache_enabled: bool,
     heavy_threshold: u64,
     lanes: [Lane; 2],
@@ -512,6 +534,7 @@ impl Server {
         let inner = Arc::new(Inner {
             catalog,
             cache,
+            views: Mutex::new(ViewSet::new()),
             cache_enabled: config.cache_enabled,
             heavy_threshold: config.heavy_threshold,
             lanes: [
@@ -549,6 +572,51 @@ impl Server {
     /// requests; exposed for inspection).
     pub fn catalog(&self) -> &Catalog {
         &self.inner.catalog
+    }
+
+    /// The server's materialized-view registry, locked for the guard's
+    /// lifetime. Register views here (CQ views also auto-register on
+    /// cold cache misses); `insert`/`delete` requests maintain them and
+    /// re-validate covered cache entries against them.
+    pub fn views(&self) -> MutexGuard<'_, ViewSet> {
+        lock_recover(&self.inner.views, &self.inner.counters)
+    }
+
+    /// Registers (or replaces) a counting-maintained CQ view on `db`,
+    /// labelled by the query's name.
+    ///
+    /// # Errors
+    ///
+    /// A message when the database is unknown, the query does not
+    /// parse, or the initial materialization fails.
+    pub fn register_cq_view(&self, db: &str, query: &str) -> Result<(), String> {
+        let q = ConjunctiveQuery::parse(query)?;
+        let Some((_, structure)) = self.inner.catalog.get(db) else {
+            return Err(format!("unknown database \"{db}\""));
+        };
+        self.views()
+            .register_cq(db, &q, &structure, &self.inner.request_budget)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Verifies every maintained view on every database against
+    /// from-scratch recomputation. Empty means each maintained answer
+    /// set is tuple-for-tuple identical to recomputation (the doctor's
+    /// incremental-equals-recompute invariant).
+    pub fn verify_views(&self) -> Vec<String> {
+        let views = self.views();
+        let mut violations = Vec::new();
+        for db in views.databases() {
+            match self.inner.catalog.get(db) {
+                Some((_, structure)) => {
+                    for v in views.verify(db, &structure, &self.inner.request_budget) {
+                        violations.push(format!("{db}: {v}"));
+                    }
+                }
+                None => violations.push(format!("{db}: views registered but the database is gone")),
+            }
+        }
+        violations
     }
 
     /// Submits a request, returning a [`Ticket`] for its response.
@@ -1042,8 +1110,23 @@ fn run_control(inner: &Inner, body: &RequestBody) -> Outcome {
             Ok(structure) => {
                 // Invalidate before publishing the new version so no
                 // reader can pair a stale entry with the new structure.
-                inner.cache.invalidate_db(db);
-                let version = inner.catalog.put(db, structure);
+                // A put replaces the whole structure, so maintained
+                // views are dropped too — there is no delta to absorb.
+                // The catalog commit happens under the views lock (the
+                // lock order is always views → catalog): a cold reader
+                // registering a view re-checks the version under the
+                // same lock, so it can never install a view built from
+                // the structure this put replaces.
+                let dropped = inner.cache.invalidate_db(db);
+                inner
+                    .counters
+                    .cache_invalidations
+                    .fetch_add(dropped, Ordering::Relaxed);
+                let version = {
+                    let mut views = lock_recover(&inner.views, &inner.counters);
+                    views.drop_db(db);
+                    inner.catalog.put(db, structure)
+                };
                 Outcome::Put {
                     db: db.clone(),
                     version,
@@ -1053,10 +1136,132 @@ fn run_control(inner: &Inner, body: &RequestBody) -> Outcome {
                 message: format!("put {db}: {e}"),
             },
         },
+        RequestBody::Insert { db, fact } => run_delta(inner, db, fact, true),
+        RequestBody::Delete { db, fact } => run_delta(inner, db, fact, false),
         RequestBody::Stats => Outcome::Stats {
             json: server_stats(inner).to_json(),
         },
         _ => unreachable!("only control ops reach run_control"),
+    }
+}
+
+/// Parses one `Pred a1 a2 ...` fact line (facts-file syntax, `#`
+/// comments allowed) into its relation name and tuple.
+fn parse_fact(fact: &str) -> Result<(String, Vec<u32>), String> {
+    let line = fact.split('#').next().unwrap_or("").trim();
+    let mut it = line.split_whitespace();
+    let rel = it
+        .next()
+        .ok_or_else(|| "empty fact".to_string())?
+        .to_owned();
+    let tuple = it
+        .map(|a| {
+            a.parse::<u32>()
+                .map_err(|_| format!("bad argument \"{a}\" (want a u32)"))
+        })
+        .collect::<Result<Vec<u32>, String>>()?;
+    Ok((rel, tuple))
+}
+
+/// Executes one `insert`/`delete` request: applies the delta to the
+/// catalog (version bump + durable delta record), maintains every
+/// registered view incrementally, and re-validates covered cache
+/// entries onto the new version instead of dropping them.
+fn run_delta(inner: &Inner, db: &str, fact: &str, insert: bool) -> Outcome {
+    let op: &'static str = if insert { "insert" } else { "delete" };
+    let (rel, tuple) = match parse_fact(fact) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            return Outcome::Error {
+                message: format!("{op} {db}: {e}"),
+            }
+        }
+    };
+    let delta = if insert {
+        Delta::insert(&rel, &tuple)
+    } else {
+        Delta::delete(&rel, &tuple)
+    };
+    // The views lock is taken *before* the catalog commit and held
+    // through maintenance (lock order everywhere: views → catalog).
+    // This makes commit + view refresh one atomic step against both
+    // concurrent deltas (their maintenance cannot reorder) and cold
+    // readers (run_cq's registration re-checks the version under this
+    // lock, so a view can never be built from a pre-delta snapshot
+    // after the delta committed without it).
+    let mut views = lock_recover(&inner.views, &inner.counters);
+    let (version, pre, post) = match inner.catalog.apply_delta(db, &delta) {
+        Ok(applied) => applied,
+        // Duplicate insert / delete of an absent tuple: a typed no-op
+        // that burns no version and touches no view.
+        Err(IvmError::NoOp(_)) => {
+            let version = inner.catalog.get(db).map_or(0, |(v, _)| v);
+            inner.tracer.emit_with(|| TraceEvent::DeltaApplied {
+                db: db.to_owned(),
+                version,
+                rel: rel.clone(),
+                op,
+                applied: false,
+            });
+            return Outcome::Delta {
+                db: db.to_owned(),
+                version,
+                op,
+                applied: false,
+            };
+        }
+        Err(IvmError::Invalid(m)) => {
+            return Outcome::Error {
+                message: format!("{op} {db}: {m}"),
+            }
+        }
+        Err(IvmError::Exhausted(reason)) => {
+            return Outcome::Unknown {
+                reason: reason.to_string(),
+            }
+        }
+    };
+    inner
+        .counters
+        .deltas_applied
+        .fetch_add(1, Ordering::Relaxed);
+    inner.tracer.emit_with(|| TraceEvent::DeltaApplied {
+        db: db.to_owned(),
+        version,
+        rel: rel.clone(),
+        op,
+        applied: true,
+    });
+    // Maintain the views, then re-key covered cache entries onto the
+    // new version with the maintained answers. Entries no surviving CQ
+    // view covers fall back to version-bump invalidation. The view
+    // lock is released before touching the cache.
+    let _results = views.apply_delta(db, &delta, &pre, &post, &inner.request_budget);
+    let fresh: Vec<(CacheKey, Relation)> = views
+        .views(db)
+        .iter()
+        .filter_map(|v| match v {
+            MaterializedView::Cq(cq) => Some((CacheKey::of(cq.query()), cq.answers().clone())),
+            _ => None,
+        })
+        .collect();
+    drop(views);
+    if inner.cache_enabled {
+        let (revalidated, dropped) = inner.cache.revalidate_db(db, version, &fresh);
+        inner
+            .counters
+            .cache_revalidations
+            .fetch_add(revalidated, Ordering::Relaxed);
+        inner
+            .counters
+            .cache_invalidations
+            .fetch_add(dropped, Ordering::Relaxed);
+    }
+    Outcome::Delta {
+        db: db.to_owned(),
+        version,
+        op,
+        applied: true,
     }
 }
 
@@ -1106,6 +1311,9 @@ fn server_stats(inner: &Inner) -> Stats {
         connections: inner.counters.connections.load(Ordering::Relaxed),
         conn_failures: inner.counters.conn_failures.load(Ordering::Relaxed),
         fair_rejected: inner.counters.fair_rejected.load(Ordering::Relaxed),
+        deltas_applied: inner.counters.deltas_applied.load(Ordering::Relaxed),
+        cache_revalidations: inner.counters.cache_revalidations.load(Ordering::Relaxed),
+        cache_invalidations: inner.counters.cache_invalidations.load(Ordering::Relaxed),
     }
 }
 
@@ -1176,6 +1384,26 @@ fn run_cq(inner: &Inner, db_name: &str, query: &str, budget: &Budget, degraded: 
                     arity: rel.arity(),
                     rows: rel.iter().map(<[u32]>::to_vec).collect(),
                 });
+            }
+            // Auto-register a counting view for the core (labelled by
+            // its name) so future deltas maintain this entry instead of
+            // nuking it. An existing view with the label is kept — the
+            // second distinct query under the same name simply stays on
+            // the invalidation fallback. Registration failures (e.g. a
+            // tight budget) are non-fatal: the answer still serves.
+            //
+            // The version re-check under the views lock is load-bearing:
+            // every catalog mutation (put, delta) commits while holding
+            // this lock, so "version still current" here means no write
+            // can have slipped between our snapshot and the registration
+            // — a view built from a stale snapshot would silently miss
+            // the interleaved delta forever.
+            {
+                let mut views = lock_recover(&inner.views, &inner.counters);
+                let current = inner.catalog.get(db_name).map(|(v, _)| v);
+                if current == Some(version) && views.answers(db_name, &key.core.name).is_none() {
+                    let _ = views.register_cq(db_name, &key.core, &db, budget);
+                }
             }
             let rows = inner.cache.insert(db_name, version, key, rel);
             Outcome::Answers {

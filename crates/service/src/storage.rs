@@ -18,11 +18,13 @@
 //! matches. Startup replay walks each file record by record and
 //! **truncates the first torn or corrupt tail** it finds — a process
 //! killed mid-append therefore recovers to exactly the committed
-//! prefix, inventing no tuples. Because a `put` replaces the whole
-//! database, every record carries a complete structure, so recovery
-//! only needs the *highest-versioned valid record* per database; once
-//! the log grows past [`DurableStorage::compact_threshold`], it is
-//! folded into a fresh snapshot and emptied
+//! prefix, inventing no tuples. A `put` replaces the whole database,
+//! so such a record carries a complete structure; a single-tuple
+//! `insert`/`delete` instead appends a small **delta record**
+//! ([`PersistedDelta`]) that replay folds, in version order, onto the
+//! preceding base state. Once the log grows past
+//! [`DurableStorage::compact_threshold`] records (puts and deltas
+//! alike), it is folded into a fresh snapshot and emptied
 //! ([`TraceEvent::LogCompacted`]).
 //!
 //! The cache index is warm-start *hints*, never trusted blindly: each
@@ -51,6 +53,8 @@ const MAX_RECORD_LEN: usize = 1 << 30;
 const TAG_DB: u8 = 1;
 /// Payload tag of a cache-index record.
 const TAG_CACHE: u8 = 2;
+/// Payload tag of a single-tuple delta log record.
+const TAG_DELTA: u8 = 3;
 
 /// What went wrong talking to a storage backend.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,6 +109,23 @@ pub struct PersistedEntry {
     pub rows: Vec<Vec<u32>>,
 }
 
+/// One persisted single-tuple delta: instead of re-logging the whole
+/// database on every write, an `insert`/`delete` appends this small
+/// record and startup replay folds it onto the preceding base state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistedDelta {
+    /// Database name the delta applies to.
+    pub db: String,
+    /// The database version the delta *produces*.
+    pub version: u64,
+    /// Relation name the tuple moves in or out of.
+    pub rel: String,
+    /// True for insert, false for delete.
+    pub insert: bool,
+    /// The tuple.
+    pub tuple: Vec<u32>,
+}
+
 /// Durability counters a backend exposes for `Stats` and the doctor.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StorageStats {
@@ -147,6 +168,21 @@ pub trait Storage: Send + Sync + fmt::Debug {
         version: u64,
         structure: &Structure,
     ) -> Result<(), StorageError>;
+
+    /// Records a single-tuple delta producing `delta.version`; `post`
+    /// is the resulting structure, handed over so a backend can fold
+    /// an oversized log into a snapshot without replaying it.
+    ///
+    /// Default: a no-op (non-durable backends keep deltas in memory
+    /// only).
+    ///
+    /// # Errors
+    ///
+    /// On a failed durable write.
+    fn record_delta(&self, delta: &PersistedDelta, post: &Structure) -> Result<(), StorageError> {
+        let _ = (delta, post);
+        Ok(())
+    }
 
     /// Loads the persisted cache-entry index (hints only — the caller
     /// must re-confirm each entry before serving from it).
@@ -464,6 +500,114 @@ pub fn decode_cache_payload(payload: &[u8]) -> Result<PersistedEntry, StorageErr
     })
 }
 
+/// Encodes one single-tuple delta as a record payload.
+pub fn encode_delta_payload(delta: &PersistedDelta) -> Vec<u8> {
+    let mut out = vec![TAG_DELTA];
+    out.extend_from_slice(&delta.version.to_le_bytes());
+    put_str(&mut out, &delta.db);
+    put_str(&mut out, &delta.rel);
+    out.push(u8::from(!delta.insert));
+    out.extend_from_slice(&(delta.tuple.len() as u32).to_le_bytes());
+    for &x in &delta.tuple {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a delta record payload — the inverse of
+/// [`encode_delta_payload`].
+///
+/// # Errors
+///
+/// [`StorageError::Corrupt`] on any framing, tag, or field violation.
+/// Total over arbitrary bytes.
+pub fn decode_delta_payload(payload: &[u8]) -> Result<PersistedDelta, StorageError> {
+    let mut c = Cursor {
+        bytes: payload,
+        at: 0,
+    };
+    if c.u8()? != TAG_DELTA {
+        return Err(StorageError::Corrupt("not a delta record".into()));
+    }
+    let version = c.u64()?;
+    let db = c.str()?;
+    let rel = c.str()?;
+    let insert = match c.u8()? {
+        0 => true,
+        1 => false,
+        op => return Err(StorageError::Corrupt(format!("unknown delta op {op}"))),
+    };
+    let arity = c.u32()? as usize;
+    if arity.saturating_mul(4) > payload.len() {
+        return Err(StorageError::Corrupt("arity exceeds payload".into()));
+    }
+    let mut tuple = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        tuple.push(c.u32()?);
+    }
+    c.done()?;
+    Ok(PersistedDelta {
+        db,
+        version,
+        rel,
+        insert,
+        tuple,
+    })
+}
+
+/// Folds one persisted delta onto a structure during replay.
+/// Idempotence-tolerant: re-inserting a present tuple or re-deleting an
+/// absent one is fine (a record can be replayed against a state that
+/// already includes it after a compaction race).
+///
+/// # Errors
+///
+/// [`StorageError::Corrupt`] when the delta names an unknown relation
+/// or the tuple has the wrong arity.
+fn apply_persisted_delta(
+    structure: &Structure,
+    delta: &PersistedDelta,
+) -> Result<Structure, StorageError> {
+    let rel_id = structure
+        .vocabulary()
+        .id(&delta.rel)
+        .map_err(|e| StorageError::Corrupt(e.to_string()))?;
+    if structure.vocabulary().arity(rel_id) != delta.tuple.len() {
+        return Err(StorageError::Corrupt(format!(
+            "delta arity {} does not match relation {}",
+            delta.tuple.len(),
+            delta.rel
+        )));
+    }
+    if delta.insert {
+        let need = delta
+            .tuple
+            .iter()
+            .map(|&x| x as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut out = if need > structure.domain_size() {
+            let identity: Vec<u32> = (0..structure.domain_size() as u32).collect();
+            structure
+                .map_domain(&identity, need)
+                .map_err(|e| StorageError::Corrupt(e.to_string()))?
+        } else {
+            structure.clone()
+        };
+        out.insert(rel_id, &delta.tuple)
+            .map_err(|e| StorageError::Corrupt(e.to_string()))?;
+        Ok(out)
+    } else {
+        let keep = structure
+            .relation(rel_id)
+            .filter(|t| t != delta.tuple.as_slice());
+        let mut out = structure.clone();
+        out.set_relation(rel_id, keep)
+            .map_err(|e| StorageError::Corrupt(e.to_string()))?;
+        Ok(out)
+    }
+}
+
 /// Hex-encodes a database name for use as a filename stem (names are
 /// arbitrary strings; the hex form is filesystem-safe and injective).
 fn hex_name(name: &str) -> String {
@@ -675,7 +819,27 @@ impl DurableStorage {
                 torn = true;
             }
             for payload in &replay.payloads {
-                if let Ok((n, v, s)) = decode_db_payload(payload) {
+                if payload.first() == Some(&TAG_DELTA) {
+                    // A delta folds onto the base state accumulated so
+                    // far; one with no base (or a stale version) is
+                    // skipped, inventing no tuples.
+                    let Ok(delta) = decode_delta_payload(payload) else {
+                        continue;
+                    };
+                    if delta.db != name {
+                        continue;
+                    }
+                    let Some((bv, base)) = best.as_ref() else {
+                        continue;
+                    };
+                    if delta.version <= *bv || delta.version <= snapshot_version {
+                        continue;
+                    }
+                    if let Ok(next) = apply_persisted_delta(base, &delta) {
+                        best = Some((delta.version, next));
+                        log_records += 1;
+                    }
+                } else if let Ok((n, v, s)) = decode_db_payload(payload) {
                     if n != name || v <= snapshot_version {
                         continue;
                     }
@@ -786,6 +950,38 @@ impl Storage for DurableStorage {
                 }
                 Err(poisoned) => {
                     poisoned.into_inner().insert(name.to_owned(), 0);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn record_delta(&self, delta: &PersistedDelta, post: &Structure) -> Result<(), StorageError> {
+        let record = encode_record(&encode_delta_payload(delta));
+        self.append(&self.log_path(&delta.db), &record)?;
+        let log_len = {
+            let mut lens = match self.log_lens.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            let len = lens.entry(delta.db.clone()).or_insert(0);
+            *len += 1;
+            *len
+        };
+        if log_len >= self.compact_threshold {
+            self.write_snapshot(&delta.db, delta.version, post)?;
+            self.compactions.fetch_add(1, Ordering::Relaxed);
+            self.emit(|| TraceEvent::LogCompacted {
+                db: delta.db.clone(),
+                version: delta.version,
+                folded: log_len as u64,
+            });
+            match self.log_lens.lock() {
+                Ok(mut lens) => {
+                    lens.insert(delta.db.clone(), 0);
+                }
+                Err(poisoned) => {
+                    poisoned.into_inner().insert(delta.db.clone(), 0);
                 }
             }
         }
@@ -946,6 +1142,32 @@ pub fn verify_data_dir(dir: &Path, strict: bool) -> Result<Vec<IntegrityIssue>, 
                 push(path, format!("{} records, want 1", replay.payloads.len()));
             }
             for payload in &replay.payloads {
+                if payload.first() == Some(&TAG_DELTA) {
+                    match decode_delta_payload(payload) {
+                        Ok(d) => {
+                            if is_snap {
+                                push(path, "delta record in a snapshot".into());
+                            } else if d.db != name {
+                                push(
+                                    path,
+                                    format!("delta names \"{}\", file names \"{name}\"", d.db),
+                                );
+                            } else if d.version <= last_version {
+                                push(
+                                    path,
+                                    format!(
+                                        "delta version {} not above predecessor {last_version}",
+                                        d.version
+                                    ),
+                                );
+                            } else {
+                                last_version = d.version;
+                            }
+                        }
+                        Err(e) => push(path, format!("undecodable delta record: {e}")),
+                    }
+                    continue;
+                }
                 match decode_db_payload(payload) {
                     Ok((n, v, _)) => {
                         if n != name {
@@ -1095,6 +1317,149 @@ mod tests {
         assert_eq!(
             structure_to_facts(&dbs[0].structure),
             structure_to_facts(&last.unwrap())
+        );
+        assert_eq!(verify_data_dir(&dir, true).unwrap(), Vec::new());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delta_payload_round_trips() {
+        for delta in [
+            PersistedDelta {
+                db: "g".into(),
+                version: 4,
+                rel: "E".into(),
+                insert: true,
+                tuple: vec![0, 7],
+            },
+            PersistedDelta {
+                db: "db with spaces".into(),
+                version: u64::MAX,
+                rel: "P".into(),
+                insert: false,
+                tuple: vec![3],
+            },
+            PersistedDelta {
+                db: String::new(),
+                version: 0,
+                rel: "N".into(),
+                insert: true,
+                tuple: Vec::new(),
+            },
+        ] {
+            let payload = encode_delta_payload(&delta);
+            assert_eq!(decode_delta_payload(&payload).unwrap(), delta);
+        }
+    }
+
+    #[test]
+    fn durable_storage_replays_deltas_onto_the_base_state() {
+        let dir = tmp_dir("deltas");
+        let base = parse_facts("E 0 1\nE 1 2\n").unwrap();
+        {
+            let store = DurableStorage::open(&dir).unwrap();
+            store.record_put("g", 1, &base).unwrap();
+            let d2 = PersistedDelta {
+                db: "g".into(),
+                version: 2,
+                rel: "E".into(),
+                insert: true,
+                tuple: vec![2, 3],
+            };
+            let after2 = apply_persisted_delta(&base, &d2).unwrap();
+            store.record_delta(&d2, &after2).unwrap();
+            let d3 = PersistedDelta {
+                db: "g".into(),
+                version: 3,
+                rel: "E".into(),
+                insert: false,
+                tuple: vec![0, 1],
+            };
+            let after3 = apply_persisted_delta(&after2, &d3).unwrap();
+            store.record_delta(&d3, &after3).unwrap();
+        }
+        let store = DurableStorage::open(&dir).unwrap();
+        let dbs = store.load().unwrap();
+        assert_eq!(dbs.len(), 1);
+        assert_eq!(dbs[0].version, 3);
+        let expect = parse_facts("E 1 2\nE 2 3\n").unwrap();
+        assert_eq!(
+            structure_to_facts(&dbs[0].structure),
+            structure_to_facts(&expect)
+        );
+        assert_eq!(verify_data_dir(&dir, true).unwrap(), Vec::new());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_delta_tail_recovers_committed_prefix() {
+        let dir = tmp_dir("deltatorn");
+        let base = parse_facts("E 0 1\n").unwrap();
+        {
+            let store = DurableStorage::open(&dir).unwrap();
+            store.record_put("g", 1, &base).unwrap();
+            let d2 = PersistedDelta {
+                db: "g".into(),
+                version: 2,
+                rel: "E".into(),
+                insert: true,
+                tuple: vec![1, 2],
+            };
+            let after2 = apply_persisted_delta(&base, &d2).unwrap();
+            store.record_delta(&d2, &after2).unwrap();
+            // Kill mid-append: half a version-3 delta record.
+            let torn = encode_record(&encode_delta_payload(&PersistedDelta {
+                db: "g".into(),
+                version: 3,
+                rel: "E".into(),
+                insert: false,
+                tuple: vec![0, 1],
+            }));
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(store.log_path("g"))
+                .unwrap();
+            f.write_all(&torn[..torn.len() - 3]).unwrap();
+        }
+        let store = DurableStorage::open(&dir).unwrap();
+        let dbs = store.load().unwrap();
+        assert_eq!(dbs[0].version, 2, "torn version-3 delta must not count");
+        let expect = parse_facts("E 0 1\nE 1 2\n").unwrap();
+        assert_eq!(
+            structure_to_facts(&dbs[0].structure),
+            structure_to_facts(&expect)
+        );
+        assert_eq!(store.stats().torn_tails_truncated, 1);
+        assert_eq!(verify_data_dir(&dir, true).unwrap(), Vec::new());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delta_records_count_toward_compaction() {
+        let dir = tmp_dir("deltacompact");
+        let store = DurableStorage::open(&dir)
+            .unwrap()
+            .with_compact_threshold(3);
+        let mut state = parse_facts("E 0 1\n").unwrap();
+        store.record_put("g", 1, &state).unwrap();
+        for v in 2..=7u64 {
+            let delta = PersistedDelta {
+                db: "g".into(),
+                version: v,
+                rel: "E".into(),
+                insert: true,
+                tuple: vec![0, v as u32],
+            };
+            state = apply_persisted_delta(&state, &delta).unwrap();
+            store.record_delta(&delta, &state).unwrap();
+        }
+        assert!(store.stats().log_compactions >= 1);
+        let store2 = DurableStorage::open(&dir).unwrap();
+        let dbs = store2.load().unwrap();
+        assert_eq!(dbs[0].version, 7);
+        assert_eq!(
+            structure_to_facts(&dbs[0].structure),
+            structure_to_facts(&state)
         );
         assert_eq!(verify_data_dir(&dir, true).unwrap(), Vec::new());
         let _ = fs::remove_dir_all(&dir);

@@ -11,10 +11,11 @@
 
 use constraint_db::core::{FaultPlan, Structure, VocabularyBuilder};
 use constraint_db::service::storage::{
-    decode_cache_payload, decode_db_payload, decode_records, encode_cache_payload,
-    encode_db_payload, encode_record, structure_to_facts,
+    decode_cache_payload, decode_db_payload, decode_delta_payload, decode_records,
+    encode_cache_payload, encode_db_payload, encode_delta_payload, encode_record,
+    structure_to_facts,
 };
-use constraint_db::service::{PersistedEntry, Request};
+use constraint_db::service::{PersistedDelta, PersistedEntry, Request};
 
 struct XorShift(u64);
 
@@ -46,6 +47,8 @@ fn valid_corpus() -> Vec<String> {
         r#"{"id":4,"op":"contain","q1":"Q(X) :- E(X,Y)","q2":"Q(X) :- E(X,X)"}"#.into(),
         r#"{"id":5,"op":"solve","a":"g","b":"h"}"#.into(),
         r#"{"id":6,"op":"stats"}"#.into(),
+        r#"{"id":7,"v":2,"op":"insert","db":"g","fact":"E 0 1"}"#.into(),
+        r#"{"id":8,"v":2,"op":"delete","db":"g","fact":"E 0 1"}"#.into(),
     ]
 }
 
@@ -356,7 +359,93 @@ fn storage_decoders_are_total_on_byte_soup() {
         let bytes: Vec<u8> = (0..len).map(|_| (rng.next() % 256) as u8).collect();
         let _ = decode_db_payload(&bytes);
         let _ = decode_cache_payload(&bytes);
+        let _ = decode_delta_payload(&bytes);
         let replay = decode_records(&bytes);
         assert!(replay.valid_len <= bytes.len());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Delta log-record properties: same contract as the snapshot codec —
+// exact round-trip, committed-prefix recovery under truncation, never
+// wrong data under bit flips, total decoding on soup.
+// ---------------------------------------------------------------------
+
+/// A random single-tuple delta record.
+fn random_delta(rng: &mut XorShift) -> PersistedDelta {
+    let arity = 1 + (rng.next() % 4) as usize;
+    PersistedDelta {
+        db: format!("db-{}", rng.next() % 1000),
+        version: rng.next() % 1000,
+        rel: format!("R{}", rng.next() % 4),
+        insert: rng.next().is_multiple_of(2),
+        tuple: (0..arity).map(|_| (rng.next() % 16) as u32).collect(),
+    }
+}
+
+/// Delta payloads round-trip exactly: db, version, relation, direction,
+/// and the full tuple.
+#[test]
+fn storage_delta_payloads_round_trip() {
+    let mut rng = XorShift::new(0xDE17A);
+    for _ in 0..300 {
+        let delta = random_delta(&mut rng);
+        let payload = encode_delta_payload(&delta);
+        let got = decode_delta_payload(&payload).expect("fresh payload must decode");
+        assert_eq!(got, delta);
+    }
+}
+
+/// Every truncation of a delta-record stream recovers exactly the
+/// committed prefix — a torn delta is dropped whole, never half-read.
+#[test]
+fn storage_delta_streams_survive_every_truncation() {
+    let mut rng = XorShift::new(0xDE17B);
+    let mut stream = Vec::new();
+    let mut payloads = Vec::new();
+    let mut boundaries = vec![0usize];
+    for _ in 0..6 {
+        let payload = encode_delta_payload(&random_delta(&mut rng));
+        stream.extend_from_slice(&encode_record(&payload));
+        payloads.push(payload);
+        boundaries.push(stream.len());
+    }
+    for cut in 0..=stream.len() {
+        let replay = decode_records(&stream[..cut]);
+        let committed = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+        assert_eq!(replay.payloads, payloads[..committed], "cut at {cut}");
+        assert_eq!(replay.valid_len, boundaries[committed], "cut at {cut}");
+        assert_eq!(replay.torn, cut != boundaries[committed], "cut at {cut}");
+        for payload in &replay.payloads {
+            decode_delta_payload(payload).expect("committed delta must decode");
+        }
+    }
+}
+
+/// Single-bit flips of a delta stream never surface a record that
+/// differs from what was written, and any payload that still decodes
+/// decodes to the original delta (the checksum catches the rest).
+#[test]
+fn storage_delta_streams_survive_single_bit_flips() {
+    let mut rng = XorShift::new(0xDE17C);
+    let mut stream = Vec::new();
+    let mut deltas = Vec::new();
+    for _ in 0..4 {
+        let delta = random_delta(&mut rng);
+        stream.extend_from_slice(&encode_record(&encode_delta_payload(&delta)));
+        deltas.push(delta);
+    }
+    for i in 0..stream.len() {
+        let mut mutated = stream.clone();
+        mutated[i] ^= 1 << (rng.next() % 8);
+        let replay = decode_records(&mutated);
+        assert!(
+            replay.payloads.len() <= deltas.len(),
+            "flip at {i} invented records"
+        );
+        for (j, payload) in replay.payloads.iter().enumerate() {
+            let got = decode_delta_payload(payload).expect("surviving record must decode");
+            assert_eq!(got, deltas[j], "flip at {i} corrupted record {j}");
+        }
     }
 }
